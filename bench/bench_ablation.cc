@@ -1,0 +1,100 @@
+// Ablation experiments for the design choices called out in DESIGN.md:
+//
+//   A1  sparse (A,D)-state DP vs possible-world enumeration — the DP is the
+//       reason q(P̂) is PTime in data; enumeration explodes with the number
+//       of distributional nodes.
+//   A2  homomorphism fast path vs canonical-model containment — the exact
+//       test's exponential fallback is rarely hit, and the fast path keeps
+//       the decision procedures cheap.
+//   A3  label-relevance pruning in the DP engine — skipping query-irrelevant
+//       regions pays off on documents with large irrelevant subtrees.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/docgen.h"
+#include "prob/naive.h"
+#include "prob/query_eval.h"
+#include "tp/containment.h"
+#include "tp/parser.h"
+#include "util/random.h"
+
+namespace pxv {
+namespace {
+
+// A1 — the engine on documents with a growing number of mux nodes.
+void BM_EngineOnMuxChains(benchmark::State& state) {
+  Rng rng(3);
+  DocGenOptions o;
+  o.target_nodes = static_cast<int>(state.range(0));
+  o.dist_prob = 0.5;
+  const PDocument pd = RandomPDocument(rng, o);
+  const Pattern q = Tp("root//l1[l2]");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateTP(pd, q));
+  }
+  state.counters["pdoc_nodes"] = pd.size();
+}
+BENCHMARK(BM_EngineOnMuxChains)->Arg(8)->Arg(12)->Arg(16)->Arg(20)->Arg(200)
+    ->Arg(2000)->Unit(benchmark::kMicrosecond);
+
+// A1 baseline — enumeration on the same documents (only feasible tiny).
+void BM_NaiveOnMuxChains(benchmark::State& state) {
+  Rng rng(3);
+  DocGenOptions o;
+  o.target_nodes = static_cast<int>(state.range(0));
+  o.dist_prob = 0.5;
+  const PDocument pd = RandomPDocument(rng, o);
+  const Pattern q = Tp("root//l1[l2]");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NaiveEvaluateTP(pd, q));
+  }
+  state.counters["pdoc_nodes"] = pd.size();
+}
+BENCHMARK(BM_NaiveOnMuxChains)->Arg(8)->Arg(12)->Arg(16)->Arg(20)
+    ->Unit(benchmark::kMicrosecond);
+
+// A2 — containment where the homomorphism succeeds immediately vs a case
+// that needs canonical models (the redundant //-predicate).
+void BM_ContainmentHomFastPath(benchmark::State& state) {
+  const Pattern sup = Tp("a//b[c/d]/e");
+  const Pattern sub = Tp("a/x/b[c/d][f]/e");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Contains(sup, sub));
+  }
+}
+BENCHMARK(BM_ContainmentHomFastPath)->Unit(benchmark::kNanosecond);
+
+void BM_ContainmentCanonicalModels(benchmark::State& state) {
+  // hom(sup→sub) fails, the canonical-model sweep decides: sub ⊑ sup holds
+  // because [.//c] is implied by [b/c].
+  const Pattern sup = Tp("a[b/c][.//c]/x");
+  const Pattern sub = Tp("a[b/c]/x");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Contains(sup, sub));
+  }
+}
+BENCHMARK(BM_ContainmentCanonicalModels)->Unit(benchmark::kMicrosecond);
+
+// A3 — a query about one small region of a document that is mostly
+// irrelevant: the relevance pruning keeps the DP focused.
+void BM_RelevancePruning(benchmark::State& state) {
+  Rng rng(9);
+  // Personnel document plus a huge irrelevant subtree of fresh labels.
+  PDocument pd = PersonnelPDocument(rng, 10);
+  const NodeId junk = pd.AddOrdinary(pd.root(), Intern("archive"));
+  NodeId cur = junk;
+  for (int i = 0; i < state.range(0); ++i) {
+    cur = pd.AddOrdinary(cur, Intern("entry"));
+    pd.AddOrdinary(cur, Intern("blob"));
+  }
+  const Pattern q = Tp("IT-personnel//person/bonus[laptop]");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateTP(pd, q));
+  }
+  state.counters["pdoc_nodes"] = pd.size();
+}
+BENCHMARK(BM_RelevancePruning)->Arg(0)->Arg(1000)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace pxv

@@ -1,0 +1,70 @@
+// Experiment E2 — Proposition 2: c-independence of TP queries is decidable
+// in PTime. Claimed shape: the syntactic test's cost grows polynomially with
+// pattern size (main branch length and predicate count).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "rewrite/cindependence.h"
+#include "tp/parser.h"
+
+namespace pxv {
+namespace {
+
+// Builds a /-chain query of the given depth with a predicate on every other
+// node: a0[p0]/a1/a2[p2]/…
+Pattern ChainWithPredicates(int depth, const char* pred_prefix) {
+  std::string text = "r";
+  for (int i = 1; i < depth; ++i) {
+    text += "/n" + std::to_string(i);
+    if (i % 2 == 0) {
+      text += std::string("[") + pred_prefix + std::to_string(i) + "]";
+    }
+  }
+  return Tp(text);
+}
+
+void BM_CIndependentChains(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const Pattern q1 = ChainWithPredicates(depth, "x");
+  const Pattern q2 = ChainWithPredicates(depth, "y");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CIndependent(q1, q2));
+  }
+  state.counters["pattern_nodes"] = q1.size();
+}
+BENCHMARK(BM_CIndependentChains)->DenseRange(4, 24, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+// With descendant edges, alignments multiply but remain polynomial for
+// fixed structure; this sweep doubles one // segment.
+void BM_CIndependentDescendants(benchmark::State& state) {
+  const int mid = static_cast<int>(state.range(0));
+  std::string t1 = "r[x]", t2 = "r";
+  for (int i = 0; i < mid; ++i) {
+    t1 += "/m";
+    t2 += "/m";
+  }
+  t1 += "//z";
+  t2 += "[y]//z";
+  const Pattern q1 = Tp(t1), q2 = Tp(t2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CIndependent(q1, q2));
+  }
+}
+BENCHMARK(BM_CIndependentDescendants)->DenseRange(2, 14, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+// The dependent verdict (early exit) on the paper's Example 11 shapes.
+void BM_CIndependentExample11(benchmark::State& state) {
+  const Pattern v_prime = Tp("a[.//c]/b");
+  const Pattern q_dprime = Tp("a/b[c]");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CIndependent(v_prime, q_dprime));
+  }
+}
+BENCHMARK(BM_CIndependentExample11)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+}  // namespace pxv

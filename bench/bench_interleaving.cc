@@ -1,0 +1,66 @@
+// Experiment E5 — §5.1: TP∩ equivalence goes through interleavings, whose
+// number is exponential in the intersection size (the source of
+// coNP-hardness); extended-skeleton detection, by contrast, is linear.
+//
+// Claimed shape: interleaving count and enumeration time explode with the
+// number of intersected //-views; IsExtendedSkeleton stays flat.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "tpi/interleaving.h"
+#include "tpi/skeleton.h"
+#include "tp/parser.h"
+
+namespace pxv {
+namespace {
+
+TpIntersection DescendantViews(int k) {
+  TpIntersection q;
+  for (int i = 0; i < k; ++i) {
+    q.Add(Tp("a//b[p" + std::to_string(i) + "]//c"));
+  }
+  return q;
+}
+
+void BM_InterleavingCount(benchmark::State& state) {
+  const TpIntersection q = DescendantViews(static_cast<int>(state.range(0)));
+  int64_t count = 0;
+  for (auto _ : state) {
+    count = CountInterleavings(q, 2000000);  // Capped: the blowup is the point.
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["interleavings"] = static_cast<double>(count);
+}
+BENCHMARK(BM_InterleavingCount)->DenseRange(1, 6)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_InterleavingMaterialize(benchmark::State& state) {
+  const TpIntersection q = DescendantViews(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto result = Interleavings(q, 2000000);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_InterleavingMaterialize)->DenseRange(1, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+// Extended-skeleton detection on growing patterns: linear.
+void BM_SkeletonCheck(benchmark::State& state) {
+  std::string text = "a[b//c]";
+  for (int i = 0; i < state.range(0); ++i) {
+    text += "/d" + std::to_string(i) + "[x/y]";
+  }
+  text += "//e";
+  const Pattern q = Tp(text);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsExtendedSkeleton(q));
+  }
+  state.counters["pattern_nodes"] = q.size();
+}
+BENCHMARK(BM_SkeletonCheck)->DenseRange(2, 32, 6)
+    ->Unit(benchmark::kNanosecond);
+
+}  // namespace
+}  // namespace pxv

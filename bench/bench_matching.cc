@@ -1,0 +1,71 @@
+// Experiment E6 — Theorem 4: deciding whether a TP∩-rewriting from pairwise
+// c-independent views exists is NP-hard (reduction from k-dimensional
+// perfect matching). Claimed shape: the exact subset search blows up with
+// instance size, while the per-pair c-independence test (the reduction's
+// building block) stays polynomial.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/matching.h"
+#include "rewrite/cindependence.h"
+#include "rewrite/tpi_rewrite.h"
+#include "tp/ops.h"
+#include "util/random.h"
+
+namespace pxv {
+namespace {
+
+void BM_SubsetSearchPlanted(benchmark::State& state) {
+  Rng rng(5);
+  const int s = static_cast<int>(state.range(0));
+  const int extra = static_cast<int>(state.range(1));
+  const Hypergraph h = PlantedMatchingInstance(rng, s, 3, extra);
+  std::vector<NamedView> views = MatchingViews(h);
+  views.push_back({"mb", MainBranchOnly(MatchingQuery(s))});
+  const Pattern q = MatchingQuery(s);
+  bool found = false;
+  for (auto _ : state) {
+    found = FindPairwiseIndependentSubset(q, views).has_value();
+    benchmark::DoNotOptimize(found);
+  }
+  state.counters["edges"] = static_cast<double>(h.edges.size());
+  state.counters["found"] = found ? 1 : 0;
+}
+BENCHMARK(BM_SubsetSearchPlanted)
+    ->Args({6, 2})->Args({6, 4})->Args({6, 6})
+    ->Args({9, 2})->Args({9, 4})->Args({9, 6})
+    ->Args({12, 4})
+    ->Unit(benchmark::kMillisecond);
+
+// The polynomial building block: one pairwise c-independence test on
+// reduction views of growing vertex count.
+void BM_PairwiseTest(benchmark::State& state) {
+  const int s = static_cast<int>(state.range(0));
+  Hypergraph h;
+  h.s = s;
+  h.k = 3;
+  h.edges = {{0, 1, 2}, {s - 3, s - 2, s - 1}};
+  const auto views = MatchingViews(h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CIndependent(views[0].def, views[1].def));
+  }
+}
+BENCHMARK(BM_PairwiseTest)->Arg(6)->Arg(9)->Arg(12)->Arg(18)->Arg(24)
+    ->Unit(benchmark::kMicrosecond);
+
+// The reference hypergraph solver, for scale comparison.
+void BM_ReferenceMatchingSolver(benchmark::State& state) {
+  Rng rng(8);
+  const Hypergraph h = PlantedMatchingInstance(
+      rng, static_cast<int>(state.range(0)), 3,
+      static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HasPerfectMatching(h));
+  }
+}
+BENCHMARK(BM_ReferenceMatchingSolver)
+    ->Args({9, 6})->Args({12, 8})->Args({15, 10})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace pxv

@@ -1,0 +1,81 @@
+// Experiment E4 — the paper's motivation (§1, §7): answering a query from
+// materialized probabilistic views costs no more than evaluating it over the
+// original p-document, and is much cheaper when extensions are small
+// relative to the document (selective views).
+//
+// Claimed shape: plan-over-extension beats direct evaluation, with the gap
+// widening as the view gets more selective (fewer Ricks).
+
+#include <benchmark/benchmark.h>
+
+#include "gen/docgen.h"
+#include "prob/query_eval.h"
+#include "rewrite/fr_tp.h"
+#include "rewrite/rewriter.h"
+#include "tp/parser.h"
+#include "util/random.h"
+
+namespace pxv {
+namespace {
+
+struct Workload {
+  PDocument pd;
+  Pattern q;
+  TpRewriting rw;
+  ViewExtensions exts;
+};
+
+Workload MakeWorkload(int persons, double rick_fraction) {
+  Rng rng(2025);
+  Workload w{PersonnelPDocument(rng, persons, rick_fraction),
+             Tp("IT-personnel//person[name/Rick]/bonus[laptop]"),
+             {},
+             {}};
+  Rewriter rewriter;
+  rewriter.AddView("rick", Tp("IT-personnel//person[name/Rick]/bonus"));
+  const auto rws = TPrewrite(w.q, rewriter.views());
+  w.rw = rws.at(0);
+  w.exts = rewriter.Materialize(w.pd);
+  return w;
+}
+
+void BM_DirectEvaluation(benchmark::State& state) {
+  const Workload w =
+      MakeWorkload(static_cast<int>(state.range(0)), state.range(1) / 100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateTP(w.pd, w.q));
+  }
+  state.counters["pdoc_nodes"] = w.pd.size();
+}
+BENCHMARK(BM_DirectEvaluation)
+    ->Args({50, 30})->Args({100, 30})->Args({200, 30})->Args({400, 30})
+    ->Args({200, 10})->Args({200, 60})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_AnswerFromViews(benchmark::State& state) {
+  const Workload w =
+      MakeWorkload(static_cast<int>(state.range(0)), state.range(1) / 100.0);
+  const PDocument& ext = w.exts.at("rick");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExecuteTpRewriting(w.rw, ext));
+  }
+  state.counters["extension_nodes"] = ext.size();
+}
+BENCHMARK(BM_AnswerFromViews)
+    ->Args({50, 30})->Args({100, 30})->Args({200, 30})->Args({400, 30})
+    ->Args({200, 10})->Args({200, 60})
+    ->Unit(benchmark::kMicrosecond);
+
+// Rewriting *decision* cost is negligible next to either evaluation.
+void BM_RewriteDecision(benchmark::State& state) {
+  Rewriter rewriter;
+  rewriter.AddView("rick", Tp("IT-personnel//person[name/Rick]/bonus"));
+  const Pattern q = Tp("IT-personnel//person[name/Rick]/bonus[laptop]");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TPrewrite(q, rewriter.views()));
+  }
+}
+BENCHMARK(BM_RewriteDecision)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace pxv

@@ -1,0 +1,87 @@
+// Experiment E1 — §2 / [22]: evaluating TP (and TP∩) queries over
+// p-documents is PTime in the size of the data and worst-case exponential in
+// the size of the query.
+//
+// Claimed shape: per-answer evaluation time grows polynomially (near-
+// linearly) with |P̂| at fixed query, and grows much faster with the number
+// of conjoined goals at fixed data.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/docgen.h"
+#include "prob/query_eval.h"
+#include "tp/parser.h"
+#include "util/random.h"
+
+namespace pxv {
+namespace {
+
+// Data-complexity sweep: one node-selection probability on personnel
+// documents of growing size.
+void BM_DataComplexity(benchmark::State& state) {
+  Rng rng(42);
+  const int persons = static_cast<int>(state.range(0));
+  const PDocument pd = PersonnelPDocument(rng, persons);
+  const Pattern q = Tp("IT-personnel//person[name/Rick]/bonus[laptop]");
+  // A fixed candidate node: the first bonus.
+  NodeId target = kNullNode;
+  for (NodeId n = 0; n < pd.size() && target == kNullNode; ++n) {
+    if (pd.ordinary(n) && LabelName(pd.label(n)) == "bonus") target = n;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectionProbability(pd, q, target));
+  }
+  state.counters["pdoc_nodes"] = pd.size();
+}
+BENCHMARK(BM_DataComplexity)->Arg(10)->Arg(30)->Arg(100)->Arg(300)->Arg(1000)
+    ->Arg(3000)->Unit(benchmark::kMicrosecond);
+
+// Full q(P̂) (all candidates) on growing documents.
+void BM_FullEvaluation(benchmark::State& state) {
+  Rng rng(7);
+  const PDocument pd = PersonnelPDocument(rng, static_cast<int>(state.range(0)));
+  const Pattern q = Tp("IT-personnel//person[name/Rick]/bonus[laptop]");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateTP(pd, q));
+  }
+  state.counters["pdoc_nodes"] = pd.size();
+}
+BENCHMARK(BM_FullEvaluation)->Arg(10)->Arg(30)->Arg(100)->Arg(300)
+    ->Unit(benchmark::kMicrosecond);
+
+// Query-complexity sweep: a conjunction of k goals over fixed data — the DP
+// state space grows with total query size.
+void BM_QueryComplexity(benchmark::State& state) {
+  Rng rng(11);
+  const PDocument pd = PersonnelPDocument(rng, 50);
+  const int k = static_cast<int>(state.range(0));
+  std::vector<Pattern> goals_storage;
+  const char* shapes[] = {
+      "IT-personnel//person/bonus",
+      "IT-personnel//person[name/Rick]/bonus",
+      "IT-personnel//person/bonus[laptop]",
+      "IT-personnel//person[name]/bonus",
+      "IT-personnel//person/bonus[pda]",
+      "IT-personnel//person[name/Mary]/bonus",
+  };
+  for (int i = 0; i < k; ++i) goals_storage.push_back(Tp(shapes[i % 6]));
+  NodeId target = kNullNode;
+  for (NodeId n = 0; n < pd.size() && target == kNullNode; ++n) {
+    if (pd.ordinary(n) && LabelName(pd.label(n)) == "bonus") target = n;
+  }
+  std::vector<NodeId> anchor{target};
+  std::vector<Goal> goals;
+  for (const Pattern& g : goals_storage) goals.push_back({&g, &anchor});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JointProbability(pd, goals));
+  }
+  state.counters["total_query_nodes"] = [&] {
+    int total = 0;
+    for (const Pattern& g : goals_storage) total += g.size();
+    return total;
+  }();
+}
+BENCHMARK(BM_QueryComplexity)->DenseRange(1, 6)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace pxv

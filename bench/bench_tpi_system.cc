@@ -1,0 +1,78 @@
+// Experiment E7 — Propositions 5/6: building the S(q,V) system and testing
+// unique solvability is PTime in the size of the query and views (modulo the
+// TP∩-equivalence tests, which are PTime for extended skeletons).
+//
+// Claimed shape: decomposition + rational elimination scale polynomially
+// with the number of views and with the query's main branch length.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "rewrite/decomposition.h"
+#include "rewrite/tpi_rewrite.h"
+#include "tp/parser.h"
+
+namespace pxv {
+namespace {
+
+// q = n0[p0]/n1[p1]/…/n_{d-1}[p_{d-1}]; views drop one predicate each
+// (Example 16's shape, generalized), plus the bare chain (the appearance
+// view of Lemma 3).
+struct Instance {
+  Pattern q;
+  std::vector<Pattern> views;
+};
+
+Instance MakeInstance(int depth) {
+  std::string qt = "n0[p0]";
+  for (int i = 1; i < depth; ++i) {
+    qt += "/n" + std::to_string(i) + "[p" + std::to_string(i) + "]";
+  }
+  Instance inst{Tp(qt), {}};
+  for (int drop = 0; drop < depth; ++drop) {
+    std::string vt = "n0";
+    if (drop != 0) vt += "[p0]";
+    for (int i = 1; i < depth; ++i) {
+      vt += "/n" + std::to_string(i);
+      if (i != drop) vt += "[p" + std::to_string(i) + "]";
+    }
+    inst.views.push_back(Tp(vt));
+  }
+  std::string chain = "n0";
+  for (int i = 1; i < depth; ++i) chain += "/n" + std::to_string(i);
+  inst.views.push_back(Tp(chain));
+  return inst;
+}
+
+void BM_DecomposeAndSolve(benchmark::State& state) {
+  const Instance inst = MakeInstance(static_cast<int>(state.range(0)));
+  bool solvable = false;
+  for (auto _ : state) {
+    const ViewDecomposition dec = DecomposeViews(inst.q, inst.views);
+    solvable = SolveSystem(dec).has_value();
+    benchmark::DoNotOptimize(solvable);
+  }
+  state.counters["views"] = static_cast<double>(inst.views.size());
+  state.counters["solvable"] = solvable ? 1 : 0;
+}
+BENCHMARK(BM_DecomposeAndSolve)->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+// Full TPIrewrite on Example 16-style instances (includes the canonical
+// plan equivalence test and compensated-view expansion).
+void BM_TPIrewriteEndToEnd(benchmark::State& state) {
+  const Instance inst = MakeInstance(static_cast<int>(state.range(0)));
+  std::vector<NamedView> views;
+  for (size_t i = 0; i < inst.views.size(); ++i) {
+    views.push_back({"v" + std::to_string(i), inst.views[i].Clone()});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TPIrewrite(inst.q, views));
+  }
+}
+BENCHMARK(BM_TPIrewriteEndToEnd)->DenseRange(2, 6)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pxv

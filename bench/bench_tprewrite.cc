@@ -1,0 +1,46 @@
+// Experiment E3 — Proposition 4: TPrewrite decides the existence of a
+// probabilistic TP-rewriting in PTime in the size of the query and views.
+// Claimed shape: cost grows polynomially (near-linearly) in |V| and
+// polynomially in |q|.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/querygen.h"
+#include "rewrite/tp_rewrite.h"
+#include "util/random.h"
+
+namespace pxv {
+namespace {
+
+void BM_TPrewriteViewCount(benchmark::State& state) {
+  Rng rng(99);
+  QueryGenOptions o;
+  o.depth = 5;
+  const Pattern q = RandomQuery(rng, o);
+  const int num_views = static_cast<int>(state.range(0));
+  const auto views = ViewWorkload(q, rng, num_views / 2, num_views / 2, o);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TPrewrite(q, views));
+  }
+  state.counters["views"] = num_views;
+}
+BENCHMARK(BM_TPrewriteViewCount)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_TPrewriteQuerySize(benchmark::State& state) {
+  Rng rng(17);
+  QueryGenOptions o;
+  o.depth = static_cast<int>(state.range(0));
+  o.pred_prob = 0.5;
+  const Pattern q = RandomQuery(rng, o);
+  const auto views = ViewWorkload(q, rng, 8, 8, o);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TPrewrite(q, views));
+  }
+  state.counters["query_nodes"] = q.size();
+}
+BENCHMARK(BM_TPrewriteQuerySize)->DenseRange(2, 14, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace pxv

@@ -1,0 +1,108 @@
+#include "gen/docgen.h"
+
+#include <string>
+
+#include "util/check.h"
+#include "xml/label.h"
+
+namespace pxv {
+namespace {
+
+Label RandomLabel(Rng& rng, int label_count) {
+  return Intern("l" + std::to_string(rng.NextBounded(label_count)));
+}
+
+void Grow(PDocument* pd, NodeId parent, int depth, int* budget, Rng& rng,
+          const DocGenOptions& o) {
+  if (*budget <= 0 || depth >= o.max_depth) return;
+  // The root always branches so documents are never trivial.
+  const int fanout = (depth == 1 ? 1 : 0) +
+                     static_cast<int>(rng.NextBounded(o.max_fanout + 1));
+  for (int i = 0; i < fanout && *budget > 0; ++i) {
+    if (rng.NextBool(o.dist_prob)) {
+      // Distributional child with 1–3 ordinary alternatives.
+      const PKind kind = rng.NextBool(0.5) ? PKind::kMux : PKind::kInd;
+      const NodeId dist = pd->AddDistributional(parent, kind);
+      const int alts = 1 + static_cast<int>(rng.NextBounded(3));
+      double remaining = 1.0;
+      for (int a = 0; a < alts && *budget > 0; ++a) {
+        double p = rng.NextDouble();
+        if (kind == PKind::kMux) {
+          p = std::min(p, remaining);
+          remaining -= p;
+        }
+        const NodeId child =
+            pd->AddOrdinary(dist, RandomLabel(rng, o.label_count), p);
+        --*budget;
+        Grow(pd, child, depth + 1, budget, rng, o);
+      }
+    } else {
+      const NodeId child =
+          pd->AddOrdinary(parent, RandomLabel(rng, o.label_count));
+      --*budget;
+      Grow(pd, child, depth + 1, budget, rng, o);
+    }
+  }
+}
+
+// Removes invalidity: distributional leaves get an ordinary child.
+void FixLeaves(PDocument* pd) {
+  const int n = pd->size();
+  for (NodeId i = 0; i < n; ++i) {
+    if (!pd->ordinary(i) && pd->children(i).empty()) {
+      pd->AddOrdinary(i, Intern("leaf"), 0.5);
+    }
+  }
+}
+
+}  // namespace
+
+PDocument RandomPDocument(Rng& rng, const DocGenOptions& options) {
+  PDocument pd;
+  const NodeId root = pd.AddRoot(Intern("root"));
+  int budget = options.target_nodes;
+  Grow(&pd, root, 1, &budget, rng, options);
+  FixLeaves(&pd);
+  PXV_CHECK(pd.Validate().ok());
+  return pd;
+}
+
+PDocument PersonnelPDocument(Rng& rng, int num_persons, double rick_fraction,
+                             double laptop_fraction) {
+  PDocument pd;
+  const NodeId it = pd.AddRoot(Intern("IT-personnel"));
+  const Label names[] = {Intern("Mary"), Intern("John"), Intern("Paula"),
+                         Intern("Ivan")};
+  const Label projects[] = {Intern("pda"), Intern("tablet"), Intern("phone")};
+  for (int i = 0; i < num_persons; ++i) {
+    const NodeId person = pd.AddOrdinary(it, Intern("person"));
+    const NodeId name = pd.AddOrdinary(person, Intern("name"));
+    // Uncertain identity: a mux over two candidate names.
+    const NodeId mux = pd.AddDistributional(name, PKind::kMux);
+    const bool maybe_rick = rng.NextBool(rick_fraction);
+    const double p = 0.4 + 0.5 * rng.NextDouble();
+    pd.AddOrdinary(mux,
+                   maybe_rick ? Intern("Rick") : names[rng.NextBounded(4)], p);
+    pd.AddOrdinary(mux, names[rng.NextBounded(4)], 1.0 - p);
+    // Bonuses: one or two, each with an uncertain project.
+    const int bonuses = 1 + static_cast<int>(rng.NextBounded(2));
+    for (int b = 0; b < bonuses; ++b) {
+      const NodeId bonus = pd.AddOrdinary(person, Intern("bonus"));
+      const NodeId pmux = pd.AddDistributional(bonus, PKind::kMux);
+      const bool maybe_laptop = rng.NextBool(laptop_fraction);
+      const double lp = 0.3 + 0.6 * rng.NextDouble();
+      const NodeId proj = pd.AddOrdinary(
+          pmux, maybe_laptop ? Intern("laptop") : projects[rng.NextBounded(3)],
+          lp);
+      pd.AddOrdinary(proj,
+                     Intern(std::to_string(10 + rng.NextBounded(90))));
+      const NodeId alt =
+          pd.AddOrdinary(pmux, projects[rng.NextBounded(3)], 1.0 - lp);
+      pd.AddOrdinary(alt, Intern(std::to_string(10 + rng.NextBounded(90))));
+    }
+  }
+  PXV_CHECK(pd.Validate().ok());
+  return pd;
+}
+
+}  // namespace pxv

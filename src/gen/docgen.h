@@ -1,0 +1,34 @@
+// Random p-document generators for tests and benchmarks.
+
+#ifndef PXV_GEN_DOCGEN_H_
+#define PXV_GEN_DOCGEN_H_
+
+#include "pxml/pdocument.h"
+#include "util/random.h"
+
+namespace pxv {
+
+/// Shape parameters for random p-documents.
+struct DocGenOptions {
+  int target_nodes = 50;       ///< Approximate ordinary-node count.
+  int max_fanout = 3;          ///< Max children per ordinary node.
+  double dist_prob = 0.35;     ///< Probability a child hangs under mux/ind.
+  int label_count = 4;         ///< Labels drawn from l0..l{label_count-1}.
+  int max_depth = 8;
+};
+
+/// Random p-document with mux and ind nodes. Valid by construction.
+PDocument RandomPDocument(Rng& rng, const DocGenOptions& options = {});
+
+/// A personnel-style p-document in the spirit of the paper's running
+/// example: IT-personnel with `num_persons` persons, each with an uncertain
+/// name (mux) and bonuses with uncertain projects/amounts. The fraction
+/// `rick_fraction` of persons may be Rick, and `laptop_fraction` of bonuses
+/// may be laptop bonuses.
+PDocument PersonnelPDocument(Rng& rng, int num_persons,
+                             double rick_fraction = 0.3,
+                             double laptop_fraction = 0.4);
+
+}  // namespace pxv
+
+#endif  // PXV_GEN_DOCGEN_H_

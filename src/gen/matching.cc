@@ -1,0 +1,132 @@
+#include "gen/matching.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "util/check.h"
+#include "xml/label.h"
+
+namespace pxv {
+namespace {
+
+Label PredLabel(int vertex) { return Intern("p" + std::to_string(vertex)); }
+
+}  // namespace
+
+Hypergraph PlantedMatchingInstance(Rng& rng, int s, int k, int extra_edges) {
+  PXV_CHECK_EQ(s % k, 0);
+  Hypergraph h;
+  h.s = s;
+  h.k = k;
+  // Planted matching over a random permutation.
+  std::vector<int> perm(s);
+  for (int i = 0; i < s; ++i) perm[i] = i;
+  for (int i = s - 1; i > 0; --i) {
+    std::swap(perm[i], perm[rng.NextBounded(i + 1)]);
+  }
+  for (int i = 0; i < s; i += k) {
+    std::vector<int> edge(perm.begin() + i, perm.begin() + i + k);
+    std::sort(edge.begin(), edge.end());
+    h.edges.push_back(std::move(edge));
+  }
+  // Extra random edges.
+  std::set<std::vector<int>> seen(h.edges.begin(), h.edges.end());
+  while (static_cast<int>(h.edges.size()) < s / k + extra_edges) {
+    std::set<int> edge;
+    while (static_cast<int>(edge.size()) < k) {
+      edge.insert(static_cast<int>(rng.NextBounded(s)));
+    }
+    std::vector<int> e(edge.begin(), edge.end());
+    if (seen.insert(e).second) h.edges.push_back(std::move(e));
+  }
+  // Shuffle edges so the matching is not the prefix.
+  for (int i = static_cast<int>(h.edges.size()) - 1; i > 0; --i) {
+    std::swap(h.edges[i], h.edges[rng.NextBounded(i + 1)]);
+  }
+  return h;
+}
+
+Hypergraph RandomHypergraph(Rng& rng, int s, int k, int num_edges) {
+  Hypergraph h;
+  h.s = s;
+  h.k = k;
+  std::set<std::vector<int>> seen;
+  while (static_cast<int>(h.edges.size()) < num_edges) {
+    std::set<int> edge;
+    while (static_cast<int>(edge.size()) < k) {
+      edge.insert(static_cast<int>(rng.NextBounded(s)));
+    }
+    std::vector<int> e(edge.begin(), edge.end());
+    if (seen.insert(e).second) h.edges.push_back(std::move(e));
+  }
+  return h;
+}
+
+Pattern MatchingQuery(int s) {
+  Pattern q;
+  PNodeId cur = q.AddRoot(Intern("a"));
+  q.AddChild(cur, PredLabel(0), Axis::kChild);
+  for (int i = 1; i < s; ++i) {
+    cur = q.AddChild(cur, Intern("a"), Axis::kChild);
+    q.AddChild(cur, PredLabel(i), Axis::kChild);
+  }
+  const PNodeId b = q.AddChild(cur, Intern("b"), Axis::kDescendant);
+  q.SetOut(b);
+  return q;
+}
+
+std::vector<NamedView> MatchingViews(const Hypergraph& h) {
+  std::vector<NamedView> views;
+  for (size_t e = 0; e < h.edges.size(); ++e) {
+    Pattern v;
+    PNodeId cur = v.AddRoot(Intern("a"));
+    for (int i = 0; i < h.s; ++i) {
+      if (i > 0) cur = v.AddChild(cur, Intern("a"), Axis::kChild);
+      if (std::find(h.edges[e].begin(), h.edges[e].end(), i) !=
+          h.edges[e].end()) {
+        v.AddChild(cur, PredLabel(i), Axis::kChild);
+      }
+    }
+    const PNodeId b = v.AddChild(cur, Intern("b"), Axis::kDescendant);
+    v.SetOut(b);
+    views.push_back({"e" + std::to_string(e), std::move(v)});
+  }
+  return views;
+}
+
+namespace {
+
+bool MatchRec(const Hypergraph& h, std::vector<bool>& covered, int covered_count,
+              size_t from) {
+  if (covered_count == h.s) return true;
+  // First uncovered vertex drives the branching.
+  int target = -1;
+  for (int i = 0; i < h.s; ++i) {
+    if (!covered[i]) {
+      target = i;
+      break;
+    }
+  }
+  for (size_t e = from; e < h.edges.size(); ++e) {
+    const auto& edge = h.edges[e];
+    if (std::find(edge.begin(), edge.end(), target) == edge.end()) continue;
+    bool clash = false;
+    for (int v : edge) clash |= covered[v];
+    if (clash) continue;
+    for (int v : edge) covered[v] = true;
+    if (MatchRec(h, covered, covered_count + h.k, 0)) return true;
+    for (int v : edge) covered[v] = false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool HasPerfectMatching(const Hypergraph& h) {
+  if (h.s % h.k != 0) return false;
+  std::vector<bool> covered(h.s, false);
+  return MatchRec(h, covered, 0, 0);
+}
+
+}  // namespace pxv

@@ -1,0 +1,47 @@
+// Theorem 4 instances: the reduction from k-DIMENSIONAL PERFECT MATCHING to
+// "does a TP∩-rewriting from pairwise c-independent views exist".
+//
+// For a k-hypergraph H = (U, E) with |U| = s: the query is
+//     q = a[1]/a[2]/…/a[s]//b
+// and each hyperedge e = {i1,…,ik} becomes the view with predicates
+// [i1],…,[ik] on the corresponding a-nodes of the same /-chain. A subset of
+// pairwise c-independent views rewriting q exists iff H has a perfect
+// matching.
+
+#ifndef PXV_GEN_MATCHING_H_
+#define PXV_GEN_MATCHING_H_
+
+#include <vector>
+
+#include "rewrite/tp_rewrite.h"
+#include "tp/pattern.h"
+#include "util/random.h"
+
+namespace pxv {
+
+/// A k-uniform hypergraph on vertices 0..s-1.
+struct Hypergraph {
+  int s = 0;  ///< Vertex count; must be divisible by k for a matching.
+  int k = 3;
+  std::vector<std::vector<int>> edges;
+};
+
+/// Random k-hypergraph with `extra_edges` beyond a planted perfect matching
+/// (so the instance is satisfiable by construction).
+Hypergraph PlantedMatchingInstance(Rng& rng, int s, int k, int extra_edges);
+
+/// Random k-hypergraph without planting (may or may not have a matching).
+Hypergraph RandomHypergraph(Rng& rng, int s, int k, int num_edges);
+
+/// The Theorem 4 query for vertex count s.
+Pattern MatchingQuery(int s);
+
+/// The Theorem 4 views, one per hyperedge.
+std::vector<NamedView> MatchingViews(const Hypergraph& h);
+
+/// Exact exhaustive search for a perfect matching (reference solver).
+bool HasPerfectMatching(const Hypergraph& h);
+
+}  // namespace pxv
+
+#endif  // PXV_GEN_MATCHING_H_

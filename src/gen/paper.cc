@@ -1,0 +1,153 @@
+#include "gen/paper.h"
+
+#include "tp/parser.h"
+#include "util/check.h"
+#include "xml/label.h"
+
+namespace pxv {
+namespace paper {
+namespace {
+
+Label L(const char* name) { return Intern(name); }
+
+}  // namespace
+
+Document DocPER() {
+  Document d;
+  const NodeId it = d.AddRoot(L("IT-personnel"), 1);
+  const NodeId p2 = d.AddChild(it, L("person"), 2);
+  const NodeId n4 = d.AddChild(p2, L("name"), 4);
+  d.AddChild(n4, L("Rick"), 8);
+  const NodeId b5 = d.AddChild(p2, L("bonus"), 5);
+  const NodeId laptop = d.AddChild(b5, L("laptop"), 24);
+  d.AddChild(laptop, L("44"), 25);
+  d.AddChild(laptop, L("50"), 26);
+  const NodeId pda31 = d.AddChild(b5, L("pda"), 31);
+  d.AddChild(pda31, L("50"), 32);
+  const NodeId p3 = d.AddChild(it, L("person"), 3);
+  const NodeId n6 = d.AddChild(p3, L("name"), 6);
+  d.AddChild(n6, L("Mary"), 41);
+  const NodeId b7 = d.AddChild(p3, L("bonus"), 7);
+  const NodeId pda51 = d.AddChild(b7, L("pda"), 51);
+  d.AddChild(pda51, L("15"), 54);
+  d.AddChild(pda51, L("44"), 55);
+  return d;
+}
+
+PDocument PDocPER() {
+  PDocument pd;
+  const NodeId it = pd.AddRoot(L("IT-personnel"), 1);
+  // Left person [2]: name with mux{Rick 0.75, John 0.25}, bonus with
+  // mux{pda(25) 0.1, laptop(44,50) 0.9} plus a certain pda(50).
+  const NodeId p2 = pd.AddOrdinary(it, L("person"), 1.0, 2);
+  const NodeId n4 = pd.AddOrdinary(p2, L("name"), 1.0, 4);
+  const NodeId mux11 = pd.AddDistributional(n4, PKind::kMux);
+  pd.AddOrdinary(mux11, L("Rick"), 0.75, 8);
+  pd.AddOrdinary(mux11, L("John"), 0.25, 13);
+  const NodeId b5 = pd.AddOrdinary(p2, L("bonus"), 1.0, 5);
+  const NodeId mux21 = pd.AddDistributional(b5, PKind::kMux);
+  const NodeId pda22 = pd.AddOrdinary(mux21, L("pda"), 0.1, 22);
+  pd.AddOrdinary(pda22, L("25"), 1.0, 23);
+  const NodeId laptop24 = pd.AddOrdinary(mux21, L("laptop"), 0.9, 24);
+  pd.AddOrdinary(laptop24, L("44"), 1.0, 25);
+  pd.AddOrdinary(laptop24, L("50"), 1.0, 26);
+  const NodeId pda31 = pd.AddOrdinary(b5, L("pda"), 1.0, 31);
+  pd.AddOrdinary(pda31, L("50"), 1.0, 32);
+  // Right person [3]: name(Mary), bonus with pda whose amounts are under
+  // mux{ind{15, 44} 0.7, 15 0.3}.
+  const NodeId p3 = pd.AddOrdinary(it, L("person"), 1.0, 3);
+  const NodeId n6 = pd.AddOrdinary(p3, L("name"), 1.0, 6);
+  pd.AddOrdinary(n6, L("Mary"), 1.0, 41);
+  const NodeId b7 = pd.AddOrdinary(p3, L("bonus"), 1.0, 7);
+  const NodeId pda51 = pd.AddOrdinary(b7, L("pda"), 1.0, 51);
+  const NodeId mux52 = pd.AddDistributional(pda51, PKind::kMux);
+  const NodeId ind53 = pd.AddDistributional(mux52, PKind::kInd, 0.7);
+  pd.AddOrdinary(ind53, L("15"), 1.0, 54);
+  pd.AddOrdinary(ind53, L("44"), 1.0, 55);
+  pd.AddOrdinary(mux52, L("15"), 0.3, 56);
+  PXV_CHECK(pd.Validate().ok());
+  return pd;
+}
+
+Pattern QueryRBON() {
+  return Tp("IT-personnel//person[name/Rick]/bonus[laptop]");
+}
+Pattern QueryBON() { return Tp("IT-personnel//person/bonus[laptop]"); }
+Pattern ViewV1BON() { return Tp("IT-personnel//person[name/Rick]/bonus"); }
+Pattern ViewV2BON() { return Tp("IT-personnel//person/bonus"); }
+
+Pattern Query11() { return Tp("a/b[c]"); }
+Pattern View11() { return Tp("a[.//c]/b"); }
+
+PDocument PDoc1() {
+  // a with a certain c child; b under mux (0.65); c under b via mux (0.5).
+  PDocument pd;
+  const NodeId a = pd.AddRoot(L("a"), 0);
+  pd.AddOrdinary(a, L("c"), 1.0, 1);
+  const NodeId mux1 = pd.AddDistributional(a, PKind::kMux);
+  const NodeId b = pd.AddOrdinary(mux1, L("b"), 0.65, 2);
+  const NodeId mux2 = pd.AddDistributional(b, PKind::kMux);
+  pd.AddOrdinary(mux2, L("c"), 0.5, 3);
+  PXV_CHECK(pd.Validate().ok());
+  return pd;
+}
+
+PDocument PDoc2() {
+  // a with an uncertain c (0.3); certain b; c under b via mux (0.5).
+  PDocument pd;
+  const NodeId a = pd.AddRoot(L("a"), 0);
+  const NodeId mux1 = pd.AddDistributional(a, PKind::kMux);
+  pd.AddOrdinary(mux1, L("c"), 0.3, 1);
+  const NodeId b = pd.AddOrdinary(a, L("b"), 1.0, 2);
+  const NodeId mux2 = pd.AddDistributional(b, PKind::kMux);
+  pd.AddOrdinary(mux2, L("c"), 0.5, 3);
+  PXV_CHECK(pd.Validate().ok());
+  return pd;
+}
+
+Pattern Query12() { return Tp("a//b[e]/c/b/c//d"); }
+Pattern View12() { return Tp("a//b[e]/c/b/c"); }
+
+namespace {
+
+// Shared shape of P̂3/P̂4: a/b1{ind:e,c1}/…; the chain below c1 is
+// deterministic: c1/b2{ind:e}/c2/b3/c3/d. Only the three probabilities
+// differ between the two documents.
+PDocument PDoc12(double e1, double c1_prob, double e2) {
+  PDocument pd;
+  const NodeId a = pd.AddRoot(L("a"), 0);
+  const NodeId b1 = pd.AddOrdinary(a, L("b"), 1.0, 1);
+  const NodeId ind1 = pd.AddDistributional(b1, PKind::kInd);
+  pd.AddOrdinary(ind1, L("e"), e1, 2);
+  const NodeId c1 = pd.AddOrdinary(ind1, L("c"), c1_prob, 3);
+  const NodeId b2 = pd.AddOrdinary(c1, L("b"), 1.0, 4);
+  const NodeId ind2 = pd.AddDistributional(b2, PKind::kInd);
+  pd.AddOrdinary(ind2, L("e"), e2, 5);
+  const NodeId c2 = pd.AddOrdinary(b2, L("c"), 1.0, kPid12_C2);
+  const NodeId b3 = pd.AddOrdinary(c2, L("b"), 1.0, 7);
+  const NodeId c3 = pd.AddOrdinary(b3, L("c"), 1.0, kPid12_C3);
+  pd.AddOrdinary(c3, L("d"), 1.0, kPid12_D);
+  PXV_CHECK(pd.Validate().ok());
+  return pd;
+}
+
+}  // namespace
+
+PDocument PDoc3() { return PDoc12(0.3, 0.4, 0.6); }
+PDocument PDoc4() { return PDoc12(0.4, 0.3, 0.8); }
+
+Pattern Query16() { return Tp("a[1]/b[2]/c[3]/d"); }
+
+Pattern View16(int i) {
+  switch (i) {
+    case 1: return Tp("a[1]/b/c[3]/d");
+    case 2: return Tp("a/b[2]/c[3]/d");
+    case 3: return Tp("a[1]/b[2]/c/d");
+    case 4: return Tp("a//d");
+  }
+  PXV_CHECK(false) << "View16 index must be 1..4";
+  return Pattern();
+}
+
+}  // namespace paper
+}  // namespace pxv

@@ -1,0 +1,69 @@
+// Every worked instance of the paper, as named constructors.
+//
+// Figures 1–4 are given explicitly in the paper. Figure 5 (the p-documents
+// P̂1, P̂2 of Example 11 and P̂3, P̂4 of Example 12) is partially garbled in
+// the available text; the constructors below are reconstructions that
+// reproduce *all* the published probability values — see DESIGN.md §3.5 and
+// tests/paper_examples_test.cc, which asserts every constant from the paper.
+
+#ifndef PXV_GEN_PAPER_H_
+#define PXV_GEN_PAPER_H_
+
+#include "pxml/pdocument.h"
+#include "tp/pattern.h"
+#include "xml/document.h"
+
+namespace pxv {
+namespace paper {
+
+/// Figure 1: the deterministic personnel document d_PER (paper node ids as
+/// persistent ids).
+Document DocPER();
+
+/// Figure 2: the p-document P̂_PER.
+PDocument PDocPER();
+
+/// Figure 3: q_RBON = IT-personnel//person[name/Rick]/bonus[laptop].
+Pattern QueryRBON();
+/// Figure 3: q_BON = IT-personnel//person/bonus[laptop].
+Pattern QueryBON();
+/// Figure 3: v1_BON = IT-personnel//person[name/Rick]/bonus.
+Pattern ViewV1BON();
+/// Figure 3: v2_BON = IT-personnel//person/bonus.
+Pattern ViewV2BON();
+
+/// Example 11: q = a/b[c].
+Pattern Query11();
+/// Example 11: v = a[.//c]/b.
+Pattern View11();
+/// Example 11: P̂1 — Pr(b ∈ q(P1)) = 0.65·0.5 = 0.325, view prob 0.65.
+PDocument PDoc1();
+/// Example 11: P̂2 — Pr(b ∈ q(P2)) = 0.5, view prob 1−(1−0.3)(1−0.5) = 0.65.
+PDocument PDoc2();
+
+/// Example 12: q = a//b[e]/c/b/c//d.
+Pattern Query12();
+/// Example 12: v = a//b[e]/c/b/c.
+Pattern View12();
+/// Example 12: P̂3 — view selects nc1 with 0.12 and nc2 with 0.24; the
+/// direct answer is 0.4·0.3 + 0.6·0.4 − 0.3·0.4·0.6 = 0.288.
+PDocument PDoc3();
+/// Example 12: P̂4 — same view probabilities; direct answer
+/// 0.3·0.4 + 0.3·0.8 − 0.3·0.4·0.8 = 0.264.
+PDocument PDoc4();
+
+/// Persistent ids of the interesting nodes of P̂3/P̂4.
+inline constexpr PersistentId kPid12_C2 = 6;  ///< n_c1 in the paper's naming.
+inline constexpr PersistentId kPid12_C3 = 8;  ///< n_c2.
+inline constexpr PersistentId kPid12_D = 9;   ///< n_d.
+
+/// Example 16: q = a[1]/b[2]/c[3]/d.
+Pattern Query16();
+/// Example 16 views: v1 = a[1]/b/c[3]/d, v2 = a/b[2]/c[3]/d,
+/// v3 = a[1]/b[2]/c/d, v4 = a//d.
+Pattern View16(int i);
+
+}  // namespace paper
+}  // namespace pxv
+
+#endif  // PXV_GEN_PAPER_H_

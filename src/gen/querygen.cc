@@ -1,0 +1,67 @@
+#include "gen/querygen.h"
+
+#include <string>
+
+#include "tp/ops.h"
+#include "util/check.h"
+#include "xml/label.h"
+
+namespace pxv {
+namespace {
+
+Label RandomLabel(Rng& rng, int label_count) {
+  return Intern("l" + std::to_string(rng.NextBounded(label_count)));
+}
+
+void AddPredicate(Pattern* q, PNodeId attach, Rng& rng,
+                  const QueryGenOptions& o) {
+  PNodeId cur = attach;
+  const int len = 1 + static_cast<int>(rng.NextBounded(o.pred_depth));
+  for (int i = 0; i < len; ++i) {
+    const Axis axis =
+        rng.NextBool(o.desc_prob) ? Axis::kDescendant : Axis::kChild;
+    cur = q->AddChild(cur, RandomLabel(rng, o.label_count), axis);
+  }
+}
+
+}  // namespace
+
+Pattern RandomQuery(Rng& rng, const QueryGenOptions& o) {
+  Pattern q;
+  PNodeId cur = q.AddRoot(Intern("root"));
+  for (int d = 1; d < o.depth; ++d) {
+    const Axis axis =
+        rng.NextBool(o.desc_prob) ? Axis::kDescendant : Axis::kChild;
+    const PNodeId next = q.AddChild(cur, RandomLabel(rng, o.label_count), axis);
+    if (rng.NextBool(o.pred_prob)) AddPredicate(&q, cur, rng, o);
+    cur = next;
+  }
+  if (rng.NextBool(o.pred_prob)) AddPredicate(&q, cur, rng, o);
+  q.SetOut(cur);
+  return q;
+}
+
+Pattern PrefixView(const Pattern& q, int k, bool strip_out_preds) {
+  Pattern v = Prefix(q, k);
+  if (strip_out_preds) v = StripOutPredicates(v);
+  return v;
+}
+
+std::vector<NamedView> ViewWorkload(const Pattern& q, Rng& rng, int num_usable,
+                                    int num_decoys,
+                                    const QueryGenOptions& options) {
+  std::vector<NamedView> views;
+  const int mb = q.MainBranchLength();
+  for (int i = 0; i < num_usable; ++i) {
+    const int k = 1 + static_cast<int>(rng.NextBounded(mb));
+    const bool strip = rng.NextBool(0.5);
+    views.push_back(
+        {"u" + std::to_string(i), PrefixView(q, k, strip)});
+  }
+  for (int i = 0; i < num_decoys; ++i) {
+    views.push_back({"d" + std::to_string(i), RandomQuery(rng, options)});
+  }
+  return views;
+}
+
+}  // namespace pxv

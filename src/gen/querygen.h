@@ -1,0 +1,37 @@
+// Random query and view generators.
+
+#ifndef PXV_GEN_QUERYGEN_H_
+#define PXV_GEN_QUERYGEN_H_
+
+#include <vector>
+
+#include "rewrite/tp_rewrite.h"
+#include "tp/pattern.h"
+#include "util/random.h"
+
+namespace pxv {
+
+struct QueryGenOptions {
+  int depth = 4;             ///< Main branch length.
+  double pred_prob = 0.5;    ///< Probability a main-branch node gets a predicate.
+  double desc_prob = 0.3;    ///< Probability an edge is //.
+  int pred_depth = 2;        ///< Max predicate subtree depth.
+  int label_count = 4;       ///< Same alphabet as DocGenOptions.
+};
+
+/// Random TP query with root label "root" (matching RandomPDocument).
+Pattern RandomQuery(Rng& rng, const QueryGenOptions& options = {});
+
+/// A view from q: the prefix of length k, optionally with out-node
+/// predicates removed (guarantees comp(v, q_(k)) ≡ q — a Fact 1 positive).
+Pattern PrefixView(const Pattern& q, int k, bool strip_out_preds);
+
+/// A set of views for q: a mix of usable prefixes and decoys (random
+/// queries), for TPrewrite benchmarks.
+std::vector<NamedView> ViewWorkload(const Pattern& q, Rng& rng,
+                                    int num_usable, int num_decoys,
+                                    const QueryGenOptions& options = {});
+
+}  // namespace pxv
+
+#endif  // PXV_GEN_QUERYGEN_H_

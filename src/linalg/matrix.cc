@@ -1,0 +1,23 @@
+#include "linalg/matrix.h"
+
+#include "util/check.h"
+
+namespace pxv {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<Rational>>& rows) {
+  PXV_CHECK(!rows.empty());
+  Matrix m(static_cast<int>(rows.size()), static_cast<int>(rows[0].size()));
+  for (int r = 0; r < m.rows(); ++r) {
+    PXV_CHECK_EQ(rows[r].size(), static_cast<size_t>(m.cols()));
+    for (int c = 0; c < m.cols(); ++c) m.at(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+std::vector<Rational> Matrix::Row(int r) const {
+  std::vector<Rational> row(cols_);
+  for (int c = 0; c < cols_; ++c) row[c] = at(r, c);
+  return row;
+}
+
+}  // namespace pxv

@@ -1,0 +1,40 @@
+// Dense rational matrices (small systems only — one row per view).
+
+#ifndef PXV_LINALG_MATRIX_H_
+#define PXV_LINALG_MATRIX_H_
+
+#include <vector>
+
+#include "linalg/rational.h"
+
+namespace pxv {
+
+/// Row-major dense rational matrix.
+class Matrix {
+ public:
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  Rational& at(int r, int c) { return data_[Index(r, c)]; }
+  const Rational& at(int r, int c) const { return data_[Index(r, c)]; }
+
+  /// Appends a row (must have cols() entries).
+  static Matrix FromRows(const std::vector<std::vector<Rational>>& rows);
+
+  std::vector<Rational> Row(int r) const;
+
+ private:
+  size_t Index(int r, int c) const {
+    return static_cast<size_t>(r) * cols_ + c;
+  }
+
+  int rows_, cols_;
+  std::vector<Rational> data_;
+};
+
+}  // namespace pxv
+
+#endif  // PXV_LINALG_MATRIX_H_

@@ -1,0 +1,53 @@
+#include "linalg/rational.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace pxv {
+namespace {
+
+int64_t CheckedNarrow(__int128 v) {
+  PXV_CHECK(v <= INT64_MAX && v >= INT64_MIN) << "rational overflow";
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
+
+Rational::Rational(int64_t num, int64_t den) {
+  PXV_CHECK_NE(den, 0) << "zero denominator";
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  const int64_t g = std::gcd(num < 0 ? -num : num, den);
+  num_ = g ? num / g : num;
+  den_ = g ? den / g : den;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  const __int128 num =
+      static_cast<__int128>(num_) * o.den_ + static_cast<__int128>(o.num_) * den_;
+  const __int128 den = static_cast<__int128>(den_) * o.den_;
+  return Rational(CheckedNarrow(num), CheckedNarrow(den));
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  const __int128 num = static_cast<__int128>(num_) * o.num_;
+  const __int128 den = static_cast<__int128>(den_) * o.den_;
+  return Rational(CheckedNarrow(num), CheckedNarrow(den));
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  PXV_CHECK(!o.IsZero()) << "division by zero";
+  return *this * Rational(o.den_, o.num_);
+}
+
+std::string Rational::ToString() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+}  // namespace pxv

@@ -1,0 +1,47 @@
+// Exact rational arithmetic for the S(q,V) systems of §5.3. Deciding whether
+// Pr(n ∈ q(P)) has a unique solution is a rank question over ℚ; floating
+// point would make the decision procedure flaky, so coefficients are exact
+// int64 fractions with overflow checks (the systems have 0/1 coefficients,
+// so values stay tiny in practice).
+
+#ifndef PXV_LINALG_RATIONAL_H_
+#define PXV_LINALG_RATIONAL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pxv {
+
+/// An exact rational number num/den, den > 0, gcd(num, den) = 1.
+class Rational {
+ public:
+  Rational() : num_(0), den_(1) {}
+  Rational(int64_t value) : num_(value), den_(1) {}  // NOLINT
+  Rational(int64_t num, int64_t den);
+
+  int64_t num() const { return num_; }
+  int64_t den() const { return den_; }
+  bool IsZero() const { return num_ == 0; }
+  bool IsOne() const { return num_ == 1 && den_ == 1; }
+
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator/(const Rational& o) const;
+  Rational operator-() const { return Rational(-num_, den_); }
+
+  bool operator==(const Rational& o) const {
+    return num_ == o.num_ && den_ == o.den_;
+  }
+  bool operator!=(const Rational& o) const { return !(*this == o); }
+
+  double ToDouble() const { return static_cast<double>(num_) / den_; }
+  std::string ToString() const;
+
+ private:
+  int64_t num_, den_;
+};
+
+}  // namespace pxv
+
+#endif  // PXV_LINALG_RATIONAL_H_

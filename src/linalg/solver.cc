@@ -1,0 +1,92 @@
+#include "linalg/solver.h"
+
+#include "util/check.h"
+
+namespace pxv {
+
+int Rank(const Matrix& m) {
+  Matrix a = m;
+  int rank = 0;
+  for (int col = 0; col < a.cols() && rank < a.rows(); ++col) {
+    // Find pivot.
+    int pivot = -1;
+    for (int r = rank; r < a.rows(); ++r) {
+      if (!a.at(r, col).IsZero()) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) continue;
+    // Swap into place.
+    if (pivot != rank) {
+      for (int c = 0; c < a.cols(); ++c) std::swap(a.at(pivot, c), a.at(rank, c));
+    }
+    // Eliminate below.
+    for (int r = rank + 1; r < a.rows(); ++r) {
+      if (a.at(r, col).IsZero()) continue;
+      const Rational f = a.at(r, col) / a.at(rank, col);
+      for (int c = col; c < a.cols(); ++c) {
+        a.at(r, c) = a.at(r, c) - f * a.at(rank, c);
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+std::optional<std::vector<Rational>> ExpressInRowSpace(
+    const std::vector<std::vector<Rational>>& rows,
+    const std::vector<Rational>& target) {
+  if (rows.empty()) {
+    for (const Rational& t : target) {
+      if (!t.IsZero()) return std::nullopt;
+    }
+    return std::vector<Rational>{};
+  }
+  const int m = static_cast<int>(rows.size());
+  const int n = static_cast<int>(target.size());
+  // Solve Aᵀ c = target: one equation per vector component, m unknowns.
+  Matrix a(n, m + 1);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      PXV_CHECK_EQ(rows[i].size(), static_cast<size_t>(n));
+      a.at(j, i) = rows[i][j];
+    }
+    a.at(j, m) = target[j];
+  }
+  // Forward elimination with column pivoting over the unknown columns.
+  std::vector<int> pivot_col_of_row(n, -1);
+  int rank = 0;
+  for (int col = 0; col < m && rank < n; ++col) {
+    int pivot = -1;
+    for (int r = rank; r < n; ++r) {
+      if (!a.at(r, col).IsZero()) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) continue;
+    if (pivot != rank) {
+      for (int c = 0; c <= m; ++c) std::swap(a.at(pivot, c), a.at(rank, c));
+    }
+    for (int r = 0; r < n; ++r) {
+      if (r == rank || a.at(r, col).IsZero()) continue;
+      const Rational f = a.at(r, col) / a.at(rank, col);
+      for (int c = 0; c <= m; ++c) a.at(r, c) = a.at(r, c) - f * a.at(rank, c);
+    }
+    pivot_col_of_row[rank] = col;
+    ++rank;
+  }
+  // Inconsistency: a zero row with nonzero rhs.
+  for (int r = rank; r < n; ++r) {
+    if (!a.at(r, m).IsZero()) return std::nullopt;
+  }
+  std::vector<Rational> c(m, Rational(0));
+  for (int r = 0; r < rank; ++r) {
+    const int col = pivot_col_of_row[r];
+    c[col] = a.at(r, m) / a.at(r, col);
+  }
+  return c;
+}
+
+}  // namespace pxv

@@ -1,0 +1,29 @@
+// Exact Gaussian elimination utilities: rank, and expressing a target vector
+// as a linear combination of given rows (row-space membership with witness).
+// This is precisely what Theorem 5 / Proposition 5 need: Pr(n ∈ q(P)) is
+// retrievable iff the query's d-view indicator vector lies in the row space
+// of the view equations, and the combination coefficients give the f_r
+// product formula with rational exponents.
+
+#ifndef PXV_LINALG_SOLVER_H_
+#define PXV_LINALG_SOLVER_H_
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace pxv {
+
+/// Rank of the matrix over ℚ.
+int Rank(const Matrix& m);
+
+/// Finds coefficients c with Σ c[i]·rows[i] == target, if any (free
+/// coefficients set to zero).
+std::optional<std::vector<Rational>> ExpressInRowSpace(
+    const std::vector<std::vector<Rational>>& rows,
+    const std::vector<Rational>& target);
+
+}  // namespace pxv
+
+#endif  // PXV_LINALG_SOLVER_H_

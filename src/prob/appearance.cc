@@ -1,0 +1,11 @@
+#include "prob/appearance.h"
+
+#include "pxml/worlds.h"
+
+namespace pxv {
+
+double NodeAppearanceProbability(const PDocument& pd, NodeId n) {
+  return AppearanceProbability(pd, n);
+}
+
+}  // namespace pxv

@@ -1,0 +1,17 @@
+// Pr(n ∈ P): the appearance probability of a node (paper §5.2). For local
+// PrXML models it factorizes along the root path — each distributional
+// ancestor must keep n's branch, independently.
+
+#ifndef PXV_PROB_APPEARANCE_H_
+#define PXV_PROB_APPEARANCE_H_
+
+#include "pxml/pdocument.h"
+
+namespace pxv {
+
+/// Pr(n ∈ P) for an ordinary node n of pd. PTime (linear in depth).
+double NodeAppearanceProbability(const PDocument& pd, NodeId n);
+
+}  // namespace pxv
+
+#endif  // PXV_PROB_APPEARANCE_H_

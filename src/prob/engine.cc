@@ -1,0 +1,267 @@
+#include "prob/engine.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace pxv {
+namespace {
+
+// Packed (A, D) pair: 2 bits per global query node — bit 2i = "D" (embeds
+// at-or-below), bit 2i+1 = "A" (embeds exactly here); A implies D.
+struct StateKey {
+  uint64_t lo = 0, hi = 0;
+  bool operator==(const StateKey& o) const { return lo == o.lo && hi == o.hi; }
+  StateKey operator|(const StateKey& o) const { return {lo | o.lo, hi | o.hi}; }
+};
+
+struct StateKeyHash {
+  size_t operator()(const StateKey& k) const {
+    uint64_t x = k.lo * 0x9E3779B97F4A7C15ULL;
+    x ^= (k.hi + 0x9E3779B97F4A7C15ULL + (x << 6) + (x >> 2));
+    return static_cast<size_t>(x ^ (x >> 29));
+  }
+};
+
+using Dist = std::unordered_map<StateKey, double, StateKeyHash>;
+
+void SetBit(StateKey* k, int bit) {
+  if (bit < 64) {
+    k->lo |= (uint64_t{1} << bit);
+  } else {
+    k->hi |= (uint64_t{1} << (bit - 64));
+  }
+}
+
+bool GetBit(const StateKey& k, int bit) {
+  return bit < 64 ? (k.lo >> bit) & 1 : (k.hi >> (bit - 64)) & 1;
+}
+
+class Engine {
+ public:
+  Engine(const PDocument& pd, const std::vector<Goal>& goals) : pd_(pd) {
+    // Assign global query-node ids.
+    int total = 0;
+    for (const Goal& g : goals) {
+      PXV_CHECK(g.pattern != nullptr);
+      offsets_.push_back(total);
+      total += g.pattern->size();
+    }
+    PXV_CHECK_LE(total, 64) << "conjunction too large for the packed DP";
+    qnodes_.resize(total);
+    for (size_t gi = 0; gi < goals.size(); ++gi) {
+      const Pattern& p = *goals[gi].pattern;
+      for (PNodeId n = 0; n < p.size(); ++n) {
+        QNode& qn = qnodes_[offsets_[gi] + n];
+        qn.label = p.label(n);
+        qn.anchored = (n == p.out()) && goals[gi].anchor != nullptr;
+        for (PNodeId c : p.children(n)) {
+          (p.axis(c) == Axis::kChild ? qn.slash_kids : qn.desc_kids)
+              .push_back(offsets_[gi] + c);
+        }
+        by_label_[qn.label].push_back(offsets_[gi] + n);
+        if (n == p.root()) root_qids_.push_back(offsets_[gi] + n);
+      }
+      if (goals[gi].anchor != nullptr) {
+        anchor_sets_.emplace_back();
+        for (NodeId a : *goals[gi].anchor) anchor_sets_.back().insert(a);
+        anchor_of_[offsets_[gi] + p.out()] =
+            static_cast<int>(anchor_sets_.size()) - 1;
+      }
+    }
+    // Label-relevance pruning: a p-document subtree without any query label
+    // contributes the empty state with probability 1.
+    relevant_.assign(pd.size(), 0);
+    for (NodeId n = pd.size() - 1; n >= 0; --n) {
+      bool rel = pd.ordinary(n) && by_label_.count(pd.label(n)) > 0;
+      if (!rel) {
+        for (NodeId c : pd.children(n)) {
+          if (relevant_[c]) {
+            rel = true;
+            break;
+          }
+        }
+      }
+      relevant_[n] = rel;
+    }
+  }
+
+  double Probability() {
+    Dist root = NodeDist(pd_.root());
+    double p = 0;
+    for (const auto& [key, prob] : root) {
+      bool all = true;
+      for (int qid : root_qids_) {
+        if (!GetBit(key, 2 * qid + 1)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) p += prob;
+    }
+    return p;
+  }
+
+ private:
+  struct QNode {
+    Label label = 0;
+    bool anchored = false;
+    std::vector<int> slash_kids, desc_kids;
+  };
+
+  static Dist Delta() { return Dist{{StateKey{}, 1.0}}; }
+
+  static Dist Convolve(const Dist& a, const Dist& b) {
+    if (a.size() == 1 && a.begin()->first == StateKey{}) {
+      Dist out = b;
+      const double p = a.begin()->second;
+      if (p != 1.0) {
+        for (auto& [k, v] : out) v *= p;
+      }
+      return out;
+    }
+    Dist out;
+    out.reserve(a.size() * b.size());
+    for (const auto& [ka, pa] : a) {
+      for (const auto& [kb, pb] : b) {
+        out[ka | kb] += pa * pb;
+      }
+    }
+    return out;
+  }
+
+  // Distribution contributed by the region rooted at `n`, conditioned on the
+  // edge into `n` being taken.
+  Dist Contribution(NodeId n) {
+    if (!relevant_[n]) return Delta();
+    switch (pd_.kind(n)) {
+      case PKind::kOrdinary:
+        return NodeDist(n);
+      case PKind::kDet: {
+        Dist acc = Delta();
+        for (NodeId c : pd_.children(n)) acc = Convolve(acc, Contribution(c));
+        return acc;
+      }
+      case PKind::kMux: {
+        Dist acc;
+        double total = 0;
+        for (NodeId c : pd_.children(n)) {
+          const double p = pd_.edge_prob(c);
+          total += p;
+          if (p == 0) continue;
+          for (const auto& [k, v] : Contribution(c)) acc[k] += p * v;
+        }
+        if (total < 1.0) acc[StateKey{}] += 1.0 - total;
+        return acc;
+      }
+      case PKind::kInd: {
+        Dist acc = Delta();
+        for (NodeId c : pd_.children(n)) {
+          const double p = pd_.edge_prob(c);
+          Dist mixed;
+          if (p > 0) {
+            for (const auto& [k, v] : Contribution(c)) mixed[k] += p * v;
+          }
+          if (p < 1.0) mixed[StateKey{}] += 1.0 - p;
+          acc = Convolve(acc, mixed);
+        }
+        return acc;
+      }
+      case PKind::kExp: {
+        const auto& kids = pd_.children(n);
+        Dist acc;
+        double total = 0;
+        for (const auto& [subset, p] : pd_.exp_distribution(n)) {
+          total += p;
+          if (p == 0) continue;
+          Dist chosen = Delta();
+          for (int idx : subset) {
+            chosen = Convolve(chosen, Contribution(kids[idx]));
+          }
+          for (const auto& [k, v] : chosen) acc[k] += p * v;
+        }
+        if (total < 1.0) acc[StateKey{}] += 1.0 - total;
+        return acc;
+      }
+    }
+    PXV_CHECK(false);
+    return Delta();
+  }
+
+  // (A, D) distribution of ordinary node `x`, given x appears.
+  Dist NodeDist(NodeId x) {
+    Dist combined = Delta();
+    for (NodeId c : pd_.children(x)) {
+      combined = Convolve(combined, Contribution(c));
+    }
+    // Candidate query nodes matching x's label.
+    std::vector<int> candidates;
+    auto it = by_label_.find(pd_.label(x));
+    if (it != by_label_.end()) {
+      for (int qid : it->second) {
+        const auto anchor_it = anchor_of_.find(qid);
+        if (anchor_it != anchor_of_.end() &&
+            anchor_sets_[anchor_it->second].count(x) == 0) {
+          continue;  // Anchored elsewhere.
+        }
+        candidates.push_back(qid);
+      }
+    }
+    Dist out;
+    out.reserve(combined.size());
+    for (const auto& [key, p] : combined) {
+      // New key: D-bits flow up; A-bits are recomputed at x.
+      StateKey nk{key.lo & kDMaskLo, key.hi & kDMaskHi};
+      for (int qid : candidates) {
+        const QNode& qn = qnodes_[qid];
+        bool ok = true;
+        for (int t : qn.slash_kids) {
+          if (!GetBit(key, 2 * t + 1)) {  // Need A(t) at some kept child.
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          for (int t : qn.desc_kids) {
+            if (!GetBit(key, 2 * t)) {  // Need D(t): strictly below x.
+              ok = false;
+              break;
+            }
+          }
+        }
+        if (ok) {
+          SetBit(&nk, 2 * qid + 1);  // A
+          SetBit(&nk, 2 * qid);      // D
+        }
+      }
+      out[nk] += p;
+    }
+    return out;
+  }
+
+  static constexpr uint64_t kDMaskLo = 0x5555555555555555ULL;
+  static constexpr uint64_t kDMaskHi = 0x5555555555555555ULL;
+
+  const PDocument& pd_;
+  std::vector<int> offsets_;
+  std::vector<QNode> qnodes_;
+  std::vector<int> root_qids_;
+  std::unordered_map<Label, std::vector<int>> by_label_;
+  std::unordered_map<int, int> anchor_of_;
+  std::vector<std::unordered_set<NodeId>> anchor_sets_;
+  std::vector<uint8_t> relevant_;
+};
+
+}  // namespace
+
+double ConjunctionProbability(const PDocument& pd,
+                              const std::vector<Goal>& goals) {
+  PXV_CHECK(!pd.empty());
+  if (goals.empty()) return 1.0;
+  Engine engine(pd, goals);
+  return engine.Probability();
+}
+
+}  // namespace pxv

@@ -1,0 +1,49 @@
+// Exact probabilistic evaluation of conjunctions of tree patterns over
+// p-documents — the substrate the paper takes from Kimelfeld–Kosharovsky–
+// Sagiv [22]: PTime in the size of the p-document (data complexity),
+// worst-case exponential in query size.
+//
+// The engine computes Pr over random worlds P ~ ⟦P̂⟧ that *every* goal
+// pattern embeds into P with root ↦ root and, when a goal carries an anchor
+// set, with its output node mapped into the anchor set. Anchoring expresses
+// node-selection semantics: Pr(n ∈ q(P)) is the anchored match probability
+// with anchor {n} — the paper's own Id(n) device, applied internally.
+// Conjunctions cover TP∩ evaluation and the joint events e_i ∩ e_j of §4.4.
+//
+// Algorithm: one bottom-up pass over the p-document. The state contributed
+// by a region to its parent is the pair of query-node sets
+//   A = { s : the goal subtree rooted at s embeds with s ↦ this node },
+//   D = { s : it embeds at-or-below this node },
+// and the DP carries a sparse distribution over (A, D) pairs. Sibling
+// regions of a local PrXML model are probabilistically independent given the
+// parent appears, so children distributions combine by union-convolution;
+// mux/ind/det/exp nodes mix or convolve their children's distributions with
+// the edge probabilities. Sparsity keeps the state count small: fully
+// deterministic regions collapse to a single state.
+
+#ifndef PXV_PROB_ENGINE_H_
+#define PXV_PROB_ENGINE_H_
+
+#include <vector>
+
+#include "pxml/pdocument.h"
+#include "tp/pattern.h"
+
+namespace pxv {
+
+/// One conjunct: a pattern, optionally with its output anchored to a set of
+/// p-document nodes (ordinary nodes of `pd`).
+struct Goal {
+  const Pattern* pattern = nullptr;
+  /// When non-null, embeddings must map out(pattern) into this set.
+  const std::vector<NodeId>* anchor = nullptr;
+};
+
+/// Pr(every goal embeds into a random world of pd, respecting anchors).
+/// Total query size (sum of pattern sizes) is limited to 64 nodes.
+double ConjunctionProbability(const PDocument& pd,
+                              const std::vector<Goal>& goals);
+
+}  // namespace pxv
+
+#endif  // PXV_PROB_ENGINE_H_

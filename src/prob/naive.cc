@@ -1,0 +1,68 @@
+#include "prob/naive.h"
+
+#include "pxml/worlds.h"
+#include "tp/eval.h"
+#include "tpi/eval.h"
+#include "util/check.h"
+
+namespace pxv {
+namespace {
+
+std::vector<World> Worlds(const PDocument& pd) {
+  StatusOr<std::vector<World>> worlds = EnumerateWorlds(pd);
+  PXV_CHECK(worlds.ok()) << worlds.status().message();
+  return *std::move(worlds);
+}
+
+// Inverts pdoc_to_doc: document node → p-document node.
+std::vector<NodeId> DocToPdoc(const World& w, int doc_size) {
+  std::vector<NodeId> inverse(doc_size, kNullNode);
+  for (NodeId pn = 0; pn < static_cast<NodeId>(w.pdoc_to_doc.size()); ++pn) {
+    if (w.pdoc_to_doc[pn] != kNullNode) inverse[w.pdoc_to_doc[pn]] = pn;
+  }
+  return inverse;
+}
+
+}  // namespace
+
+std::map<NodeId, double> NaiveEvaluateTP(const PDocument& pd,
+                                         const Pattern& q) {
+  std::map<NodeId, double> result;
+  for (const World& w : Worlds(pd)) {
+    const auto inverse = DocToPdoc(w, w.doc.size());
+    for (NodeId dn : Evaluate(q, w.doc)) {
+      result[inverse[dn]] += w.prob;
+    }
+  }
+  return result;
+}
+
+std::map<NodeId, double> NaiveEvaluateTPI(const PDocument& pd,
+                                          const TpIntersection& q) {
+  std::map<NodeId, double> result;
+  for (const World& w : Worlds(pd)) {
+    const auto inverse = DocToPdoc(w, w.doc.size());
+    for (NodeId dn : EvaluateIntersectionNodes(q, w.doc)) {
+      result[inverse[dn]] += w.prob;
+    }
+  }
+  return result;
+}
+
+double NaiveBooleanProbability(const PDocument& pd, const Pattern& q) {
+  double p = 0;
+  for (const World& w : Worlds(pd)) {
+    if (Matches(q, w.doc)) p += w.prob;
+  }
+  return p;
+}
+
+double NaiveAppearanceProbability(const PDocument& pd, NodeId n) {
+  double p = 0;
+  for (const World& w : Worlds(pd)) {
+    if (w.pdoc_to_doc[n] != kNullNode) p += w.prob;
+  }
+  return p;
+}
+
+}  // namespace pxv

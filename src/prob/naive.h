@@ -1,0 +1,34 @@
+// Ground-truth oracle: probabilistic query evaluation by exhaustive
+// possible-world enumeration. Exponential — test and validation use only.
+
+#ifndef PXV_PROB_NAIVE_H_
+#define PXV_PROB_NAIVE_H_
+
+#include <map>
+#include <vector>
+
+#include "pxml/pdocument.h"
+#include "tp/pattern.h"
+#include "tpi/intersection.h"
+
+namespace pxv {
+
+/// Pr(n ∈ q(P)) for every ordinary node n with positive probability,
+/// keyed by p-document node id.
+std::map<NodeId, double> NaiveEvaluateTP(const PDocument& pd,
+                                         const Pattern& q);
+
+/// Same for an intersection (members evaluated over the same document; a
+/// node is selected iff every member selects it).
+std::map<NodeId, double> NaiveEvaluateTPI(const PDocument& pd,
+                                          const TpIntersection& q);
+
+/// Pr(q matches P) — Boolean semantics.
+double NaiveBooleanProbability(const PDocument& pd, const Pattern& q);
+
+/// Pr(n ∈ P): appearance probability by enumeration.
+double NaiveAppearanceProbability(const PDocument& pd, NodeId n);
+
+}  // namespace pxv
+
+#endif  // PXV_PROB_NAIVE_H_

@@ -1,0 +1,63 @@
+#include "prob/query_eval.h"
+
+#include "util/check.h"
+
+namespace pxv {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+std::vector<NodeId> CandidateNodes(const PDocument& pd, Label out_label) {
+  std::vector<NodeId> candidates;
+  for (NodeId n = 0; n < pd.size(); ++n) {
+    if (pd.ordinary(n) && pd.label(n) == out_label) candidates.push_back(n);
+  }
+  return candidates;
+}
+
+}  // namespace
+
+std::vector<NodeProb> EvaluateTP(const PDocument& pd, const Pattern& q) {
+  std::vector<NodeProb> result;
+  for (NodeId n : CandidateNodes(pd, q.OutLabel())) {
+    const double p = SelectionProbability(pd, q, n);
+    if (p > kEps) result.push_back({n, p});
+  }
+  return result;
+}
+
+std::vector<NodeProb> EvaluateTPI(const PDocument& pd,
+                                  const TpIntersection& q) {
+  PXV_CHECK(!q.empty());
+  std::vector<NodeProb> result;
+  for (NodeId n : CandidateNodes(pd, q.members()[0].OutLabel())) {
+    std::vector<NodeId> anchor{n};
+    std::vector<Goal> goals;
+    goals.reserve(q.size());
+    for (const Pattern& m : q.members()) goals.push_back({&m, &anchor});
+    const double p = ConjunctionProbability(pd, goals);
+    if (p > kEps) result.push_back({n, p});
+  }
+  return result;
+}
+
+double SelectionProbability(const PDocument& pd, const Pattern& q, NodeId n) {
+  std::vector<NodeId> anchor{n};
+  return ConjunctionProbability(pd, {{&q, &anchor}});
+}
+
+double SelectionProbabilityAnyOf(const PDocument& pd, const Pattern& q,
+                                 const std::vector<NodeId>& anchor) {
+  if (anchor.empty()) return 0;
+  return ConjunctionProbability(pd, {{&q, &anchor}});
+}
+
+double JointProbability(const PDocument& pd, const std::vector<Goal>& goals) {
+  return ConjunctionProbability(pd, goals);
+}
+
+double BooleanProbability(const PDocument& pd, const Pattern& q) {
+  return ConjunctionProbability(pd, {{&q, nullptr}});
+}
+
+}  // namespace pxv

@@ -1,0 +1,48 @@
+// Façade for probabilistic query evaluation over p-documents: the q(P̂)
+// semantics of §2 (sets of node–probability pairs) plus the anchored and
+// conditional probabilities the rewriting algorithms need.
+
+#ifndef PXV_PROB_QUERY_EVAL_H_
+#define PXV_PROB_QUERY_EVAL_H_
+
+#include <vector>
+
+#include "prob/engine.h"
+#include "pxml/pdocument.h"
+#include "tp/pattern.h"
+#include "tpi/intersection.h"
+
+namespace pxv {
+
+/// One entry of q(P̂).
+struct NodeProb {
+  NodeId node = kNullNode;
+  double prob = 0;
+};
+
+/// q(P̂) = { (n, p) : p = Pr(n ∈ q(P)) > 0 }, ascending node id. PTime in
+/// |P̂| for fixed q.
+std::vector<NodeProb> EvaluateTP(const PDocument& pd, const Pattern& q);
+
+/// (q1 ∩ … ∩ qk)(P̂) over a single p-document: Pr(n selected by every
+/// member).
+std::vector<NodeProb> EvaluateTPI(const PDocument& pd,
+                                  const TpIntersection& q);
+
+/// Pr(n ∈ q(P)) for one node.
+double SelectionProbability(const PDocument& pd, const Pattern& q, NodeId n);
+
+/// Pr(out(q) selected at *some* node of `anchor`) — used over view
+/// extensions where a persistent id occurs several times (§3.1).
+double SelectionProbabilityAnyOf(const PDocument& pd, const Pattern& q,
+                                 const std::vector<NodeId>& anchor);
+
+/// Pr(all goals hold simultaneously); see prob/engine.h.
+double JointProbability(const PDocument& pd, const std::vector<Goal>& goals);
+
+/// Pr(q matches P) — Boolean (out unanchored).
+double BooleanProbability(const PDocument& pd, const Pattern& q);
+
+}  // namespace pxv
+
+#endif  // PXV_PROB_QUERY_EVAL_H_

@@ -1,0 +1,206 @@
+#include "pxml/parser.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace pxv {
+namespace {
+
+class PParser {
+ public:
+  explicit PParser(std::string_view text) : text_(text) {}
+
+  StatusOr<PDocument> Parse() {
+    SkipSpace();
+    PDocument pd;
+    Status s = ParseNode(&pd, kNullNode, /*prob_allowed=*/false);
+    if (!s.ok()) return s;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::Error("trailing characters at offset " +
+                           std::to_string(pos_));
+    }
+    Status v = pd.Validate();
+    if (!v.ok()) return v;
+    return pd;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool IsLabelChar(char c) const {
+    return !std::isspace(static_cast<unsigned char>(c)) && c != '(' &&
+           c != ')' && c != ',' && c != '#' && c != '@' && c != '"';
+  }
+
+  Status ParseToken(std::string* out, bool* quoted) {
+    SkipSpace();
+    *quoted = false;
+    out->clear();
+    if (pos_ >= text_.size()) return Status::Error("expected label, got EOF");
+    if (text_[pos_] == '"') {
+      *quoted = true;
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+        out->push_back(text_[pos_++]);
+      }
+      if (pos_ >= text_.size()) return Status::Error("unterminated quote");
+      ++pos_;
+      return Status::Ok();
+    }
+    while (pos_ < text_.size() && IsLabelChar(text_[pos_])) {
+      out->push_back(text_[pos_++]);
+    }
+    if (out->empty()) {
+      return Status::Error("expected label at offset " + std::to_string(pos_));
+    }
+    return Status::Ok();
+  }
+
+  Status ParseNumber(double* out) {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Status::Error("expected number");
+    *out = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return Status::Ok();
+  }
+
+  // Parses one node (and its subtree). The node's @prob annotation, if any,
+  // is applied afterwards by the caller via last_prob_.
+  Status ParseNode(PDocument* pd, NodeId parent, bool prob_allowed) {
+    std::string token;
+    bool quoted = false;
+    Status s = ParseToken(&token, &quoted);
+    if (!s.ok()) return s;
+
+    NodeId node;
+    const bool distributional =
+        !quoted && (token == "mux" || token == "ind" || token == "det");
+    if (distributional) {
+      if (parent == kNullNode) {
+        return Status::Error("root must be ordinary");
+      }
+      PKind kind = token == "mux" ? PKind::kMux
+                   : token == "ind" ? PKind::kInd
+                                    : PKind::kDet;
+      node = pd->AddDistributional(parent, kind);
+    } else {
+      PersistentId pid = kNullPid;
+      if (pos_ < text_.size() && text_[pos_] == '#') {
+        ++pos_;
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-')) {
+          ++pos_;
+        }
+        if (pos_ == start) return Status::Error("expected pid after '#'");
+        pid = std::stoll(std::string(text_.substr(start, pos_ - start)));
+      }
+      node = (parent == kNullNode) ? pd->AddRoot(Intern(token), pid)
+                                   : pd->AddOrdinary(parent, Intern(token),
+                                                     /*edge_prob=*/1.0, pid);
+    }
+
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '(') {
+      ++pos_;
+      const bool child_probs = distributional && node != kNullNode &&
+                               (pd->kind(node) == PKind::kMux ||
+                                pd->kind(node) == PKind::kInd);
+      for (;;) {
+        Status cs = ParseNode(pd, node, child_probs);
+        if (!cs.ok()) return cs;
+        SkipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        return Status::Error("expected ')' at offset " + std::to_string(pos_));
+      }
+      ++pos_;
+    }
+
+    // Optional @prob annotation, only under mux/ind parents.
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '@') {
+      if (!prob_allowed) {
+        return Status::Error("'@' probability only allowed under mux/ind");
+      }
+      ++pos_;
+      double p = 0;
+      Status ps = ParseNumber(&p);
+      if (!ps.ok()) return ps;
+      pd->SetEdgeProb(node, p);
+    }
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void Emit(const PDocument& pd, NodeId n, bool with_pids,
+          std::ostringstream* out) {
+  if (pd.ordinary(n)) {
+    const std::string& name = LabelName(pd.label(n));
+    const bool reserved =
+        name == "mux" || name == "ind" || name == "det" || name == "exp";
+    if (reserved) {
+      *out << '"' << name << '"';
+    } else {
+      *out << name;
+    }
+    if (with_pids) *out << '#' << pd.pid(n);
+  } else {
+    PXV_CHECK(pd.kind(n) != PKind::kExp) << "exp has no text syntax";
+    *out << PKindName(pd.kind(n));
+  }
+  const auto& kids = pd.children(n);
+  if (!kids.empty()) {
+    *out << '(';
+    for (size_t i = 0; i < kids.size(); ++i) {
+      if (i) *out << ", ";
+      Emit(pd, kids[i], with_pids, out);
+      const PKind pk = pd.kind(n);
+      if (pk == PKind::kMux || pk == PKind::kInd) {
+        *out << '@' << FormatProbability(pd.edge_prob(kids[i]));
+      }
+    }
+    *out << ')';
+  }
+}
+
+}  // namespace
+
+StatusOr<PDocument> ParsePDocument(std::string_view text) {
+  return PParser(text).Parse();
+}
+
+std::string ToPText(const PDocument& pd, bool with_pids) {
+  if (pd.empty()) return "";
+  std::ostringstream out;
+  Emit(pd, pd.root(), with_pids, &out);
+  return out.str();
+}
+
+}  // namespace pxv

@@ -1,0 +1,32 @@
+// Text notation for p-documents, extending the tree-term document format:
+//
+//   IT-personnel(
+//     person(name(mux(Rick@0.75, John@0.25)),
+//            bonus(mux(pda(25)@0.1, laptop(44, 50)@0.9), pda(50))))
+//
+// `mux`, `ind` and `det` are reserved words introducing distributional
+// nodes; `@p` after a child subtree gives the probability its (mux/ind)
+// parent assigns to it. `#pid` after a label sets the persistent id, as for
+// documents. `exp` nodes have no text syntax (construct programmatically).
+// A real label spelled like a reserved word can be written quoted: "mux".
+
+#ifndef PXV_PXML_PARSER_H_
+#define PXV_PXML_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "pxml/pdocument.h"
+#include "util/status.h"
+
+namespace pxv {
+
+/// Parses the p-document text notation. Validates the result.
+StatusOr<PDocument> ParsePDocument(std::string_view text);
+
+/// Serializes to the text notation (exp nodes are not supported).
+std::string ToPText(const PDocument& pd, bool with_pids = false);
+
+}  // namespace pxv
+
+#endif  // PXV_PXML_PARSER_H_

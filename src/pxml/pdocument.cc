@@ -1,0 +1,206 @@
+#include "pxml/pdocument.h"
+
+#include <sstream>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace pxv {
+
+const char* PKindName(PKind kind) {
+  switch (kind) {
+    case PKind::kOrdinary: return "ordinary";
+    case PKind::kMux: return "mux";
+    case PKind::kInd: return "ind";
+    case PKind::kDet: return "det";
+    case PKind::kExp: return "exp";
+  }
+  return "?";
+}
+
+NodeId PDocument::Check(NodeId n) const {
+  PXV_CHECK(n >= 0 && n < size()) << "bad NodeId " << n;
+  return n;
+}
+
+NodeId PDocument::Add(NodeId parent, PNode node) {
+  node.parent = parent;
+  nodes_.push_back(std::move(node));
+  const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
+  if (parent != kNullNode) nodes_[parent].children.push_back(id);
+  return id;
+}
+
+NodeId PDocument::AddRoot(Label label, PersistentId pid) {
+  PXV_CHECK(nodes_.empty()) << "root already exists";
+  PNode node;
+  node.kind = PKind::kOrdinary;
+  node.label = label;
+  node.pid = (pid == kNullPid) ? 0 : pid;
+  return Add(kNullNode, std::move(node));
+}
+
+NodeId PDocument::AddOrdinary(NodeId parent, Label label, double edge_prob,
+                              PersistentId pid) {
+  Check(parent);
+  PNode node;
+  node.kind = PKind::kOrdinary;
+  node.label = label;
+  node.edge_prob = edge_prob;
+  node.pid = (pid == kNullPid) ? static_cast<PersistentId>(nodes_.size()) : pid;
+  return Add(parent, std::move(node));
+}
+
+NodeId PDocument::AddDistributional(NodeId parent, PKind kind,
+                                    double edge_prob) {
+  Check(parent);
+  PXV_CHECK(kind == PKind::kMux || kind == PKind::kInd || kind == PKind::kDet)
+      << "use AddExp for exp nodes";
+  PNode node;
+  node.kind = kind;
+  node.edge_prob = edge_prob;
+  return Add(parent, std::move(node));
+}
+
+NodeId PDocument::AddExp(NodeId parent, double edge_prob) {
+  Check(parent);
+  PNode node;
+  node.kind = PKind::kExp;
+  node.edge_prob = edge_prob;
+  return Add(parent, std::move(node));
+}
+
+void PDocument::SetExpDistribution(
+    NodeId n, std::vector<std::pair<std::vector<int>, double>> dist) {
+  PXV_CHECK(kind(n) == PKind::kExp);
+  nodes_[n].exp_dist = std::move(dist);
+}
+
+Label PDocument::label(NodeId n) const {
+  PXV_CHECK(ordinary(n)) << "label of distributional node";
+  return nodes_[n].label;
+}
+
+const std::vector<std::pair<std::vector<int>, double>>&
+PDocument::exp_distribution(NodeId n) const {
+  PXV_CHECK(kind(n) == PKind::kExp);
+  return nodes_[n].exp_dist;
+}
+
+int PDocument::OrdinaryCount() const {
+  int count = 0;
+  for (NodeId n = 0; n < size(); ++n) {
+    if (ordinary(n)) ++count;
+  }
+  return count;
+}
+
+NodeId PDocument::OrdinaryAncestor(NodeId n) const {
+  for (NodeId cur = parent(Check(n)); cur != kNullNode; cur = parent(cur)) {
+    if (ordinary(cur)) return cur;
+  }
+  return kNullNode;
+}
+
+PDocument PDocument::Subtree(NodeId n) const {
+  PXV_CHECK(ordinary(n)) << "p-subdocument roots must be ordinary";
+  PDocument out;
+  out.AddRoot(label(n), pid(n));
+  std::vector<std::pair<NodeId, NodeId>> stack{{n, 0}};
+  while (!stack.empty()) {
+    const auto [src, dst] = stack.back();
+    stack.pop_back();
+    for (NodeId child : children(src)) {
+      PNode copy = nodes_[child];
+      copy.children.clear();
+      copy.parent = kNullNode;
+      NodeId nid = out.Add(dst, std::move(copy));
+      stack.emplace_back(child, nid);
+    }
+  }
+  return out;
+}
+
+NodeId PDocument::FindByPid(PersistentId pid) const {
+  for (NodeId n = 0; n < size(); ++n) {
+    if (ordinary(n) && nodes_[n].pid == pid) return n;
+  }
+  return kNullNode;
+}
+
+Status PDocument::Validate() const {
+  if (empty()) return Status::Error("empty p-document");
+  if (!ordinary(root())) return Status::Error("root must be ordinary");
+  for (NodeId n = 0; n < size(); ++n) {
+    const PNode& node = nodes_[n];
+    if (node.edge_prob < 0.0 || node.edge_prob > 1.0) {
+      return Status::Error("edge probability out of [0,1] at node " +
+                           std::to_string(n));
+    }
+    if (!ordinary(n) && node.children.empty()) {
+      return Status::Error("distributional leaf at node " + std::to_string(n));
+    }
+    if (node.kind == PKind::kMux) {
+      double sum = 0;
+      for (NodeId c : node.children) sum += edge_prob(c);
+      if (sum > 1.0 + 1e-9) {
+        return Status::Error("mux children probabilities sum to " +
+                             FormatProbability(sum) + " > 1 at node " +
+                             std::to_string(n));
+      }
+    }
+    if (node.kind == PKind::kExp) {
+      double sum = 0;
+      for (const auto& [subset, p] : node.exp_dist) {
+        if (p < 0 || p > 1) return Status::Error("exp probability out of range");
+        for (int idx : subset) {
+          if (idx < 0 || idx >= static_cast<int>(node.children.size())) {
+            return Status::Error("exp subset index out of range");
+          }
+        }
+        sum += p;
+      }
+      if (sum > 1.0 + 1e-9) {
+        return Status::Error("exp distribution sums to > 1");
+      }
+    }
+    // Children of ordinary/det parents must have edge probability 1.
+    if (node.kind == PKind::kOrdinary || node.kind == PKind::kDet) {
+      for (NodeId c : node.children) {
+        if (edge_prob(c) != 1.0) {
+          return Status::Error(
+              "child of ordinary/det node must have edge probability 1");
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::string PDocument::DebugString() const {
+  std::ostringstream out;
+  // Preorder with indentation.
+  std::vector<std::pair<NodeId, int>> stack{{root(), 0}};
+  while (!stack.empty()) {
+    const auto [n, depth] = stack.back();
+    stack.pop_back();
+    for (int i = 0; i < depth; ++i) out << "  ";
+    if (ordinary(n)) {
+      out << '[' << pid(n) << "] " << LabelName(label(n));
+    } else {
+      out << PKindName(kind(n));
+    }
+    if (parent(n) != kNullNode && !ordinary(parent(n)) &&
+        kind(parent(n)) != PKind::kDet && kind(parent(n)) != PKind::kExp) {
+      out << "  p=" << FormatProbability(edge_prob(n));
+    }
+    out << '\n';
+    const auto& kids = children(n);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.emplace_back(*it, depth + 1);
+    }
+  }
+  return out.str();
+}
+
+}  // namespace pxv

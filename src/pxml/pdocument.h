@@ -1,0 +1,121 @@
+// p-Documents (paper §2, Definition 1; model PrXML{mux,ind,det,exp} of
+// Abiteboul–Kimelfeld–Sagiv–Senellart). A p-document is an unranked,
+// unordered tree whose nodes are either ordinary (labeled) or distributional:
+//
+//   mux  — at most one child is kept, child c with probability Pr(c),
+//          no child with probability 1 − Σ Pr(c)          (Σ Pr(c) ≤ 1)
+//   ind  — each child kept independently with probability Pr(c)
+//   det  — all children kept (deterministic grouping)
+//   exp  — an explicit distribution over subsets of children
+//
+// Leaves and the root must be ordinary. The semantics ⟦P̂⟧ is the px-space
+// produced by the random deletion process of §2; see worlds.h / sampler.h.
+
+#ifndef PXV_PXML_PDOCUMENT_H_
+#define PXV_PXML_PDOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/document.h"
+#include "xml/label.h"
+
+namespace pxv {
+
+/// Node kinds of a p-document.
+enum class PKind : uint8_t { kOrdinary, kMux, kInd, kDet, kExp };
+
+/// Returns "ordinary", "mux", "ind", "det" or "exp".
+const char* PKindName(PKind kind);
+
+/// A p-document. Node ids index a contiguous arena, root is node 0.
+class PDocument {
+ public:
+  PDocument() = default;
+
+  /// Creates the (ordinary) root. Must be called exactly once, first.
+  NodeId AddRoot(Label label, PersistentId pid = kNullPid);
+
+  /// Adds an ordinary child. `edge_prob` is the probability assigned by the
+  /// parent if the parent is mux/ind; it must be 1 under ordinary/det parents
+  /// (exp parents ignore it — subset probabilities rule).
+  NodeId AddOrdinary(NodeId parent, Label label, double edge_prob = 1.0,
+                     PersistentId pid = kNullPid);
+
+  /// Adds a distributional child (mux/ind/det). Distributional nodes can nest.
+  NodeId AddDistributional(NodeId parent, PKind kind, double edge_prob = 1.0);
+
+  /// Adds an exp node. Subsets are set afterwards with SetExpDistribution.
+  NodeId AddExp(NodeId parent, double edge_prob = 1.0);
+
+  /// Defines the explicit distribution of an exp node: each entry is a set of
+  /// child indices (positions in children(n)) with its probability.
+  /// Probabilities must sum to ≤ 1 (the rest = "keep nothing").
+  void SetExpDistribution(
+      NodeId n, std::vector<std::pair<std::vector<int>, double>> dist);
+
+  NodeId root() const { return nodes_.empty() ? kNullNode : 0; }
+  bool empty() const { return nodes_.empty(); }
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  PKind kind(NodeId n) const { return nodes_[Check(n)].kind; }
+  bool ordinary(NodeId n) const { return kind(n) == PKind::kOrdinary; }
+  Label label(NodeId n) const;
+  NodeId parent(NodeId n) const { return nodes_[Check(n)].parent; }
+  const std::vector<NodeId>& children(NodeId n) const {
+    return nodes_[Check(n)].children;
+  }
+  /// Probability of the edge from `n`'s parent to `n` (meaningful when the
+  /// parent is mux or ind; 1.0 otherwise).
+  double edge_prob(NodeId n) const { return nodes_[Check(n)].edge_prob; }
+  /// Overrides the edge probability of `n` (parser / generator use).
+  void SetEdgeProb(NodeId n, double p) { nodes_[Check(n)].edge_prob = p; }
+  PersistentId pid(NodeId n) const { return nodes_[Check(n)].pid; }
+  const std::vector<std::pair<std::vector<int>, double>>& exp_distribution(
+      NodeId n) const;
+
+  /// Root label (document name); root is ordinary by construction.
+  Label name() const { return label(root()); }
+
+  /// Number of ordinary nodes.
+  int OrdinaryCount() const;
+
+  /// Nearest ordinary proper ancestor, or kNullNode for the root.
+  NodeId OrdinaryAncestor(NodeId n) const;
+
+  /// The p-subdocument P̂_n rooted at ordinary node `n` (paper §2),
+  /// preserving pids; the new root appears with probability 1.
+  PDocument Subtree(NodeId n) const;
+
+  /// First ordinary node with the given persistent id, or kNullNode.
+  NodeId FindByPid(PersistentId pid) const;
+
+  /// Validates Definition 1: root/leaves ordinary, mux sums ≤ 1, edge
+  /// probabilities in [0,1], exp distributions well-formed.
+  Status Validate() const;
+
+  /// Human-readable multi-line dump (for debugging and examples).
+  std::string DebugString() const;
+
+ private:
+  struct PNode {
+    PKind kind = PKind::kOrdinary;
+    Label label = 0;  // Ordinary nodes only.
+    NodeId parent = kNullNode;
+    double edge_prob = 1.0;
+    PersistentId pid = kNullPid;
+    std::vector<NodeId> children;
+    std::vector<std::pair<std::vector<int>, double>> exp_dist;
+  };
+
+  NodeId Check(NodeId n) const;
+  NodeId Add(NodeId parent, PNode node);
+
+  std::vector<PNode> nodes_;
+};
+
+}  // namespace pxv
+
+#endif  // PXV_PXML_PDOCUMENT_H_

@@ -1,0 +1,65 @@
+#include "pxml/sampler.h"
+
+#include "util/check.h"
+
+namespace pxv {
+namespace {
+
+// Recursively materializes the region rooted at p-doc node `n` (whose
+// incoming edge was taken) under document node `doc_parent`.
+void Materialize(const PDocument& pd, NodeId n, NodeId doc_parent,
+                 SampledWorld* out, Rng& rng) {
+  NodeId attach = doc_parent;
+  if (pd.ordinary(n)) {
+    attach = (doc_parent == kNullNode)
+                 ? out->doc.AddRoot(pd.label(n), pd.pid(n))
+                 : out->doc.AddChild(doc_parent, pd.label(n), pd.pid(n));
+    out->pdoc_to_doc[n] = attach;
+  }
+  const auto& kids = pd.children(n);
+  switch (pd.kind(n)) {
+    case PKind::kOrdinary:
+    case PKind::kDet:
+      for (NodeId c : kids) Materialize(pd, c, attach, out, rng);
+      break;
+    case PKind::kMux: {
+      double r = rng.NextDouble();
+      for (NodeId c : kids) {
+        r -= pd.edge_prob(c);
+        if (r < 0) {
+          Materialize(pd, c, attach, out, rng);
+          break;
+        }
+      }
+      break;  // Falling through all children = "keep none".
+    }
+    case PKind::kInd:
+      for (NodeId c : kids) {
+        if (rng.NextBool(pd.edge_prob(c))) Materialize(pd, c, attach, out, rng);
+      }
+      break;
+    case PKind::kExp: {
+      double r = rng.NextDouble();
+      for (const auto& [subset, p] : pd.exp_distribution(n)) {
+        r -= p;
+        if (r < 0) {
+          for (int idx : subset) Materialize(pd, kids[idx], attach, out, rng);
+          break;
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+SampledWorld SampleWorld(const PDocument& pd, Rng& rng) {
+  PXV_CHECK(!pd.empty());
+  SampledWorld out;
+  out.pdoc_to_doc.assign(pd.size(), kNullNode);
+  Materialize(pd, pd.root(), kNullNode, &out, rng);
+  return out;
+}
+
+}  // namespace pxv

@@ -1,0 +1,28 @@
+// Monte-Carlo sampling of random documents from a p-document — one run of
+// the §2 random process. Used for statistical cross-checks of the exact
+// engines and for workload generation at scales where enumeration blows up.
+
+#ifndef PXV_PXML_SAMPLER_H_
+#define PXV_PXML_SAMPLER_H_
+
+#include <vector>
+
+#include "pxml/pdocument.h"
+#include "util/random.h"
+#include "xml/document.h"
+
+namespace pxv {
+
+/// A sampled world with the node correspondence.
+struct SampledWorld {
+  Document doc;
+  /// p-document node → document node (kNullNode if deleted/distributional).
+  std::vector<NodeId> pdoc_to_doc;
+};
+
+/// Draws one random document P ~ ⟦P̂⟧.
+SampledWorld SampleWorld(const PDocument& pd, Rng& rng);
+
+}  // namespace pxv
+
+#endif  // PXV_PXML_SAMPLER_H_

@@ -1,0 +1,83 @@
+#include "pxml/view_extension.h"
+
+#include <atomic>
+
+#include "util/check.h"
+#include "xml/label.h"
+
+namespace pxv {
+namespace {
+
+// Fresh persistent ids for extension-local nodes (markers, copies). A
+// process-wide counter keeps fresh ids unique *across* extensions — under
+// copy semantics two different views' copies of the same node must not
+// accidentally share an id (that would reintroduce identity).
+PersistentId NextFreshPid() {
+  static std::atomic<PersistentId> counter{-2};
+  return counter.fetch_sub(1, std::memory_order_relaxed);
+}
+
+// Copies the p-subdocument rooted at `src` under `dst_parent` of `out`.
+// Ordinary nodes keep their pid (or get fresh negative ids under copy
+// semantics) and receive Id(original pid) marker children when requested.
+void CopySubtree(const PDocument& pd, NodeId src, PDocument* out,
+                 NodeId dst_parent, double edge_prob,
+                 const ViewExtensionOptions& options,
+                 PersistentId* marker_pid) {
+  NodeId dst;
+  if (pd.ordinary(src)) {
+    const PersistentId original = pd.pid(src);
+    // Copy semantics draws from the global counter (copies of the same node
+    // in different extensions must not share an id); markers are extension-
+    // local bookkeeping and use a deterministic local counter, keeping
+    // extension equality well-defined (Examples 11/12).
+    const PersistentId pid =
+        options.copy_semantics ? NextFreshPid() : original;
+    dst = out->AddOrdinary(dst_parent, pd.label(src), edge_prob, pid);
+    if (options.add_id_markers) {
+      out->AddOrdinary(dst, IdMarkerLabel(original), 1.0, (*marker_pid)--);
+    }
+  } else if (pd.kind(src) == PKind::kExp) {
+    dst = out->AddExp(dst_parent, edge_prob);
+    // Markers attach to ordinary nodes only, so the exp node's child
+    // positions are preserved and the distribution copies verbatim.
+    out->SetExpDistribution(dst, pd.exp_distribution(src));
+  } else {
+    dst = out->AddDistributional(dst_parent, pd.kind(src), edge_prob);
+  }
+  for (NodeId child : pd.children(src)) {
+    CopySubtree(pd, child, out, dst, pd.edge_prob(child), options,
+                marker_pid);
+  }
+}
+
+}  // namespace
+
+PDocument BuildViewExtension(const PDocument& pd, std::string_view view_name,
+                             const std::vector<ViewResultEntry>& results,
+                             const ViewExtensionOptions& options) {
+  PDocument ext;
+  // Extension-local nodes (root, ind, markers, copies) get fresh negative
+  // pids so they can never collide with original persistent ids.
+  const NodeId root = ext.AddRoot(DocLabel(view_name), /*pid=*/-1);
+  const NodeId ind = ext.AddDistributional(root, PKind::kInd);
+  PersistentId marker_pid = -1000;
+  for (const auto& entry : results) {
+    PXV_CHECK(pd.ordinary(entry.node))
+        << "view results must be ordinary nodes";
+    CopySubtree(pd, entry.node, &ext, ind, entry.prob, options, &marker_pid);
+  }
+  return ext;
+}
+
+std::vector<NodeId> ExtensionResultRoots(const PDocument& ext) {
+  std::vector<NodeId> roots;
+  if (ext.empty()) return roots;
+  const auto& root_kids = ext.children(ext.root());
+  PXV_CHECK_EQ(root_kids.size(), 1u);
+  PXV_CHECK(ext.kind(root_kids[0]) == PKind::kInd);
+  for (NodeId c : ext.children(root_kids[0])) roots.push_back(c);
+  return roots;
+}
+
+}  // namespace pxv

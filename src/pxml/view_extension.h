@@ -1,0 +1,56 @@
+// Probabilistic view extensions P̂_v (paper §3.1).
+//
+// Given view results v(P̂) = {(n, β)}, the extension is a p-document rooted
+// at a doc(v)-labeled node with a single ind child; for each result (n, β)
+// the p-subdocument P̂_n hangs under the ind node with edge probability β.
+// The ind node only *bundles* the results — no independence between view
+// outputs is assumed or exploited (the paper is explicit about this).
+//
+// Per the paper's w.l.o.g. post-processing, every copied node receives a
+// fresh child labeled Id(pid) so that all occurrences of a node are
+// addressable by queries, and extensions consist of subtrees of the original
+// document even under copy semantics. The probability functions f_r of the
+// rewriting modules receive only ViewExtensions objects — by construction
+// they can never touch the original p-document.
+
+#ifndef PXV_PXML_VIEW_EXTENSION_H_
+#define PXV_PXML_VIEW_EXTENSION_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pxml/pdocument.h"
+
+namespace pxv {
+
+/// One node selected by a view, with its probability Pr(n ∈ v(P)).
+struct ViewResultEntry {
+  NodeId node = kNullNode;  // Node of the original p-document.
+  double prob = 0;
+};
+
+struct ViewExtensionOptions {
+  /// Plug an Id(pid) marker child below every copied node (§3.1 w.l.o.g.).
+  bool add_id_markers = true;
+  /// Copy semantics: nodes of the extension receive fresh pids (original
+  /// identities are still recorded by the Id(...) markers).
+  bool copy_semantics = false;
+};
+
+/// Builds P̂_v. `results` come from evaluating the view (see prob/query_eval).
+PDocument BuildViewExtension(const PDocument& pd, std::string_view view_name,
+                             const std::vector<ViewResultEntry>& results,
+                             const ViewExtensionOptions& options = {});
+
+/// The set D^P̂_V: one extension per view name.
+using ViewExtensions = std::map<std::string, PDocument, std::less<>>;
+
+/// Top-level result subtree roots of an extension (the children of the ind
+/// node), in construction order — one per ViewResultEntry.
+std::vector<NodeId> ExtensionResultRoots(const PDocument& ext);
+
+}  // namespace pxv
+
+#endif  // PXV_PXML_VIEW_EXTENSION_H_

@@ -1,0 +1,245 @@
+#include "pxml/worlds.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace pxv {
+namespace {
+
+// A partial outcome: set of surviving ordinary nodes (sorted) + probability.
+struct Outcome {
+  std::vector<NodeId> kept;
+  double prob = 0;
+};
+
+std::string KeyOf(const std::vector<NodeId>& kept) {
+  return std::string(reinterpret_cast<const char*>(kept.data()),
+                     kept.size() * sizeof(NodeId));
+}
+
+// Deduplicates outcomes by kept-set, summing probabilities.
+std::vector<Outcome> Dedup(std::vector<Outcome> outs) {
+  std::unordered_map<std::string, size_t> index;
+  std::vector<Outcome> result;
+  for (auto& o : outs) {
+    std::string key = KeyOf(o.kept);
+    auto it = index.find(key);
+    if (it == index.end()) {
+      index.emplace(std::move(key), result.size());
+      result.push_back(std::move(o));
+    } else {
+      result[it->second].prob += o.prob;
+    }
+  }
+  return result;
+}
+
+// Cross product: for independent regions, kept sets merge by sorted union
+// (they are disjoint by construction).
+std::vector<Outcome> Combine(const std::vector<Outcome>& a,
+                             const std::vector<Outcome>& b) {
+  std::vector<Outcome> out;
+  out.reserve(a.size() * b.size());
+  for (const auto& x : a) {
+    for (const auto& y : b) {
+      Outcome o;
+      o.kept.resize(x.kept.size() + y.kept.size());
+      std::merge(x.kept.begin(), x.kept.end(), y.kept.begin(), y.kept.end(),
+                 o.kept.begin());
+      o.prob = x.prob * y.prob;
+      out.push_back(std::move(o));
+    }
+  }
+  return Dedup(std::move(out));
+}
+
+class Enumerator {
+ public:
+  Enumerator(const PDocument& pd, int max_worlds)
+      : pd_(pd), max_worlds_(max_worlds) {}
+
+  StatusOr<std::vector<World>> Run() {
+    std::vector<Outcome> outs;
+    Status s = Outcomes(pd_.root(), &outs);
+    if (!s.ok()) return s;
+    std::vector<World> worlds;
+    worlds.reserve(outs.size());
+    for (auto& o : outs) {
+      worlds.push_back(BuildWorld(std::move(o)));
+    }
+    return worlds;
+  }
+
+ private:
+  Status Guard(const std::vector<Outcome>& outs) {
+    if (static_cast<int>(outs.size()) > max_worlds_) {
+      return Status::Error("world enumeration exceeded max_worlds=" +
+                           std::to_string(max_worlds_));
+    }
+    return Status::Ok();
+  }
+
+  // Distribution over surviving ordinary-node sets of the region rooted at
+  // node n, *given that the edge into n is taken*.
+  Status Outcomes(NodeId n, std::vector<Outcome>* result) {
+    const auto& kids = pd_.children(n);
+    switch (pd_.kind(n)) {
+      case PKind::kOrdinary:
+      case PKind::kDet: {
+        std::vector<Outcome> acc{{{}, 1.0}};
+        if (pd_.ordinary(n)) acc[0].kept.push_back(n);
+        for (NodeId c : kids) {
+          std::vector<Outcome> child;
+          Status s = Outcomes(c, &child);
+          if (!s.ok()) return s;
+          acc = Combine(acc, child);
+          Status g = Guard(acc);
+          if (!g.ok()) return g;
+        }
+        *result = std::move(acc);
+        return Status::Ok();
+      }
+      case PKind::kMux: {
+        std::vector<Outcome> acc;
+        double total = 0;
+        for (NodeId c : kids) {
+          const double p = pd_.edge_prob(c);
+          total += p;
+          std::vector<Outcome> child;
+          Status s = Outcomes(c, &child);
+          if (!s.ok()) return s;
+          for (auto& o : child) {
+            o.prob *= p;
+            acc.push_back(std::move(o));
+          }
+        }
+        if (total < 1.0) acc.push_back({{}, 1.0 - total});
+        acc = Dedup(std::move(acc));
+        Status g = Guard(acc);
+        if (!g.ok()) return g;
+        *result = std::move(acc);
+        return Status::Ok();
+      }
+      case PKind::kInd: {
+        std::vector<Outcome> acc{{{}, 1.0}};
+        for (NodeId c : kids) {
+          const double p = pd_.edge_prob(c);
+          std::vector<Outcome> child;
+          Status s = Outcomes(c, &child);
+          if (!s.ok()) return s;
+          std::vector<Outcome> mixed;
+          for (auto& o : child) {
+            o.prob *= p;
+            mixed.push_back(std::move(o));
+          }
+          if (p < 1.0) mixed.push_back({{}, 1.0 - p});
+          mixed = Dedup(std::move(mixed));
+          acc = Combine(acc, mixed);
+          Status g = Guard(acc);
+          if (!g.ok()) return g;
+        }
+        *result = std::move(acc);
+        return Status::Ok();
+      }
+      case PKind::kExp: {
+        std::vector<Outcome> acc;
+        double total = 0;
+        for (const auto& [subset, p] : pd_.exp_distribution(n)) {
+          total += p;
+          std::vector<Outcome> chosen{{{}, p}};
+          for (int idx : subset) {
+            std::vector<Outcome> child;
+            Status s = Outcomes(kids[idx], &child);
+            if (!s.ok()) return s;
+            chosen = Combine(chosen, child);
+            Status g = Guard(chosen);
+            if (!g.ok()) return g;
+          }
+          for (auto& o : chosen) acc.push_back(std::move(o));
+        }
+        if (total < 1.0) acc.push_back({{}, 1.0 - total});
+        acc = Dedup(std::move(acc));
+        Status g = Guard(acc);
+        if (!g.ok()) return g;
+        *result = std::move(acc);
+        return Status::Ok();
+      }
+    }
+    return Status::Error("unreachable");
+  }
+
+  World BuildWorld(Outcome o) {
+    World w;
+    w.prob = o.prob;
+    w.kept = std::move(o.kept);
+    w.pdoc_to_doc.assign(pd_.size(), kNullNode);
+    // Node ids ascend from parents to children, so ascending order is
+    // topological; every surviving node's nearest ordinary ancestor survives.
+    for (NodeId n : w.kept) {
+      NodeId anc = pd_.OrdinaryAncestor(n);
+      if (anc == kNullNode) {
+        w.pdoc_to_doc[n] = w.doc.AddRoot(pd_.label(n), pd_.pid(n));
+      } else {
+        PXV_CHECK_NE(w.pdoc_to_doc[anc], kNullNode);
+        w.pdoc_to_doc[n] =
+            w.doc.AddChild(w.pdoc_to_doc[anc], pd_.label(n), pd_.pid(n));
+      }
+    }
+    return w;
+  }
+
+  const PDocument& pd_;
+  int max_worlds_;
+};
+
+}  // namespace
+
+StatusOr<std::vector<World>> EnumerateWorlds(const PDocument& pd,
+                                             int max_worlds) {
+  return Enumerator(pd, max_worlds).Run();
+}
+
+double AppearanceProbability(const PDocument& pd, NodeId n) {
+  PXV_CHECK(pd.ordinary(n));
+  double p = 1.0;
+  NodeId cur = n;
+  while (pd.parent(cur) != kNullNode) {
+    const NodeId par = pd.parent(cur);
+    switch (pd.kind(par)) {
+      case PKind::kOrdinary:
+      case PKind::kDet:
+        break;  // Edge always taken.
+      case PKind::kMux:
+      case PKind::kInd:
+        p *= pd.edge_prob(cur);
+        break;
+      case PKind::kExp: {
+        // Probability mass of subsets containing cur's position.
+        const auto& kids = pd.children(par);
+        int pos = -1;
+        for (size_t i = 0; i < kids.size(); ++i) {
+          if (kids[i] == cur) pos = static_cast<int>(i);
+        }
+        PXV_CHECK_GE(pos, 0);
+        double mass = 0;
+        for (const auto& [subset, sp] : pd.exp_distribution(par)) {
+          for (int idx : subset) {
+            if (idx == pos) {
+              mass += sp;
+              break;
+            }
+          }
+        }
+        p *= mass;
+        break;
+      }
+    }
+    cur = par;
+  }
+  return p;
+}
+
+}  // namespace pxv

@@ -1,0 +1,48 @@
+// Exact possible-world semantics ⟦P̂⟧ (paper §2). A run of the random
+// deletion process keeps a subset of the ordinary nodes; two runs yield the
+// same random document iff they keep the same subset, so the px-space is a
+// distribution over surviving ordinary-node sets. Enumeration is exponential
+// in the number of distributional nodes — this module is the ground-truth
+// oracle for tests and for the probabilistic definitions (c-independence,
+// rewriting correctness); production paths use src/prob/ instead.
+
+#ifndef PXV_PXML_WORLDS_H_
+#define PXV_PXML_WORLDS_H_
+
+#include <vector>
+
+#include "pxml/pdocument.h"
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace pxv {
+
+/// One possible world of a p-document.
+struct World {
+  /// The random document P (ordinary nodes only, distributional nodes
+  /// spliced out). Node pids are inherited from the p-document.
+  Document doc;
+  /// Pr(P): total probability of all runs yielding this document.
+  double prob = 0;
+  /// Surviving p-document ordinary nodes, ascending.
+  std::vector<NodeId> kept;
+  /// Maps each p-document node to its node in `doc` (kNullNode if absent
+  /// or distributional).
+  std::vector<NodeId> pdoc_to_doc;
+};
+
+/// Enumerates the full px-space. Fails if more than `max_worlds` distinct
+/// intermediate outcomes arise. Probabilities sum to 1.
+StatusOr<std::vector<World>> EnumerateWorlds(const PDocument& pd,
+                                             int max_worlds = 200000);
+
+/// Probability that the ordinary node `n` of `pd` appears in a random world,
+/// i.e. Pr(n ∈ P). For local models this is the product, over the
+/// distributional ancestors of n, of the probability that the choice keeps
+/// n's branch. PTime; exact for mux/ind/det; for exp it sums the subsets
+/// keeping the branch.
+double AppearanceProbability(const PDocument& pd, NodeId n);
+
+}  // namespace pxv
+
+#endif  // PXV_PXML_WORLDS_H_

@@ -1,0 +1,301 @@
+#include "rewrite/cindependence.h"
+
+#include <climits>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "prob/naive.h"
+#include "pxml/worlds.h"
+#include "tp/containment.h"
+#include "util/check.h"
+
+namespace pxv {
+namespace {
+
+// One merged position of a pairwise main-branch alignment.
+struct AlignedPos {
+  Label label;
+  Axis axis;                    // Edge into this position (root: unused).
+  PNodeId src1 = kNullPNode;    // q1's mb node here, if any.
+  PNodeId src2 = kNullPNode;    // q2's mb node here, if any.
+};
+
+using Alignment = std::vector<AlignedPos>;
+
+// Enumerates all alignments (interleavings with coalesced roots and outs) of
+// the two main branches; calls visit(alignment); stops early when visit
+// returns true (dependency witnessed). Returns true iff some visit did.
+class PairAligner {
+ public:
+  PairAligner(const Pattern& q1, const Pattern& q2,
+              const std::function<bool(const Alignment&)>& visit)
+      : q1_(q1), q2_(q2), visit_(visit), mb1_(q1.MainBranch()),
+        mb2_(q2.MainBranch()) {}
+
+  bool Run() {
+    if (q1_.label(mb1_[0]) != q2_.label(mb2_[0])) return false;
+    AlignedPos root{q1_.label(mb1_[0]), Axis::kChild, mb1_[0], mb2_[0]};
+    merged_.push_back(root);
+    const bool hit = Rec(1, 1);
+    merged_.clear();
+    return hit;
+  }
+
+ private:
+  // i, j: next unconsumed mb indices; last1_/last2_ implicit: position of
+  // the previously consumed node of each query is tracked via merged_ scan —
+  // we store them explicitly instead.
+  bool Rec(size_t i, size_t j) {
+    const bool done1 = i >= mb1_.size();
+    const bool done2 = j >= mb2_.size();
+    if (done1 && done2) {
+      // Outs coalesce: both last nodes must sit at the final position.
+      const AlignedPos& last = merged_.back();
+      if (last.src1 == mb1_.back() && last.src2 == mb2_.back()) {
+        return visit_(merged_);
+      }
+      return false;
+    }
+    const int t = static_cast<int>(merged_.size());
+    // Pending-edge bookkeeping.
+    const bool slash1 =
+        !done1 && q1_.axis(mb1_[i]) == Axis::kChild;
+    const bool slash2 = !done2 && q2_.axis(mb2_[j]) == Axis::kChild;
+    // Dead states: a pending '/' whose source has fallen behind.
+    if (slash1 && last1_ < t - 1) return false;
+    if (slash2 && last2_ < t - 1) return false;
+
+    // Option A: coalesce next nodes of both.
+    if (!done1 && !done2 && q1_.label(mb1_[i]) == q2_.label(mb2_[j]) &&
+        (!slash1 || last1_ == t - 1) && (!slash2 || last2_ == t - 1)) {
+      if (Push(mb1_[i], mb2_[j], (slash1 || slash2), t)) {
+        if (Rec(i + 1, j + 1)) return true;
+        Pop();
+      }
+    }
+    // Option B: advance q1 only. Prune when q2 has a pending '/'-edge whose
+    // source sits at the previous position — skipping q2 now kills it.
+    if (!done1 && !(slash2 && last2_ == t - 1) &&
+        (!slash1 || last1_ == t - 1)) {
+      Push(mb1_[i], kNullPNode, slash1, t);
+      if (Rec(i + 1, j)) return true;
+      Pop();
+    }
+    // Option C: advance q2 only (symmetric).
+    if (!done2 && !(slash1 && last1_ == t - 1) &&
+        (!slash2 || last2_ == t - 1)) {
+      Push(kNullPNode, mb2_[j], slash2, t);
+      if (Rec(i, j + 1)) return true;
+      Pop();
+    }
+    return false;
+  }
+
+  bool Push(PNodeId n1, PNodeId n2, bool slash, int t) {
+    AlignedPos pos;
+    pos.label = (n1 != kNullPNode) ? q1_.label(n1) : q2_.label(n2);
+    pos.axis = slash ? Axis::kChild : Axis::kDescendant;
+    pos.src1 = n1;
+    pos.src2 = n2;
+    saved_.push_back({last1_, last2_});
+    if (n1 != kNullPNode) last1_ = t;
+    if (n2 != kNullPNode) last2_ = t;
+    merged_.push_back(pos);
+    return true;
+  }
+
+  void Pop() {
+    merged_.pop_back();
+    last1_ = saved_.back().first;
+    last2_ = saved_.back().second;
+    saved_.pop_back();
+  }
+
+  const Pattern& q1_;
+  const Pattern& q2_;
+  const std::function<bool(const Alignment&)>& visit_;
+  std::vector<PNodeId> mb1_, mb2_;
+  Alignment merged_;
+  int last1_ = 0, last2_ = 0;
+  std::vector<std::pair<int, int>> saved_;
+};
+
+// Can the predicate subtree rooted at `pred_root` (attached at alignment
+// position t1 of its query) place some node strictly below the alignment
+// node at position t2 > t1? The descent may step on fixed merged nodes
+// (labels must match), on adversary-labeled padding inside // gaps, or jump
+// past everything with a //-edge.
+//
+// Positions: 2*t   = "on merged node t"
+//            2*t+1 = "inside the gap after t" (exists iff gap t→t+1 is //)
+// Accept: any pattern node placed at a position > 2*t2 conceptually — we
+// model "beyond" as reaching below node t2, which requires passing through
+// node t2 (every route below x_{t2} goes through it).
+bool ReachesBelow(const Pattern& q, PNodeId pred_root, int t1, int t2,
+                  const Alignment& align) {
+  struct Item {
+    PNodeId node;  // Pattern node just placed (kNullPNode = start).
+    int pos;       // Encoded position (see above); kBeyond = below x_{t2}.
+  };
+  constexpr int kBeyond = INT32_MAX;
+  auto gap_is_desc = [&](int t) {
+    return t + 1 < static_cast<int>(align.size()) &&
+           align[t + 1].axis == Axis::kDescendant;
+  };
+
+  std::vector<Item> stack{{kNullPNode, 2 * t1}};
+  std::set<std::pair<PNodeId, int>> seen;
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    if (item.pos == kBeyond) return true;
+    if (!seen.insert({item.node, item.pos}).second) continue;
+
+    // Children of the current pattern node (or the predicate root at start).
+    std::vector<PNodeId> nexts;
+    if (item.node == kNullPNode) {
+      nexts.push_back(pred_root);
+    } else {
+      for (PNodeId c : q.children(item.node)) nexts.push_back(c);
+    }
+    for (PNodeId c : nexts) {
+      const Axis axis = q.axis(c);
+      const Label label = q.label(c);
+      const bool on_node = (item.pos % 2 == 0);
+      const int t = item.pos / 2;
+      if (axis == Axis::kDescendant) {
+        // Jump anywhere strictly below: below x_{t2} always reachable.
+        stack.push_back({c, kBeyond});
+        continue;
+      }
+      // Child axis: one step down.
+      if (on_node) {
+        if (t == t2) {
+          stack.push_back({c, kBeyond});  // Fresh child below x_{t2}.
+        } else if (gap_is_desc(t)) {
+          stack.push_back({c, 2 * t + 1});  // Step onto padding.
+          if (align[t + 1].label == label) stack.push_back({c, 2 * (t + 1)});
+        } else {
+          if (t + 1 <= t2 && align[t + 1].label == label) {
+            stack.push_back({c, 2 * (t + 1)});
+          }
+        }
+      } else {
+        // Inside gap after t: deeper padding, or step onto node t+1.
+        stack.push_back({c, 2 * t + 1});
+        if (align[t + 1].label == label) stack.push_back({c, 2 * (t + 1)});
+      }
+    }
+  }
+  return false;
+}
+
+// Is the predicate subtree `pred_root` of alignment position t implied by
+// the alignment's fixed path structure below t? If x_t[pred] has a
+// containment mapping into the merged path (suffix from t), every document
+// realizing the path satisfies the predicate, so — given n ∈ P — it matches
+// with probability 1 and cannot carry any dependency.
+bool ImpliedByPath(const Pattern& q, PNodeId attach, PNodeId pred_root, int t,
+                   const Alignment& align) {
+  // Build the path suffix as a pattern.
+  Pattern path;
+  PNodeId prev = kNullPNode;
+  for (size_t i = t; i < align.size(); ++i) {
+    prev = (prev == kNullPNode)
+               ? path.AddRoot(align[i].label)
+               : path.AddChild(prev, align[i].label, align[i].axis);
+  }
+  path.SetOut(path.root());
+  // Build attach[pred] as a pattern.
+  Pattern sub;
+  sub.AddRoot(q.label(attach));
+  GraftSubtree(q, pred_root, &sub, sub.root(), q.axis(pred_root));
+  sub.SetOut(sub.root());
+  for (PNodeId img : MapOutImages(sub, path)) {
+    if (img == path.root()) return true;
+  }
+  return false;
+}
+
+// Tests one alignment for a dependency witness.
+bool AlignmentHasDependency(const Pattern& q1, const Pattern& q2,
+                            const Alignment& align) {
+  const int T = static_cast<int>(align.size());
+  // Collect non-implied predicates per position per query.
+  struct Pred {
+    int pos;
+    PNodeId attach;
+    PNodeId root;
+  };
+  std::vector<Pred> preds1, preds2;
+  for (int t = 0; t < T; ++t) {
+    if (align[t].src1 != kNullPNode) {
+      for (PNodeId p : q1.PredicateChildren(align[t].src1)) {
+        if (!ImpliedByPath(q1, align[t].src1, p, t, align)) {
+          preds1.push_back({t, align[t].src1, p});
+        }
+      }
+    }
+    if (align[t].src2 != kNullPNode) {
+      for (PNodeId p : q2.PredicateChildren(align[t].src2)) {
+        if (!ImpliedByPath(q2, align[t].src2, p, t, align)) {
+          preds2.push_back({t, align[t].src2, p});
+        }
+      }
+    }
+  }
+  for (const Pred& p1 : preds1) {
+    for (const Pred& p2 : preds2) {
+      if (p1.pos == p2.pos) return true;  // Same attach node: mux-correlable.
+      const Pred& upper = (p1.pos < p2.pos) ? p1 : p2;
+      const Pred& lower = (p1.pos < p2.pos) ? p2 : p1;
+      const Pattern& uq = (p1.pos < p2.pos) ? q1 : q2;
+      if (ReachesBelow(uq, upper.root, upper.pos, lower.pos, align)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool CIndependent(const Pattern& q1, const Pattern& q2) {
+  std::function<bool(const Alignment&)> visit =
+      [&](const Alignment& align) {
+        return AlignmentHasDependency(q1, q2, align);
+      };
+  PairAligner aligner(q1, q2, visit);
+  return !aligner.Run();
+}
+
+bool CIndependentOn(const PDocument& pd, const Pattern& q1, const Pattern& q2,
+                    double tolerance) {
+  // Oracle: enumerate worlds; for every node compare the two sides of the
+  // definitional equation.
+  std::map<NodeId, double> r1 = NaiveEvaluateTP(pd, q1);
+  std::map<NodeId, double> r2 = NaiveEvaluateTP(pd, q2);
+  TpIntersection both({q1.Clone(), q2.Clone()});
+  std::map<NodeId, double> joint = NaiveEvaluateTPI(pd, both);
+  // Nodes to check: union of supports.
+  std::set<NodeId> nodes;
+  for (const auto& [n, p] : r1) nodes.insert(n);
+  for (const auto& [n, p] : r2) nodes.insert(n);
+  for (const auto& [n, p] : joint) nodes.insert(n);
+  for (NodeId n : nodes) {
+    const double appear = AppearanceProbability(pd, n);
+    if (appear <= 0) continue;
+    const double lhs = joint.count(n) ? joint.at(n) : 0.0;
+    const double p1 = r1.count(n) ? r1.at(n) : 0.0;
+    const double p2 = r2.count(n) ? r2.at(n) : 0.0;
+    const double rhs = p1 * p2 / appear;
+    if (std::abs(lhs - rhs) > tolerance) return false;
+  }
+  return true;
+}
+
+}  // namespace pxv

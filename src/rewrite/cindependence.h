@@ -1,0 +1,48 @@
+// Probabilistic condition-independence of tree patterns (paper §4.1).
+//
+// q1 ⊥ q2 iff for every p-document P̂ and node n,
+//
+//   Pr(n ∈ (q1 ∩ q2)(P)) = Pr(n ∈ q1(P)) · Pr(n ∈ q2(P)) / Pr(n ∈ P).
+//
+// Proposition 2 states c-independence is decidable in PTime via a syntactic
+// characterization proved equivalent in the paper's extended report [11]
+// (not publicly available). `CIndependent` implements our reconstruction of
+// that test, engineered from the paper's stated examples and validated
+// against the probabilistic definition by exhaustive possible-world checking
+// (see tests/cindep_test.cc):
+//
+//   The queries are *dependent* iff some alignment of their main branches
+//   (an interleaving with roots and outputs coalesced — any document node
+//   selected by both queries realizes one) admits a pair of predicate
+//   subtrees, one per query, attached at aligned positions t1 ≤ t2, such
+//   that a single distributional choice could influence both:
+//     * t1 == t2 — both predicates constrain the subtree of the same
+//       document node, so a mux can always correlate them (the paper's
+//       a[b] ̸⊥ a[c]); or
+//     * t1 < t2 and the upper predicate can reach strictly below the
+//       aligned node at t2 (descending through the fixed path labels, the
+//       padding of // gaps, or jumping with a //-edge) — then a choice
+//       inside that shared region affects both (the paper's Example 11:
+//       a[.//c] reaches below b, where [c] lives).
+//   Predicates implied by the alignment's path structure match with
+//   probability 1 given n ∈ P and are skipped.
+
+#ifndef PXV_REWRITE_CINDEPENDENCE_H_
+#define PXV_REWRITE_CINDEPENDENCE_H_
+
+#include "pxml/pdocument.h"
+#include "tp/pattern.h"
+
+namespace pxv {
+
+/// Syntactic PTime test: true iff q1 ⊥ q2.
+bool CIndependent(const Pattern& q1, const Pattern& q2);
+
+/// Oracle: checks the probabilistic definition on one p-document by
+/// exhaustive world enumeration (tests only; exponential).
+bool CIndependentOn(const PDocument& pd, const Pattern& q1, const Pattern& q2,
+                    double tolerance = 1e-9);
+
+}  // namespace pxv
+
+#endif  // PXV_REWRITE_CINDEPENDENCE_H_

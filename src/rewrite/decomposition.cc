@@ -1,0 +1,186 @@
+#include "rewrite/decomposition.h"
+
+#include <algorithm>
+
+#include "linalg/solver.h"
+#include "rewrite/cindependence.h"
+#include "tp/containment.h"
+#include "tp/minimize.h"
+#include "tp/ops.h"
+#include "tpi/interleaving.h"
+#include "util/check.h"
+
+namespace pxv {
+namespace {
+
+// v with only the predicates of main-branch node `keep` (kNullPNode keeps
+// none; `keep_middle` keeps the predicates of all the middle-token nodes).
+Pattern MbWithPredicatesOf(const Pattern& v, PNodeId keep, bool keep_middle) {
+  const auto mb = v.MainBranch();
+  const auto tokens = TokenMbNodes(v);
+  // Middle-token membership.
+  std::vector<bool> middle(v.size(), false);
+  for (size_t t = 1; t + 1 < tokens.size(); ++t) {
+    for (PNodeId n : tokens[t]) middle[n] = true;
+  }
+  Pattern out;
+  PNodeId prev = kNullPNode;
+  for (PNodeId n : mb) {
+    prev = (prev == kNullPNode) ? out.AddRoot(v.label(n))
+                                : out.AddChild(prev, v.label(n), v.axis(n));
+    const bool keep_here = (n == keep) || (keep_middle && middle[n]);
+    if (keep_here) {
+      for (PNodeId p : v.PredicateChildren(n)) {
+        GraftSubtree(v, p, &out, prev, v.axis(p));
+      }
+    }
+  }
+  out.SetOut(prev);
+  return out;
+}
+
+bool HasAnyPredicate(const Pattern& p) {
+  for (PNodeId n = 0; n < p.size(); ++n) {
+    if (!p.PredicateChildren(n).empty() && p.OnMainBranch(n)) return true;
+    if (!p.OnMainBranch(n)) return true;
+  }
+  return false;
+}
+
+// Step 3: w ∩ mb(q), reduced back to a single TP. The intersection is
+// equivalent to the union of its interleavings; it reduces to a TP when one
+// interleaving contains all others.
+std::optional<Pattern> IntersectWithMbQ(const Pattern& w,
+                                        const Pattern& mb_q) {
+  TpIntersection in({w.Clone(), mb_q.Clone()});
+  StatusOr<std::vector<Pattern>> inter = Interleavings(in, /*limit=*/20000);
+  if (!inter.ok() || inter->empty()) return std::nullopt;
+  if (inter->size() == 1) return Minimize((*inter)[0]);
+  for (const Pattern& candidate : *inter) {
+    bool dominates = true;
+    for (const Pattern& other : *inter) {
+      if (!Contains(candidate, other)) {
+        dominates = false;
+        break;
+      }
+    }
+    if (dominates) return Minimize(candidate);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Pattern>> DecomposeOne(const Pattern& v,
+                                            const Pattern& q) {
+  const Pattern mb_q = MainBranchOnly(q);
+  const auto tokens = TokenMbNodes(v);
+
+  // Step 1: per-node queries for first and last token; bulk middle query.
+  std::vector<Pattern> ws;
+  std::vector<PNodeId> edge_nodes = tokens.front();
+  if (tokens.size() > 1) {
+    for (PNodeId n : tokens.back()) edge_nodes.push_back(n);
+  }
+  for (PNodeId n : edge_nodes) {
+    if (v.PredicateChildren(n).empty()) continue;  // Trivial — carries nothing.
+    ws.push_back(MbWithPredicatesOf(v, n, /*keep_middle=*/false));
+  }
+  if (tokens.size() > 2) {
+    Pattern mid = MbWithPredicatesOf(v, kNullPNode, /*keep_middle=*/true);
+    if (HasAnyPredicate(mid)) ws.push_back(std::move(mid));
+  }
+
+  // Step 2: merge c-dependent pairs (union-free: identical main branches).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < ws.size() && !changed; ++i) {
+      for (size_t j = i + 1; j < ws.size() && !changed; ++j) {
+        if (!CIndependent(ws[i], ws[j])) {
+          TpIntersection pair({ws[i].Clone(), ws[j].Clone()});
+          Pattern merged = UnionFreeMerge(pair);
+          ws.erase(ws.begin() + j);
+          ws[i] = std::move(merged);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Step 3: intersect with mb(q); drop patterns that reduce to the trivial
+  // (predicate-free) query — they hold with probability 1 given n ∈ P for
+  // every candidate answer.
+  std::vector<Pattern> out;
+  for (const Pattern& w : ws) {
+    std::optional<Pattern> reduced = IntersectWithMbQ(w, mb_q);
+    if (!reduced.has_value()) {
+      return Status::Error("Step-3 reduction did not yield a single TP");
+    }
+    if (!HasAnyPredicate(*reduced)) continue;  // Trivial.
+    out.push_back(std::move(*reduced));
+  }
+  return out;
+}
+
+ViewDecomposition DecomposeViews(const Pattern& q,
+                                 const std::vector<Pattern>& views) {
+  ViewDecomposition dec;
+  auto classify = [&](const Pattern& w) -> int {
+    for (size_t c = 0; c < dec.dviews.size(); ++c) {
+      if (IsomorphicPatterns(dec.dviews[c], w) || Equivalent(dec.dviews[c], w)) {
+        return static_cast<int>(c);
+      }
+    }
+    dec.dviews.push_back(w.Clone());
+    return static_cast<int>(dec.dviews.size()) - 1;
+  };
+  auto decompose = [&](const Pattern& v) -> std::optional<std::vector<int>> {
+    StatusOr<std::vector<Pattern>> ws = DecomposeOne(v, q);
+    if (!ws.ok()) return std::nullopt;
+    std::vector<int> classes;
+    for (const Pattern& w : *ws) {
+      const int c = classify(w);
+      bool seen = false;
+      for (int existing : classes) seen |= (existing == c);
+      if (!seen) classes.push_back(c);
+    }
+    std::sort(classes.begin(), classes.end());
+    return classes;
+  };
+
+  for (const Pattern& v : views) {
+    std::optional<std::vector<int>> classes = decompose(v);
+    if (!classes.has_value()) {
+      dec.ok = false;
+      return dec;
+    }
+    dec.view_classes.push_back(std::move(*classes));
+  }
+  std::optional<std::vector<int>> qc = decompose(q);
+  if (!qc.has_value()) {
+    dec.ok = false;
+    return dec;
+  }
+  dec.query_classes = std::move(*qc);
+  return dec;
+}
+
+std::optional<std::vector<Rational>> SolveSystem(const ViewDecomposition& dec) {
+  if (!dec.ok) return std::nullopt;
+  const int vars = 1 + static_cast<int>(dec.dviews.size());  // y_P + classes.
+  std::vector<std::vector<Rational>> rows;
+  rows.reserve(dec.view_classes.size());
+  for (const auto& classes : dec.view_classes) {
+    std::vector<Rational> row(vars, Rational(0));
+    row[0] = Rational(1);
+    for (int c : classes) row[1 + c] = Rational(1);
+    rows.push_back(std::move(row));
+  }
+  std::vector<Rational> target(vars, Rational(0));
+  target[0] = Rational(1);
+  for (int c : dec.query_classes) target[1 + c] = Rational(1);
+  return ExpressInRowSpace(rows, target);
+}
+
+}  // namespace pxv

@@ -1,0 +1,62 @@
+// View decompositions and the S(q,V) system (paper §5.3).
+//
+// Each view v_i = ft_i // m_i // lt_i is decomposed into d-views (Steps 1–4):
+//   1. one query per main-branch node of the first and last token, keeping
+//      only that node's predicates, plus one bulk query for the middle part;
+//   2. within a view, queries that are not c-independent are merged
+//      (union-free intersections on the shared main branch) to a fixpoint;
+//   3. each query is intersected with mb(q) (reduced back to a TP);
+//   4. equivalent queries across views (and the query itself) are grouped
+//      into d-view classes w_1 … w_s.
+// Taking logs of
+//   Pr(n ∈ v_i(P)) = Pr(n ∈ P) · Π_{w ∈ W_i} Pr(n ∈ w(P) | n ∈ P)
+// yields the linear system S(q,V); Pr(n ∈ q(P)) is retrievable iff the
+// query's indicator vector lies in the row space of the view equations
+// (Theorem 5), testable in PTime by exact rational elimination (Prop. 5).
+// The combination coefficients c_i realize f_r(n) = Π Pr(n ∈ v_i(P))^{c_i}.
+
+#ifndef PXV_REWRITE_DECOMPOSITION_H_
+#define PXV_REWRITE_DECOMPOSITION_H_
+
+#include <optional>
+#include <vector>
+
+#include "linalg/rational.h"
+#include "tp/pattern.h"
+#include "util/status.h"
+
+namespace pxv {
+
+/// Result of Steps 1–4.
+struct ViewDecomposition {
+  /// d-view class representatives (minimized patterns). Classes whose
+  /// pattern is implied by the main branch of q (trivial, probability 1
+  /// given n ∈ P) are dropped during construction.
+  std::vector<Pattern> dviews;
+  /// Per input view: the (sorted, distinct) classes it decomposes into.
+  std::vector<std::vector<int>> view_classes;
+  /// The input query's classes.
+  std::vector<int> query_classes;
+  /// False when a Step-3 reduction failed to produce a single TP (rare
+  /// corner; the procedure then reports "no rewriting found").
+  bool ok = true;
+};
+
+/// Runs Steps 1–4 for q and `views` (view definitions over the original
+/// document).
+ViewDecomposition DecomposeViews(const Pattern& q,
+                                 const std::vector<Pattern>& views);
+
+/// Decomposes a single pattern (Steps 1–3) against mb(q); exposed for tests.
+/// Fails when a Step-3 reduction does not produce a single TP.
+StatusOr<std::vector<Pattern>> DecomposeOne(const Pattern& v,
+                                            const Pattern& q);
+
+/// S(q,V) uniqueness test + witness: coefficients c with
+/// log Pr(n∈q) = Σ c_i · log Pr(n∈v_i), or nullopt when the system does not
+/// pin Pr(n ∈ q(P)) down.
+std::optional<std::vector<Rational>> SolveSystem(const ViewDecomposition& dec);
+
+}  // namespace pxv
+
+#endif  // PXV_REWRITE_DECOMPOSITION_H_

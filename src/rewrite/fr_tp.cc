@@ -1,0 +1,244 @@
+#include "rewrite/fr_tp.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "prob/query_eval.h"
+#include "pxml/view_extension.h"
+#include "tp/ops.h"
+#include "util/check.h"
+#include "xml/label.h"
+
+namespace pxv {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+// Occurrences of a persistent id among the *ordinary* nodes of a p-document.
+std::vector<NodeId> Occurrences(const PDocument& pd, PersistentId pid) {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < pd.size(); ++n) {
+    if (pd.ordinary(n) && pd.pid(n) == pid) out.push_back(n);
+  }
+  return out;
+}
+
+// Number of ordinary nodes on the path from the root of `sub` to `node`,
+// inclusive of both — the paper's s(i,j).
+int PathDataNodes(const PDocument& sub, NodeId node) {
+  int count = 0;
+  for (NodeId cur = node; cur != kNullNode; cur = sub.parent(cur)) {
+    if (sub.ordinary(cur)) ++count;
+  }
+  return count;
+}
+
+// Builds the α-pattern member for a lower event n_j relative to the topmost
+// ancestor's subdocument (whose root is an image of out(v), labeled l_m):
+//   s > m : l_m // l_1[Q_1]/…/l_m[Q_m][Id(n_j)] compensated with q_(k)
+//   s ≤ m : l_{m-s+1}[Q_{m-s+1}]/…/l_m[Q_m][Id(n_j)] compensated with q_(k)
+//           (rooted directly at the subdocument root).
+Pattern BuildAlphaMember(const TpRewriting& rw, int s, PersistentId lower_pid) {
+  const Pattern& token = rw.last_token;
+  const auto token_mb = token.MainBranch();
+  const int m = static_cast<int>(token_mb.size());
+
+  Pattern chain;
+  PNodeId tail = kNullPNode;
+  if (s > m) {
+    // Full token below a descendant edge from the subdocument root.
+    chain.AddRoot(rw.view.OutLabel());
+    PNodeId prev = kNullPNode;
+    for (int i = 0; i < m; ++i) {
+      const Axis axis = (i == 0) ? Axis::kDescendant : Axis::kChild;
+      const PNodeId attach = (i == 0) ? chain.root() : prev;
+      prev = chain.AddChild(attach, token.label(token_mb[i]), axis);
+      for (PNodeId p : token.PredicateChildren(token_mb[i])) {
+        GraftSubtree(token, p, &chain, prev, token.axis(p));
+      }
+    }
+    tail = prev;
+  } else {
+    // Truncated chain rooted at the subdocument root itself.
+    const int start = m - s;  // Token index of the chain's first node.
+    PXV_CHECK_EQ(token.label(token_mb[start]), rw.view.OutLabel())
+        << "prefix-suffix overlap must align labels";
+    PNodeId prev = kNullPNode;
+    for (int i = start; i < m; ++i) {
+      prev = (prev == kNullPNode)
+                 ? chain.AddRoot(token.label(token_mb[i]))
+                 : chain.AddChild(prev, token.label(token_mb[i]), Axis::kChild);
+      for (PNodeId p : token.PredicateChildren(token_mb[i])) {
+        GraftSubtree(token, p, &chain, prev, token.axis(p));
+      }
+    }
+    tail = prev;
+  }
+  chain.SetOut(tail);
+  // The Id(n_j) marker pins the chain's end to the lower occurrence.
+  Pattern with_id = WithMarkerChild(chain, tail, IdMarkerLabel(lower_pid));
+  with_id.SetOut(tail);
+  // Continue with the compensation.
+  return Compensate(with_id, rw.compensation);
+}
+
+// Pr(⋂_{i∈chain} e_i) for a chain of ancestors (result roots sorted topmost
+// first), per the Theorem 2 construction, evaluated on the topmost
+// ancestor's subdocument. Fills the provenance term when given.
+double JointEventProbability(const TpRewriting& rw, const PDocument& ext,
+                             const std::vector<NodeId>& chain,
+                             PersistentId answer_pid,
+                             FrProvenance::EventTerm* term) {
+  const NodeId top = chain[0];
+  const PDocument sub = ext.Subtree(top);
+  const double beta = ext.edge_prob(top);  // Pr(n_{i1} ∈ v(P)).
+  const double out_preds = BooleanProbability(sub, rw.v_out_preds);
+  if (term != nullptr) {
+    for (NodeId r : chain) term->chain.push_back(ext.pid(r));
+    term->beta = beta;
+    term->out_preds = out_preds;
+  }
+  if (out_preds <= kEps) return 0;
+
+  const std::vector<NodeId> anchor = Occurrences(sub, answer_pid);
+  if (anchor.empty()) return 0;
+
+  std::vector<Pattern> members;
+  members.push_back(rw.compensation.Clone());
+  for (size_t j = 1; j < chain.size(); ++j) {
+    const PersistentId lower_pid = ext.pid(chain[j]);
+    const NodeId occurrence = sub.FindByPid(lower_pid);
+    PXV_CHECK_NE(occurrence, kNullNode);
+    const int s = PathDataNodes(sub, occurrence);
+    members.push_back(BuildAlphaMember(rw, s, lower_pid));
+  }
+  std::vector<Goal> goals;
+  goals.reserve(members.size());
+  for (const Pattern& m : members) goals.push_back({&m, &anchor});
+  const double alpha = JointProbability(sub, goals);
+  if (term != nullptr) {
+    term->alpha = alpha;
+    term->joint = (beta / out_preds) * alpha;
+  }
+  return (beta / out_preds) * alpha;
+}
+
+}  // namespace
+
+std::string FrProvenance::ToString() const {
+  std::ostringstream out;
+  out << "Pr(pid " << pid << " ∈ q(P)) = " << value << "\n";
+  if (!inclusion_exclusion) {
+    out << "  = plan " << plan_probability << " ÷ out-predicates "
+        << out_predicate_mass << "   (Theorem 1)\n";
+    return out.str();
+  }
+  out << "  by inclusion–exclusion over " << terms.size()
+      << " ancestor subsets (Lemma 1):\n";
+  for (const EventTerm& t : terms) {
+    out << "   " << (t.sign > 0 ? "+" : "−") << " chain {";
+    for (size_t i = 0; i < t.chain.size(); ++i) {
+      out << (i ? "," : "") << t.chain[i];
+    }
+    out << "}: (β " << t.beta << " ÷ " << t.out_preds << ") × α " << t.alpha
+        << " = " << t.joint << "\n";
+  }
+  return out.str();
+}
+
+std::vector<PidProb> ExecuteTpRewriting(const TpRewriting& rw,
+                                        const PDocument& extension,
+                                        std::vector<FrProvenance>* provenance) {
+  std::vector<PidProb> result;
+  // Candidate answers: pids the deterministic plan can retrieve (Prop. 1).
+  std::set<PersistentId> candidates;
+  for (const NodeProb& np : EvaluateTP(extension, rw.plan)) {
+    candidates.insert(extension.pid(np.node));
+  }
+
+  const std::vector<NodeId> roots = ExtensionResultRoots(extension);
+  for (const PersistentId pid : candidates) {
+    // Ancestors-or-self of the answer selected by v: result roots whose
+    // subtree contains an occurrence of the answer pid.
+    auto subtree_contains = [&](NodeId r, PersistentId target) {
+      std::vector<NodeId> stack{r};
+      while (!stack.empty()) {
+        const NodeId cur = stack.back();
+        stack.pop_back();
+        if (extension.ordinary(cur) && extension.pid(cur) == target) {
+          return true;
+        }
+        for (NodeId c : extension.children(cur)) stack.push_back(c);
+      }
+      return false;
+    };
+    auto subtree_ordinary_size = [&](NodeId r) {
+      int count = 0;
+      std::vector<NodeId> stack{r};
+      while (!stack.empty()) {
+        const NodeId cur = stack.back();
+        stack.pop_back();
+        if (extension.ordinary(cur)) ++count;
+        for (NodeId c : extension.children(cur)) stack.push_back(c);
+      }
+      return count;
+    };
+    std::vector<NodeId> ancestors;
+    for (NodeId r : roots) {
+      if (subtree_contains(r, pid)) ancestors.push_back(r);
+    }
+    PXV_CHECK(!ancestors.empty());
+    // The selected ancestors lie on one root path of the original document,
+    // so their subtrees nest; sort topmost (largest subtree) first.
+    std::sort(ancestors.begin(), ancestors.end(), [&](NodeId a, NodeId b) {
+      return subtree_ordinary_size(a) > subtree_ordinary_size(b);
+    });
+
+    double prob = 0;
+    FrProvenance why;
+    why.pid = pid;
+    if (ancestors.size() == 1) {
+      // Theorem 1 (also sound for a = 1 in unrestricted plans, see the
+      // paper's footnote 3): one division, no event management.
+      const std::vector<NodeId> anchor = Occurrences(extension, pid);
+      const double numer = SelectionProbabilityAnyOf(extension, rw.plan, anchor);
+      const PDocument sub = extension.Subtree(ancestors[0]);
+      const double denom = BooleanProbability(sub, rw.v_out_preds);
+      prob = denom > kEps ? numer / denom : 0;
+      why.plan_probability = numer;
+      why.out_predicate_mass = denom;
+    } else {
+      PXV_CHECK(!rw.restricted)
+          << "restricted plans have a unique selected ancestor";
+      // Lemma 1: inclusion–exclusion over nonempty subsets of events.
+      why.inclusion_exclusion = true;
+      const int a = static_cast<int>(ancestors.size());
+      PXV_CHECK_LE(a, 16) << "too many ancestor events";
+      for (int mask = 1; mask < (1 << a); ++mask) {
+        std::vector<NodeId> chain;
+        for (int i = 0; i < a; ++i) {
+          if (mask & (1 << i)) chain.push_back(ancestors[i]);
+        }
+        FrProvenance::EventTerm term;
+        term.sign = (__builtin_popcount(mask) % 2 == 1) ? 1 : -1;
+        const double joint =
+            JointEventProbability(rw, extension, chain, pid,
+                                  provenance ? &term : nullptr);
+        prob += term.sign * joint;
+        if (provenance != nullptr) why.terms.push_back(std::move(term));
+      }
+    }
+    if (prob > kEps) {
+      result.push_back({pid, prob});
+      if (provenance != nullptr) {
+        why.value = prob;
+        provenance->push_back(std::move(why));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pxv

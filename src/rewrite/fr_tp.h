@@ -1,0 +1,73 @@
+// Execution of probabilistic TP-rewritings: the probability function f_r of
+// Definition 4, computed **from the view extension only** (it never sees the
+// original p-document).
+//
+//   Theorem 1 (restricted plans / unique ancestor):
+//       Pr(n ∈ q(P)) = Pr(n ∈ q_r(P_v)) ÷ Pr(n_a ∈ v_(k)(P^{n_a}_v)).
+//   Lemma 1 + Theorem 2 (unrestricted): inclusion–exclusion over the events
+//       e_i = [n_i ∈ v'(P) ∧ n ∈ q_(k)(P^{n_i}_v)] for the ancestors-or-self
+//       n_1 … n_a of n selected by v; joint events are computed with the
+//       α patterns built from v's last token and the Id(n_j) markers, with
+//       the s(i,j) truncation when images of the last token overlap
+//       (prefix-suffix case u ≥ 1).
+
+#ifndef PXV_REWRITE_FR_TP_H_
+#define PXV_REWRITE_FR_TP_H_
+
+#include <string>
+#include <vector>
+
+#include "pxml/pdocument.h"
+#include "rewrite/tp_rewrite.h"
+
+namespace pxv {
+
+/// One answer of a probabilistic rewriting: an original-document node
+/// identified by its persistent id, with Pr(n ∈ q(P)).
+struct PidProb {
+  PersistentId pid = kNullPid;
+  double prob = 0;
+};
+
+/// Why-provenance of one f_r value — the paper's §7 closing suggestion
+/// ("keeping and exploiting for rewritings a sort of why-provenance of
+/// probability values"). Records every term that entered the computation so
+/// a cached answer can be re-derived, audited, or incrementally updated when
+/// a view's probabilities change.
+struct FrProvenance {
+  PersistentId pid = kNullPid;
+  /// False: Theorem 1 path (one division). True: Lemma 1 path.
+  bool inclusion_exclusion = false;
+
+  /// Theorem 1 path: value = plan_probability / out_predicate_mass.
+  double plan_probability = 0;   ///< Pr(n ∈ q_r(P_v)).
+  double out_predicate_mass = 0; ///< Pr(n_a ∈ v_(k)(P^{n_a}_v)).
+
+  /// Lemma 1 path: one term per nonempty ancestor subset.
+  struct EventTerm {
+    std::vector<PersistentId> chain;  ///< Ancestor pids, topmost first.
+    int sign = 1;                     ///< +1 for odd subsets, −1 for even.
+    double beta = 0;       ///< Pr(n_{i1} ∈ v(P)) — the extension edge.
+    double out_preds = 0;  ///< Divisor Pr(n_{i1} ∈ l_m[Q_m](P^{n_{i1}}_v)).
+    double alpha = 0;      ///< Pr(n ∈ α(P^{n_{i1}}_v)).
+    double joint = 0;      ///< (beta / out_preds) × alpha.
+  };
+  std::vector<EventTerm> terms;
+
+  double value = 0;  ///< The resulting Pr(n ∈ q(P)).
+
+  /// Human-readable derivation.
+  std::string ToString() const;
+};
+
+/// Runs (q_r, f_r) over the extension P̂_v of rw's view: returns q(P̂) as
+/// pid–probability pairs. The extension must have been built with Id markers
+/// (the default of BuildViewExtension). When `provenance` is non-null, one
+/// FrProvenance entry per returned answer is appended.
+std::vector<PidProb> ExecuteTpRewriting(
+    const TpRewriting& rw, const PDocument& extension,
+    std::vector<FrProvenance>* provenance = nullptr);
+
+}  // namespace pxv
+
+#endif  // PXV_REWRITE_FR_TP_H_

@@ -1,0 +1,51 @@
+#include "rewrite/rewriter.h"
+
+#include "prob/query_eval.h"
+#include "util/check.h"
+
+namespace pxv {
+
+void Rewriter::AddView(std::string name, Pattern def) {
+  for (const NamedView& v : views_) {
+    PXV_CHECK_NE(v.name, name) << "duplicate view name";
+  }
+  views_.push_back({std::move(name), std::move(def)});
+}
+
+ViewExtensions Rewriter::Materialize(const PDocument& pd,
+                                     const ViewExtensionOptions& options) const {
+  ViewExtensions exts;
+  for (const NamedView& v : views_) {
+    std::vector<ViewResultEntry> results;
+    for (const NodeProb& np : EvaluateTP(pd, v.def)) {
+      results.push_back({np.node, np.prob});
+    }
+    exts.emplace(v.name, BuildViewExtension(pd, v.name, results, options));
+  }
+  return exts;
+}
+
+std::vector<TpRewriting> Rewriter::FindTp(const Pattern& q) const {
+  return TPrewrite(q, views_);
+}
+
+std::optional<TpiRewriting> Rewriter::FindTpi(const Pattern& q) const {
+  return TPIrewrite(q, views_);
+}
+
+std::optional<std::vector<PidProb>> Rewriter::Answer(
+    const Pattern& q, const ViewExtensions& exts) const {
+  const std::vector<TpRewriting> tp = FindTp(q);
+  if (!tp.empty()) {
+    const auto it = exts.find(tp[0].view_name);
+    PXV_CHECK(it != exts.end()) << "extension not materialized";
+    return ExecuteTpRewriting(tp[0], it->second);
+  }
+  const std::optional<TpiRewriting> tpi = FindTpi(q);
+  if (tpi.has_value()) {
+    return ExecuteTpiRewriting(*tpi, exts);
+  }
+  return std::nullopt;
+}
+
+}  // namespace pxv

@@ -1,0 +1,53 @@
+// Public façade: a view registry that materializes probabilistic view
+// extensions and answers queries from views under either result semantics
+// (paper §3):
+//   * copy semantics      → TP-rewritings over a single extension (§4),
+//   * persistent node Ids → TP∩-rewritings over several extensions (§5).
+
+#ifndef PXV_REWRITE_REWRITER_H_
+#define PXV_REWRITE_REWRITER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pxml/pdocument.h"
+#include "pxml/view_extension.h"
+#include "rewrite/fr_tp.h"
+#include "rewrite/tp_rewrite.h"
+#include "rewrite/tpi_rewrite.h"
+
+namespace pxv {
+
+/// View registry + rewriting entry points.
+class Rewriter {
+ public:
+  /// Registers a view. Names must be unique.
+  void AddView(std::string name, Pattern def);
+
+  const std::vector<NamedView>& views() const { return views_; }
+
+  /// Materializes every view over `pd`: evaluates it with the probabilistic
+  /// engine and bundles the results into extensions (§3.1).
+  ViewExtensions Materialize(const PDocument& pd,
+                             const ViewExtensionOptions& options = {}) const;
+
+  /// §4 (copy semantics): all probabilistic TP-rewritings of q.
+  std::vector<TpRewriting> FindTp(const Pattern& q) const;
+
+  /// §5 (persistent ids): probabilistic TP∩-rewriting of q, if any.
+  std::optional<TpiRewriting> FindTpi(const Pattern& q) const;
+
+  /// End-to-end convenience: answer q from the extensions only. Tries TP
+  /// rewritings first, then TP∩. Returns nullopt when q is not answerable
+  /// from the registered views.
+  std::optional<std::vector<PidProb>> Answer(const Pattern& q,
+                                             const ViewExtensions& exts) const;
+
+ private:
+  std::vector<NamedView> views_;
+};
+
+}  // namespace pxv
+
+#endif  // PXV_REWRITE_REWRITER_H_

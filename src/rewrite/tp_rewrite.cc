@@ -1,0 +1,81 @@
+#include "rewrite/tp_rewrite.h"
+
+#include "rewrite/cindependence.h"
+#include "tp/containment.h"
+#include "tp/ops.h"
+#include "util/check.h"
+#include "xml/label.h"
+
+namespace pxv {
+
+bool HasDeterministicTpRewriting(const Pattern& q, const Pattern& v) {
+  const int k = v.MainBranchLength();
+  const auto q_mb = q.MainBranch();
+  if (k > static_cast<int>(q_mb.size())) return false;
+  if (v.OutLabel() != q.label(q_mb[k - 1])) return false;
+  if (v.label(v.root()) != q.label(q.root())) return false;
+  const Pattern unfolded = Compensate(v, Suffix(q, k));
+  return Equivalent(unfolded, q);
+}
+
+Pattern ExtensionPlan(const std::string& view_name, const Pattern& v,
+                      const Pattern& compensation) {
+  Pattern head;
+  const PNodeId root = head.AddRoot(DocLabel(view_name));
+  const PNodeId lbl = head.AddChild(root, v.OutLabel(), Axis::kChild);
+  head.SetOut(lbl);
+  return Compensate(head, compensation);
+}
+
+std::vector<TpRewriting> TPrewrite(const Pattern& q,
+                                   const std::vector<NamedView>& views) {
+  std::vector<TpRewriting> result;
+  const auto q_mb = q.MainBranch();
+  for (const NamedView& nv : views) {
+    const Pattern& v = nv.def;
+    const int k = v.MainBranchLength();
+    if (k > static_cast<int>(q_mb.size())) continue;
+    if (!HasDeterministicTpRewriting(q, v)) continue;
+
+    // Probabilistic feasibility (Prop. 3): v' ⊥ q''.
+    const Pattern v_prime = StripOutPredicates(v);
+    const Pattern q_dprime = QDoublePrime(q, k);
+    if (!CIndependent(v_prime, q_dprime)) continue;
+
+    TpRewriting rw;
+    rw.view_name = nv.name;
+    rw.view = v.Clone();
+    rw.k = k;
+    rw.compensation = Suffix(q, k);
+    rw.plan = ExtensionPlan(nv.name, v, rw.compensation);
+    rw.v_prime = v_prime;
+    rw.v_out_preds = Suffix(v, k);
+    rw.last_token = LastToken(v);
+    rw.u = MaxPrefixSuffix(TokenLabels(v, TokenCount(v) - 1));
+    // Def. 5: restricted iff mb(v) is //-free or the compensation's main
+    // branch (q's main branch strictly below depth k) is //-free.
+    const bool view_df = !MbHasDescendantEdge(v, 2);
+    const bool comp_df = !MbHasDescendantEdge(rw.compensation, 2);
+    rw.restricted = view_df || comp_df;
+
+    if (rw.restricted) {
+      result.push_back(std::move(rw));
+      continue;
+    }
+    // Thm. 2 condition 2: the first u−1 nodes of the last token carry no
+    // predicates.
+    const auto token_nodes = TokenMbNodes(v).back();
+    bool ok = true;
+    for (int i = 0; i < rw.u - 1 && i < static_cast<int>(token_nodes.size());
+         ++i) {
+      if (!v.PredicateChildren(token_nodes[i]).empty()) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) result.push_back(std::move(rw));
+  }
+  return result;
+}
+
+}  // namespace pxv

@@ -1,0 +1,61 @@
+// Probabilistic TP-rewritings (paper §4) — the copy-semantics case, where a
+// rewriting may navigate inside a single view extension.
+//
+//   Fact 1  (Xu–Özsoyoglu / Afrati et al.): a deterministic TP-rewriting of
+//           q using v exists iff comp(v, q_(k)) ≡ q for k = |mb(v)|.
+//   Def. 5  a rewriting is *restricted* iff mb(v) or the compensation's main
+//           branch is //-free.
+//   Prop. 3 a probabilistic rewriting additionally requires v' ⊥ q''.
+//   Thm. 1  restricted: (q_r, f_r) exists iff v' ⊥ q''; f_r is a single
+//           division.
+//   Thm. 2  unrestricted: additionally the first u−1 nodes of v's last token
+//           must carry no predicates, u = max prefix-suffix of the token's
+//           label sequence; f_r is inclusion–exclusion over ancestor events.
+//   Fig. 6  TPrewrite: sound and complete, PTime (Prop. 4).
+
+#ifndef PXV_REWRITE_TP_REWRITE_H_
+#define PXV_REWRITE_TP_REWRITE_H_
+
+#include <string>
+#include <vector>
+
+#include "tp/pattern.h"
+
+namespace pxv {
+
+/// A named view definition.
+struct NamedView {
+  std::string name;
+  Pattern def;
+};
+
+/// One probabilistic TP-rewriting candidate, with everything the executor
+/// (rewrite/fr_tp.h) needs precomputed.
+struct TpRewriting {
+  std::string view_name;
+  Pattern view;          ///< v
+  int k = 0;             ///< |mb(v)|
+  Pattern compensation;  ///< q_(k)
+  Pattern plan;          ///< comp(doc(v)/lbl(v), q_(k)) — over the extension
+  bool restricted = false;
+  int u = 0;             ///< prefix-suffix size of v's last token
+  Pattern v_prime;       ///< v' — v without out-predicates
+  Pattern v_out_preds;   ///< v_(k) = l_m[Q_m] — out(v) with its predicates
+  Pattern last_token;    ///< t — last token of v
+};
+
+/// Fact 1: true iff comp(v, q_(k)) ≡ q (deterministic rewriting exists).
+bool HasDeterministicTpRewriting(const Pattern& q, const Pattern& v);
+
+/// Builds the extension-side plan comp(doc(v)/lbl(v), compensation).
+Pattern ExtensionPlan(const std::string& view_name, const Pattern& v,
+                      const Pattern& compensation);
+
+/// Algorithm TPrewrite (Fig. 6): every view of V that supports a
+/// probabilistic TP-rewriting of q, with the rewriting assembled.
+std::vector<TpRewriting> TPrewrite(const Pattern& q,
+                                   const std::vector<NamedView>& views);
+
+}  // namespace pxv
+
+#endif  // PXV_REWRITE_TP_REWRITE_H_

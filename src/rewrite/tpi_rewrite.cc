@@ -1,0 +1,319 @@
+#include "rewrite/tpi_rewrite.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "prob/query_eval.h"
+#include "rewrite/cindependence.h"
+#include "tp/containment.h"
+#include "tp/ops.h"
+#include "tpi/equivalence.h"
+#include "util/check.h"
+#include "xml/label.h"
+
+namespace pxv {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+// Identity plan for an uncompensated view: doc(v)/lbl(v).
+Pattern IdentityPlan(const std::string& name, const Pattern& v) {
+  Pattern plan;
+  const PNodeId root = plan.AddRoot(DocLabel(name));
+  const PNodeId out = plan.AddChild(root, v.OutLabel(), Axis::kChild);
+  plan.SetOut(out);
+  return plan;
+}
+
+// Builds a compensated member comp(v, q_(a)) with its §4 machinery and the
+// V″ computability verdict.
+TpiMember BuildCompensatedMember(const NamedView& nv, const Pattern& q,
+                                 int a) {
+  const Pattern& v = nv.def;
+  TpiMember member;
+  member.view_name = nv.name;
+  member.compensated = true;
+  member.comp_depth = a;
+  member.def = Compensate(v, Suffix(q, a));
+
+  TpRewriting& rw = member.section4;
+  rw.view_name = nv.name;
+  rw.view = v.Clone();
+  rw.k = v.MainBranchLength();
+  rw.compensation = Suffix(q, a);
+  rw.plan = ExtensionPlan(nv.name, v, rw.compensation);
+  rw.v_prime = StripOutPredicates(v);
+  rw.v_out_preds = Suffix(v, rw.k);
+  rw.last_token = LastToken(v);
+  rw.u = MaxPrefixSuffix(TokenLabels(v, TokenCount(v) - 1));
+  const bool view_df = !MbHasDescendantEdge(v, 2);
+  const bool comp_df = !MbHasDescendantEdge(rw.compensation, 2);
+  rw.restricted = view_df || comp_df;
+  member.plan = rw.plan.Clone();
+
+  // V″ conditions (Fig. 7): v' ⊥ q''_a, and restricted or the first u−1
+  // last-token nodes predicate-free.
+  const Pattern q_dprime_a = Compensate(MainBranchOnly(v), Suffix(q, a));
+  bool computable = CIndependent(rw.v_prime, q_dprime_a);
+  if (computable && !rw.restricted) {
+    const auto token_nodes = TokenMbNodes(v).back();
+    for (int i = 0; i < rw.u - 1 && i < static_cast<int>(token_nodes.size());
+         ++i) {
+      if (!v.PredicateChildren(token_nodes[i]).empty()) {
+        computable = false;
+        break;
+      }
+    }
+  }
+  member.computable = computable;
+  return member;
+}
+
+// Deterministic pid retrieval for one member over its extension.
+std::set<PersistentId> RetrievePids(const TpiMember& member,
+                                    const ViewExtensions& exts) {
+  auto it = exts.find(member.view_name);
+  PXV_CHECK(it != exts.end()) << "missing extension " << member.view_name;
+  std::set<PersistentId> pids;
+  for (const NodeProb& np : EvaluateTP(it->second, member.plan)) {
+    pids.insert(it->second.pid(np.node));
+  }
+  return pids;
+}
+
+// Pr(n ∈ v(P)) for an uncompensated view: the β on the extension's result
+// root whose pid is n.
+double ResultRootBeta(const PDocument& ext, PersistentId pid) {
+  for (NodeId r : ExtensionResultRoots(ext)) {
+    if (ext.pid(r) == pid) return ext.edge_prob(r);
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::optional<TpiRewriting> TPIrewrite(const Pattern& q,
+                                       const std::vector<NamedView>& views) {
+  TpiRewriting rw;
+  const auto q_mb = q.MainBranch();
+
+  // V′: original views containing q, plus all prefix-compensated views.
+  for (const NamedView& nv : views) {
+    const Pattern& v = nv.def;
+    if (v.label(v.root()) != q.label(q.root())) continue;
+    if (Contains(v, q)) {
+      TpiMember member;
+      member.view_name = nv.name;
+      member.def = v.Clone();
+      member.plan = IdentityPlan(nv.name, v);
+      member.computable = true;  // Original views: β is directly available.
+      rw.members.push_back(std::move(member));
+    }
+    // Prefs: depths a with q^(a) ⊑ v (and compatible output label).
+    for (int a = 1; a <= static_cast<int>(q_mb.size()); ++a) {
+      if (v.OutLabel() != q.label(q_mb[a - 1])) continue;
+      if (!Contains(v, Prefix(q, a))) continue;
+      // Skip the degenerate compensation that adds nothing (a == |mb(q)| and
+      // suffix is a bare node with no predicates).
+      const Pattern suffix = Suffix(q, a);
+      if (suffix.size() == 1 && a == static_cast<int>(q_mb.size()) &&
+          Contains(v, q)) {
+        continue;  // comp(v, q_(a)) ≡ v, already included.
+      }
+      TpiMember member = BuildCompensatedMember({nv.name, v}, q, a);
+      if (!Contains(member.def, q)) continue;  // Unusable in the plan.
+      rw.members.push_back(std::move(member));
+    }
+  }
+  if (rw.members.empty()) return std::nullopt;
+
+  // Deterministic canonical plan: unfold(qr) ≡ q?
+  TpIntersection unfolded;
+  for (const TpiMember& m : rw.members) unfolded.Add(m.def.Clone());
+  if (!EquivalentTpIntersection(q, unfolded)) return std::nullopt;
+
+  // S(q, V″): can the probabilities be recombined?
+  std::vector<Pattern> computable_defs;
+  for (size_t i = 0; i < rw.members.size(); ++i) {
+    if (rw.members[i].computable) {
+      rw.computable_index.push_back(static_cast<int>(i));
+      computable_defs.push_back(rw.members[i].def.Clone());
+    }
+  }
+  rw.decomposition = DecomposeViews(q, computable_defs);
+  std::optional<std::vector<Rational>> coefficients =
+      SolveSystem(rw.decomposition);
+  if (!coefficients.has_value()) return std::nullopt;
+  rw.coefficients = std::move(*coefficients);
+  return rw;
+}
+
+std::optional<std::vector<int>> FindPairwiseIndependentSubset(
+    const Pattern& q, const std::vector<NamedView>& views, int max_subset) {
+  const Pattern mb_q = MainBranchOnly(q);
+  // Candidates: views containing q.
+  std::vector<int> candidates;
+  for (size_t i = 0; i < views.size(); ++i) {
+    if (views[i].def.label(views[i].def.root()) == q.label(q.root()) &&
+        Contains(views[i].def, q)) {
+      candidates.push_back(static_cast<int>(i));
+    }
+  }
+  const int c = static_cast<int>(candidates.size());
+  PXV_CHECK_LE(c, 24) << "subset search too large";
+  std::optional<std::vector<int>> best;
+  for (uint32_t mask = 1; mask < (1u << c); ++mask) {
+    if (__builtin_popcount(mask) > max_subset) continue;
+    std::vector<int> subset;
+    for (int b = 0; b < c; ++b) {
+      if (mask & (1u << b)) subset.push_back(candidates[b]);
+    }
+    if (best.has_value() && subset.size() >= best->size()) continue;
+    // Lemma 3: some member must contain mb(q).
+    bool lemma3 = false;
+    for (int i : subset) {
+      if (Contains(views[i].def, mb_q)) {
+        lemma3 = true;
+        break;
+      }
+    }
+    if (!lemma3) continue;
+    // Pairwise c-independence.
+    bool indep = true;
+    for (size_t x = 0; x < subset.size() && indep; ++x) {
+      for (size_t y = x + 1; y < subset.size() && indep; ++y) {
+        indep = CIndependent(views[subset[x]].def, views[subset[y]].def);
+      }
+    }
+    if (!indep) continue;
+    // Deterministic rewriting: q ≡ ⋂ subset.
+    TpIntersection in;
+    for (int i : subset) in.Add(views[i].def.Clone());
+    if (!EquivalentTpIntersection(q, in)) continue;
+    best = subset;
+  }
+  return best;
+}
+
+std::string TpiProvenance::ToString() const {
+  std::ostringstream out;
+  out << "Pr(pid " << pid << " ∈ q(P)) = " << value << " = Π factors:\n";
+  for (const Factor& f : factors) {
+    out << "   " << f.member << " : " << f.value << " ^ "
+        << f.exponent.ToString() << "\n";
+  }
+  return out.str();
+}
+
+std::vector<PidProb> ExecuteTpiRewriting(const TpiRewriting& rw,
+                                         const ViewExtensions& exts,
+                                         std::vector<TpiProvenance>* provenance) {
+  PXV_CHECK(!rw.members.empty());
+  // Deterministic retrieval: intersect the members' pid sets.
+  std::set<PersistentId> pids = RetrievePids(rw.members[0], exts);
+  for (size_t i = 1; i < rw.members.size() && !pids.empty(); ++i) {
+    std::set<PersistentId> next = RetrievePids(rw.members[i], exts);
+    std::set<PersistentId> merged;
+    std::set_intersection(pids.begin(), pids.end(), next.begin(), next.end(),
+                          std::inserter(merged, merged.begin()));
+    pids = std::move(merged);
+  }
+
+  // Result probabilities per computable member.
+  std::vector<std::map<PersistentId, double>> member_probs(
+      rw.computable_index.size());
+  for (size_t ci = 0; ci < rw.computable_index.size(); ++ci) {
+    const TpiMember& member = rw.members[rw.computable_index[ci]];
+    const PDocument& ext = exts.at(member.view_name);
+    if (!member.compensated) {
+      for (NodeId r : ExtensionResultRoots(ext)) {
+        member_probs[ci][ext.pid(r)] = ext.edge_prob(r);
+      }
+    } else {
+      for (const PidProb& pp : ExecuteTpRewriting(member.section4, ext)) {
+        member_probs[ci][pp.pid] = pp.prob;
+      }
+    }
+  }
+
+  std::vector<PidProb> result;
+  for (const PersistentId pid : pids) {
+    double log_prob = 0;
+    bool ok = true;
+    TpiProvenance why;
+    why.pid = pid;
+    for (size_t ci = 0; ci < rw.computable_index.size(); ++ci) {
+      const Rational& c = rw.coefficients[ci];
+      if (c.IsZero()) continue;
+      const auto it = member_probs[ci].find(pid);
+      const double p = (it == member_probs[ci].end()) ? 0.0 : it->second;
+      if (provenance != nullptr) {
+        const TpiMember& member = rw.members[rw.computable_index[ci]];
+        std::string desc = member.view_name;
+        if (member.compensated) {
+          desc += " (compensated at depth " +
+                  std::to_string(member.comp_depth) + ")";
+        }
+        why.factors.push_back({std::move(desc), p, c});
+      }
+      if (p <= kEps) {
+        ok = false;
+        if (provenance == nullptr) break;
+      }
+      if (p > kEps) log_prob += c.ToDouble() * std::log(p);
+    }
+    const double prob = ok ? std::exp(log_prob) : 0.0;
+    if (prob > kEps) {
+      result.push_back({pid, prob});
+      if (provenance != nullptr) {
+        why.value = prob;
+        provenance->push_back(std::move(why));
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<PidProb> ExecuteProductRewriting(
+    const std::vector<NamedView>& views, const std::vector<int>& subset,
+    int lemma3_index, const ViewExtensions& exts) {
+  PXV_CHECK(!subset.empty());
+  // Candidates: pids selected by every view.
+  std::set<PersistentId> pids;
+  bool first = true;
+  for (int i : subset) {
+    const PDocument& ext = exts.at(views[i].name);
+    std::set<PersistentId> selected;
+    for (NodeId r : ExtensionResultRoots(ext)) selected.insert(ext.pid(r));
+    if (first) {
+      pids = std::move(selected);
+      first = false;
+    } else {
+      std::set<PersistentId> merged;
+      std::set_intersection(pids.begin(), pids.end(), selected.begin(),
+                            selected.end(),
+                            std::inserter(merged, merged.begin()));
+      pids = std::move(merged);
+    }
+  }
+  std::vector<PidProb> result;
+  const int m = static_cast<int>(subset.size());
+  for (const PersistentId pid : pids) {
+    double product = 1;
+    for (int i : subset) {
+      product *= ResultRootBeta(exts.at(views[i].name), pid);
+    }
+    // Lemma 3: Pr(n ∈ P) read off the mb(q)-containing view's β.
+    const double appearance =
+        ResultRootBeta(exts.at(views[lemma3_index].name), pid);
+    if (appearance <= kEps) continue;
+    for (int j = 0; j < m - 1; ++j) product /= appearance;
+    if (product > kEps) result.push_back({pid, product});
+  }
+  return result;
+}
+
+}  // namespace pxv

@@ -1,0 +1,96 @@
+// Probabilistic TP∩-rewritings (paper §5) — the persistent-Id case, where a
+// rewriting intersects several (possibly compensated) view extensions by
+// node identity.
+//
+//   Thm. 3   pairwise c-independent views whose intersection rewrites q,
+//            with some v_i ⊒ mb(q) (Lemma 3): the product formula
+//            f_r(n) = Π Pr(n ∈ v_i(P)) ÷ Pr(n ∈ P)^{m−1}.
+//   Thm. 4   selecting such a subset is NP-hard (k-dimensional perfect
+//            matching) — FindPairwiseIndependentSubset is exponential by
+//            necessity; see bench/bench_matching.cc.
+//   §5.3     general case: the S(q,V) system over view decompositions.
+//   §5.4     compensated views: V → V′ (all comp(v, q_(a))) → V″ (those
+//            whose result probabilities are computable from the original
+//            extensions via the §4 machinery); algorithm TPIrewrite (Fig. 7).
+
+#ifndef PXV_REWRITE_TPI_REWRITE_H_
+#define PXV_REWRITE_TPI_REWRITE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "linalg/rational.h"
+#include "pxml/view_extension.h"
+#include "rewrite/decomposition.h"
+#include "rewrite/fr_tp.h"
+#include "rewrite/tp_rewrite.h"
+
+namespace pxv {
+
+/// One member of the canonical plan ⋂ doc(v_i)/v_i.
+struct TpiMember {
+  std::string view_name;  ///< The original view whose extension is accessed.
+  Pattern def;            ///< Unfolded definition over the original document.
+  Pattern plan;           ///< Pattern over the extension document.
+  bool compensated = false;
+  int comp_depth = 0;  ///< a — the q-depth of the compensation (if any).
+  /// §4 machinery for computing the compensated member's result
+  /// probabilities from the original extension (valid iff `computable`).
+  TpRewriting section4;
+  bool computable = false;  ///< Member of V″.
+};
+
+/// A probabilistic TP∩-rewriting: canonical plan + f_r coefficients.
+struct TpiRewriting {
+  std::vector<TpiMember> members;
+  /// f_r exponents, one per member of V″ (aligned with `computable_index`).
+  std::vector<Rational> coefficients;
+  std::vector<int> computable_index;  ///< Indices into `members`.
+  ViewDecomposition decomposition;    ///< For inspection / reporting.
+};
+
+/// Algorithm TPIrewrite (Fig. 7). Returns the rewriting, or nullopt when no
+/// probabilistic TP∩-rewriting is found (sound; complete unless mb(q) is
+/// /-only, per Prop. 6).
+std::optional<TpiRewriting> TPIrewrite(const Pattern& q,
+                                       const std::vector<NamedView>& views);
+
+/// Theorem 3 search: indices of a subset of pairwise c-independent views
+/// whose intersection deterministically rewrites q, containing a view with
+/// mb(q) ⊑ v_i. Exponential subset search (NP-hard per Theorem 4); subsets
+/// up to `max_subset` members are explored.
+std::optional<std::vector<int>> FindPairwiseIndependentSubset(
+    const Pattern& q, const std::vector<NamedView>& views, int max_subset = 8);
+
+/// Why-provenance of a TP∩ answer (§7): the per-view probability factors
+/// and rational exponents that produced the value.
+struct TpiProvenance {
+  PersistentId pid = kNullPid;
+  struct Factor {
+    std::string member;      ///< View (or compensated-view) description.
+    double value = 0;        ///< Pr(n ∈ v_i(P)) read from the extension.
+    Rational exponent;       ///< The S(q,V) combination coefficient.
+  };
+  std::vector<Factor> factors;
+  double value = 0;
+  std::string ToString() const;
+};
+
+/// Executes a TP∩-rewriting over the extensions of the *original* views:
+/// deterministic retrieval by pid-intersection, probabilities by the
+/// coefficient product. Extensions must contain every member's view_name.
+/// When `provenance` is non-null, one entry per answer is appended.
+std::vector<PidProb> ExecuteTpiRewriting(
+    const TpiRewriting& rw, const ViewExtensions& exts,
+    std::vector<TpiProvenance>* provenance = nullptr);
+
+/// Executes the Theorem 3 product formula directly for a pairwise
+/// c-independent subset; `lemma3_index` names the member with mb(q) ⊑ v.
+std::vector<PidProb> ExecuteProductRewriting(
+    const std::vector<NamedView>& views, const std::vector<int>& subset,
+    int lemma3_index, const ViewExtensions& exts);
+
+}  // namespace pxv
+
+#endif  // PXV_REWRITE_TPI_REWRITE_H_

@@ -1,0 +1,264 @@
+#include "tp/containment.h"
+
+#include <cstdint>
+#include <functional>
+
+#include "tp/eval.h"
+#include "util/check.h"
+#include "xml/document.h"
+
+namespace pxv {
+namespace {
+
+// Containment-mapping matcher: like eval's Matcher but the "document" is a
+// pattern: / must map to a /-edge, // to any downward path of length >= 1.
+class PatternMatcher {
+ public:
+  PatternMatcher(const Pattern& q, const Pattern& host)
+      : q_(q),
+        host_(host),
+        sat_(static_cast<size_t>(q.size()) * host.size(), kUnknown),
+        below_(static_cast<size_t>(q.size()) * host.size(), kUnknown) {}
+
+  bool Sat(PNodeId qn, PNodeId hn) {
+    int8_t& memo = sat_[Index(qn, hn)];
+    if (memo != kUnknown) return memo;
+    bool ok = q_.label(qn) == host_.label(hn);
+    if (ok) {
+      for (PNodeId c : q_.children(qn)) {
+        bool found = false;
+        if (q_.axis(c) == Axis::kDescendant) {
+          found = Below(c, hn);
+        } else {
+          for (PNodeId y : host_.children(hn)) {
+            if (host_.axis(y) == Axis::kChild && Sat(c, y)) {
+              found = true;
+              break;
+            }
+          }
+        }
+        if (!found) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    memo = ok;
+    return ok;
+  }
+
+  bool Below(PNodeId qn, PNodeId hn) {
+    int8_t& memo = below_[Index(qn, hn)];
+    if (memo != kUnknown) return memo;
+    bool ok = false;
+    for (PNodeId y : host_.children(hn)) {
+      if (Sat(qn, y) || Below(qn, y)) {
+        ok = true;
+        break;
+      }
+    }
+    memo = ok;
+    return ok;
+  }
+
+ private:
+  static constexpr int8_t kUnknown = -1;
+  size_t Index(PNodeId qn, PNodeId hn) const {
+    return static_cast<size_t>(qn) * host_.size() + hn;
+  }
+
+  const Pattern& q_;
+  const Pattern& host_;
+  std::vector<int8_t> sat_, below_;
+};
+
+// Canonical-model enumerator: instantiates every //-edge of `sub` with a
+// chain of 0..bound-1 fresh z-labeled nodes; calls `visit(doc, out_image)`
+// for each model; stops early when visit returns false. Returns false iff
+// some visit returned false.
+bool ForEachCanonicalModel(
+    const Pattern& sub, int bound,
+    const std::function<bool(const Document&, NodeId)>& visit);
+
+class ModelEnumerator {
+ public:
+  ModelEnumerator(const Pattern& sub, int bound,
+                  const std::function<bool(const Document&, NodeId)>& visit)
+      : sub_(sub), bound_(bound), visit_(visit), z_(Intern("\x01z")) {
+    // Collect //-edges (target nodes whose incoming axis is descendant).
+    for (PNodeId n = 0; n < sub.size(); ++n) {
+      if (n != sub.root() && sub.axis(n) == Axis::kDescendant) {
+        desc_nodes_.push_back(n);
+      }
+    }
+    chain_len_.assign(desc_nodes_.size(), 0);
+  }
+
+  bool Run() { return Rec(0); }
+
+ private:
+  bool Rec(size_t i) {
+    if (i == desc_nodes_.size()) return Build();
+    for (int len = 0; len < bound_; ++len) {
+      chain_len_[i] = len;
+      if (!Rec(i + 1)) return false;
+    }
+    return true;
+  }
+
+  bool Build() {
+    Document doc;
+    std::vector<NodeId> image(sub_.size(), kNullNode);
+    // Preorder construction (parents precede children in the arena).
+    for (PNodeId n = 0; n < sub_.size(); ++n) {
+      if (n == sub_.root()) {
+        image[n] = doc.AddRoot(sub_.label(n));
+        continue;
+      }
+      NodeId attach = image[sub_.parent(n)];
+      if (sub_.axis(n) == Axis::kDescendant) {
+        const int len = ChainLenOf(n);
+        for (int j = 0; j < len; ++j) attach = doc.AddChild(attach, z_);
+      }
+      image[n] = doc.AddChild(attach, sub_.label(n));
+    }
+    return visit_(doc, image[sub_.out()]);
+  }
+
+  int ChainLenOf(PNodeId n) const {
+    for (size_t i = 0; i < desc_nodes_.size(); ++i) {
+      if (desc_nodes_[i] == n) return chain_len_[i];
+    }
+    PXV_CHECK(false) << "not a descendant-edge node";
+    return 0;
+  }
+
+  const Pattern& sub_;
+  int bound_;
+  const std::function<bool(const Document&, NodeId)>& visit_;
+  Label z_;
+  std::vector<PNodeId> desc_nodes_;
+  std::vector<int> chain_len_;
+};
+
+bool ForEachCanonicalModel(
+    const Pattern& sub, int bound,
+    const std::function<bool(const Document&, NodeId)>& visit) {
+  return ModelEnumerator(sub, bound, visit).Run();
+}
+
+}  // namespace
+
+std::vector<PNodeId> MapOutImages(const Pattern& q, const Pattern& host) {
+  std::vector<PNodeId> result;
+  if (q.empty() || host.empty()) return result;
+  if (q.label(q.root()) != host.label(host.root())) return result;
+
+  PatternMatcher m(q, host);
+  const auto mb = q.MainBranch();
+
+  auto preds_ok = [&](PNodeId qn, PNodeId hn) {
+    if (q.label(qn) != host.label(hn)) return false;
+    for (PNodeId p : q.PredicateChildren(qn)) {
+      bool found = false;
+      if (q.axis(p) == Axis::kDescendant) {
+        found = m.Below(p, hn);
+      } else {
+        for (PNodeId y : host.children(hn)) {
+          if (host.axis(y) == Axis::kChild && m.Sat(p, y)) {
+            found = true;
+            break;
+          }
+        }
+      }
+      if (!found) return false;
+    }
+    return true;
+  };
+
+  std::vector<uint8_t> frontier(host.size(), 0);
+  if (!preds_ok(mb[0], host.root())) return result;
+  frontier[host.root()] = 1;
+
+  for (size_t i = 1; i < mb.size(); ++i) {
+    std::vector<uint8_t> next(host.size(), 0);
+    if (q.axis(mb[i]) == Axis::kDescendant) {
+      std::vector<uint8_t> under(host.size(), 0);
+      for (PNodeId n = 0; n < host.size(); ++n) {
+        const PNodeId p = host.parent(n);
+        if (p != kNullPNode && (frontier[p] || under[p])) under[n] = 1;
+      }
+      for (PNodeId n = 0; n < host.size(); ++n) {
+        if (under[n] && preds_ok(mb[i], n)) next[n] = 1;
+      }
+    } else {
+      for (PNodeId n = 0; n < host.size(); ++n) {
+        if (!frontier[n]) continue;
+        for (PNodeId y : host.children(n)) {
+          if (host.axis(y) == Axis::kChild && !next[y] && preds_ok(mb[i], y)) {
+            next[y] = 1;
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  for (PNodeId n = 0; n < host.size(); ++n) {
+    if (frontier[n]) result.push_back(n);
+  }
+  return result;
+}
+
+bool ContainsHom(const Pattern& sup, const Pattern& sub) {
+  for (PNodeId n : MapOutImages(sup, sub)) {
+    if (n == sub.out()) return true;
+  }
+  return false;
+}
+
+int LongestChildChain(const Pattern& q) {
+  int best = 0;
+  std::vector<int> chain(q.size(), 0);
+  for (PNodeId n = 0; n < q.size(); ++n) {
+    if (n == q.root()) continue;
+    chain[n] =
+        (q.axis(n) == Axis::kChild) ? chain[q.parent(n)] + 1 : 0;
+    if (chain[n] > best) best = chain[n];
+  }
+  return best;
+}
+
+bool Contains(const Pattern& sup, const Pattern& sub) {
+  if (sup.empty() || sub.empty()) return false;
+  if (sup.label(sup.root()) != sub.label(sub.root())) return false;
+  if (ContainsHom(sup, sub)) return true;
+
+  // Canonical-model refutation/confirmation (Miklau–Suciu): sub ⊑ sup iff
+  // sup selects the distinguished node in every canonical model of sub with
+  // //-chains of length < bound.
+  const int bound = LongestChildChain(sup) + 2;
+  int desc_edges = 0;
+  for (PNodeId n = 0; n < sub.size(); ++n) {
+    if (n != sub.root() && sub.axis(n) == Axis::kDescendant) ++desc_edges;
+  }
+  double models = 1;
+  for (int i = 0; i < desc_edges; ++i) models *= bound;
+  PXV_CHECK_LE(models, 8e6) << "canonical-model containment test too large ("
+                            << desc_edges << " //-edges, bound " << bound
+                            << ")";
+
+  return ForEachCanonicalModel(
+      sub, bound, [&](const Document& doc, NodeId out_image) {
+        for (NodeId n : Evaluate(sup, doc)) {
+          if (n == out_image) return true;  // This model passes; continue.
+        }
+        return false;  // Counter-model: containment fails.
+      });
+}
+
+bool Equivalent(const Pattern& a, const Pattern& b) {
+  return Contains(a, b) && Contains(b, a);
+}
+
+}  // namespace pxv

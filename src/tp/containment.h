@@ -1,0 +1,42 @@
+// Containment and equivalence of tree patterns (paper §2; Miklau–Suciu).
+//
+// q1 ⊑ q2  iff  q1(d) ⊆ q2(d) for every document d.
+//
+// Containment mappings (homomorphisms respecting labels, /-edges, //-edges,
+// root and output node) are sound: a mapping q2 → q1 witnesses q1 ⊑ q2. They
+// are complete on the /-only fragment and on the fragments this paper's
+// procedures manipulate, but not on full TP{/,//,[]} (containment there is
+// coNP-complete). `Contains` is exact: it uses the homomorphism fast path
+// and falls back to the Miklau–Suciu canonical-model check, which is
+// exponential only in the number of //-edges of the contained query.
+
+#ifndef PXV_TP_CONTAINMENT_H_
+#define PXV_TP_CONTAINMENT_H_
+
+#include <vector>
+
+#include "tp/pattern.h"
+
+namespace pxv {
+
+/// Nodes of `host` that out(q) can map to under a containment mapping of q
+/// into the tree pattern `host` (root ↦ root; /-edge ↦ /-edge; //-edge ↦ any
+/// downward path of ≥ 1 edges).
+std::vector<PNodeId> MapOutImages(const Pattern& q, const Pattern& host);
+
+/// True iff there is a containment mapping sup → sub with out ↦ out.
+/// Witnesses sub ⊑ sup (sound; complete on //-free sup).
+bool ContainsHom(const Pattern& sup, const Pattern& sub);
+
+/// Exact test for sub ⊑ sup. Homomorphism fast path, then canonical models.
+bool Contains(const Pattern& sup, const Pattern& sub);
+
+/// Exact equivalence: Contains both ways.
+bool Equivalent(const Pattern& a, const Pattern& b);
+
+/// Length (in edges) of the longest /-only chain in q (canonical-model bound).
+int LongestChildChain(const Pattern& q);
+
+}  // namespace pxv
+
+#endif  // PXV_TP_CONTAINMENT_H_

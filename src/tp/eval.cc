@@ -1,0 +1,156 @@
+#include "tp/eval.h"
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace pxv {
+namespace {
+
+// Memoized subtree-embedding tables: sat[qn][dn] = subtree of q at qn embeds
+// with qn ↦ dn; below[qn][dn] = it embeds at some proper descendant of dn.
+class Matcher {
+ public:
+  Matcher(const Pattern& q, const Document& d)
+      : q_(q),
+        d_(d),
+        sat_(static_cast<size_t>(q.size()) * d.size(), kUnknown),
+        below_(static_cast<size_t>(q.size()) * d.size(), kUnknown) {}
+
+  bool Sat(PNodeId qn, NodeId dn) {
+    int8_t& memo = sat_[Index(qn, dn)];
+    if (memo != kUnknown) return memo;
+    bool ok = q_.label(qn) == d_.label(dn);
+    if (ok) {
+      for (PNodeId c : q_.children(qn)) {
+        const bool need_desc = q_.axis(c) == Axis::kDescendant;
+        bool found = false;
+        if (need_desc) {
+          found = Below(c, dn);
+        } else {
+          for (NodeId y : d_.children(dn)) {
+            if (Sat(c, y)) {
+              found = true;
+              break;
+            }
+          }
+        }
+        if (!found) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    memo = ok;
+    return ok;
+  }
+
+  // ∃ proper descendant y of dn with Sat(qn, y).
+  bool Below(PNodeId qn, NodeId dn) {
+    int8_t& memo = below_[Index(qn, dn)];
+    if (memo != kUnknown) return memo;
+    bool ok = false;
+    for (NodeId y : d_.children(dn)) {
+      if (Sat(qn, y) || Below(qn, y)) {
+        ok = true;
+        break;
+      }
+    }
+    memo = ok;
+    return ok;
+  }
+
+ private:
+  static constexpr int8_t kUnknown = -1;
+  size_t Index(PNodeId qn, NodeId dn) const {
+    return static_cast<size_t>(qn) * d_.size() + dn;
+  }
+
+  const Pattern& q_;
+  const Document& d_;
+  std::vector<int8_t> sat_, below_;
+};
+
+}  // namespace
+
+std::vector<NodeId> Evaluate(const Pattern& q, const Document& d) {
+  std::vector<NodeId> result;
+  if (q.empty() || d.empty()) return result;
+  if (q.label(q.root()) != d.label(d.root())) return result;
+
+  Matcher m(q, d);
+  const auto mb = q.MainBranch();
+
+  // Frontier walk down the main branch. A node enters the frontier for mb[i]
+  // iff mb[0..i] maps onto its ancestor path and all predicates of mb[0..i]
+  // are satisfied at the mapped nodes. Predicates of a main-branch node are
+  // exactly its non-main-branch subtrees, which Sat covers; but Sat(mb[i])
+  // would also require the rest of the main branch, so predicates are
+  // checked individually here.
+  auto preds_ok = [&](PNodeId qn, NodeId dn) {
+    if (q.label(qn) != d.label(dn)) return false;
+    for (PNodeId p : q.PredicateChildren(qn)) {
+      const bool need_desc = q.axis(p) == Axis::kDescendant;
+      bool found = false;
+      if (need_desc) {
+        found = m.Below(p, dn);
+      } else {
+        for (NodeId y : d.children(dn)) {
+          if (m.Sat(p, y)) {
+            found = true;
+            break;
+          }
+        }
+      }
+      if (!found) return false;
+    }
+    return true;
+  };
+
+  std::vector<uint8_t> frontier(d.size(), 0);
+  if (!preds_ok(mb[0], d.root())) return result;
+  frontier[d.root()] = 1;
+
+  for (size_t i = 1; i < mb.size(); ++i) {
+    std::vector<uint8_t> next(d.size(), 0);
+    const bool desc = q.axis(mb[i]) == Axis::kDescendant;
+    // Collect child or descendant candidates of the current frontier.
+    // For descendants, propagate a "has frontier ancestor" flag in node-id
+    // order (parents precede children in the arena).
+    if (desc) {
+      std::vector<uint8_t> under(d.size(), 0);
+      for (NodeId n = 0; n < d.size(); ++n) {
+        const NodeId p = d.parent(n);
+        if (p != kNullNode && (frontier[p] || under[p])) under[n] = 1;
+      }
+      for (NodeId n = 0; n < d.size(); ++n) {
+        if (under[n] && preds_ok(mb[i], n)) next[n] = 1;
+      }
+    } else {
+      for (NodeId n = 0; n < d.size(); ++n) {
+        if (!frontier[n]) continue;
+        for (NodeId y : d.children(n)) {
+          if (!next[y] && preds_ok(mb[i], y)) next[y] = 1;
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  for (NodeId n = 0; n < d.size(); ++n) {
+    if (frontier[n]) result.push_back(n);
+  }
+  return result;
+}
+
+bool Matches(const Pattern& q, const Document& d) {
+  return !Evaluate(q, d).empty();
+}
+
+bool SubtreeEmbedsAt(const Pattern& q, PNodeId qn, const Document& d,
+                     NodeId dn) {
+  Matcher m(q, d);
+  return m.Sat(qn, dn);
+}
+
+}  // namespace pxv

@@ -1,0 +1,30 @@
+// Evaluation of tree patterns over deterministic documents via embeddings
+// (paper §2): q(d) = { e(out(q)) | e an embedding of q into d }.
+
+#ifndef PXV_TP_EVAL_H_
+#define PXV_TP_EVAL_H_
+
+#include <vector>
+
+#include "tp/pattern.h"
+#include "xml/document.h"
+
+namespace pxv {
+
+/// All output-node images over embeddings of q into d, ascending NodeIds.
+/// Empty when lbl(root(q)) ≠ lbl(root(d)) (q not formulated over d) or no
+/// embedding exists.
+std::vector<NodeId> Evaluate(const Pattern& q, const Document& d);
+
+/// True iff q has at least one embedding into d (Boolean semantics).
+bool Matches(const Pattern& q, const Document& d);
+
+/// True iff the pattern subtree rooted at `qn` embeds at document node `dn`
+/// (with qn ↦ dn); ancestors/axis of qn are ignored. Exposed for the
+/// containment and rewriting modules.
+bool SubtreeEmbedsAt(const Pattern& q, PNodeId qn, const Document& d,
+                     NodeId dn);
+
+}  // namespace pxv
+
+#endif  // PXV_TP_EVAL_H_

@@ -1,0 +1,58 @@
+#include "tp/minimize.h"
+
+#include "tp/containment.h"
+#include "util/check.h"
+
+namespace pxv {
+namespace {
+
+// Rebuilds q skipping the subtree rooted at `skip`.
+Pattern CopyWithout(const Pattern& q, PNodeId skip) {
+  PXV_CHECK(!q.OnMainBranch(skip)) << "cannot remove a main branch node";
+  Pattern out;
+  std::vector<PNodeId> image(q.size(), kNullPNode);
+  for (PNodeId n = 0; n < q.size(); ++n) {
+    if (n == skip) continue;
+    const PNodeId par = q.parent(n);
+    if (par != kNullPNode && image[par] == kNullPNode) continue;  // Inside skip.
+    image[n] = (n == q.root())
+                   ? out.AddRoot(q.label(n))
+                   : out.AddChild(image[par], q.label(n), q.axis(n));
+  }
+  PXV_CHECK_NE(image[q.out()], kNullPNode);
+  out.SetOut(image[q.out()]);
+  return out;
+}
+
+// Finds one redundant subtree; returns the reduced pattern or nullopt.
+bool TryReduceOnce(const Pattern& q, Pattern* reduced) {
+  for (PNodeId n = 0; n < q.size(); ++n) {
+    if (n == q.root() || q.OnMainBranch(n)) continue;
+    Pattern candidate = CopyWithout(q, n);
+    // Removal generalizes (q ⊑ candidate always); the subtree is redundant
+    // iff candidate ⊑ q as well.
+    if (Contains(q, candidate)) {
+      *reduced = std::move(candidate);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Pattern RemoveSubtree(const Pattern& q, PNodeId n) { return CopyWithout(q, n); }
+
+Pattern Minimize(const Pattern& q) {
+  Pattern cur = q;
+  Pattern next;
+  while (TryReduceOnce(cur, &next)) cur = std::move(next);
+  return cur;
+}
+
+bool IsMinimal(const Pattern& q) {
+  Pattern unused;
+  return !TryReduceOnce(q, &unused);
+}
+
+}  // namespace pxv

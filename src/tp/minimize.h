@@ -1,0 +1,24 @@
+// Tree-pattern minimization (paper §2; Amer-Yahia et al.): remove subsumed
+// predicate subtrees so that equivalence of minimized queries becomes
+// isomorphism. All rewriting procedures assume minimized inputs.
+
+#ifndef PXV_TP_MINIMIZE_H_
+#define PXV_TP_MINIMIZE_H_
+
+#include "tp/pattern.h"
+
+namespace pxv {
+
+/// Returns q without the subtree rooted at `n`. `n` must not lie on the main
+/// branch (the main branch is never redundant for the unary semantics).
+Pattern RemoveSubtree(const Pattern& q, PNodeId n);
+
+/// Returns an equivalent pattern with no redundant predicate subtree.
+Pattern Minimize(const Pattern& q);
+
+/// True iff no predicate subtree of q is redundant.
+bool IsMinimal(const Pattern& q);
+
+}  // namespace pxv
+
+#endif  // PXV_TP_MINIMIZE_H_

@@ -1,0 +1,176 @@
+#include "tp/ops.h"
+
+#include "util/check.h"
+
+namespace pxv {
+
+Pattern Prefix(const Pattern& q, int y) {
+  const auto mb = q.MainBranch();
+  PXV_CHECK(y >= 1 && y <= static_cast<int>(mb.size()))
+      << "prefix depth " << y << " out of range";
+  Pattern out = q.Clone();
+  out.SetOut(mb[y - 1]);
+  return out;
+}
+
+Pattern Suffix(const Pattern& q, int y) {
+  const auto mb = q.MainBranch();
+  PXV_CHECK(y >= 1 && y <= static_cast<int>(mb.size()))
+      << "suffix depth " << y << " out of range";
+  Pattern out;
+  PNodeId out_image = kNullPNode;
+  GraftSubtree(q, mb[y - 1], &out, kNullPNode, Axis::kChild, &out_image);
+  PXV_CHECK_NE(out_image, kNullPNode);
+  out.SetOut(out_image);
+  return out;
+}
+
+std::vector<std::vector<PNodeId>> TokenMbNodes(const Pattern& q) {
+  std::vector<std::vector<PNodeId>> tokens;
+  for (PNodeId n : q.MainBranch()) {
+    const bool new_token =
+        tokens.empty() || (n != q.root() && q.axis(n) == Axis::kDescendant);
+    if (new_token) tokens.emplace_back();
+    tokens.back().push_back(n);
+  }
+  return tokens;
+}
+
+int TokenCount(const Pattern& q) {
+  return static_cast<int>(TokenMbNodes(q).size());
+}
+
+Pattern Token(const Pattern& q, int i) {
+  const auto tokens = TokenMbNodes(q);
+  PXV_CHECK(i >= 0 && i < static_cast<int>(tokens.size()));
+  const auto& seg = tokens[i];
+  Pattern out;
+  PNodeId prev = kNullPNode;
+  for (PNodeId n : seg) {
+    const PNodeId copy = (prev == kNullPNode)
+                             ? out.AddRoot(q.label(n))
+                             : out.AddChild(prev, q.label(n), Axis::kChild);
+    for (PNodeId p : q.PredicateChildren(n)) {
+      GraftSubtree(q, p, &out, copy, q.axis(p));
+    }
+    prev = copy;
+  }
+  out.SetOut(prev);
+  return out;
+}
+
+Pattern LastToken(const Pattern& q) { return Token(q, TokenCount(q) - 1); }
+
+std::vector<Label> TokenLabels(const Pattern& q, int i) {
+  const auto tokens = TokenMbNodes(q);
+  PXV_CHECK(i >= 0 && i < static_cast<int>(tokens.size()));
+  std::vector<Label> labels;
+  labels.reserve(tokens[i].size());
+  for (PNodeId n : tokens[i]) labels.push_back(q.label(n));
+  return labels;
+}
+
+int MaxPrefixSuffix(const std::vector<Label>& labels) {
+  const int m = static_cast<int>(labels.size());
+  for (int u = m / 2; u >= 1; --u) {
+    bool match = true;
+    for (int j = 0; j < u; ++j) {
+      if (labels[j] != labels[m - u + j]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return u;
+  }
+  return 0;
+}
+
+Pattern Compensate(const Pattern& q1, const Pattern& q2) {
+  PXV_CHECK_EQ(q1.OutLabel(), q2.label(q2.root()))
+      << "comp requires lbl(out(q1)) == lbl(root(q2))";
+  Pattern out = q1.Clone();
+  PNodeId new_out = out.out();  // If out(q2) == root(q2).
+  for (PNodeId c : q2.children(q2.root())) {
+    PNodeId img = kNullPNode;
+    GraftSubtree(q2, c, &out, out.out(), q2.axis(c), &img);
+    if (img != kNullPNode) new_out = img;
+  }
+  out.SetOut(new_out);
+  return out;
+}
+
+Pattern MainBranchOnly(const Pattern& q) {
+  Pattern out;
+  PNodeId prev = kNullPNode;
+  for (PNodeId n : q.MainBranch()) {
+    prev = (prev == kNullPNode) ? out.AddRoot(q.label(n))
+                                : out.AddChild(prev, q.label(n), q.axis(n));
+  }
+  out.SetOut(prev);
+  return out;
+}
+
+Pattern StripOutPredicates(const Pattern& q) {
+  Pattern out;
+  std::vector<PNodeId> image(q.size(), kNullPNode);
+  for (PNodeId n = 0; n < q.size(); ++n) {
+    const PNodeId par = q.parent(n);
+    if (n != q.root()) {
+      if (par == q.out()) continue;                  // Predicate of out.
+      if (image[par] == kNullPNode) continue;        // Inside one.
+    }
+    image[n] = (n == q.root())
+                   ? out.AddRoot(q.label(n))
+                   : out.AddChild(image[par], q.label(n), q.axis(n));
+  }
+  PXV_CHECK_NE(image[q.out()], kNullPNode);
+  out.SetOut(image[q.out()]);
+  return out;
+}
+
+Pattern QPrime(const Pattern& q, int k) {
+  return StripOutPredicates(Prefix(q, k));
+}
+
+Pattern QDoublePrime(const Pattern& q, int k) {
+  const auto mb = q.MainBranch();
+  PXV_CHECK(k >= 1 && k <= static_cast<int>(mb.size()));
+  Pattern out;
+  PNodeId prev = kNullPNode;
+  for (int i = 0; i < k; ++i) {
+    prev = (prev == kNullPNode)
+               ? out.AddRoot(q.label(mb[i]))
+               : out.AddChild(prev, q.label(mb[i]), q.axis(mb[i]));
+  }
+  // Depth-k node keeps its full subtree (predicates + former continuation).
+  PNodeId new_out = prev;
+  for (PNodeId c : q.children(mb[k - 1])) {
+    GraftSubtree(q, c, &out, prev, q.axis(c));
+  }
+  out.SetOut(new_out);
+  return out;
+}
+
+bool MbHasDescendantEdge(const Pattern& q, int from_depth) {
+  const auto mb = q.MainBranch();
+  for (int i = std::max(1, from_depth - 1); i < static_cast<int>(mb.size());
+       ++i) {
+    if (q.axis(mb[i]) == Axis::kDescendant) return true;
+  }
+  return false;
+}
+
+Pattern WithMarkerChild(const Pattern& q, PNodeId n, Label marker) {
+  Pattern out = q.Clone();
+  out.AddChild(n, marker, Axis::kChild);
+  return out;
+}
+
+bool IsLinear(const Pattern& q) {
+  for (PNodeId n = 0; n < q.size(); ++n) {
+    if (q.children(n).size() > 1) return false;
+  }
+  return q.children(q.out()).empty();
+}
+
+}  // namespace pxv

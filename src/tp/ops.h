@@ -1,0 +1,81 @@
+// The structural calculus of §4: prefixes, suffixes, tokens, compensation,
+// and the derived queries q', q'' used throughout the rewriting results.
+//
+// Conventions (paper §4, "Notation for splitting queries"):
+//   prefix q^(y)  — q with the output mark moved up to the main branch node
+//                   of depth y (the rest of the branch becomes a predicate);
+//   suffix q_(y)  — the subtree of q rooted at the main branch node of
+//                   depth y;
+//   tokens        — the /-connected segments of the main branch (split at
+//                   //-edges), each with the predicate subtrees of its nodes;
+//   comp(q1, q2)  — q2's root merged onto out(q1): navigation continuing
+//                   from a view's output (requires lbl(out(q1)) = lbl(root(q2)));
+//   q'            — q^(k) with all predicates of its out node removed;
+//   v'            — v with all predicates of out(v) removed;
+//   q''           — comp(mb(q^(k)), (q^(k))_(k)).
+
+#ifndef PXV_TP_OPS_H_
+#define PXV_TP_OPS_H_
+
+#include <vector>
+
+#include "tp/pattern.h"
+
+namespace pxv {
+
+/// q^(y): same tree, out moved to depth y (1 ≤ y ≤ |mb(q)|).
+Pattern Prefix(const Pattern& q, int y);
+
+/// q_(y): subtree rooted at the main branch node of depth y; out preserved.
+Pattern Suffix(const Pattern& q, int y);
+
+/// Main-branch nodes of each token, in root→out order.
+std::vector<std::vector<PNodeId>> TokenMbNodes(const Pattern& q);
+
+/// Number of tokens of q.
+int TokenCount(const Pattern& q);
+
+/// Token i (0-based) as a pattern: its /-connected main-branch segment with
+/// the predicate subtrees of those nodes; out = last segment node.
+Pattern Token(const Pattern& q, int i);
+
+/// The last token of q (the one ending at out(q)).
+Pattern LastToken(const Pattern& q);
+
+/// Main-branch labels of token i: (l_1, ..., l_m).
+std::vector<Label> TokenLabels(const Pattern& q, int i);
+
+/// Size u of the maximal prefix-suffix of `labels`: the largest u with
+/// 2u ≤ m and (l_1..l_u) = (l_{m-u+1}..l_m).
+int MaxPrefixSuffix(const std::vector<Label>& labels);
+
+/// comp(q1, q2). Requires lbl(out(q1)) == lbl(root(q2)): q2's root merges
+/// onto out(q1), out moves to the image of out(q2).
+Pattern Compensate(const Pattern& q1, const Pattern& q2);
+
+/// mb(q): the main branch as a linear pattern without predicates.
+Pattern MainBranchOnly(const Pattern& q);
+
+/// q with every predicate subtree of out(q) removed (yields v' for views).
+Pattern StripOutPredicates(const Pattern& q);
+
+/// q' of §4: StripOutPredicates(Prefix(q, k)).
+Pattern QPrime(const Pattern& q, int k);
+
+/// q'' of §4: linear main branch of q^(k) compensated with the full subtree
+/// at depth k.
+Pattern QDoublePrime(const Pattern& q, int k);
+
+/// True iff the main branch of q has a //-edge strictly below depth
+/// `from_depth` − 1 (i.e. among edges entering depths from_depth..|mb|).
+bool MbHasDescendantEdge(const Pattern& q, int from_depth = 2);
+
+/// q with an extra child-axis marker leaf labeled `marker` under node `n`.
+Pattern WithMarkerChild(const Pattern& q, PNodeId n, Label marker);
+
+/// True iff q has no predicate subtrees at all (linear pattern).
+bool IsLinear(const Pattern& q);
+
+}  // namespace pxv
+
+#endif  // PXV_TP_OPS_H_

@@ -1,0 +1,226 @@
+#include "tp/parser.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace pxv {
+namespace {
+
+class XPathParser {
+ public:
+  explicit XPathParser(std::string_view text) : text_(text) {}
+
+  StatusOr<Pattern> Parse() {
+    Pattern q;
+    PNodeId last = kNullPNode;
+    Status s = ParsePath(&q, kNullPNode, Axis::kChild, &last);
+    if (!s.ok()) return s;
+    if (pos_ != text_.size()) {
+      return Status::Error("trailing characters at offset " +
+                           std::to_string(pos_));
+    }
+    q.SetOut(last);
+    return q;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  bool IsLabelChar(char c) const {
+    return c != '/' && c != '[' && c != ']' && c != '"' &&
+           !std::isspace(static_cast<unsigned char>(c));
+  }
+
+  Status ParseLabel(std::string* out) {
+    out->clear();
+    if (AtEnd()) return Status::Error("expected label, got EOF");
+    if (Peek() == '"') {
+      ++pos_;
+      while (!AtEnd() && Peek() != '"') {
+        if (Peek() == '\\' && pos_ + 1 < text_.size()) ++pos_;
+        out->push_back(text_[pos_++]);
+      }
+      if (AtEnd()) return Status::Error("unterminated quote");
+      ++pos_;
+      return Status::Ok();
+    }
+    int paren_depth = 0;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == '(') {
+        ++paren_depth;
+      } else if (c == ')') {
+        if (paren_depth == 0) break;
+        --paren_depth;
+      } else if (paren_depth == 0 && !IsLabelChar(c)) {
+        break;
+      }
+      out->push_back(c);
+      ++pos_;
+    }
+    if (paren_depth != 0) return Status::Error("unbalanced '(' in label");
+    if (out->empty()) {
+      return Status::Error("expected label at offset " + std::to_string(pos_));
+    }
+    return Status::Ok();
+  }
+
+  // Parses an axis separator: "/" → child, "//" → descendant.
+  Status ParseAxis(Axis* axis) {
+    if (AtEnd() || Peek() != '/') return Status::Error("expected '/'");
+    ++pos_;
+    if (!AtEnd() && Peek() == '/') {
+      ++pos_;
+      *axis = Axis::kDescendant;
+    } else {
+      *axis = Axis::kChild;
+    }
+    return Status::Ok();
+  }
+
+  // step := label predicate*
+  Status ParseStep(Pattern* q, PNodeId parent, Axis axis, PNodeId* node) {
+    std::string label;
+    Status s = ParseLabel(&label);
+    if (!s.ok()) return s;
+    *node = (parent == kNullPNode) ? q->AddRoot(Intern(label))
+                                   : q->AddChild(parent, Intern(label), axis);
+    while (!AtEnd() && Peek() == '[') {
+      Status ps = ParsePredicate(q, *node);
+      if (!ps.ok()) return ps;
+    }
+    return Status::Ok();
+  }
+
+  // path := step (sep step)*; `last` receives the final step's node.
+  Status ParsePath(Pattern* q, PNodeId parent, Axis axis, PNodeId* last) {
+    PNodeId node = kNullPNode;
+    Status s = ParseStep(q, parent, axis, &node);
+    if (!s.ok()) return s;
+    while (!AtEnd() && Peek() == '/') {
+      Axis next_axis;
+      Status as = ParseAxis(&next_axis);
+      if (!as.ok()) return as;
+      PNodeId child = kNullPNode;
+      Status cs = ParseStep(q, node, next_axis, &child);
+      if (!cs.ok()) return cs;
+      node = child;
+    }
+    *last = node;
+    return Status::Ok();
+  }
+
+  // predicate := '[' ['.'] [sep] path ']'
+  Status ParsePredicate(Pattern* q, PNodeId attach) {
+    PXV_CHECK(Peek() == '[');
+    ++pos_;
+    Axis first_axis = Axis::kChild;
+    if (!AtEnd() && Peek() == '.') {
+      ++pos_;
+      if (AtEnd() || Peek() != '/') {
+        return Status::Error("expected '/' after '.' in predicate");
+      }
+      Status as = ParseAxis(&first_axis);
+      if (!as.ok()) return as;
+    } else if (!AtEnd() && Peek() == '/') {
+      Status as = ParseAxis(&first_axis);
+      if (!as.ok()) return as;
+    }
+    PNodeId last = kNullPNode;
+    Status s = ParsePath(q, attach, first_axis, &last);
+    if (!s.ok()) return s;
+    if (AtEnd() || Peek() != ']') {
+      return Status::Error("expected ']' at offset " + std::to_string(pos_));
+    }
+    ++pos_;
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+bool LabelNeedsQuoting(const std::string& name) {
+  if (name.empty()) return true;
+  int paren = 0;
+  for (char c : name) {
+    if (c == '(') ++paren;
+    else if (c == ')') {
+      if (paren == 0) return true;
+      --paren;
+    } else if (paren == 0 &&
+               (c == '/' || c == '[' || c == ']' || c == '"' ||
+                std::isspace(static_cast<unsigned char>(c)))) {
+      return true;
+    }
+  }
+  return paren != 0;
+}
+
+void EmitLabel(Label label, std::ostringstream* out) {
+  const std::string& name = LabelName(label);
+  if (!LabelNeedsQuoting(name)) {
+    *out << name;
+    return;
+  }
+  *out << '"';
+  for (char c : name) {
+    if (c == '"' || c == '\\') *out << '\\';
+    *out << c;
+  }
+  *out << '"';
+}
+
+void EmitPredSubtree(const Pattern& q, PNodeId n, std::ostringstream* out);
+
+void EmitPredBracket(const Pattern& q, PNodeId n, std::ostringstream* out) {
+  *out << '[';
+  if (q.axis(n) == Axis::kDescendant) *out << ".//";
+  EmitPredSubtree(q, n, out);
+  *out << ']';
+}
+
+// Prints a predicate subtree; linear chains use / and // separators,
+// branching uses nested brackets.
+void EmitPredSubtree(const Pattern& q, PNodeId n, std::ostringstream* out) {
+  EmitLabel(q.label(n), out);
+  const auto& kids = q.children(n);
+  if (kids.size() == 1) {
+    *out << (q.axis(kids[0]) == Axis::kChild ? "/" : "//");
+    EmitPredSubtree(q, kids[0], out);
+  } else {
+    for (PNodeId c : kids) EmitPredBracket(q, c, out);
+  }
+}
+
+}  // namespace
+
+StatusOr<Pattern> ParsePattern(std::string_view text) {
+  return XPathParser(text).Parse();
+}
+
+Pattern Tp(std::string_view text) {
+  StatusOr<Pattern> q = ParsePattern(text);
+  PXV_CHECK(q.ok()) << "bad pattern '" << std::string(text)
+                    << "': " << q.status().message();
+  return *std::move(q);
+}
+
+std::string ToXPath(const Pattern& q) {
+  if (q.empty()) return "";
+  std::ostringstream out;
+  const auto mb = q.MainBranch();
+  for (size_t i = 0; i < mb.size(); ++i) {
+    if (i > 0) out << (q.axis(mb[i]) == Axis::kChild ? "/" : "//");
+    EmitLabel(q.label(mb[i]), &out);
+    for (PNodeId p : q.PredicateChildren(mb[i])) {
+      EmitPredBracket(q, p, &out);
+    }
+  }
+  return out.str();
+}
+
+}  // namespace pxv

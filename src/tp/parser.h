@@ -1,0 +1,38 @@
+// XPath notation for tree patterns (the paper's xpath(q)).
+//
+//   IT-personnel//person[name/Rick]/bonus[laptop]
+//   a[.//c]/b
+//   doc(v1BON)/bonus[laptop]
+//
+// Grammar (no wildcards — TP has none):
+//   query    := step (('/' | '//') step)*
+//   step     := label predicate*
+//   predicate:= '[' ['.'] [('/' | '//')] step (('/' | '//') step)* ']'
+// A leading '.' or '/' inside a predicate means child axis for the first
+// step; './/' means descendant. Labels may embed one balanced parenthesis
+// group — doc(v), Id(42) — or be quoted "...".
+
+#ifndef PXV_TP_PARSER_H_
+#define PXV_TP_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "tp/pattern.h"
+#include "util/status.h"
+
+namespace pxv {
+
+/// Parses XPath notation into a Pattern. The output node is the last step of
+/// the outermost path.
+StatusOr<Pattern> ParsePattern(std::string_view text);
+
+/// Convenience: parses or dies (for literals in tests/examples).
+Pattern Tp(std::string_view text);
+
+/// Serializes to XPath notation (round-trips through ParsePattern).
+std::string ToXPath(const Pattern& q);
+
+}  // namespace pxv
+
+#endif  // PXV_TP_PARSER_H_

@@ -1,0 +1,137 @@
+#include "tp/pattern.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pxv {
+
+PNodeId Pattern::Check(PNodeId n) const {
+  PXV_CHECK(n >= 0 && n < size()) << "bad PNodeId " << n;
+  return n;
+}
+
+PNodeId Pattern::AddRoot(Label label) {
+  PXV_CHECK(nodes_.empty()) << "root already exists";
+  Node node;
+  node.label = label;
+  nodes_.push_back(std::move(node));
+  out_ = 0;
+  return 0;
+}
+
+PNodeId Pattern::AddChild(PNodeId parent, Label label, Axis axis) {
+  Check(parent);
+  Node node;
+  node.label = label;
+  node.parent = parent;
+  node.axis = axis;
+  nodes_.push_back(std::move(node));
+  const PNodeId id = static_cast<PNodeId>(nodes_.size() - 1);
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+void Pattern::SetOut(PNodeId n) { out_ = Check(n); }
+
+std::vector<PNodeId> Pattern::MainBranch() const {
+  std::vector<PNodeId> branch;
+  for (PNodeId cur = out_; cur != kNullPNode; cur = parent(cur)) {
+    branch.push_back(cur);
+  }
+  std::reverse(branch.begin(), branch.end());
+  return branch;
+}
+
+bool Pattern::OnMainBranch(PNodeId n) const {
+  Check(n);
+  for (PNodeId cur = out_; cur != kNullPNode; cur = parent(cur)) {
+    if (cur == n) return true;
+  }
+  return false;
+}
+
+int Pattern::Depth(PNodeId n) const {
+  int d = 1;
+  for (PNodeId cur = Check(n); parent(cur) != kNullPNode; cur = parent(cur)) {
+    ++d;
+  }
+  return d;
+}
+
+std::vector<PNodeId> Pattern::PredicateChildren(PNodeId n) const {
+  const PNodeId mb_child = MainBranchChild(n);
+  std::vector<PNodeId> preds;
+  for (PNodeId c : children(n)) {
+    if (c != mb_child) preds.push_back(c);
+  }
+  return preds;
+}
+
+PNodeId Pattern::MainBranchChild(PNodeId n) const {
+  Check(n);
+  if (n == out_) return kNullPNode;
+  // Walk up from out; the node whose parent is n is the mb child.
+  for (PNodeId cur = out_; cur != kNullPNode; cur = parent(cur)) {
+    if (parent(cur) == n) return cur;
+  }
+  return kNullPNode;
+}
+
+std::vector<PNodeId> Pattern::SubtreeNodes(PNodeId n) const {
+  std::vector<PNodeId> out, stack{Check(n)};
+  while (!stack.empty()) {
+    const PNodeId cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    const auto& kids = children(cur);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+  }
+  return out;
+}
+
+std::string Pattern::Canon(PNodeId n) const {
+  std::vector<std::string> kids;
+  kids.reserve(children(n).size());
+  for (PNodeId c : children(n)) kids.push_back(Canon(c));
+  std::sort(kids.begin(), kids.end());
+  std::string out;
+  out += (n == out_) ? "O" : "-";
+  out += (n == root() || axis(n) == Axis::kChild) ? "/" : "~";
+  out += LabelName(label(n));
+  out += "(";
+  for (const auto& k : kids) out += k + ",";
+  out += ")";
+  return out;
+}
+
+std::string Pattern::CanonicalString() const {
+  if (empty()) return "";
+  return Canon(root());
+}
+
+PNodeId GraftSubtree(const Pattern& src, PNodeId src_node, Pattern* dst,
+                     PNodeId dst_parent, Axis axis, PNodeId* out_image) {
+  const PNodeId top =
+      dst_parent == kNullPNode
+          ? dst->AddRoot(src.label(src_node))
+          : dst->AddChild(dst_parent, src.label(src_node), axis);
+  if (out_image && src.out() == src_node) *out_image = top;
+  std::vector<std::pair<PNodeId, PNodeId>> stack{{src_node, top}};
+  while (!stack.empty()) {
+    const auto [s, d] = stack.back();
+    stack.pop_back();
+    for (PNodeId c : src.children(s)) {
+      const PNodeId copy = dst->AddChild(d, src.label(c), src.axis(c));
+      if (out_image && src.out() == c) *out_image = copy;
+      stack.emplace_back(c, copy);
+    }
+  }
+  return top;
+}
+
+bool IsomorphicPatterns(const Pattern& a, const Pattern& b) {
+  return a.CanonicalString() == b.CanonicalString();
+}
+
+}  // namespace pxv

@@ -1,0 +1,119 @@
+// Tree-pattern queries TP (paper §2, Definition 2): unordered, unranked
+// rooted trees with L-labeled nodes, child (/) and descendant (//) edges,
+// and a distinguished output node. TP is the navigational XPath fragment
+// with child/descendant axes and predicates, without wildcards.
+//
+// The main branch mb(q) is the root→out path; everything hanging off it is
+// a predicate subtree. The depth of the root is 1 and of out(q) is |mb(q)|
+// (paper convention).
+
+#ifndef PXV_TP_PATTERN_H_
+#define PXV_TP_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xml/label.h"
+
+namespace pxv {
+
+/// Index of a node within one Pattern.
+using PNodeId = int32_t;
+inline constexpr PNodeId kNullPNode = -1;
+
+/// Edge axes: / (child) and // (descendant, ≥ 1 step).
+enum class Axis : uint8_t { kChild, kDescendant };
+
+/// A tree-pattern query.
+class Pattern {
+ public:
+  Pattern() = default;
+
+  /// Creates the root; must be called exactly once, first. The root is the
+  /// initial output node.
+  PNodeId AddRoot(Label label);
+
+  /// Adds a child of `parent` connected by `axis`.
+  PNodeId AddChild(PNodeId parent, Label label, Axis axis);
+
+  /// Moves the output marker. `n` may be any node; tree patterns are unary
+  /// queries and out determines the main branch.
+  void SetOut(PNodeId n);
+
+  PNodeId root() const { return nodes_.empty() ? kNullPNode : 0; }
+  PNodeId out() const { return out_; }
+  bool empty() const { return nodes_.empty(); }
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  Label label(PNodeId n) const { return nodes_[Check(n)].label; }
+  PNodeId parent(PNodeId n) const { return nodes_[Check(n)].parent; }
+  /// Axis of the edge from parent(n) into n. Meaningless for the root.
+  Axis axis(PNodeId n) const { return nodes_[Check(n)].axis; }
+  void SetAxis(PNodeId n, Axis axis) { nodes_[Check(n)].axis = axis; }
+  const std::vector<PNodeId>& children(PNodeId n) const {
+    return nodes_[Check(n)].children;
+  }
+
+  /// lbl(q) := label of the output node (paper shorthand).
+  Label OutLabel() const { return label(out()); }
+
+  /// Main branch: the root→out node sequence; mb(q)[0] = root, depth 1.
+  std::vector<PNodeId> MainBranch() const;
+
+  /// |mb(q)|: number of main branch nodes = depth of out.
+  int MainBranchLength() const { return static_cast<int>(MainBranch().size()); }
+
+  /// True iff `n` lies on the main branch.
+  bool OnMainBranch(PNodeId n) const;
+
+  /// Depth of `n` (root = 1).
+  int Depth(PNodeId n) const;
+
+  /// Predicate children of `n`: children that are not on the main branch.
+  std::vector<PNodeId> PredicateChildren(PNodeId n) const;
+
+  /// The main-branch child of `n`, or kNullPNode (when n == out or n is not
+  /// a main branch node).
+  PNodeId MainBranchChild(PNodeId n) const;
+
+  /// Nodes of the subtree rooted at `n`, preorder.
+  std::vector<PNodeId> SubtreeNodes(PNodeId n) const;
+
+  /// Structural deep copy.
+  Pattern Clone() const { return *this; }
+
+  /// Canonical string: equal iff the patterns are isomorphic as unordered
+  /// trees with axes and the same out position. This is equality of
+  /// minimized queries (paper: equivalence of minimized TPs = isomorphism).
+  std::string CanonicalString() const;
+
+ private:
+  struct Node {
+    Label label = 0;
+    PNodeId parent = kNullPNode;
+    Axis axis = Axis::kChild;
+    std::vector<PNodeId> children;
+  };
+
+  PNodeId Check(PNodeId n) const;
+  std::string Canon(PNodeId n) const;
+
+  std::vector<Node> nodes_;
+  PNodeId out_ = kNullPNode;
+};
+
+/// Copies the subtree of `src` rooted at `src_node` into `dst` as a child of
+/// `dst_parent` with `axis` on the top edge. Returns the copy of `src_node`.
+/// If `out_image` is non-null and out(src) lies in the subtree, receives the
+/// copied out node.
+PNodeId GraftSubtree(const Pattern& src, PNodeId src_node, Pattern* dst,
+                     PNodeId dst_parent, Axis axis,
+                     PNodeId* out_image = nullptr);
+
+/// True iff the two patterns are isomorphic (≡ for minimized queries).
+bool IsomorphicPatterns(const Pattern& a, const Pattern& b);
+
+}  // namespace pxv
+
+#endif  // PXV_TP_PATTERN_H_

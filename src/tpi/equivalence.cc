@@ -1,0 +1,31 @@
+#include "tpi/equivalence.h"
+
+#include "tp/containment.h"
+#include "tpi/interleaving.h"
+#include "util/check.h"
+
+namespace pxv {
+
+bool TpContainedInIntersection(const Pattern& q, const TpIntersection& in) {
+  for (const Pattern& member : in.members()) {
+    if (!Contains(member, q)) return false;
+  }
+  return true;
+}
+
+bool IntersectionContainedInTp(const TpIntersection& in, const Pattern& q) {
+  StatusOr<std::vector<Pattern>> inter = Interleavings(in);
+  PXV_CHECK(inter.ok()) << inter.status().message();
+  for (const Pattern& candidate : *inter) {
+    if (!Contains(q, candidate)) return false;
+  }
+  return true;
+}
+
+bool EquivalentTpIntersection(const Pattern& q, const TpIntersection& in) {
+  // The cheap direction first: q ⊑ every member.
+  if (!TpContainedInIntersection(q, in)) return false;
+  return IntersectionContainedInTp(in, q);
+}
+
+}  // namespace pxv

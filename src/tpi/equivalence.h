@@ -1,0 +1,28 @@
+// Containment and equivalence between TP and TP∩ queries (paper §5.1).
+//
+//   q ⊑ ∩qi   iff  q ⊑ qi for every i                  (cheap direction)
+//   ∩qi ⊑ q   iff  Qj ⊑ q for every interleaving Qj     (hard direction)
+//   q ≡ ∩qi   iff  both, equivalently: every interleaving ⊑ q and q ⊑ some
+//              interleaving. coNP-hard in general; PTime for extended
+//              skeletons (see skeleton.h) because the interleaving blowup is
+//              avoidable there.
+
+#ifndef PXV_TPI_EQUIVALENCE_H_
+#define PXV_TPI_EQUIVALENCE_H_
+
+#include "tpi/intersection.h"
+
+namespace pxv {
+
+/// q ⊑ ∩qi: containment in every member.
+bool TpContainedInIntersection(const Pattern& q, const TpIntersection& in);
+
+/// ∩qi ⊑ q: every interleaving contained in q.
+bool IntersectionContainedInTp(const TpIntersection& in, const Pattern& q);
+
+/// q ≡ ∩qi.
+bool EquivalentTpIntersection(const Pattern& q, const TpIntersection& in);
+
+}  // namespace pxv
+
+#endif  // PXV_TPI_EQUIVALENCE_H_

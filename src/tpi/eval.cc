@@ -1,0 +1,56 @@
+#include "tpi/eval.h"
+
+#include <algorithm>
+#include <set>
+
+#include "tp/eval.h"
+#include "util/check.h"
+
+namespace pxv {
+
+std::vector<NodeId> EvaluateIntersectionNodes(const TpIntersection& q,
+                                              const Document& d) {
+  PXV_CHECK(!q.empty());
+  std::vector<NodeId> acc = Evaluate(q.members()[0], d);
+  for (int i = 1; i < q.size() && !acc.empty(); ++i) {
+    std::vector<NodeId> next = Evaluate(q.members()[i], d);
+    std::vector<NodeId> merged;
+    std::set_intersection(acc.begin(), acc.end(), next.begin(), next.end(),
+                          std::back_inserter(merged));
+    acc = std::move(merged);
+  }
+  return acc;
+}
+
+std::vector<PersistentId> EvaluateIntersectionByPid(
+    const TpIntersection& q, const std::vector<const Document*>& docs) {
+  PXV_CHECK(!q.empty());
+  std::set<PersistentId> acc;
+  bool first = true;
+  for (const Pattern& member : q.members()) {
+    std::set<PersistentId> selected;
+    bool found_doc = false;
+    for (const Document* d : docs) {
+      if (d->empty() || d->label(d->root()) != member.label(member.root())) {
+        continue;
+      }
+      found_doc = true;
+      for (NodeId n : Evaluate(member, *d)) selected.insert(d->pid(n));
+    }
+    if (!found_doc) return {};  // Member formulated over no document.
+    if (first) {
+      acc = std::move(selected);
+      first = false;
+    } else {
+      std::set<PersistentId> merged;
+      std::set_intersection(acc.begin(), acc.end(), selected.begin(),
+                            selected.end(),
+                            std::inserter(merged, merged.begin()));
+      acc = std::move(merged);
+    }
+    if (acc.empty()) break;
+  }
+  return std::vector<PersistentId>(acc.begin(), acc.end());
+}
+
+}  // namespace pxv

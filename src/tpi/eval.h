@@ -1,0 +1,27 @@
+// Evaluating TP∩ queries over deterministic documents. Members formulated
+// over different documents (view extensions) join by persistent Id, which is
+// exactly the §3 persistent-Id result semantics.
+
+#ifndef PXV_TPI_EVAL_H_
+#define PXV_TPI_EVAL_H_
+
+#include <vector>
+
+#include "tpi/intersection.h"
+#include "xml/document.h"
+
+namespace pxv {
+
+/// ∩ members over a single document: nodes selected by every member.
+std::vector<NodeId> EvaluateIntersectionNodes(const TpIntersection& q,
+                                              const Document& d);
+
+/// ∩ members over a document set: member i is evaluated over every document
+/// whose root label equals lbl(root(member i)); result sets join by
+/// persistent Id. Returns the sorted intersection of the members' pid sets.
+std::vector<PersistentId> EvaluateIntersectionByPid(
+    const TpIntersection& q, const std::vector<const Document*>& docs);
+
+}  // namespace pxv
+
+#endif  // PXV_TPI_EVAL_H_

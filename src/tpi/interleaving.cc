@@ -1,0 +1,252 @@
+#include "tpi/interleaving.h"
+
+#include <set>
+#include <string>
+
+#include "util/check.h"
+
+namespace pxv {
+namespace {
+
+// Recursive merge of the members' main branches.
+//
+// State per member j: how many of its mb nodes are consumed (pos_[j]) and at
+// which merged position its last consumed node sits (last_[j]). At each step
+// we create one merged position and pick a nonempty subset S of members that
+// contribute their next mb node to it, subject to:
+//   * all contributed nodes carry the same label;
+//   * a member whose next edge is '/' may contribute only if its previous
+//     node sits at the immediately preceding merged position;
+//   * a member whose next edge is '/' and whose previous node has fallen
+//     behind can never be placed again — dead branch, prune;
+//   * the final merged position must absorb the out node (last mb node) of
+//     every member simultaneously (unary semantics: outs coalesce).
+// The merged edge into the new position is '/' iff some contributor's edge
+// is '/', else '//'.
+class Merger {
+ public:
+  Merger(const TpIntersection& q, int64_t limit, bool materialize)
+      : q_(q), limit_(limit), materialize_(materialize) {
+    for (const Pattern& m : q.members()) mbs_.push_back(m.MainBranch());
+    pos_.assign(q.size(), 0);
+    last_.assign(q.size(), -1);
+  }
+
+  Status Run() {
+    const int k = q_.size();
+    if (k == 0) return Status::Ok();
+    // Merged position 0: all roots coalesce; labels must agree.
+    const Label root_label = q_.members()[0].label(mbs_[0][0]);
+    for (int j = 1; j < k; ++j) {
+      if (q_.members()[j].label(mbs_[j][0]) != root_label) return Status::Ok();
+    }
+    MergedNode root;
+    root.label = root_label;
+    root.axis = Axis::kChild;  // Unused for the root.
+    for (int j = 0; j < k; ++j) {
+      root.sources.emplace_back(j, 0);
+      pos_[j] = 1;
+      last_[j] = 0;
+    }
+    merged_.push_back(std::move(root));
+    Status s = Rec();
+    merged_.clear();
+    return s;
+  }
+
+  int64_t count() const { return count_; }
+  std::vector<Pattern> TakeResults() { return std::move(results_); }
+
+ private:
+  struct MergedNode {
+    Label label;
+    Axis axis;
+    std::vector<std::pair<int, int>> sources;  // (member, mb index)
+  };
+
+  bool AllConsumed() const {
+    for (size_t j = 0; j < mbs_.size(); ++j) {
+      if (pos_[j] < static_cast<int>(mbs_[j].size())) return false;
+    }
+    return true;
+  }
+
+  Status Rec() {
+    if (AllConsumed()) {
+      // Outs coalesce: every member's last node must sit at the final
+      // merged position.
+      const int t = static_cast<int>(merged_.size()) - 1;
+      for (size_t j = 0; j < mbs_.size(); ++j) {
+        if (last_[j] != t) return Status::Ok();
+      }
+      ++count_;
+      if (count_ > limit_) {
+        return Status::Error("interleaving enumeration exceeded limit");
+      }
+      if (materialize_) Emit();
+      return Status::Ok();
+    }
+
+    const int k = q_.size();
+    const int t = static_cast<int>(merged_.size());  // New position index.
+    // Dead-branch check: a pending '/'-edge member that has fallen behind
+    // can never be placed.
+    std::vector<int> pending(k, 0);  // 0 done, 1 eligible, 2 must-place.
+    for (int j = 0; j < k; ++j) {
+      if (pos_[j] >= static_cast<int>(mbs_[j].size())) continue;
+      const Pattern& m = q_.members()[j];
+      const bool slash = m.axis(mbs_[j][pos_[j]]) == Axis::kChild;
+      if (slash) {
+        if (last_[j] < t - 1) return Status::Ok();  // Dead.
+        pending[j] = 2;  // '/' with last at t-1: place now or never.
+      } else {
+        pending[j] = 1;
+      }
+    }
+
+    // Enumerate nonempty subsets of eligible members; must-place members are
+    // forced in (otherwise the branch dies — skip those subsets).
+    std::vector<int> eligible;
+    for (int j = 0; j < k; ++j) {
+      if (pending[j]) eligible.push_back(j);
+    }
+    const int e = static_cast<int>(eligible.size());
+    for (int mask = 1; mask < (1 << e); ++mask) {
+      std::vector<int> subset;
+      bool forced_ok = true;
+      for (int b = 0; b < e; ++b) {
+        const int j = eligible[b];
+        if (mask & (1 << b)) {
+          subset.push_back(j);
+        } else if (pending[j] == 2) {
+          forced_ok = false;  // A must-place member left out: dead later.
+          break;
+        }
+      }
+      if (!forced_ok || subset.empty()) continue;
+
+      // Labels must agree.
+      const Label label =
+          q_.members()[subset[0]].label(mbs_[subset[0]][pos_[subset[0]]]);
+      bool labels_ok = true;
+      bool any_slash = false;
+      for (int j : subset) {
+        const Pattern& m = q_.members()[j];
+        const PNodeId node = mbs_[j][pos_[j]];
+        if (m.label(node) != label) {
+          labels_ok = false;
+          break;
+        }
+        if (m.axis(node) == Axis::kChild) any_slash = true;
+      }
+      if (!labels_ok) continue;
+
+      // Apply.
+      MergedNode mn;
+      mn.label = label;
+      mn.axis = any_slash ? Axis::kChild : Axis::kDescendant;
+      std::vector<int> saved_last(subset.size());
+      for (size_t s = 0; s < subset.size(); ++s) {
+        const int j = subset[s];
+        mn.sources.emplace_back(j, pos_[j]);
+        saved_last[s] = last_[j];
+        last_[j] = t;
+        ++pos_[j];
+      }
+      merged_.push_back(std::move(mn));
+
+      Status st = Rec();
+      // Undo.
+      merged_.pop_back();
+      for (size_t s = 0; s < subset.size(); ++s) {
+        const int j = subset[s];
+        --pos_[j];
+        last_[j] = saved_last[s];
+      }
+      if (!st.ok()) return st;
+    }
+    return Status::Ok();
+  }
+
+  void Emit() {
+    Pattern out;
+    PNodeId prev = kNullPNode;
+    for (const MergedNode& mn : merged_) {
+      prev = (prev == kNullPNode) ? out.AddRoot(mn.label)
+                                  : out.AddChild(prev, mn.label, mn.axis);
+      for (const auto& [j, idx] : mn.sources) {
+        const Pattern& m = q_.members()[j];
+        for (PNodeId p : m.PredicateChildren(mbs_[j][idx])) {
+          GraftSubtree(m, p, &out, prev, m.axis(p));
+        }
+      }
+    }
+    out.SetOut(prev);
+    const std::string key = out.CanonicalString();
+    if (seen_.insert(key).second) results_.push_back(std::move(out));
+  }
+
+  const TpIntersection& q_;
+  int64_t limit_;
+  bool materialize_;
+  std::vector<std::vector<PNodeId>> mbs_;
+  std::vector<int> pos_, last_;
+  std::vector<MergedNode> merged_;
+  int64_t count_ = 0;
+  std::vector<Pattern> results_;
+  std::set<std::string> seen_;
+};
+
+}  // namespace
+
+StatusOr<std::vector<Pattern>> Interleavings(const TpIntersection& q,
+                                             int limit) {
+  Merger merger(q, limit, /*materialize=*/true);
+  Status s = merger.Run();
+  if (!s.ok()) return s;
+  return merger.TakeResults();
+}
+
+int64_t CountInterleavings(const TpIntersection& q, int64_t limit) {
+  Merger merger(q, limit, /*materialize=*/false);
+  (void)merger.Run();  // Error just means "hit the limit".
+  return merger.count();
+}
+
+bool IntersectionSatisfiable(const TpIntersection& q) {
+  return CountInterleavings(q, 1) >= 1;
+}
+
+Pattern UnionFreeMerge(const TpIntersection& q) {
+  PXV_CHECK(!q.empty());
+  const Pattern& first = q.members()[0];
+  const auto mb0 = first.MainBranch();
+  // Verify all members share the main branch (labels and axes).
+  for (const Pattern& m : q.members()) {
+    const auto mb = m.MainBranch();
+    PXV_CHECK_EQ(mb.size(), mb0.size()) << "UnionFreeMerge: branch mismatch";
+    for (size_t i = 0; i < mb.size(); ++i) {
+      PXV_CHECK_EQ(m.label(mb[i]), first.label(mb0[i]));
+      if (i > 0) {
+        PXV_CHECK(m.axis(mb[i]) == first.axis(mb0[i]));
+      }
+    }
+  }
+  Pattern out;
+  PNodeId prev = kNullPNode;
+  for (size_t i = 0; i < mb0.size(); ++i) {
+    prev = (prev == kNullPNode)
+               ? out.AddRoot(first.label(mb0[i]))
+               : out.AddChild(prev, first.label(mb0[i]), first.axis(mb0[i]));
+    for (const Pattern& m : q.members()) {
+      const auto mb = m.MainBranch();
+      for (PNodeId p : m.PredicateChildren(mb[i])) {
+        GraftSubtree(m, p, &out, prev, m.axis(p));
+      }
+    }
+  }
+  out.SetOut(prev);
+  return out;
+}
+
+}  // namespace pxv

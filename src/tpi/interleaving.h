@@ -1,0 +1,40 @@
+// Interleavings of a TP∩ query (paper §5.1, after [10]). A TP∩ query
+// q1 ∩ … ∩ qk over a common root is equivalent to the union of its
+// interleavings: all the ways to order or coalesce the members' main branch
+// nodes into one main branch, with every member's output node coalesced into
+// the final merged node (tree patterns are unary). The number of
+// interleavings is worst-case exponential in the intersection size — this is
+// the source of the coNP-hardness of TP∩ equivalence, and the PTime story
+// for extended skeletons avoids enumerating them.
+
+#ifndef PXV_TPI_INTERLEAVING_H_
+#define PXV_TPI_INTERLEAVING_H_
+
+#include <vector>
+
+#include "tpi/intersection.h"
+#include "util/status.h"
+
+namespace pxv {
+
+/// All interleavings (deduplicated up to isomorphism). Fails with an error
+/// Status if more than `limit` raw merges are produced.
+StatusOr<std::vector<Pattern>> Interleavings(const TpIntersection& q,
+                                             int limit = 500000);
+
+/// Counts raw merges without materializing them (bench support). Stops at
+/// `limit`.
+int64_t CountInterleavings(const TpIntersection& q, int64_t limit);
+
+/// A TP∩ query is satisfiable iff it has at least one interleaving.
+bool IntersectionSatisfiable(const TpIntersection& q);
+
+/// Union-free node-wise merge: valid when all members share an identical
+/// main branch (labels and axes); predicates are unioned onto the shared
+/// branch. Used by the §5.3 decomposition (Step 2), whose intersections are
+/// always over the same view's main branch.
+Pattern UnionFreeMerge(const TpIntersection& q);
+
+}  // namespace pxv
+
+#endif  // PXV_TPI_INTERLEAVING_H_

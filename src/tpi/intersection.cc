@@ -1,0 +1,16 @@
+#include "tpi/intersection.h"
+
+#include "tp/parser.h"
+
+namespace pxv {
+
+std::string TpIntersection::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (i) out += " ∩ ";
+    out += ToXPath(members_[i]);
+  }
+  return out;
+}
+
+}  // namespace pxv

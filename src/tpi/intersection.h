@@ -1,0 +1,38 @@
+// TP∩ — intersections of tree patterns (paper §2): q1 ∩ … ∩ qk. Under
+// persistent node Ids, members evaluated over different documents (view
+// extensions) join by Id; over a single document they join by node.
+
+#ifndef PXV_TPI_INTERSECTION_H_
+#define PXV_TPI_INTERSECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "tp/pattern.h"
+
+namespace pxv {
+
+/// An intersection of tree patterns.
+class TpIntersection {
+ public:
+  TpIntersection() = default;
+  explicit TpIntersection(std::vector<Pattern> members)
+      : members_(std::move(members)) {}
+
+  const std::vector<Pattern>& members() const { return members_; }
+  std::vector<Pattern>& members() { return members_; }
+  int size() const { return static_cast<int>(members_.size()); }
+  bool empty() const { return members_.empty(); }
+
+  void Add(Pattern p) { members_.push_back(std::move(p)); }
+
+  /// "q1 ∩ q2 ∩ …" in XPath notation.
+  std::string ToString() const;
+
+ private:
+  std::vector<Pattern> members_;
+};
+
+}  // namespace pxv
+
+#endif  // PXV_TPI_INTERSECTION_H_

@@ -1,0 +1,65 @@
+#include "tpi/skeleton.h"
+
+#include <vector>
+
+namespace pxv {
+namespace {
+
+// One label sequence is a prefix of the other (empty maps into anything).
+bool PathsMap(const std::vector<Label>& a, const std::vector<Label>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;  // The shorter is a prefix of the longer.
+}
+
+// Walks a /-connected chain inside a predicate, recording the incoming
+// /-path (labels from the mb node, exclusive, down to the //-edge source,
+// inclusive) of every //-subpredicate found.
+void CollectFromPredicate(const Pattern& q, PNodeId pred_root,
+                          std::vector<Label>* path,
+                          std::vector<std::vector<Label>>* out) {
+  path->push_back(q.label(pred_root));
+  for (PNodeId c : q.children(pred_root)) {
+    if (q.axis(c) == Axis::kDescendant) {
+      out->push_back(*path);
+    } else {
+      CollectFromPredicate(q, c, path, out);
+    }
+  }
+  path->pop_back();
+}
+
+}  // namespace
+
+bool IsExtendedSkeleton(const Pattern& q) {
+  const auto mb = q.MainBranch();
+  for (size_t i = 0; i < mb.size(); ++i) {
+    const PNodeId n = mb[i];
+    // The /-path following n on the main branch (labels up to the first
+    // //-edge or out).
+    std::vector<Label> follow;
+    for (size_t j = i + 1; j < mb.size(); ++j) {
+      if (q.axis(mb[j]) == Axis::kDescendant) break;
+      follow.push_back(q.label(mb[j]));
+    }
+    // Incoming /-paths of every //-subpredicate of n.
+    std::vector<std::vector<Label>> incoming;
+    for (PNodeId c : q.children(n)) {
+      if (q.OnMainBranch(c)) continue;
+      std::vector<Label> path;
+      if (q.axis(c) == Axis::kDescendant) {
+        incoming.push_back(path);  // Empty incoming path.
+      } else {
+        CollectFromPredicate(q, c, &path, &incoming);
+      }
+    }
+    for (const auto& l : incoming) {
+      if (PathsMap(l, follow)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pxv

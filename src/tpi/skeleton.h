@@ -1,0 +1,27 @@
+// Extended skeletons (paper §5.1): the TP fragment over which TP-vs-TP∩
+// equivalence — hence the rewriting decision procedures — run in PTime.
+//
+// A //-subpredicate st of a main branch node n is a predicate subtree whose
+// root is connected by a //-edge to a linear /-path l coming from n (the
+// incoming /-path; possibly empty). A pattern is an extended skeleton iff
+// for every such (n, st) there is no mapping in either direction between l
+// and the /-path that follows n on the main branch — where the empty path
+// maps into every path. //-edges on the main branch and /-only predicates
+// are unrestricted.
+//
+// Paper examples: a[b//c//d]/e//d and a[b//c]/d//e are extended skeletons;
+// a[b//c]/b//d, a[b//c]//d, a[.//b]/c//d, a[.//b]//c are not.
+
+#ifndef PXV_TPI_SKELETON_H_
+#define PXV_TPI_SKELETON_H_
+
+#include "tp/pattern.h"
+
+namespace pxv {
+
+/// True iff q is an extended skeleton.
+bool IsExtendedSkeleton(const Pattern& q);
+
+}  // namespace pxv
+
+#endif  // PXV_TPI_SKELETON_H_

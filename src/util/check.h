@@ -1,0 +1,62 @@
+// Lightweight assertion macros in the spirit of glog's CHECK family.
+//
+// The library is exception-free (Google C++ style); internal invariant
+// violations abort with a source location and message. These checks are
+// enabled in all build types: the algorithms in this library are subtle
+// enough that silent invariant corruption is never acceptable.
+
+#ifndef PXV_UTIL_CHECK_H_
+#define PXV_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace pxv {
+namespace internal {
+
+// Terminates the process after printing a formatted failure report.
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+// Stream collector so call sites can write PXV_CHECK(x) << "context".
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessage() { CheckFail(file_, line_, expr_, out_.str()); }
+
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream out_;
+};
+
+}  // namespace internal
+}  // namespace pxv
+
+#define PXV_CHECK(cond)                                             \
+  if (cond) {                                                       \
+  } else /* NOLINT */                                               \
+    ::pxv::internal::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define PXV_CHECK_EQ(a, b) PXV_CHECK((a) == (b))
+#define PXV_CHECK_NE(a, b) PXV_CHECK((a) != (b))
+#define PXV_CHECK_LT(a, b) PXV_CHECK((a) < (b))
+#define PXV_CHECK_LE(a, b) PXV_CHECK((a) <= (b))
+#define PXV_CHECK_GT(a, b) PXV_CHECK((a) > (b))
+#define PXV_CHECK_GE(a, b) PXV_CHECK((a) >= (b))
+
+#endif  // PXV_UTIL_CHECK_H_

@@ -1,0 +1,46 @@
+// Deterministic, seedable pseudo-random generator used by samplers, workload
+// generators and property tests. A fixed algorithm (splitmix64 + xoshiro256**)
+// guarantees bit-identical workloads across platforms and standard-library
+// versions, which std::mt19937 distributions do not.
+
+#ifndef PXV_UTIL_RANDOM_H_
+#define PXV_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pxv {
+
+/// Deterministic RNG. Same seed ⇒ same stream on every platform.
+class Rng {
+ public:
+  /// Seeds the generator; any 64-bit value (including 0) is valid.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound), bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive, lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool NextBool(double p = 0.5);
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  /// All weights must be >= 0 and at least one > 0.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace pxv
+
+#endif  // PXV_UTIL_RANDOM_H_

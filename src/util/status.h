@@ -1,0 +1,77 @@
+// Minimal Status / StatusOr pair, modeled after absl::Status, for the
+// exception-free error paths of the parsers and decision procedures.
+
+#ifndef PXV_UTIL_STATUS_H_
+#define PXV_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace pxv {
+
+/// Outcome of a fallible operation. Either OK or an error with a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs an error status carrying `message`.
+  static Status Error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    s.ok_ = false;
+    return s;
+  }
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return ok_; }
+  /// Error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Dereferencing a non-OK
+/// StatusOr is a checked fatal error.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}        // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    PXV_CHECK(!status_.ok()) << "OK status requires a value";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    PXV_CHECK(ok()) << status_.message();
+    return *value_;
+  }
+  T& value() & {
+    PXV_CHECK(ok()) << status_.message();
+    return *value_;
+  }
+  T&& value() && {
+    PXV_CHECK(ok()) << status_.message();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace pxv
+
+#endif  // PXV_UTIL_STATUS_H_

@@ -1,0 +1,26 @@
+// Small string helpers shared by parsers and printers.
+
+#ifndef PXV_UTIL_STRINGS_H_
+#define PXV_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pxv {
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` at every occurrence of `sep` (single char); keeps empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Formats a double with enough digits to round-trip, trimming zeros.
+std::string FormatProbability(double p);
+
+}  // namespace pxv
+
+#endif  // PXV_UTIL_STRINGS_H_

@@ -1,0 +1,47 @@
+#include "xml/canonical.h"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+namespace pxv {
+namespace {
+
+std::string Canon(const Document& doc, NodeId n, bool with_pids) {
+  std::vector<std::string> kids;
+  kids.reserve(doc.children(n).size());
+  for (NodeId kid : doc.children(n)) kids.push_back(Canon(doc, kid, with_pids));
+  std::sort(kids.begin(), kids.end());
+  std::string out = LabelName(doc.label(n));
+  if (with_pids) out += "#" + std::to_string(doc.pid(n));
+  out += "(";
+  for (const auto& k : kids) out += k + ",";
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+std::string CanonicalString(const Document& doc, NodeId n) {
+  if (doc.empty()) return "";
+  return Canon(doc, n == kNullNode ? doc.root() : n, /*with_pids=*/false);
+}
+
+std::string CanonicalStringWithPids(const Document& doc, NodeId n) {
+  if (doc.empty()) return "";
+  return Canon(doc, n == kNullNode ? doc.root() : n, /*with_pids=*/true);
+}
+
+uint64_t CanonicalHash(const Document& doc, NodeId n) {
+  return std::hash<std::string>{}(CanonicalString(doc, n));
+}
+
+bool Isomorphic(const Document& a, const Document& b) {
+  return CanonicalString(a) == CanonicalString(b);
+}
+
+bool EqualWithPids(const Document& a, const Document& b) {
+  return CanonicalStringWithPids(a) == CanonicalStringWithPids(b);
+}
+
+}  // namespace pxv

@@ -1,0 +1,34 @@
+// Canonical forms for unordered trees. Documents are unordered (paper §2),
+// so equality and hashing must be invariant under sibling permutation.
+
+#ifndef PXV_XML_CANONICAL_H_
+#define PXV_XML_CANONICAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "xml/document.h"
+
+namespace pxv {
+
+/// Canonical string of the subtree rooted at `n` (root = whole document if
+/// n == kNullNode). Two subtrees are isomorphic as unordered labeled trees
+/// iff their canonical strings are equal. Persistent ids are ignored.
+std::string CanonicalString(const Document& doc, NodeId n = kNullNode);
+
+/// Canonical string that also embeds persistent ids; equal iff the subtrees
+/// are isomorphic *and* match pid-for-pid.
+std::string CanonicalStringWithPids(const Document& doc, NodeId n = kNullNode);
+
+/// 64-bit hash of CanonicalString.
+uint64_t CanonicalHash(const Document& doc, NodeId n = kNullNode);
+
+/// Unordered-tree isomorphism (ignores pids).
+bool Isomorphic(const Document& a, const Document& b);
+
+/// Isomorphism that additionally requires persistent ids to agree.
+bool EqualWithPids(const Document& a, const Document& b);
+
+}  // namespace pxv
+
+#endif  // PXV_XML_CANONICAL_H_

@@ -1,0 +1,90 @@
+#include "xml/document.h"
+
+#include "util/check.h"
+
+namespace pxv {
+
+NodeId Document::Check(NodeId n) const {
+  PXV_CHECK(n >= 0 && n < size()) << "bad NodeId " << n;
+  return n;
+}
+
+NodeId Document::AddRoot(Label label, PersistentId pid) {
+  PXV_CHECK(nodes_.empty()) << "root already exists";
+  Node node;
+  node.label = label;
+  node.pid = (pid == kNullPid) ? 0 : pid;
+  nodes_.push_back(std::move(node));
+  return 0;
+}
+
+NodeId Document::AddChild(NodeId parent, Label label, PersistentId pid) {
+  Check(parent);
+  Node node;
+  node.label = label;
+  node.parent = parent;
+  node.pid = (pid == kNullPid) ? static_cast<PersistentId>(nodes_.size()) : pid;
+  nodes_.push_back(std::move(node));
+  const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+int Document::Depth(NodeId n) const {
+  int d = 1;
+  for (NodeId cur = Check(n); parent(cur) != kNullNode; cur = parent(cur)) ++d;
+  return d;
+}
+
+bool Document::IsProperAncestor(NodeId anc, NodeId n) const {
+  Check(anc);
+  for (NodeId cur = parent(Check(n)); cur != kNullNode; cur = parent(cur)) {
+    if (cur == anc) return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> Document::SubtreeNodes(NodeId n) const {
+  std::vector<NodeId> out, stack{Check(n)};
+  while (!stack.empty()) {
+    const NodeId cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    const auto& kids = children(cur);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+  }
+  return out;
+}
+
+Document Document::Subtree(NodeId n) const {
+  Document out;
+  out.AddRoot(label(Check(n)), pid(n));
+  // Recursive copy via explicit stack of (source node, destination node).
+  std::vector<std::pair<NodeId, NodeId>> stack{{n, 0}};
+  while (!stack.empty()) {
+    const auto [src, dst] = stack.back();
+    stack.pop_back();
+    for (NodeId child : children(src)) {
+      const NodeId copy = out.AddChild(dst, label(child), pid(child));
+      stack.emplace_back(child, copy);
+    }
+  }
+  return out;
+}
+
+NodeId Document::FindByPid(PersistentId pid) const {
+  for (NodeId n = 0; n < size(); ++n) {
+    if (nodes_[n].pid == pid) return n;
+  }
+  return kNullNode;
+}
+
+std::vector<NodeId> Document::FindAllByPid(PersistentId pid) const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < size(); ++n) {
+    if (nodes_[n].pid == pid) out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace pxv

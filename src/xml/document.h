@@ -1,0 +1,88 @@
+// Deterministic XML documents (paper §2): unranked, unordered, rooted,
+// labeled trees with persistent node identifiers.
+//
+// Nodes live in a contiguous arena indexed by NodeId. Each node additionally
+// carries a PersistentId — the paper's Id(n) — which survives sampling from a
+// p-document and copying into view extensions, and which implements the
+// "persistent node Ids" result semantics of §3.
+
+#ifndef PXV_XML_DOCUMENT_H_
+#define PXV_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xml/label.h"
+
+namespace pxv {
+
+/// Arena index of a node within one Document (not stable across documents).
+using NodeId = int32_t;
+inline constexpr NodeId kNullNode = -1;
+
+/// Persistent identifier (the paper's Id(n)); stable across worlds, view
+/// extensions and copies.
+using PersistentId = int64_t;
+inline constexpr PersistentId kNullPid = -1;
+
+/// An unordered labeled tree.
+class Document {
+ public:
+  Document() = default;
+
+  /// Creates the root node. Must be called exactly once, first.
+  NodeId AddRoot(Label label, PersistentId pid = kNullPid);
+
+  /// Adds a child of `parent`. `pid` defaults to the node's arena index.
+  NodeId AddChild(NodeId parent, Label label, PersistentId pid = kNullPid);
+
+  NodeId root() const { return nodes_.empty() ? kNullNode : 0; }
+  bool empty() const { return nodes_.empty(); }
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  Label label(NodeId n) const { return nodes_[Check(n)].label; }
+  NodeId parent(NodeId n) const { return nodes_[Check(n)].parent; }
+  const std::vector<NodeId>& children(NodeId n) const {
+    return nodes_[Check(n)].children;
+  }
+  PersistentId pid(NodeId n) const { return nodes_[Check(n)].pid; }
+  void set_pid(NodeId n, PersistentId pid) { nodes_[Check(n)].pid = pid; }
+
+  /// Root label == the paper's "document name".
+  Label name() const { return label(root()); }
+
+  /// Depth of `n`: root has depth 1 (paper convention).
+  int Depth(NodeId n) const;
+
+  /// True iff `anc` is a proper ancestor of `n`.
+  bool IsProperAncestor(NodeId anc, NodeId n) const;
+
+  /// All nodes of the subtree rooted at `n` (preorder, `n` first).
+  std::vector<NodeId> SubtreeNodes(NodeId n) const;
+
+  /// The subdocument d_n rooted at `n` (paper §2), preserving pids.
+  Document Subtree(NodeId n) const;
+
+  /// First node with the given persistent id, or kNullNode.
+  NodeId FindByPid(PersistentId pid) const;
+
+  /// All nodes with the given persistent id (extensions may repeat pids §3.1).
+  std::vector<NodeId> FindAllByPid(PersistentId pid) const;
+
+ private:
+  struct Node {
+    Label label = 0;
+    NodeId parent = kNullNode;
+    PersistentId pid = kNullPid;
+    std::vector<NodeId> children;
+  };
+
+  NodeId Check(NodeId n) const;
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace pxv
+
+#endif  // PXV_XML_DOCUMENT_H_

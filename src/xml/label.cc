@@ -1,0 +1,59 @@
+#include "xml/label.h"
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace pxv {
+namespace {
+
+// Process-wide interner. A deque keeps string addresses stable so that
+// LabelName can hand out long-lived references.
+struct Pool {
+  std::mutex mu;
+  std::deque<std::string> names;
+  std::unordered_map<std::string_view, Label> index;
+};
+
+Pool& GetPool() {
+  static Pool* pool = new Pool();
+  return *pool;
+}
+
+}  // namespace
+
+Label Intern(std::string_view name) {
+  Pool& pool = GetPool();
+  std::lock_guard<std::mutex> lock(pool.mu);
+  auto it = pool.index.find(name);
+  if (it != pool.index.end()) return it->second;
+  pool.names.emplace_back(name);
+  const Label id = static_cast<Label>(pool.names.size() - 1);
+  pool.index.emplace(pool.names.back(), id);
+  return id;
+}
+
+const std::string& LabelName(Label label) {
+  Pool& pool = GetPool();
+  std::lock_guard<std::mutex> lock(pool.mu);
+  PXV_CHECK_LT(label, pool.names.size());
+  return pool.names[label];
+}
+
+Label IdMarkerLabel(int64_t persistent_id) {
+  return Intern("Id(" + std::to_string(persistent_id) + ")");
+}
+
+bool IsIdMarkerLabel(Label label) {
+  const std::string& name = LabelName(label);
+  return StartsWith(name, "Id(") && name.back() == ')';
+}
+
+Label DocLabel(std::string_view view_name) {
+  return Intern("doc(" + std::string(view_name) + ")");
+}
+
+}  // namespace pxv

@@ -1,0 +1,37 @@
+// Interned labels. The paper assumes a label set L subsuming XML tags and
+// values; we intern every label into a process-wide pool so that documents,
+// p-documents and queries compare labels by a 32-bit id.
+
+#ifndef PXV_XML_LABEL_H_
+#define PXV_XML_LABEL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pxv {
+
+/// Interned label id. Equality of labels is equality of ids.
+using Label = uint32_t;
+
+/// Interns `name`, returning its id. Thread-safe; idempotent.
+Label Intern(std::string_view name);
+
+/// Returns the spelling of an interned label. The reference stays valid for
+/// the lifetime of the process.
+const std::string& LabelName(Label label);
+
+/// Builds the reserved marker label "Id(<pid>)" used in view extensions
+/// (paper §3.1: a fresh child labeled Id(n) is plugged below every node of a
+/// view extension so that rewritings can pinpoint node occurrences).
+Label IdMarkerLabel(int64_t persistent_id);
+
+/// True iff `label` is an Id(...) marker label.
+bool IsIdMarkerLabel(Label label);
+
+/// Reserved label for the root of a view extension document: "doc(<view>)".
+Label DocLabel(std::string_view view_name);
+
+}  // namespace pxv
+
+#endif  // PXV_XML_LABEL_H_

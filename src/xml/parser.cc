@@ -1,0 +1,363 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace pxv {
+namespace {
+
+// --- Tree-term notation ---------------------------------------------------
+
+class TreeTextParser {
+ public:
+  explicit TreeTextParser(std::string_view text) : text_(text) {}
+
+  StatusOr<Document> Parse() {
+    SkipSpace();
+    Document doc;
+    Status s = ParseNode(&doc, kNullNode);
+    if (!s.ok()) return s;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::Error("trailing characters at offset " +
+                           std::to_string(pos_));
+    }
+    return doc;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(
+                                      text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool IsLabelChar(char c) const {
+    return !std::isspace(static_cast<unsigned char>(c)) && c != '(' &&
+           c != ')' && c != ',' && c != '#' && c != '"';
+  }
+
+  Status ParseLabel(std::string* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Status::Error("expected label, got EOF");
+    out->clear();
+    if (text_[pos_] == '"') {
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+        out->push_back(text_[pos_++]);
+      }
+      if (pos_ >= text_.size()) return Status::Error("unterminated quote");
+      ++pos_;  // Closing quote.
+      return Status::Ok();
+    }
+    while (pos_ < text_.size() && IsLabelChar(text_[pos_])) {
+      out->push_back(text_[pos_++]);
+    }
+    if (out->empty()) {
+      return Status::Error("expected label at offset " + std::to_string(pos_));
+    }
+    return Status::Ok();
+  }
+
+  Status ParseNode(Document* doc, NodeId parent) {
+    std::string label;
+    Status s = ParseLabel(&label);
+    if (!s.ok()) return s;
+
+    PersistentId pid = kNullPid;
+    if (pos_ < text_.size() && text_[pos_] == '#') {
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ == start) return Status::Error("expected pid after '#'");
+      pid = std::stoll(std::string(text_.substr(start, pos_ - start)));
+    }
+
+    const NodeId node = (parent == kNullNode)
+                            ? doc->AddRoot(Intern(label), pid)
+                            : doc->AddChild(parent, Intern(label), pid);
+
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '(') {
+      ++pos_;
+      for (;;) {
+        Status cs = ParseNode(doc, node);
+        if (!cs.ok()) return cs;
+        SkipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        return Status::Error("expected ')' at offset " + std::to_string(pos_));
+      }
+      ++pos_;
+    }
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+bool NeedsQuoting(const std::string& label) {
+  if (label.empty()) return true;
+  for (char c : label) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '(' || c == ')' ||
+        c == ',' || c == '#' || c == '"') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void EmitLabel(const std::string& label, std::ostringstream* out) {
+  if (!NeedsQuoting(label)) {
+    *out << label;
+    return;
+  }
+  *out << '"';
+  for (char c : label) {
+    if (c == '"' || c == '\\') *out << '\\';
+    *out << c;
+  }
+  *out << '"';
+}
+
+void EmitTreeText(const Document& doc, NodeId n, bool with_pids,
+                  std::ostringstream* out) {
+  EmitLabel(LabelName(doc.label(n)), out);
+  if (with_pids) *out << '#' << doc.pid(n);
+  const auto& kids = doc.children(n);
+  if (!kids.empty()) {
+    *out << '(';
+    for (size_t i = 0; i < kids.size(); ++i) {
+      if (i) *out << ", ";
+      EmitTreeText(doc, kids[i], with_pids, out);
+    }
+    *out << ')';
+  }
+}
+
+// --- XML subset ------------------------------------------------------------
+
+bool IsXmlNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsXmlNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.' || c == ':';
+}
+bool IsXmlName(const std::string& s) {
+  if (s.empty() || !IsXmlNameStart(s[0])) return false;
+  for (char c : s) {
+    if (!IsXmlNameChar(c)) return false;
+  }
+  return true;
+}
+
+std::string XmlEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+class XmlParser {
+ public:
+  explicit XmlParser(std::string_view text) : text_(text) {}
+
+  StatusOr<Document> Parse() {
+    SkipSpace();
+    Document doc;
+    Status s = ParseElement(&doc, kNullNode);
+    if (!s.ok()) return s;
+    SkipSpace();
+    if (pos_ != text_.size()) return Status::Error("trailing content");
+    return doc;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string XmlUnescape(const std::string& s) {
+    std::string out;
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (s[i] != '&') {
+        out.push_back(s[i]);
+        continue;
+      }
+      const size_t semi = s.find(';', i);
+      if (semi == std::string::npos) {
+        out.push_back(s[i]);
+        continue;
+      }
+      const std::string ent = s.substr(i + 1, semi - i - 1);
+      if (ent == "lt") out.push_back('<');
+      else if (ent == "gt") out.push_back('>');
+      else if (ent == "amp") out.push_back('&');
+      else if (ent == "quot") out.push_back('"');
+      else out += "&" + ent + ";";
+      i = semi;
+    }
+    return out;
+  }
+
+  Status ParseElement(Document* doc, NodeId parent) {
+    if (pos_ >= text_.size() || text_[pos_] != '<') {
+      return Status::Error("expected '<'");
+    }
+    ++pos_;
+    // Tag name.
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsXmlNameChar(text_[pos_])) ++pos_;
+    std::string tag(text_.substr(start, pos_ - start));
+    if (tag.empty()) return Status::Error("empty tag name");
+
+    // Attributes: only label="..." and pxv:pid="..." are meaningful.
+    std::string label_attr;
+    PersistentId pid = kNullPid;
+    for (;;) {
+      SkipSpace();
+      if (pos_ >= text_.size()) return Status::Error("unterminated tag");
+      if (text_[pos_] == '>' || text_[pos_] == '/') break;
+      size_t astart = pos_;
+      while (pos_ < text_.size() && IsXmlNameChar(text_[pos_])) ++pos_;
+      std::string attr(text_.substr(astart, pos_ - astart));
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '=') {
+        return Status::Error("malformed attribute");
+      }
+      ++pos_;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Status::Error("expected attribute value");
+      }
+      ++pos_;
+      size_t vstart = pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
+      if (pos_ >= text_.size()) return Status::Error("unterminated attribute");
+      std::string value(text_.substr(vstart, pos_ - vstart));
+      ++pos_;
+      if (attr == "label") label_attr = XmlUnescape(value);
+      if (attr == "pxv:pid") pid = std::stoll(value);
+    }
+
+    const std::string label =
+        (tag == "node" && !label_attr.empty()) ? label_attr : tag;
+    const NodeId node = (parent == kNullNode)
+                            ? doc->AddRoot(Intern(label), pid)
+                            : doc->AddChild(parent, Intern(label), pid);
+
+    if (text_[pos_] == '/') {
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] != '>') {
+        return Status::Error("expected '/>'");
+      }
+      ++pos_;
+      return Status::Ok();
+    }
+    ++pos_;  // '>'
+
+    // Children: elements and text runs.
+    for (;;) {
+      size_t tstart = pos_;
+      while (pos_ < text_.size() && text_[pos_] != '<') ++pos_;
+      std::string textrun = XmlUnescape(
+          std::string(text_.substr(tstart, pos_ - tstart)));
+      // Trim whitespace; a nonempty text run becomes a leaf child.
+      size_t b = textrun.find_first_not_of(" \t\r\n");
+      size_t e = textrun.find_last_not_of(" \t\r\n");
+      if (b != std::string::npos) {
+        doc->AddChild(node, Intern(textrun.substr(b, e - b + 1)));
+      }
+      if (pos_ >= text_.size()) return Status::Error("unterminated element");
+      if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+        pos_ += 2;
+        size_t cstart = pos_;
+        while (pos_ < text_.size() && text_[pos_] != '>') ++pos_;
+        std::string close(text_.substr(cstart, pos_ - cstart));
+        if (pos_ >= text_.size()) return Status::Error("unterminated close");
+        ++pos_;
+        if (close != tag) {
+          return Status::Error("mismatched close tag: " + close + " vs " + tag);
+        }
+        return Status::Ok();
+      }
+      Status s = ParseElement(doc, node);
+      if (!s.ok()) return s;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void EmitXml(const Document& doc, NodeId n, bool with_pids,
+             std::ostringstream* out) {
+  const std::string& label = LabelName(doc.label(n));
+  const bool plain = IsXmlName(label);
+  if (plain) {
+    *out << '<' << label;
+  } else {
+    *out << "<node label=\"" << XmlEscape(label) << '"';
+  }
+  if (with_pids) *out << " pxv:pid=\"" << doc.pid(n) << '"';
+  const auto& kids = doc.children(n);
+  if (kids.empty()) {
+    *out << "/>";
+    return;
+  }
+  *out << '>';
+  for (NodeId kid : kids) EmitXml(doc, kid, with_pids, out);
+  *out << "</" << (plain ? label : std::string("node")) << '>';
+}
+
+}  // namespace
+
+StatusOr<Document> ParseTreeText(std::string_view text) {
+  return TreeTextParser(text).Parse();
+}
+
+std::string ToTreeText(const Document& doc, bool with_pids) {
+  if (doc.empty()) return "";
+  std::ostringstream out;
+  EmitTreeText(doc, doc.root(), with_pids, &out);
+  return out.str();
+}
+
+StatusOr<Document> ParseXml(std::string_view text) {
+  return XmlParser(text).Parse();
+}
+
+std::string ToXml(const Document& doc, bool with_pids) {
+  if (doc.empty()) return "";
+  std::ostringstream out;
+  EmitXml(doc, doc.root(), with_pids, &out);
+  return out.str();
+}
+
+}  // namespace pxv

@@ -1,0 +1,42 @@
+// Text formats for deterministic documents.
+//
+// Two formats are supported:
+//
+//  * Tree-term notation (compact, used throughout tests and examples):
+//        IT-personnel(person(name(Rick), bonus(laptop(44, 50), pda(50))))
+//    Optional explicit persistent ids with `#`:
+//        bonus#5(laptop#24(44#25, 50#26))
+//    Labels are runs of characters other than `( ) , #` and whitespace;
+//    quoted labels "..." allow anything (with \" and \\ escapes).
+//
+//  * A minimal XML subset: nested elements, self-closing tags, text nodes
+//    (which become leaf labels), and an optional pxv:pid attribute.
+
+#ifndef PXV_XML_PARSER_H_
+#define PXV_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace pxv {
+
+/// Parses tree-term notation into a Document.
+StatusOr<Document> ParseTreeText(std::string_view text);
+
+/// Serializes to tree-term notation. If `with_pids`, emits `#pid` markers.
+std::string ToTreeText(const Document& doc, bool with_pids = false);
+
+/// Parses the minimal XML subset.
+StatusOr<Document> ParseXml(std::string_view text);
+
+/// Serializes to XML. Persistent ids are emitted as pxv:pid attributes when
+/// `with_pids` is set. Labels that are not valid XML names are emitted as
+/// <node label="..."> elements.
+std::string ToXml(const Document& doc, bool with_pids = false);
+
+}  // namespace pxv
+
+#endif  // PXV_XML_PARSER_H_

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "gen/docgen.h"
+#include "gen/paper.h"
+#include "pxml/parser.h"
+#include "rewrite/cindependence.h"
+#include "tp/ops.h"
+#include "tp/parser.h"
+#include "util/random.h"
+
+namespace pxv {
+namespace {
+
+// Paper §4.1: q_BON ⊥ v1_BON.
+TEST(CIndepTest, PaperPositive) {
+  EXPECT_TRUE(CIndependent(paper::QueryBON(), paper::ViewV1BON()));
+}
+
+// Paper §4.1: a[b] and a[c] are not c-independent (a mux can correlate).
+TEST(CIndepTest, PaperNegativeSameNode) {
+  EXPECT_FALSE(CIndependent(Tp("a[b]/x"), Tp("a[c]/x")));
+}
+
+// Example 11: v' = a[.//c]/b and q'' = a/b[c] are not c-independent.
+TEST(CIndepTest, PaperExample11) {
+  const Pattern v = paper::View11();
+  const Pattern q = paper::Query11();
+  const Pattern v_prime = StripOutPredicates(v);
+  const Pattern q_dprime = QDoublePrime(q, 2);
+  EXPECT_FALSE(CIndependent(v_prime, q_dprime));
+}
+
+// A query is not c-independent of itself unless its predicates are trivial.
+TEST(CIndepTest, SelfDependence) {
+  EXPECT_FALSE(CIndependent(Tp("a[b]/x"), Tp("a[b]/x")));
+  EXPECT_TRUE(CIndependent(Tp("a/x"), Tp("a/x")));  // No predicates at all.
+}
+
+TEST(CIndepTest, PredicatesAtDifferentDepthsNoReach) {
+  // [p] at depth 1 cannot reach below the depth-2 node through a /-edge
+  // with a different label: independent.
+  EXPECT_TRUE(CIndependent(Tp("a[p]/b/c"), Tp("a/b[q]/c")));
+  // But a //-predicate reaches everywhere: dependent.
+  EXPECT_FALSE(CIndependent(Tp("a[.//p]/b/c"), Tp("a/b[q]/c")));
+}
+
+TEST(CIndepTest, ReachThroughMatchingLabels) {
+  // [b/q] at the root: its chain can step onto the main branch b at depth 2
+  // and continue below — where [q] of the other query lives: dependent.
+  EXPECT_FALSE(CIndependent(Tp("a[b/q]/b/c"), Tp("a/b[q]/c")));
+  // With a non-matching first label the chain dies at once: independent.
+  EXPECT_TRUE(CIndependent(Tp("a[x/q]/b/c"), Tp("a/b[q]/c")));
+}
+
+TEST(CIndepTest, DescendantGapWithPadding) {
+  // A pure /-chain predicate can descend through the // gap's padding, but
+  // it can only enter b's subtree by stepping onto b itself — its labels
+  // never match b, so it stays above: independent.
+  EXPECT_TRUE(CIndependent(Tp("a[x/y/z]//b/c"), Tp("a//b[q]/c")));
+  // With a //-edge inside the predicate it can jump below b: dependent.
+  EXPECT_FALSE(CIndependent(Tp("a[x//w]//b/c"), Tp("a//b[w]/c")));
+  // A /-chain that does pass through b's label reaches below b: dependent.
+  EXPECT_FALSE(CIndependent(Tp("a[b/w]/b/c"), Tp("a/b[w]/c")));
+}
+
+TEST(CIndepTest, DisjointLabelsIndependent) {
+  EXPECT_TRUE(CIndependent(Tp("a[x]/b/c"), Tp("a/b[y]/c")));
+  EXPECT_TRUE(CIndependent(Tp("a/b[x]/c"), Tp("a[y]/b/c")));
+}
+
+TEST(CIndepTest, NoCommonAlignmentVacuouslyIndependent) {
+  // Main branches cannot align on any document node: vacuously independent.
+  EXPECT_TRUE(CIndependent(Tp("a/b[x]"), Tp("a/c/b[y]")));
+}
+
+// Theorem 4 reduction behaviour: views from disjoint hyperedges are
+// c-independent; views sharing a vertex are not.
+TEST(CIndepTest, MatchingViewsBehaviour) {
+  const Pattern e1 = Tp("a[p0]/a[p1]/a/a//b");
+  const Pattern e2 = Tp("a/a/a[p2]/a[p3]//b");
+  const Pattern e3 = Tp("a/a[p1]/a[p2]/a//b");
+  EXPECT_TRUE(CIndependent(e1, e2));   // Disjoint {0,1} vs {2,3}.
+  EXPECT_FALSE(CIndependent(e1, e3));  // Share vertex 1.
+  EXPECT_FALSE(CIndependent(e2, e3));  // Share vertex 2.
+}
+
+// Oracle agreement: the syntactic verdicts match the probabilistic
+// definition on the paper's documents.
+TEST(CIndepTest, OracleAgreementOnPaperDocs) {
+  // Independent pair on P̂_PER.
+  EXPECT_TRUE(
+      CIndependentOn(paper::PDocPER(), paper::QueryBON(), paper::ViewV1BON()));
+  // Dependent pair witnessed on a mux document.
+  const auto pd = ParsePDocument("a(mux(b@0.5, c@0.5), x)");
+  ASSERT_TRUE(pd.ok());
+  EXPECT_FALSE(CIndependentOn(*pd, Tp("a[b]/x"), Tp("a[c]/x")));
+}
+
+// Soundness property: whenever the syntactic test declares independence,
+// the definitional equation holds on random p-documents.
+class CIndepSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(CIndepSoundness, SyntacticIndependenceHoldsSemantically) {
+  Rng rng(333 + GetParam());
+  // Draw small random query pairs over a tiny alphabet so collisions and
+  // correlations are likely.
+  const char* pool[] = {
+      "a[b]/x",       "a[c]/x",        "a/x",          "a[.//b]/x",
+      "a[b/c]/x",     "a//x",          "a[b]//x",      "a/m/x",
+      "a[b]/m/x",     "a/m[c]/x",      "a[.//c]/m/x",  "a/m[b/c]/x",
+  };
+  const Pattern q1 = Tp(pool[rng.NextBounded(12)]);
+  const Pattern q2 = Tp(pool[rng.NextBounded(12)]);
+  if (!CIndependent(q1, q2)) return;  // Only soundness is asserted here.
+  // Structured battery: chains with mux/ind combinations of b, c under a/m/x.
+  const char* docs[] = {
+      "a(mux(b@0.5, c@0.5), x, m(x))",
+      "a(ind(b@0.5, c@0.4), x(b), m(x(c)))",
+      "a(b(c), mux(x@0.7), m(mux(x@0.5, b@0.3)))",
+      "a(mux(m(x(b))@0.6, c@0.2), x)",
+      "a(m(mux(b@0.5, c@0.5), x), x(c))",
+  };
+  for (const char* text : docs) {
+    const auto pd = ParsePDocument(text);
+    ASSERT_TRUE(pd.ok()) << text;
+    EXPECT_TRUE(CIndependentOn(*pd, q1, q2))
+        << ToXPath(q1) << " vs " << ToXPath(q2) << " on " << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CIndepSoundness, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace pxv

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "gen/paper.h"
+#include "rewrite/decomposition.h"
+#include "tp/containment.h"
+#include "tp/parser.h"
+
+namespace pxv {
+namespace {
+
+// Example 16: q = a[1]/b[2]/c[3]/d with views v1..v4. The system pins
+// Pr(n ∈ q(P)) down uniquely.
+TEST(DecompositionTest, Example16SystemSolvable) {
+  const Pattern q = paper::Query16();
+  std::vector<Pattern> views;
+  for (int i = 1; i <= 4; ++i) views.push_back(paper::View16(i));
+  const ViewDecomposition dec = DecomposeViews(q, views);
+  ASSERT_TRUE(dec.ok);
+  // Three nontrivial d-view classes: [1]@a, [2]@b, [3]@c (v4 is trivial).
+  EXPECT_EQ(dec.dviews.size(), 3u);
+  EXPECT_EQ(dec.view_classes[0].size(), 2u);  // v1 → {w1, w3}.
+  EXPECT_EQ(dec.view_classes[1].size(), 2u);  // v2 → {w2, w3}.
+  EXPECT_EQ(dec.view_classes[2].size(), 2u);  // v3 → {w1, w2}.
+  EXPECT_TRUE(dec.view_classes[3].empty());   // v4 → ∅ (appearance only).
+  EXPECT_EQ(dec.query_classes.size(), 3u);
+
+  const auto coeffs = SolveSystem(dec);
+  ASSERT_TRUE(coeffs.has_value());
+  // The canonical solution: (v1+v2+v3−v4)/2.
+  EXPECT_EQ((*coeffs)[0], Rational(1, 2));
+  EXPECT_EQ((*coeffs)[1], Rational(1, 2));
+  EXPECT_EQ((*coeffs)[2], Rational(1, 2));
+  EXPECT_EQ((*coeffs)[3], Rational(-1, 2));
+}
+
+// Without v4 the appearance probability y_P is not retrievable: no unique
+// solution (Lemma 3's necessity, system form).
+TEST(DecompositionTest, Example16WithoutAppearanceView) {
+  const Pattern q = paper::Query16();
+  std::vector<Pattern> views;
+  for (int i = 1; i <= 3; ++i) views.push_back(paper::View16(i));
+  const ViewDecomposition dec = DecomposeViews(q, views);
+  ASSERT_TRUE(dec.ok);
+  EXPECT_FALSE(SolveSystem(dec).has_value());
+}
+
+// With only v1, v2 (deterministically sufficient!) the system cannot
+// retrieve the probabilities: predicate [1] appears in no second equation.
+TEST(DecompositionTest, DeterministicallySufficientButNotProbabilistically) {
+  const Pattern q = paper::Query16();
+  const ViewDecomposition dec =
+      DecomposeViews(q, {paper::View16(1), paper::View16(2)});
+  ASSERT_TRUE(dec.ok);
+  EXPECT_FALSE(SolveSystem(dec).has_value());
+}
+
+TEST(DecompositionTest, QueryAsItsOwnView) {
+  const Pattern q = paper::Query16();
+  const ViewDecomposition dec = DecomposeViews(q, {q.Clone()});
+  ASSERT_TRUE(dec.ok);
+  const auto coeffs = SolveSystem(dec);
+  ASSERT_TRUE(coeffs.has_value());
+  EXPECT_EQ((*coeffs)[0], Rational(1));
+}
+
+TEST(DecomposeOneTest, PerNodeQueries) {
+  // v = a[1]/b[2]/c[3]/d decomposes into one d-view per predicate node (all
+  // its tokens are first/last — single token).
+  const Pattern q = paper::Query16();
+  const auto ws = DecomposeOne(paper::View16(1), q);
+  ASSERT_TRUE(ws.ok());
+  EXPECT_EQ(ws->size(), 2u);  // [1]@a and [3]@c.
+  for (const Pattern& w : *ws) {
+    EXPECT_TRUE(Contains(w, q));
+  }
+}
+
+TEST(DecomposeOneTest, TrivialViewDecomposesToNothing) {
+  const Pattern q = paper::Query16();
+  const auto ws = DecomposeOne(paper::View16(4), q);  // a//d.
+  ASSERT_TRUE(ws.ok());
+  EXPECT_TRUE(ws->empty());
+}
+
+TEST(DecomposeOneTest, MiddlePredicatesBulk) {
+  // Three tokens: middle predicates are kept in bulk as one d-view.
+  const Pattern q = Tp("r//a[x]//b[y]");
+  const Pattern v = Tp("r//a[x]//b");
+  const auto ws = DecomposeOne(v, q);
+  ASSERT_TRUE(ws.ok());
+  // v = r // a[x] // b: first token r, middle a[x], last b: the bulk middle
+  // query carries [x].
+  ASSERT_EQ(ws->size(), 1u);
+  EXPECT_TRUE(Contains((*ws)[0], q));
+}
+
+TEST(DecomposeOneTest, DependentPredicatesMerged) {
+  // Predicates [b] and [b/c] at the same node are c-dependent: Step 2 merges
+  // them into one d-view.
+  const Pattern q = Tp("a[b][b/c]/x");
+  const Pattern v = Tp("a[b][b/c]/x");
+  const auto ws = DecomposeOne(v, q);
+  ASSERT_TRUE(ws.ok());
+  EXPECT_EQ(ws->size(), 1u);
+}
+
+TEST(DecompositionTest, EquivalentDViewsShareClass) {
+  // Two views with the same predicate at the same depth: one class.
+  const Pattern q = Tp("a[p]/b[r]/c");
+  const ViewDecomposition dec =
+      DecomposeViews(q, {Tp("a[p]/b/c"), Tp("a[p]/b[r]/c")});
+  ASSERT_TRUE(dec.ok);
+  EXPECT_EQ(dec.dviews.size(), 2u);  // [p]@a and [r]@b.
+  ASSERT_EQ(dec.view_classes[0].size(), 1u);
+  EXPECT_EQ(dec.view_classes[0][0], dec.view_classes[1][0]);
+}
+
+TEST(DecompositionTest, DescendantMainBranchSystem) {
+  // mb(q) with a //-edge; views with predicates on first/last tokens.
+  const Pattern q = Tp("r[p]//s[t]/u");
+  const ViewDecomposition dec =
+      DecomposeViews(q, {Tp("r[p]//s/u"), Tp("r//s[t]/u"), Tp("r//s/u")});
+  ASSERT_TRUE(dec.ok);
+  const auto coeffs = SolveSystem(dec);
+  ASSERT_TRUE(coeffs.has_value());
+  // v3 = r//s/u is the appearance view; q = v1 + v2 − v3.
+  EXPECT_EQ((*coeffs)[0], Rational(1));
+  EXPECT_EQ((*coeffs)[1], Rational(1));
+  EXPECT_EQ((*coeffs)[2], Rational(-1));
+}
+
+}  // namespace
+}  // namespace pxv

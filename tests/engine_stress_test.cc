@@ -1,0 +1,128 @@
+// Stress and statistical validation of the probabilistic engine beyond the
+// scales the enumeration oracle can reach, plus det/exp model coverage.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include <cmath>
+
+#include "gen/docgen.h"
+#include "gen/querygen.h"
+#include "prob/naive.h"
+#include "prob/query_eval.h"
+#include "pxml/parser.h"
+#include "pxml/sampler.h"
+#include "tp/eval.h"
+#include "tp/parser.h"
+#include "util/random.h"
+
+namespace pxv {
+namespace {
+
+// Monte-Carlo cross-check on documents too large for exact enumeration: the
+// empirical selection frequency converges to the engine's probability.
+class MonteCarlo : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonteCarlo, EngineMatchesSampling) {
+  Rng rng(9000 + GetParam());
+  const PDocument pd = PersonnelPDocument(rng, 12);
+  const Pattern q = Tp("IT-personnel//person[name/Rick]/bonus[laptop]");
+
+  std::map<PersistentId, double> expected;
+  for (const NodeProb& np : EvaluateTP(pd, q)) {
+    expected[pd.pid(np.node)] = np.prob;
+  }
+
+  const int samples = 30000;
+  std::map<PersistentId, int> hits;
+  for (int i = 0; i < samples; ++i) {
+    const SampledWorld w = SampleWorld(pd, rng);
+    for (NodeId n : Evaluate(q, w.doc)) ++hits[w.doc.pid(n)];
+  }
+  for (const auto& [pid, p] : expected) {
+    const double freq = static_cast<double>(hits[pid]) / samples;
+    EXPECT_NEAR(freq, p, 0.02) << "pid " << pid;
+  }
+  for (const auto& [pid, count] : hits) {
+    EXPECT_TRUE(expected.count(pid)) << "sampled answer engine missed: "
+                                     << pid;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonteCarlo, ::testing::Range(0, 4));
+
+TEST(EngineStressTest, DetNodesGroupDeterministically) {
+  PDocument pd;
+  const NodeId a = pd.AddRoot(Intern("a"));
+  const NodeId mux = pd.AddDistributional(a, PKind::kMux);
+  const NodeId det = pd.AddDistributional(mux, PKind::kDet, 0.4);
+  pd.AddOrdinary(det, Intern("b"));
+  pd.AddOrdinary(det, Intern("c"));
+  pd.AddOrdinary(mux, Intern("b"), 0.6);
+  ASSERT_TRUE(pd.Validate().ok());
+  // [b][c] both present only via the det branch: 0.4.
+  const Pattern both = Tp("a[b][c]/b");
+  EXPECT_NEAR(BooleanProbability(pd, Tp("a[b][c]")), 0.4, 1e-12);
+  EXPECT_NEAR(BooleanProbability(pd, Tp("a[b]")), 1.0, 1e-12);
+  EXPECT_NEAR(NaiveBooleanProbability(pd, Tp("a[b][c]")), 0.4, 1e-12);
+  (void)both;
+}
+
+TEST(EngineStressTest, ExpCorrelationsAgainstNaive) {
+  Rng rng(123);
+  for (int trial = 0; trial < 5; ++trial) {
+    PDocument pd;
+    const NodeId a = pd.AddRoot(Intern("a"));
+    const NodeId exp = pd.AddExp(a);
+    pd.AddOrdinary(exp, Intern("b"));
+    pd.AddOrdinary(exp, Intern("c"));
+    pd.AddOrdinary(exp, Intern("d"));
+    const double p1 = 0.2 + 0.3 * rng.NextDouble();
+    const double p2 = 0.1 + 0.2 * rng.NextDouble();
+    pd.SetExpDistribution(exp, {{{0, 1}, p1}, {{1, 2}, p2}, {{0}, 0.1}});
+    ASSERT_TRUE(pd.Validate().ok());
+    for (const char* text : {"a[b]", "a[c]", "a[b][c]", "a[c][d]", "a[b][d]"}) {
+      const Pattern q = Tp(text);
+      EXPECT_NEAR(BooleanProbability(pd, q), NaiveBooleanProbability(pd, q),
+                  1e-9)
+          << text;
+    }
+  }
+}
+
+TEST(EngineStressTest, DeepChainNoStackIssue) {
+  PDocument pd;
+  NodeId cur = pd.AddRoot(Intern("a"));
+  for (int i = 0; i < 3000; ++i) {
+    const NodeId mux = pd.AddDistributional(cur, PKind::kMux);
+    cur = pd.AddOrdinary(mux, Intern("m"), 0.999);
+  }
+  pd.AddOrdinary(cur, Intern("z"));
+  const auto result = EvaluateTP(pd, Tp("a//z"));
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_NEAR(result[0].prob, std::pow(0.999, 3000), 1e-9);
+}
+
+TEST(EngineStressTest, WideFanout) {
+  PDocument pd;
+  const NodeId a = pd.AddRoot(Intern("a"));
+  for (int i = 0; i < 2000; ++i) {
+    const NodeId mux = pd.AddDistributional(a, PKind::kMux);
+    const NodeId b = pd.AddOrdinary(mux, Intern("b"), 0.001);
+    pd.AddOrdinary(b, Intern("c"));
+  }
+  // Pr(some b[c]) = 1 − 0.999^2000.
+  EXPECT_NEAR(BooleanProbability(pd, Tp("a/b[c]")),
+              1.0 - std::pow(0.999, 2000), 1e-9);
+}
+
+TEST(EngineStressTest, ZeroAndOneProbabilities) {
+  const auto pd = ParsePDocument("a(mux(b@0, c@1.0), d)");
+  ASSERT_TRUE(pd.ok());
+  EXPECT_NEAR(BooleanProbability(*pd, Tp("a[b]")), 0.0, 1e-12);
+  EXPECT_NEAR(BooleanProbability(*pd, Tp("a[c]")), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pxv

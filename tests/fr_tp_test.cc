@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gen/docgen.h"
+#include "pxml/parser.h"
+#include "gen/paper.h"
+#include "prob/query_eval.h"
+#include "pxml/view_extension.h"
+#include "rewrite/fr_tp.h"
+#include "rewrite/rewriter.h"
+#include "rewrite/tp_rewrite.h"
+#include "tp/parser.h"
+
+namespace pxv {
+namespace {
+
+std::map<PersistentId, double> DirectAnswer(const PDocument& pd,
+                                            const Pattern& q) {
+  std::map<PersistentId, double> out;
+  for (const NodeProb& np : EvaluateTP(pd, q)) out[pd.pid(np.node)] = np.prob;
+  return out;
+}
+
+std::map<PersistentId, double> RewriteAnswer(const PDocument& pd,
+                                             const Pattern& q,
+                                             const NamedView& view) {
+  const auto rws = TPrewrite(q, {view});
+  EXPECT_EQ(rws.size(), 1u) << "no probabilistic TP-rewriting found";
+  if (rws.empty()) return {};
+  Rewriter rewriter;
+  rewriter.AddView(view.name, view.def.Clone());
+  const ViewExtensions exts = rewriter.Materialize(pd);
+  std::map<PersistentId, double> out;
+  for (const PidProb& pp : ExecuteTpRewriting(rws[0], exts.at(view.name))) {
+    out[pp.pid] = pp.prob;
+  }
+  return out;
+}
+
+void ExpectSameAnswers(const std::map<PersistentId, double>& direct,
+                       const std::map<PersistentId, double>& via_views,
+                       const char* context) {
+  for (const auto& [pid, p] : direct) {
+    ASSERT_TRUE(via_views.count(pid))
+        << context << ": missing answer pid " << pid;
+    EXPECT_NEAR(via_views.at(pid), p, 1e-9) << context << " pid " << pid;
+  }
+  for (const auto& [pid, p] : via_views) {
+    EXPECT_TRUE(direct.count(pid)) << context << ": spurious pid " << pid;
+  }
+}
+
+// Example 13: Pr(n5 ∈ q_BON(P_PER)) = 0.9 ÷ 1 via the plan
+// comp(doc(v2BON)/bonus, q_(3)); all other nodes get 0.
+TEST(FrTpTest, PaperExample13) {
+  const PDocument pd = paper::PDocPER();
+  const auto answer =
+      RewriteAnswer(pd, paper::QueryBON(), {"v2BON", paper::ViewV2BON()});
+  ASSERT_EQ(answer.size(), 1u);
+  EXPECT_NEAR(answer.at(5), 0.9, 1e-12);
+}
+
+TEST(FrTpTest, QRBONViaV1BON) {
+  const PDocument pd = paper::PDocPER();
+  const auto answer =
+      RewriteAnswer(pd, paper::QueryRBON(), {"v1BON", paper::ViewV1BON()});
+  ASSERT_EQ(answer.size(), 1u);
+  // Theorem 1 divides the plan probability by the out-predicate mass (1):
+  // the answer matches the direct 0.675.
+  EXPECT_NEAR(answer.at(5), 0.675, 1e-12);
+}
+
+// Theorem 1 with predicates on out(v): the division is essential.
+TEST(FrTpTest, OutPredicateDivision) {
+  // v = a/b[c], q = a/b[c][d]: plan doc(v)/b[c][d]... over the extension the
+  // [c] probability is already folded into β; f_r divides it back.
+  const auto pd = ParsePDocument("a(b(mux(c@0.6), mux(d@0.5)))");
+  ASSERT_TRUE(pd.ok());
+  const Pattern q = Tp("a/b[c][d]");
+  const NamedView view{"v", Tp("a/b[c]")};
+  const auto direct = DirectAnswer(*pd, q);
+  const auto via = RewriteAnswer(*pd, q, view);
+  ExpectSameAnswers(direct, via, "out-predicate division");
+  ASSERT_EQ(via.size(), 1u);
+  EXPECT_NEAR(via.begin()->second, 0.3, 1e-12);
+}
+
+// Unrestricted plan with a unique selected ancestor per answer (footnote 3).
+TEST(FrTpTest, UnrestrictedUniqueAncestor) {
+  const auto pd = ParsePDocument(
+      "a(x(b(mux(c(d(mux(e@0.4)))@0.7))), b(c(d(mux(e@0.25)))))");
+  ASSERT_TRUE(pd.ok());
+  const Pattern q = Tp("a//b/c/d//e");
+  const NamedView view{"v", Tp("a//b/c/d")};
+  const auto direct = DirectAnswer(*pd, q);
+  const auto via = RewriteAnswer(*pd, q, view);
+  ExpectSameAnswers(direct, via, "unique ancestor");
+}
+
+// Unrestricted plan with two nested view matches (a = 2): the
+// inclusion–exclusion machinery of Theorem 2 (u = 0 case).
+TEST(FrTpTest, TwoNestedAncestorsU0) {
+  // v = a//b/c, q = a//b/c//d. Document with nested b/c chains.
+  const auto pd = ParsePDocument(
+      "a(b(mux(x@0.5), c(b(c(mux(d@0.6))), mux(d@0.3))))");
+  ASSERT_TRUE(pd.ok());
+  const Pattern q = Tp("a//b/c//d");
+  const NamedView view{"v", Tp("a//b/c")};
+  const auto direct = DirectAnswer(*pd, q);
+  const auto via = RewriteAnswer(*pd, q, view);
+  ExpectSameAnswers(direct, via, "two ancestors u=0");
+}
+
+// Prefix-suffix case (u = 1): overlapping images of the last token.
+TEST(FrTpTest, OverlappingTokenImagesU1) {
+  // v = a//b/b: last token (b, b), u = 1. q = v//d.
+  const auto pd = ParsePDocument("a(b(b(b(mux(d@0.8)), mux(d@0.5))))");
+  ASSERT_TRUE(pd.ok());
+  const Pattern q = Tp("a//b/b//d");
+  const NamedView view{"v", Tp("a//b/b")};
+  const auto direct = DirectAnswer(*pd, q);
+  const auto via = RewriteAnswer(*pd, q, view);
+  ExpectSameAnswers(direct, via, "u=1 overlap");
+}
+
+// Randomized end-to-end property: whenever TPrewrite accepts, executing
+// (q_r, f_r) over the extension reproduces the direct answers exactly.
+class FrTpProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FrTpProperty, RewritingMatchesDirectOnPersonnel) {
+  Rng rng(100 + GetParam());
+  const PDocument pd = PersonnelPDocument(rng, 3 + GetParam() % 4);
+  struct Case {
+    const char* query;
+    const char* view;
+  };
+  const Case cases[] = {
+      {"IT-personnel//person/bonus[laptop]", "IT-personnel//person/bonus"},
+      {"IT-personnel//person[name/Rick]/bonus[laptop]",
+       "IT-personnel//person[name/Rick]/bonus"},
+      {"IT-personnel/person/bonus[laptop]", "IT-personnel/person/bonus"},
+      {"IT-personnel//person[name/Rick]/bonus",
+       "IT-personnel//person[name/Rick]/bonus"},
+  };
+  for (const Case& c : cases) {
+    const Pattern q = Tp(c.query);
+    const NamedView view{"v", Tp(c.view)};
+    const auto rws = TPrewrite(q, {view});
+    ASSERT_EQ(rws.size(), 1u) << c.query;
+    Rewriter rewriter;
+    rewriter.AddView("v", view.def.Clone());
+    const ViewExtensions exts = rewriter.Materialize(pd);
+    std::map<PersistentId, double> via;
+    for (const PidProb& pp : ExecuteTpRewriting(rws[0], exts.at("v"))) {
+      via[pp.pid] = pp.prob;
+    }
+    ExpectSameAnswers(DirectAnswer(pd, q), via, c.query);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrTpProperty, ::testing::Range(0, 12));
+
+// The executor never touches the original p-document: it works on an
+// extension whose probabilities were tampered with, faithfully reflecting
+// the tampered values (black-box evidence of the access restriction).
+TEST(FrTpTest, UsesExtensionOnly) {
+  const PDocument pd = paper::PDocPER();
+  const auto rws =
+      TPrewrite(paper::QueryBON(), {{"v2BON", paper::ViewV2BON()}});
+  ASSERT_EQ(rws.size(), 1u);
+  Rewriter rewriter;
+  rewriter.AddView("v2BON", paper::ViewV2BON());
+  ViewExtensions exts = rewriter.Materialize(pd);
+  // Tamper: rescale the laptop mux inside the extension.
+  PDocument& ext = exts.at("v2BON");
+  for (NodeId n = 0; n < ext.size(); ++n) {
+    if (ext.ordinary(n) && ext.pid(n) == 24) ext.SetEdgeProb(n, 0.5);
+  }
+  const auto results = ExecuteTpRewriting(rws[0], ext);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_NEAR(results[0].prob, 0.5, 1e-12);  // Tampered value, not 0.9.
+}
+
+}  // namespace
+}  // namespace pxv

@@ -1,0 +1,117 @@
+// End-to-end tests of the Rewriter façade: register views, materialize
+// extensions, answer queries from extensions only, compare with direct
+// evaluation over the original p-document.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gen/docgen.h"
+#include "gen/paper.h"
+#include "prob/query_eval.h"
+#include "rewrite/rewriter.h"
+#include "tp/parser.h"
+
+namespace pxv {
+namespace {
+
+std::map<PersistentId, double> DirectAnswer(const PDocument& pd,
+                                            const Pattern& q) {
+  std::map<PersistentId, double> out;
+  for (const NodeProb& np : EvaluateTP(pd, q)) out[pd.pid(np.node)] = np.prob;
+  return out;
+}
+
+std::map<PersistentId, double> ToMap(const std::vector<PidProb>& results) {
+  std::map<PersistentId, double> out;
+  for (const PidProb& pp : results) out[pp.pid] = pp.prob;
+  return out;
+}
+
+void ExpectSameAnswers(const std::map<PersistentId, double>& a,
+                       const std::map<PersistentId, double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [pid, p] : a) {
+    ASSERT_TRUE(b.count(pid)) << pid;
+    EXPECT_NEAR(b.at(pid), p, 1e-9) << pid;
+  }
+}
+
+TEST(IntegrationTest, AnswerViaSingleView) {
+  Rewriter rewriter;
+  rewriter.AddView("v2BON", paper::ViewV2BON());
+  const PDocument pd = paper::PDocPER();
+  const ViewExtensions exts = rewriter.Materialize(pd);
+  const auto answer = rewriter.Answer(paper::QueryBON(), exts);
+  ASSERT_TRUE(answer.has_value());
+  ExpectSameAnswers(DirectAnswer(pd, paper::QueryBON()), ToMap(*answer));
+}
+
+TEST(IntegrationTest, AnswerViaIntersection) {
+  Rewriter rewriter;
+  rewriter.AddView("rick", Tp("IT-personnel//person[name/Rick]/bonus"));
+  rewriter.AddView("all", Tp("IT-personnel//person/bonus"));
+  const PDocument pd = paper::PDocPER();
+  const ViewExtensions exts = rewriter.Materialize(pd);
+  const Pattern q = paper::QueryRBON();
+  const auto answer = rewriter.Answer(q, exts);
+  ASSERT_TRUE(answer.has_value());
+  ExpectSameAnswers(DirectAnswer(pd, q), ToMap(*answer));
+}
+
+TEST(IntegrationTest, UnanswerableQuery) {
+  Rewriter rewriter;
+  rewriter.AddView("names", Tp("IT-personnel//person/name"));
+  const PDocument pd = paper::PDocPER();
+  const ViewExtensions exts = rewriter.Materialize(pd);
+  EXPECT_FALSE(rewriter.Answer(paper::QueryBON(), exts).has_value());
+}
+
+TEST(IntegrationTest, Example11NotAnswerable) {
+  Rewriter rewriter;
+  rewriter.AddView("v", paper::View11());
+  const PDocument pd = paper::PDoc1();
+  const ViewExtensions exts = rewriter.Materialize(pd);
+  EXPECT_FALSE(rewriter.Answer(paper::Query11(), exts).has_value());
+}
+
+class IntegrationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntegrationProperty, PersonnelWorkload) {
+  Rng rng(40 + GetParam());
+  const PDocument pd = PersonnelPDocument(rng, 2 + GetParam() % 5);
+  Rewriter rewriter;
+  rewriter.AddView("bonuses", Tp("IT-personnel//person/bonus"));
+  rewriter.AddView("rick", Tp("IT-personnel//person[name/Rick]/bonus"));
+  const ViewExtensions exts = rewriter.Materialize(pd);
+  const char* queries[] = {
+      "IT-personnel//person/bonus[laptop]",
+      "IT-personnel//person[name/Rick]/bonus",
+      "IT-personnel//person[name/Rick]/bonus[laptop]",
+      "IT-personnel//person/bonus",
+  };
+  for (const char* text : queries) {
+    const Pattern q = Tp(text);
+    const auto answer = rewriter.Answer(q, exts);
+    ASSERT_TRUE(answer.has_value()) << text;
+    ExpectSameAnswers(DirectAnswer(pd, q), ToMap(*answer));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntegrationProperty, ::testing::Range(0, 10));
+
+TEST(IntegrationTest, MaterializeProducesValidExtensions) {
+  Rng rng(3);
+  const PDocument pd = PersonnelPDocument(rng, 4);
+  Rewriter rewriter;
+  rewriter.AddView("a", Tp("IT-personnel//person/bonus"));
+  rewriter.AddView("b", Tp("IT-personnel//person/name"));
+  const ViewExtensions exts = rewriter.Materialize(pd);
+  ASSERT_EQ(exts.size(), 2u);
+  for (const auto& [name, ext] : exts) {
+    EXPECT_TRUE(ext.Validate().ok()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace pxv

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "linalg/rational.h"
+#include "linalg/solver.h"
+
+namespace pxv {
+namespace {
+
+TEST(RationalTest, Normalization) {
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(-2, -4), Rational(1, 2));
+  EXPECT_EQ(Rational(2, -4), Rational(-1, 2));
+  EXPECT_EQ(Rational(0, 5), Rational(0));
+}
+
+TEST(RationalTest, Arithmetic) {
+  const Rational half(1, 2), third(1, 3);
+  EXPECT_EQ(half + third, Rational(5, 6));
+  EXPECT_EQ(half - third, Rational(1, 6));
+  EXPECT_EQ(half * third, Rational(1, 6));
+  EXPECT_EQ(half / third, Rational(3, 2));
+  EXPECT_EQ(-half, Rational(-1, 2));
+}
+
+TEST(RationalTest, ToDoubleAndString) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).ToDouble(), 0.25);
+  EXPECT_EQ(Rational(3, 2).ToString(), "3/2");
+  EXPECT_EQ(Rational(7).ToString(), "7");
+}
+
+std::vector<Rational> Row(std::initializer_list<int> values) {
+  std::vector<Rational> out;
+  for (int v : values) out.push_back(Rational(v));
+  return out;
+}
+
+TEST(RankTest, FullAndDeficient) {
+  EXPECT_EQ(Rank(Matrix::FromRows({Row({1, 0}), Row({0, 1})})), 2);
+  EXPECT_EQ(Rank(Matrix::FromRows({Row({1, 1}), Row({2, 2})})), 1);
+  EXPECT_EQ(Rank(Matrix::FromRows({Row({0, 0})})), 0);
+  EXPECT_EQ(Rank(Matrix::FromRows(
+                {Row({1, 1, 0}), Row({0, 1, 1}), Row({1, 0, -1})})),
+            2);
+}
+
+TEST(ExpressTest, SimpleCombination) {
+  const auto c = ExpressInRowSpace({Row({1, 0}), Row({0, 1})}, Row({3, 4}));
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ((*c)[0], Rational(3));
+  EXPECT_EQ((*c)[1], Rational(4));
+}
+
+TEST(ExpressTest, NotInRowSpace) {
+  EXPECT_FALSE(
+      ExpressInRowSpace({Row({1, 1, 0})}, Row({1, 0, 0})).has_value());
+}
+
+TEST(ExpressTest, FractionalCoefficients) {
+  // Example 16's system shape: rows P+1+3, P+2+3, P+1+2, P;
+  // target P+1+2+3 = (r1+r2+r3-r4)/2.
+  const std::vector<std::vector<Rational>> rows = {
+      Row({1, 1, 0, 1}),
+      Row({1, 0, 1, 1}),
+      Row({1, 1, 1, 0}),
+      Row({1, 0, 0, 0}),
+  };
+  const auto c = ExpressInRowSpace(rows, Row({1, 1, 1, 1}));
+  ASSERT_TRUE(c.has_value());
+  // Verify the combination reproduces the target.
+  for (int j = 0; j < 4; ++j) {
+    Rational sum(0);
+    for (int i = 0; i < 4; ++i) sum = sum + (*c)[i] * rows[i][j];
+    EXPECT_EQ(sum, Rational(1)) << "column " << j;
+  }
+}
+
+TEST(ExpressTest, UnderdeterminedStillFindsWitness) {
+  // Redundant rows: a witness exists even though coefficients are not
+  // unique.
+  const std::vector<std::vector<Rational>> rows = {
+      Row({1, 1}), Row({1, 1}), Row({0, 1})};
+  const auto c = ExpressInRowSpace(rows, Row({2, 3}));
+  ASSERT_TRUE(c.has_value());
+  Rational s0(0), s1(0);
+  for (int i = 0; i < 3; ++i) {
+    s0 = s0 + (*c)[i] * rows[i][0];
+    s1 = s1 + (*c)[i] * rows[i][1];
+  }
+  EXPECT_EQ(s0, Rational(2));
+  EXPECT_EQ(s1, Rational(3));
+}
+
+TEST(ExpressTest, EmptyRows) {
+  EXPECT_TRUE(ExpressInRowSpace({}, Row({0, 0})).has_value());
+  EXPECT_FALSE(ExpressInRowSpace({}, Row({1, 0})).has_value());
+}
+
+TEST(MatrixTest, FromRowsAndAccess) {
+  const Matrix m = Matrix::FromRows({Row({1, 2}), Row({3, 4})});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_EQ(m.at(1, 0), Rational(3));
+  EXPECT_EQ(m.Row(0)[1], Rational(2));
+}
+
+}  // namespace
+}  // namespace pxv

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "gen/matching.h"
+#include "rewrite/cindependence.h"
+#include "rewrite/tpi_rewrite.h"
+#include "tp/ops.h"
+#include "tpi/equivalence.h"
+#include "util/random.h"
+
+namespace pxv {
+namespace {
+
+TEST(MatchingGenTest, PlantedInstanceHasMatching) {
+  Rng rng(1);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Hypergraph h = PlantedMatchingInstance(rng, 9, 3, 4);
+    EXPECT_EQ(h.edges.size(), 7u);
+    EXPECT_TRUE(HasPerfectMatching(h));
+  }
+}
+
+TEST(MatchingGenTest, ObviousNegative) {
+  // Two overlapping edges cannot cover 6 vertices.
+  Hypergraph h;
+  h.s = 6;
+  h.k = 3;
+  h.edges = {{0, 1, 2}, {0, 3, 4}};
+  EXPECT_FALSE(HasPerfectMatching(h));
+}
+
+TEST(MatchingGenTest, QueryAndViewShapes) {
+  const Pattern q = MatchingQuery(6);
+  EXPECT_EQ(q.MainBranchLength(), 7);  // Six a's and the b.
+  Hypergraph h;
+  h.s = 6;
+  h.k = 3;
+  h.edges = {{0, 1, 2}, {3, 4, 5}};
+  const auto views = MatchingViews(h);
+  ASSERT_EQ(views.size(), 2u);
+  EXPECT_EQ(views[0].def.size(), 7 + 3);  // Chain + b + 3 predicates.
+}
+
+// The reduction's key property: views are c-independent iff their edges are
+// disjoint.
+TEST(MatchingTest, CIndependenceMirrorsEdgeDisjointness) {
+  Hypergraph h;
+  h.s = 6;
+  h.k = 3;
+  h.edges = {{0, 1, 2}, {3, 4, 5}, {0, 3, 4}};
+  const auto views = MatchingViews(h);
+  EXPECT_TRUE(CIndependent(views[0].def, views[1].def));   // Disjoint.
+  EXPECT_FALSE(CIndependent(views[0].def, views[2].def));  // Share 0.
+  EXPECT_FALSE(CIndependent(views[1].def, views[2].def));  // Share 3, 4.
+}
+
+// A perfect matching's views intersect to the query.
+TEST(MatchingTest, MatchingViewsRewriteQuery) {
+  Hypergraph h;
+  h.s = 6;
+  h.k = 3;
+  h.edges = {{0, 1, 2}, {3, 4, 5}};
+  const Pattern q = MatchingQuery(6);
+  TpIntersection in;
+  for (const auto& v : MatchingViews(h)) in.Add(v.def.Clone());
+  EXPECT_TRUE(EquivalentTpIntersection(q, in));
+}
+
+TEST(MatchingTest, NonCoveringViewsDoNotRewrite) {
+  Hypergraph h;
+  h.s = 6;
+  h.k = 3;
+  h.edges = {{0, 1, 2}, {2, 3, 4}};  // Vertex 5 uncovered.
+  const Pattern q = MatchingQuery(6);
+  TpIntersection in;
+  for (const auto& v : MatchingViews(h)) in.Add(v.def.Clone());
+  EXPECT_FALSE(EquivalentTpIntersection(q, in));
+}
+
+// FindPairwiseIndependentSubset solves the reduction on small instances:
+// it finds a subset iff the hypergraph has a perfect matching.
+TEST(MatchingTest, SubsetSearchSolvesSmallInstances) {
+  Rng rng(7);
+  const Hypergraph yes = PlantedMatchingInstance(rng, 6, 3, 2);
+  // Lemma 3 needs a view containing mb(q): add the bare chain view.
+  std::vector<NamedView> vy = MatchingViews(yes);
+  vy.push_back({"mb", MainBranchOnly(MatchingQuery(yes.s))});
+  const auto subset = FindPairwiseIndependentSubset(MatchingQuery(6), vy);
+  EXPECT_TRUE(subset.has_value());
+
+  Hypergraph no;
+  no.s = 6;
+  no.k = 3;
+  no.edges = {{0, 1, 2}, {1, 2, 3}, {2, 3, 4}};
+  std::vector<NamedView> vn = MatchingViews(no);
+  vn.push_back({"mb", MainBranchOnly(MatchingQuery(6))});
+  EXPECT_FALSE(FindPairwiseIndependentSubset(MatchingQuery(6), vn).has_value());
+}
+
+}  // namespace
+}  // namespace pxv

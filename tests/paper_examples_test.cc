@@ -1,0 +1,184 @@
+// Consolidated reproduction of every numbered example of the paper that
+// carries a concrete value or verdict. Each test names its example; the
+// expected constants are the paper's published numbers.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gen/paper.h"
+#include "prob/naive.h"
+#include "prob/query_eval.h"
+#include "pxml/parser.h"
+#include "pxml/view_extension.h"
+#include "pxml/worlds.h"
+#include "rewrite/cindependence.h"
+#include "rewrite/fr_tp.h"
+#include "rewrite/rewriter.h"
+#include "rewrite/tp_rewrite.h"
+#include "tp/containment.h"
+#include "tp/eval.h"
+#include "tp/ops.h"
+#include "tp/parser.h"
+#include "xml/canonical.h"
+
+namespace pxv {
+namespace {
+
+// Example 1/2: the documents of Figures 1 and 2 are well-formed and shaped
+// as described (Rick with laptop and pda bonuses; node n52 is a mux with
+// children probabilities 0.7 / 0.3).
+TEST(PaperTest, Examples1And2Shapes) {
+  const Document d = paper::DocPER();
+  EXPECT_EQ(d.size(), 17);
+  EXPECT_EQ(LabelName(d.label(d.root())), "IT-personnel");
+  const PDocument pd = paper::PDocPER();
+  EXPECT_TRUE(pd.Validate().ok());
+  // The mux under pda[51] has children with probabilities 0.7 and 0.3.
+  const NodeId pda51 = pd.FindByPid(51);
+  ASSERT_NE(pda51, kNullNode);
+  const NodeId mux = pd.children(pda51)[0];
+  EXPECT_EQ(pd.kind(mux), PKind::kMux);
+  EXPECT_NEAR(pd.edge_prob(pd.children(mux)[0]), 0.7, 1e-12);
+  EXPECT_NEAR(pd.edge_prob(pd.children(mux)[1]), 0.3, 1e-12);
+}
+
+// Example 3: Pr(d_PER) = 0.75 × 0.9 × 0.7 × 1 × 1 = 0.4725.
+TEST(PaperTest, Example3WorldProbability) {
+  const auto worlds = EnumerateWorlds(paper::PDocPER());
+  ASSERT_TRUE(worlds.ok());
+  const Document target = paper::DocPER();
+  double prob = 0;
+  for (const World& w : *worlds) {
+    if (EqualWithPids(w.doc, target)) prob = w.prob;
+  }
+  EXPECT_NEAR(prob, 0.4725, 1e-12);
+}
+
+// Example 5: query answers over the deterministic document.
+TEST(PaperTest, Example5Answers) {
+  const Document d = paper::DocPER();
+  EXPECT_EQ(Evaluate(paper::QueryRBON(), d).size(), 1u);
+  EXPECT_EQ(Evaluate(paper::ViewV2BON(), d).size(), 2u);
+}
+
+// Example 6: probabilistic answers over P̂_PER.
+TEST(PaperTest, Example6Probabilities) {
+  const PDocument pd = paper::PDocPER();
+  const NodeId n5 = pd.FindByPid(5);
+  EXPECT_NEAR(SelectionProbability(pd, paper::QueryBON(), n5), 0.9, 1e-12);
+  EXPECT_NEAR(SelectionProbability(pd, paper::ViewV1BON(), n5), 0.75, 1e-12);
+  EXPECT_NEAR(SelectionProbability(pd, paper::QueryRBON(), n5), 0.9 * 0.75,
+              1e-12);
+  EXPECT_NEAR(SelectionProbability(pd, paper::ViewV2BON(), n5), 1.0, 1e-12);
+  EXPECT_NEAR(SelectionProbability(pd, paper::ViewV2BON(), pd.FindByPid(7)),
+              1.0, 1e-12);
+}
+
+// Example 9/10: structural calculus (asserted in detail in tp_ops_test).
+TEST(PaperTest, Examples9And10) {
+  const Pattern q = paper::QueryRBON();
+  EXPECT_EQ(TokenCount(q), 2);
+  EXPECT_TRUE(IsomorphicPatterns(
+      QDoublePrime(q, 3), Tp("IT-personnel//person/bonus[laptop]")));
+}
+
+// Example 11: deterministic rewriting exists; the two p-documents are
+// v-indistinguishable yet have different answers 0.325 vs 0.5 — no f_r.
+TEST(PaperTest, Example11FullStory) {
+  const Pattern q = paper::Query11();
+  const Pattern v = paper::View11();
+  EXPECT_TRUE(HasDeterministicTpRewriting(q, v));
+
+  Rewriter rewriter;
+  rewriter.AddView("v", v.Clone());
+  const ViewExtensions e1 = rewriter.Materialize(paper::PDoc1());
+  const ViewExtensions e2 = rewriter.Materialize(paper::PDoc2());
+  EXPECT_EQ(ToPText(e1.at("v"), true), ToPText(e2.at("v"), true));
+
+  const PDocument p1 = paper::PDoc1();
+  const PDocument p2 = paper::PDoc2();
+  EXPECT_NEAR(SelectionProbability(p1, q, p1.FindByPid(2)), 0.325, 1e-12);
+  EXPECT_NEAR(SelectionProbability(p2, q, p2.FindByPid(2)), 0.5, 1e-12);
+
+  // TPrewrite correctly refuses.
+  EXPECT_TRUE(TPrewrite(q, {{"v", v}}).empty());
+}
+
+// Example 12: same story for unrestricted plans; answers 0.288 vs 0.264.
+TEST(PaperTest, Example12FullStory) {
+  const Pattern q = paper::Query12();
+  const Pattern v = paper::View12();
+  EXPECT_TRUE(HasDeterministicTpRewriting(q, v));
+
+  Rewriter rewriter;
+  rewriter.AddView("v", v.Clone());
+  const ViewExtensions e3 = rewriter.Materialize(paper::PDoc3());
+  const ViewExtensions e4 = rewriter.Materialize(paper::PDoc4());
+  EXPECT_EQ(ToPText(e3.at("v"), true), ToPText(e4.at("v"), true));
+
+  const PDocument p3 = paper::PDoc3();
+  const PDocument p4 = paper::PDoc4();
+  EXPECT_NEAR(
+      SelectionProbability(p3, q, p3.FindByPid(paper::kPid12_D)), 0.288,
+      1e-12);
+  EXPECT_NEAR(
+      SelectionProbability(p4, q, p4.FindByPid(paper::kPid12_D)), 0.264,
+      1e-12);
+  EXPECT_TRUE(TPrewrite(q, {{"v", v}}).empty());
+}
+
+// Example 13: f_r over (P̂_PER)_{v2BON} returns 0.9 for n5 and nothing else.
+TEST(PaperTest, Example13Rewriting) {
+  const auto rws =
+      TPrewrite(paper::QueryBON(), {{"v2BON", paper::ViewV2BON()}});
+  ASSERT_EQ(rws.size(), 1u);
+  Rewriter rewriter;
+  rewriter.AddView("v2BON", paper::ViewV2BON());
+  const ViewExtensions exts = rewriter.Materialize(paper::PDocPER());
+  const auto results = ExecuteTpRewriting(rws[0], exts.at("v2BON"));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].pid, 5);
+  EXPECT_NEAR(results[0].prob, 0.9, 1e-12);
+}
+
+// Example 14: the prefix-suffix u = 2 for v's last token b[e]/c/b/c.
+TEST(PaperTest, Example14) {
+  const Pattern v = paper::View12();
+  EXPECT_EQ(MaxPrefixSuffix(TokenLabels(v, TokenCount(v) - 1)), 2);
+}
+
+// §4.1: q_BON ⊥ v1_BON; a[b] ̸⊥ a[c]; Example 11's v' ̸⊥ q''.
+TEST(PaperTest, CIndependenceVerdicts) {
+  EXPECT_TRUE(CIndependent(paper::QueryBON(), paper::ViewV1BON()));
+  EXPECT_FALSE(CIndependent(Tp("a[b]/x"), Tp("a[c]/x")));
+  EXPECT_FALSE(CIndependent(StripOutPredicates(paper::View11()),
+                            QDoublePrime(paper::Query11(), 2)));
+}
+
+// Example 15: Pr(n5 ∈ q_RBON) = 0.75 × 0.9 ÷ 1 via v1_BON and the
+// compensated v2_BON.
+TEST(PaperTest, Example15Value) {
+  const PDocument pd = paper::PDocPER();
+  const NodeId n5 = pd.FindByPid(5);
+  const double v1 = SelectionProbability(pd, paper::ViewV1BON(), n5);
+  const double vcomp = SelectionProbability(
+      pd, Tp("IT-personnel//person/bonus[laptop]"), n5);
+  const double appearance = AppearanceProbability(pd, n5);
+  EXPECT_NEAR(v1 * vcomp / appearance, 0.675, 1e-12);
+  EXPECT_NEAR(SelectionProbability(pd, paper::QueryRBON(), n5),
+              v1 * vcomp / appearance, 1e-12);
+}
+
+// Example 16's views are pairwise c-dependent (the paper's motivation for
+// the decomposition system).
+TEST(PaperTest, Example16Dependence) {
+  EXPECT_FALSE(CIndependent(paper::View16(1), paper::View16(2)));
+  EXPECT_FALSE(CIndependent(paper::View16(1), paper::View16(3)));
+  EXPECT_FALSE(CIndependent(paper::View16(2), paper::View16(3)));
+  // v4 = a//d carries no predicates: independent of everything.
+  EXPECT_TRUE(CIndependent(paper::View16(1), paper::View16(4)));
+}
+
+}  // namespace
+}  // namespace pxv

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gen/docgen.h"
+#include "gen/paper.h"
+#include "gen/querygen.h"
+#include "prob/appearance.h"
+#include "prob/naive.h"
+#include "prob/query_eval.h"
+#include "tp/parser.h"
+
+namespace pxv {
+namespace {
+
+std::map<PersistentId, double> ByPid(const PDocument& pd,
+                                     const std::vector<NodeProb>& results) {
+  std::map<PersistentId, double> out;
+  for (const NodeProb& np : results) out[pd.pid(np.node)] = np.prob;
+  return out;
+}
+
+// Example 6: q_BON(P̂_PER) = {(n5, 0.9)}, v1_BON → {(n5, 0.75)},
+// q_RBON → {(n5, 0.675)}, v2_BON → {(n5, 1), (n7, 1)}.
+TEST(ProbEvalTest, PaperExample6) {
+  const PDocument pd = paper::PDocPER();
+  const auto qbon = ByPid(pd, EvaluateTP(pd, paper::QueryBON()));
+  ASSERT_EQ(qbon.size(), 1u);
+  EXPECT_NEAR(qbon.at(5), 0.9, 1e-12);
+
+  const auto v1 = ByPid(pd, EvaluateTP(pd, paper::ViewV1BON()));
+  ASSERT_EQ(v1.size(), 1u);
+  EXPECT_NEAR(v1.at(5), 0.75, 1e-12);
+
+  const auto qrbon = ByPid(pd, EvaluateTP(pd, paper::QueryRBON()));
+  ASSERT_EQ(qrbon.size(), 1u);
+  EXPECT_NEAR(qrbon.at(5), 0.9 * 0.75, 1e-12);
+
+  const auto v2 = ByPid(pd, EvaluateTP(pd, paper::ViewV2BON()));
+  ASSERT_EQ(v2.size(), 2u);
+  EXPECT_NEAR(v2.at(5), 1.0, 1e-12);
+  EXPECT_NEAR(v2.at(7), 1.0, 1e-12);
+}
+
+TEST(ProbEvalTest, Example11Values) {
+  EXPECT_NEAR(SelectionProbability(paper::PDoc1(), paper::Query11(),
+                                   paper::PDoc1().FindByPid(2)),
+              0.325, 1e-12);
+  EXPECT_NEAR(SelectionProbability(paper::PDoc2(), paper::Query11(),
+                                   paper::PDoc2().FindByPid(2)),
+              0.5, 1e-12);
+  EXPECT_NEAR(SelectionProbability(paper::PDoc1(), paper::View11(),
+                                   paper::PDoc1().FindByPid(2)),
+              0.65, 1e-12);
+  EXPECT_NEAR(SelectionProbability(paper::PDoc2(), paper::View11(),
+                                   paper::PDoc2().FindByPid(2)),
+              0.65, 1e-12);
+}
+
+TEST(ProbEvalTest, Example12Values) {
+  const PDocument p3 = paper::PDoc3();
+  const PDocument p4 = paper::PDoc4();
+  const Pattern v = paper::View12();
+  const Pattern q = paper::Query12();
+  // v selects nc1 with 0.12 and nc2 with 0.24 in both documents.
+  const auto v3 = ByPid(p3, EvaluateTP(p3, v));
+  const auto v4 = ByPid(p4, EvaluateTP(p4, v));
+  ASSERT_EQ(v3.size(), 2u);
+  ASSERT_EQ(v4.size(), 2u);
+  EXPECT_NEAR(v3.at(paper::kPid12_C2), 0.12, 1e-12);
+  EXPECT_NEAR(v3.at(paper::kPid12_C3), 0.24, 1e-12);
+  EXPECT_NEAR(v4.at(paper::kPid12_C2), 0.12, 1e-12);
+  EXPECT_NEAR(v4.at(paper::kPid12_C3), 0.24, 1e-12);
+  // Direct answers differ: 0.288 vs 0.264.
+  EXPECT_NEAR(SelectionProbability(p3, q, p3.FindByPid(paper::kPid12_D)),
+              0.288, 1e-12);
+  EXPECT_NEAR(SelectionProbability(p4, q, p4.FindByPid(paper::kPid12_D)),
+              0.264, 1e-12);
+}
+
+TEST(ProbEvalTest, BooleanProbability) {
+  const PDocument pd = paper::PDocPER();
+  EXPECT_NEAR(BooleanProbability(pd, Tp("IT-personnel//laptop")), 0.9, 1e-12);
+  EXPECT_NEAR(BooleanProbability(pd, Tp("IT-personnel//Rick")), 0.75, 1e-12);
+  EXPECT_NEAR(BooleanProbability(pd, Tp("IT-personnel//person")), 1.0, 1e-12);
+  EXPECT_NEAR(BooleanProbability(pd, Tp("IT-personnel//nothing")), 0.0,
+              1e-12);
+}
+
+TEST(ProbEvalTest, AnchoredAnyOfMatchesUnion) {
+  // Selecting "either of the two bonus nodes" equals 1 (both certain).
+  const PDocument pd = paper::PDocPER();
+  const Pattern q = paper::ViewV2BON();
+  std::vector<NodeId> anchor{pd.FindByPid(5), pd.FindByPid(7)};
+  EXPECT_NEAR(SelectionProbabilityAnyOf(pd, q, anchor), 1.0, 1e-12);
+}
+
+TEST(ProbEvalTest, JointProbabilityConjunction) {
+  // Joint: Rick chosen AND laptop chosen = 0.75 × 0.9 (independent muxes).
+  const PDocument pd = paper::PDocPER();
+  const Pattern q1 = Tp("IT-personnel//Rick");
+  const Pattern q2 = Tp("IT-personnel//laptop");
+  EXPECT_NEAR(JointProbability(pd, {{&q1, nullptr}, {&q2, nullptr}}),
+              0.75 * 0.9, 1e-12);
+}
+
+TEST(ProbEvalTest, JointProbabilityMutuallyExclusive) {
+  // Rick and John are mux alternatives: joint probability 0.
+  const PDocument pd = paper::PDocPER();
+  const Pattern q1 = Tp("IT-personnel//Rick");
+  const Pattern q2 = Tp("IT-personnel//John");
+  EXPECT_NEAR(JointProbability(pd, {{&q1, nullptr}, {&q2, nullptr}}), 0.0,
+              1e-12);
+}
+
+TEST(ProbEvalTest, AppearanceOnPaperDocuments) {
+  const PDocument pd = paper::PDocPER();
+  EXPECT_NEAR(NodeAppearanceProbability(pd, pd.FindByPid(8)), 0.75, 1e-12);
+  EXPECT_NEAR(NodeAppearanceProbability(pd, pd.FindByPid(24)), 0.9, 1e-12);
+  EXPECT_NEAR(NodeAppearanceProbability(pd, pd.FindByPid(54)), 0.7, 1e-12);
+  EXPECT_NEAR(NodeAppearanceProbability(pd, pd.FindByPid(5)), 1.0, 1e-12);
+}
+
+// Property: the DP engine agrees with possible-world enumeration on random
+// p-documents and random queries.
+class EngineVsOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineVsOracle, TPAgrees) {
+  Rng rng(1000 + GetParam());
+  DocGenOptions d;
+  d.target_nodes = 14;
+  d.label_count = 3;
+  QueryGenOptions qo;
+  qo.depth = 2 + GetParam() % 3;
+  qo.label_count = 3;
+  const PDocument pd = RandomPDocument(rng, d);
+  const Pattern q = RandomQuery(rng, qo);
+  const auto naive = NaiveEvaluateTP(pd, q);
+  const auto fast = EvaluateTP(pd, q);
+  std::map<NodeId, double> fast_map;
+  for (const NodeProb& np : fast) fast_map[np.node] = np.prob;
+  for (const auto& [n, p] : naive) {
+    if (p < 1e-12) continue;
+    ASSERT_TRUE(fast_map.count(n)) << "node " << n;
+    EXPECT_NEAR(fast_map[n], p, 1e-9);
+  }
+  for (const auto& [n, p] : fast_map) {
+    const double expected = naive.count(n) ? naive.at(n) : 0.0;
+    EXPECT_NEAR(p, expected, 1e-9);
+  }
+}
+
+TEST_P(EngineVsOracle, TPIAgrees) {
+  Rng rng(5000 + GetParam());
+  DocGenOptions d;
+  d.target_nodes = 12;
+  d.label_count = 3;
+  QueryGenOptions qo;
+  qo.depth = 2;
+  qo.label_count = 3;
+  const PDocument pd = RandomPDocument(rng, d);
+  TpIntersection q({RandomQuery(rng, qo), RandomQuery(rng, qo)});
+  // Members must share the output label for the intersection to be
+  // meaningful; skip mismatched draws.
+  if (q.members()[0].OutLabel() != q.members()[1].OutLabel()) return;
+  const auto naive = NaiveEvaluateTPI(pd, q);
+  std::map<NodeId, double> fast_map;
+  for (const NodeProb& np : EvaluateTPI(pd, q)) fast_map[np.node] = np.prob;
+  for (const auto& [n, p] : naive) {
+    if (p < 1e-12) continue;
+    EXPECT_NEAR(fast_map[n], p, 1e-9);
+  }
+  for (const auto& [n, p] : fast_map) {
+    const double expected = naive.count(n) ? naive.at(n) : 0.0;
+    EXPECT_NEAR(p, expected, 1e-9);
+  }
+}
+
+TEST_P(EngineVsOracle, BooleanAgrees) {
+  Rng rng(9000 + GetParam());
+  DocGenOptions d;
+  d.target_nodes = 14;
+  d.label_count = 3;
+  QueryGenOptions qo;
+  qo.depth = 3;
+  qo.label_count = 3;
+  const PDocument pd = RandomPDocument(rng, d);
+  const Pattern q = RandomQuery(rng, qo);
+  EXPECT_NEAR(BooleanProbability(pd, q), NaiveBooleanProbability(pd, q),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineVsOracle, ::testing::Range(0, 30));
+
+TEST(ProbEvalTest, ExpNodesSupported) {
+  PDocument pd;
+  const NodeId a = pd.AddRoot(Intern("a"));
+  const NodeId exp = pd.AddExp(a);
+  pd.AddOrdinary(exp, Intern("b"));
+  pd.AddOrdinary(exp, Intern("c"));
+  pd.SetExpDistribution(exp, {{{0, 1}, 0.4}, {{0}, 0.3}});
+  // b appears with 0.7, c with 0.4, both with 0.4 (correlated!).
+  const Pattern qb = Tp("a/b");
+  const Pattern qc = Tp("a/c");
+  EXPECT_NEAR(BooleanProbability(pd, qb), 0.7, 1e-12);
+  EXPECT_NEAR(BooleanProbability(pd, qc), 0.4, 1e-12);
+  EXPECT_NEAR(JointProbability(pd, {{&qb, nullptr}, {&qc, nullptr}}), 0.4,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace pxv

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "gen/docgen.h"
+#include "gen/paper.h"
+#include "pxml/parser.h"
+#include "pxml/pdocument.h"
+#include "pxml/sampler.h"
+#include "pxml/worlds.h"
+#include "xml/canonical.h"
+#include "xml/parser.h"
+
+namespace pxv {
+namespace {
+
+TEST(PDocumentTest, ValidateAcceptsPaperDocument) {
+  const PDocument pd = paper::PDocPER();
+  EXPECT_TRUE(pd.Validate().ok());
+  EXPECT_EQ(pd.OrdinaryCount(), 21);
+}
+
+TEST(PDocumentTest, ValidateRejectsMuxOverflow) {
+  PDocument pd;
+  const NodeId a = pd.AddRoot(Intern("a"));
+  const NodeId mux = pd.AddDistributional(a, PKind::kMux);
+  pd.AddOrdinary(mux, Intern("b"), 0.7);
+  pd.AddOrdinary(mux, Intern("c"), 0.6);
+  EXPECT_FALSE(pd.Validate().ok());
+}
+
+TEST(PDocumentTest, ValidateRejectsDistributionalLeaf) {
+  PDocument pd;
+  const NodeId a = pd.AddRoot(Intern("a"));
+  pd.AddDistributional(a, PKind::kInd);
+  EXPECT_FALSE(pd.Validate().ok());
+}
+
+TEST(PDocumentTest, ValidateRejectsBadEdgeProb) {
+  PDocument pd;
+  const NodeId a = pd.AddRoot(Intern("a"));
+  const NodeId mux = pd.AddDistributional(a, PKind::kMux);
+  pd.AddOrdinary(mux, Intern("b"), -0.5);
+  EXPECT_FALSE(pd.Validate().ok());
+}
+
+TEST(PDocumentTest, OrdinaryAncestorSkipsDistributional) {
+  const PDocument pd = paper::PDoc1();
+  // The deep c node hangs under b via a mux.
+  const NodeId c = pd.FindByPid(3);
+  const NodeId b = pd.FindByPid(2);
+  ASSERT_NE(c, kNullNode);
+  EXPECT_EQ(pd.OrdinaryAncestor(c), b);
+}
+
+TEST(PDocumentTest, SubtreeKeepsProbabilities) {
+  const PDocument pd = paper::PDocPER();
+  const NodeId b5 = pd.FindByPid(5);
+  const PDocument sub = pd.Subtree(b5);
+  EXPECT_TRUE(sub.Validate().ok());
+  // The mux below bonus[5] still carries 0.1 / 0.9.
+  double found = 0;
+  for (NodeId n = 0; n < sub.size(); ++n) {
+    if (sub.ordinary(n) && sub.pid(n) == 24) found = sub.edge_prob(n);
+  }
+  EXPECT_DOUBLE_EQ(found, 0.9);
+}
+
+TEST(PParserTest, RoundTrip) {
+  const char* text =
+      "a(mux(b(c)@0.25, d@0.5), ind(e@0.75), f)";
+  const auto pd = ParsePDocument(text);
+  ASSERT_TRUE(pd.ok()) << pd.status().message();
+  const auto round = ParsePDocument(ToPText(*pd));
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(ToPText(*pd), ToPText(*round));
+}
+
+TEST(PParserTest, RejectsRootDistributional) {
+  EXPECT_FALSE(ParsePDocument("mux(a@0.5)").ok());
+}
+
+TEST(PParserTest, RejectsProbOutsideMuxInd) {
+  EXPECT_FALSE(ParsePDocument("a(b@0.5)").ok());
+}
+
+TEST(PParserTest, QuotedReservedLabel) {
+  const auto pd = ParsePDocument("a(\"mux\")");
+  ASSERT_TRUE(pd.ok());
+  EXPECT_EQ(pd->OrdinaryCount(), 2);
+}
+
+TEST(WorldsTest, ProbabilitiesSumToOne) {
+  const PDocument pd = paper::PDocPER();
+  const auto worlds = EnumerateWorlds(pd);
+  ASSERT_TRUE(worlds.ok());
+  double total = 0;
+  for (const World& w : *worlds) total += w.prob;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+// Example 3: the probability of d_PER among the worlds of P̂_PER is
+// 0.75 × 0.9 × 0.7 × 1 × 1 = 0.4725.
+TEST(WorldsTest, PaperExample3) {
+  const PDocument pd = paper::PDocPER();
+  const Document target = paper::DocPER();
+  const auto worlds = EnumerateWorlds(pd);
+  ASSERT_TRUE(worlds.ok());
+  double prob = -1;
+  for (const World& w : *worlds) {
+    if (EqualWithPids(w.doc, target)) {
+      prob = w.prob;
+      break;
+    }
+  }
+  EXPECT_NEAR(prob, 0.4725, 1e-12);
+}
+
+TEST(WorldsTest, MuxKeepsAtMostOne) {
+  const auto pd = ParsePDocument("a(mux(b@0.4, c@0.4))");
+  ASSERT_TRUE(pd.ok());
+  const auto worlds = EnumerateWorlds(*pd);
+  ASSERT_TRUE(worlds.ok());
+  // Worlds: {a}, {a,b}, {a,c}.
+  EXPECT_EQ(worlds->size(), 3u);
+  for (const World& w : *worlds) EXPECT_LE(w.doc.size(), 2);
+}
+
+TEST(WorldsTest, IndependentChoices) {
+  const auto pd = ParsePDocument("a(ind(b@0.5, c@0.5))");
+  ASSERT_TRUE(pd.ok());
+  const auto worlds = EnumerateWorlds(*pd);
+  ASSERT_TRUE(worlds.ok());
+  EXPECT_EQ(worlds->size(), 4u);
+  for (const World& w : *worlds) EXPECT_NEAR(w.prob, 0.25, 1e-12);
+}
+
+TEST(WorldsTest, DetKeepsAll) {
+  PDocument pd;
+  const NodeId a = pd.AddRoot(Intern("a"));
+  const NodeId det = pd.AddDistributional(a, PKind::kDet);
+  pd.AddOrdinary(det, Intern("b"));
+  pd.AddOrdinary(det, Intern("c"));
+  const auto worlds = EnumerateWorlds(pd);
+  ASSERT_TRUE(worlds.ok());
+  ASSERT_EQ(worlds->size(), 1u);
+  EXPECT_EQ((*worlds)[0].doc.size(), 3);
+}
+
+TEST(WorldsTest, ExpExplicitDistribution) {
+  PDocument pd;
+  const NodeId a = pd.AddRoot(Intern("a"));
+  const NodeId exp = pd.AddExp(a);
+  pd.AddOrdinary(exp, Intern("b"));
+  pd.AddOrdinary(exp, Intern("c"));
+  // {b,c} w.p. 0.5, {b} w.p. 0.2, {} w.p. 0.3.
+  pd.SetExpDistribution(exp, {{{0, 1}, 0.5}, {{0}, 0.2}});
+  const auto worlds = EnumerateWorlds(pd);
+  ASSERT_TRUE(worlds.ok());
+  std::map<int, double> by_size;
+  for (const World& w : *worlds) by_size[w.doc.size()] += w.prob;
+  EXPECT_NEAR(by_size[3], 0.5, 1e-12);
+  EXPECT_NEAR(by_size[2], 0.2, 1e-12);
+  EXPECT_NEAR(by_size[1], 0.3, 1e-12);
+}
+
+TEST(WorldsTest, DistributionalNodesSplicedOut) {
+  const auto pd = ParsePDocument("a(mux(b(c)@1.0))");
+  ASSERT_TRUE(pd.ok());
+  const auto worlds = EnumerateWorlds(*pd);
+  ASSERT_TRUE(worlds.ok());
+  ASSERT_EQ(worlds->size(), 1u);
+  const Document& doc = (*worlds)[0].doc;
+  // b is a direct child of a.
+  EXPECT_EQ(doc.size(), 3);
+  EXPECT_EQ(doc.parent(doc.FindByPid(pd->pid(pd->FindByPid(2)))), 0);
+}
+
+TEST(AppearanceTest, MatchesEnumeration) {
+  Rng rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    DocGenOptions opt;
+    opt.target_nodes = 12;
+    const PDocument pd = RandomPDocument(rng, opt);
+    const auto worlds = EnumerateWorlds(pd);
+    ASSERT_TRUE(worlds.ok());
+    for (NodeId n = 0; n < pd.size(); ++n) {
+      if (!pd.ordinary(n)) continue;
+      double enumerated = 0;
+      for (const World& w : *worlds) {
+        if (w.pdoc_to_doc[n] != kNullNode) enumerated += w.prob;
+      }
+      EXPECT_NEAR(AppearanceProbability(pd, n), enumerated, 1e-9)
+          << "node " << n << " trial " << trial;
+    }
+  }
+}
+
+TEST(SamplerTest, ConvergesToWorldDistribution) {
+  const PDocument pd = paper::PDoc2();
+  const auto worlds = EnumerateWorlds(pd);
+  ASSERT_TRUE(worlds.ok());
+  std::map<std::string, double> expected;
+  for (const World& w : *worlds) {
+    expected[CanonicalStringWithPids(w.doc)] += w.prob;
+  }
+  Rng rng(77);
+  std::map<std::string, double> observed;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const SampledWorld sw = SampleWorld(pd, rng);
+    observed[CanonicalStringWithPids(sw.doc)] += 1.0 / n;
+  }
+  for (const auto& [key, p] : expected) {
+    EXPECT_NEAR(observed[key], p, 0.02) << key;
+  }
+}
+
+TEST(SamplerTest, NodeMapConsistent) {
+  Rng rng(5);
+  const PDocument pd = paper::PDocPER();
+  for (int i = 0; i < 50; ++i) {
+    const SampledWorld sw = SampleWorld(pd, rng);
+    for (NodeId n = 0; n < pd.size(); ++n) {
+      if (sw.pdoc_to_doc[n] == kNullNode) continue;
+      EXPECT_EQ(sw.doc.pid(sw.pdoc_to_doc[n]), pd.pid(n));
+    }
+  }
+}
+
+TEST(DocGenTest, ProducesValidDocuments) {
+  Rng rng(2024);
+  for (int i = 0; i < 20; ++i) {
+    DocGenOptions opt;
+    opt.target_nodes = 30;
+    const PDocument pd = RandomPDocument(rng, opt);
+    EXPECT_TRUE(pd.Validate().ok());
+    EXPECT_GE(pd.OrdinaryCount(), 1);
+  }
+}
+
+TEST(DocGenTest, PersonnelShape) {
+  Rng rng(9);
+  const PDocument pd = PersonnelPDocument(rng, 5);
+  EXPECT_TRUE(pd.Validate().ok());
+  int persons = 0;
+  for (NodeId n = 0; n < pd.size(); ++n) {
+    if (pd.ordinary(n) && LabelName(pd.label(n)) == "person") ++persons;
+  }
+  EXPECT_EQ(persons, 5);
+}
+
+}  // namespace
+}  // namespace pxv

@@ -1,0 +1,160 @@
+// Semantic identities the paper relies on, verified operationally:
+//
+//   Prop. 1 — Pr(n ∈ q(P)) > 0  iff  Pr(n ∈ q_r(P_v)) > 0: the extension's
+//             data suffices to *retrieve* answers even when probabilities
+//             are not computable.
+//   §5.1    — a TP∩ query is equivalent to the union of its interleavings
+//             (checked by evaluating both sides over random documents).
+//   §3      — unfolding: a plan over extensions retrieves exactly the
+//             original query's answers, under both result semantics.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/docgen.h"
+#include "gen/paper.h"
+#include "prob/query_eval.h"
+#include "pxml/sampler.h"
+#include "pxml/view_extension.h"
+#include "rewrite/rewriter.h"
+#include "rewrite/tp_rewrite.h"
+#include "tp/eval.h"
+#include "tp/ops.h"
+#include "tp/parser.h"
+#include "tpi/eval.h"
+#include "tpi/interleaving.h"
+#include "util/random.h"
+#include "xml/parser.h"
+
+namespace pxv {
+namespace {
+
+// Prop. 1 on paper and random instances: the deterministic plan retrieves a
+// pid iff the query's direct probability is positive — even for Example 11,
+// where the probability function does not exist.
+TEST(SemanticsTest, Proposition1RetrievalEquivalence) {
+  struct Case {
+    PDocument pd;
+    Pattern q;
+    Pattern v;
+  };
+  std::vector<Case> cases;
+  cases.push_back({paper::PDocPER(), paper::QueryBON(), paper::ViewV2BON()});
+  cases.push_back({paper::PDoc1(), paper::Query11(), paper::View11()});
+  cases.push_back({paper::PDoc2(), paper::Query11(), paper::View11()});
+  cases.push_back({paper::PDoc3(), paper::Query12(), paper::View12()});
+  cases.push_back({paper::PDoc4(), paper::Query12(), paper::View12()});
+  for (const Case& c : cases) {
+    // Materialize the single view.
+    std::vector<ViewResultEntry> results;
+    for (const NodeProb& np : EvaluateTP(c.pd, c.v)) {
+      results.push_back({np.node, np.prob});
+    }
+    const PDocument ext = BuildViewExtension(c.pd, "v", results);
+    // Plan: comp(doc(v)/lbl(v), q_(k)).
+    const int k = c.v.MainBranchLength();
+    const Pattern plan = ExtensionPlan("v", c.v, Suffix(c.q, k));
+    std::set<PersistentId> via_plan;
+    for (const NodeProb& np : EvaluateTP(ext, plan)) {
+      via_plan.insert(ext.pid(np.node));
+    }
+    std::set<PersistentId> direct;
+    for (const NodeProb& np : EvaluateTP(c.pd, c.q)) {
+      direct.insert(c.pd.pid(np.node));
+    }
+    EXPECT_EQ(via_plan, direct) << ToXPath(c.q);
+  }
+}
+
+// §5.1: ∩ q_i ≡ ∪ interleavings, checked by evaluation over sampled
+// documents (both the node sets and the Boolean verdicts must agree).
+class InterleavingUnion : public ::testing::TestWithParam<int> {};
+
+TEST_P(InterleavingUnion, EvaluatesLikeTheUnion) {
+  Rng rng(4242 + GetParam());
+  const TpIntersection q({Tp("r//l0[l1]//l2"), Tp("r//l0[l3]//l2")});
+  const auto inters = Interleavings(q);
+  ASSERT_TRUE(inters.ok());
+  DocGenOptions o;
+  o.target_nodes = 25;
+  o.label_count = 4;
+  o.dist_prob = 0.3;
+  const PDocument pd = RandomPDocument(rng, o);
+  const SampledWorld w = SampleWorld(pd, rng);
+
+  const std::vector<NodeId> lhs = EvaluateIntersectionNodes(q, w.doc);
+  std::set<NodeId> rhs;
+  for (const Pattern& i : *inters) {
+    for (NodeId n : Evaluate(i, w.doc)) rhs.insert(n);
+  }
+  EXPECT_EQ(std::set<NodeId>(lhs.begin(), lhs.end()), rhs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InterleavingUnion, ::testing::Range(0, 25));
+
+// Unfolding identity: answers retrieved by a TP∩ plan over extensions equal
+// the original query's answers on every sampled world (persistent Ids).
+class UnfoldingIdentity : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnfoldingIdentity, PlanRetrievalMatchesQuery) {
+  Rng rng(808 + GetParam());
+  const PDocument pd = PersonnelPDocument(rng, 4);
+  const Pattern q = Tp("IT-personnel//person[name/Rick]/bonus[laptop]");
+  Rewriter rewriter;
+  rewriter.AddView("rick", Tp("IT-personnel//person[name/Rick]/bonus"));
+  rewriter.AddView("laptop", Tp("IT-personnel//person/bonus[laptop]"));
+  const auto rw = rewriter.FindTpi(q);
+  ASSERT_TRUE(rw.has_value());
+  const ViewExtensions exts = rewriter.Materialize(pd);
+  std::set<PersistentId> via;
+  for (const PidProb& pp : ExecuteTpiRewriting(*rw, exts)) via.insert(pp.pid);
+  std::set<PersistentId> direct;
+  for (const NodeProb& np : EvaluateTP(pd, q)) direct.insert(pd.pid(np.node));
+  EXPECT_EQ(via, direct);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnfoldingIdentity, ::testing::Range(0, 8));
+
+// Copy semantics: fresh pids in extensions break cross-view joins — the
+// same instance that works under persistent Ids retrieves nothing when the
+// extensions are materialized under copy semantics and joined by pid. This
+// is exactly why §4 restricts copy semantics to single-view rewritings.
+TEST(SemanticsTest, CopySemanticsBreaksIntersection) {
+  const PDocument pd = paper::PDocPER();
+  Rewriter rewriter;
+  rewriter.AddView("rick", paper::ViewV1BON());
+  rewriter.AddView("all", paper::ViewV2BON());
+  ViewExtensionOptions copy;
+  copy.copy_semantics = true;
+  const ViewExtensions exts = rewriter.Materialize(pd, copy);
+  // Join by pid across the two extensions: empty under copy semantics.
+  std::set<PersistentId> rick_pids, all_pids;
+  for (NodeId r : ExtensionResultRoots(exts.at("rick"))) {
+    rick_pids.insert(exts.at("rick").pid(r));
+  }
+  for (NodeId r : ExtensionResultRoots(exts.at("all"))) {
+    all_pids.insert(exts.at("all").pid(r));
+  }
+  std::set<PersistentId> join;
+  for (PersistentId p : rick_pids) {
+    if (all_pids.count(p)) join.insert(p);
+  }
+  EXPECT_TRUE(join.empty());
+  // Under persistent Ids the join is {5}.
+  const ViewExtensions persistent = rewriter.Materialize(pd);
+  std::set<PersistentId> rp, ap, pjoin;
+  for (NodeId r : ExtensionResultRoots(persistent.at("rick"))) {
+    rp.insert(persistent.at("rick").pid(r));
+  }
+  for (NodeId r : ExtensionResultRoots(persistent.at("all"))) {
+    ap.insert(persistent.at("all").pid(r));
+  }
+  for (PersistentId p : rp) {
+    if (ap.count(p)) pjoin.insert(p);
+  }
+  EXPECT_EQ(pjoin, std::set<PersistentId>{5});
+}
+
+}  // namespace
+}  // namespace pxv

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "gen/paper.h"
+#include "tp/eval.h"
+#include "tp/parser.h"
+#include "xml/parser.h"
+
+namespace pxv {
+namespace {
+
+Document Doc(const char* text) {
+  auto d = ParseTreeText(text);
+  EXPECT_TRUE(d.ok()) << d.status().message();
+  return *std::move(d);
+}
+
+// Example 5: q_RBON(d_PER) = q_BON(d_PER) = v1_BON(d_PER) = {n5};
+// v2_BON(d_PER) = {n5, n7}.
+TEST(EvalTest, PaperExample5) {
+  const Document d = paper::DocPER();
+  auto pids = [&](const Pattern& q) {
+    std::vector<PersistentId> out;
+    for (NodeId n : Evaluate(q, d)) out.push_back(d.pid(n));
+    return out;
+  };
+  EXPECT_EQ(pids(paper::QueryRBON()), (std::vector<PersistentId>{5}));
+  EXPECT_EQ(pids(paper::QueryBON()), (std::vector<PersistentId>{5}));
+  EXPECT_EQ(pids(paper::ViewV1BON()), (std::vector<PersistentId>{5}));
+  EXPECT_EQ(pids(paper::ViewV2BON()), (std::vector<PersistentId>{5, 7}));
+}
+
+TEST(EvalTest, RootLabelMismatch) {
+  EXPECT_TRUE(Evaluate(Tp("x/y"), Doc("a(y)")).empty());
+}
+
+TEST(EvalTest, ChildVsDescendant) {
+  const Document d = Doc("a(b(c(d)))");
+  EXPECT_TRUE(Evaluate(Tp("a/c"), d).empty());
+  EXPECT_EQ(Evaluate(Tp("a//c"), d).size(), 1u);
+  EXPECT_EQ(Evaluate(Tp("a//d"), d).size(), 1u);
+  // Descendant is strict: a//a does not match the root itself.
+  EXPECT_TRUE(Evaluate(Tp("a//a"), d).empty());
+}
+
+TEST(EvalTest, DescendantStrictButNested) {
+  const Document d = Doc("a(a(a))");
+  EXPECT_EQ(Evaluate(Tp("a//a"), d).size(), 2u);
+  EXPECT_EQ(Evaluate(Tp("a//a//a"), d).size(), 1u);
+}
+
+TEST(EvalTest, PredicatesFilter) {
+  const Document d = Doc("a(b(c), b(d))");
+  const auto r = Evaluate(Tp("a/b[c]"), d);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(d.pid(r[0]), 1);
+}
+
+TEST(EvalTest, DescendantPredicate) {
+  const Document d = Doc("a(b(x(c)), b(c))");
+  EXPECT_EQ(Evaluate(Tp("a/b[.//c]"), d).size(), 2u);
+  EXPECT_EQ(Evaluate(Tp("a/b[c]"), d).size(), 1u);
+}
+
+TEST(EvalTest, MultiplePredicates) {
+  const Document d = Doc("a(b(c, d), b(c))");
+  EXPECT_EQ(Evaluate(Tp("a/b[c][d]"), d).size(), 1u);
+}
+
+TEST(EvalTest, BranchingPredicateSubtree) {
+  const Document d = Doc("a(b(p(x, y)), b(p(x)))");
+  EXPECT_EQ(Evaluate(Tp("a/b[p[x][y]]"), d).size(), 1u);
+}
+
+TEST(EvalTest, SameNodeSelectedOnce) {
+  // Two embeddings map out to the same node: result is a set.
+  const Document d = Doc("a(x(b), x(b))");
+  const auto r = Evaluate(Tp("a//b"), d);
+  EXPECT_EQ(r.size(), 2u);  // Two distinct b nodes.
+  const Document d2 = Doc("a(x(x(b)))");
+  EXPECT_EQ(Evaluate(Tp("a//x//b"), d2).size(), 1u);
+}
+
+TEST(EvalTest, OutMidBranch) {
+  // Output node in the middle: predicates below it still constrain.
+  Pattern q = Tp("a/b/c");
+  q.SetOut(q.MainBranch()[1]);
+  const Document d = Doc("a(b(c), b(x))");
+  const auto r = Evaluate(q, d);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(d.pid(r[0]), 1);
+}
+
+TEST(EvalTest, MatchesBoolean) {
+  const Document d = Doc("a(b)");
+  EXPECT_TRUE(Matches(Tp("a/b"), d));
+  EXPECT_FALSE(Matches(Tp("a/c"), d));
+}
+
+TEST(EvalTest, SubtreeEmbedsAt) {
+  const Document d = Doc("a(b(c))");
+  const Pattern q = Tp("a/b[c]");
+  EXPECT_TRUE(SubtreeEmbedsAt(q, q.MainBranch()[1], d, 1));
+  EXPECT_FALSE(SubtreeEmbedsAt(q, q.MainBranch()[1], d, 0));
+}
+
+TEST(EvalTest, DeepChainPerformanceSanity) {
+  // 1000-deep chain; descendant query must still work.
+  Document d;
+  NodeId cur = d.AddRoot(Intern("a"));
+  for (int i = 0; i < 1000; ++i) cur = d.AddChild(cur, Intern("m"));
+  d.AddChild(cur, Intern("z"));
+  EXPECT_EQ(Evaluate(Tp("a//z"), d).size(), 1u);
+}
+
+}  // namespace
+}  // namespace pxv

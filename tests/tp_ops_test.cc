@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "gen/paper.h"
+#include "tp/containment.h"
+#include "tp/ops.h"
+#include "tp/parser.h"
+
+namespace pxv {
+namespace {
+
+// Example 9: the prefix q^(2) of q_RBON is
+// IT-personnel//person[name/Rick][bonus/laptop]; the suffix at depth 2 is
+// person[name/Rick]/bonus[laptop]; the tokens are IT-personnel and
+// person[name/Rick]/bonus[laptop].
+TEST(OpsTest, PaperExample9Prefix) {
+  const Pattern q = paper::QueryRBON();
+  const Pattern p2 = Prefix(q, 2);
+  EXPECT_EQ(p2.MainBranchLength(), 2);
+  EXPECT_EQ(LabelName(p2.OutLabel()), "person");
+  // Structure unchanged — only the out mark moved.
+  EXPECT_EQ(p2.size(), q.size());
+  EXPECT_TRUE(IsomorphicPatterns(
+      p2, Tp("IT-personnel//person[name/Rick][bonus/laptop]")));
+}
+
+TEST(OpsTest, PaperExample9Suffix) {
+  const Pattern q = paper::QueryRBON();
+  const Pattern s2 = Suffix(q, 2);
+  EXPECT_TRUE(IsomorphicPatterns(s2, Tp("person[name/Rick]/bonus[laptop]")));
+}
+
+TEST(OpsTest, PaperExample9Tokens) {
+  const Pattern q = paper::QueryRBON();
+  ASSERT_EQ(TokenCount(q), 2);
+  EXPECT_TRUE(IsomorphicPatterns(Token(q, 0), Tp("IT-personnel")));
+  EXPECT_TRUE(IsomorphicPatterns(Token(q, 1),
+                                 Tp("person[name/Rick]/bonus[laptop]")));
+  EXPECT_TRUE(IsomorphicPatterns(LastToken(q), Token(q, 1)));
+}
+
+// Example 10: q' = IT-personnel//person[name/Rick]/bonus,
+// q'' = IT-personnel//person/bonus[laptop], v' = v1_BON.
+TEST(OpsTest, PaperExample10) {
+  const Pattern q = paper::QueryRBON();
+  const int k = 3;
+  EXPECT_TRUE(IsomorphicPatterns(
+      QPrime(q, k), Tp("IT-personnel//person[name/Rick]/bonus")));
+  EXPECT_TRUE(IsomorphicPatterns(
+      QDoublePrime(q, k), Tp("IT-personnel//person/bonus[laptop]")));
+  EXPECT_TRUE(IsomorphicPatterns(StripOutPredicates(paper::ViewV1BON()),
+                                 paper::ViewV1BON()));
+}
+
+// Compensation example from §3: comp(a/b, b[c][d]/e) = a/b[c][d]/e.
+TEST(OpsTest, PaperCompensationExample) {
+  const Pattern r = Compensate(Tp("a/b"), Tp("b[c][d]/e"));
+  EXPECT_TRUE(IsomorphicPatterns(r, Tp("a/b[c][d]/e")));
+}
+
+TEST(OpsTest, CompensateOutAtRoot) {
+  // Compensating with a single-node pattern keeps out at the merge point.
+  const Pattern r = Compensate(Tp("a/b"), Tp("b[c]"));
+  EXPECT_TRUE(IsomorphicPatterns(r, Tp("a/b[c]")));
+  EXPECT_EQ(LabelName(r.OutLabel()), "b");
+}
+
+// Example 14 / Example 12: the last token of v = a//b[e]/c/b/c is
+// b[e]/c/b/c, whose label sequence (b,c,b,c) has maximal prefix-suffix 2.
+TEST(OpsTest, PaperExample14PrefixSuffix) {
+  const Pattern v = paper::View12();
+  const Pattern t = LastToken(v);
+  EXPECT_TRUE(IsomorphicPatterns(t, Tp("b[e]/c/b/c")));
+  EXPECT_EQ(MaxPrefixSuffix(TokenLabels(v, TokenCount(v) - 1)), 2);
+}
+
+TEST(OpsTest, MaxPrefixSuffixCases) {
+  auto labels = [](std::initializer_list<const char*> names) {
+    std::vector<Label> out;
+    for (const char* n : names) out.push_back(Intern(n));
+    return out;
+  };
+  EXPECT_EQ(MaxPrefixSuffix(labels({"b"})), 0);
+  EXPECT_EQ(MaxPrefixSuffix(labels({"b", "b"})), 1);
+  EXPECT_EQ(MaxPrefixSuffix(labels({"b", "c", "b"})), 1);
+  EXPECT_EQ(MaxPrefixSuffix(labels({"b", "c", "b", "c"})), 2);
+  EXPECT_EQ(MaxPrefixSuffix(labels({"a", "b", "c"})), 0);
+  EXPECT_EQ(MaxPrefixSuffix(labels({"a", "b", "a", "b", "a", "b"})), 2);
+}
+
+TEST(OpsTest, MainBranchOnly) {
+  const Pattern q = paper::QueryRBON();
+  const Pattern mb = MainBranchOnly(q);
+  EXPECT_TRUE(IsomorphicPatterns(mb, Tp("IT-personnel//person/bonus")));
+  EXPECT_TRUE(IsLinear(mb));
+  EXPECT_FALSE(IsLinear(q));
+}
+
+TEST(OpsTest, StripOutPredicatesOnPrefix) {
+  // Stripping out-predicates of a prefix also drops the former main branch.
+  const Pattern q = Tp("a/b[x]/c");
+  const Pattern p = Prefix(q, 2);
+  const Pattern stripped = StripOutPredicates(p);
+  EXPECT_TRUE(IsomorphicPatterns(stripped, Tp("a/b")));
+}
+
+TEST(OpsTest, MbHasDescendantEdge) {
+  EXPECT_TRUE(MbHasDescendantEdge(Tp("a//b/c"), 2));
+  EXPECT_FALSE(MbHasDescendantEdge(Tp("a/b[.//x]/c"), 2));
+  EXPECT_FALSE(MbHasDescendantEdge(Tp("a//b/c"), 3));
+}
+
+TEST(OpsTest, TokensWithMultipleDescendants) {
+  const Pattern q = Tp("a/b//c[x]//d/e");
+  ASSERT_EQ(TokenCount(q), 3);
+  EXPECT_TRUE(IsomorphicPatterns(Token(q, 0), Tp("a/b")));
+  EXPECT_TRUE(IsomorphicPatterns(Token(q, 1), Tp("c[x]")));
+  EXPECT_TRUE(IsomorphicPatterns(Token(q, 2), Tp("d/e")));
+}
+
+TEST(OpsTest, WithMarkerChild) {
+  const Pattern q = Tp("a/b");
+  const Pattern marked = WithMarkerChild(q, q.out(), IdMarkerLabel(7));
+  EXPECT_EQ(marked.size(), 3);
+  EXPECT_TRUE(IsomorphicPatterns(marked, Tp("a/b[Id(7)]")));
+}
+
+TEST(OpsTest, FactOneViaCompensation) {
+  // comp(v1_BON, bonus[laptop]) ≡ q_RBON (paper, after Fact 1).
+  const Pattern v = paper::ViewV1BON();
+  const Pattern q = paper::QueryRBON();
+  const Pattern comp = Compensate(v, Suffix(q, 3));
+  EXPECT_TRUE(Equivalent(comp, q));
+}
+
+TEST(OpsTest, PrefixBoundsChecked) {
+  const Pattern q = Tp("a/b/c");
+  EXPECT_EQ(Prefix(q, 1).MainBranchLength(), 1);
+  EXPECT_EQ(Prefix(q, 3).MainBranchLength(), 3);
+  EXPECT_EQ(Suffix(q, 3).size(), 1);
+}
+
+}  // namespace
+}  // namespace pxv

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "gen/paper.h"
+#include "tp/parser.h"
+#include "tp/pattern.h"
+
+namespace pxv {
+namespace {
+
+TEST(PatternTest, BuildAndMainBranch) {
+  Pattern q;
+  const PNodeId a = q.AddRoot(Intern("a"));
+  const PNodeId b = q.AddChild(a, Intern("b"), Axis::kChild);
+  const PNodeId c = q.AddChild(b, Intern("c"), Axis::kDescendant);
+  q.AddChild(b, Intern("p"), Axis::kChild);  // Predicate.
+  q.SetOut(c);
+  const auto mb = q.MainBranch();
+  ASSERT_EQ(mb.size(), 3u);
+  EXPECT_EQ(mb[0], a);
+  EXPECT_EQ(mb[2], c);
+  EXPECT_EQ(q.MainBranchLength(), 3);
+  EXPECT_TRUE(q.OnMainBranch(b));
+  EXPECT_FALSE(q.OnMainBranch(3));
+  EXPECT_EQ(q.Depth(c), 3);
+  EXPECT_EQ(q.MainBranchChild(b), c);
+  EXPECT_EQ(q.MainBranchChild(c), kNullPNode);
+  ASSERT_EQ(q.PredicateChildren(b).size(), 1u);
+}
+
+TEST(PatternTest, OutLabel) {
+  const Pattern q = Tp("a/b[c]//d");
+  EXPECT_EQ(LabelName(q.OutLabel()), "d");
+}
+
+TEST(XPathParserTest, PaperQueries) {
+  const Pattern q = Tp("IT-personnel//person[name/Rick]/bonus[laptop]");
+  EXPECT_EQ(q.MainBranchLength(), 3);
+  EXPECT_EQ(LabelName(q.OutLabel()), "bonus");
+  EXPECT_EQ(q.size(), 6);
+  // The person → bonus edge is /, IT-personnel → person is //.
+  const auto mb = q.MainBranch();
+  EXPECT_EQ(q.axis(mb[1]), Axis::kDescendant);
+  EXPECT_EQ(q.axis(mb[2]), Axis::kChild);
+}
+
+TEST(XPathParserTest, PredicateAxes) {
+  const Pattern q = Tp("a[.//c]/b");
+  const auto preds = q.PredicateChildren(q.root());
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_EQ(q.axis(preds[0]), Axis::kDescendant);
+
+  const Pattern q2 = Tp("a[c]/b");
+  const auto preds2 = q2.PredicateChildren(q2.root());
+  ASSERT_EQ(preds2.size(), 1u);
+  EXPECT_EQ(q2.axis(preds2[0]), Axis::kChild);
+}
+
+TEST(XPathParserTest, DocLabels) {
+  const Pattern q = Tp("doc(v1BON)/bonus[laptop]");
+  EXPECT_EQ(LabelName(q.label(q.root())), "doc(v1BON)");
+  EXPECT_EQ(q.MainBranchLength(), 2);
+}
+
+TEST(XPathParserTest, IdMarkers) {
+  const Pattern q = Tp("c[Id(42)]/b");
+  const auto preds = q.PredicateChildren(q.root());
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_EQ(LabelName(q.label(preds[0])), "Id(42)");
+}
+
+TEST(XPathParserTest, BranchingPredicates) {
+  const Pattern q = Tp("a[b[c][d]]/e");
+  EXPECT_EQ(q.size(), 5);
+  EXPECT_EQ(q.MainBranchLength(), 2);
+}
+
+TEST(XPathParserTest, Errors) {
+  EXPECT_FALSE(ParsePattern("").ok());
+  EXPECT_FALSE(ParsePattern("a[b").ok());
+  EXPECT_FALSE(ParsePattern("a/").ok());
+  EXPECT_FALSE(ParsePattern("a]b").ok());
+}
+
+TEST(XPathPrintTest, RoundTrips) {
+  const char* cases[] = {
+      "a/b",
+      "a//b",
+      "a[c]/b",
+      "a[.//c]/b",
+      "IT-personnel//person[name/Rick]/bonus[laptop]",
+      "a[b[c][d]]/e//f[g//h]",
+      "a//b[e]/c/b/c//d",
+  };
+  for (const char* text : cases) {
+    const Pattern q = Tp(text);
+    const Pattern round = Tp(ToXPath(q));
+    EXPECT_TRUE(IsomorphicPatterns(q, round)) << text << " → " << ToXPath(q);
+  }
+}
+
+TEST(CanonicalPatternTest, AxisSensitivity) {
+  EXPECT_FALSE(IsomorphicPatterns(Tp("a/b"), Tp("a//b")));
+  EXPECT_FALSE(IsomorphicPatterns(Tp("a[b]/c"), Tp("a[.//b]/c")));
+}
+
+TEST(CanonicalPatternTest, OutSensitivity) {
+  const Pattern q1 = Tp("a/b/c");
+  Pattern q2 = Tp("a/b/c");
+  q2.SetOut(q2.MainBranch()[1]);
+  EXPECT_FALSE(IsomorphicPatterns(q1, q2));
+}
+
+TEST(CanonicalPatternTest, PredicateOrderInvariance) {
+  EXPECT_TRUE(IsomorphicPatterns(Tp("a[b][c]/d"), Tp("a[c][b]/d")));
+}
+
+TEST(GraftTest, CopiesSubtreeWithOut) {
+  const Pattern src = Tp("a/b[c]/d");
+  Pattern dst;
+  dst.AddRoot(Intern("x"));
+  PNodeId out_image = kNullPNode;
+  GraftSubtree(src, src.MainBranch()[1], &dst, dst.root(), Axis::kDescendant,
+               &out_image);
+  EXPECT_EQ(dst.size(), 4);  // x, b, c, d.
+  ASSERT_NE(out_image, kNullPNode);
+  EXPECT_EQ(LabelName(dst.label(out_image)), "d");
+}
+
+}  // namespace
+}  // namespace pxv

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "gen/paper.h"
+#include "rewrite/tp_rewrite.h"
+#include "tp/containment.h"
+#include "tp/ops.h"
+#include "tp/parser.h"
+
+namespace pxv {
+namespace {
+
+// Fact 1 on the running example: comp(v1_BON, bonus[laptop]) ≡ q_RBON.
+TEST(Fact1Test, PaperRunningExample) {
+  EXPECT_TRUE(
+      HasDeterministicTpRewriting(paper::QueryRBON(), paper::ViewV1BON()));
+  EXPECT_TRUE(
+      HasDeterministicTpRewriting(paper::QueryBON(), paper::ViewV2BON()));
+}
+
+TEST(Fact1Test, Example11HasDeterministicRewriting) {
+  // Example 11: a deterministic rewriting exists (comp(v, q_(2)) ≡ q) even
+  // though no probabilistic one does.
+  EXPECT_TRUE(HasDeterministicTpRewriting(paper::Query11(), paper::View11()));
+}
+
+TEST(Fact1Test, Example12HasDeterministicRewriting) {
+  EXPECT_TRUE(HasDeterministicTpRewriting(paper::Query12(), paper::View12()));
+}
+
+TEST(Fact1Test, Negatives) {
+  // View selecting the wrong label at the compensation depth.
+  EXPECT_FALSE(HasDeterministicTpRewriting(Tp("a/b/c"), Tp("a/c")));
+  // View more restrictive than the query: unfolding adds predicates.
+  EXPECT_FALSE(HasDeterministicTpRewriting(Tp("a/b"), Tp("a[x]/b")));
+  // View deeper than the query.
+  EXPECT_FALSE(HasDeterministicTpRewriting(Tp("a/b"), Tp("a/b/c")));
+  // Root mismatch.
+  EXPECT_FALSE(HasDeterministicTpRewriting(Tp("a/b"), Tp("x/b")));
+}
+
+TEST(Fact1Test, ViewMoreGeneralButCompensable) {
+  // v = a//b, q = a/b[c]: comp(v, b[c]) = a//b[c] ≢ q.
+  EXPECT_FALSE(HasDeterministicTpRewriting(Tp("a/b[c]"), Tp("a//b")));
+  // v = a/b, q = a/b[c]: comp adds [c]: ≡ q.
+  EXPECT_TRUE(HasDeterministicTpRewriting(Tp("a/b[c]"), Tp("a/b")));
+}
+
+TEST(TPrewriteTest, AcceptsRunningExample) {
+  const std::vector<NamedView> views = {{"v1BON", paper::ViewV1BON()},
+                                        {"v2BON", paper::ViewV2BON()}};
+  // q_BON is rewritable using v2_BON (Example 13).
+  const auto rws = TPrewrite(paper::QueryBON(), views);
+  ASSERT_EQ(rws.size(), 1u);
+  EXPECT_EQ(rws[0].view_name, "v2BON");
+  EXPECT_TRUE(rws[0].restricted);
+  EXPECT_EQ(rws[0].k, 3);
+}
+
+TEST(TPrewriteTest, QRBONUsesV1) {
+  const std::vector<NamedView> views = {{"v1BON", paper::ViewV1BON()},
+                                        {"v2BON", paper::ViewV2BON()}};
+  const auto rws = TPrewrite(paper::QueryRBON(), views);
+  // Only v1BON works: compensation can add conditions at or below depth k
+  // but never the [name/Rick] predicate at depth 2, so v2BON fails Fact 1.
+  ASSERT_EQ(rws.size(), 1u);
+  EXPECT_EQ(rws[0].view_name, "v1BON");
+  EXPECT_TRUE(rws[0].restricted);  // The compensation is //-free.
+}
+
+// Example 11: deterministic rewriting exists, probabilistic does not —
+// TPrewrite must reject (v' ̸⊥ q'').
+TEST(TPrewriteTest, RejectsExample11) {
+  const auto rws =
+      TPrewrite(paper::Query11(), {{"v", paper::View11()}});
+  EXPECT_TRUE(rws.empty());
+}
+
+// Example 12: the prefix-suffix condition bites — u = 2 and the first node
+// of the last token carries [e].
+TEST(TPrewriteTest, RejectsExample12) {
+  const auto rws =
+      TPrewrite(paper::Query12(), {{"v", paper::View12()}});
+  EXPECT_TRUE(rws.empty());
+}
+
+// Variant of Example 12 without the offending predicate: u = 2, first u−1
+// token nodes clean ⇒ accepted as an unrestricted rewriting.
+TEST(TPrewriteTest, AcceptsCleanPrefixSuffix) {
+  const Pattern q = Tp("a//b/c/b/c[e]//d");
+  const Pattern v = Tp("a//b/c/b/c[e]");
+  const auto rws = TPrewrite(q, {{"v", v}});
+  ASSERT_EQ(rws.size(), 1u);
+  EXPECT_FALSE(rws[0].restricted);
+  EXPECT_EQ(rws[0].u, 2);
+}
+
+TEST(TPrewriteTest, RestrictedFlagFollowsDefinition) {
+  // mb(v) //-free ⇒ restricted even with // compensation.
+  const Pattern q1 = Tp("a/b//c");
+  const auto rws1 = TPrewrite(q1, {{"v", Tp("a/b")}});
+  ASSERT_EQ(rws1.size(), 1u);
+  EXPECT_TRUE(rws1[0].restricted);
+  // // in both view mb and compensation ⇒ unrestricted.
+  const Pattern q2 = Tp("a//b//c");
+  const auto rws2 = TPrewrite(q2, {{"v", Tp("a//b")}});
+  ASSERT_EQ(rws2.size(), 1u);
+  EXPECT_FALSE(rws2[0].restricted);
+}
+
+TEST(TPrewriteTest, PlanShape) {
+  const auto rws = TPrewrite(paper::QueryBON(), {{"v2BON", paper::ViewV2BON()}});
+  ASSERT_EQ(rws.size(), 1u);
+  // Plan: doc(v2BON)/bonus[laptop].
+  EXPECT_EQ(ToXPath(rws[0].plan), "doc(v2BON)/bonus[laptop]");
+}
+
+TEST(TPrewriteTest, IgnoresUnusableViews) {
+  const std::vector<NamedView> views = {
+      {"decoy1", Tp("a/x")},
+      {"decoy2", Tp("IT-personnel//name")},
+      {"v2BON", paper::ViewV2BON()},
+  };
+  const auto rws = TPrewrite(paper::QueryBON(), views);
+  ASSERT_EQ(rws.size(), 1u);
+  EXPECT_EQ(rws[0].view_name, "v2BON");
+}
+
+TEST(TPrewriteTest, ViewEqualToQuery) {
+  // The query itself as a view: trivial rewriting with empty compensation.
+  const Pattern q = paper::QueryBON();
+  const auto rws = TPrewrite(q, {{"self", q}});
+  ASSERT_EQ(rws.size(), 1u);
+  EXPECT_EQ(rws[0].k, q.MainBranchLength());
+}
+
+}  // namespace
+}  // namespace pxv

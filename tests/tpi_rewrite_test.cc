@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gen/docgen.h"
+#include "pxml/parser.h"
+#include "gen/paper.h"
+#include "prob/query_eval.h"
+#include "rewrite/rewriter.h"
+#include "rewrite/tpi_rewrite.h"
+#include "tp/containment.h"
+#include "tp/parser.h"
+
+namespace pxv {
+namespace {
+
+std::map<PersistentId, double> DirectAnswer(const PDocument& pd,
+                                            const Pattern& q) {
+  std::map<PersistentId, double> out;
+  for (const NodeProb& np : EvaluateTP(pd, q)) out[pd.pid(np.node)] = np.prob;
+  return out;
+}
+
+void ExpectSameAnswers(const std::map<PersistentId, double>& direct,
+                       const std::map<PersistentId, double>& via,
+                       const char* context) {
+  for (const auto& [pid, p] : direct) {
+    ASSERT_TRUE(via.count(pid)) << context << ": missing pid " << pid;
+    EXPECT_NEAR(via.at(pid), p, 1e-9) << context << " pid " << pid;
+  }
+  for (const auto& [pid, p] : via) {
+    EXPECT_TRUE(direct.count(pid)) << context << ": spurious pid " << pid;
+  }
+}
+
+// Example 15: q_RBON ≡ v1_BON ∩ comp(v2_BON, q_(3)); the probability is
+// 0.75 × 0.9 ÷ 1 = 0.675.
+TEST(TpiRewriteTest, PaperExample15) {
+  const PDocument pd = paper::PDocPER();
+  const std::vector<NamedView> views = {{"v1BON", paper::ViewV1BON()},
+                                        {"v2BON", paper::ViewV2BON()}};
+  const auto rw = TPIrewrite(paper::QueryRBON(), views);
+  ASSERT_TRUE(rw.has_value());
+
+  Rewriter rewriter;
+  for (const NamedView& v : views) rewriter.AddView(v.name, v.def.Clone());
+  const ViewExtensions exts = rewriter.Materialize(pd);
+  std::map<PersistentId, double> via;
+  for (const PidProb& pp : ExecuteTpiRewriting(*rw, exts)) {
+    via[pp.pid] = pp.prob;
+  }
+  ASSERT_EQ(via.size(), 1u);
+  EXPECT_NEAR(via.at(5), 0.675, 1e-9);
+}
+
+// Example 16 end-to-end: the product with exponents (1/2,1/2,1/2,−1/2).
+TEST(TpiRewriteTest, Example16EndToEnd) {
+  const auto pd = ParsePDocument(
+      "a(mux(1@0.8), b(mux(2@0.7), c(mux(3@0.6), mux(d@0.9))))");
+  ASSERT_TRUE(pd.ok());
+  std::vector<NamedView> views;
+  for (int i = 1; i <= 4; ++i) {
+    views.push_back({"v" + std::to_string(i), paper::View16(i)});
+  }
+  const Pattern q = paper::Query16();
+  const auto rw = TPIrewrite(q, views);
+  ASSERT_TRUE(rw.has_value());
+
+  Rewriter rewriter;
+  for (const NamedView& v : views) rewriter.AddView(v.name, v.def.Clone());
+  const ViewExtensions exts = rewriter.Materialize(*pd);
+  std::map<PersistentId, double> via;
+  for (const PidProb& pp : ExecuteTpiRewriting(*rw, exts)) {
+    via[pp.pid] = pp.prob;
+  }
+  ExpectSameAnswers(DirectAnswer(*pd, q), via, "example 16");
+}
+
+// Theorem 3 with the running example (Example 15's view selection).
+TEST(TpiRewriteTest, PairwiseIndependentSubset) {
+  // Compensated v2 is provided pre-compensated as its own view here.
+  const std::vector<NamedView> views = {
+      {"v1BON", paper::ViewV1BON()},
+      {"v2comp", Tp("IT-personnel//person/bonus[laptop]")},
+      {"mbq", Tp("IT-personnel//person/bonus")},
+  };
+  const auto subset =
+      FindPairwiseIndependentSubset(paper::QueryRBON(), views);
+  ASSERT_TRUE(subset.has_value());
+  // v1BON ∩ v2comp ≡ q_RBON, both pairwise independent; mb(q) ⊑ v2comp?
+  // No: v2comp has the [laptop] predicate but mb(q) ⊑ means containment of
+  // the linear query — mb(q) ⊑ v2comp fails, mb(q) ⊑ mbq holds, so the
+  // subset includes mbq or relies on v1BON/v2comp… assert correctness:
+  // executing the product formula reproduces the direct answer.
+  const PDocument pd = paper::PDocPER();
+  Rewriter rewriter;
+  for (const NamedView& v : views) rewriter.AddView(v.name, v.def.Clone());
+  const ViewExtensions exts = rewriter.Materialize(pd);
+  int lemma3 = -1;
+  const Pattern mb_q = Tp("IT-personnel//person/bonus");
+  for (int i : *subset) {
+    if (Contains(views[i].def, mb_q)) lemma3 = i;
+  }
+  ASSERT_GE(lemma3, 0);
+  std::map<PersistentId, double> via;
+  for (const PidProb& pp :
+       ExecuteProductRewriting(views, *subset, lemma3, exts)) {
+    via[pp.pid] = pp.prob;
+  }
+  ExpectSameAnswers(DirectAnswer(pd, paper::QueryRBON()), via, "theorem 3");
+}
+
+TEST(TpiRewriteTest, NoRewritingWithoutEquivalence) {
+  // The view skips depth 2, so compensation can never reintroduce the [c]
+  // predicate of the query: no plan is equivalent.
+  const std::vector<NamedView> views = {{"v", Tp("a/b/d")}};
+  EXPECT_FALSE(TPIrewrite(Tp("a/b[c]/d"), views).has_value());
+}
+
+TEST(TpiRewriteTest, CompensationAloneCanRewrite) {
+  // a/b suffices for a/b[c]/d: comp(v, q_(2)) ≡ q (cf. §5.4).
+  const std::vector<NamedView> views = {{"v", Tp("a/b")}};
+  const auto rw = TPIrewrite(Tp("a/b[c]/d"), views);
+  ASSERT_TRUE(rw.has_value());
+  const auto pd = ParsePDocument("a(b(mux(c@0.4), mux(d@0.9)))");
+  ASSERT_TRUE(pd.ok());
+  Rewriter rewriter;
+  rewriter.AddView("v", Tp("a/b"));
+  const ViewExtensions exts = rewriter.Materialize(*pd);
+  std::map<PersistentId, double> via;
+  for (const PidProb& pp : ExecuteTpiRewriting(*rw, exts)) {
+    via[pp.pid] = pp.prob;
+  }
+  ExpectSameAnswers(DirectAnswer(*pd, Tp("a/b[c]/d")), via, "comp alone");
+}
+
+TEST(TpiRewriteTest, DependentViewsNeedSystem) {
+  // Example 16 without v4: deterministic rewriting exists, probabilistic
+  // does not (the system has no unique solution).
+  std::vector<NamedView> views;
+  for (int i = 1; i <= 3; ++i) {
+    views.push_back({"v" + std::to_string(i), paper::View16(i)});
+  }
+  EXPECT_FALSE(TPIrewrite(paper::Query16(), views).has_value());
+}
+
+TEST(TpiRewriteTest, CompensationEnablesRewriting) {
+  // Only v2BON (no laptop predicate anywhere): q_BON needs the compensated
+  // member comp(v2BON, bonus[laptop]).
+  const std::vector<NamedView> views = {{"v2BON", paper::ViewV2BON()}};
+  const auto rw = TPIrewrite(paper::QueryBON(), views);
+  ASSERT_TRUE(rw.has_value());
+  bool has_compensated = false;
+  for (const TpiMember& m : rw->members) has_compensated |= m.compensated;
+  EXPECT_TRUE(has_compensated);
+
+  const PDocument pd = paper::PDocPER();
+  Rewriter rewriter;
+  rewriter.AddView("v2BON", paper::ViewV2BON());
+  const ViewExtensions exts = rewriter.Materialize(pd);
+  std::map<PersistentId, double> via;
+  for (const PidProb& pp : ExecuteTpiRewriting(*rw, exts)) {
+    via[pp.pid] = pp.prob;
+  }
+  ExpectSameAnswers(DirectAnswer(pd, paper::QueryBON()), via, "compensated");
+}
+
+// Randomized end-to-end property over personnel documents.
+class TpiProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpiProperty, RewritingMatchesDirect) {
+  Rng rng(700 + GetParam());
+  const PDocument pd = PersonnelPDocument(rng, 3 + GetParam() % 3);
+  const Pattern q = Tp("IT-personnel//person[name/Rick]/bonus[laptop]");
+  const std::vector<NamedView> views = {
+      {"rick", Tp("IT-personnel//person[name/Rick]/bonus")},
+      {"laptop", Tp("IT-personnel//person/bonus[laptop]")},
+      {"all", Tp("IT-personnel//person/bonus")},
+  };
+  const auto rw = TPIrewrite(q, views);
+  ASSERT_TRUE(rw.has_value());
+  Rewriter rewriter;
+  for (const NamedView& v : views) rewriter.AddView(v.name, v.def.Clone());
+  const ViewExtensions exts = rewriter.Materialize(pd);
+  std::map<PersistentId, double> via;
+  for (const PidProb& pp : ExecuteTpiRewriting(*rw, exts)) {
+    via[pp.pid] = pp.prob;
+  }
+  ExpectSameAnswers(DirectAnswer(pd, q), via, "tpi property");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TpiProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace pxv

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "tp/containment.h"
+#include "tp/parser.h"
+#include "tpi/equivalence.h"
+#include "tpi/eval.h"
+#include "tpi/interleaving.h"
+#include "tpi/skeleton.h"
+#include "xml/parser.h"
+
+namespace pxv {
+namespace {
+
+TpIntersection In(std::initializer_list<const char*> texts) {
+  TpIntersection q;
+  for (const char* t : texts) q.Add(Tp(t));
+  return q;
+}
+
+TEST(InterleavingTest, IdenticalMembersSingleInterleaving) {
+  const auto inter = Interleavings(In({"a/b", "a/b"}));
+  ASSERT_TRUE(inter.ok());
+  ASSERT_EQ(inter->size(), 1u);
+  EXPECT_TRUE(IsomorphicPatterns((*inter)[0], Tp("a/b")));
+}
+
+TEST(InterleavingTest, SlashForcesCoalescing) {
+  // a/b ∩ a//b: b's must coalesce (outs coalesce), edge forced to /.
+  const auto inter = Interleavings(In({"a/b", "a//b"}));
+  ASSERT_TRUE(inter.ok());
+  ASSERT_EQ(inter->size(), 1u);
+  EXPECT_TRUE(IsomorphicPatterns((*inter)[0], Tp("a/b")));
+}
+
+TEST(InterleavingTest, DescendantsOrderOrCoalesce) {
+  // a//b//c ∩ a//b//c with distinct predicates: the middle b's can coalesce
+  // or stack in two orders.
+  const auto inter = Interleavings(In({"a//b[x]//c", "a//b[y]//c"}));
+  ASSERT_TRUE(inter.ok());
+  // Coalesced: a//b[x][y]//c; stacked: a//b[x]//b[y]//c and a//b[y]//b[x]//c.
+  EXPECT_EQ(inter->size(), 3u);
+}
+
+TEST(InterleavingTest, RootLabelMismatchUnsatisfiable) {
+  EXPECT_FALSE(IntersectionSatisfiable(In({"a/b", "x/b"})));
+  const auto inter = Interleavings(In({"a/b", "x/b"}));
+  ASSERT_TRUE(inter.ok());
+  EXPECT_TRUE(inter->empty());
+}
+
+TEST(InterleavingTest, DepthConflictUnsatisfiable) {
+  // a/b (out at depth 2) vs a/c/b (out at depth 3), all /-edges.
+  EXPECT_FALSE(IntersectionSatisfiable(In({"a/b", "a/c/b"})));
+}
+
+TEST(InterleavingTest, OutLabelMismatchUnsatisfiable) {
+  EXPECT_FALSE(IntersectionSatisfiable(In({"a/b", "a/c"})));
+}
+
+TEST(InterleavingTest, SatisfiableMixedDepths) {
+  EXPECT_TRUE(IntersectionSatisfiable(In({"a//b", "a/c/b"})));
+  const auto inter = Interleavings(In({"a//b", "a/c/b"}));
+  ASSERT_TRUE(inter.ok());
+  ASSERT_EQ(inter->size(), 1u);
+  EXPECT_TRUE(IsomorphicPatterns((*inter)[0], Tp("a/c/b")));
+}
+
+TEST(InterleavingTest, CountGrowsExponentially) {
+  // k copies of a//b[p_i]//c: interleavings grow combinatorially in k.
+  TpIntersection q2 = In({"a//b[p1]//c", "a//b[p2]//c"});
+  TpIntersection q3 = In({"a//b[p1]//c", "a//b[p2]//c", "a//b[p3]//c"});
+  const int64_t c2 = CountInterleavings(q2, 1000000);
+  const int64_t c3 = CountInterleavings(q3, 1000000);
+  EXPECT_GT(c3, 2 * c2);
+}
+
+TEST(InterleavingTest, PredicatesCarriedIntoMerge) {
+  const auto inter = Interleavings(In({"a[x]/b", "a[y]/b[z]"}));
+  ASSERT_TRUE(inter.ok());
+  ASSERT_EQ(inter->size(), 1u);
+  EXPECT_TRUE(IsomorphicPatterns((*inter)[0], Tp("a[x][y]/b[z]")));
+}
+
+TEST(UnionFreeMergeTest, MergesSharedBranch) {
+  const Pattern merged = UnionFreeMerge(In({"a[x]/b[y]/c", "a/b[z]/c[w]"}));
+  EXPECT_TRUE(IsomorphicPatterns(merged, Tp("a[x]/b[y][z]/c[w]")));
+}
+
+TEST(EquivalenceTest, TpContainedInIntersection) {
+  EXPECT_TRUE(
+      TpContainedInIntersection(Tp("a[x][y]/b"), In({"a[x]/b", "a[y]/b"})));
+  EXPECT_FALSE(
+      TpContainedInIntersection(Tp("a[x]/b"), In({"a[x]/b", "a[y]/b"})));
+}
+
+TEST(EquivalenceTest, IntersectionEquivalentToMergedTp) {
+  EXPECT_TRUE(
+      EquivalentTpIntersection(Tp("a[x][y]/b"), In({"a[x]/b", "a[y]/b"})));
+  EXPECT_FALSE(
+      EquivalentTpIntersection(Tp("a[x]/b"), In({"a[x]/b", "a[y]/b"})));
+}
+
+TEST(EquivalenceTest, DescendantIntersectionNotEquivalentToNaiveMerge) {
+  // a//b[x]//c ∩ a//b[y]//c is a union of three interleavings; the naive
+  // merge a//b[x][y]//c is strictly contained in it.
+  const TpIntersection in = In({"a//b[x]//c", "a//b[y]//c"});
+  EXPECT_FALSE(EquivalentTpIntersection(Tp("a//b[x][y]//c"), in));
+  EXPECT_TRUE(TpContainedInIntersection(Tp("a//b[x][y]//c"), in));
+}
+
+TEST(EquivalenceTest, Example16Views) {
+  // v1 ∩ v2 ≡ q for q = a[1]/b[2]/c[3]/d (the paper notes v1, v2 suffice
+  // for a deterministic rewriting).
+  const TpIntersection in = In({"a[1]/b/c[3]/d", "a/b[2]/c[3]/d"});
+  EXPECT_TRUE(EquivalentTpIntersection(Tp("a[1]/b[2]/c[3]/d"), in));
+}
+
+TEST(SkeletonTest, PaperPositiveExamples) {
+  EXPECT_TRUE(IsExtendedSkeleton(Tp("a[b//c//d]/e//d")));
+  EXPECT_TRUE(IsExtendedSkeleton(Tp("a[b//c]/d//e")));
+}
+
+TEST(SkeletonTest, PaperNegativeExamples) {
+  EXPECT_FALSE(IsExtendedSkeleton(Tp("a[b//c]/b//d")));
+  EXPECT_FALSE(IsExtendedSkeleton(Tp("a[b//c]//d")));
+  EXPECT_FALSE(IsExtendedSkeleton(Tp("a[.//b]/c//d")));
+  EXPECT_FALSE(IsExtendedSkeleton(Tp("a[.//b]//c")));
+}
+
+TEST(SkeletonTest, SlashOnlyPredicatesUnrestricted) {
+  EXPECT_TRUE(IsExtendedSkeleton(Tp("a[b/c][d]/e//f[g/h]")));
+  EXPECT_TRUE(IsExtendedSkeleton(Tp("a/b/c")));
+  EXPECT_TRUE(IsExtendedSkeleton(Tp("a//b//c")));
+}
+
+TEST(SkeletonTest, PaperRunningQueries) {
+  // The running example's queries use only /-predicates: all skeletons.
+  EXPECT_TRUE(IsExtendedSkeleton(Tp("IT-personnel//person[name/Rick]/bonus")));
+  EXPECT_TRUE(
+      IsExtendedSkeleton(Tp("IT-personnel//person/bonus[laptop]")));
+}
+
+TEST(TpiEvalTest, IntersectionOverOneDocument) {
+  const auto d = ParseTreeText("a(b(x, y), b(x))");
+  ASSERT_TRUE(d.ok());
+  const auto r = EvaluateIntersectionNodes(In({"a/b[x]", "a/b[y]"}), *d);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(d->pid(r[0]), 1);
+}
+
+TEST(TpiEvalTest, IntersectionByPidAcrossDocuments) {
+  // Two "view extension" documents sharing pids (tree-text needs quoting
+  // for parenthesized labels).
+  const auto d1 = ParseTreeText("\"doc(v1)\"(b#5(x), b#7(x))");
+  const auto d2 = ParseTreeText("\"doc(v2)\"(b#5(y))");
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  const TpIntersection q = In({"doc(v1)/b[x]", "doc(v2)/b[y]"});
+  const auto pids =
+      EvaluateIntersectionByPid(q, {&d1.value(), &d2.value()});
+  ASSERT_EQ(pids.size(), 1u);
+  EXPECT_EQ(pids[0], 5);
+}
+
+TEST(TpiEvalTest, MemberWithoutDocumentYieldsEmpty) {
+  const auto d1 = ParseTreeText("\"doc(v1)\"(b#5)");
+  ASSERT_TRUE(d1.ok());
+  const TpIntersection q = In({"doc(v1)/b", "doc(v2)/b"});
+  EXPECT_TRUE(EvaluateIntersectionByPid(q, {&d1.value()}).empty());
+}
+
+}  // namespace
+}  // namespace pxv

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "gen/paper.h"
+#include "prob/query_eval.h"
+#include "pxml/parser.h"
+#include "pxml/view_extension.h"
+#include "pxml/worlds.h"
+#include "tp/parser.h"
+#include "xml/label.h"
+
+namespace pxv {
+namespace {
+
+ViewExtensions MaterializeOne(const PDocument& pd, const char* name,
+                              const Pattern& v,
+                              const ViewExtensionOptions& options = {}) {
+  std::vector<ViewResultEntry> results;
+  for (const NodeProb& np : EvaluateTP(pd, v)) {
+    results.push_back({np.node, np.prob});
+  }
+  ViewExtensions exts;
+  exts.emplace(name, BuildViewExtension(pd, name, results, options));
+  return exts;
+}
+
+// Example 8: (P̂_PER)_{v1BON} bundles the bonus[5] subtree under an
+// ind-node with probability 0.75, plus Id(n) markers.
+TEST(ViewExtensionTest, PaperExample8) {
+  const PDocument pd = paper::PDocPER();
+  const auto exts = MaterializeOne(pd, "v1BON", paper::ViewV1BON());
+  const PDocument& ext = exts.at("v1BON");
+  EXPECT_TRUE(ext.Validate().ok());
+  EXPECT_EQ(LabelName(ext.label(ext.root())), "doc(v1BON)");
+
+  const auto roots = ExtensionResultRoots(ext);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(ext.pid(roots[0]), 5);
+  EXPECT_NEAR(ext.edge_prob(roots[0]), 0.75, 1e-12);
+  // Markers present: the bonus root carries an Id(5) child.
+  bool has_marker = false;
+  for (NodeId c : ext.children(roots[0])) {
+    if (ext.ordinary(c) && ext.label(c) == IdMarkerLabel(5)) has_marker = true;
+  }
+  EXPECT_TRUE(has_marker);
+}
+
+// Example 8 continued: (P̂_PER)_{v2BON} has two result subtrees, both with
+// edge probability 1.
+TEST(ViewExtensionTest, PaperExample8V2) {
+  const PDocument pd = paper::PDocPER();
+  const auto exts = MaterializeOne(pd, "v2BON", paper::ViewV2BON());
+  const PDocument& ext = exts.at("v2BON");
+  const auto roots = ExtensionResultRoots(ext);
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_EQ(ext.pid(roots[0]), 5);
+  EXPECT_EQ(ext.pid(roots[1]), 7);
+  EXPECT_NEAR(ext.edge_prob(roots[0]), 1.0, 1e-12);
+  EXPECT_NEAR(ext.edge_prob(roots[1]), 1.0, 1e-12);
+}
+
+// Example 11's indistinguishability: (P̂1)_v = (P̂2)_v.
+TEST(ViewExtensionTest, Example11ExtensionsEqual) {
+  const Pattern v = paper::View11();
+  const auto e1 = MaterializeOne(paper::PDoc1(), "v", v);
+  const auto e2 = MaterializeOne(paper::PDoc2(), "v", v);
+  EXPECT_EQ(ToPText(e1.at("v"), /*with_pids=*/true),
+            ToPText(e2.at("v"), /*with_pids=*/true));
+}
+
+// Example 12's indistinguishability: (P̂3)_v = (P̂4)_v.
+TEST(ViewExtensionTest, Example12ExtensionsEqual) {
+  const Pattern v = paper::View12();
+  const auto e3 = MaterializeOne(paper::PDoc3(), "v", v);
+  const auto e4 = MaterializeOne(paper::PDoc4(), "v", v);
+  EXPECT_EQ(ToPText(e3.at("v"), /*with_pids=*/true),
+            ToPText(e4.at("v"), /*with_pids=*/true));
+}
+
+TEST(ViewExtensionTest, CopySemanticsFreshPidsKeepMarkers) {
+  const PDocument pd = paper::PDocPER();
+  ViewExtensionOptions options;
+  options.copy_semantics = true;
+  const auto exts = MaterializeOne(pd, "v1BON", paper::ViewV1BON(), options);
+  const PDocument& ext = exts.at("v1BON");
+  const auto roots = ExtensionResultRoots(ext);
+  ASSERT_EQ(roots.size(), 1u);
+  // Fresh (negative) pid, but the Id(5) marker still names the original.
+  EXPECT_LT(ext.pid(roots[0]), 0);
+  bool has_marker = false;
+  for (NodeId c : ext.children(roots[0])) {
+    if (ext.ordinary(c) && ext.label(c) == IdMarkerLabel(5)) has_marker = true;
+  }
+  EXPECT_TRUE(has_marker);
+}
+
+TEST(ViewExtensionTest, NoMarkersOption) {
+  const PDocument pd = paper::PDocPER();
+  ViewExtensionOptions options;
+  options.add_id_markers = false;
+  const auto exts = MaterializeOne(pd, "v1BON", paper::ViewV1BON(), options);
+  const PDocument& ext = exts.at("v1BON");
+  for (NodeId n = 0; n < ext.size(); ++n) {
+    if (ext.ordinary(n)) {
+      EXPECT_FALSE(IsIdMarkerLabel(ext.label(n)));
+    }
+  }
+}
+
+TEST(ViewExtensionTest, EmptyResultSet) {
+  const PDocument pd = paper::PDocPER();
+  const PDocument ext = BuildViewExtension(pd, "empty", {});
+  EXPECT_TRUE(ExtensionResultRoots(ext).empty());
+}
+
+TEST(ViewExtensionTest, NestedResultsShareStructure) {
+  // A view selecting both an ancestor and a descendant: both subtrees appear
+  // and the descendant's pid occurs twice (§3.1's multiple occurrences).
+  const PDocument pd = paper::PDoc3();
+  const auto exts = MaterializeOne(pd, "v", paper::View12());
+  const PDocument& ext = exts.at("v");
+  const auto roots = ExtensionResultRoots(ext);
+  ASSERT_EQ(roots.size(), 2u);
+  int occurrences = 0;
+  for (NodeId n = 0; n < ext.size(); ++n) {
+    if (ext.ordinary(n) && ext.pid(n) == paper::kPid12_C3) ++occurrences;
+  }
+  EXPECT_EQ(occurrences, 2);
+}
+
+TEST(ViewExtensionTest, ExtensionIsQueryableByPlan) {
+  // doc(v)/bonus over the v2BON extension retrieves both bonus subtrees.
+  const PDocument pd = paper::PDocPER();
+  const auto exts = MaterializeOne(pd, "v2BON", paper::ViewV2BON());
+  const Pattern plan = Tp("doc(v2BON)/bonus");
+  const auto results = EvaluateTP(exts.at("v2BON"), plan);
+  EXPECT_EQ(results.size(), 2u);
+}
+
+}  // namespace
+}  // namespace pxv

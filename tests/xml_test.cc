@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "xml/canonical.h"
+#include "xml/document.h"
+#include "xml/label.h"
+#include "xml/parser.h"
+
+namespace pxv {
+namespace {
+
+TEST(LabelTest, InternIsIdempotent) {
+  EXPECT_EQ(Intern("bonus"), Intern("bonus"));
+  EXPECT_NE(Intern("bonus"), Intern("laptop"));
+  EXPECT_EQ(LabelName(Intern("bonus")), "bonus");
+}
+
+TEST(LabelTest, IdMarker) {
+  const Label m = IdMarkerLabel(42);
+  EXPECT_EQ(LabelName(m), "Id(42)");
+  EXPECT_TRUE(IsIdMarkerLabel(m));
+  EXPECT_FALSE(IsIdMarkerLabel(Intern("Identify")));
+}
+
+TEST(LabelTest, DocLabel) {
+  EXPECT_EQ(LabelName(DocLabel("v1")), "doc(v1)");
+}
+
+TEST(DocumentTest, BuildAndNavigate) {
+  Document d;
+  const NodeId r = d.AddRoot(Intern("a"));
+  const NodeId b = d.AddChild(r, Intern("b"));
+  const NodeId c = d.AddChild(b, Intern("c"));
+  EXPECT_EQ(d.size(), 3);
+  EXPECT_EQ(d.root(), r);
+  EXPECT_EQ(d.parent(c), b);
+  EXPECT_EQ(d.Depth(r), 1);
+  EXPECT_EQ(d.Depth(c), 3);
+  EXPECT_TRUE(d.IsProperAncestor(r, c));
+  EXPECT_FALSE(d.IsProperAncestor(c, r));
+  EXPECT_FALSE(d.IsProperAncestor(b, b));
+}
+
+TEST(DocumentTest, DefaultPidsAreIndices) {
+  Document d;
+  d.AddRoot(Intern("a"));
+  const NodeId b = d.AddChild(0, Intern("b"));
+  EXPECT_EQ(d.pid(b), 1);
+  EXPECT_EQ(d.FindByPid(1), b);
+  EXPECT_EQ(d.FindByPid(99), kNullNode);
+}
+
+TEST(DocumentTest, SubtreePreservesPids) {
+  Document d;
+  const NodeId r = d.AddRoot(Intern("a"), 10);
+  const NodeId b = d.AddChild(r, Intern("b"), 20);
+  d.AddChild(b, Intern("c"), 30);
+  d.AddChild(r, Intern("x"), 40);
+  const Document sub = d.Subtree(b);
+  EXPECT_EQ(sub.size(), 2);
+  EXPECT_EQ(sub.pid(sub.root()), 20);
+  EXPECT_EQ(sub.FindByPid(30), 1);
+  EXPECT_EQ(sub.FindByPid(40), kNullNode);
+}
+
+TEST(DocumentTest, SubtreeNodesPreorder) {
+  Document d;
+  const NodeId r = d.AddRoot(Intern("a"));
+  const NodeId b = d.AddChild(r, Intern("b"));
+  d.AddChild(b, Intern("c"));
+  d.AddChild(r, Intern("d"));
+  const auto nodes = d.SubtreeNodes(r);
+  ASSERT_EQ(nodes.size(), 4u);
+  EXPECT_EQ(nodes[0], r);
+}
+
+TEST(TreeTextTest, ParseRoundTrip) {
+  const auto doc = ParseTreeText("a(b(c, d), e)");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->size(), 5);
+  EXPECT_EQ(ToTreeText(*doc), "a(b(c, d), e)");
+}
+
+TEST(TreeTextTest, ParsePids) {
+  const auto doc = ParseTreeText("bonus#5(laptop#24(44#25))");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->pid(doc->root()), 5);
+  EXPECT_NE(doc->FindByPid(25), kNullNode);
+  EXPECT_EQ(ToTreeText(*doc, /*with_pids=*/true), "bonus#5(laptop#24(44#25))");
+}
+
+TEST(TreeTextTest, QuotedLabels) {
+  const auto doc = ParseTreeText("\"a b\"(\"c,d\")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(LabelName(doc->label(doc->root())), "a b");
+  const auto round = ParseTreeText(ToTreeText(*doc));
+  ASSERT_TRUE(round.ok());
+  EXPECT_TRUE(Isomorphic(*doc, *round));
+}
+
+TEST(TreeTextTest, Errors) {
+  EXPECT_FALSE(ParseTreeText("").ok());
+  EXPECT_FALSE(ParseTreeText("a(b").ok());
+  EXPECT_FALSE(ParseTreeText("a)b").ok());
+  EXPECT_FALSE(ParseTreeText("a(b,)").ok());
+}
+
+TEST(XmlTest, ParseSimple) {
+  const auto doc = ParseXml("<a><b/><c>text</c></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->size(), 4);  // a, b, c, text.
+  EXPECT_EQ(LabelName(doc->label(doc->root())), "a");
+}
+
+TEST(XmlTest, RoundTrip) {
+  const auto doc = ParseTreeText("a(b(c), d)");
+  ASSERT_TRUE(doc.ok());
+  const auto round = ParseXml(ToXml(*doc));
+  ASSERT_TRUE(round.ok());
+  EXPECT_TRUE(Isomorphic(*doc, *round));
+}
+
+TEST(XmlTest, PidsViaAttributes) {
+  const auto doc = ParseTreeText("a#7(b#9)");
+  ASSERT_TRUE(doc.ok());
+  const auto round = ParseXml(ToXml(*doc, /*with_pids=*/true));
+  ASSERT_TRUE(round.ok());
+  EXPECT_TRUE(EqualWithPids(*doc, *round));
+}
+
+TEST(XmlTest, MismatchedClose) {
+  EXPECT_FALSE(ParseXml("<a><b></a></b>").ok());
+}
+
+TEST(CanonicalTest, OrderInvariance) {
+  const auto d1 = ParseTreeText("a(b, c(d, e))");
+  const auto d2 = ParseTreeText("a(c(e, d), b)");
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_TRUE(Isomorphic(*d1, *d2));
+  EXPECT_EQ(CanonicalHash(*d1), CanonicalHash(*d2));
+}
+
+TEST(CanonicalTest, DistinguishesStructure) {
+  const auto d1 = ParseTreeText("a(b(c))");
+  const auto d2 = ParseTreeText("a(b, c)");
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_FALSE(Isomorphic(*d1, *d2));
+}
+
+TEST(CanonicalTest, PidSensitivity) {
+  const auto d1 = ParseTreeText("a#1(b#2)");
+  const auto d2 = ParseTreeText("a#1(b#3)");
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_TRUE(Isomorphic(*d1, *d2));
+  EXPECT_FALSE(EqualWithPids(*d1, *d2));
+}
+
+TEST(CanonicalTest, SubtreeCanonical) {
+  const auto d = ParseTreeText("a(b(x), c(x))");
+  ASSERT_TRUE(d.ok());
+  const auto kids = d->children(d->root());
+  EXPECT_NE(CanonicalString(*d, kids[0]), CanonicalString(*d, kids[1]));
+}
+
+}  // namespace
+}  // namespace pxv

@@ -1,0 +1,171 @@
+// pxvq — command-line front end for the library.
+//
+//   pxvq eval    <pdoc-file> <query>                 q(P̂) with probabilities
+//   pxvq worlds  <pdoc-file> [max]                   enumerate ⟦P̂⟧
+//   pxvq answer  <pdoc-file> <query> name=def ...    answer q from views only
+//   pxvq rewrite <query> name=def ...                decide rewritability
+//
+// p-Document files use the text notation of pxml/parser.h, e.g.
+//   a(mux(b(c)@0.25, d@0.5), ind(e@0.75), f)
+// Queries and views use XPath notation, e.g. a//b[c]/d.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "prob/query_eval.h"
+#include "pxml/parser.h"
+#include "pxml/worlds.h"
+#include "rewrite/rewriter.h"
+#include "tp/parser.h"
+#include "xml/parser.h"
+
+using namespace pxv;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  pxvq eval    <pdoc-file> <query>\n"
+               "  pxvq worlds  <pdoc-file> [max]\n"
+               "  pxvq answer  <pdoc-file> <query> name=def [name=def ...]\n"
+               "  pxvq rewrite <query> name=def [name=def ...]\n");
+  return 2;
+}
+
+StatusOr<PDocument> LoadPDoc(const char* path) {
+  std::ifstream in(path);
+  if (!in) return Status::Error(std::string("cannot open ") + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return ParsePDocument(buf.str());
+}
+
+bool ParseNamedView(const std::string& arg, Rewriter* rewriter) {
+  const size_t eq = arg.find('=');
+  if (eq == std::string::npos) return false;
+  const auto def = ParsePattern(arg.substr(eq + 1));
+  if (!def.ok()) {
+    std::fprintf(stderr, "bad view '%s': %s\n", arg.c_str(),
+                 def.status().message().c_str());
+    return false;
+  }
+  rewriter->AddView(arg.substr(0, eq), *def);
+  return true;
+}
+
+int CmdEval(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const auto pd = LoadPDoc(argv[2]);
+  if (!pd.ok()) {
+    std::fprintf(stderr, "%s\n", pd.status().message().c_str());
+    return 1;
+  }
+  const auto q = ParsePattern(argv[3]);
+  if (!q.ok()) {
+    std::fprintf(stderr, "bad query: %s\n", q.status().message().c_str());
+    return 1;
+  }
+  for (const NodeProb& np : EvaluateTP(*pd, *q)) {
+    std::printf("pid=%lld  Pr=%.10g\n",
+                static_cast<long long>(pd->pid(np.node)), np.prob);
+  }
+  return 0;
+}
+
+int CmdWorlds(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const auto pd = LoadPDoc(argv[2]);
+  if (!pd.ok()) {
+    std::fprintf(stderr, "%s\n", pd.status().message().c_str());
+    return 1;
+  }
+  const int max = argc > 3 ? std::atoi(argv[3]) : 1000;
+  const auto worlds = EnumerateWorlds(*pd, max);
+  if (!worlds.ok()) {
+    std::fprintf(stderr, "%s\n", worlds.status().message().c_str());
+    return 1;
+  }
+  for (const World& w : *worlds) {
+    std::printf("%.10g\t%s\n", w.prob, ToTreeText(w.doc).c_str());
+  }
+  return 0;
+}
+
+int CmdAnswer(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  const auto pd = LoadPDoc(argv[2]);
+  if (!pd.ok()) {
+    std::fprintf(stderr, "%s\n", pd.status().message().c_str());
+    return 1;
+  }
+  const auto q = ParsePattern(argv[3]);
+  if (!q.ok()) {
+    std::fprintf(stderr, "bad query: %s\n", q.status().message().c_str());
+    return 1;
+  }
+  Rewriter rewriter;
+  for (int i = 4; i < argc; ++i) {
+    if (!ParseNamedView(argv[i], &rewriter)) return Usage();
+  }
+  const ViewExtensions exts = rewriter.Materialize(*pd);
+  const auto answer = rewriter.Answer(*q, exts);
+  if (!answer.has_value()) {
+    std::fprintf(stderr,
+                 "no probabilistic rewriting exists over these views\n");
+    return 3;
+  }
+  for (const PidProb& pp : *answer) {
+    std::printf("pid=%lld  Pr=%.10g\n", static_cast<long long>(pp.pid),
+                pp.prob);
+  }
+  return 0;
+}
+
+int CmdRewrite(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const auto q = ParsePattern(argv[2]);
+  if (!q.ok()) {
+    std::fprintf(stderr, "bad query: %s\n", q.status().message().c_str());
+    return 1;
+  }
+  Rewriter rewriter;
+  for (int i = 3; i < argc; ++i) {
+    if (!ParseNamedView(argv[i], &rewriter)) return Usage();
+  }
+  const auto tp = rewriter.FindTp(*q);
+  for (const TpRewriting& rw : tp) {
+    std::printf("TP  via %-12s %s  %s\n", rw.view_name.c_str(),
+                ToXPath(rw.plan).c_str(),
+                rw.restricted ? "[restricted]" : "[unrestricted]");
+  }
+  const auto tpi = rewriter.FindTpi(*q);
+  if (tpi.has_value()) {
+    std::printf("TP∩ canonical plan, %zu members, exponents:",
+                tpi->members.size());
+    for (const Rational& c : tpi->coefficients) {
+      std::printf(" %s", c.ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  if (tp.empty() && !tpi.has_value()) {
+    std::printf("no probabilistic rewriting\n");
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "eval") return CmdEval(argc, argv);
+  if (cmd == "worlds") return CmdWorlds(argc, argv);
+  if (cmd == "answer") return CmdAnswer(argc, argv);
+  if (cmd == "rewrite") return CmdRewrite(argc, argv);
+  return Usage();
+}
