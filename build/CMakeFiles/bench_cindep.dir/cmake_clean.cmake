@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cindep.dir/bench/bench_cindep.cc.o"
+  "CMakeFiles/bench_cindep.dir/bench/bench_cindep.cc.o.d"
+  "bench_cindep"
+  "bench_cindep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cindep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fr_eval.dir/bench/bench_fr_eval.cc.o"
+  "CMakeFiles/bench_fr_eval.dir/bench/bench_fr_eval.cc.o.d"
+  "bench_fr_eval"
+  "bench_fr_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fr_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

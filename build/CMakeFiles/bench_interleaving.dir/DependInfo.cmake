@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_interleaving.cc" "CMakeFiles/bench_interleaving.dir/bench/bench_interleaving.cc.o" "gcc" "CMakeFiles/bench_interleaving.dir/bench/bench_interleaving.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/pxv_gen.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_prob.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_pxml.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_tpi.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_tp.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_xml.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rewrite_speedup.dir/bench/bench_rewrite_speedup.cc.o"
+  "CMakeFiles/bench_rewrite_speedup.dir/bench/bench_rewrite_speedup.cc.o.d"
+  "bench_rewrite_speedup"
+  "bench_rewrite_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rewrite_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

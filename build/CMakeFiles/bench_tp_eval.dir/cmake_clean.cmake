@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tp_eval.dir/bench/bench_tp_eval.cc.o"
+  "CMakeFiles/bench_tp_eval.dir/bench/bench_tp_eval.cc.o.d"
+  "bench_tp_eval"
+  "bench_tp_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tp_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

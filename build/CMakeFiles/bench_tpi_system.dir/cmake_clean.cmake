@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpi_system.dir/bench/bench_tpi_system.cc.o"
+  "CMakeFiles/bench_tpi_system.dir/bench/bench_tpi_system.cc.o.d"
+  "bench_tpi_system"
+  "bench_tpi_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpi_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tprewrite.dir/bench/bench_tprewrite.cc.o"
+  "CMakeFiles/bench_tprewrite.dir/bench/bench_tprewrite.cc.o.d"
+  "bench_tprewrite"
+  "bench_tprewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tprewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cindep_test.dir/tests/cindep_test.cc.o"
+  "CMakeFiles/cindep_test.dir/tests/cindep_test.cc.o.d"
+  "cindep_test"
+  "cindep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cindep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

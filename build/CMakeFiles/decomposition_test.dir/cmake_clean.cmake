@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decomposition_test.dir/tests/decomposition_test.cc.o"
+  "CMakeFiles/decomposition_test.dir/tests/decomposition_test.cc.o.d"
+  "decomposition_test"
+  "decomposition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decomposition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

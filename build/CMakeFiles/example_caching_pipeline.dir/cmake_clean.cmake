@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_caching_pipeline.dir/examples/caching_pipeline.cpp.o"
+  "CMakeFiles/example_caching_pipeline.dir/examples/caching_pipeline.cpp.o.d"
+  "example_caching_pipeline"
+  "example_caching_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_caching_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_view_intersection.dir/examples/multi_view_intersection.cpp.o"
+  "CMakeFiles/example_multi_view_intersection.dir/examples/multi_view_intersection.cpp.o.d"
+  "example_multi_view_intersection"
+  "example_multi_view_intersection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_view_intersection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

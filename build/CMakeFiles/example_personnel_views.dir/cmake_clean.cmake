@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_personnel_views.dir/examples/personnel_views.cpp.o"
+  "CMakeFiles/example_personnel_views.dir/examples/personnel_views.cpp.o.d"
+  "example_personnel_views"
+  "example_personnel_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_personnel_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

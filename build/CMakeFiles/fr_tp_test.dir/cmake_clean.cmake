@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fr_tp_test.dir/tests/fr_tp_test.cc.o"
+  "CMakeFiles/fr_tp_test.dir/tests/fr_tp_test.cc.o.d"
+  "fr_tp_test"
+  "fr_tp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fr_tp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prob_eval_test.dir/tests/prob_eval_test.cc.o"
+  "CMakeFiles/prob_eval_test.dir/tests/prob_eval_test.cc.o.d"
+  "prob_eval_test"
+  "prob_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prob_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

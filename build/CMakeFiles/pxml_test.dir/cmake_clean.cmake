@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pxml_test.dir/tests/pxml_test.cc.o"
+  "CMakeFiles/pxml_test.dir/tests/pxml_test.cc.o.d"
+  "pxml_test"
+  "pxml_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pxml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

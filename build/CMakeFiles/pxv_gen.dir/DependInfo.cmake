@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/docgen.cc" "CMakeFiles/pxv_gen.dir/src/gen/docgen.cc.o" "gcc" "CMakeFiles/pxv_gen.dir/src/gen/docgen.cc.o.d"
+  "/root/repo/src/gen/matching.cc" "CMakeFiles/pxv_gen.dir/src/gen/matching.cc.o" "gcc" "CMakeFiles/pxv_gen.dir/src/gen/matching.cc.o.d"
+  "/root/repo/src/gen/paper.cc" "CMakeFiles/pxv_gen.dir/src/gen/paper.cc.o" "gcc" "CMakeFiles/pxv_gen.dir/src/gen/paper.cc.o.d"
+  "/root/repo/src/gen/querygen.cc" "CMakeFiles/pxv_gen.dir/src/gen/querygen.cc.o" "gcc" "CMakeFiles/pxv_gen.dir/src/gen/querygen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/pxv_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_prob.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_pxml.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_tpi.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_tp.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_xml.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pxv_gen.dir/src/gen/docgen.cc.o"
+  "CMakeFiles/pxv_gen.dir/src/gen/docgen.cc.o.d"
+  "CMakeFiles/pxv_gen.dir/src/gen/matching.cc.o"
+  "CMakeFiles/pxv_gen.dir/src/gen/matching.cc.o.d"
+  "CMakeFiles/pxv_gen.dir/src/gen/paper.cc.o"
+  "CMakeFiles/pxv_gen.dir/src/gen/paper.cc.o.d"
+  "CMakeFiles/pxv_gen.dir/src/gen/querygen.cc.o"
+  "CMakeFiles/pxv_gen.dir/src/gen/querygen.cc.o.d"
+  "libpxv_gen.a"
+  "libpxv_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pxv_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

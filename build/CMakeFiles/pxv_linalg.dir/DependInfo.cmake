@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/matrix.cc" "CMakeFiles/pxv_linalg.dir/src/linalg/matrix.cc.o" "gcc" "CMakeFiles/pxv_linalg.dir/src/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/rational.cc" "CMakeFiles/pxv_linalg.dir/src/linalg/rational.cc.o" "gcc" "CMakeFiles/pxv_linalg.dir/src/linalg/rational.cc.o.d"
+  "/root/repo/src/linalg/solver.cc" "CMakeFiles/pxv_linalg.dir/src/linalg/solver.cc.o" "gcc" "CMakeFiles/pxv_linalg.dir/src/linalg/solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/pxv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

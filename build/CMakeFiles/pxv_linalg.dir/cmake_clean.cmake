@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pxv_linalg.dir/src/linalg/matrix.cc.o"
+  "CMakeFiles/pxv_linalg.dir/src/linalg/matrix.cc.o.d"
+  "CMakeFiles/pxv_linalg.dir/src/linalg/rational.cc.o"
+  "CMakeFiles/pxv_linalg.dir/src/linalg/rational.cc.o.d"
+  "CMakeFiles/pxv_linalg.dir/src/linalg/solver.cc.o"
+  "CMakeFiles/pxv_linalg.dir/src/linalg/solver.cc.o.d"
+  "libpxv_linalg.a"
+  "libpxv_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pxv_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prob/appearance.cc" "CMakeFiles/pxv_prob.dir/src/prob/appearance.cc.o" "gcc" "CMakeFiles/pxv_prob.dir/src/prob/appearance.cc.o.d"
+  "/root/repo/src/prob/engine.cc" "CMakeFiles/pxv_prob.dir/src/prob/engine.cc.o" "gcc" "CMakeFiles/pxv_prob.dir/src/prob/engine.cc.o.d"
+  "/root/repo/src/prob/naive.cc" "CMakeFiles/pxv_prob.dir/src/prob/naive.cc.o" "gcc" "CMakeFiles/pxv_prob.dir/src/prob/naive.cc.o.d"
+  "/root/repo/src/prob/query_eval.cc" "CMakeFiles/pxv_prob.dir/src/prob/query_eval.cc.o" "gcc" "CMakeFiles/pxv_prob.dir/src/prob/query_eval.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/pxv_pxml.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_tp.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_tpi.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_xml.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

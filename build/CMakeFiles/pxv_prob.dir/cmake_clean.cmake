@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pxv_prob.dir/src/prob/appearance.cc.o"
+  "CMakeFiles/pxv_prob.dir/src/prob/appearance.cc.o.d"
+  "CMakeFiles/pxv_prob.dir/src/prob/engine.cc.o"
+  "CMakeFiles/pxv_prob.dir/src/prob/engine.cc.o.d"
+  "CMakeFiles/pxv_prob.dir/src/prob/naive.cc.o"
+  "CMakeFiles/pxv_prob.dir/src/prob/naive.cc.o.d"
+  "CMakeFiles/pxv_prob.dir/src/prob/query_eval.cc.o"
+  "CMakeFiles/pxv_prob.dir/src/prob/query_eval.cc.o.d"
+  "libpxv_prob.a"
+  "libpxv_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pxv_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

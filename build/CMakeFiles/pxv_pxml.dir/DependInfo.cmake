@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pxml/parser.cc" "CMakeFiles/pxv_pxml.dir/src/pxml/parser.cc.o" "gcc" "CMakeFiles/pxv_pxml.dir/src/pxml/parser.cc.o.d"
+  "/root/repo/src/pxml/pdocument.cc" "CMakeFiles/pxv_pxml.dir/src/pxml/pdocument.cc.o" "gcc" "CMakeFiles/pxv_pxml.dir/src/pxml/pdocument.cc.o.d"
+  "/root/repo/src/pxml/sampler.cc" "CMakeFiles/pxv_pxml.dir/src/pxml/sampler.cc.o" "gcc" "CMakeFiles/pxv_pxml.dir/src/pxml/sampler.cc.o.d"
+  "/root/repo/src/pxml/view_extension.cc" "CMakeFiles/pxv_pxml.dir/src/pxml/view_extension.cc.o" "gcc" "CMakeFiles/pxv_pxml.dir/src/pxml/view_extension.cc.o.d"
+  "/root/repo/src/pxml/worlds.cc" "CMakeFiles/pxv_pxml.dir/src/pxml/worlds.cc.o" "gcc" "CMakeFiles/pxv_pxml.dir/src/pxml/worlds.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/pxv_xml.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

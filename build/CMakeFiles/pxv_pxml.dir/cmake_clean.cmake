@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pxv_pxml.dir/src/pxml/parser.cc.o"
+  "CMakeFiles/pxv_pxml.dir/src/pxml/parser.cc.o.d"
+  "CMakeFiles/pxv_pxml.dir/src/pxml/pdocument.cc.o"
+  "CMakeFiles/pxv_pxml.dir/src/pxml/pdocument.cc.o.d"
+  "CMakeFiles/pxv_pxml.dir/src/pxml/sampler.cc.o"
+  "CMakeFiles/pxv_pxml.dir/src/pxml/sampler.cc.o.d"
+  "CMakeFiles/pxv_pxml.dir/src/pxml/view_extension.cc.o"
+  "CMakeFiles/pxv_pxml.dir/src/pxml/view_extension.cc.o.d"
+  "CMakeFiles/pxv_pxml.dir/src/pxml/worlds.cc.o"
+  "CMakeFiles/pxv_pxml.dir/src/pxml/worlds.cc.o.d"
+  "libpxv_pxml.a"
+  "libpxv_pxml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pxv_pxml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rewrite/cindependence.cc" "CMakeFiles/pxv_rewrite.dir/src/rewrite/cindependence.cc.o" "gcc" "CMakeFiles/pxv_rewrite.dir/src/rewrite/cindependence.cc.o.d"
+  "/root/repo/src/rewrite/decomposition.cc" "CMakeFiles/pxv_rewrite.dir/src/rewrite/decomposition.cc.o" "gcc" "CMakeFiles/pxv_rewrite.dir/src/rewrite/decomposition.cc.o.d"
+  "/root/repo/src/rewrite/fr_tp.cc" "CMakeFiles/pxv_rewrite.dir/src/rewrite/fr_tp.cc.o" "gcc" "CMakeFiles/pxv_rewrite.dir/src/rewrite/fr_tp.cc.o.d"
+  "/root/repo/src/rewrite/rewriter.cc" "CMakeFiles/pxv_rewrite.dir/src/rewrite/rewriter.cc.o" "gcc" "CMakeFiles/pxv_rewrite.dir/src/rewrite/rewriter.cc.o.d"
+  "/root/repo/src/rewrite/tp_rewrite.cc" "CMakeFiles/pxv_rewrite.dir/src/rewrite/tp_rewrite.cc.o" "gcc" "CMakeFiles/pxv_rewrite.dir/src/rewrite/tp_rewrite.cc.o.d"
+  "/root/repo/src/rewrite/tpi_rewrite.cc" "CMakeFiles/pxv_rewrite.dir/src/rewrite/tpi_rewrite.cc.o" "gcc" "CMakeFiles/pxv_rewrite.dir/src/rewrite/tpi_rewrite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/pxv_prob.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_pxml.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_tpi.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_tp.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_xml.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pxv_rewrite.dir/src/rewrite/cindependence.cc.o"
+  "CMakeFiles/pxv_rewrite.dir/src/rewrite/cindependence.cc.o.d"
+  "CMakeFiles/pxv_rewrite.dir/src/rewrite/decomposition.cc.o"
+  "CMakeFiles/pxv_rewrite.dir/src/rewrite/decomposition.cc.o.d"
+  "CMakeFiles/pxv_rewrite.dir/src/rewrite/fr_tp.cc.o"
+  "CMakeFiles/pxv_rewrite.dir/src/rewrite/fr_tp.cc.o.d"
+  "CMakeFiles/pxv_rewrite.dir/src/rewrite/rewriter.cc.o"
+  "CMakeFiles/pxv_rewrite.dir/src/rewrite/rewriter.cc.o.d"
+  "CMakeFiles/pxv_rewrite.dir/src/rewrite/tp_rewrite.cc.o"
+  "CMakeFiles/pxv_rewrite.dir/src/rewrite/tp_rewrite.cc.o.d"
+  "CMakeFiles/pxv_rewrite.dir/src/rewrite/tpi_rewrite.cc.o"
+  "CMakeFiles/pxv_rewrite.dir/src/rewrite/tpi_rewrite.cc.o.d"
+  "libpxv_rewrite.a"
+  "libpxv_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pxv_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tp/containment.cc" "CMakeFiles/pxv_tp.dir/src/tp/containment.cc.o" "gcc" "CMakeFiles/pxv_tp.dir/src/tp/containment.cc.o.d"
+  "/root/repo/src/tp/eval.cc" "CMakeFiles/pxv_tp.dir/src/tp/eval.cc.o" "gcc" "CMakeFiles/pxv_tp.dir/src/tp/eval.cc.o.d"
+  "/root/repo/src/tp/minimize.cc" "CMakeFiles/pxv_tp.dir/src/tp/minimize.cc.o" "gcc" "CMakeFiles/pxv_tp.dir/src/tp/minimize.cc.o.d"
+  "/root/repo/src/tp/ops.cc" "CMakeFiles/pxv_tp.dir/src/tp/ops.cc.o" "gcc" "CMakeFiles/pxv_tp.dir/src/tp/ops.cc.o.d"
+  "/root/repo/src/tp/parser.cc" "CMakeFiles/pxv_tp.dir/src/tp/parser.cc.o" "gcc" "CMakeFiles/pxv_tp.dir/src/tp/parser.cc.o.d"
+  "/root/repo/src/tp/pattern.cc" "CMakeFiles/pxv_tp.dir/src/tp/pattern.cc.o" "gcc" "CMakeFiles/pxv_tp.dir/src/tp/pattern.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/pxv_xml.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

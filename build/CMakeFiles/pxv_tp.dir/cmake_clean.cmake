@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pxv_tp.dir/src/tp/containment.cc.o"
+  "CMakeFiles/pxv_tp.dir/src/tp/containment.cc.o.d"
+  "CMakeFiles/pxv_tp.dir/src/tp/eval.cc.o"
+  "CMakeFiles/pxv_tp.dir/src/tp/eval.cc.o.d"
+  "CMakeFiles/pxv_tp.dir/src/tp/minimize.cc.o"
+  "CMakeFiles/pxv_tp.dir/src/tp/minimize.cc.o.d"
+  "CMakeFiles/pxv_tp.dir/src/tp/ops.cc.o"
+  "CMakeFiles/pxv_tp.dir/src/tp/ops.cc.o.d"
+  "CMakeFiles/pxv_tp.dir/src/tp/parser.cc.o"
+  "CMakeFiles/pxv_tp.dir/src/tp/parser.cc.o.d"
+  "CMakeFiles/pxv_tp.dir/src/tp/pattern.cc.o"
+  "CMakeFiles/pxv_tp.dir/src/tp/pattern.cc.o.d"
+  "libpxv_tp.a"
+  "libpxv_tp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pxv_tp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

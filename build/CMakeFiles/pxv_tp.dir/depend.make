@@ -1,0 +1,2 @@
+# Empty dependencies file for pxv_tp.
+# This may be replaced when dependencies are built.

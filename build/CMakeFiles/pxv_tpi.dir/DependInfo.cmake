@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpi/equivalence.cc" "CMakeFiles/pxv_tpi.dir/src/tpi/equivalence.cc.o" "gcc" "CMakeFiles/pxv_tpi.dir/src/tpi/equivalence.cc.o.d"
+  "/root/repo/src/tpi/eval.cc" "CMakeFiles/pxv_tpi.dir/src/tpi/eval.cc.o" "gcc" "CMakeFiles/pxv_tpi.dir/src/tpi/eval.cc.o.d"
+  "/root/repo/src/tpi/interleaving.cc" "CMakeFiles/pxv_tpi.dir/src/tpi/interleaving.cc.o" "gcc" "CMakeFiles/pxv_tpi.dir/src/tpi/interleaving.cc.o.d"
+  "/root/repo/src/tpi/intersection.cc" "CMakeFiles/pxv_tpi.dir/src/tpi/intersection.cc.o" "gcc" "CMakeFiles/pxv_tpi.dir/src/tpi/intersection.cc.o.d"
+  "/root/repo/src/tpi/skeleton.cc" "CMakeFiles/pxv_tpi.dir/src/tpi/skeleton.cc.o" "gcc" "CMakeFiles/pxv_tpi.dir/src/tpi/skeleton.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/pxv_tp.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_xml.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/pxv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pxv_tpi.dir/src/tpi/equivalence.cc.o"
+  "CMakeFiles/pxv_tpi.dir/src/tpi/equivalence.cc.o.d"
+  "CMakeFiles/pxv_tpi.dir/src/tpi/eval.cc.o"
+  "CMakeFiles/pxv_tpi.dir/src/tpi/eval.cc.o.d"
+  "CMakeFiles/pxv_tpi.dir/src/tpi/interleaving.cc.o"
+  "CMakeFiles/pxv_tpi.dir/src/tpi/interleaving.cc.o.d"
+  "CMakeFiles/pxv_tpi.dir/src/tpi/intersection.cc.o"
+  "CMakeFiles/pxv_tpi.dir/src/tpi/intersection.cc.o.d"
+  "CMakeFiles/pxv_tpi.dir/src/tpi/skeleton.cc.o"
+  "CMakeFiles/pxv_tpi.dir/src/tpi/skeleton.cc.o.d"
+  "libpxv_tpi.a"
+  "libpxv_tpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pxv_tpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

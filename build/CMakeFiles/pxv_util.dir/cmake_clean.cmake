@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pxv_util.dir/src/util/random.cc.o"
+  "CMakeFiles/pxv_util.dir/src/util/random.cc.o.d"
+  "CMakeFiles/pxv_util.dir/src/util/strings.cc.o"
+  "CMakeFiles/pxv_util.dir/src/util/strings.cc.o.d"
+  "libpxv_util.a"
+  "libpxv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pxv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/canonical.cc" "CMakeFiles/pxv_xml.dir/src/xml/canonical.cc.o" "gcc" "CMakeFiles/pxv_xml.dir/src/xml/canonical.cc.o.d"
+  "/root/repo/src/xml/document.cc" "CMakeFiles/pxv_xml.dir/src/xml/document.cc.o" "gcc" "CMakeFiles/pxv_xml.dir/src/xml/document.cc.o.d"
+  "/root/repo/src/xml/label.cc" "CMakeFiles/pxv_xml.dir/src/xml/label.cc.o" "gcc" "CMakeFiles/pxv_xml.dir/src/xml/label.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "CMakeFiles/pxv_xml.dir/src/xml/parser.cc.o" "gcc" "CMakeFiles/pxv_xml.dir/src/xml/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/pxv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

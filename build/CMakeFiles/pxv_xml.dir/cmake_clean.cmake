@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pxv_xml.dir/src/xml/canonical.cc.o"
+  "CMakeFiles/pxv_xml.dir/src/xml/canonical.cc.o.d"
+  "CMakeFiles/pxv_xml.dir/src/xml/document.cc.o"
+  "CMakeFiles/pxv_xml.dir/src/xml/document.cc.o.d"
+  "CMakeFiles/pxv_xml.dir/src/xml/label.cc.o"
+  "CMakeFiles/pxv_xml.dir/src/xml/label.cc.o.d"
+  "CMakeFiles/pxv_xml.dir/src/xml/parser.cc.o"
+  "CMakeFiles/pxv_xml.dir/src/xml/parser.cc.o.d"
+  "libpxv_xml.a"
+  "libpxv_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pxv_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pxvq.dir/tools/pxvq.cc.o"
+  "CMakeFiles/pxvq.dir/tools/pxvq.cc.o.d"
+  "pxvq"
+  "pxvq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pxvq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_containment_test.dir/tests/tp_containment_test.cc.o"
+  "CMakeFiles/tp_containment_test.dir/tests/tp_containment_test.cc.o.d"
+  "tp_containment_test"
+  "tp_containment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_containment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

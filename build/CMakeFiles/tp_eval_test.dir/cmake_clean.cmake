@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_eval_test.dir/tests/tp_eval_test.cc.o"
+  "CMakeFiles/tp_eval_test.dir/tests/tp_eval_test.cc.o.d"
+  "tp_eval_test"
+  "tp_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_ops_test.dir/tests/tp_ops_test.cc.o"
+  "CMakeFiles/tp_ops_test.dir/tests/tp_ops_test.cc.o.d"
+  "tp_ops_test"
+  "tp_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

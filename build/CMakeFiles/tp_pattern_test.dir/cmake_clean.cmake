@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_pattern_test.dir/tests/tp_pattern_test.cc.o"
+  "CMakeFiles/tp_pattern_test.dir/tests/tp_pattern_test.cc.o.d"
+  "tp_pattern_test"
+  "tp_pattern_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_rewrite_test.dir/tests/tp_rewrite_test.cc.o"
+  "CMakeFiles/tp_rewrite_test.dir/tests/tp_rewrite_test.cc.o.d"
+  "tp_rewrite_test"
+  "tp_rewrite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_rewrite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpi_test.dir/tests/tpi_test.cc.o"
+  "CMakeFiles/tpi_test.dir/tests/tpi_test.cc.o.d"
+  "tpi_test"
+  "tpi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

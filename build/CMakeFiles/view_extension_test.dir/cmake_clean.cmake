@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_extension_test.dir/tests/view_extension_test.cc.o"
+  "CMakeFiles/view_extension_test.dir/tests/view_extension_test.cc.o.d"
+  "view_extension_test"
+  "view_extension_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_extension_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
