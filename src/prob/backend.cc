@@ -1,0 +1,52 @@
+#include "prob/backend.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "prob/naive.h"
+
+namespace pxv {
+namespace {
+
+Status DeclineTooLarge(const char* what, int slots) {
+  return Status::Error(std::string("exact-dp declines: ") + what + " needs " +
+                       std::to_string(slots) + " slots, cap is " +
+                       std::to_string(kMaxConjunctionSlots));
+}
+
+}  // namespace
+
+StatusOr<double> ExactDpBackend::Conjunction(const PDocument& pd,
+                                             const std::vector<Goal>& goals) {
+  const int slots = ConjunctionSlotCount(goals);
+  if (slots > kMaxConjunctionSlots) return DeclineTooLarge("conjunction", slots);
+  return ConjunctionProbability(pd, goals);
+}
+
+StatusOr<std::vector<NodeProb>> ExactDpBackend::BatchAnchored(
+    const PDocument& pd, const std::vector<const Pattern*>& members) {
+  const int slots = BatchSlotCount(members);
+  if (slots > kMaxConjunctionSlots) return DeclineTooLarge("batch", slots);
+  return BatchAnchoredProbabilities(pd, members);
+}
+
+StatusOr<double> NaiveBackend::Conjunction(const PDocument& pd,
+                                           const std::vector<Goal>& goals) {
+  return NaiveTryConjunction(pd, goals, max_worlds_);
+}
+
+StatusOr<std::vector<NodeProb>> NaiveBackend::BatchAnchored(
+    const PDocument& pd, const std::vector<const Pattern*>& members) {
+  StatusOr<std::map<NodeId, double>> by_node =
+      NaiveTryBatchAnchored(pd, members, max_worlds_);
+  if (!by_node.ok()) return by_node.status();
+  std::vector<NodeProb> out;
+  out.reserve(by_node->size());
+  for (const auto& [n, p] : *by_node) {
+    if (p > 0) out.push_back({n, p});
+  }
+  return out;
+}
+
+}  // namespace pxv

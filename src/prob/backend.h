@@ -1,0 +1,72 @@
+// The ProbBackend seam: every probability the query-evaluation and rewriting
+// layers need is served by a backend, so the exact DP engine, the naive
+// possible-world oracle, and any future implementation (cached, sharded,
+// remote) are interchangeable behind one interface. A backend may *decline*
+// a call (error Status) when it falls outside its tractable range — the
+// exact DP declines conjunctions whose packed state exceeds the slot cap,
+// the naive oracle declines p-documents whose px-space explodes — and
+// EvalSession falls back to the next backend in its chain.
+
+#ifndef PXV_PROB_BACKEND_H_
+#define PXV_PROB_BACKEND_H_
+
+#include <vector>
+
+#include "prob/engine.h"
+#include "pxml/pdocument.h"
+#include "util/status.h"
+
+namespace pxv {
+
+/// Abstract probability computation over one p-document.
+class ProbBackend {
+ public:
+  virtual ~ProbBackend() = default;
+
+  /// Stable identifier for diagnostics ("exact-dp", "naive").
+  virtual const char* name() const = 0;
+
+  /// Pr(every goal embeds into a random world, respecting anchors).
+  virtual StatusOr<double> Conjunction(const PDocument& pd,
+                                       const std::vector<Goal>& goals) = 0;
+
+  /// Pr(n ∈ (m1 ∩ … ∩ mk)(P)) for every candidate node n, ascending node
+  /// id, zero-probability entries omitted.
+  virtual StatusOr<std::vector<NodeProb>> BatchAnchored(
+      const PDocument& pd, const std::vector<const Pattern*>& members) = 0;
+};
+
+/// Exact bottom-up DP (prob/engine): PTime in |P̂|, exponential in query
+/// size. Declines when the conjunction needs more than
+/// kMaxConjunctionSlots packed DP slots.
+class ExactDpBackend : public ProbBackend {
+ public:
+  const char* name() const override { return "exact-dp"; }
+  StatusOr<double> Conjunction(const PDocument& pd,
+                               const std::vector<Goal>& goals) override;
+  StatusOr<std::vector<NodeProb>> BatchAnchored(
+      const PDocument& pd,
+      const std::vector<const Pattern*>& members) override;
+};
+
+/// Exhaustive possible-world enumeration (prob/naive): exact for any query
+/// size but exponential in the number of distributional nodes. Declines
+/// p-documents whose px-space exceeds `max_worlds`.
+class NaiveBackend : public ProbBackend {
+ public:
+  explicit NaiveBackend(int max_worlds = 1 << 16) : max_worlds_(max_worlds) {}
+
+  const char* name() const override { return "naive"; }
+  StatusOr<double> Conjunction(const PDocument& pd,
+                               const std::vector<Goal>& goals) override;
+  StatusOr<std::vector<NodeProb>> BatchAnchored(
+      const PDocument& pd,
+      const std::vector<const Pattern*>& members) override;
+
+ private:
+  int max_worlds_;
+};
+
+}  // namespace pxv
+
+#endif  // PXV_PROB_BACKEND_H_

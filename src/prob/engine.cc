@@ -1,26 +1,39 @@
 #include "prob/engine.h"
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "util/check.h"
 
 namespace pxv {
 namespace {
 
-// Packed (A, D) pair: 2 bits per global query node — bit 2i = "D" (embeds
-// at-or-below), bit 2i+1 = "A" (embeds exactly here); A implies D.
+// Packed (A, D) pair: 2 bits per query slot — bit 2i = "D" (embeds
+// at-or-below), bit 2i+1 = "A" (embeds exactly here); A implies D. Four
+// 64-bit words hold kMaxConjunctionSlots = 128 slots.
 struct StateKey {
-  uint64_t lo = 0, hi = 0;
-  bool operator==(const StateKey& o) const { return lo == o.lo && hi == o.hi; }
-  StateKey operator|(const StateKey& o) const { return {lo | o.lo, hi | o.hi}; }
+  std::array<uint64_t, 4> w{};
+
+  bool operator==(const StateKey& o) const { return w == o.w; }
+  StateKey operator|(const StateKey& o) const {
+    StateKey r;
+    for (int i = 0; i < 4; ++i) r.w[i] = w[i] | o.w[i];
+    return r;
+  }
+  bool IsEmpty() const { return (w[0] | w[1] | w[2] | w[3]) == 0; }
 };
 
 struct StateKeyHash {
   size_t operator()(const StateKey& k) const {
-    uint64_t x = k.lo * 0x9E3779B97F4A7C15ULL;
-    x ^= (k.hi + 0x9E3779B97F4A7C15ULL + (x << 6) + (x >> 2));
+    uint64_t x = 0x9E3779B97F4A7C15ULL;
+    for (uint64_t v : k.w) {
+      x ^= v + 0x9E3779B97F4A7C15ULL + (x << 6) + (x >> 2);
+      x *= 0xFF51AFD7ED558CCDULL;
+    }
     return static_cast<size_t>(x ^ (x >> 29));
   }
 };
@@ -28,54 +41,144 @@ struct StateKeyHash {
 using Dist = std::unordered_map<StateKey, double, StateKeyHash>;
 
 void SetBit(StateKey* k, int bit) {
-  if (bit < 64) {
-    k->lo |= (uint64_t{1} << bit);
-  } else {
-    k->hi |= (uint64_t{1} << (bit - 64));
-  }
+  k->w[bit >> 6] |= uint64_t{1} << (bit & 63);
 }
 
 bool GetBit(const StateKey& k, int bit) {
-  return bit < 64 ? (k.lo >> bit) & 1 : (k.hi >> (bit - 64)) & 1;
+  return (k.w[bit >> 6] >> (bit & 63)) & 1;
 }
+
+// Keeps the D bits (even positions), clears the A bits.
+StateKey DOnly(const StateKey& k) {
+  constexpr uint64_t kDMask = 0x5555555555555555ULL;
+  StateKey r;
+  for (int i = 0; i < 4; ++i) r.w[i] = k.w[i] & kDMask;
+  return r;
+}
+
+Dist Delta() { return Dist{{StateKey{}, 1.0}}; }
+
+Dist Convolve(const Dist& a, const Dist& b) {
+  if (a.size() == 1 && a.begin()->first.IsEmpty()) {
+    Dist out = b;
+    const double p = a.begin()->second;
+    if (p != 1.0) {
+      for (auto& [k, v] : out) v *= p;
+    }
+    return out;
+  }
+  if (b.size() == 1 && b.begin()->first.IsEmpty()) {
+    Dist out = a;
+    const double p = b.begin()->second;
+    if (p != 1.0) {
+      for (auto& [k, v] : out) v *= p;
+    }
+    return out;
+  }
+  Dist out;
+  out.reserve(a.size() * b.size());
+  for (const auto& [ka, pa] : a) {
+    for (const auto& [kb, pb] : b) {
+      out[ka | kb] += pa * pb;
+    }
+  }
+  return out;
+}
+
+void AddScaled(Dist* acc, const Dist& d, double p) {
+  for (const auto& [k, v] : d) (*acc)[k] += p * v;
+}
+
+void ScaleInPlace(Dist* d, double p) {
+  if (p == 1.0) return;
+  for (auto& [k, v] : *d) v *= p;
+}
+
+// The state a p-document region passes to its parent: the base (A, D)
+// distribution, plus one joint distribution per candidate anchor inside the
+// region whose keys additionally carry the starred main-branch bits pinning
+// the output mapping to that anchor.
+struct Region {
+  Dist base;
+  std::vector<std::pair<NodeId, Dist>> tracked;
+};
 
 class Engine {
  public:
-  Engine(const PDocument& pd, const std::vector<Goal>& goals) : pd_(pd) {
-    // Assign global query-node ids.
+  Engine(const PDocument& pd, const std::vector<Goal>& goals,
+         const std::vector<const Pattern*>& batch)
+      : pd_(pd), batch_count_(static_cast<int>(batch.size())) {
     int total = 0;
+    // Fixed-anchor / Boolean conjuncts: every pattern node is a base slot.
     for (const Goal& g : goals) {
       PXV_CHECK(g.pattern != nullptr);
-      offsets_.push_back(total);
-      total += g.pattern->size();
-    }
-    PXV_CHECK_LE(total, 64) << "conjunction too large for the packed DP";
-    qnodes_.resize(total);
-    for (size_t gi = 0; gi < goals.size(); ++gi) {
-      const Pattern& p = *goals[gi].pattern;
+      const Pattern& p = *g.pattern;
+      const int offset = total;
+      total += p.size();
+      PXV_CHECK_LE(total, kMaxConjunctionSlots)
+          << "conjunction too large for the packed DP";
+      qnodes_.resize(total);
       for (PNodeId n = 0; n < p.size(); ++n) {
-        QNode& qn = qnodes_[offsets_[gi] + n];
+        QNode& qn = qnodes_[offset + n];
         qn.label = p.label(n);
-        qn.anchored = (n == p.out()) && goals[gi].anchor != nullptr;
         for (PNodeId c : p.children(n)) {
           (p.axis(c) == Axis::kChild ? qn.slash_kids : qn.desc_kids)
-              .push_back(offsets_[gi] + c);
+              .push_back(offset + c);
         }
-        by_label_[qn.label].push_back(offsets_[gi] + n);
-        if (n == p.root()) root_qids_.push_back(offsets_[gi] + n);
+        by_label_[qn.label].push_back(offset + n);
+        if (n == p.root()) goal_root_slots_.push_back(offset + n);
       }
-      if (goals[gi].anchor != nullptr) {
+      if (g.anchor != nullptr) {
         anchor_sets_.emplace_back();
-        for (NodeId a : *goals[gi].anchor) anchor_sets_.back().insert(a);
-        anchor_of_[offsets_[gi] + p.out()] =
+        for (NodeId a : *g.anchor) anchor_sets_.back().insert(a);
+        anchor_of_[offset + p.out()] =
             static_cast<int>(anchor_sets_.size()) - 1;
       }
     }
+    // Batched members: predicate-subtree nodes are base slots; main-branch
+    // nodes are starred slots (match only along the pinned output chain);
+    // out itself is the pin slot, set exclusively at the tracked anchor.
+    for (const Pattern* pp : batch) {
+      PXV_CHECK(pp != nullptr);
+      const Pattern& p = *pp;
+      const int offset = total;
+      total += p.size();
+      PXV_CHECK_LE(total, kMaxConjunctionSlots)
+          << "batched conjunction too large for the packed DP";
+      qnodes_.resize(total);
+      std::vector<char> on_mb(p.size(), 0);
+      for (PNodeId n : p.MainBranch()) on_mb[n] = 1;
+      for (PNodeId n = 0; n < p.size(); ++n) {
+        QNode& qn = qnodes_[offset + n];
+        qn.label = p.label(n);
+        for (PNodeId c : p.children(n)) {
+          (p.axis(c) == Axis::kChild ? qn.slash_kids : qn.desc_kids)
+              .push_back(offset + c);
+        }
+        if (n == p.out()) {
+          pin_slots_.push_back(offset + n);
+        } else if (on_mb[n]) {
+          by_label_star_[qn.label].push_back(offset + n);
+        } else {
+          by_label_[qn.label].push_back(offset + n);
+        }
+        if (n == p.root()) batch_root_slots_.push_back(offset + n);
+      }
+      // All members must share the output label, or no candidate exists.
+      if (batch_out_label_set_ && batch_out_label_ != p.OutLabel()) {
+        batch_feasible_ = false;
+      }
+      batch_out_label_ = p.OutLabel();
+      batch_out_label_set_ = true;
+    }
     // Label-relevance pruning: a p-document subtree without any query label
-    // contributes the empty state with probability 1.
+    // contributes the empty state with probability 1 and holds no anchors
+    // (the output label is itself a query label).
+    std::unordered_set<Label> qlabels;
+    for (const QNode& qn : qnodes_) qlabels.insert(qn.label);
     relevant_.assign(pd.size(), 0);
     for (NodeId n = pd.size() - 1; n >= 0; --n) {
-      bool rel = pd.ordinary(n) && by_label_.count(pd.label(n)) > 0;
+      bool rel = pd.ordinary(n) && qlabels.count(pd.label(n)) > 0;
       if (!rel) {
         for (NodeId c : pd.children(n)) {
           if (relevant_[c]) {
@@ -89,44 +192,88 @@ class Engine {
   }
 
   double Probability() {
-    Dist root = NodeDist(pd_.root());
+    PXV_CHECK_EQ(batch_count_, 0) << "use BatchResults for batched members";
+    Region root = NodeDist(pd_.root());
     double p = 0;
-    for (const auto& [key, prob] : root) {
-      bool all = true;
-      for (int qid : root_qids_) {
-        if (!GetBit(key, 2 * qid + 1)) {
-          all = false;
-          break;
-        }
-      }
-      if (all) p += prob;
+    for (const auto& [key, prob] : root.base) {
+      if (AcceptsGoals(key)) p += prob;
     }
     return p;
+  }
+
+  std::vector<NodeProb> BatchResults() {
+    std::vector<NodeProb> out;
+    if (!batch_feasible_ || batch_count_ == 0) return out;
+    Region root = NodeDist(pd_.root());
+    out.reserve(root.tracked.size());
+    for (const auto& [n, dist] : root.tracked) {
+      double p = 0;
+      for (const auto& [key, prob] : dist) {
+        bool all = AcceptsGoals(key);
+        for (size_t i = 0; all && i < batch_root_slots_.size(); ++i) {
+          if (!GetBit(key, 2 * batch_root_slots_[i] + 1)) all = false;
+        }
+        if (all) p += prob;
+      }
+      if (p > 0) out.push_back({n, p});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const NodeProb& a, const NodeProb& b) {
+                return a.node < b.node;
+              });
+    return out;
   }
 
  private:
   struct QNode {
     Label label = 0;
-    bool anchored = false;
     std::vector<int> slash_kids, desc_kids;
   };
 
-  static Dist Delta() { return Dist{{StateKey{}, 1.0}}; }
+  bool AcceptsGoals(const StateKey& key) const {
+    for (int slot : goal_root_slots_) {
+      if (!GetBit(key, 2 * slot + 1)) return false;
+    }
+    return true;
+  }
 
-  static Dist Convolve(const Dist& a, const Dist& b) {
-    if (a.size() == 1 && a.begin()->first == StateKey{}) {
-      Dist out = b;
-      const double p = a.begin()->second;
-      if (p != 1.0) {
-        for (auto& [k, v] : out) v *= p;
-      }
+  // Combines probabilistically independent sibling regions: bases convolve;
+  // each tracked anchor (living in exactly one part) convolves with every
+  // other part's base via prefix/suffix products.
+  static Region Combine(std::vector<Region> parts) {
+    Region out;
+    if (parts.empty()) {
+      out.base = Delta();
       return out;
     }
-    Dist out;
-    out.reserve(a.size() * b.size());
-    for (const auto& [ka, pa] : a) {
-      for (const auto& [kb, pb] : b) {
-        out[ka | kb] += pa * pb;
+    if (parts.size() == 1) return std::move(parts[0]);
+    bool any_tracked = false;
+    for (const Region& r : parts) {
+      if (!r.tracked.empty()) {
+        any_tracked = true;
+        break;
+      }
+    }
+    const int k = static_cast<int>(parts.size());
+    if (!any_tracked) {
+      out.base = Delta();
+      for (Region& r : parts) out.base = Convolve(out.base, r.base);
+      return out;
+    }
+    std::vector<Dist> prefix(k + 1), suffix(k + 1);
+    prefix[0] = Delta();
+    suffix[k] = Delta();
+    for (int i = 0; i < k; ++i) {
+      prefix[i + 1] = Convolve(prefix[i], parts[i].base);
+    }
+    for (int i = k - 1; i >= 1; --i) {  // suffix[0] is never read.
+      suffix[i] = Convolve(parts[i].base, suffix[i + 1]);
+    }
+    out.base = prefix[k];
+    for (int i = 0; i < k; ++i) {
+      for (auto& [n, t] : parts[i].tracked) {
+        out.tracked.emplace_back(
+            n, Convolve(Convolve(t, prefix[i]), suffix[i + 1]));
       }
     }
     return out;
@@ -134,134 +281,211 @@ class Engine {
 
   // Distribution contributed by the region rooted at `n`, conditioned on the
   // edge into `n` being taken.
-  Dist Contribution(NodeId n) {
-    if (!relevant_[n]) return Delta();
+  Region Contribution(NodeId n) {
+    if (!relevant_[n]) return Region{Delta(), {}};
     switch (pd_.kind(n)) {
       case PKind::kOrdinary:
         return NodeDist(n);
       case PKind::kDet: {
-        Dist acc = Delta();
-        for (NodeId c : pd_.children(n)) acc = Convolve(acc, Contribution(c));
-        return acc;
+        std::vector<Region> parts;
+        parts.reserve(pd_.children(n).size());
+        for (NodeId c : pd_.children(n)) parts.push_back(Contribution(c));
+        return Combine(std::move(parts));
       }
       case PKind::kMux: {
-        Dist acc;
+        Region acc;
         double total = 0;
         for (NodeId c : pd_.children(n)) {
           const double p = pd_.edge_prob(c);
           total += p;
           if (p == 0) continue;
-          for (const auto& [k, v] : Contribution(c)) acc[k] += p * v;
+          Region r = Contribution(c);
+          AddScaled(&acc.base, r.base, p);
+          // Alternatives are exclusive, so an anchor lives in one branch.
+          for (auto& [a, t] : r.tracked) {
+            ScaleInPlace(&t, p);
+            acc.tracked.emplace_back(a, std::move(t));
+          }
         }
-        if (total < 1.0) acc[StateKey{}] += 1.0 - total;
+        if (total < 1.0) acc.base[StateKey{}] += 1.0 - total;
         return acc;
       }
       case PKind::kInd: {
-        Dist acc = Delta();
+        std::vector<Region> parts;
+        parts.reserve(pd_.children(n).size());
         for (NodeId c : pd_.children(n)) {
           const double p = pd_.edge_prob(c);
-          Dist mixed;
+          Region mixed;
           if (p > 0) {
-            for (const auto& [k, v] : Contribution(c)) mixed[k] += p * v;
+            Region r = Contribution(c);
+            AddScaled(&mixed.base, r.base, p);
+            // The anchor requires its own edge to be taken.
+            for (auto& [a, t] : r.tracked) {
+              ScaleInPlace(&t, p);
+              mixed.tracked.emplace_back(a, std::move(t));
+            }
           }
-          if (p < 1.0) mixed[StateKey{}] += 1.0 - p;
-          acc = Convolve(acc, mixed);
+          if (p < 1.0) mixed.base[StateKey{}] += 1.0 - p;
+          parts.push_back(std::move(mixed));
         }
-        return acc;
+        return Combine(std::move(parts));
       }
       case PKind::kExp: {
         const auto& kids = pd_.children(n);
-        Dist acc;
+        // Each child's region once; subsets recombine the memoized copies.
+        std::vector<Region> kid_regions;
+        kid_regions.reserve(kids.size());
+        for (NodeId c : kids) kid_regions.push_back(Contribution(c));
+        Region acc;
         double total = 0;
+        std::unordered_map<NodeId, Dist> tracked_acc;
         for (const auto& [subset, p] : pd_.exp_distribution(n)) {
           total += p;
           if (p == 0) continue;
-          Dist chosen = Delta();
-          for (int idx : subset) {
-            chosen = Convolve(chosen, Contribution(kids[idx]));
-          }
-          for (const auto& [k, v] : chosen) acc[k] += p * v;
+          std::vector<Region> parts;
+          parts.reserve(subset.size());
+          for (int idx : subset) parts.push_back(kid_regions[idx]);
+          Region sub = Combine(std::move(parts));
+          AddScaled(&acc.base, sub.base, p);
+          // The same anchor can survive through several subsets.
+          for (auto& [a, t] : sub.tracked) AddScaled(&tracked_acc[a], t, p);
         }
-        if (total < 1.0) acc[StateKey{}] += 1.0 - total;
+        if (total < 1.0) acc.base[StateKey{}] += 1.0 - total;
+        acc.tracked.reserve(tracked_acc.size());
+        for (auto& [a, t] : tracked_acc) {
+          acc.tracked.emplace_back(a, std::move(t));
+        }
         return acc;
       }
     }
     PXV_CHECK(false);
-    return Delta();
+    return Region{Delta(), {}};
   }
 
-  // (A, D) distribution of ordinary node `x`, given x appears.
-  Dist NodeDist(NodeId x) {
-    Dist combined = Delta();
-    for (NodeId c : pd_.children(x)) {
-      combined = Convolve(combined, Contribution(c));
-    }
-    // Candidate query nodes matching x's label.
-    std::vector<int> candidates;
-    auto it = by_label_.find(pd_.label(x));
-    if (it != by_label_.end()) {
-      for (int qid : it->second) {
-        const auto anchor_it = anchor_of_.find(qid);
-        if (anchor_it != anchor_of_.end() &&
-            anchor_sets_[anchor_it->second].count(x) == 0) {
-          continue;  // Anchored elsewhere.
-        }
-        candidates.push_back(qid);
-      }
-    }
+  // Rewrites a distribution at ordinary node x: D bits flow up, then every
+  // candidate slot whose child requirements hold in the incoming key gets
+  // its A and D bits set.
+  Dist Rewrite(const Dist& in, const std::vector<int>& base_cands,
+               const std::vector<int>& star_cands,
+               const std::vector<int>& pin_cands) const {
     Dist out;
-    out.reserve(combined.size());
-    for (const auto& [key, p] : combined) {
-      // New key: D-bits flow up; A-bits are recomputed at x.
-      StateKey nk{key.lo & kDMaskLo, key.hi & kDMaskHi};
-      for (int qid : candidates) {
-        const QNode& qn = qnodes_[qid];
-        bool ok = true;
+    out.reserve(in.size());
+    for (const auto& [key, p] : in) {
+      StateKey nk = DOnly(key);
+      const auto apply = [&](int slot) {
+        const QNode& qn = qnodes_[slot];
         for (int t : qn.slash_kids) {
-          if (!GetBit(key, 2 * t + 1)) {  // Need A(t) at some kept child.
-            ok = false;
-            break;
-          }
+          if (!GetBit(key, 2 * t + 1)) return;  // Need A(t) at a kept child.
         }
-        if (ok) {
-          for (int t : qn.desc_kids) {
-            if (!GetBit(key, 2 * t)) {  // Need D(t): strictly below x.
-              ok = false;
-              break;
-            }
-          }
+        for (int t : qn.desc_kids) {
+          if (!GetBit(key, 2 * t)) return;  // Need D(t): strictly below x.
         }
-        if (ok) {
-          SetBit(&nk, 2 * qid + 1);  // A
-          SetBit(&nk, 2 * qid);      // D
-        }
-      }
+        SetBit(&nk, 2 * slot + 1);  // A
+        SetBit(&nk, 2 * slot);      // D
+      };
+      for (int s : base_cands) apply(s);
+      for (int s : star_cands) apply(s);
+      for (int s : pin_cands) apply(s);
       out[nk] += p;
     }
     return out;
   }
 
-  static constexpr uint64_t kDMaskLo = 0x5555555555555555ULL;
-  static constexpr uint64_t kDMaskHi = 0x5555555555555555ULL;
+  // (A, D) region of ordinary node `x`, given x appears.
+  Region NodeDist(NodeId x) {
+    std::vector<Region> parts;
+    parts.reserve(pd_.children(x).size());
+    for (NodeId c : pd_.children(x)) parts.push_back(Contribution(c));
+    Region comb = Combine(std::move(parts));
+
+    const Label xl = pd_.label(x);
+    std::vector<int> base_cands;
+    if (auto it = by_label_.find(xl); it != by_label_.end()) {
+      for (int slot : it->second) {
+        const auto ait = anchor_of_.find(slot);
+        if (ait != anchor_of_.end() &&
+            anchor_sets_[ait->second].count(x) == 0) {
+          continue;  // Anchored elsewhere.
+        }
+        base_cands.push_back(slot);
+      }
+    }
+    static const std::vector<int> kNone;
+    const std::vector<int>* star_cands = &kNone;
+    if (auto it = by_label_star_.find(xl); it != by_label_star_.end()) {
+      star_cands = &it->second;
+    }
+
+    Region out;
+    out.base = Rewrite(comb.base, base_cands, kNone, kNone);
+    out.tracked.reserve(comb.tracked.size() + 1);
+    for (auto& [n, t] : comb.tracked) {
+      out.tracked.emplace_back(n, Rewrite(t, base_cands, *star_cands, kNone));
+    }
+    // x itself becomes a tracked anchor: pin every member's out slot here.
+    if (batch_feasible_ && batch_count_ > 0 && xl == batch_out_label_) {
+      out.tracked.emplace_back(x,
+                               Rewrite(comb.base, base_cands, kNone,
+                                       pin_slots_));
+    }
+    return out;
+  }
 
   const PDocument& pd_;
-  std::vector<int> offsets_;
+  const int batch_count_;
   std::vector<QNode> qnodes_;
-  std::vector<int> root_qids_;
+  std::vector<int> goal_root_slots_;
+  std::vector<int> batch_root_slots_;
+  std::vector<int> pin_slots_;
   std::unordered_map<Label, std::vector<int>> by_label_;
+  std::unordered_map<Label, std::vector<int>> by_label_star_;
   std::unordered_map<int, int> anchor_of_;
   std::vector<std::unordered_set<NodeId>> anchor_sets_;
   std::vector<uint8_t> relevant_;
+  Label batch_out_label_ = 0;
+  bool batch_out_label_set_ = false;
+  bool batch_feasible_ = true;
 };
 
 }  // namespace
+
+int ConjunctionSlotCount(const std::vector<Goal>& goals) {
+  int total = 0;
+  for (const Goal& g : goals) {
+    PXV_CHECK(g.pattern != nullptr);
+    total += g.pattern->size();
+  }
+  return total;
+}
+
+int BatchSlotCount(const std::vector<const Pattern*>& members) {
+  int total = 0;
+  for (const Pattern* m : members) {
+    PXV_CHECK(m != nullptr);
+    total += m->size();
+  }
+  return total;
+}
 
 double ConjunctionProbability(const PDocument& pd,
                               const std::vector<Goal>& goals) {
   PXV_CHECK(!pd.empty());
   if (goals.empty()) return 1.0;
-  Engine engine(pd, goals);
+  Engine engine(pd, goals, {});
   return engine.Probability();
+}
+
+std::vector<NodeProb> BatchAnchoredProbabilities(
+    const PDocument& pd, const std::vector<const Pattern*>& members) {
+  PXV_CHECK(!pd.empty());
+  if (members.empty()) return {};
+  Engine engine(pd, {}, members);
+  return engine.BatchResults();
+}
+
+std::vector<NodeProb> BatchSelectionProbabilities(const PDocument& pd,
+                                                  const Pattern& q) {
+  return BatchAnchoredProbabilities(pd, {&q});
 }
 
 }  // namespace pxv

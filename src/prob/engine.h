@@ -20,6 +20,17 @@
 // mux/ind/det/exp nodes mix or convolve their children's distributions with
 // the edge probabilities. Sparsity keeps the state count small: fully
 // deterministic regions collapse to a single state.
+//
+// Batched anchored evaluation: the per-node selection probabilities
+// Pr(n ∈ q(P)) for *all* label-matching candidates n are computed in the
+// same single pass. Alongside the base (A, D) distribution, each region
+// carries one small distribution per candidate anchor inside it, whose keys
+// additionally hold "starred" bits for the main-branch query nodes: A*(s)
+// means the subtree at s embeds here *with out routed to that anchor*. The
+// starred chain pins the output mapping exactly (the inside–outside device
+// of tractable-lineage evaluation over treelike instances), so the root
+// reads off every candidate's anchored acceptance at once instead of
+// re-running the DP per candidate.
 
 #ifndef PXV_PROB_ENGINE_H_
 #define PXV_PROB_ENGINE_H_
@@ -39,10 +50,43 @@ struct Goal {
   const std::vector<NodeId>* anchor = nullptr;
 };
 
+/// One entry of q(P̂).
+struct NodeProb {
+  NodeId node = kNullNode;
+  double prob = 0;
+};
+
+/// Hard cap on the packed DP state: total query slots per evaluation. Every
+/// pattern node of every conjunct or batched member costs exactly one slot
+/// (a batched member's main-branch nodes take a starred slot *instead of* a
+/// base one, not in addition).
+inline constexpr int kMaxConjunctionSlots = 128;
+
+/// DP slots a plain conjunction needs (sum of pattern sizes). Callers gate
+/// on this against kMaxConjunctionSlots before invoking the engine.
+int ConjunctionSlotCount(const std::vector<Goal>& goals);
+
+/// DP slots a batched evaluation needs: every member node gets one slot,
+/// main-branch nodes get a starred slot instead of a base one, predicate
+/// nodes a base one.
+int BatchSlotCount(const std::vector<const Pattern*>& members);
+
 /// Pr(every goal embeds into a random world of pd, respecting anchors).
-/// Total query size (sum of pattern sizes) is limited to 64 nodes.
 double ConjunctionProbability(const PDocument& pd,
                               const std::vector<Goal>& goals);
+
+/// Pr(n ∈ (m1 ∩ … ∩ mk)(P)) for every candidate node n — ordinary nodes
+/// labeled with the members' shared output label — computed in one pass over
+/// the p-document. Entries with probability 0 are omitted; ascending node
+/// id. Equivalent to anchoring every member to {n} and calling
+/// ConjunctionProbability once per candidate, but a single DP pass instead
+/// of one per candidate.
+std::vector<NodeProb> BatchAnchoredProbabilities(
+    const PDocument& pd, const std::vector<const Pattern*>& members);
+
+/// Single-pattern convenience: q(P̂) in one pass.
+std::vector<NodeProb> BatchSelectionProbabilities(const PDocument& pd,
+                                                  const Pattern& q);
 
 }  // namespace pxv
 

@@ -1,0 +1,136 @@
+#include "prob/eval_session.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/numeric.h"
+
+namespace pxv {
+
+EvalSession::EvalSession(const PDocument& pd, EvalOptions options)
+    : pd_(&pd), options_(options) {
+  PXV_CHECK(!pd.empty());
+  switch (options_.backend) {
+    case BackendKind::kAuto:
+      chain_.push_back(std::make_unique<ExactDpBackend>());
+      chain_.push_back(
+          std::make_unique<NaiveBackend>(options_.naive_max_worlds));
+      break;
+    case BackendKind::kExact:
+      chain_.push_back(std::make_unique<ExactDpBackend>());
+      break;
+    case BackendKind::kNaive:
+      chain_.push_back(
+          std::make_unique<NaiveBackend>(options_.naive_max_worlds));
+      break;
+  }
+}
+
+double EvalSession::Conjunction(const std::vector<Goal>& goals) {
+  std::string declines;
+  for (const auto& backend : chain_) {
+    StatusOr<double> p = backend->Conjunction(*pd_, goals);
+    if (p.ok()) {
+      last_backend_ = backend->name();
+      return *p;
+    }
+    declines += std::string("\n  ") + backend->name() + ": " +
+                p.status().message();
+  }
+  PXV_CHECK(false) << "every backend declined the conjunction:" << declines;
+  return 0;
+}
+
+void EvalSession::ComputeBatch(const std::vector<const Pattern*>& members,
+                               TpEntry* e) {
+  std::string declines;
+  for (const auto& backend : chain_) {
+    StatusOr<std::vector<NodeProb>> r = backend->BatchAnchored(*pd_, members);
+    if (!r.ok()) {
+      declines += std::string("\n  ") + backend->name() + ": " +
+                  r.status().message();
+      continue;
+    }
+    last_backend_ = backend->name();
+    e->by_node.clear();
+    e->results.clear();
+    for (const NodeProb& np : *r) {
+      e->by_node[np.node] = np.prob;
+      if (np.prob > kProbEps) e->results.push_back(np);
+    }
+    e->computed = true;
+    return;
+  }
+  PXV_CHECK(false) << "every backend declined the batch:" << declines;
+}
+
+const std::vector<NodeId>& EvalSession::NodesWithLabel(Label l) const {
+  if (index_ == nullptr) index_ = std::make_unique<LabelIndex>(*pd_);
+  return index_->Nodes(l);
+}
+
+EvalSession::TpEntry& EvalSession::Entry(const Pattern& q) {
+  if (!options_.cache_results) {
+    // One stable scratch slot: its contents are overwritten by the next
+    // evaluation, but references handed out never dangle.
+    scratch_.results.clear();
+    scratch_.by_node.clear();
+    scratch_.point_queries = 0;
+    scratch_.computed = false;
+    return scratch_;
+  }
+  return tp_cache_[q.CanonicalString()];
+}
+
+const std::vector<NodeProb>& EvalSession::EvaluateTP(const Pattern& q) {
+  TpEntry& e = Entry(q);
+  if (e.computed) {
+    ++cache_hits_;
+  } else {
+    ComputeBatch({&q}, &e);
+  }
+  return e.results;
+}
+
+std::vector<NodeProb> EvalSession::EvaluateTPI(const TpIntersection& q) {
+  PXV_CHECK(!q.empty());
+  std::vector<const Pattern*> members;
+  members.reserve(q.size());
+  for (const Pattern& m : q.members()) members.push_back(&m);
+  TpEntry scratch;
+  ComputeBatch(members, &scratch);
+  return std::move(scratch.results);
+}
+
+double EvalSession::SelectionProbability(const Pattern& q, NodeId n) {
+  TpEntry& e = Entry(q);
+  if (!e.computed && ++e.point_queries >= 2) {
+    // A second point query on the same pattern: answer the whole batch once,
+    // every later point is a lookup.
+    ComputeBatch({&q}, &e);
+  }
+  if (e.computed) {
+    ++cache_hits_;
+    const auto it = e.by_node.find(n);
+    return it == e.by_node.end() ? 0.0 : it->second;
+  }
+  std::vector<NodeId> anchor{n};
+  return Conjunction({{&q, &anchor}});
+}
+
+double EvalSession::SelectionProbabilityAnyOf(
+    const Pattern& q, const std::vector<NodeId>& anchor) {
+  if (anchor.empty()) return 0;
+  return Conjunction({{&q, &anchor}});
+}
+
+double EvalSession::JointProbability(const std::vector<Goal>& goals) {
+  if (goals.empty()) return 1.0;
+  return Conjunction(goals);
+}
+
+double EvalSession::BooleanProbability(const Pattern& q) {
+  return Conjunction({{&q, nullptr}});
+}
+
+}  // namespace pxv

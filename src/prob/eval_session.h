@@ -1,0 +1,109 @@
+// EvalSession: per-document evaluation state for the probability stack.
+//
+// A session owns everything derivable from one p-document that repeated
+// queries would otherwise recompute — the label→nodes index, interned
+// pattern metadata keyed by canonical form, and memoized batched q(P̂)
+// results — plus the ProbBackend chain that actually serves probabilities.
+// query_eval, view materialization and the rewriting execution paths all
+// route through this seam, so swapping or stacking backends (exact DP,
+// naive oracle, future cached/sharded implementations) is a one-line
+// change, and evaluating k views over one document costs k single DP
+// passes instead of k × |candidates|.
+
+#ifndef PXV_PROB_EVAL_SESSION_H_
+#define PXV_PROB_EVAL_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "prob/backend.h"
+#include "pxml/pdocument.h"
+#include "tp/pattern.h"
+#include "tpi/intersection.h"
+
+namespace pxv {
+
+/// Backend preference for an EvalSession.
+enum class BackendKind {
+  kAuto,   ///< Exact DP first; world enumeration when the DP declines.
+  kExact,  ///< Exact DP only; dies if the query exceeds the DP slot cap.
+  kNaive,  ///< World enumeration only; dies if the px-space explodes.
+};
+
+struct EvalOptions {
+  BackendKind backend = BackendKind::kAuto;
+  /// World cap for the naive oracle before it declines.
+  int naive_max_worlds = 1 << 16;
+  /// Memoize batched q(P̂) results per canonical pattern.
+  bool cache_results = true;
+};
+
+/// Per-document derived state + backend routing. Not thread-safe; create
+/// one session per document per thread.
+class EvalSession {
+ public:
+  explicit EvalSession(const PDocument& pd, EvalOptions options = {});
+
+  const PDocument& doc() const { return *pd_; }
+  const EvalOptions& options() const { return options_; }
+
+  /// Ordinary nodes labeled `l`, ascending — served from the session's
+  /// label index (built lazily on first use, then reused).
+  const std::vector<NodeId>& NodesWithLabel(Label l) const;
+
+  /// q(P̂) via the batched single-pass engine; memoized per canonical
+  /// pattern when caching is on. The reference stays valid for the session's
+  /// lifetime while caching is on; with caching off it is reused by the next
+  /// evaluation call — copy the results if they must outlive it.
+  const std::vector<NodeProb>& EvaluateTP(const Pattern& q);
+
+  /// (q1 ∩ … ∩ qk)(P̂) with all members anchored to the same node, one pass.
+  std::vector<NodeProb> EvaluateTPI(const TpIntersection& q);
+
+  /// Pr(n ∈ q(P)). Served from the memoized batch when available; a second
+  /// point query on the same pattern triggers the batch so later points are
+  /// O(1) lookups.
+  double SelectionProbability(const Pattern& q, NodeId n);
+
+  /// Pr(out(q) selected at *some* node of `anchor`) (§3.1).
+  double SelectionProbabilityAnyOf(const Pattern& q,
+                                   const std::vector<NodeId>& anchor);
+
+  /// Pr(all goals hold simultaneously); see prob/engine.h.
+  double JointProbability(const std::vector<Goal>& goals);
+
+  /// Pr(q matches P) — Boolean (out unanchored).
+  double BooleanProbability(const Pattern& q);
+
+  /// Backend that served the most recent probability ("exact-dp"/"naive").
+  const char* last_backend() const { return last_backend_; }
+  /// Point or batch answers served from the memoized cache.
+  int cache_hits() const { return cache_hits_; }
+
+ private:
+  struct TpEntry {
+    std::vector<NodeProb> results;
+    std::unordered_map<NodeId, double> by_node;
+    int point_queries = 0;
+    bool computed = false;
+  };
+
+  TpEntry& Entry(const Pattern& q);
+  void ComputeBatch(const std::vector<const Pattern*>& members, TpEntry* e);
+  double Conjunction(const std::vector<Goal>& goals);
+
+  const PDocument* pd_;
+  EvalOptions options_;
+  mutable std::unique_ptr<LabelIndex> index_;  // Built on first use.
+  std::vector<std::unique_ptr<ProbBackend>> chain_;
+  std::unordered_map<std::string, TpEntry> tp_cache_;
+  TpEntry scratch_;  // Backing storage when caching is off.
+  const char* last_backend_ = "";
+  int cache_hits_ = 0;
+};
+
+}  // namespace pxv
+
+#endif  // PXV_PROB_EVAL_SESSION_H_

@@ -1,5 +1,7 @@
 #include "prob/naive.h"
 
+#include <algorithm>
+
 #include "pxml/worlds.h"
 #include "tp/eval.h"
 #include "tpi/eval.h"
@@ -63,6 +65,64 @@ double NaiveAppearanceProbability(const PDocument& pd, NodeId n) {
     if (w.pdoc_to_doc[n] != kNullNode) p += w.prob;
   }
   return p;
+}
+
+StatusOr<double> NaiveTryConjunction(const PDocument& pd,
+                                     const std::vector<Goal>& goals,
+                                     int max_worlds) {
+  StatusOr<std::vector<World>> worlds = EnumerateWorlds(pd, max_worlds);
+  if (!worlds.ok()) return worlds.status();
+  double p = 0;
+  for (const World& w : *worlds) {
+    bool all = true;
+    for (const Goal& g : goals) {
+      PXV_CHECK(g.pattern != nullptr);
+      if (g.anchor == nullptr) {
+        if (!Matches(*g.pattern, w.doc)) {
+          all = false;
+          break;
+        }
+        continue;
+      }
+      // Anchored: out must land on a surviving anchor node.
+      const std::vector<NodeId> selected = Evaluate(*g.pattern, w.doc);
+      bool hit = false;
+      for (NodeId a : *g.anchor) {
+        const NodeId dn = w.pdoc_to_doc[a];
+        if (dn != kNullNode &&
+            std::binary_search(selected.begin(), selected.end(), dn)) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) {
+        all = false;
+        break;
+      }
+    }
+    if (all) p += w.prob;
+  }
+  return p;
+}
+
+StatusOr<std::map<NodeId, double>> NaiveTryBatchAnchored(
+    const PDocument& pd, const std::vector<const Pattern*>& members,
+    int max_worlds) {
+  StatusOr<std::vector<World>> worlds = EnumerateWorlds(pd, max_worlds);
+  if (!worlds.ok()) return worlds.status();
+  TpIntersection q;
+  for (const Pattern* m : members) {
+    PXV_CHECK(m != nullptr);
+    q.Add(m->Clone());
+  }
+  std::map<NodeId, double> result;
+  for (const World& w : *worlds) {
+    const auto inverse = DocToPdoc(w, w.doc.size());
+    for (NodeId dn : EvaluateIntersectionNodes(q, w.doc)) {
+      result[inverse[dn]] += w.prob;
+    }
+  }
+  return result;
 }
 
 }  // namespace pxv

@@ -7,9 +7,11 @@
 #include <map>
 #include <vector>
 
+#include "prob/engine.h"
 #include "pxml/pdocument.h"
 #include "tp/pattern.h"
 #include "tpi/intersection.h"
+#include "util/status.h"
 
 namespace pxv {
 
@@ -28,6 +30,22 @@ double NaiveBooleanProbability(const PDocument& pd, const Pattern& q);
 
 /// Pr(n ∈ P): appearance probability by enumeration.
 double NaiveAppearanceProbability(const PDocument& pd, NodeId n);
+
+/// Backend-friendly variants: an error Status (instead of process death)
+/// when the px-space exceeds `max_worlds`, so the naive oracle can serve as
+/// a declining ProbBackend.
+///
+/// Pr(every goal embeds, respecting anchors) — the oracle counterpart of
+/// ConjunctionProbability.
+StatusOr<double> NaiveTryConjunction(const PDocument& pd,
+                                     const std::vector<Goal>& goals,
+                                     int max_worlds);
+
+/// Pr(n ∈ (∩ members)(P)) per node — the oracle counterpart of
+/// BatchAnchoredProbabilities.
+StatusOr<std::map<NodeId, double>> NaiveTryBatchAnchored(
+    const PDocument& pd, const std::vector<const Pattern*>& members,
+    int max_worlds);
 
 }  // namespace pxv
 

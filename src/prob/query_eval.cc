@@ -1,63 +1,48 @@
 #include "prob/query_eval.h"
 
+#include "prob/eval_session.h"
 #include "util/check.h"
 
+// Free-function façade: each call routes through a transient EvalSession so
+// it hits the same backend seam (and the same batched single-pass engine) as
+// the session-based paths. Callers issuing several queries against one
+// document should hold an EvalSession instead and reuse its index + caches.
+
 namespace pxv {
-namespace {
-
-constexpr double kEps = 1e-12;
-
-std::vector<NodeId> CandidateNodes(const PDocument& pd, Label out_label) {
-  std::vector<NodeId> candidates;
-  for (NodeId n = 0; n < pd.size(); ++n) {
-    if (pd.ordinary(n) && pd.label(n) == out_label) candidates.push_back(n);
-  }
-  return candidates;
-}
-
-}  // namespace
 
 std::vector<NodeProb> EvaluateTP(const PDocument& pd, const Pattern& q) {
-  std::vector<NodeProb> result;
-  for (NodeId n : CandidateNodes(pd, q.OutLabel())) {
-    const double p = SelectionProbability(pd, q, n);
-    if (p > kEps) result.push_back({n, p});
-  }
-  return result;
+  EvalSession session(pd);
+  return session.EvaluateTP(q);
 }
 
 std::vector<NodeProb> EvaluateTPI(const PDocument& pd,
                                   const TpIntersection& q) {
   PXV_CHECK(!q.empty());
-  std::vector<NodeProb> result;
-  for (NodeId n : CandidateNodes(pd, q.members()[0].OutLabel())) {
-    std::vector<NodeId> anchor{n};
-    std::vector<Goal> goals;
-    goals.reserve(q.size());
-    for (const Pattern& m : q.members()) goals.push_back({&m, &anchor});
-    const double p = ConjunctionProbability(pd, goals);
-    if (p > kEps) result.push_back({n, p});
-  }
-  return result;
+  EvalSession session(pd);
+  return session.EvaluateTPI(q);
 }
 
 double SelectionProbability(const PDocument& pd, const Pattern& q, NodeId n) {
-  std::vector<NodeId> anchor{n};
-  return ConjunctionProbability(pd, {{&q, &anchor}});
+  EvalSession session(pd);
+  return session.SelectionProbability(q, n);
 }
 
 double SelectionProbabilityAnyOf(const PDocument& pd, const Pattern& q,
                                  const std::vector<NodeId>& anchor) {
   if (anchor.empty()) return 0;
-  return ConjunctionProbability(pd, {{&q, &anchor}});
+  EvalSession session(pd);
+  return session.SelectionProbabilityAnyOf(q, anchor);
 }
 
 double JointProbability(const PDocument& pd, const std::vector<Goal>& goals) {
-  return ConjunctionProbability(pd, goals);
+  if (goals.empty()) return 1.0;
+  EvalSession session(pd);
+  return session.JointProbability(goals);
 }
 
 double BooleanProbability(const PDocument& pd, const Pattern& q) {
-  return ConjunctionProbability(pd, {{&q, nullptr}});
+  EvalSession session(pd);
+  return session.BooleanProbability(q);
 }
 
 }  // namespace pxv

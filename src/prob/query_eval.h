@@ -14,14 +14,8 @@
 
 namespace pxv {
 
-/// One entry of q(P̂).
-struct NodeProb {
-  NodeId node = kNullNode;
-  double prob = 0;
-};
-
 /// q(P̂) = { (n, p) : p = Pr(n ∈ q(P)) > 0 }, ascending node id. PTime in
-/// |P̂| for fixed q.
+/// |P̂| for fixed q. (NodeProb lives in prob/engine.h.)
 std::vector<NodeProb> EvaluateTP(const PDocument& pd, const Pattern& q);
 
 /// (q1 ∩ … ∩ qk)(P̂) over a single p-document: Pr(n selected by every

@@ -203,4 +203,16 @@ std::string PDocument::DebugString() const {
   return out.str();
 }
 
+LabelIndex::LabelIndex(const PDocument& pd) {
+  for (NodeId n = 0; n < pd.size(); ++n) {
+    if (pd.ordinary(n)) index_[pd.label(n)].push_back(n);
+  }
+}
+
+const std::vector<NodeId>& LabelIndex::Nodes(Label l) const {
+  static const std::vector<NodeId> kEmpty;
+  const auto it = index_.find(l);
+  return it == index_.end() ? kEmpty : it->second;
+}
+
 }  // namespace pxv

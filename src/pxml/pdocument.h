@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "util/status.h"
@@ -114,6 +115,23 @@ class PDocument {
   NodeId Add(NodeId parent, PNode node);
 
   std::vector<PNode> nodes_;
+};
+
+/// Label → ordinary-node index over one p-document, built in a single scan.
+/// Owned by evaluation sessions so repeated queries against the same
+/// document stop re-scanning the node arena per output label.
+class LabelIndex {
+ public:
+  explicit LabelIndex(const PDocument& pd);
+
+  /// Ordinary nodes labeled `l`, ascending node id; empty if none.
+  const std::vector<NodeId>& Nodes(Label l) const;
+
+  /// Number of distinct ordinary labels.
+  int LabelCount() const { return static_cast<int>(index_.size()); }
+
+ private:
+  std::unordered_map<Label, std::vector<NodeId>> index_;
 };
 
 }  // namespace pxv

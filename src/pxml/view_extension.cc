@@ -20,34 +20,49 @@ PersistentId NextFreshPid() {
 // Copies the p-subdocument rooted at `src` under `dst_parent` of `out`.
 // Ordinary nodes keep their pid (or get fresh negative ids under copy
 // semantics) and receive Id(original pid) marker children when requested.
+// Iterative preorder (explicit stack) so arbitrarily deep subdocuments —
+// production-scale extensions — cannot overflow the call stack; child order
+// is preserved, which exp distributions rely on.
 void CopySubtree(const PDocument& pd, NodeId src, PDocument* out,
                  NodeId dst_parent, double edge_prob,
                  const ViewExtensionOptions& options,
                  PersistentId* marker_pid) {
-  NodeId dst;
-  if (pd.ordinary(src)) {
-    const PersistentId original = pd.pid(src);
-    // Copy semantics draws from the global counter (copies of the same node
-    // in different extensions must not share an id); markers are extension-
-    // local bookkeeping and use a deterministic local counter, keeping
-    // extension equality well-defined (Examples 11/12).
-    const PersistentId pid =
-        options.copy_semantics ? NextFreshPid() : original;
-    dst = out->AddOrdinary(dst_parent, pd.label(src), edge_prob, pid);
-    if (options.add_id_markers) {
-      out->AddOrdinary(dst, IdMarkerLabel(original), 1.0, (*marker_pid)--);
+  struct Item {
+    NodeId src;
+    NodeId dst_parent;
+    double edge_prob;
+  };
+  std::vector<Item> stack{{src, dst_parent, edge_prob}};
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    NodeId dst;
+    if (pd.ordinary(item.src)) {
+      const PersistentId original = pd.pid(item.src);
+      // Copy semantics draws from the global counter (copies of the same
+      // node in different extensions must not share an id); markers are
+      // extension-local bookkeeping and use a deterministic local counter,
+      // keeping extension equality well-defined (Examples 11/12).
+      const PersistentId pid =
+          options.copy_semantics ? NextFreshPid() : original;
+      dst = out->AddOrdinary(item.dst_parent, pd.label(item.src),
+                             item.edge_prob, pid);
+      if (options.add_id_markers) {
+        out->AddOrdinary(dst, IdMarkerLabel(original), 1.0, (*marker_pid)--);
+      }
+    } else if (pd.kind(item.src) == PKind::kExp) {
+      dst = out->AddExp(item.dst_parent, item.edge_prob);
+      // Markers attach to ordinary nodes only, so the exp node's child
+      // positions are preserved and the distribution copies verbatim.
+      out->SetExpDistribution(dst, pd.exp_distribution(item.src));
+    } else {
+      dst = out->AddDistributional(item.dst_parent, pd.kind(item.src),
+                                   item.edge_prob);
     }
-  } else if (pd.kind(src) == PKind::kExp) {
-    dst = out->AddExp(dst_parent, edge_prob);
-    // Markers attach to ordinary nodes only, so the exp node's child
-    // positions are preserved and the distribution copies verbatim.
-    out->SetExpDistribution(dst, pd.exp_distribution(src));
-  } else {
-    dst = out->AddDistributional(dst_parent, pd.kind(src), edge_prob);
-  }
-  for (NodeId child : pd.children(src)) {
-    CopySubtree(pd, child, out, dst, pd.edge_prob(child), options,
-                marker_pid);
+    const auto& kids = pd.children(item.src);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back({*it, dst, pd.edge_prob(*it)});
+    }
   }
 }
 

@@ -9,12 +9,11 @@
 #include "pxml/view_extension.h"
 #include "tp/ops.h"
 #include "util/check.h"
+#include "util/numeric.h"
 #include "xml/label.h"
 
 namespace pxv {
 namespace {
-
-constexpr double kEps = 1e-12;
 
 // Occurrences of a persistent id among the *ordinary* nodes of a p-document.
 std::vector<NodeId> Occurrences(const PDocument& pd, PersistentId pid) {
@@ -100,7 +99,7 @@ double JointEventProbability(const TpRewriting& rw, const PDocument& ext,
     term->beta = beta;
     term->out_preds = out_preds;
   }
-  if (out_preds <= kEps) return 0;
+  if (out_preds <= kProbEps) return 0;
 
   const std::vector<NodeId> anchor = Occurrences(sub, answer_pid);
   if (anchor.empty()) return 0;
@@ -206,7 +205,7 @@ std::vector<PidProb> ExecuteTpRewriting(const TpRewriting& rw,
       const double numer = SelectionProbabilityAnyOf(extension, rw.plan, anchor);
       const PDocument sub = extension.Subtree(ancestors[0]);
       const double denom = BooleanProbability(sub, rw.v_out_preds);
-      prob = denom > kEps ? numer / denom : 0;
+      prob = denom > kProbEps ? numer / denom : 0;
       why.plan_probability = numer;
       why.out_predicate_mass = denom;
     } else {
@@ -230,7 +229,7 @@ std::vector<PidProb> ExecuteTpRewriting(const TpRewriting& rw,
         if (provenance != nullptr) why.terms.push_back(std::move(term));
       }
     }
-    if (prob > kEps) {
+    if (prob > kProbEps) {
       result.push_back({pid, prob});
       if (provenance != nullptr) {
         why.value = prob;

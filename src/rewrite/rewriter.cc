@@ -14,13 +14,20 @@ void Rewriter::AddView(std::string name, Pattern def) {
 
 ViewExtensions Rewriter::Materialize(const PDocument& pd,
                                      const ViewExtensionOptions& options) const {
+  EvalSession session(pd);
+  return Materialize(session, options);
+}
+
+ViewExtensions Rewriter::Materialize(EvalSession& session,
+                                     const ViewExtensionOptions& options) const {
   ViewExtensions exts;
   for (const NamedView& v : views_) {
     std::vector<ViewResultEntry> results;
-    for (const NodeProb& np : EvaluateTP(pd, v.def)) {
+    for (const NodeProb& np : session.EvaluateTP(v.def)) {
       results.push_back({np.node, np.prob});
     }
-    exts.emplace(v.name, BuildViewExtension(pd, v.name, results, options));
+    exts.emplace(v.name,
+                 BuildViewExtension(session.doc(), v.name, results, options));
   }
   return exts;
 }

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "prob/eval_session.h"
 #include "pxml/pdocument.h"
 #include "pxml/view_extension.h"
 #include "rewrite/fr_tp.h"
@@ -28,8 +29,15 @@ class Rewriter {
   const std::vector<NamedView>& views() const { return views_; }
 
   /// Materializes every view over `pd`: evaluates it with the probabilistic
-  /// engine and bundles the results into extensions (§3.1).
+  /// engine and bundles the results into extensions (§3.1). Each view costs
+  /// one batched DP pass over the document (not one pass per candidate).
   ViewExtensions Materialize(const PDocument& pd,
+                             const ViewExtensionOptions& options = {}) const;
+
+  /// Same, reusing a caller-owned evaluation session (index + caches + the
+  /// ProbBackend chain) — the route for repeated materializations or when
+  /// the caller also queries the document directly.
+  ViewExtensions Materialize(EvalSession& session,
                              const ViewExtensionOptions& options = {}) const;
 
   /// §4 (copy semantics): all probabilistic TP-rewritings of q.

@@ -12,12 +12,11 @@
 #include "tp/ops.h"
 #include "tpi/equivalence.h"
 #include "util/check.h"
+#include "util/numeric.h"
 #include "xml/label.h"
 
 namespace pxv {
 namespace {
-
-constexpr double kEps = 1e-12;
 
 // Identity plan for an uncompensated view: doc(v)/lbl(v).
 Pattern IdentityPlan(const std::string& name, const Pattern& v) {
@@ -259,14 +258,14 @@ std::vector<PidProb> ExecuteTpiRewriting(const TpiRewriting& rw,
         }
         why.factors.push_back({std::move(desc), p, c});
       }
-      if (p <= kEps) {
+      if (p <= kProbEps) {
         ok = false;
         if (provenance == nullptr) break;
       }
-      if (p > kEps) log_prob += c.ToDouble() * std::log(p);
+      if (p > kProbEps) log_prob += c.ToDouble() * std::log(p);
     }
     const double prob = ok ? std::exp(log_prob) : 0.0;
-    if (prob > kEps) {
+    if (prob > kProbEps) {
       result.push_back({pid, prob});
       if (provenance != nullptr) {
         why.value = prob;
@@ -309,9 +308,9 @@ std::vector<PidProb> ExecuteProductRewriting(
     // Lemma 3: Pr(n ∈ P) read off the mb(q)-containing view's β.
     const double appearance =
         ResultRootBeta(exts.at(views[lemma3_index].name), pid);
-    if (appearance <= kEps) continue;
+    if (appearance <= kProbEps) continue;
     for (int j = 0; j < m - 1; ++j) product /= appearance;
-    if (product > kEps) result.push_back({pid, product});
+    if (product > kProbEps) result.push_back({pid, product});
   }
   return result;
 }

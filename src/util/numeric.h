@@ -1,0 +1,15 @@
+// Shared numeric constants for the probability stack.
+
+#ifndef PXV_UTIL_NUMERIC_H_
+#define PXV_UTIL_NUMERIC_H_
+
+namespace pxv {
+
+/// Probabilities at or below this threshold are treated as zero when result
+/// sets are filtered — one shared constant so query evaluation, rewriting
+/// execution and view materialization all prune consistently.
+inline constexpr double kProbEps = 1e-12;
+
+}  // namespace pxv
+
+#endif  // PXV_UTIL_NUMERIC_H_

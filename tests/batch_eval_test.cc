@@ -1,0 +1,187 @@
+// Randomized equivalence suite for the batched single-pass anchored engine:
+// BatchSelectionProbabilities / BatchAnchoredProbabilities must agree with
+// (a) the per-candidate SelectionProbability loop and (b) the naive
+// possible-world oracle, on random p-documents and random queries.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gen/docgen.h"
+#include "gen/paper.h"
+#include "gen/querygen.h"
+#include "prob/engine.h"
+#include "prob/naive.h"
+#include "prob/query_eval.h"
+#include "tp/parser.h"
+#include "util/random.h"
+
+namespace pxv {
+namespace {
+
+std::map<NodeId, double> ByNode(const std::vector<NodeProb>& results) {
+  std::map<NodeId, double> out;
+  for (const NodeProb& np : results) out[np.node] = np.prob;
+  return out;
+}
+
+// The per-candidate reference: one anchored DP run per label-matching node.
+std::map<NodeId, double> PerCandidateLoop(const PDocument& pd,
+                                          const Pattern& q) {
+  std::map<NodeId, double> out;
+  for (NodeId n = 0; n < pd.size(); ++n) {
+    if (!pd.ordinary(n) || pd.label(n) != q.OutLabel()) continue;
+    const double p = SelectionProbability(pd, q, n);
+    if (p > 1e-12) out[n] = p;
+  }
+  return out;
+}
+
+void ExpectSameMap(const std::map<NodeId, double>& expected,
+                   const std::map<NodeId, double>& actual, double tol) {
+  for (const auto& [n, p] : expected) {
+    if (p < 1e-12) continue;
+    ASSERT_TRUE(actual.count(n)) << "missing node " << n;
+    EXPECT_NEAR(actual.at(n), p, tol) << "node " << n;
+  }
+  for (const auto& [n, p] : actual) {
+    const double e = expected.count(n) ? expected.at(n) : 0.0;
+    EXPECT_NEAR(p, e, tol) << "extra mass at node " << n;
+  }
+}
+
+TEST(BatchEvalTest, PaperExample6) {
+  const PDocument pd = paper::PDocPER();
+  const auto batch = ByNode(BatchSelectionProbabilities(pd, paper::QueryBON()));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_NEAR(batch.begin()->second, 0.9, 1e-12);
+  ExpectSameMap(PerCandidateLoop(pd, paper::QueryBON()), batch, 1e-12);
+  ExpectSameMap(PerCandidateLoop(pd, paper::ViewV1BON()),
+                ByNode(BatchSelectionProbabilities(pd, paper::ViewV1BON())),
+                1e-12);
+  ExpectSameMap(PerCandidateLoop(pd, paper::ViewV2BON()),
+                ByNode(BatchSelectionProbabilities(pd, paper::ViewV2BON())),
+                1e-12);
+}
+
+TEST(BatchEvalTest, OutAtRootSelectsOnlyRoot) {
+  const PDocument pd = paper::PDocPER();
+  Pattern q;  // "IT-personnel[person]" with out at the root.
+  const PNodeId r = q.AddRoot(Intern("IT-personnel"));
+  q.AddChild(r, Intern("person"), Axis::kDescendant);
+  q.SetOut(r);
+  const auto batch = ByNode(BatchSelectionProbabilities(pd, q));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.begin()->first, pd.root());
+  EXPECT_NEAR(batch.begin()->second, 1.0, 1e-12);
+}
+
+TEST(BatchEvalTest, MismatchedOutLabelsYieldEmpty) {
+  const PDocument pd = paper::PDocPER();
+  const Pattern a = Tp("IT-personnel//person");
+  const Pattern b = Tp("IT-personnel//bonus");
+  EXPECT_TRUE(BatchAnchoredProbabilities(pd, {&a, &b}).empty());
+}
+
+// det and exp regions (not produced by docgen): candidates behind a det
+// group, inside correlated exp subsets, and under an ind edge.
+TEST(BatchEvalTest, DetAndExpRegions) {
+  PDocument pd;
+  const NodeId a = pd.AddRoot(Intern("a"));
+  const NodeId det = pd.AddDistributional(a, PKind::kDet);
+  const NodeId b1 = pd.AddOrdinary(det, Intern("b"));
+  pd.AddOrdinary(b1, Intern("d"));
+  const NodeId exp = pd.AddExp(a);
+  pd.AddOrdinary(exp, Intern("b"));
+  pd.AddOrdinary(exp, Intern("c"));
+  pd.SetExpDistribution(exp, {{{0, 1}, 0.4}, {{0}, 0.3}});
+  const NodeId ind = pd.AddDistributional(a, PKind::kInd);
+  const NodeId b3 = pd.AddOrdinary(ind, Intern("b"), 0.6);
+  pd.AddOrdinary(b3, Intern("d"));
+  ASSERT_TRUE(pd.Validate().ok());
+
+  for (const char* qs : {"a//b", "a/b", "a//b[d]", "a[c]//b"}) {
+    const Pattern q = Tp(qs);
+    const auto batch = ByNode(BatchSelectionProbabilities(pd, q));
+    ExpectSameMap(PerCandidateLoop(pd, q), batch, 1e-12);
+    std::map<NodeId, double> naive;
+    for (const auto& [n, p] : NaiveEvaluateTP(pd, q)) {
+      if (p > 1e-12) naive[n] = p;
+    }
+    ExpectSameMap(naive, batch, 1e-12);
+  }
+}
+
+// ~100 random instances: batch vs per-candidate loop vs naive oracle.
+class BatchVsLoopVsOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchVsLoopVsOracle, TPAgrees) {
+  Rng rng(3000 + GetParam());
+  DocGenOptions d;
+  d.target_nodes = 14;
+  d.label_count = 3;
+  QueryGenOptions qo;
+  qo.depth = 2 + GetParam() % 3;
+  qo.label_count = 3;
+  const PDocument pd = RandomPDocument(rng, d);
+  const Pattern q = RandomQuery(rng, qo);
+  const auto batch = ByNode(BatchSelectionProbabilities(pd, q));
+  ExpectSameMap(PerCandidateLoop(pd, q), batch, 1e-9);
+  std::map<NodeId, double> naive;
+  for (const auto& [n, p] : NaiveEvaluateTP(pd, q)) {
+    if (p > 1e-12) naive[n] = p;
+  }
+  ExpectSameMap(naive, batch, 1e-9);
+}
+
+TEST_P(BatchVsLoopVsOracle, TPIAgrees) {
+  Rng rng(4000 + GetParam());
+  DocGenOptions d;
+  d.target_nodes = 12;
+  d.label_count = 3;
+  QueryGenOptions qo;
+  qo.depth = 2;
+  qo.label_count = 3;
+  const PDocument pd = RandomPDocument(rng, d);
+  TpIntersection q({RandomQuery(rng, qo), RandomQuery(rng, qo)});
+  if (q.members()[0].OutLabel() != q.members()[1].OutLabel()) return;
+  const auto batch = ByNode(
+      BatchAnchoredProbabilities(pd, {&q.members()[0], &q.members()[1]}));
+  // Per-candidate anchored conjunction loop.
+  std::map<NodeId, double> loop;
+  for (NodeId n = 0; n < pd.size(); ++n) {
+    if (!pd.ordinary(n) || pd.label(n) != q.members()[0].OutLabel()) continue;
+    std::vector<NodeId> anchor{n};
+    std::vector<Goal> goals;
+    for (const Pattern& m : q.members()) goals.push_back({&m, &anchor});
+    const double p = ConjunctionProbability(pd, goals);
+    if (p > 1e-12) loop[n] = p;
+  }
+  ExpectSameMap(loop, batch, 1e-9);
+  std::map<NodeId, double> naive;
+  for (const auto& [n, p] : NaiveEvaluateTPI(pd, q)) {
+    if (p > 1e-12) naive[n] = p;
+  }
+  ExpectSameMap(naive, batch, 1e-9);
+}
+
+// Larger documents (beyond the oracle's reach): batch vs loop only.
+TEST_P(BatchVsLoopVsOracle, TPAgreesOnLargerDocs) {
+  if (GetParam() >= 10) return;  // Ten heavier instances suffice.
+  Rng rng(6000 + GetParam());
+  DocGenOptions d;
+  d.target_nodes = 120;
+  d.label_count = 3;
+  QueryGenOptions qo;
+  qo.depth = 3;
+  qo.label_count = 3;
+  const PDocument pd = RandomPDocument(rng, d);
+  const Pattern q = RandomQuery(rng, qo);
+  ExpectSameMap(PerCandidateLoop(pd, q),
+                ByNode(BatchSelectionProbabilities(pd, q)), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchVsLoopVsOracle, ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace pxv

@@ -1,0 +1,181 @@
+// EvalSession and ProbBackend coverage: the 128-slot DP cap (regression for
+// the old 64-node rejection), automatic exact→naive fallback, and the
+// session's index / memoization behavior.
+
+#include <gtest/gtest.h>
+
+#include "gen/docgen.h"
+#include "gen/paper.h"
+#include "prob/backend.h"
+#include "prob/eval_session.h"
+#include "prob/naive.h"
+#include "prob/query_eval.h"
+#include "tp/parser.h"
+#include "util/random.h"
+
+namespace pxv {
+namespace {
+
+// r / a / a / … (`n_as` a-steps), out at the chain's end.
+Pattern Chain(int n_as) {
+  Pattern q;
+  PNodeId cur = q.AddRoot(Intern("r"));
+  for (int i = 0; i < n_as; ++i) cur = q.AddChild(cur, Intern("a"), Axis::kChild);
+  q.SetOut(cur);
+  return q;
+}
+
+// r → ind(p) → a → a → … (`n_as` a-nodes, the first behind the ind edge).
+PDocument ChainDoc(int n_as, double p) {
+  PDocument pd;
+  const NodeId root = pd.AddRoot(Intern("r"));
+  const NodeId ind = pd.AddDistributional(root, PKind::kInd);
+  NodeId cur = pd.AddOrdinary(ind, Intern("a"), p);
+  for (int i = 1; i < n_as; ++i) cur = pd.AddOrdinary(cur, Intern("a"));
+  PXV_CHECK(pd.Validate().ok());
+  return pd;
+}
+
+// Regression: the packed DP used to reject conjunctions over 64 query nodes
+// although the key had room for 128. A 66-node pattern must evaluate on the
+// exact backend.
+TEST(EvalSessionTest, ConjunctionBeyond64Nodes) {
+  const PDocument pd = ChainDoc(70, 0.5);
+  const Pattern q = Chain(65);  // 66 nodes > the old 64-node cap.
+  EvalSession session(pd, {BackendKind::kExact});
+  EXPECT_NEAR(session.BooleanProbability(q), 0.5, 1e-12);
+  EXPECT_STREQ(session.last_backend(), "exact-dp");
+}
+
+TEST(EvalSessionTest, TwoGoalConjunctionBeyond64TotalNodes) {
+  const PDocument pd = ChainDoc(70, 0.5);
+  const Pattern q1 = Chain(40);
+  const Pattern q2 = Chain(39);  // 41 + 40 = 81 total nodes > 64.
+  EvalSession session(pd, {BackendKind::kExact});
+  EXPECT_NEAR(session.JointProbability({{&q1, nullptr}, {&q2, nullptr}}), 0.5,
+              1e-12);
+}
+
+TEST(EvalSessionTest, ExactAcceptsExactlyAtTheCap) {
+  const PDocument pd = ChainDoc(130, 0.5);
+  const Pattern q = Chain(kMaxConjunctionSlots - 1);  // 128 nodes.
+  EvalSession session(pd, {BackendKind::kExact});
+  EXPECT_NEAR(session.BooleanProbability(q), 0.5, 1e-12);
+}
+
+// One past the cap: the exact backend declines and the naive oracle serves
+// the answer (the chain document has just two worlds).
+TEST(EvalSessionTest, AutoFallsBackToNaiveBeyondTheCap) {
+  const PDocument pd = ChainDoc(135, 0.5);
+  const Pattern q = Chain(kMaxConjunctionSlots);  // 129 nodes.
+  EvalSession session(pd);
+  EXPECT_NEAR(session.BooleanProbability(q), 0.5, 1e-12);
+  EXPECT_STREQ(session.last_backend(), "naive");
+
+  // Batched path falls back too: out sits at chain depth 130.
+  const auto results = session.EvaluateTP(q);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_NEAR(results[0].prob, 0.5, 1e-12);
+  EXPECT_STREQ(session.last_backend(), "naive");
+}
+
+TEST(EvalSessionTest, ExactOnlyDiesBeyondTheCap) {
+  const PDocument pd = ChainDoc(135, 0.5);
+  const Pattern q = Chain(kMaxConjunctionSlots);
+  EvalSession session(pd, {BackendKind::kExact});
+  EXPECT_DEATH(session.BooleanProbability(q), "declined");
+}
+
+TEST(EvalSessionTest, NaiveBackendAgreesWithExact) {
+  Rng rng(77);
+  DocGenOptions d;
+  d.target_nodes = 12;
+  d.label_count = 3;
+  const PDocument pd = RandomPDocument(rng, d);
+  const Pattern q = Tp("root//l0");
+  EvalSession exact(pd, {BackendKind::kExact});
+  EvalSession naive(pd, {BackendKind::kNaive});
+  const auto er = exact.EvaluateTP(q);
+  const auto nr = naive.EvaluateTP(q);
+  ASSERT_EQ(er.size(), nr.size());
+  for (size_t i = 0; i < er.size(); ++i) {
+    EXPECT_EQ(er[i].node, nr[i].node);
+    EXPECT_NEAR(er[i].prob, nr[i].prob, 1e-9);
+  }
+  EXPECT_NEAR(exact.BooleanProbability(q), naive.BooleanProbability(q), 1e-9);
+}
+
+TEST(EvalSessionTest, LabelIndexMatchesScan) {
+  const PDocument pd = paper::PDocPER();
+  EvalSession session(pd);
+  const Label bonus = Intern("bonus");
+  std::vector<NodeId> scan;
+  for (NodeId n = 0; n < pd.size(); ++n) {
+    if (pd.ordinary(n) && pd.label(n) == bonus) scan.push_back(n);
+  }
+  EXPECT_EQ(session.NodesWithLabel(bonus), scan);
+  EXPECT_TRUE(session.NodesWithLabel(Intern("no-such-label")).empty());
+}
+
+TEST(EvalSessionTest, MemoizesBatchedResults) {
+  const PDocument pd = paper::PDocPER();
+  EvalSession session(pd);
+  const Pattern q = paper::QueryBON();
+  const auto first = session.EvaluateTP(q);
+  EXPECT_EQ(session.cache_hits(), 0);
+  const auto second = session.EvaluateTP(q);
+  EXPECT_EQ(session.cache_hits(), 1);
+  ASSERT_EQ(first.size(), second.size());
+  // An isomorphic clone hits the same cache entry (canonical-form keying).
+  session.EvaluateTP(q.Clone());
+  EXPECT_EQ(session.cache_hits(), 2);
+}
+
+TEST(EvalSessionTest, RepeatedPointQueriesTriggerTheBatch) {
+  const PDocument pd = paper::PDocPER();
+  EvalSession session(pd);
+  const Pattern q = paper::ViewV2BON();
+  const NodeId n5 = pd.FindByPid(5);
+  const NodeId n7 = pd.FindByPid(7);
+  // First point query: a single anchored run, no cache involvement.
+  EXPECT_NEAR(session.SelectionProbability(q, n5), 1.0, 1e-12);
+  EXPECT_EQ(session.cache_hits(), 0);
+  // Second point query on the same pattern computes the batch...
+  EXPECT_NEAR(session.SelectionProbability(q, n7), 1.0, 1e-12);
+  EXPECT_EQ(session.cache_hits(), 1);
+  // ...and later points (and the batch itself) are lookups.
+  EXPECT_NEAR(session.SelectionProbability(q, n5), 1.0, 1e-12);
+  EXPECT_EQ(session.cache_hits(), 2);
+  session.EvaluateTP(q);
+  EXPECT_EQ(session.cache_hits(), 3);
+  // A node the query never selects reads 0 from the batch.
+  EXPECT_NEAR(session.SelectionProbability(q, pd.root()), 0.0, 1e-12);
+}
+
+TEST(EvalSessionTest, CachingCanBeDisabled) {
+  const PDocument pd = paper::PDocPER();
+  EvalOptions options;
+  options.cache_results = false;
+  EvalSession session(pd, options);
+  const Pattern q = paper::QueryBON();
+  session.EvaluateTP(q);
+  session.EvaluateTP(q);
+  EXPECT_EQ(session.cache_hits(), 0);
+}
+
+// The naive backend declines world explosions instead of dying, so kAuto
+// sessions on large documents always take the exact path.
+TEST(EvalSessionTest, NaiveDeclinesWorldExplosion) {
+  Rng rng(5);
+  const PDocument pd = PersonnelPDocument(rng, 40);  // 2^40+ worlds.
+  NaiveBackend naive(/*max_worlds=*/1000);
+  const Pattern q = Tp("IT-personnel//person");
+  const auto r = naive.BatchAnchored(pd, {&q});
+  EXPECT_FALSE(r.ok());
+  EvalSession session(pd);
+  EXPECT_GT(session.EvaluateTP(q).size(), 0u);
+  EXPECT_STREQ(session.last_backend(), "exact-dp");
+}
+
+}  // namespace
+}  // namespace pxv
