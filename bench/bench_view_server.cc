@@ -1,0 +1,135 @@
+// ViewServer serving-path benchmarks:
+//
+//   * cold Answer    — compile (TPrewrite + TPIrewrite) on every call, the
+//     pre-serve behavior of Rewriter::Answer;
+//   * cached Answer  — the ViewServer plan cache skips the rewriting search,
+//     leaving only plan selection + f_r execution;
+//   * Materialize    — serial single-session vs. fanned out across the
+//     thread pool (one EvalSession per worker shard). The parallel win
+//     scales with cores; the `threads` counter records the pool size so the
+//     JSON stays interpretable on single-core runners.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/docgen.h"
+#include "rewrite/rewriter.h"
+#include "serve/view_server.h"
+#include "tp/parser.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace pxv {
+namespace {
+
+// Four views make the §4/§5 compile search dominate execution over the
+// (selective, hence small) extensions by orders of magnitude, while keeping
+// the cold path benchmarkable at all: the TP∩ decomposition search is
+// exponential in the registry size (Theorem 4), so 6+ views already push a
+// single compile into tens of seconds.
+void RegisterViews(Rewriter* rewriter, ViewServer* server) {
+  const char* defs[] = {
+      "IT-personnel//person/bonus",
+      "IT-personnel//person[name/Rick]/bonus",
+      "IT-personnel//person/bonus[laptop]",
+      "IT-personnel//person[name/Rick]/bonus[laptop]",
+  };
+  int i = 0;
+  for (const char* def : defs) {
+    const std::string name = "v" + std::to_string(i++);
+    if (rewriter != nullptr) rewriter->AddView(name, Tp(def));
+    if (server != nullptr) server->AddView(name, Tp(def));
+  }
+}
+
+Pattern BenchQuery() {
+  return Tp("IT-personnel//person[name/Rick]/bonus[laptop]");
+}
+
+PDocument BenchDoc(int persons) {
+  Rng rng(2026);
+  return PersonnelPDocument(rng, persons, /*rick_fraction=*/0.2,
+                            /*laptop_fraction=*/0.3);
+}
+
+// The plan-cache miss path: the full compile (TPrewrite + TPIrewrite, the
+// latter exponential in the registry) plus execution — what every Answer
+// call paid before the serve layer, and what PlanFor pays exactly once.
+void BM_AnswerCold(benchmark::State& state) {
+  const PDocument pd = BenchDoc(static_cast<int>(state.range(0)));
+  Rewriter rewriter;
+  RegisterViews(&rewriter, nullptr);
+  const ViewExtensions exts = rewriter.Materialize(pd);
+  const Pattern q = BenchQuery();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExecuteQueryPlan(rewriter.Compile(q), exts));
+  }
+  state.counters["views"] = static_cast<double>(rewriter.views().size());
+}
+BENCHMARK(BM_AnswerCold)->Arg(20)->Arg(60)->Unit(benchmark::kMicrosecond);
+
+// Served behavior: repeated (and isomorphic) queries hit the plan cache.
+void BM_AnswerCached(benchmark::State& state) {
+  const PDocument pd = BenchDoc(static_cast<int>(state.range(0)));
+  ViewServer server;
+  RegisterViews(nullptr, &server);
+  server.Materialize(pd);
+  const Pattern q = BenchQuery();
+  benchmark::DoNotOptimize(server.Answer(q));  // Warm the plan cache.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.Answer(q));
+  }
+  const ViewServerStats stats = server.stats();
+  state.counters["plan_cache_hits"] =
+      static_cast<double>(stats.plan_cache_hits);
+}
+BENCHMARK(BM_AnswerCached)->Arg(20)->Arg(60)->Unit(benchmark::kMicrosecond);
+
+void BM_MaterializeSerial(benchmark::State& state) {
+  const PDocument pd = BenchDoc(static_cast<int>(state.range(0)));
+  Rewriter rewriter;
+  RegisterViews(&rewriter, nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rewriter.Materialize(pd));
+  }
+  state.counters["views"] = static_cast<double>(rewriter.views().size());
+}
+BENCHMARK(BM_MaterializeSerial)->Arg(100)->Arg(300)->Unit(benchmark::kMillisecond);
+
+void BM_MaterializeParallel(benchmark::State& state) {
+  const PDocument pd = BenchDoc(static_cast<int>(state.range(0)));
+  Rewriter rewriter;
+  RegisterViews(&rewriter, nullptr);
+  ThreadPool pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rewriter.Materialize(pd, pool));
+  }
+  state.counters["views"] = static_cast<double>(rewriter.views().size());
+  state.counters["threads"] = static_cast<double>(pool.size());
+}
+BENCHMARK(BM_MaterializeParallel)
+    ->Arg(100)
+    ->Arg(300)
+    ->Unit(benchmark::kMillisecond);
+
+// Batched serving over a mixed query set, sharing cache and pool.
+void BM_AnswerAll(benchmark::State& state) {
+  const PDocument pd = BenchDoc(60);
+  ViewServer server;
+  RegisterViews(nullptr, &server);
+  server.Materialize(pd);
+  const std::vector<Pattern> queries = {
+      Tp("IT-personnel//person[name/Rick]/bonus[laptop]"),
+      Tp("IT-personnel//person/bonus[laptop]"),
+      Tp("IT-personnel//person[name/Rick]/bonus"),
+      Tp("IT-personnel//person/bonus"),
+  };
+  benchmark::DoNotOptimize(server.AnswerAll(queries));  // Warm the cache.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.AnswerAll(queries));
+  }
+  state.counters["queries"] = static_cast<double>(queries.size());
+}
+BENCHMARK(BM_AnswerAll)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace pxv

@@ -1,0 +1,124 @@
+// Shared main for every bench_* target. On top of the standard Google
+// Benchmark behavior it
+//   * writes BENCH_<name>.json next to the working directory — one record
+//     per benchmark with {name, n, ns_per_op, counters} — so the repo's
+//     perf trajectory is machine-readable instead of scroll-back only;
+//   * accepts --smoke, which caps measuring time (CI runs every bench in
+//     smoke mode so the perf path cannot silently rot).
+//
+// <name> is the executable's basename with the "bench_" prefix stripped:
+// ./bench_view_server --smoke  →  BENCH_view_server.json.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+// Console output as usual, plus a captured copy of every per-iteration run.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    int64_t iterations;
+    double ns_per_op;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      row.iterations = run.iterations;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      row.ns_per_op = run.real_accumulated_time / iters * 1e9;
+      for (const auto& [key, counter] : run.counters) {
+        row.counters.emplace_back(key, static_cast<double>(counter));
+      }
+      rows_.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+bool WriteJson(const std::string& path, const CapturingReporter& reporter) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  const auto& rows = reporter.rows();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"n\": %lld, \"ns_per_op\": %.6g",
+                 JsonEscape(row.name).c_str(),
+                 static_cast<long long>(row.iterations), row.ns_per_op);
+    for (const auto& [key, value] : row.counters) {
+      std::fprintf(f, ", \"%s\": %.6g", JsonEscape(key).c_str(), value);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+std::string BenchName(const char* argv0) {
+  std::string name = argv0;
+  const size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  if (name.rfind("bench_", 0) == 0) name = name.substr(6);
+  return name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = "BENCH_" + BenchName(argv[0]) + ".json";
+
+  // Rebuild argv without --smoke, appending its expansion if present.
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  static char kMinTime[] = "--benchmark_min_time=0.01";
+  if (smoke) args.push_back(kMinTime);
+  int argc2 = static_cast<int>(args.size());
+
+  benchmark::Initialize(&argc2, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!WriteJson(json_path, reporter)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s (%zu benchmarks)\n", json_path.c_str(),
+               reporter.rows().size());
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "rewrite/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace pxv {
+namespace {
+
+// Upper bound on the inclusion–exclusion blow-up charged to unrestricted
+// f_r plans: 2^min(result roots, kMaxIePenaltyBits).
+constexpr int kMaxIePenaltyBits = 10;
+
+double TpCost(const TpRewriting& rw, const PDocument& ext) {
+  const double plan_size = static_cast<double>(rw.plan.size());
+  const double ext_nodes = static_cast<double>(ext.size());
+  double cost = plan_size * ext_nodes;
+  if (!rw.restricted) {
+    const int roots =
+        static_cast<int>(ExtensionResultRoots(ext).size());
+    cost *= std::exp2(std::min(roots, kMaxIePenaltyBits));
+  }
+  return cost;
+}
+
+}  // namespace
+
+std::string AnswerPlan::DebugString() const {
+  std::ostringstream out;
+  if (kind == Kind::kTp) {
+    out << "TP via " << tp.view_name
+        << (tp.restricted ? " [restricted]" : " [unrestricted]")
+        << " plan-size " << tp.plan.size();
+  } else {
+    out << "TP∩ over {";
+    for (size_t i = 0; i < required_views.size(); ++i) {
+      out << (i ? "," : "") << required_views[i];
+    }
+    out << "} members " << tpi.members.size();
+  }
+  return out.str();
+}
+
+QueryPlan CompileQuery(const Pattern& q, const std::vector<NamedView>& views,
+                       const CompileOptions& options) {
+  QueryPlan plan;
+  plan.canonical = q.CanonicalString();
+  plan.fingerprint = q.Fingerprint();
+  if (options.tp) {
+    for (TpRewriting& rw : TPrewrite(q, views)) {
+      AnswerPlan cand;
+      cand.kind = AnswerPlan::Kind::kTp;
+      cand.required_views.push_back(rw.view_name);
+      cand.tp = std::move(rw);
+      plan.candidates.push_back(std::move(cand));
+    }
+  }
+  if (!options.tpi) return plan;
+  if (std::optional<TpiRewriting> tpi = TPIrewrite(q, views)) {
+    AnswerPlan cand;
+    cand.kind = AnswerPlan::Kind::kTpi;
+    for (const TpiMember& m : tpi->members) {
+      if (std::find(cand.required_views.begin(), cand.required_views.end(),
+                    m.view_name) == cand.required_views.end()) {
+        cand.required_views.push_back(m.view_name);
+      }
+    }
+    cand.tpi = std::move(*tpi);
+    plan.candidates.push_back(std::move(cand));
+  }
+  return plan;
+}
+
+std::optional<double> EstimateCost(const AnswerPlan& plan,
+                                   const ViewExtensions& exts) {
+  for (const std::string& v : plan.required_views) {
+    if (exts.find(v) == exts.end()) return std::nullopt;
+  }
+  if (plan.kind == AnswerPlan::Kind::kTp) {
+    return TpCost(plan.tp, exts.at(plan.tp.view_name));
+  }
+  double cost = 0;
+  for (const TpiMember& m : plan.tpi.members) {
+    const PDocument& ext = exts.at(m.view_name);
+    cost += static_cast<double>(m.plan.size()) *
+            static_cast<double>(ext.size());
+    if (m.compensated && m.computable) cost += TpCost(m.section4, ext);
+  }
+  return cost;
+}
+
+int SelectPlan(const QueryPlan& plan, const ViewExtensions& exts) {
+  int best = -1;
+  double best_cost = 0;
+  for (size_t i = 0; i < plan.candidates.size(); ++i) {
+    const std::optional<double> cost = EstimateCost(plan.candidates[i], exts);
+    if (!cost.has_value()) continue;
+    if (best < 0 || *cost < best_cost) {
+      best = static_cast<int>(i);
+      best_cost = *cost;
+    }
+  }
+  return best;
+}
+
+std::optional<std::vector<PidProb>> ExecuteQueryPlan(const QueryPlan& plan,
+                                                     const ViewExtensions& exts,
+                                                     int* chosen) {
+  const int pick = SelectPlan(plan, exts);
+  if (chosen != nullptr) *chosen = pick;
+  if (pick < 0) return std::nullopt;
+  const AnswerPlan& cand = plan.candidates[pick];
+  if (cand.kind == AnswerPlan::Kind::kTp) {
+    return ExecuteTpRewriting(cand.tp, exts.at(cand.tp.view_name));
+  }
+  return ExecuteTpiRewriting(cand.tpi, exts);
+}
+
+}  // namespace pxv

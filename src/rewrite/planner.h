@@ -1,0 +1,97 @@
+// Cost-based answer planning. CompileQuery runs the expensive rewriting
+// searches of §4 and §5 *once* — every probabilistic TP-rewriting plus the
+// TP∩-rewriting become AnswerPlan candidates — and the result is a reusable
+// QueryPlan that serving layers cache by the query's canonical fingerprint.
+// ExecuteQueryPlan then picks, per call, the cheapest candidate that is
+// actually executable over the materialized extensions at hand, falling
+// through to the next candidate instead of crashing when a view extension
+// is missing.
+//
+// The cost model (EstimateCost) is deliberately coarse — it only has to
+// rank candidates, not predict wall time:
+//   TP plan   cost = |plan pattern| × |extension nodes|
+//                    × (restricted f_r ? 1 : 2^min(candidates, 10))
+//     — Theorem 1 plans are a single division per answer; Theorem 2 plans
+//       pay inclusion–exclusion over ancestor events, exponential in the
+//       worst case, so unrestricted f_r is penalized by the number of
+//       extension result roots (the upper bound on selected ancestors).
+//   TP∩ plan  cost = Σ_members |member plan| × |member extension nodes|,
+//       plus the TP cost of each compensated member's §4 machinery
+//     — every member is one pid-retrieval scan; compensated members in V″
+//       additionally run ExecuteTpRewriting against their extension.
+
+#ifndef PXV_REWRITE_PLANNER_H_
+#define PXV_REWRITE_PLANNER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pxml/view_extension.h"
+#include "rewrite/fr_tp.h"
+#include "rewrite/tp_rewrite.h"
+#include "rewrite/tpi_rewrite.h"
+#include "tp/pattern.h"
+
+namespace pxv {
+
+/// One way to answer the query from extensions: a §4 TP-rewriting over a
+/// single extension, or the §5 TP∩-rewriting over several.
+struct AnswerPlan {
+  enum class Kind { kTp, kTpi };
+  Kind kind = Kind::kTp;
+
+  TpRewriting tp;   ///< Valid iff kind == kTp.
+  TpiRewriting tpi; ///< Valid iff kind == kTpi.
+
+  /// Names of the view extensions the plan reads. The plan is executable
+  /// against a ViewExtensions set iff all of them are present.
+  std::vector<std::string> required_views;
+
+  /// One-line description for logs and tools.
+  std::string DebugString() const;
+};
+
+/// The compiled, cacheable form of a query: every answer candidate found by
+/// the §4/§5 searches, in discovery order (all TP rewritings, then TP∩).
+struct QueryPlan {
+  uint64_t fingerprint = 0;      ///< Pattern::Fingerprint() of the query.
+  std::string canonical;         ///< Pattern canonical string (cache key).
+  std::vector<AnswerPlan> candidates;
+
+  /// True iff some rewriting exists at all (independent of materialization).
+  bool answerable() const { return !candidates.empty(); }
+};
+
+struct CompileOptions {
+  bool tp = true;   ///< Run the §4 TPrewrite search.
+  bool tpi = true;  ///< Run the §5 TPIrewrite search (worst-case exponential
+                    ///< in the registry size — Theorem 4).
+};
+
+/// Runs TPrewrite and TPIrewrite once and assembles the candidate list.
+/// This is the expensive call the plan cache amortizes. Callers that cannot
+/// amortize (one-shot answering) can stage the searches via `options` —
+/// see Rewriter::Answer, which only pays for TPIrewrite when no TP
+/// candidate is executable.
+QueryPlan CompileQuery(const Pattern& q, const std::vector<NamedView>& views,
+                       const CompileOptions& options = {});
+
+/// Estimated execution cost of `plan` over `exts`; nullopt when a required
+/// extension is missing (the plan is not executable right now).
+std::optional<double> EstimateCost(const AnswerPlan& plan,
+                                   const ViewExtensions& exts);
+
+/// Index of the cheapest executable candidate, or -1 when none is.
+int SelectPlan(const QueryPlan& plan, const ViewExtensions& exts);
+
+/// Executes the cheapest executable candidate. Returns nullopt when the
+/// query has no rewriting *or* none of its candidates can run over `exts`
+/// (never crashes on a missing extension). `chosen`, when non-null,
+/// receives the executed candidate's index (-1 on nullopt).
+std::optional<std::vector<PidProb>> ExecuteQueryPlan(
+    const QueryPlan& plan, const ViewExtensions& exts, int* chosen = nullptr);
+
+}  // namespace pxv
+
+#endif  // PXV_REWRITE_PLANNER_H_

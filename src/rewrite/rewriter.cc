@@ -1,5 +1,8 @@
 #include "rewrite/rewriter.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "prob/query_eval.h"
 #include "util/check.h"
 
@@ -32,6 +35,33 @@ ViewExtensions Rewriter::Materialize(EvalSession& session,
   return exts;
 }
 
+ViewExtensions Rewriter::Materialize(const PDocument& pd, ThreadPool& pool,
+                                     const ViewExtensionOptions& options) const {
+  const int n = static_cast<int>(views_.size());
+  if (n <= 1 || pool.size() <= 1) return Materialize(pd, options);
+  // One shard per worker; each shard owns its EvalSession (sessions are
+  // single-threaded) and strides over the view list.
+  const int shards = std::min(pool.size(), n);
+  std::vector<ViewExtensions> partial(shards);
+  pool.ParallelFor(shards, [&](int s) {
+    EvalSession session(pd);
+    for (int i = s; i < n; i += shards) {
+      const NamedView& v = views_[i];
+      std::vector<ViewResultEntry> results;
+      for (const NodeProb& np : session.EvaluateTP(v.def)) {
+        results.push_back({np.node, np.prob});
+      }
+      partial[s].emplace(
+          v.name, BuildViewExtension(session.doc(), v.name, results, options));
+    }
+  });
+  ViewExtensions exts;
+  for (ViewExtensions& p : partial) {
+    for (auto& [name, ext] : p) exts.emplace(name, std::move(ext));
+  }
+  return exts;
+}
+
 std::vector<TpRewriting> Rewriter::FindTp(const Pattern& q) const {
   return TPrewrite(q, views_);
 }
@@ -40,19 +70,24 @@ std::optional<TpiRewriting> Rewriter::FindTpi(const Pattern& q) const {
   return TPIrewrite(q, views_);
 }
 
+QueryPlan Rewriter::Compile(const Pattern& q) const {
+  return CompileQuery(q, views_);
+}
+
 std::optional<std::vector<PidProb>> Rewriter::Answer(
     const Pattern& q, const ViewExtensions& exts) const {
-  const std::vector<TpRewriting> tp = FindTp(q);
-  if (!tp.empty()) {
-    const auto it = exts.find(tp[0].view_name);
-    PXV_CHECK(it != exts.end()) << "extension not materialized";
-    return ExecuteTpRewriting(tp[0], it->second);
+  // Staged compile: one-shot callers should not pay the worst-case
+  // exponential TPIrewrite search when a TP candidate can already serve.
+  // (The serve layer's plan cache full-compiles instead — pay once, keep
+  // the TP∩ candidate around for cost-based selection.)
+  CompileOptions tp_only;
+  tp_only.tpi = false;
+  if (auto answer = ExecuteQueryPlan(CompileQuery(q, views_, tp_only), exts)) {
+    return answer;
   }
-  const std::optional<TpiRewriting> tpi = FindTpi(q);
-  if (tpi.has_value()) {
-    return ExecuteTpiRewriting(*tpi, exts);
-  }
-  return std::nullopt;
+  CompileOptions tpi_only;
+  tpi_only.tp = false;
+  return ExecuteQueryPlan(CompileQuery(q, views_, tpi_only), exts);
 }
 
 }  // namespace pxv

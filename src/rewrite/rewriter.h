@@ -15,8 +15,10 @@
 #include "pxml/pdocument.h"
 #include "pxml/view_extension.h"
 #include "rewrite/fr_tp.h"
+#include "rewrite/planner.h"
 #include "rewrite/tp_rewrite.h"
 #include "rewrite/tpi_rewrite.h"
+#include "util/thread_pool.h"
 
 namespace pxv {
 
@@ -40,15 +42,28 @@ class Rewriter {
   ViewExtensions Materialize(EvalSession& session,
                              const ViewExtensionOptions& options = {}) const;
 
+  /// Parallel materialization: views are sharded across `pool`'s workers,
+  /// one EvalSession per shard (sessions are single-threaded). Falls back to
+  /// the serial single-session path for ≤ 1 view or a single-worker pool.
+  ViewExtensions Materialize(const PDocument& pd, ThreadPool& pool,
+                             const ViewExtensionOptions& options = {}) const;
+
   /// §4 (copy semantics): all probabilistic TP-rewritings of q.
   std::vector<TpRewriting> FindTp(const Pattern& q) const;
 
   /// §5 (persistent ids): probabilistic TP∩-rewriting of q, if any.
   std::optional<TpiRewriting> FindTpi(const Pattern& q) const;
 
-  /// End-to-end convenience: answer q from the extensions only. Tries TP
-  /// rewritings first, then TP∩. Returns nullopt when q is not answerable
-  /// from the registered views.
+  /// Compiles q against the registered views: all TP rewritings plus the
+  /// TP∩ rewriting as costed AnswerPlan candidates (rewrite/planner.h).
+  /// This is the expensive call that serve/'s plan cache amortizes.
+  QueryPlan Compile(const Pattern& q) const;
+
+  /// End-to-end convenience: answer q from the extensions only — a thin
+  /// façade over Compile + ExecuteQueryPlan, so the cheapest *executable*
+  /// candidate runs and a missing view extension means falling through to
+  /// the next candidate, not a crash. Returns nullopt when q has no
+  /// rewriting or none of its candidates can run over `exts`.
   std::optional<std::vector<PidProb>> Answer(const Pattern& q,
                                              const ViewExtensions& exts) const;
 

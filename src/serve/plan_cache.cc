@@ -1,0 +1,65 @@
+#include "serve/plan_cache.h"
+
+#include "util/check.h"
+
+namespace pxv {
+
+PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {
+  PXV_CHECK(capacity_ > 0) << "plan cache capacity must be positive";
+}
+
+std::shared_ptr<const QueryPlan> PlanCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // Move to front.
+  return it->second->second;
+}
+
+std::shared_ptr<const QueryPlan> PlanCache::Insert(
+    const std::string& key, std::shared_ptr<const QueryPlan> plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Concurrent compile of the same query: keep the existing entry so all
+    // callers converge on one plan instance.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+  lru_.emplace_front(key, std::move(plan));
+  index_.emplace(key, lru_.begin());
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  return lru_.front().second;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+int64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+int64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace pxv

@@ -1,0 +1,54 @@
+// Thread-safe LRU cache of compiled QueryPlans, keyed by the query's
+// canonical pattern string (tp/pattern.h — invariant under predicate
+// reordering, so repeated *and isomorphic* queries share one slot; the
+// 64-bit Fingerprint rides along in the plan for cheap external keying).
+// Values are shared_ptr<const QueryPlan> so a reader can keep executing a
+// plan that a concurrent insert has just evicted.
+
+#ifndef PXV_SERVE_PLAN_CACHE_H_
+#define PXV_SERVE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "rewrite/planner.h"
+
+namespace pxv {
+
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity = 1024);
+
+  /// Returns the cached plan and refreshes its LRU position, or nullptr.
+  std::shared_ptr<const QueryPlan> Lookup(const std::string& key);
+
+  /// Inserts (or replaces) the plan under `key`, evicting the least
+  /// recently used entry when over capacity. Returns the stored pointer.
+  std::shared_ptr<const QueryPlan> Insert(const std::string& key,
+                                          std::shared_ptr<const QueryPlan> plan);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  int64_t hits() const;
+  int64_t misses() const;
+  void Clear();
+
+ private:
+  using LruList = std::list<std::pair<std::string, std::shared_ptr<const QueryPlan>>>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  // Front = most recently used.
+  std::unordered_map<std::string, LruList::iterator> index_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace pxv
+
+#endif  // PXV_SERVE_PLAN_CACHE_H_

@@ -1,0 +1,78 @@
+#include "serve/view_server.h"
+
+#include <utility>
+
+namespace pxv {
+
+ViewServer::ViewServer(ViewServerOptions options)
+    : options_(options),
+      pool_(options.threads),
+      cache_(options.plan_cache_capacity),
+      exts_(std::make_shared<const ViewExtensions>()) {}
+
+void ViewServer::AddView(std::string name, Pattern def) {
+  rewriter_.AddView(std::move(name), std::move(def));
+}
+
+void ViewServer::Materialize(const PDocument& pd) {
+  SetExtensions(rewriter_.Materialize(pd, pool_, options_.extension_options));
+  materializations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ViewServer::SetExtensions(ViewExtensions exts) {
+  auto snapshot = std::make_shared<const ViewExtensions>(std::move(exts));
+  std::lock_guard<std::mutex> lock(exts_mu_);
+  exts_ = std::move(snapshot);
+}
+
+std::shared_ptr<const ViewExtensions> ViewServer::extensions() const {
+  std::lock_guard<std::mutex> lock(exts_mu_);
+  return exts_;
+}
+
+std::shared_ptr<const QueryPlan> ViewServer::PlanFor(const Pattern& q) {
+  const std::string key = q.CanonicalString();
+  if (std::shared_ptr<const QueryPlan> plan = cache_.Lookup(key)) return plan;
+  // Compile outside the cache lock; a concurrent compile of the same query
+  // races benignly — Insert keeps the first plan and both callers use it.
+  auto plan = std::make_shared<const QueryPlan>(rewriter_.Compile(q));
+  return cache_.Insert(key, std::move(plan));
+}
+
+std::optional<std::vector<PidProb>> ViewServer::AnswerOne(
+    const Pattern& q, const ViewExtensions& exts) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  std::optional<std::vector<PidProb>> result =
+      ExecuteQueryPlan(*PlanFor(q), exts);
+  if (!result.has_value()) {
+    unanswerable_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+std::optional<std::vector<PidProb>> ViewServer::Answer(const Pattern& q) {
+  const std::shared_ptr<const ViewExtensions> snapshot = extensions();
+  return AnswerOne(q, *snapshot);
+}
+
+std::vector<std::optional<std::vector<PidProb>>> ViewServer::AnswerAll(
+    const std::vector<Pattern>& queries) {
+  const std::shared_ptr<const ViewExtensions> snapshot = extensions();
+  std::vector<std::optional<std::vector<PidProb>>> results(queries.size());
+  pool_.ParallelFor(static_cast<int>(queries.size()), [&](int i) {
+    results[i] = AnswerOne(queries[i], *snapshot);
+  });
+  return results;
+}
+
+ViewServerStats ViewServer::stats() const {
+  ViewServerStats s;
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.plan_cache_hits = cache_.hits();
+  s.plan_cache_misses = cache_.misses();
+  s.unanswerable = unanswerable_.load(std::memory_order_relaxed);
+  s.materializations = materializations_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace pxv

@@ -1,0 +1,115 @@
+// ViewServer — the serving layer the paper's workload implies: materialize
+// view extensions once, then answer many queries from them. It owns
+//   * a Rewriter (the view registry + §4/§5 rewriting searches),
+//   * a PlanCache keyed by the query's canonical pattern string (the
+//     64-bit Fingerprint rides along in the plan), so repeated and
+//     isomorphic queries skip the exponential TPrewrite/TPIrewrite search,
+//   * a ThreadPool that fans view materialization out (one EvalSession per
+//     worker shard) and batches AnswerAll across queries.
+//
+// Concurrency contract: register views (AddView) before serving. After
+// that, Materialize / Answer / AnswerAll may be called freely from any
+// number of threads — extensions are swapped atomically as an immutable
+// snapshot, so in-flight answers keep reading the extensions they started
+// with. Do not call the serving methods from inside the server's own pool
+// tasks (see util/thread_pool.h).
+
+#ifndef PXV_SERVE_VIEW_SERVER_H_
+#define PXV_SERVE_VIEW_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pxml/pdocument.h"
+#include "pxml/view_extension.h"
+#include "rewrite/planner.h"
+#include "rewrite/rewriter.h"
+#include "serve/plan_cache.h"
+#include "util/thread_pool.h"
+
+namespace pxv {
+
+struct ViewServerOptions {
+  /// Worker threads; ≤ 0 picks ThreadPool::DefaultThreads().
+  int threads = 0;
+  /// Compiled plans kept before LRU eviction.
+  size_t plan_cache_capacity = 1024;
+  /// Passed through to BuildViewExtension during materialization.
+  ViewExtensionOptions extension_options;
+};
+
+/// Monotonic serving counters (one consistent snapshot per stats() call).
+struct ViewServerStats {
+  int64_t queries = 0;           ///< Answer calls (AnswerAll counts each).
+  int64_t plan_cache_hits = 0;
+  int64_t plan_cache_misses = 0;
+  int64_t unanswerable = 0;      ///< Answers that returned nullopt.
+  int64_t materializations = 0;  ///< Materialize calls.
+};
+
+class ViewServer {
+ public:
+  explicit ViewServer(ViewServerOptions options = {});
+
+  /// Registers a view. Must happen before Materialize/Answer (the plan
+  /// cache would otherwise serve plans compiled against the old registry).
+  void AddView(std::string name, Pattern def);
+
+  const Rewriter& rewriter() const { return rewriter_; }
+  ThreadPool& pool() { return pool_; }
+  PlanCache& plan_cache() { return cache_; }
+
+  /// Materializes every registered view over `pd` in parallel across the
+  /// pool and publishes the result as the current extension snapshot.
+  void Materialize(const PDocument& pd);
+
+  /// Publishes caller-built extensions (e.g. loaded from storage, or a
+  /// deliberately partial set) as the current snapshot.
+  void SetExtensions(ViewExtensions exts);
+
+  /// Current extension snapshot; empty (but non-null) before the first
+  /// Materialize/SetExtensions.
+  std::shared_ptr<const ViewExtensions> extensions() const;
+
+  /// The compiled plan for q: plan-cache lookup by canonical fingerprint,
+  /// compiling (TPrewrite + TPIrewrite) only on a miss.
+  std::shared_ptr<const QueryPlan> PlanFor(const Pattern& q);
+
+  /// Answers q from the current extension snapshot via the cheapest
+  /// executable plan candidate. nullopt when q has no rewriting or no
+  /// candidate is executable over the snapshot.
+  std::optional<std::vector<PidProb>> Answer(const Pattern& q);
+
+  /// Batched serving: answers every query, sharing the plan cache and the
+  /// extension snapshot, fanning the queries out across the pool. Result i
+  /// corresponds to queries[i].
+  std::vector<std::optional<std::vector<PidProb>>> AnswerAll(
+      const std::vector<Pattern>& queries);
+
+  ViewServerStats stats() const;
+
+ private:
+  std::optional<std::vector<PidProb>> AnswerOne(
+      const Pattern& q, const ViewExtensions& exts);
+
+  ViewServerOptions options_;
+  Rewriter rewriter_;
+  ThreadPool pool_;
+  PlanCache cache_;
+
+  mutable std::mutex exts_mu_;
+  std::shared_ptr<const ViewExtensions> exts_;
+
+  std::atomic<int64_t> queries_{0};
+  std::atomic<int64_t> unanswerable_{0};
+  std::atomic<int64_t> materializations_{0};
+};
+
+}  // namespace pxv
+
+#endif  // PXV_SERVE_VIEW_SERVER_H_

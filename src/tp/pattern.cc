@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "xml/canonical.h"
 
 namespace pxv {
 
@@ -109,6 +110,8 @@ std::string Pattern::CanonicalString() const {
   if (empty()) return "";
   return Canon(root());
 }
+
+uint64_t Pattern::Fingerprint() const { return CanonicalHash64(CanonicalString()); }
 
 PNodeId GraftSubtree(const Pattern& src, PNodeId src_node, Pattern* dst,
                      PNodeId dst_parent, Axis axis, PNodeId* out_image) {

@@ -88,6 +88,13 @@ class Pattern {
   /// minimized queries (paper: equivalence of minimized TPs = isomorphism).
   std::string CanonicalString() const;
 
+  /// Stable 64-bit fingerprint of CanonicalString() (xml/canonical.h's
+  /// CanonicalHash64 extended to patterns: //-edges, predicates and the out
+  /// node all participate). Isomorphic patterns — e.g. the same predicates
+  /// listed in a different order — fingerprint identically, which is what
+  /// lets a plan cache serve repeated and isomorphic queries from one slot.
+  uint64_t Fingerprint() const;
+
  private:
   struct Node {
     Label label = 0;

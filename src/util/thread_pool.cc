@@ -1,0 +1,75 @@
+#include "util/thread_pool.h"
+
+#include <utility>
+
+namespace pxv {
+
+int ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = num_threads > 0 ? num_threads : DefaultThreads();
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& body) {
+  if (n <= 0) return;
+  if (n == 1 || size() <= 1) {
+    for (int i = 0; i < n; ++i) body(i);
+    return;
+  }
+  // Completion latch shared by the n tasks.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    int pending;
+  };
+  Latch latch{{}, {}, n};
+  for (int i = 0; i < n; ++i) {
+    Submit([&latch, &body, i] {
+      body(i);
+      std::lock_guard<std::mutex> lock(latch.mu);
+      if (--latch.pending == 0) latch.cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(latch.mu);
+  latch.cv.wait(lock, [&latch] { return latch.pending == 0; });
+}
+
+}  // namespace pxv

@@ -1,0 +1,62 @@
+// A fixed-size worker pool for fanning independent work items out across
+// cores. The serving layer uses it to materialize views in parallel (one
+// EvalSession per worker shard — sessions are documented single-threaded)
+// and to batch-answer query sets.
+//
+// Design constraints:
+//   * Tasks must not block on the pool themselves (no nested ParallelFor
+//     from inside a task) — the pool does not steal work, so a task waiting
+//     on the pool can deadlock it.
+//   * Submit/ParallelFor are safe to call from several caller threads at
+//     once; tasks from concurrent callers interleave on the shared workers.
+
+#ifndef PXV_UTIL_THREAD_POOL_H_
+#define PXV_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pxv {
+
+class ThreadPool {
+ public:
+  /// `num_threads` ≤ 0 picks DefaultThreads(). A pool of size 1 still runs
+  /// tasks on its (single) worker thread; ParallelFor degenerates to an
+  /// inline loop in that case to avoid pointless hand-offs.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Tasks run in FIFO order per worker pick-up.
+  void Submit(std::function<void()> task);
+
+  /// Runs body(0..n-1) across the pool and blocks until all calls returned.
+  /// With n ≤ 1 or a single-worker pool the body runs inline on the caller.
+  /// Must not be called from inside a pool task (see header comment).
+  void ParallelFor(int n, const std::function<void(int)>& body);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace pxv
+
+#endif  // PXV_UTIL_THREAD_POOL_H_

@@ -1,7 +1,6 @@
 #include "xml/canonical.h"
 
 #include <algorithm>
-#include <functional>
 #include <vector>
 
 namespace pxv {
@@ -32,8 +31,17 @@ std::string CanonicalStringWithPids(const Document& doc, NodeId n) {
   return Canon(doc, n == kNullNode ? doc.root() : n, /*with_pids=*/true);
 }
 
+uint64_t CanonicalHash64(std::string_view canonical) {
+  uint64_t h = 14695981039346656037ull;  // FNV offset basis.
+  for (const char c : canonical) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime.
+  }
+  return h;
+}
+
 uint64_t CanonicalHash(const Document& doc, NodeId n) {
-  return std::hash<std::string>{}(CanonicalString(doc, n));
+  return CanonicalHash64(CanonicalString(doc, n));
 }
 
 bool Isomorphic(const Document& a, const Document& b) {

@@ -6,10 +6,19 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "xml/document.h"
 
 namespace pxv {
+
+/// Stable 64-bit FNV-1a of a canonical string. Unlike std::hash, the value
+/// is fixed by the algorithm (not the standard library build), so it can be
+/// persisted, compared across processes, and used as a cache fingerprint.
+/// Shared by Document hashing below and tp::Pattern::Fingerprint, which
+/// extends the same unordered-tree canonicalization to tree patterns
+/// (axes, predicates and the output node included).
+uint64_t CanonicalHash64(std::string_view canonical);
 
 /// Canonical string of the subtree rooted at `n` (root = whole document if
 /// n == kNullNode). Two subtrees are isomorphic as unordered labeled trees

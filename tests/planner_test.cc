@@ -1,0 +1,270 @@
+// The cost-based answer planner (rewrite/planner.h) and its façade
+// Rewriter::Answer: candidate enumeration, executable-plan selection,
+// missing-extension fall-through (the old path PXV_CHECK-crashed), and the
+// serve-layer plan cache keyed by canonical pattern fingerprints.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "gen/paper.h"
+#include "prob/query_eval.h"
+#include "rewrite/planner.h"
+#include "rewrite/rewriter.h"
+#include "serve/view_server.h"
+#include "pxml/parser.h"
+#include "tp/parser.h"
+
+namespace pxv {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+std::map<PersistentId, double> ToMap(const std::vector<PidProb>& pps) {
+  std::map<PersistentId, double> m;
+  for (const PidProb& pp : pps) m[pp.pid] = pp.prob;
+  return m;
+}
+
+std::map<PersistentId, double> DirectAnswer(const PDocument& pd,
+                                            const Pattern& q) {
+  std::map<PersistentId, double> m;
+  for (const NodeProb& np : EvaluateTP(pd, q)) m[pd.pid(np.node)] = np.prob;
+  return m;
+}
+
+void ExpectSameAnswers(const std::map<PersistentId, double>& expected,
+                       const std::map<PersistentId, double>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (const auto& [pid, prob] : expected) {
+    ASSERT_TRUE(actual.count(pid)) << "missing pid " << pid;
+    EXPECT_NEAR(prob, actual.at(pid), kTol) << "pid " << pid;
+  }
+}
+
+// A document where a/b subtrees are plentiful but only one carries c: the
+// unqualified view's extension is large, the qualified one's is small.
+PDocument AbcDoc() {
+  return *ParsePDocument(
+      "a(b(ind(c@0.5), x), b(x), b(x, x), b(x), b(x), b(x), b(x), b(x))");
+}
+
+TEST(CompileQueryTest, EnumeratesTpAndTpiCandidates) {
+  const std::vector<NamedView> views = {{"vbig", Tp("a/b")},
+                                        {"vsmall", Tp("a/b[c]")}};
+  const QueryPlan plan = CompileQuery(Tp("a/b[c]"), views);
+  EXPECT_TRUE(plan.answerable());
+  EXPECT_EQ(plan.fingerprint, Tp("a/b[c]").Fingerprint());
+  // Both views support a TP rewriting of q = a/b[c].
+  int tp_candidates = 0;
+  for (const AnswerPlan& cand : plan.candidates) {
+    if (cand.kind == AnswerPlan::Kind::kTp) ++tp_candidates;
+  }
+  EXPECT_EQ(tp_candidates, 2);
+}
+
+// Regression (src/rewrite/rewriter.cc:47 before this refactor): the first
+// TP rewriting's view has no materialized extension. The old code did
+// `exts.find(tp[0].view_name)` + PXV_CHECK — an abort. The planner now
+// falls through to the next executable candidate.
+TEST(PlannerTest, MissingExtensionFallsThroughToNextRewriting) {
+  const PDocument pd = AbcDoc();
+  Rewriter rewriter;
+  rewriter.AddView("vbig", Tp("a/b"));      // tp[0] in discovery order.
+  rewriter.AddView("vsmall", Tp("a/b[c]"));
+  ViewExtensions exts = rewriter.Materialize(pd);
+  ASSERT_EQ(exts.erase("vbig"), 1u);  // vbig never materialized.
+
+  const Pattern q = Tp("a/b[c]");
+  const auto answer = rewriter.Answer(q, exts);
+  ASSERT_TRUE(answer.has_value());
+  ExpectSameAnswers(DirectAnswer(pd, q), ToMap(*answer));
+
+  int chosen = -1;
+  const QueryPlan plan = rewriter.Compile(q);
+  ExecuteQueryPlan(plan, exts, &chosen);
+  ASSERT_GE(chosen, 0);
+  EXPECT_EQ(plan.candidates[chosen].tp.view_name, "vsmall");
+}
+
+TEST(PlannerTest, NoExecutableCandidateIsNulloptNotACrash) {
+  Rewriter rewriter;
+  rewriter.AddView("v", Tp("a/b"));
+  const ViewExtensions empty;  // Nothing materialized at all.
+  EXPECT_FALSE(rewriter.Answer(Tp("a/b[c]"), empty).has_value());
+}
+
+// Cost-based selection: both views rewrite q, the first-discovered one has
+// the much bigger extension. The old path executed tp[0] (vbig); the
+// planner must pick vsmall and still produce the right probabilities.
+TEST(PlannerTest, PicksCheaperPlanOverFirstDiscovered) {
+  const PDocument pd = AbcDoc();
+  Rewriter rewriter;
+  rewriter.AddView("vbig", Tp("a/b"));
+  rewriter.AddView("vsmall", Tp("a/b[c]"));
+  const ViewExtensions exts = rewriter.Materialize(pd);
+  ASSERT_GT(exts.at("vbig").size(), exts.at("vsmall").size());
+
+  const Pattern q = Tp("a/b[c]");
+  const QueryPlan plan = rewriter.Compile(q);
+  ASSERT_GE(plan.candidates.size(), 2u);
+  // Discovery order puts vbig first — the mis-pick of the old code.
+  EXPECT_EQ(plan.candidates[0].tp.view_name, "vbig");
+
+  int chosen = -1;
+  const auto answer = ExecuteQueryPlan(plan, exts, &chosen);
+  ASSERT_TRUE(answer.has_value());
+  ASSERT_GE(chosen, 0);
+  EXPECT_EQ(plan.candidates[chosen].tp.view_name, "vsmall");
+  ExpectSameAnswers(DirectAnswer(pd, q), ToMap(*answer));
+
+  const double cost_big = *EstimateCost(plan.candidates[0], exts);
+  const double cost_small = *EstimateCost(plan.candidates[chosen], exts);
+  EXPECT_LT(cost_small, cost_big);
+}
+
+TEST(PlannerTest, UnrestrictedFrIsPenalized) {
+  // Same plan sizes, same extension: a restricted candidate must cost less
+  // than an unrestricted one over any extension with ≥ 1 result.
+  const PDocument pd = paper::PDocPER();
+  Rewriter rewriter;
+  rewriter.AddView("v2BON", paper::ViewV2BON());
+  const ViewExtensions exts = rewriter.Materialize(pd);
+  const QueryPlan plan = rewriter.Compile(paper::QueryBON());
+  const AnswerPlan* tp_plan = nullptr;
+  for (const AnswerPlan& cand : plan.candidates) {
+    if (cand.kind == AnswerPlan::Kind::kTp) tp_plan = &cand;
+  }
+  ASSERT_NE(tp_plan, nullptr);
+  ASSERT_TRUE(tp_plan->tp.restricted);
+  const double restricted_cost = *EstimateCost(*tp_plan, exts);
+  AnswerPlan unrestricted = *tp_plan;
+  unrestricted.tp.restricted = false;
+  EXPECT_GT(*EstimateCost(unrestricted, exts), restricted_cost);
+}
+
+TEST(PlannerTest, MissingTpiMemberExtensionDisablesTpiCandidate) {
+  // q_RBON compiles to a TP candidate via `rick` plus a TP∩ candidate over
+  // {rick, all}. Without `all`'s extension the TP∩ plan is not executable
+  // but the TP plan still serves; without `rick`'s, nothing is executable
+  // and Answer must return nullopt — the old code crashed on the missing
+  // tp[0] extension, and ExecuteTpiRewriting would throw on exts.at().
+  const PDocument pd = paper::PDocPER();
+  Rewriter rewriter;
+  rewriter.AddView("rick", Tp("IT-personnel//person[name/Rick]/bonus"));
+  rewriter.AddView("all", Tp("IT-personnel//person/bonus"));
+  const Pattern q = paper::QueryRBON();
+  const QueryPlan plan = rewriter.Compile(q);
+  ASSERT_GE(plan.candidates.size(), 2u);
+
+  ViewExtensions exts = rewriter.Materialize(pd);
+  ASSERT_EQ(exts.erase("all"), 1u);
+  const auto answer = rewriter.Answer(q, exts);
+  ASSERT_TRUE(answer.has_value());
+  ExpectSameAnswers(DirectAnswer(pd, q), ToMap(*answer));
+
+  ViewExtensions no_rick = rewriter.Materialize(pd);
+  ASSERT_EQ(no_rick.erase("rick"), 1u);
+  EXPECT_FALSE(rewriter.Answer(q, no_rick).has_value());
+}
+
+// ------------------------------------------------------------ ViewServer ----
+
+TEST(ViewServerTest, AnswersMatchDirectEvaluation) {
+  ViewServer server;
+  server.AddView("v2BON", paper::ViewV2BON());
+  server.Materialize(paper::PDocPER());
+  const auto answer = server.Answer(paper::QueryBON());
+  ASSERT_TRUE(answer.has_value());
+  ExpectSameAnswers(DirectAnswer(paper::PDocPER(), paper::QueryBON()),
+                    ToMap(*answer));
+}
+
+TEST(ViewServerTest, PlanCacheHitsOnRepeatedAndIsomorphicQueries) {
+  ViewServer server;
+  server.AddView("v", Tp("a/b"));
+  server.Materialize(AbcDoc());
+
+  const Pattern q1 = Tp("a/b[c][x]");
+  const Pattern q2 = Tp("a/b[x][c]");  // Isomorphic: predicates reordered.
+  ASSERT_EQ(q1.Fingerprint(), q2.Fingerprint());
+
+  server.Answer(q1);
+  ViewServerStats stats = server.stats();
+  EXPECT_EQ(stats.plan_cache_misses, 1);
+  EXPECT_EQ(stats.plan_cache_hits, 0);
+
+  server.Answer(q1);
+  server.Answer(q2);  // Isomorphic query must reuse q1's plan.
+  stats = server.stats();
+  EXPECT_EQ(stats.plan_cache_misses, 1);
+  EXPECT_EQ(stats.plan_cache_hits, 2);
+  EXPECT_EQ(stats.queries, 3);
+}
+
+TEST(ViewServerTest, AnswerAllMatchesIndividualAnswers) {
+  ViewServer server;
+  server.AddView("v1BON", paper::ViewV1BON());
+  server.AddView("v2BON", paper::ViewV2BON());
+  server.Materialize(paper::PDocPER());
+  const std::vector<Pattern> queries = {paper::QueryBON(), paper::QueryRBON(),
+                                        paper::QueryBON()};
+  const auto batched = server.AnswerAll(queries);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto single = server.Answer(queries[i]);
+    ASSERT_EQ(single.has_value(), batched[i].has_value()) << "query " << i;
+    if (single.has_value()) {
+      ExpectSameAnswers(ToMap(*single), ToMap(*batched[i]));
+    }
+  }
+}
+
+TEST(ViewServerTest, AnswerBeforeMaterializeIsNullopt) {
+  ViewServer server;
+  server.AddView("v2BON", paper::ViewV2BON());
+  EXPECT_FALSE(server.Answer(paper::QueryBON()).has_value());
+  EXPECT_EQ(server.stats().unanswerable, 1);
+}
+
+TEST(ViewServerTest, SetExtensionsServesPartialSets) {
+  ViewServer server;
+  server.AddView("vbig", Tp("a/b"));
+  server.AddView("vsmall", Tp("a/b[c]"));
+  const PDocument pd = AbcDoc();
+  Rewriter loader;
+  loader.AddView("vsmall", Tp("a/b[c]"));
+  server.SetExtensions(loader.Materialize(pd));  // Only vsmall present.
+  const auto answer = server.Answer(Tp("a/b[c]"));
+  ASSERT_TRUE(answer.has_value());
+  ExpectSameAnswers(DirectAnswer(pd, Tp("a/b[c]")), ToMap(*answer));
+}
+
+TEST(PlanCacheTest, LruEviction) {
+  PlanCache cache(/*capacity=*/2);
+  auto plan = [](uint64_t fp) {
+    auto p = std::make_shared<QueryPlan>();
+    p->fingerprint = fp;
+    return std::shared_ptr<const QueryPlan>(p);
+  };
+  cache.Insert("a", plan(1));
+  cache.Insert("b", plan(2));
+  EXPECT_NE(cache.Lookup("a"), nullptr);  // Refresh a → b becomes LRU.
+  cache.Insert("c", plan(3));             // Evicts b.
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PlanCacheTest, InsertKeepsFirstPlanOnRace) {
+  PlanCache cache(8);
+  auto p1 = std::make_shared<const QueryPlan>();
+  auto p2 = std::make_shared<const QueryPlan>();
+  EXPECT_EQ(cache.Insert("k", p1), p1);
+  EXPECT_EQ(cache.Insert("k", p2), p1);  // Second compile loses, reuses p1.
+}
+
+}  // namespace
+}  // namespace pxv

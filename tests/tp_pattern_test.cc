@@ -3,6 +3,7 @@
 #include "gen/paper.h"
 #include "tp/parser.h"
 #include "tp/pattern.h"
+#include "xml/canonical.h"
 
 namespace pxv {
 namespace {
@@ -112,6 +113,30 @@ TEST(CanonicalPatternTest, OutSensitivity) {
 
 TEST(CanonicalPatternTest, PredicateOrderInvariance) {
   EXPECT_TRUE(IsomorphicPatterns(Tp("a[b][c]/d"), Tp("a[c][b]/d")));
+}
+
+TEST(FingerprintTest, IsomorphicPatternsShareFingerprint) {
+  // The plan-cache key: invariant under sibling (predicate) reordering …
+  EXPECT_EQ(Tp("a[b][c]/d").Fingerprint(), Tp("a[c][b]/d").Fingerprint());
+  EXPECT_EQ(Tp("a[x/y][.//z]/b").Fingerprint(),
+            Tp("a[.//z][x/y]/b").Fingerprint());
+}
+
+TEST(FingerprintTest, DiscriminatesAxesPredicatesAndOut) {
+  // … but sensitive to //-edges, predicates and the output node.
+  EXPECT_NE(Tp("a/b").Fingerprint(), Tp("a//b").Fingerprint());
+  EXPECT_NE(Tp("a/b").Fingerprint(), Tp("a/b[c]").Fingerprint());
+  Pattern q1 = Tp("a/b/c");
+  Pattern q2 = Tp("a/b/c");
+  q2.SetOut(q2.MainBranch()[1]);
+  EXPECT_NE(q1.Fingerprint(), q2.Fingerprint());
+}
+
+TEST(FingerprintTest, StableAcrossValues) {
+  // FNV-1a of the canonical string — fixed by the algorithm, so safe to
+  // persist outside the process (unlike std::hash).
+  const Pattern q = Tp("a/b");
+  EXPECT_EQ(q.Fingerprint(), CanonicalHash64(q.CanonicalString()));
 }
 
 TEST(GraftTest, CopiesSubtreeWithOut) {

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "util/random.h"
 #include "util/status.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace pxv {
 namespace {
@@ -100,6 +104,54 @@ TEST(StringsTest, StartsWith) {
 TEST(StringsTest, FormatProbability) {
   EXPECT_EQ(FormatProbability(0.5), "0.5");
   EXPECT_EQ(FormatProbability(1.0), "1");
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  constexpr int kN = 1000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.ParallelFor(kN, [&](int i) { counts[i].fetch_add(1); });
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(counts[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForRunsInlineForSmallWork) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.ParallelFor(1, [&](int) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+  pool.ParallelFor(0, [&](int) { FAIL() << "body must not run for n=0"; });
+}
+
+TEST(ThreadPoolTest, SubmitRunsDetachedTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&done] { done.fetch_add(1); });
+    }
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallers) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back(
+        [&] { pool.ParallelFor(100, [&](int) { total.fetch_add(1); }); });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(total.load(), 400);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+  ThreadPool pool;
+  EXPECT_EQ(pool.size(), ThreadPool::DefaultThreads());
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 //   pxvq worlds  <pdoc-file> [max]                   enumerate ⟦P̂⟧
 //   pxvq answer  <pdoc-file> <query> name=def ...    answer q from views only
 //   pxvq rewrite <query> name=def ...                decide rewritability
+//   pxvq plan    <pdoc-file> <query> name=def ...    costed answer plans
 //
 // p-Document files use the text notation of pxml/parser.h, e.g.
 //   a(mux(b(c)@0.25, d@0.5), ind(e@0.75), f)
@@ -32,7 +33,8 @@ int Usage() {
                "  pxvq eval    <pdoc-file> <query>\n"
                "  pxvq worlds  <pdoc-file> [max]\n"
                "  pxvq answer  <pdoc-file> <query> name=def [name=def ...]\n"
-               "  pxvq rewrite <query> name=def [name=def ...]\n");
+               "  pxvq rewrite <query> name=def [name=def ...]\n"
+               "  pxvq plan    <pdoc-file> <query> name=def [name=def ...]\n");
   return 2;
 }
 
@@ -158,6 +160,45 @@ int CmdRewrite(int argc, char** argv) {
   return 0;
 }
 
+// Materializes the views, compiles the query, and shows every AnswerPlan
+// candidate with its estimated cost plus the planner's pick.
+int CmdPlan(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  const auto pd = LoadPDoc(argv[2]);
+  if (!pd.ok()) {
+    std::fprintf(stderr, "%s\n", pd.status().message().c_str());
+    return 1;
+  }
+  const auto q = ParsePattern(argv[3]);
+  if (!q.ok()) {
+    std::fprintf(stderr, "bad query: %s\n", q.status().message().c_str());
+    return 1;
+  }
+  Rewriter rewriter;
+  for (int i = 4; i < argc; ++i) {
+    if (!ParseNamedView(argv[i], &rewriter)) return Usage();
+  }
+  const ViewExtensions exts = rewriter.Materialize(*pd);
+  const QueryPlan plan = rewriter.Compile(*q);
+  std::printf("fingerprint %016llx, %zu candidate plan(s)\n",
+              static_cast<unsigned long long>(plan.fingerprint),
+              plan.candidates.size());
+  const int pick = SelectPlan(plan, exts);
+  for (size_t i = 0; i < plan.candidates.size(); ++i) {
+    const auto cost = EstimateCost(plan.candidates[i], exts);
+    std::printf("  [%zu] %-50s %s%s\n", i,
+                plan.candidates[i].DebugString().c_str(),
+                cost.has_value() ? ("cost " + std::to_string(*cost)).c_str()
+                                 : "not executable (extension missing)",
+                static_cast<int>(i) == pick ? "   ← selected" : "");
+  }
+  if (pick < 0) {
+    std::printf("no executable plan over the materialized extensions\n");
+    return 3;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -167,5 +208,6 @@ int main(int argc, char** argv) {
   if (cmd == "worlds") return CmdWorlds(argc, argv);
   if (cmd == "answer") return CmdAnswer(argc, argv);
   if (cmd == "rewrite") return CmdRewrite(argc, argv);
+  if (cmd == "plan") return CmdPlan(argc, argv);
   return Usage();
 }
