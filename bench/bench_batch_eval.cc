@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_flags.h"
 #include "gen/docgen.h"
 #include "prob/engine.h"
 #include "prob/eval_session.h"
@@ -51,15 +52,34 @@ void BM_PerCandidateLoop(benchmark::State& state) {
 BENCHMARK(BM_PerCandidateLoop)->Arg(50)->Arg(200)->Arg(400)
     ->Unit(benchmark::kMillisecond);
 
-// One pass for all candidates.
+// One pass for all candidates. Under --profile the flat-dist kernel's
+// breakdown counters (per iteration) land in the JSON row.
 void BM_BatchSinglePass(benchmark::State& state) {
   const PDocument pd = Doc(static_cast<int>(state.range(0)));
   const Pattern q = Tp("IT-personnel//person[name/Rick]/bonus[laptop]");
+  DpScratch scratch;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(BatchSelectionProbabilities(pd, q));
+    benchmark::DoNotOptimize(
+        BatchAnchoredProbabilities(pd, {&q}, &scratch, {}));
   }
   state.counters["candidates"] = CandidateCount(pd, q);
   state.counters["pdoc_nodes"] = pd.size();
+  if (benchflags::Profile()) {
+    const DistProfile& prof =
+        static_cast<const DpScratch&>(scratch).profile();
+    const auto per_iter = [&](uint64_t v) {
+      return benchmark::Counter(static_cast<double>(v),
+                                benchmark::Counter::kAvgIterations);
+    };
+    state.counters["table_allocs"] = per_iter(prof.table_allocs);
+    state.counters["table_reuses"] = per_iter(prof.table_reuses);
+    state.counters["rehashes"] = per_iter(prof.rehashes);
+    state.counters["narrow_nodes"] = per_iter(prof.narrow_nodes);
+    state.counters["wide_nodes"] = per_iter(prof.wide_nodes);
+    state.counters["keys_remapped"] = per_iter(prof.keys_remapped);
+    state.counters["arena_peak_bytes"] =
+        benchmark::Counter(static_cast<double>(prof.arena_peak_bytes));
+  }
 }
 BENCHMARK(BM_BatchSinglePass)->Arg(50)->Arg(200)->Arg(400)
     ->Unit(benchmark::kMillisecond);

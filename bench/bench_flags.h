@@ -1,0 +1,24 @@
+// Flags shared by every bench_* target, parsed by the common main
+// (json_main.cc) before Google Benchmark sees argv:
+//   --smoke    caps measuring time (CI sanity runs);
+//   --profile  asks benchmarks that support it to emit kernel breakdown
+//              counters (table allocations, rehashes, narrow- vs wide-key
+//              node counts, ...) into their rows — and thus into
+//              BENCH_<name>.json.
+
+#ifndef PXV_BENCH_BENCH_FLAGS_H_
+#define PXV_BENCH_BENCH_FLAGS_H_
+
+namespace pxv {
+namespace benchflags {
+
+/// True when the binary was invoked with --profile.
+bool Profile();
+
+/// Set by json_main.cc during argv parsing.
+void SetProfile(bool enabled);
+
+}  // namespace benchflags
+}  // namespace pxv
+
+#endif  // PXV_BENCH_BENCH_FLAGS_H_

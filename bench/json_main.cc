@@ -4,12 +4,16 @@
 //     per benchmark with {name, n, ns_per_op, counters} — so the repo's
 //     perf trajectory is machine-readable instead of scroll-back only;
 //   * accepts --smoke, which caps measuring time (CI runs every bench in
-//     smoke mode so the perf path cannot silently rot).
+//     smoke mode so the perf path cannot silently rot);
+//   * accepts --profile (bench_flags.h), which benchmarks may consult to
+//     emit kernel breakdown counters into their rows.
 //
 // <name> is the executable's basename with the "bench_" prefix stripped:
 // ./bench_view_server --smoke  →  BENCH_view_server.json.
 
 #include <benchmark/benchmark.h>
+
+#include "bench_flags.h"
 
 #include <cstdio>
 #include <cstring>
@@ -91,6 +95,16 @@ std::string BenchName(const char* argv0) {
 
 }  // namespace
 
+namespace pxv {
+namespace benchflags {
+namespace {
+bool g_profile = false;
+}  // namespace
+bool Profile() { return g_profile; }
+void SetProfile(bool enabled) { g_profile = enabled; }
+}  // namespace benchflags
+}  // namespace pxv
+
 int main(int argc, char** argv) {
   const std::string json_path = "BENCH_" + BenchName(argv[0]) + ".json";
 
@@ -100,6 +114,8 @@ int main(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      pxv::benchflags::SetProfile(true);
     } else {
       args.push_back(argv[i]);
     }

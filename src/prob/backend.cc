@@ -21,14 +21,24 @@ StatusOr<double> ExactDpBackend::Conjunction(const PDocument& pd,
                                              const std::vector<Goal>& goals) {
   const int slots = ConjunctionSlotCount(goals);
   if (slots > kMaxConjunctionSlots) return DeclineTooLarge("conjunction", slots);
-  return ConjunctionProbability(pd, goals);
+  return ConjunctionProbability(pd, goals, &scratch_,
+                                EngineOptions{options_.prune_eps});
 }
 
 StatusOr<std::vector<NodeProb>> ExactDpBackend::BatchAnchored(
     const PDocument& pd, const std::vector<const Pattern*>& members) {
   const int slots = BatchSlotCount(members);
   if (slots > kMaxConjunctionSlots) return DeclineTooLarge("batch", slots);
-  return BatchAnchoredProbabilities(pd, members);
+  return BatchAnchoredProbabilities(pd, members, &scratch_,
+                                    EngineOptions{options_.prune_eps});
+}
+
+StatusOr<std::vector<std::vector<NodeProb>>> ExactDpBackend::BatchAnchoredMany(
+    const PDocument& pd, const std::vector<const Pattern*>& members) {
+  const int slots = BatchSlotCount(members);
+  if (slots > kMaxConjunctionSlots) return DeclineTooLarge("batch", slots);
+  return BatchManyProbabilities(pd, members, &scratch_,
+                                EngineOptions{options_.prune_eps});
 }
 
 StatusOr<double> NaiveBackend::Conjunction(const PDocument& pd,

@@ -34,19 +34,73 @@ class ProbBackend {
   /// id, zero-probability entries omitted.
   virtual StatusOr<std::vector<NodeProb>> BatchAnchored(
       const PDocument& pd, const std::vector<const Pattern*>& members) = 0;
+
+  /// result[i] = q_i(P̂) for every member (members must share their output
+  /// label). Backends that can answer several queries in one pass override
+  /// this; the default serves each member with BatchAnchored.
+  virtual StatusOr<std::vector<std::vector<NodeProb>>> BatchAnchoredMany(
+      const PDocument& pd, const std::vector<const Pattern*>& members) {
+    std::vector<std::vector<NodeProb>> out;
+    out.reserve(members.size());
+    for (const Pattern* m : members) {
+      StatusOr<std::vector<NodeProb>> r = BatchAnchored(pd, {m});
+      if (!r.ok()) return r.status();
+      out.push_back(*std::move(r));
+    }
+    return out;
+  }
 };
 
 /// Exact bottom-up DP (prob/engine): PTime in |P̂|, exponential in query
 /// size. Declines when the conjunction needs more than
 /// kMaxConjunctionSlots packed DP slots.
+///
+/// The backend owns the flat-dist kernel's scratch state (arena + table
+/// pool + profile counters, prob/dist.h): memory is recycled across calls,
+/// so steady-state evaluation performs no heap allocation. Like the
+/// EvalSession that owns it, a backend is single-threaded state — one per
+/// thread.
+///
+/// Support pruning (`ExactDpOptions::prune_eps`): when eps > 0, every
+/// intermediate distribution drops entries whose mass is <= eps after each
+/// combine/rewrite step, trading exactness for smaller tables. Error
+/// bound: each pruned entry forfeits at most eps of probability mass, and
+/// a state is pruned at most once per DP step that touches it, so any
+/// reported probability deviates from the exact value by at most
+///   eps * S * |P̂|
+/// where S is the largest intermediate support (at most 4^min(live slots,
+/// kNarrowSlotCap) and in practice far smaller) and |P̂| the p-document
+/// size. Results within eps of 0 may be dropped from batch outputs
+/// entirely. The default eps = 0 keeps the DP exact; callers enabling it
+/// should pick eps well below the probabilities they care about (e.g.
+/// kProbEps = 1e-12 from util/numeric.h, matching the result-set filter).
+struct ExactDpOptions {
+  double prune_eps = 0.0;
+};
+
 class ExactDpBackend : public ProbBackend {
  public:
+  ExactDpBackend() = default;
+  explicit ExactDpBackend(const ExactDpOptions& options) : options_(options) {}
+
   const char* name() const override { return "exact-dp"; }
   StatusOr<double> Conjunction(const PDocument& pd,
                                const std::vector<Goal>& goals) override;
   StatusOr<std::vector<NodeProb>> BatchAnchored(
       const PDocument& pd,
       const std::vector<const Pattern*>& members) override;
+  /// One joint DP pass for all members (Σ|q_i| slots); declines over the
+  /// slot cap like BatchAnchored.
+  StatusOr<std::vector<std::vector<NodeProb>>> BatchAnchoredMany(
+      const PDocument& pd,
+      const std::vector<const Pattern*>& members) override;
+
+  /// Cumulative kernel counters for every call served by this backend.
+  const DistProfile& profile() const { return scratch_.profile(); }
+
+ private:
+  ExactDpOptions options_;
+  DpScratch scratch_;
 };
 
 /// Exhaustive possible-world enumeration (prob/naive): exact for any query

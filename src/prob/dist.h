@@ -1,0 +1,615 @@
+// Flat distribution kernel for the exact DP (prob/engine.cc).
+//
+// The bottom-up DP carries sparse probability distributions over packed
+// (A, D) state keys. The previous representation — one std::unordered_map
+// per Convolve/AddScaled — spent most of its cycles in malloc/free and in
+// hashing 4x64-bit keys. This kernel replaces it with:
+//
+//   * FlatDist<K>: a distribution that stores zero or one entries inline
+//     (the overwhelming majority in the DP — deterministic regions
+//     collapse to a single state) and promotes to an open-addressing hash
+//     table (power-of-two capacity, linear probing, no tombstones — the DP
+//     only inserts and accumulates, never erases) whose single storage
+//     block [occupancy bitmap | keys | values] comes from a bump arena;
+//   * DistPool: a free-list of table blocks bucketed by size class on top
+//     of the arena, so the scratch tables a pass churns through are
+//     recycled instead of reallocated;
+//   * DpScratch: the per-session bundle (arena + pool + profile counters)
+//     that EvalSession/ProbBackend thread through the engine. One scratch
+//     per thread, like EvalSession itself.
+//
+// Keys come in two widths. The engine runs each p-document subtree over a
+// *narrowed* key — 2 bits per live query slot, remapped into one uint64_t —
+// whenever at most 32 slots are live in that subtree, and falls back to the
+// 256-bit WideKey (2 bits x kMaxConjunctionSlots = 128 slots, global slot
+// positions) otherwise. See engine.cc for the narrowing pass.
+
+#ifndef PXV_PROB_DIST_H_
+#define PXV_PROB_DIST_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "util/arena.h"
+#include "util/check.h"
+
+namespace pxv {
+
+/// 256-bit packed DP state key over the global query-slot space: bit 2s is
+/// "D(s)" (subtree s embeds at-or-below), bit 2s+1 is "A(s)" (embeds exactly
+/// here). Used when more than 32 slots are live.
+struct WideKey {
+  std::array<uint64_t, 4> w{};
+
+  bool operator==(const WideKey& o) const { return w == o.w; }
+  WideKey operator|(const WideKey& o) const {
+    WideKey r;
+    for (int i = 0; i < 4; ++i) r.w[i] = w[i] | o.w[i];
+    return r;
+  }
+  bool IsEmpty() const { return (w[0] | w[1] | w[2] | w[3]) == 0; }
+};
+
+/// Kernel observability: cheap counters the engine and pool bump while
+/// running. Cumulative per DpScratch; bench_batch_eval --profile emits them
+/// into its JSON.
+struct DistProfile {
+  uint64_t table_allocs = 0;      ///< Fresh blocks bumped from the arena.
+  uint64_t table_reuses = 0;      ///< Blocks served from a pool free list.
+  uint64_t rehashes = 0;          ///< Table growth (rehash) events.
+  uint64_t narrow_nodes = 0;      ///< Ordinary nodes evaluated on 1-word keys.
+  uint64_t wide_nodes = 0;        ///< Ordinary nodes on 256-bit keys.
+  uint64_t keys_remapped = 0;     ///< Keys translated between slot frames.
+  uint64_t pruned_entries = 0;    ///< Entries dropped by eps support pruning.
+  uint64_t runs = 0;              ///< Engine passes served.
+  uint64_t arena_peak_bytes = 0;  ///< High-water arena usage of any pass.
+};
+
+/// Free-list recycler of table blocks over an arena. Blocks of one size
+/// class are identical, so a released block satisfies the next acquisition
+/// of its class without touching the arena.
+class DistPool {
+ public:
+  DistPool(Arena* arena, DistProfile* profile)
+      : arena_(arena), profile_(profile) {}
+
+  void* Acquire(int size_class, size_t bytes) {
+    if (size_class < static_cast<int>(free_.size()) &&
+        !free_[size_class].empty()) {
+      void* p = free_[size_class].back();
+      free_[size_class].pop_back();
+      ++profile_->table_reuses;
+      return p;
+    }
+    ++profile_->table_allocs;
+    return arena_->Alloc(bytes, alignof(uint64_t));
+  }
+
+  void Release(void* block, int size_class) {
+    if (size_class >= static_cast<int>(free_.size())) {
+      free_.resize(size_class + 1);
+    }
+    free_[size_class].push_back(block);
+  }
+
+  /// Drops every free list (arena about to be Reset; the blocks' storage is
+  /// reclaimed wholesale).
+  void Clear() {
+    for (auto& list : free_) list.clear();
+  }
+
+  Arena* arena() { return arena_; }
+  DistProfile* profile() { return profile_; }
+
+ private:
+  Arena* arena_;
+  DistProfile* profile_;
+  std::vector<std::vector<void*>> free_;
+};
+
+namespace dist_internal {
+
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+template <typename K>
+struct KeyTraits;
+
+template <>
+struct KeyTraits<uint64_t> {
+  static uint64_t Hash(uint64_t k) { return Mix64(k); }
+  static constexpr int kSizeClassBit = 0;
+};
+
+template <>
+struct KeyTraits<WideKey> {
+  static uint64_t Hash(const WideKey& k) {
+    uint64_t x = 0x9E3779B97F4A7C15ULL;
+    for (uint64_t v : k.w) {
+      x ^= v + 0x9E3779B97F4A7C15ULL + (x << 6) + (x >> 2);
+      x *= 0xFF51AFD7ED558CCDULL;
+    }
+    return x ^ (x >> 29);
+  }
+  static constexpr int kSizeClassBit = 1;
+};
+
+}  // namespace dist_internal
+
+/// Sparse distribution over keys of type K: insert-or-accumulate, lookup,
+/// iterate, scale, prune — no erase, so probing never meets a tombstone.
+///
+/// A distribution initialized with cap_log2 == kInlineCapLog2 (0, the
+/// default) starts *inline*: its zero-or-one entries live in the object,
+/// no pool block is touched, and the second distinct key promotes it to a
+/// real table. Callers that know the output is multi-entry pass a real
+/// capacity hint to skip the promotion step. Table storage is one pool
+/// block, returned on Release()/destruction (or reclaimed wholesale when
+/// the arena resets). Default-constructed instances own no storage and
+/// behave as empty; the first Add() must follow Init().
+template <typename K>
+class FlatDist {
+ public:
+  static constexpr int kInlineCapLog2 = 0;
+  static constexpr int kMinCapLog2 = 2;
+
+  FlatDist() = default;
+  FlatDist(const FlatDist&) = delete;
+  FlatDist& operator=(const FlatDist&) = delete;
+  FlatDist(FlatDist&& o) { MoveFrom(&o); }
+  FlatDist& operator=(FlatDist&& o) {
+    if (this != &o) {
+      Release();
+      MoveFrom(&o);
+    }
+    return *this;
+  }
+  ~FlatDist() { Release(); }
+
+  bool initialized() const { return inited_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int cap_log2() const { return cap_log2_; }
+  bool inline_mode() const { return block_ == nullptr; }
+
+  void Init(DistPool* pool, int cap_log2 = kInlineCapLog2) {
+    PXV_CHECK(!inited_);
+    pool_ = pool;
+    inited_ = true;
+    size_ = 0;
+    if (cap_log2 <= kInlineCapLog2) {
+      cap_log2_ = kInlineCapLog2;
+      return;
+    }
+    cap_log2_ = cap_log2 < kMinCapLog2 ? kMinCapLog2 : cap_log2;
+    AcquireBlock();
+  }
+
+  /// Returns any storage block to the pool; the dist becomes uninitialized.
+  void Release() {
+    if (block_ != nullptr) {
+      pool_->Release(block_, SizeClass(cap_log2_));
+      block_ = nullptr;
+    }
+    inited_ = false;
+    size_ = 0;
+    cap_log2_ = kInlineCapLog2;
+  }
+
+  /// dist[k] += v, inserting if absent. Promotes / grows as needed.
+  void Add(const K& k, double v) {
+    if (block_ == nullptr) {
+      if (size_ == 0) {
+        ikey_ = k;
+        ival_ = v;
+        size_ = 1;
+        return;
+      }
+      if (ikey_ == k) {
+        ival_ += v;
+        return;
+      }
+      Promote();
+    } else if ((size_ + 1) * 4 > Cap() * 3) {
+      Grow();
+    }
+    TableAdd(k, v);
+  }
+
+  /// Probability mass at `k`; 0 when absent (or uninitialized).
+  double Mass(const K& k) const {
+    if (size_ == 0) return 0;
+    if (block_ == nullptr) return ikey_ == k ? ival_ : 0;
+    const K* keys = Keys();
+    const double* vals = Vals();
+    const size_t mask = Cap() - 1;
+    size_t i = dist_internal::KeyTraits<K>::Hash(k) & mask;
+    for (;;) {
+      if (!Occupied(i)) return 0;
+      if (keys[i] == k) return vals[i];
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// f(key, value) over every entry, unspecified order.
+  template <typename F>
+  void ForEach(F&& f) const {
+    if (size_ == 0) return;
+    if (block_ == nullptr) {
+      f(ikey_, ival_);
+      return;
+    }
+    const uint64_t* occ = Occ();
+    const K* keys = Keys();
+    const double* vals = Vals();
+    const size_t words = OccWords(cap_log2_);
+    for (size_t wi = 0; wi < words; ++wi) {
+      uint64_t bits = occ[wi];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        bits &= bits - 1;
+        const size_t i = wi * 64 + b;
+        f(keys[i], vals[i]);
+      }
+    }
+  }
+
+  void ScaleAll(double p) {
+    if (p == 1.0 || size_ == 0) return;
+    if (block_ == nullptr) {
+      ival_ *= p;
+      return;
+    }
+    const uint64_t* occ = Occ();
+    double* vals = Vals();
+    const size_t words = OccWords(cap_log2_);
+    for (size_t wi = 0; wi < words; ++wi) {
+      uint64_t bits = occ[wi];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        bits &= bits - 1;
+        vals[wi * 64 + b] *= p;
+      }
+    }
+  }
+
+  /// If the dist holds exactly one entry, returns it.
+  bool GetSingle(K* k, double* v) const {
+    if (size_ != 1) return false;
+    if (block_ == nullptr) {
+      *k = ikey_;
+      *v = ival_;
+      return true;
+    }
+    ForEach([&](const K& key, double val) {
+      *k = key;
+      *v = val;
+    });
+    return true;
+  }
+
+  /// True iff the dist holds exactly the all-zero key; returns its mass.
+  bool IsSingletonEmpty(double* mass) const {
+    K k;
+    double v;
+    if (!GetSingle(&k, &v) || !(k == K{})) return false;
+    *mass = v;
+    return true;
+  }
+
+  /// Drops entries with |value| <= eps (support pruning; see backend.h for
+  /// the error bound). Rebuilds table storage at the same capacity.
+  void Prune(double eps) {
+    if (size_ == 0) return;
+    DistProfile* prof = pool_->profile();
+    if (block_ == nullptr) {
+      if (ival_ <= eps && ival_ >= -eps) {
+        size_ = 0;
+        ++prof->pruned_entries;
+      }
+      return;
+    }
+    FlatDist<K> out;
+    out.Init(pool_, cap_log2_);
+    uint64_t dropped = 0;
+    ForEach([&](const K& k, double v) {
+      if (v > eps || v < -eps) {
+        out.Add(k, v);
+      } else {
+        ++dropped;
+      }
+    });
+    prof->pruned_entries += dropped;
+    *this = std::move(out);
+  }
+
+  /// Deep copy (same capacity; inline dists copy without touching the pool).
+  FlatDist<K> Clone() const {
+    FlatDist<K> out;
+    if (!inited_) return out;
+    if (block_ == nullptr) {
+      out.pool_ = pool_;
+      out.inited_ = true;
+      out.cap_log2_ = kInlineCapLog2;
+      out.size_ = size_;
+      out.ikey_ = ikey_;
+      out.ival_ = ival_;
+      return out;
+    }
+    out.Init(pool_, cap_log2_);
+    std::memcpy(out.block_, block_, BlockBytes(cap_log2_));
+    out.size_ = size_;
+    return out;
+  }
+
+ private:
+  size_t Cap() const { return size_t{1} << cap_log2_; }
+  static size_t OccWords(int cap_log2) {
+    return cap_log2 <= 6 ? 1 : (size_t{1} << (cap_log2 - 6));
+  }
+  static size_t BlockBytes(int cap_log2) {
+    return OccWords(cap_log2) * 8 +
+           (size_t{1} << cap_log2) * (sizeof(K) + sizeof(double));
+  }
+  static int SizeClass(int cap_log2) {
+    return cap_log2 * 2 + dist_internal::KeyTraits<K>::kSizeClassBit;
+  }
+
+  // Table storage layout inside the block: [occ bitmap | keys | values].
+  uint64_t* Occ() const { return static_cast<uint64_t*>(block_); }
+  K* Keys() const { return reinterpret_cast<K*>(Occ() + OccWords(cap_log2_)); }
+  double* Vals() const { return reinterpret_cast<double*>(Keys() + Cap()); }
+
+  bool Occupied(size_t i) const { return (Occ()[i >> 6] >> (i & 63)) & 1; }
+  void SetOccupied(size_t i) { Occ()[i >> 6] |= uint64_t{1} << (i & 63); }
+
+  // Insert-or-accumulate into table storage (no capacity check).
+  void TableAdd(const K& k, double v) {
+    K* keys = Keys();
+    double* vals = Vals();
+    const size_t mask = Cap() - 1;
+    size_t i = dist_internal::KeyTraits<K>::Hash(k) & mask;
+    for (;;) {
+      if (!Occupied(i)) {
+        SetOccupied(i);
+        keys[i] = k;
+        vals[i] = v;
+        ++size_;
+        return;
+      }
+      if (keys[i] == k) {
+        vals[i] += v;
+        return;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  void AcquireBlock() {
+    block_ = pool_->Acquire(SizeClass(cap_log2_), BlockBytes(cap_log2_));
+    std::memset(Occ(), 0, OccWords(cap_log2_) * 8);
+    size_ = 0;
+  }
+
+  // Inline → table: acquire the smallest block, reinsert the inline entry.
+  void Promote() {
+    const K k = ikey_;
+    const double v = ival_;
+    cap_log2_ = kMinCapLog2;
+    AcquireBlock();  // Resets size_ to 0.
+    TableAdd(k, v);
+  }
+
+  void Grow() {
+    ++pool_->profile()->rehashes;
+    FlatDist<K> bigger;
+    bigger.Init(pool_, cap_log2_ + 1);
+    ForEach([&](const K& k, double v) { bigger.Add(k, v); });
+    *this = std::move(bigger);
+  }
+
+  void MoveFrom(FlatDist* o) {
+    pool_ = o->pool_;
+    block_ = o->block_;
+    size_ = o->size_;
+    cap_log2_ = o->cap_log2_;
+    inited_ = o->inited_;
+    ikey_ = o->ikey_;
+    ival_ = o->ival_;
+    o->block_ = nullptr;
+    o->size_ = 0;
+    o->inited_ = false;
+    o->cap_log2_ = kInlineCapLog2;
+  }
+
+  DistPool* pool_ = nullptr;
+  void* block_ = nullptr;
+  uint32_t size_ = 0;
+  uint8_t cap_log2_ = kInlineCapLog2;
+  bool inited_ = false;
+  K ikey_{};       // Inline single entry (block_ == nullptr, size_ <= 1).
+  double ival_ = 0;
+};
+
+/// Pool-backed growable array for trivially *relocatable* element types
+/// (movable objects with no self/back-pointers — FlatDist and the engine's
+/// region types qualify): growth is one memcpy plus a block swap, storage
+/// recycles through the DistPool byte-size classes, and the DP stops paying
+/// malloc/free for its thousands of per-region vectors. Elements are
+/// destroyed on release; the pool pointer is supplied at the first append.
+template <typename T>
+class PoolVec {
+ public:
+  PoolVec() = default;
+  PoolVec(const PoolVec&) = delete;
+  PoolVec& operator=(const PoolVec&) = delete;
+  PoolVec(PoolVec&& o)
+      : pool_(o.pool_), data_(o.data_), size_(o.size_), cap_(o.cap_) {
+    o.data_ = nullptr;
+    o.size_ = 0;
+    o.cap_ = 0;
+  }
+  PoolVec& operator=(PoolVec&& o) {
+    if (this != &o) {
+      Clear();
+      pool_ = o.pool_;
+      data_ = o.data_;
+      size_ = o.size_;
+      cap_ = o.cap_;
+      o.data_ = nullptr;
+      o.size_ = 0;
+      o.cap_ = 0;
+    }
+    return *this;
+  }
+  ~PoolVec() { Clear(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+
+  void Reserve(DistPool* pool, size_t n) {
+    pool_ = pool;
+    if (n > cap_) Grow(n);
+  }
+
+  template <typename... Args>
+  T& EmplaceBack(DistPool* pool, Args&&... args) {
+    pool_ = pool;
+    if (size_ == cap_) Grow(size_ + 1);
+    return *new (data_ + size_++) T(std::forward<Args>(args)...);
+  }
+
+  /// Destroys elements past `n` (keeps storage).
+  void Truncate(size_t n) {
+    while (size_ > n) data_[--size_].~T();
+  }
+
+  /// Destroys the elements and returns the block to the pool.
+  void Clear() {
+    for (size_t i = 0; i < size_; ++i) data_[i].~T();
+    if (data_ != nullptr) {
+      pool_->Release(data_, ByteClass(cap_ * sizeof(T)));
+      data_ = nullptr;
+    }
+    size_ = 0;
+    cap_ = 0;
+  }
+
+ private:
+  static int ByteClassLog2(size_t bytes) {
+    int l = 4;  // 16-byte minimum block.
+    while ((size_t{1} << l) < bytes) ++l;
+    return l;
+  }
+  // Byte-sized classes live in their own range above the table classes
+  // (table classes are 2 * cap_log2 + kind <= ~60).
+  static int ByteClass(size_t bytes) { return 64 + ByteClassLog2(bytes); }
+
+  void Grow(size_t need) {
+    const int log2 = ByteClassLog2(need * sizeof(T));
+    const size_t bytes = size_t{1} << log2;
+    T* bigger = static_cast<T*>(pool_->Acquire(64 + log2, bytes));
+    if (data_ != nullptr) {
+      std::memcpy(static_cast<void*>(bigger), static_cast<void*>(data_),
+                  size_ * sizeof(T));  // Relocation, not copy construction.
+      pool_->Release(data_, ByteClass(cap_ * sizeof(T)));
+    }
+    data_ = bigger;
+    cap_ = bytes / sizeof(T);
+  }
+
+  DistPool* pool_ = nullptr;
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t cap_ = 0;
+};
+
+/// Bitset over the global query-slot space (kMaxConjunctionSlots = 128
+/// slots); the engine's live-slot analysis stores one per p-document node.
+struct SlotSet {
+  std::array<uint64_t, 2> b{};
+  void Set(int s) { b[s >> 6] |= uint64_t{1} << (s & 63); }
+  void UnionWith(const SlotSet& o) {
+    b[0] |= o.b[0];
+    b[1] |= o.b[1];
+  }
+  bool Any() const { return (b[0] | b[1]) != 0; }
+  int Count() const {
+    return __builtin_popcountll(b[0]) + __builtin_popcountll(b[1]);
+  }
+  bool operator==(const SlotSet& o) const { return b == o.b; }
+};
+
+/// Reusable per-document analysis buffers (live-slot pass, frame lists):
+/// kept in the scratch so repeated engine runs re-fill warm capacity
+/// instead of reallocating vectors sized by |P̂| every call.
+struct EngineBuffers {
+  std::vector<SlotSet> live;
+  std::vector<uint8_t> wide;
+  std::vector<int32_t> region_slot;
+  std::vector<int8_t> slots_flat;
+  std::vector<uint8_t> slots_len;
+  std::vector<uint64_t> obs;  // Upward-observable bit masks (narrow keys).
+  // Analysis cache tag: when the same (document uid, slot-label sequence)
+  // comes back — steady-state serving of one query over one document — the
+  // buffers above are still valid and the engine skips the whole pass. The
+  // label sequence itself is compared (not merely a hash), so a collision
+  // can never serve stale analysis.
+  uint64_t cached_doc_uid = 0;
+  std::vector<uint32_t> cached_slot_labels;
+  int32_t cached_region_count = 0;
+  bool cached_uniform = false;
+  bool cache_valid = false;
+};
+
+/// Per-session scratch state for the exact DP: the arena, the block pool on
+/// top of it, and the profile counters. Owned by ExactDpBackend (one per
+/// EvalSession, hence one per thread); the free engine functions make a
+/// transient one when the caller has none. BeginRun/EndRun bracket one
+/// engine pass: memory is recycled across passes, counters accumulate.
+class DpScratch {
+ public:
+  DpScratch() : pool_(&arena_, &profile_) {}
+
+  DistPool* pool() { return &pool_; }
+  DistProfile* profile() { return &profile_; }
+  const DistProfile& profile() const { return profile_; }
+  EngineBuffers* buffers() { return &buffers_; }
+
+  void BeginRun() {
+    pool_.Clear();
+    arena_.Reset();
+    ++profile_.runs;
+  }
+
+  void EndRun() {
+    if (arena_.allocated_bytes() > profile_.arena_peak_bytes) {
+      profile_.arena_peak_bytes = arena_.allocated_bytes();
+    }
+  }
+
+ private:
+  Arena arena_;
+  DistProfile profile_;
+  DistPool pool_;
+  EngineBuffers buffers_;
+};
+
+}  // namespace pxv
+
+#endif  // PXV_PROB_DIST_H_

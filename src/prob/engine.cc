@@ -1,113 +1,178 @@
+// Flat-kernel implementation of the bottom-up DP declared in engine.h.
+//
+// Two ideas on top of the textbook pass (see engine_reference.cc for the
+// plain version):
+//
+//  1. Flat arena-backed distributions. Every sparse (A, D) distribution is
+//     a FlatDist (prob/dist.h): open addressing over one pool block, so a
+//     pass bump-allocates and recycles blocks instead of exercising
+//     malloc/free per hash-map node.
+//
+//  2. Live-slot key narrowing. For each p-document subtree, the set of
+//     query slots that can possibly be set is known up front: a slot's
+//     label must occur on an ordinary node of the subtree. Each node's
+//     *frame* is its subtree's live slot list; while at most
+//     kNarrowSlotCap (32) slots are live, the whole subtree's algebra runs
+//     on a 1-word key holding 2 bits per live slot — one hash, one
+//     compare, one OR per operation instead of four. Keys are remapped
+//     (a bit permutation) only where a region crosses into a parent frame
+//     with a different live set; frames with more than 32 live slots fall
+//     back to the 256-bit WideKey over global slot positions. Regions
+//     travel upward in their own frame until a combine forces a common
+//     one, so deterministic chains never pay a remap.
+//
+// Candidate application (Rewrite) is also mask-compiled per node: each
+// candidate slot becomes a (need, set) key-mask pair, so applying it to a
+// key is an AND+compare+OR rather than per-child bit probing.
+
 #include "prob/engine.h"
 
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <new>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "util/check.h"
 
 namespace pxv {
 namespace {
 
-// Packed (A, D) pair: 2 bits per query slot — bit 2i = "D" (embeds
-// at-or-below), bit 2i+1 = "A" (embeds exactly here); A implies D. Four
-// 64-bit words hold kMaxConjunctionSlots = 128 slots.
-struct StateKey {
-  std::array<uint64_t, 4> w{};
+using NarrowKey = uint64_t;
 
-  bool operator==(const StateKey& o) const { return w == o.w; }
-  StateKey operator|(const StateKey& o) const {
-    StateKey r;
-    for (int i = 0; i < 4; ++i) r.w[i] = w[i] | o.w[i];
-    return r;
-  }
-  bool IsEmpty() const { return (w[0] | w[1] | w[2] | w[3]) == 0; }
-};
+constexpr uint64_t kNarrowDMask = 0x5555555555555555ULL;
 
-struct StateKeyHash {
-  size_t operator()(const StateKey& k) const {
-    uint64_t x = 0x9E3779B97F4A7C15ULL;
-    for (uint64_t v : k.w) {
-      x ^= v + 0x9E3779B97F4A7C15ULL + (x << 6) + (x >> 2);
-      x *= 0xFF51AFD7ED558CCDULL;
-    }
-    return static_cast<size_t>(x ^ (x >> 29));
-  }
-};
-
-using Dist = std::unordered_map<StateKey, double, StateKeyHash>;
-
-void SetBit(StateKey* k, int bit) {
+inline void WideSetBit(WideKey* k, int bit) {
   k->w[bit >> 6] |= uint64_t{1} << (bit & 63);
 }
 
-bool GetBit(const StateKey& k, int bit) {
-  return (k.w[bit >> 6] >> (bit & 63)) & 1;
-}
-
-// Keeps the D bits (even positions), clears the A bits.
-StateKey DOnly(const StateKey& k) {
-  constexpr uint64_t kDMask = 0x5555555555555555ULL;
-  StateKey r;
-  for (int i = 0; i < 4; ++i) r.w[i] = k.w[i] & kDMask;
+inline NarrowKey KeyAnd(NarrowKey a, NarrowKey b) { return a & b; }
+inline WideKey KeyAnd(const WideKey& a, const WideKey& b) {
+  WideKey r;
+  for (int i = 0; i < 4; ++i) r.w[i] = a.w[i] & b.w[i];
   return r;
 }
 
-Dist Delta() { return Dist{{StateKey{}, 1.0}}; }
-
-Dist Convolve(const Dist& a, const Dist& b) {
-  if (a.size() == 1 && a.begin()->first.IsEmpty()) {
-    Dist out = b;
-    const double p = a.begin()->second;
-    if (p != 1.0) {
-      for (auto& [k, v] : out) v *= p;
-    }
-    return out;
+inline bool HasAll(NarrowKey k, NarrowKey need) { return (k & need) == need; }
+inline bool HasAll(const WideKey& k, const WideKey& need) {
+  for (int i = 0; i < 4; ++i) {
+    if ((k.w[i] & need.w[i]) != need.w[i]) return false;
   }
-  if (b.size() == 1 && b.begin()->first.IsEmpty()) {
-    Dist out = a;
-    const double p = b.begin()->second;
-    if (p != 1.0) {
-      for (auto& [k, v] : out) v *= p;
-    }
-    return out;
-  }
-  Dist out;
-  out.reserve(a.size() * b.size());
-  for (const auto& [ka, pa] : a) {
-    for (const auto& [kb, pb] : b) {
-      out[ka | kb] += pa * pb;
-    }
-  }
-  return out;
+  return true;
 }
 
-void AddScaled(Dist* acc, const Dist& d, double p) {
-  for (const auto& [k, v] : d) (*acc)[k] += p * v;
+template <typename K>
+K DMask();
+template <>
+NarrowKey DMask<NarrowKey>() {
+  return kNarrowDMask;
+}
+template <>
+WideKey DMask<WideKey>() {
+  WideKey m;
+  for (int i = 0; i < 4; ++i) m.w[i] = kNarrowDMask;
+  return m;
 }
 
-void ScaleInPlace(Dist* d, double p) {
-  if (p == 1.0) return;
-  for (auto& [k, v] : *d) v *= p;
-}
+// A distribution in either key width: `wide` keys live in the global slot
+// space, narrow keys are 2 bits per live slot of the owning frame. A tagged
+// union — regions move through vectors millions of times per pass, so the
+// object stays one FlatDist wide. Storage releases to the pool on
+// destruction (RAII recycling).
+struct Dist {
+  bool wide = false;
+  union {
+    FlatDist<NarrowKey> n;
+    FlatDist<WideKey> w;
+  };
+
+  Dist() : n() {}
+  Dist(const Dist&) = delete;
+  Dist& operator=(const Dist&) = delete;
+  Dist(Dist&& o) : wide(o.wide) {
+    if (wide) {
+      new (&w) FlatDist<WideKey>(std::move(o.w));
+    } else {
+      new (&n) FlatDist<NarrowKey>(std::move(o.n));
+    }
+  }
+  Dist& operator=(Dist&& o) {
+    if (this != &o) {
+      Destroy();
+      wide = o.wide;
+      if (wide) {
+        new (&w) FlatDist<WideKey>(std::move(o.w));
+      } else {
+        new (&n) FlatDist<NarrowKey>(std::move(o.n));
+      }
+    }
+    return *this;
+  }
+  ~Dist() { Destroy(); }
+
+  /// Activates the member for `new_wide` (destroying the other if needed).
+  void SetWide(bool new_wide) {
+    if (wide == new_wide) return;
+    Destroy();
+    wide = new_wide;
+    if (wide) {
+      new (&w) FlatDist<WideKey>();
+    } else {
+      new (&n) FlatDist<NarrowKey>();
+    }
+  }
+
+  size_t size() const { return wide ? w.size() : n.size(); }
+  bool initialized() const { return wide ? w.initialized() : n.initialized(); }
+  int cap_log2() const { return wide ? w.cap_log2() : n.cap_log2(); }
+
+ private:
+  void Destroy() {
+    if (wide) {
+      w.~FlatDist();
+    } else {
+      n.~FlatDist();
+    }
+  }
+};
 
 // The state a p-document region passes to its parent: the base (A, D)
 // distribution, plus one joint distribution per candidate anchor inside the
-// region whose keys additionally carry the starred main-branch bits pinning
-// the output mapping to that anchor.
+// region (see engine.h). `frame` is the p-document node whose live slot set
+// defines the key space of every dist in the region.
 struct Region {
+  NodeId frame = kNullNode;
   Dist base;
-  std::vector<std::pair<NodeId, Dist>> tracked;
+  PoolVec<std::pair<NodeId, Dist>> tracked;
+};
+
+// Per-node-width candidate masks: (need, set) pairs — a key that contains
+// every `need` bit (children requirements) gains the `set` bits (A and D of
+// the candidate slot).
+struct Masks {
+  std::vector<std::pair<NarrowKey, NarrowKey>> n;
+  std::vector<std::pair<WideKey, WideKey>> w;
 };
 
 class Engine {
  public:
   Engine(const PDocument& pd, const std::vector<Goal>& goals,
-         const std::vector<const Pattern*>& batch)
-      : pd_(pd), batch_count_(static_cast<int>(batch.size())) {
+         const std::vector<const Pattern*>& batch, DpScratch* scratch,
+         const EngineOptions& options)
+      : pd_(pd),
+        batch_count_(static_cast<int>(batch.size())),
+        pool_(scratch->pool()),
+        prof_(scratch->profile()),
+        prune_eps_(options.prune_eps),
+        live_(scratch->buffers()->live),
+        wide_(scratch->buffers()->wide),
+        region_slot_(scratch->buffers()->region_slot),
+        slots_flat_(scratch->buffers()->slots_flat),
+        slots_len_(scratch->buffers()->slots_len),
+        obs_(scratch->buffers()->obs) {
     int total = 0;
     // Fixed-anchor / Boolean conjuncts: every pattern node is a base slot.
     for (const Goal& g : goals) {
@@ -171,51 +236,205 @@ class Engine {
       batch_out_label_ = p.OutLabel();
       batch_out_label_set_ = true;
     }
-    // Label-relevance pruning: a p-document subtree without any query label
-    // contributes the empty state with probability 1 and holds no anchors
-    // (the output label is itself a query label).
-    std::unordered_set<Label> qlabels;
-    for (const QNode& qn : qnodes_) qlabels.insert(qn.label);
-    relevant_.assign(pd.size(), 0);
-    for (NodeId n = pd.size() - 1; n >= 0; --n) {
-      bool rel = pd.ordinary(n) && qlabels.count(pd.label(n)) > 0;
-      if (!rel) {
-        for (NodeId c : pd.children(n)) {
-          if (relevant_[c]) {
-            rel = true;
-            break;
-          }
-        }
-      }
-      relevant_[n] = rel;
+    // Analysis cache: the live/wide/region-slot buffers depend only on the
+    // document and the slot → label sequence. Steady-state serving (same
+    // doc, same query shape, run after run) skips the whole O(|P̂|) pass.
+    // The label sequence is compared outright — O(query size), trivially
+    // cheap — so there is no hash-collision hazard.
+    std::vector<uint32_t> slot_labels;
+    slot_labels.reserve(qnodes_.size());
+    for (const QNode& qn : qnodes_) slot_labels.push_back(qn.label);
+    EngineBuffers* bufs = scratch->buffers();
+    if (bufs->cache_valid && bufs->cached_doc_uid == pd.uid() &&
+        bufs->cached_slot_labels == slot_labels &&
+        live_.size() == static_cast<size_t>(pd.size())) {
+      region_count_ = bufs->cached_region_count;
+      uniform_frame_ = bufs->cached_uniform;
+      return;
     }
+
+    // Live-slot analysis (one reverse scan; children follow parents in the
+    // node arena, so subtree unions are already final when read). A subtree
+    // whose live set is empty contributes the empty state with probability 1
+    // and holds no anchors — the old label-relevance pruning — and a live
+    // set of <= kNarrowSlotCap slots lets the whole subtree run narrow.
+    std::unordered_map<Label, SlotSet> slots_by_label;
+    for (int s = 0; s < total; ++s) {
+      slots_by_label[qnodes_[s].label].Set(s);
+    }
+    live_.assign(pd.size(), SlotSet{});
+    wide_.assign(pd.size(), 0);
+    for (NodeId n = pd.size() - 1; n >= 0; --n) {
+      SlotSet s;
+      if (pd.ordinary(n)) {
+        const auto it = slots_by_label.find(pd.label(n));
+        if (it != slots_by_label.end()) s = it->second;
+      }
+      for (NodeId c : pd.children(n)) s.UnionWith(live_[c]);
+      live_[n] = s;
+      wide_[n] = s.Count() > kNarrowSlotCap;
+    }
+    // Dead subtrees (no live slot) contribute the empty state with
+    // probability 1 — an exact identity element everywhere they are
+    // consumed — so only live nodes get a region slot, and the bottom-up
+    // pass touches nothing else.
+    region_slot_.assign(pd.size(), -1);
+    region_count_ = 0;
+    for (NodeId n = 0; n < pd.size(); ++n) {
+      if (live_[n].Any()) region_slot_[n] = region_count_++;
+    }
+    // Uniform-frame fast path: live sets only shrink downward, so when the
+    // *root* fits a narrow key every subtree does too — one shared frame,
+    // and every remap becomes the identity. Per-subtree frames only earn
+    // their keep in the wide regime (> kNarrowSlotCap slots at the root),
+    // where they let deep subtrees keep 1-word keys under a wide root.
+    uniform_frame_ = !pd.empty() && !wide_[pd.root()];
+    // Narrow slot lists live in one flat buffer (kNarrowSlotCap bytes per
+    // live node), extracted lazily; len 0 marks "not extracted yet" (live
+    // nodes always have at least one slot).
+    slots_flat_.resize(static_cast<size_t>(region_count_) * kNarrowSlotCap);
+    slots_len_.assign(region_count_, 0);
+    bufs->cached_doc_uid = pd.uid();
+    bufs->cached_slot_labels = std::move(slot_labels);
+    bufs->cached_region_count = region_count_;
+    bufs->cached_uniform = uniform_frame_;
+    bufs->cache_valid = true;
   }
 
   double Probability() {
     PXV_CHECK_EQ(batch_count_, 0) << "use BatchResults for batched members";
-    Region root = NodeDist(pd_.root());
+    const NodeId r = pd_.root();
+    Region root = EvalRegions();
     double p = 0;
-    for (const auto& [key, prob] : root.base) {
-      if (AcceptsGoals(key)) p += prob;
+    if (wide_[r]) {
+      WideKey mask;
+      for (int slot : goal_root_slots_) WideSetBit(&mask, 2 * slot + 1);
+      root.base.w.ForEach([&](const WideKey& key, double prob) {
+        if (HasAll(key, mask)) p += prob;
+      });
+    } else {
+      NarrowKey mask = 0;
+      for (int slot : goal_root_slots_) {
+        const int pos = PosInFrame(r, slot);
+        if (pos < 0) return 0.0;  // Goal root label absent from the doc.
+        mask |= NarrowKey{1} << (2 * pos + 1);
+      }
+      root.base.n.ForEach([&](NarrowKey key, double prob) {
+        if (HasAll(key, mask)) p += prob;
+      });
     }
     return p;
+  }
+
+  // Per-member readout of one joint pass: result[i] = q_i(P̂). The tracked
+  // keys carry every member's slots jointly; member i's selection
+  // probability at an anchor is the mass of keys containing its root's A
+  // bit (the other members' bits marginalize out in the sum).
+  std::vector<std::vector<NodeProb>> BatchResultsMany() {
+    const int m = static_cast<int>(batch_root_slots_.size());
+    std::vector<std::vector<NodeProb>> out(m);
+    if (!batch_feasible_ || batch_count_ == 0) return out;
+    const NodeId r = pd_.root();
+    Region root = EvalRegions();
+    std::vector<double> acc(m);
+    if (wide_[r]) {
+      WideKey goal_mask;
+      for (int slot : goal_root_slots_) WideSetBit(&goal_mask, 2 * slot + 1);
+      std::vector<WideKey> masks(m);
+      for (int i = 0; i < m; ++i) {
+        masks[i] = goal_mask;
+        WideSetBit(&masks[i], 2 * batch_root_slots_[i] + 1);
+      }
+      for (const auto& [n, dist] : root.tracked) {
+        std::fill(acc.begin(), acc.end(), 0.0);
+        dist.w.ForEach([&](const WideKey& key, double prob) {
+          for (int i = 0; i < m; ++i) {
+            if (HasAll(key, masks[i])) acc[i] += prob;
+          }
+        });
+        for (int i = 0; i < m; ++i) {
+          if (acc[i] > 0) out[i].push_back({n, acc[i]});
+        }
+      }
+    } else {
+      NarrowKey goal_mask = 0;
+      bool feasible = true;
+      for (int slot : goal_root_slots_) {
+        const int pos = PosInFrame(r, slot);
+        if (pos < 0) feasible = false;
+        goal_mask |= feasible ? NarrowKey{1} << (2 * pos + 1) : 0;
+      }
+      if (!feasible) return out;
+      std::vector<NarrowKey> masks(m);
+      std::vector<char> member_ok(m, 1);
+      for (int i = 0; i < m; ++i) {
+        const int pos = PosInFrame(r, batch_root_slots_[i]);
+        if (pos < 0) {
+          member_ok[i] = 0;  // Member root label absent: empty result.
+          continue;
+        }
+        masks[i] = goal_mask | (NarrowKey{1} << (2 * pos + 1));
+      }
+      for (const auto& [n, dist] : root.tracked) {
+        std::fill(acc.begin(), acc.end(), 0.0);
+        dist.n.ForEach([&](NarrowKey key, double prob) {
+          for (int i = 0; i < m; ++i) {
+            if (member_ok[i] && HasAll(key, masks[i])) acc[i] += prob;
+          }
+        });
+        for (int i = 0; i < m; ++i) {
+          if (acc[i] > 0) out[i].push_back({n, acc[i]});
+        }
+      }
+    }
+    for (auto& v : out) {
+      std::sort(v.begin(), v.end(), [](const NodeProb& a, const NodeProb& b) {
+        return a.node < b.node;
+      });
+    }
+    return out;
   }
 
   std::vector<NodeProb> BatchResults() {
     std::vector<NodeProb> out;
     if (!batch_feasible_ || batch_count_ == 0) return out;
-    Region root = NodeDist(pd_.root());
+    const NodeId r = pd_.root();
+    Region root = EvalRegions();
     out.reserve(root.tracked.size());
-    for (const auto& [n, dist] : root.tracked) {
-      double p = 0;
-      for (const auto& [key, prob] : dist) {
-        bool all = AcceptsGoals(key);
-        for (size_t i = 0; all && i < batch_root_slots_.size(); ++i) {
-          if (!GetBit(key, 2 * batch_root_slots_[i] + 1)) all = false;
-        }
-        if (all) p += prob;
+    // Acceptance at the root: every goal root and every member root embeds
+    // (their A bits are set in the tracked key).
+    if (wide_[r]) {
+      WideKey mask;
+      for (int slot : goal_root_slots_) WideSetBit(&mask, 2 * slot + 1);
+      for (int slot : batch_root_slots_) WideSetBit(&mask, 2 * slot + 1);
+      for (const auto& [n, dist] : root.tracked) {
+        double p = 0;
+        dist.w.ForEach([&](const WideKey& key, double prob) {
+          if (HasAll(key, mask)) p += prob;
+        });
+        if (p > 0) out.push_back({n, p});
       }
-      if (p > 0) out.push_back({n, p});
+    } else {
+      NarrowKey mask = 0;
+      bool feasible = true;
+      for (int slot : goal_root_slots_) {
+        const int pos = PosInFrame(r, slot);
+        if (pos < 0) feasible = false;
+        mask |= feasible ? NarrowKey{1} << (2 * pos + 1) : 0;
+      }
+      for (int slot : batch_root_slots_) {
+        const int pos = PosInFrame(r, slot);
+        if (pos < 0) feasible = false;
+        mask |= feasible ? NarrowKey{1} << (2 * pos + 1) : 0;
+      }
+      if (!feasible) return out;
+      for (const auto& [n, dist] : root.tracked) {
+        double p = 0;
+        dist.n.ForEach([&](NarrowKey key, double prob) {
+          if (HasAll(key, mask)) p += prob;
+        });
+        if (p > 0) out.push_back({n, p});
+      }
     }
     std::sort(out.begin(), out.end(),
               [](const NodeProb& a, const NodeProb& b) {
@@ -230,23 +449,296 @@ class Engine {
     std::vector<int> slash_kids, desc_kids;
   };
 
-  bool AcceptsGoals(const StateKey& key) const {
-    for (int slot : goal_root_slots_) {
-      if (!GetBit(key, 2 * slot + 1)) return false;
+  // ------------------------------------------------------------ frames ----
+
+  // Ascending live slots of `n`'s frame; meaningful for narrow frames
+  // (<= kNarrowSlotCap entries). Extracted lazily into the flat buffer.
+  const int8_t* NarrowSlots(NodeId n, int* count) {
+    if (uniform_frame_) n = pd_.root();
+    const int32_t slot = region_slot_[n];
+    if (slot < 0) {
+      *count = 0;
+      return nullptr;
     }
-    return true;
+    int8_t* v = &slots_flat_[static_cast<size_t>(slot) * kNarrowSlotCap];
+    if (slots_len_[slot] == 0) {
+      int len = 0;
+      for (int word = 0; word < 2; ++word) {
+        uint64_t bits = live_[n].b[word];
+        while (bits != 0) {
+          const int b = __builtin_ctzll(bits);
+          bits &= bits - 1;
+          v[len++] = static_cast<int8_t>(word * 64 + b);
+        }
+      }
+      slots_len_[slot] = static_cast<uint8_t>(len);
+    }
+    *count = slots_len_[slot];
+    return v;
   }
+
+  int PosInFrame(NodeId n, int slot) {
+    int count;
+    const int8_t* v = NarrowSlots(n, &count);
+    for (int i = 0; i < count; ++i) {
+      if (v[i] == slot) return i;
+    }
+    return -1;
+  }
+
+  // ---------------------------------------------------------- dist ops ----
+
+  Dist MakeDist(bool wide, int cap_log2 = FlatDist<NarrowKey>::kInlineCapLog2) {
+    Dist d;
+    d.SetWide(wide);
+    if (wide) {
+      d.w.Init(pool_, cap_log2);
+    } else {
+      d.n.Init(pool_, cap_log2);
+    }
+    return d;
+  }
+
+  Dist DeltaDist(NodeId frame) {
+    Dist d = MakeDist(wide_[frame]);
+    AddEmptyMassInit(&d, 1.0, wide_[frame]);
+    return d;
+  }
+
+  void AddEmptyMassInit(Dist* d, double mass, bool wide) {
+    if (!d->initialized()) *d = MakeDist(wide);
+    if (d->wide) {
+      d->w.Add(WideKey{}, mass);
+    } else {
+      d->n.Add(NarrowKey{0}, mass);
+    }
+  }
+
+  static void DistScale(Dist* d, double p) {
+    if (d->wide) {
+      d->w.ScaleAll(p);
+    } else {
+      d->n.ScaleAll(p);
+    }
+  }
+
+  static bool SingletonEmpty(const Dist& d, double* mass) {
+    return d.wide ? d.w.IsSingletonEmpty(mass) : d.n.IsSingletonEmpty(mass);
+  }
+
+  Dist CloneDist(const Dist& d) {
+    Dist out;
+    out.SetWide(d.wide);
+    if (d.wide) {
+      out.w = d.w.Clone();
+    } else {
+      out.n = d.n.Clone();
+    }
+    return out;
+  }
+
+  Region CloneRegion(const Region& r) {
+    Region out;
+    out.frame = r.frame;
+    out.base = CloneDist(r.base);
+    out.tracked.Reserve(pool_, r.tracked.size());
+    for (const auto& [a, t] : r.tracked) {
+      out.tracked.EmplaceBack(pool_, a, CloneDist(t));
+    }
+    return out;
+  }
+
+  void MaybePrune(Dist* d) {
+    if (prune_eps_ <= 0 || !d->initialized()) return;
+    if (d->wide) {
+      d->w.Prune(prune_eps_);
+    } else {
+      d->n.Prune(prune_eps_);
+    }
+  }
+
+  static int CeilLog2(size_t x) {
+    int l = 0;
+    while ((size_t{1} << l) < x) ++l;
+    return l;
+  }
+
+  // Capacity hint for a convolution output. The old code reserved
+  // a.size() * b.size() slots — a hint that can explode (and in principle
+  // overflow size_t); cap it by the true support bound 4^{live slots} of
+  // the frame and a sane constant.
+  int ConvCapLog2(size_t a, size_t b, NodeId frame) {
+    if (a <= 1 && b <= 1) return FlatDist<NarrowKey>::kInlineCapLog2;
+    int hint = CeilLog2(a) + CeilLog2(b) + 1;  // +1: stay under 75% load.
+    const int support = 2 * live_[frame].Count();
+    if (hint > support) hint = support;
+    if (hint > 20) hint = 20;
+    if (hint < FlatDist<NarrowKey>::kMinCapLog2) {
+      hint = FlatDist<NarrowKey>::kMinCapLog2;
+    }
+    return hint;
+  }
+
+  template <typename K>
+  FlatDist<K> ConvolveT(const FlatDist<K>& a, const FlatDist<K>& b,
+                        int cap_log2) {
+    FlatDist<K> out;
+    out.Init(pool_, cap_log2);
+    a.ForEach([&](const K& ka, double pa) {
+      b.ForEach([&](const K& kb, double pb) { out.Add(ka | kb, pa * pb); });
+    });
+    return out;
+  }
+
+  // Union-convolution of two distributions in the same frame.
+  Dist Convolve(const Dist& a, const Dist& b, NodeId frame) {
+    double p;
+    if (SingletonEmpty(a, &p)) {
+      Dist out = CloneDist(b);
+      DistScale(&out, p);
+      return out;
+    }
+    if (SingletonEmpty(b, &p)) {
+      Dist out = CloneDist(a);
+      DistScale(&out, p);
+      return out;
+    }
+    Dist out;
+    out.SetWide(wide_[frame]);
+    const int cap = ConvCapLog2(a.size(), b.size(), frame);
+    if (out.wide) {
+      out.w = ConvolveT(a.w, b.w, cap);
+    } else {
+      out.n = ConvolveT(a.n, b.n, cap);
+    }
+    MaybePrune(&out);
+    return out;
+  }
+
+  // acc += p * d (accumulating into acc's table; initializes acc to d's
+  // width if needed). Frames must already agree.
+  void AddScaledDist(Dist* acc, const Dist& d, double p) {
+    if (!d.initialized()) return;
+    if (!acc->initialized()) {
+      *acc = MakeDist(d.wide, d.size() <= 1
+                                  ? FlatDist<NarrowKey>::kInlineCapLog2
+                                  : d.cap_log2());
+    }
+    PXV_CHECK_EQ(acc->wide, d.wide);
+    if (d.wide) {
+      d.w.ForEach([&](const WideKey& k, double v) { acc->w.Add(k, p * v); });
+    } else {
+      d.n.ForEach([&](NarrowKey k, double v) { acc->n.Add(k, p * v); });
+    }
+  }
+
+  // ------------------------------------------------------------ remaps ----
+
+  // True iff the two frames have identical key spaces.
+  bool SameFrame(NodeId f, NodeId g) const {
+    return uniform_frame_ || live_[f] == live_[g];
+  }
+
+  // Translates `d` from frame `f` into enclosing frame `g`
+  // (live(f) ⊆ live(g)): a bit embedding, narrow→narrow or narrow→wide.
+  Dist RemapDist(Dist d, NodeId f, NodeId g) {
+    if (!d.initialized() || SameFrame(f, g)) return d;
+    if (wide_[f]) return d;  // Wide keys already use global positions.
+    int fcount;
+    const int8_t* fs = NarrowSlots(f, &fcount);
+    Dist out;
+    if (wide_[g]) {
+      out = MakeDist(true, d.size() <= 1 ? FlatDist<WideKey>::kInlineCapLog2
+                                         : d.cap_log2());
+      // Narrow bit 2i(+1) → global bit 2*slot(+1).
+      d.n.ForEach([&](NarrowKey k, double v) {
+        WideKey wk;
+        while (k != 0) {
+          const int b = __builtin_ctzll(k);
+          k &= k - 1;
+          WideSetBit(&wk, 2 * fs[b >> 1] + (b & 1));
+        }
+        out.w.Add(wk, v);
+        ++prof_->keys_remapped;
+      });
+      return out;
+    }
+    // Narrow→narrow: position map via one walk of the two sorted lists.
+    int gcount;
+    const int8_t* gs = NarrowSlots(g, &gcount);
+    int map[2 * kNarrowSlotCap];
+    int j = 0;
+    for (int i = 0; i < fcount; ++i) {
+      while (j < gcount && gs[j] < fs[i]) ++j;
+      PXV_CHECK(j < gcount && gs[j] == fs[i])
+          << "child live set escapes the parent frame";
+      map[2 * i] = 2 * j;
+      map[2 * i + 1] = 2 * j + 1;
+    }
+    out = MakeDist(false, d.size() <= 1
+                               ? FlatDist<NarrowKey>::kInlineCapLog2
+                               : d.cap_log2());
+    d.n.ForEach([&](NarrowKey k, double v) {
+      NarrowKey nk = 0;
+      while (k != 0) {
+        const int b = __builtin_ctzll(k);
+        k &= k - 1;
+        nk |= NarrowKey{1} << map[b];
+      }
+      out.n.Add(nk, v);
+      ++prof_->keys_remapped;
+    });
+    return out;
+  }
+
+  void RemapRegionInPlace(Region* r, NodeId g) {
+    if (r->frame == g || SameFrame(r->frame, g)) {
+      r->frame = g;
+      return;
+    }
+    r->base = RemapDist(std::move(r->base), r->frame, g);
+    for (auto& [a, t] : r->tracked) {
+      t = RemapDist(std::move(t), r->frame, g);
+    }
+    r->frame = g;
+  }
+
+  // ----------------------------------------------------------- combine ----
 
   // Combines probabilistically independent sibling regions: bases convolve;
   // each tracked anchor (living in exactly one part) convolves with every
-  // other part's base via prefix/suffix products.
-  static Region Combine(std::vector<Region> parts) {
+  // other part's base via prefix/suffix products. A single part passes
+  // through in its own frame (no remap until an ancestor forces one).
+  Region Combine(PoolVec<Region> parts, NodeId g) {
     Region out;
+    out.frame = g;
     if (parts.empty()) {
-      out.base = Delta();
+      out.base = DeltaDist(g);
       return out;
     }
     if (parts.size() == 1) return std::move(parts[0]);
+    // Identity parts — delta base with mass 1, nothing tracked — arise from
+    // mixes that collapsed (e.g. a mux over dead branches); convolving with
+    // them is a no-op, so drop them before paying for it.
+    {
+      size_t kept = 0;
+      for (size_t i = 0; i < parts.size(); ++i) {
+        double mass;
+        if (parts[i].tracked.empty() &&
+            SingletonEmpty(parts[i].base, &mass) && mass == 1.0) {
+          continue;
+        }
+        if (kept != i) parts[kept] = std::move(parts[i]);
+        ++kept;
+      }
+      parts.Truncate(kept);
+      if (parts.empty()) {
+        out.base = DeltaDist(g);
+        return out;
+      }
+      if (parts.size() == 1) return std::move(parts[0]);
+    }
+    for (Region& r : parts) RemapRegionInPlace(&r, g);
     bool any_tracked = false;
     for (const Region& r : parts) {
       if (!r.tracked.empty()) {
@@ -256,150 +748,326 @@ class Engine {
     }
     const int k = static_cast<int>(parts.size());
     if (!any_tracked) {
-      out.base = Delta();
-      for (Region& r : parts) out.base = Convolve(out.base, r.base);
+      Dist acc = std::move(parts[0].base);
+      for (int i = 1; i < k; ++i) {
+        acc = Convolve(acc, parts[i].base, g);
+      }
+      out.base = std::move(acc);
       return out;
     }
-    std::vector<Dist> prefix(k + 1), suffix(k + 1);
-    prefix[0] = Delta();
-    suffix[k] = Delta();
+    PoolVec<Dist> prefix, suffix;
+    prefix.Reserve(pool_, k + 1);
+    suffix.Reserve(pool_, k + 1);
+    for (int i = 0; i <= k; ++i) {
+      prefix.EmplaceBack(pool_);
+      suffix.EmplaceBack(pool_);
+    }
+    prefix[0] = DeltaDist(g);
+    suffix[k] = DeltaDist(g);
     for (int i = 0; i < k; ++i) {
-      prefix[i + 1] = Convolve(prefix[i], parts[i].base);
+      prefix[i + 1] = Convolve(prefix[i], parts[i].base, g);
     }
     for (int i = k - 1; i >= 1; --i) {  // suffix[0] is never read.
-      suffix[i] = Convolve(parts[i].base, suffix[i + 1]);
+      suffix[i] = Convolve(parts[i].base, suffix[i + 1], g);
     }
-    out.base = prefix[k];
+    out.base = std::move(prefix[k]);
+    size_t tracked_total = 0;
+    for (const Region& r : parts) tracked_total += r.tracked.size();
+    out.tracked.Reserve(pool_, tracked_total);
     for (int i = 0; i < k; ++i) {
+      if (parts[i].tracked.empty()) continue;
+      // t × (prefix × suffix), not (t × prefix) × suffix: the sibling
+      // product saturates at the base-state support, while a tracked
+      // intermediate would cross starred keys with it and blow up first.
+      Dist other = Convolve(prefix[i], suffix[i + 1], g);
       for (auto& [n, t] : parts[i].tracked) {
-        out.tracked.emplace_back(
-            n, Convolve(Convolve(t, prefix[i]), suffix[i + 1]));
+        out.tracked.EmplaceBack(pool_, n, Convolve(t, other, g));
       }
     }
     return out;
   }
 
-  // Distribution contributed by the region rooted at `n`, conditioned on the
-  // edge into `n` being taken.
-  Region Contribution(NodeId n) {
-    if (!relevant_[n]) return Region{Delta(), {}};
+  // One iterative bottom-up pass: children always carry larger node ids
+  // than their parents (the arena appends), so a reverse scan computes
+  // every node's contribution — the region conditioned on the edge into it
+  // being taken — with its children's regions already final. No recursion,
+  // so document depth is bounded by memory, not stack (the 3000-deep chain
+  // stress test runs through here). Returns the root's region.
+  // Dead-bit projection (uniform narrow frames only): a key bit is
+  // *observable* above a node if some candidate at an ancestor reads it
+  // (need mask) or the root acceptance does. A bits are read exactly one
+  // ordinary level up and D bits survive each rewrite's DOnly, so
+  //   obs(children of ordinary y) = reads(label(y)) | (DMask & obs(y)),
+  // distributional nodes pass obs through. Projecting each region onto its
+  // mask merges states that differ only in dead bits — the support of the
+  // high-level sibling convolutions collapses to the few observable bits.
+  void ComputeObs() {
+    project_ = uniform_frame_;
+    if (!project_) return;
+    // need-bit masks per label over every slot (anchor filtering only
+    // removes candidates, so this is a safe superset).
+    std::unordered_map<Label, NarrowKey> reads;
+    for (int s = 0; s < static_cast<int>(qnodes_.size()); ++s) {
+      const QNode& qn = qnodes_[s];
+      NarrowKey need = 0;
+      bool ok = true;
+      for (int t : qn.slash_kids) {
+        const int pt = PosInFrame(pd_.root(), t);
+        if (pt < 0) ok = false; else need |= NarrowKey{1} << (2 * pt + 1);
+      }
+      for (int t : qn.desc_kids) {
+        const int pt = PosInFrame(pd_.root(), t);
+        if (pt < 0) ok = false; else need |= NarrowKey{1} << (2 * pt);
+      }
+      if (ok) reads[qn.label] |= need;
+    }
+    NarrowKey accept = 0;
+    for (int slot : goal_root_slots_) {
+      const int pos = PosInFrame(pd_.root(), slot);
+      if (pos >= 0) accept |= NarrowKey{1} << (2 * pos + 1);
+    }
+    for (int slot : batch_root_slots_) {
+      const int pos = PosInFrame(pd_.root(), slot);
+      if (pos >= 0) accept |= NarrowKey{1} << (2 * pos + 1);
+    }
+    obs_.assign(pd_.size(), ~uint64_t{0});
+    obs_[pd_.root()] = accept;
+    for (NodeId n = 0; n < pd_.size(); ++n) {
+      uint64_t child_obs;
+      if (pd_.ordinary(n)) {
+        NarrowKey r = 0;
+        if (const auto it = reads.find(pd_.label(n)); it != reads.end()) {
+          r = it->second;
+        }
+        child_obs = r | (kNarrowDMask & obs_[n]);
+      } else {
+        child_obs = obs_[n];
+      }
+      for (NodeId c : pd_.children(n)) obs_[c] = child_obs;
+    }
+  }
+
+  // Projects a narrow dist onto `mask`, merging states that differ only in
+  // dead bits. No-op for wide dists (projection is purely an optimization).
+  void ProjectDist(Dist* d, uint64_t mask) {
+    if (d->wide || !d->initialized() || d->n.empty()) return;
+    if (d->n.inline_mode()) {
+      // Single entry: mask in place via rebuild-free path.
+      NarrowKey k;
+      double v;
+      if (d->n.GetSingle(&k, &v) && (k & ~mask) != 0) {
+        Dist out = MakeDist(false);
+        out.n.Add(k & mask, v);
+        *d = std::move(out);
+      }
+      return;
+    }
+    NarrowKey any = 0;
+    d->n.ForEach([&](NarrowKey k, double) { any |= k; });
+    if ((any & ~mask) == 0) return;
+    Dist out = MakeDist(false, d->cap_log2());
+    d->n.ForEach([&](NarrowKey k, double v) { out.n.Add(k & mask, v); });
+    *d = std::move(out);
+  }
+
+  void ProjectRegion(Region* r, NodeId x) {
+    if (!project_) return;
+    const uint64_t mask = obs_[x];
+    ProjectDist(&r->base, mask);
+    for (auto& [a, t] : r->tracked) ProjectDist(&t, mask);
+  }
+
+  Region EvalRegions() {
+    ComputeObs();
+    const NodeId root = pd_.root();
+    if (region_slot_[root] < 0) {
+      // No query label occurs anywhere: the whole document is one identity.
+      Region r;
+      r.frame = root;
+      r.base = DeltaDist(root);
+      return r;
+    }
+    PoolVec<Region> regions;
+    regions.Reserve(pool_, region_count_);
+    for (int32_t i = 0; i < region_count_; ++i) regions.EmplaceBack(pool_);
+    for (NodeId n = pd_.size() - 1; n >= 0; --n) {
+      const int32_t slot = region_slot_[n];
+      if (slot < 0) continue;
+      regions[slot] = ComputeRegion(n, &regions);
+    }
+    return std::move(regions[region_slot_[root]]);
+  }
+
+  // Contribution of node `n`, consuming the already-computed child regions.
+  // The result may live in a descendant's frame (lazy remapping); callers
+  // needing a specific frame remap it themselves.
+  Region ComputeRegion(NodeId n, PoolVec<Region>* regions) {
     switch (pd_.kind(n)) {
       case PKind::kOrdinary:
-        return NodeDist(n);
+        return NodeDist(n, regions);
       case PKind::kDet: {
-        std::vector<Region> parts;
-        parts.reserve(pd_.children(n).size());
-        for (NodeId c : pd_.children(n)) parts.push_back(Contribution(c));
-        return Combine(std::move(parts));
+        PoolVec<Region> parts;
+        parts.Reserve(pool_, pd_.children(n).size());
+        for (NodeId c : pd_.children(n)) {
+          if (region_slot_[c] < 0) continue;  // Identity contribution.
+          parts.EmplaceBack(pool_, std::move((*regions)[region_slot_[c]]));
+        }
+        return Combine(std::move(parts), n);
       }
       case PKind::kMux: {
         Region acc;
+        acc.frame = n;
         double total = 0;
         for (NodeId c : pd_.children(n)) {
           const double p = pd_.edge_prob(c);
           total += p;
           if (p == 0) continue;
-          Region r = Contribution(c);
-          AddScaled(&acc.base, r.base, p);
+          if (region_slot_[c] < 0) {
+            // Dead alternative: contributes the empty state with mass p.
+            AddEmptyMassInit(&acc.base, p, wide_[n]);
+            continue;
+          }
+          Region r = std::move((*regions)[region_slot_[c]]);
+          RemapRegionInPlace(&r, n);
+          AddScaledDist(&acc.base, r.base, p);
           // Alternatives are exclusive, so an anchor lives in one branch.
-          for (auto& [a, t] : r.tracked) {
-            ScaleInPlace(&t, p);
-            acc.tracked.emplace_back(a, std::move(t));
+          if (acc.tracked.empty()) {
+            acc.tracked = std::move(r.tracked);
+            for (auto& [a, t] : acc.tracked) DistScale(&t, p);
+          } else {
+            for (auto& [a, t] : r.tracked) {
+              DistScale(&t, p);
+              acc.tracked.EmplaceBack(pool_, a, std::move(t));
+            }
           }
         }
-        if (total < 1.0) acc.base[StateKey{}] += 1.0 - total;
+        if (total < 1.0) AddEmptyMassInit(&acc.base, 1.0 - total, wide_[n]);
+        MaybePrune(&acc.base);
         return acc;
       }
       case PKind::kInd: {
-        std::vector<Region> parts;
-        parts.reserve(pd_.children(n).size());
+        PoolVec<Region> parts;
+        parts.Reserve(pool_, pd_.children(n).size());
         for (NodeId c : pd_.children(n)) {
+          if (region_slot_[c] < 0) continue;  // p·δ + (1−p)·δ = identity.
           const double p = pd_.edge_prob(c);
           Region mixed;
+          mixed.frame = c;
           if (p > 0) {
-            Region r = Contribution(c);
-            AddScaled(&mixed.base, r.base, p);
+            Region r = std::move((*regions)[region_slot_[c]]);
+            mixed.frame = r.frame;
+            AddScaledDist(&mixed.base, r.base, p);
             // The anchor requires its own edge to be taken.
-            for (auto& [a, t] : r.tracked) {
-              ScaleInPlace(&t, p);
-              mixed.tracked.emplace_back(a, std::move(t));
-            }
+            mixed.tracked = std::move(r.tracked);
+            for (auto& [a, t] : mixed.tracked) DistScale(&t, p);
           }
-          if (p < 1.0) mixed.base[StateKey{}] += 1.0 - p;
-          parts.push_back(std::move(mixed));
+          if (p < 1.0) {
+            AddEmptyMassInit(&mixed.base, 1.0 - p, wide_[mixed.frame]);
+          }
+          parts.EmplaceBack(pool_, std::move(mixed));
         }
-        return Combine(std::move(parts));
+        return Combine(std::move(parts), n);
       }
       case PKind::kExp: {
         const auto& kids = pd_.children(n);
-        // Each child's region once; subsets recombine the memoized copies.
-        std::vector<Region> kid_regions;
-        kid_regions.reserve(kids.size());
-        for (NodeId c : kids) kid_regions.push_back(Contribution(c));
+        // Each child's region once; subsets recombine cloned copies. Dead
+        // children materialize as explicit identities: subset indices must
+        // stay aligned with child positions.
+        PoolVec<Region> kid_regions;
+        kid_regions.Reserve(pool_, kids.size());
+        for (NodeId c : kids) {
+          if (region_slot_[c] < 0) {
+            Region r;
+            r.frame = c;
+            r.base = DeltaDist(c);
+            kid_regions.EmplaceBack(pool_, std::move(r));
+          } else {
+            kid_regions.EmplaceBack(pool_,
+                                    std::move((*regions)[region_slot_[c]]));
+          }
+        }
         Region acc;
+        acc.frame = n;
         double total = 0;
         std::unordered_map<NodeId, Dist> tracked_acc;
         for (const auto& [subset, p] : pd_.exp_distribution(n)) {
           total += p;
           if (p == 0) continue;
-          std::vector<Region> parts;
-          parts.reserve(subset.size());
-          for (int idx : subset) parts.push_back(kid_regions[idx]);
-          Region sub = Combine(std::move(parts));
-          AddScaled(&acc.base, sub.base, p);
+          PoolVec<Region> parts;
+          parts.Reserve(pool_, subset.size());
+          for (int idx : subset) {
+            parts.EmplaceBack(pool_, CloneRegion(kid_regions[idx]));
+          }
+          Region sub = Combine(std::move(parts), n);
+          RemapRegionInPlace(&sub, n);
+          AddScaledDist(&acc.base, sub.base, p);
           // The same anchor can survive through several subsets.
-          for (auto& [a, t] : sub.tracked) AddScaled(&tracked_acc[a], t, p);
+          for (auto& [a, t] : sub.tracked) AddScaledDist(&tracked_acc[a], t, p);
         }
-        if (total < 1.0) acc.base[StateKey{}] += 1.0 - total;
-        acc.tracked.reserve(tracked_acc.size());
+        if (total < 1.0) AddEmptyMassInit(&acc.base, 1.0 - total, wide_[n]);
+        MaybePrune(&acc.base);
+        acc.tracked.Reserve(pool_, tracked_acc.size());
         for (auto& [a, t] : tracked_acc) {
-          acc.tracked.emplace_back(a, std::move(t));
+          acc.tracked.EmplaceBack(pool_, a, std::move(t));
         }
         return acc;
       }
     }
     PXV_CHECK(false);
-    return Region{Delta(), {}};
+    return Region{};
   }
 
-  // Rewrites a distribution at ordinary node x: D bits flow up, then every
-  // candidate slot whose child requirements hold in the incoming key gets
-  // its A and D bits set.
-  Dist Rewrite(const Dist& in, const std::vector<int>& base_cands,
-               const std::vector<int>& star_cands,
-               const std::vector<int>& pin_cands) const {
-    Dist out;
-    out.reserve(in.size());
-    for (const auto& [key, p] : in) {
-      StateKey nk = DOnly(key);
-      const auto apply = [&](int slot) {
-        const QNode& qn = qnodes_[slot];
-        for (int t : qn.slash_kids) {
-          if (!GetBit(key, 2 * t + 1)) return;  // Need A(t) at a kept child.
-        }
-        for (int t : qn.desc_kids) {
-          if (!GetBit(key, 2 * t)) return;  // Need D(t): strictly below x.
-        }
-        SetBit(&nk, 2 * slot + 1);  // A
-        SetBit(&nk, 2 * slot);      // D
-      };
-      for (int s : base_cands) apply(s);
-      for (int s : star_cands) apply(s);
-      for (int s : pin_cands) apply(s);
-      out[nk] += p;
-    }
+  // ----------------------------------------------------------- rewrite ----
+
+  // Rewrites a distribution at an ordinary node: D bits flow up, then every
+  // candidate whose (need) bits hold in the incoming key gains its (set)
+  // bits. Mask-compiled form of the per-child bit probing.
+  template <typename K>
+  FlatDist<K> RewriteT(const FlatDist<K>& in,
+                       const std::vector<std::pair<K, K>>& cands,
+                       const std::vector<std::pair<K, K>>& extra) {
+    FlatDist<K> out;
+    out.Init(pool_, in.size() <= 1 ? FlatDist<K>::kInlineCapLog2
+                                   : in.cap_log2());
+    const K dmask = DMask<K>();
+    in.ForEach([&](const K& key, double p) {
+      K nk = KeyAnd(key, dmask);
+      for (const auto& [need, set] : cands) {
+        if (HasAll(key, need)) nk = nk | set;
+      }
+      for (const auto& [need, set] : extra) {
+        if (HasAll(key, need)) nk = nk | set;
+      }
+      out.Add(nk, p);
+    });
     return out;
   }
 
-  // (A, D) region of ordinary node `x`, given x appears.
-  Region NodeDist(NodeId x) {
-    std::vector<Region> parts;
-    parts.reserve(pd_.children(x).size());
-    for (NodeId c : pd_.children(x)) parts.push_back(Contribution(c));
-    Region comb = Combine(std::move(parts));
+  // Applies `masks` plus optionally `extra` (star or pin candidates).
+  Dist RewriteDist(const Dist& in, bool wide, const Masks& masks,
+                   const Masks& extra) {
+    Dist out;
+    out.SetWide(wide);
+    if (wide) {
+      out.w = RewriteT(in.w, masks.w, extra.w);
+    } else {
+      out.n = RewriteT(in.n, masks.n, extra.n);
+    }
+    MaybePrune(&out);
+    return out;
+  }
 
-    const Label xl = pd_.label(x);
-    std::vector<int> base_cands;
+  struct LabelMasks {
+    Masks base, star, pin;
+    // Leaf fast path: Rewrite(δ) yields one key — the OR of `set` masks of
+    // candidates with no child requirements. Cached per label/width.
+    NarrowKey leaf_base_n = 0, leaf_pin_n = 0;
+    WideKey leaf_base_w, leaf_pin_w;
+  };
+
+  // Compiles every candidate list for label `xl` at node `x` (positions are
+  // node-independent when the frame is uniform).
+  void CompileLabelMasks(NodeId x, Label xl, LabelMasks* out) {
     if (auto it = by_label_.find(xl); it != by_label_.end()) {
       for (int slot : it->second) {
         const auto ait = anchor_of_.find(slot);
@@ -407,32 +1075,151 @@ class Engine {
             anchor_sets_[ait->second].count(x) == 0) {
           continue;  // Anchored elsewhere.
         }
-        base_cands.push_back(slot);
+        CompileCandidate(x, slot, &out->base);
       }
     }
-    static const std::vector<int> kNone;
-    const std::vector<int>* star_cands = &kNone;
+    // Tracked dists additionally apply starred (main-branch) candidates.
     if (auto it = by_label_star_.find(xl); it != by_label_star_.end()) {
-      star_cands = &it->second;
+      for (int slot : it->second) CompileCandidate(x, slot, &out->star);
+    }
+    if (batch_feasible_ && batch_count_ > 0 && xl == batch_out_label_) {
+      for (int slot : pin_slots_) CompileCandidate(x, slot, &out->pin);
+    }
+    for (const auto& [need, set] : out->base.n) {
+      if (need == 0) out->leaf_base_n |= set;
+    }
+    for (const auto& [need, set] : out->base.w) {
+      if (need.IsEmpty()) out->leaf_base_w = out->leaf_base_w | set;
+    }
+    out->leaf_pin_n = out->leaf_base_n;
+    out->leaf_pin_w = out->leaf_base_w;
+    for (const auto& [need, set] : out->pin.n) {
+      if (need == 0) out->leaf_pin_n |= set;
+    }
+    for (const auto& [need, set] : out->pin.w) {
+      if (need.IsEmpty()) out->leaf_pin_w = out->leaf_pin_w | set;
+    }
+  }
+
+  // Compiles candidate slot `s` into a (need, set) mask pair in `x`'s frame.
+  // Returns false when a required child slot is not live in the subtree —
+  // the candidate can never fire at `x`.
+  bool CompileCandidate(NodeId x, int s, Masks* masks) {
+    const QNode& qn = qnodes_[s];
+    if (wide_[x]) {
+      WideKey need, set;
+      for (int t : qn.slash_kids) WideSetBit(&need, 2 * t + 1);  // A(t).
+      for (int t : qn.desc_kids) WideSetBit(&need, 2 * t);       // D(t).
+      WideSetBit(&set, 2 * s + 1);
+      WideSetBit(&set, 2 * s);
+      masks->w.emplace_back(need, set);
+      return true;
+    }
+    NarrowKey need = 0;
+    for (int t : qn.slash_kids) {
+      const int pt = PosInFrame(x, t);
+      if (pt < 0) return false;  // Need A(t) at a kept child.
+      need |= NarrowKey{1} << (2 * pt + 1);
+    }
+    for (int t : qn.desc_kids) {
+      const int pt = PosInFrame(x, t);
+      if (pt < 0) return false;  // Need D(t): strictly below x.
+      need |= NarrowKey{1} << (2 * pt);
+    }
+    const int ps = PosInFrame(x, s);
+    PXV_CHECK_GE(ps, 0);  // s's label is x's label, so s is live here.
+    masks->n.emplace_back(need, NarrowKey{3} << (2 * ps));  // A and D.
+    return true;
+  }
+
+  // (A, D) region of ordinary node `x`, given x appears. Always returned in
+  // x's own frame.
+  Region NodeDist(NodeId x, PoolVec<Region>* regions) {
+    (wide_[x] ? prof_->wide_nodes : prof_->narrow_nodes)++;
+    const Label xl = pd_.label(x);
+    bool any_parts = false;
+    for (NodeId c : pd_.children(x)) {
+      if (region_slot_[c] >= 0) {
+        any_parts = true;
+        break;
+      }
+    }
+    // Leaf fast path (also: nodes whose children are all dead): the
+    // combined child state is δ, so the rewrite collapses to one
+    // precomputed key per label — no tables, no iteration.
+    if (!any_parts && (uniform_frame_ && anchor_of_.empty())) {
+      auto [it, inserted] = label_masks_.try_emplace(xl);
+      if (inserted) CompileLabelMasks(x, xl, &it->second);
+      const LabelMasks& lm = it->second;
+      Region out;
+      out.frame = x;
+      out.base = MakeDist(wide_[x]);
+      if (wide_[x]) {
+        out.base.w.Add(lm.leaf_base_w, 1.0);
+      } else {
+        out.base.n.Add(lm.leaf_base_n, 1.0);
+      }
+      if (batch_feasible_ && batch_count_ > 0 && xl == batch_out_label_) {
+        Dist pin = MakeDist(wide_[x]);
+        if (wide_[x]) {
+          pin.w.Add(lm.leaf_pin_w, 1.0);
+        } else {
+          pin.n.Add(lm.leaf_pin_n, 1.0);
+        }
+        out.tracked.EmplaceBack(pool_, x, std::move(pin));
+      }
+      ProjectRegion(&out, x);
+      return out;
     }
 
+    PoolVec<Region> parts;
+    parts.Reserve(pool_, pd_.children(x).size());
+    for (NodeId c : pd_.children(x)) {
+      if (region_slot_[c] < 0) continue;  // Identity contribution.
+      parts.EmplaceBack(pool_, std::move((*regions)[region_slot_[c]]));
+    }
+    Region comb = Combine(std::move(parts), x);
+    RemapRegionInPlace(&comb, x);
+    // With a uniform frame and no per-node anchor filtering, candidate
+    // masks depend on the node only through its label — compile them once
+    // per label. (Anchored conjunctions and the wide/narrow frontier fall
+    // back to per-node compilation.)
+    const LabelMasks* cached = nullptr;
+    LabelMasks local;
+    if (uniform_frame_ && anchor_of_.empty()) {
+      auto [it, inserted] = label_masks_.try_emplace(xl);
+      if (inserted) CompileLabelMasks(x, xl, &it->second);
+      cached = &it->second;
+    } else {
+      CompileLabelMasks(x, xl, &local);
+      cached = &local;
+    }
+    const Masks& base_masks = cached->base;
+    const Masks& star_masks = cached->star;
+    const Masks& pin_masks = cached->pin;
+
     Region out;
-    out.base = Rewrite(comb.base, base_cands, kNone, kNone);
-    out.tracked.reserve(comb.tracked.size() + 1);
-    for (auto& [n, t] : comb.tracked) {
-      out.tracked.emplace_back(n, Rewrite(t, base_cands, *star_cands, kNone));
+    out.frame = x;
+    out.base = RewriteDist(comb.base, wide_[x], base_masks, kNoMasks);
+    // Rewrite tracked dists in place: the vector (and its pairs) carry over.
+    out.tracked = std::move(comb.tracked);
+    for (auto& [n, t] : out.tracked) {
+      t = RewriteDist(t, wide_[x], base_masks, star_masks);
     }
     // x itself becomes a tracked anchor: pin every member's out slot here.
     if (batch_feasible_ && batch_count_ > 0 && xl == batch_out_label_) {
-      out.tracked.emplace_back(x,
-                               Rewrite(comb.base, base_cands, kNone,
-                                       pin_slots_));
+      out.tracked.EmplaceBack(
+          pool_, x, RewriteDist(comb.base, wide_[x], base_masks, pin_masks));
     }
+    ProjectRegion(&out, x);
     return out;
   }
 
   const PDocument& pd_;
   const int batch_count_;
+  DistPool* pool_;
+  DistProfile* prof_;
+  const double prune_eps_;
   std::vector<QNode> qnodes_;
   std::vector<int> goal_root_slots_;
   std::vector<int> batch_root_slots_;
@@ -441,11 +1228,24 @@ class Engine {
   std::unordered_map<Label, std::vector<int>> by_label_star_;
   std::unordered_map<int, int> anchor_of_;
   std::vector<std::unordered_set<NodeId>> anchor_sets_;
-  std::vector<uint8_t> relevant_;
+  // Analysis buffers borrowed from the scratch (reused across runs).
+  std::vector<SlotSet>& live_;
+  std::vector<uint8_t>& wide_;
+  std::vector<int32_t>& region_slot_;  // Compact slot per live node; -1 dead.
+  std::vector<int8_t>& slots_flat_;  // kNarrowSlotCap bytes per live node.
+  std::vector<uint8_t>& slots_len_;  // 0 = not yet extracted.
+  std::vector<uint64_t>& obs_;  // Per-node upward-observable key masks.
+  bool project_ = false;  // Dead-bit projection active (uniform narrow).
+  int32_t region_count_ = 0;
+  bool uniform_frame_ = false;  // Root narrow ⇒ one frame for everything.
+  std::unordered_map<Label, LabelMasks> label_masks_;
+  static const Masks kNoMasks;
   Label batch_out_label_ = 0;
   bool batch_out_label_set_ = false;
   bool batch_feasible_ = true;
 };
+
+const Masks Engine::kNoMasks;
 
 }  // namespace
 
@@ -468,24 +1268,79 @@ int BatchSlotCount(const std::vector<const Pattern*>& members) {
 }
 
 double ConjunctionProbability(const PDocument& pd,
-                              const std::vector<Goal>& goals) {
+                              const std::vector<Goal>& goals,
+                              DpScratch* scratch,
+                              const EngineOptions& options) {
   PXV_CHECK(!pd.empty());
   if (goals.empty()) return 1.0;
-  Engine engine(pd, goals, {});
-  return engine.Probability();
+  scratch->BeginRun();
+  double p;
+  {
+    Engine engine(pd, goals, {}, scratch, options);
+    p = engine.Probability();
+  }
+  scratch->EndRun();
+  return p;
+}
+
+double ConjunctionProbability(const PDocument& pd,
+                              const std::vector<Goal>& goals) {
+  // Per-thread scratch: the legacy per-call API stays allocation-free in
+  // steady state instead of building a fresh arena every call.
+  static thread_local DpScratch scratch;
+  return ConjunctionProbability(pd, goals, &scratch, {});
+}
+
+std::vector<NodeProb> BatchAnchoredProbabilities(
+    const PDocument& pd, const std::vector<const Pattern*>& members,
+    DpScratch* scratch, const EngineOptions& options) {
+  PXV_CHECK(!pd.empty());
+  if (members.empty()) return {};
+  scratch->BeginRun();
+  std::vector<NodeProb> out;
+  {
+    Engine engine(pd, {}, members, scratch, options);
+    out = engine.BatchResults();
+  }
+  scratch->EndRun();
+  return out;
 }
 
 std::vector<NodeProb> BatchAnchoredProbabilities(
     const PDocument& pd, const std::vector<const Pattern*>& members) {
-  PXV_CHECK(!pd.empty());
-  if (members.empty()) return {};
-  Engine engine(pd, {}, members);
-  return engine.BatchResults();
+  static thread_local DpScratch scratch;
+  return BatchAnchoredProbabilities(pd, members, &scratch, {});
 }
 
 std::vector<NodeProb> BatchSelectionProbabilities(const PDocument& pd,
                                                   const Pattern& q) {
   return BatchAnchoredProbabilities(pd, {&q});
+}
+
+std::vector<std::vector<NodeProb>> BatchManyProbabilities(
+    const PDocument& pd, const std::vector<const Pattern*>& members,
+    DpScratch* scratch, const EngineOptions& options) {
+  PXV_CHECK(!pd.empty());
+  if (members.empty()) return {};
+  for (const Pattern* m : members) {
+    PXV_CHECK(m != nullptr);
+    PXV_CHECK_EQ(m->OutLabel(), members[0]->OutLabel())
+        << "BatchManyProbabilities members must share the output label";
+  }
+  scratch->BeginRun();
+  std::vector<std::vector<NodeProb>> out;
+  {
+    Engine engine(pd, {}, members, scratch, options);
+    out = engine.BatchResultsMany();
+  }
+  scratch->EndRun();
+  return out;
+}
+
+std::vector<std::vector<NodeProb>> BatchManyProbabilities(
+    const PDocument& pd, const std::vector<const Pattern*>& members) {
+  static thread_local DpScratch scratch;
+  return BatchManyProbabilities(pd, members, &scratch, {});
 }
 
 }  // namespace pxv

@@ -37,6 +37,7 @@
 
 #include <vector>
 
+#include "prob/dist.h"
 #include "pxml/pdocument.h"
 #include "tp/pattern.h"
 
@@ -62,6 +63,20 @@ struct NodeProb {
 /// base one, not in addition).
 inline constexpr int kMaxConjunctionSlots = 128;
 
+/// Per-subtree key narrowing threshold: a p-document subtree whose live
+/// slot set (slots whose pattern label occurs in the subtree) fits in this
+/// many slots runs its whole DP algebra on a 1-word key; larger live sets
+/// fall back to the 256-bit WideKey.
+inline constexpr int kNarrowSlotCap = 32;
+
+/// Exact-DP tuning knobs, threaded from ProbBackend/EvalSession.
+struct EngineOptions {
+  /// When > 0, distribution entries with mass <= prune_eps are dropped as
+  /// the DP runs (support pruning). 0 keeps the DP exact. See
+  /// prob/backend.h for the resulting error bound.
+  double prune_eps = 0.0;
+};
+
 /// DP slots a plain conjunction needs (sum of pattern sizes). Callers gate
 /// on this against kMaxConjunctionSlots before invoking the engine.
 int ConjunctionSlotCount(const std::vector<Goal>& goals);
@@ -72,8 +87,15 @@ int ConjunctionSlotCount(const std::vector<Goal>& goals);
 int BatchSlotCount(const std::vector<const Pattern*>& members);
 
 /// Pr(every goal embeds into a random world of pd, respecting anchors).
+/// The scratch-threaded overloads reuse `scratch`'s arena and table pool
+/// across calls (the ProbBackend path); the plain overloads make a
+/// transient scratch.
 double ConjunctionProbability(const PDocument& pd,
                               const std::vector<Goal>& goals);
+double ConjunctionProbability(const PDocument& pd,
+                              const std::vector<Goal>& goals,
+                              DpScratch* scratch,
+                              const EngineOptions& options = {});
 
 /// Pr(n ∈ (m1 ∩ … ∩ mk)(P)) for every candidate node n — ordinary nodes
 /// labeled with the members' shared output label — computed in one pass over
@@ -83,10 +105,35 @@ double ConjunctionProbability(const PDocument& pd,
 /// of one per candidate.
 std::vector<NodeProb> BatchAnchoredProbabilities(
     const PDocument& pd, const std::vector<const Pattern*>& members);
+std::vector<NodeProb> BatchAnchoredProbabilities(
+    const PDocument& pd, const std::vector<const Pattern*>& members,
+    DpScratch* scratch, const EngineOptions& options = {});
 
 /// Single-pattern convenience: q(P̂) in one pass.
 std::vector<NodeProb> BatchSelectionProbabilities(const PDocument& pd,
                                                   const Pattern& q);
+
+/// result[i] = q_i(P̂) for every member — k same-output-label queries
+/// answered by ONE bottom-up pass instead of k: the joint DP carries all
+/// members' slots, and each member's selection probabilities are read off
+/// its own acceptance mask at the root (the other members' bits marginalize
+/// out). Precondition: every member shares OutLabel() (group by output
+/// label first — view materialization does). Costs one pass with
+/// Σ|q_i| slots, so callers should chunk groups to kMaxConjunctionSlots.
+std::vector<std::vector<NodeProb>> BatchManyProbabilities(
+    const PDocument& pd, const std::vector<const Pattern*>& members);
+std::vector<std::vector<NodeProb>> BatchManyProbabilities(
+    const PDocument& pd, const std::vector<const Pattern*>& members,
+    DpScratch* scratch, const EngineOptions& options = {});
+
+/// Test-only reference implementations (prob/engine_reference.cc): the
+/// pre-flat-kernel hash-map DP, kept temporarily so the equivalence suite
+/// can pin the rewritten kernel against the code it replaced. Do not call
+/// from production paths; slated for removal once the kernel has soaked.
+double ReferenceConjunctionProbability(const PDocument& pd,
+                                       const std::vector<Goal>& goals);
+std::vector<NodeProb> ReferenceBatchAnchoredProbabilities(
+    const PDocument& pd, const std::vector<const Pattern*>& members);
 
 }  // namespace pxv
 

@@ -1,0 +1,475 @@
+// Test-only reference engine: the pre-flat-kernel bottom-up DP, verbatim —
+// one std::unordered_map per distribution, 256-bit keys everywhere, no
+// arena, no narrowing. Kept solely so the randomized equivalence suite can
+// pin the rewritten kernel (engine.cc) against the implementation it
+// replaced; production code must never call these. Scheduled for deletion
+// once the flat kernel has soaked.
+
+#include "prob/engine.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "util/check.h"
+
+namespace pxv {
+namespace {
+
+// Packed (A, D) pair: 2 bits per query slot — bit 2i = "D" (embeds
+// at-or-below), bit 2i+1 = "A" (embeds exactly here); A implies D. Four
+// 64-bit words hold kMaxConjunctionSlots = 128 slots.
+struct StateKey {
+  std::array<uint64_t, 4> w{};
+
+  bool operator==(const StateKey& o) const { return w == o.w; }
+  StateKey operator|(const StateKey& o) const {
+    StateKey r;
+    for (int i = 0; i < 4; ++i) r.w[i] = w[i] | o.w[i];
+    return r;
+  }
+  bool IsEmpty() const { return (w[0] | w[1] | w[2] | w[3]) == 0; }
+};
+
+struct StateKeyHash {
+  size_t operator()(const StateKey& k) const {
+    uint64_t x = 0x9E3779B97F4A7C15ULL;
+    for (uint64_t v : k.w) {
+      x ^= v + 0x9E3779B97F4A7C15ULL + (x << 6) + (x >> 2);
+      x *= 0xFF51AFD7ED558CCDULL;
+    }
+    return static_cast<size_t>(x ^ (x >> 29));
+  }
+};
+
+using Dist = std::unordered_map<StateKey, double, StateKeyHash>;
+
+void SetBit(StateKey* k, int bit) {
+  k->w[bit >> 6] |= uint64_t{1} << (bit & 63);
+}
+
+bool GetBit(const StateKey& k, int bit) {
+  return (k.w[bit >> 6] >> (bit & 63)) & 1;
+}
+
+// Keeps the D bits (even positions), clears the A bits.
+StateKey DOnly(const StateKey& k) {
+  constexpr uint64_t kDMask = 0x5555555555555555ULL;
+  StateKey r;
+  for (int i = 0; i < 4; ++i) r.w[i] = k.w[i] & kDMask;
+  return r;
+}
+
+Dist Delta() { return Dist{{StateKey{}, 1.0}}; }
+
+Dist Convolve(const Dist& a, const Dist& b) {
+  if (a.size() == 1 && a.begin()->first.IsEmpty()) {
+    Dist out = b;
+    const double p = a.begin()->second;
+    if (p != 1.0) {
+      for (auto& [k, v] : out) v *= p;
+    }
+    return out;
+  }
+  if (b.size() == 1 && b.begin()->first.IsEmpty()) {
+    Dist out = a;
+    const double p = b.begin()->second;
+    if (p != 1.0) {
+      for (auto& [k, v] : out) v *= p;
+    }
+    return out;
+  }
+  Dist out;
+  out.reserve(a.size() * b.size());
+  for (const auto& [ka, pa] : a) {
+    for (const auto& [kb, pb] : b) {
+      out[ka | kb] += pa * pb;
+    }
+  }
+  return out;
+}
+
+void AddScaled(Dist* acc, const Dist& d, double p) {
+  for (const auto& [k, v] : d) (*acc)[k] += p * v;
+}
+
+void ScaleInPlace(Dist* d, double p) {
+  if (p == 1.0) return;
+  for (auto& [k, v] : *d) v *= p;
+}
+
+// The state a p-document region passes to its parent: the base (A, D)
+// distribution, plus one joint distribution per candidate anchor inside the
+// region whose keys additionally carry the starred main-branch bits pinning
+// the output mapping to that anchor.
+struct Region {
+  Dist base;
+  std::vector<std::pair<NodeId, Dist>> tracked;
+};
+
+class Engine {
+ public:
+  Engine(const PDocument& pd, const std::vector<Goal>& goals,
+         const std::vector<const Pattern*>& batch)
+      : pd_(pd), batch_count_(static_cast<int>(batch.size())) {
+    int total = 0;
+    // Fixed-anchor / Boolean conjuncts: every pattern node is a base slot.
+    for (const Goal& g : goals) {
+      PXV_CHECK(g.pattern != nullptr);
+      const Pattern& p = *g.pattern;
+      const int offset = total;
+      total += p.size();
+      PXV_CHECK_LE(total, kMaxConjunctionSlots)
+          << "conjunction too large for the packed DP";
+      qnodes_.resize(total);
+      for (PNodeId n = 0; n < p.size(); ++n) {
+        QNode& qn = qnodes_[offset + n];
+        qn.label = p.label(n);
+        for (PNodeId c : p.children(n)) {
+          (p.axis(c) == Axis::kChild ? qn.slash_kids : qn.desc_kids)
+              .push_back(offset + c);
+        }
+        by_label_[qn.label].push_back(offset + n);
+        if (n == p.root()) goal_root_slots_.push_back(offset + n);
+      }
+      if (g.anchor != nullptr) {
+        anchor_sets_.emplace_back();
+        for (NodeId a : *g.anchor) anchor_sets_.back().insert(a);
+        anchor_of_[offset + p.out()] =
+            static_cast<int>(anchor_sets_.size()) - 1;
+      }
+    }
+    // Batched members: predicate-subtree nodes are base slots; main-branch
+    // nodes are starred slots (match only along the pinned output chain);
+    // out itself is the pin slot, set exclusively at the tracked anchor.
+    for (const Pattern* pp : batch) {
+      PXV_CHECK(pp != nullptr);
+      const Pattern& p = *pp;
+      const int offset = total;
+      total += p.size();
+      PXV_CHECK_LE(total, kMaxConjunctionSlots)
+          << "batched conjunction too large for the packed DP";
+      qnodes_.resize(total);
+      std::vector<char> on_mb(p.size(), 0);
+      for (PNodeId n : p.MainBranch()) on_mb[n] = 1;
+      for (PNodeId n = 0; n < p.size(); ++n) {
+        QNode& qn = qnodes_[offset + n];
+        qn.label = p.label(n);
+        for (PNodeId c : p.children(n)) {
+          (p.axis(c) == Axis::kChild ? qn.slash_kids : qn.desc_kids)
+              .push_back(offset + c);
+        }
+        if (n == p.out()) {
+          pin_slots_.push_back(offset + n);
+        } else if (on_mb[n]) {
+          by_label_star_[qn.label].push_back(offset + n);
+        } else {
+          by_label_[qn.label].push_back(offset + n);
+        }
+        if (n == p.root()) batch_root_slots_.push_back(offset + n);
+      }
+      // All members must share the output label, or no candidate exists.
+      if (batch_out_label_set_ && batch_out_label_ != p.OutLabel()) {
+        batch_feasible_ = false;
+      }
+      batch_out_label_ = p.OutLabel();
+      batch_out_label_set_ = true;
+    }
+    // Label-relevance pruning: a p-document subtree without any query label
+    // contributes the empty state with probability 1 and holds no anchors
+    // (the output label is itself a query label).
+    std::unordered_set<Label> qlabels;
+    for (const QNode& qn : qnodes_) qlabels.insert(qn.label);
+    relevant_.assign(pd.size(), 0);
+    for (NodeId n = pd.size() - 1; n >= 0; --n) {
+      bool rel = pd.ordinary(n) && qlabels.count(pd.label(n)) > 0;
+      if (!rel) {
+        for (NodeId c : pd.children(n)) {
+          if (relevant_[c]) {
+            rel = true;
+            break;
+          }
+        }
+      }
+      relevant_[n] = rel;
+    }
+  }
+
+  double Probability() {
+    PXV_CHECK_EQ(batch_count_, 0) << "use BatchResults for batched members";
+    Region root = NodeDist(pd_.root());
+    double p = 0;
+    for (const auto& [key, prob] : root.base) {
+      if (AcceptsGoals(key)) p += prob;
+    }
+    return p;
+  }
+
+  std::vector<NodeProb> BatchResults() {
+    std::vector<NodeProb> out;
+    if (!batch_feasible_ || batch_count_ == 0) return out;
+    Region root = NodeDist(pd_.root());
+    out.reserve(root.tracked.size());
+    for (const auto& [n, dist] : root.tracked) {
+      double p = 0;
+      for (const auto& [key, prob] : dist) {
+        bool all = AcceptsGoals(key);
+        for (size_t i = 0; all && i < batch_root_slots_.size(); ++i) {
+          if (!GetBit(key, 2 * batch_root_slots_[i] + 1)) all = false;
+        }
+        if (all) p += prob;
+      }
+      if (p > 0) out.push_back({n, p});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const NodeProb& a, const NodeProb& b) {
+                return a.node < b.node;
+              });
+    return out;
+  }
+
+ private:
+  struct QNode {
+    Label label = 0;
+    std::vector<int> slash_kids, desc_kids;
+  };
+
+  bool AcceptsGoals(const StateKey& key) const {
+    for (int slot : goal_root_slots_) {
+      if (!GetBit(key, 2 * slot + 1)) return false;
+    }
+    return true;
+  }
+
+  // Combines probabilistically independent sibling regions: bases convolve;
+  // each tracked anchor (living in exactly one part) convolves with every
+  // other part's base via prefix/suffix products.
+  static Region Combine(std::vector<Region> parts) {
+    Region out;
+    if (parts.empty()) {
+      out.base = Delta();
+      return out;
+    }
+    if (parts.size() == 1) return std::move(parts[0]);
+    bool any_tracked = false;
+    for (const Region& r : parts) {
+      if (!r.tracked.empty()) {
+        any_tracked = true;
+        break;
+      }
+    }
+    const int k = static_cast<int>(parts.size());
+    if (!any_tracked) {
+      out.base = Delta();
+      for (Region& r : parts) out.base = Convolve(out.base, r.base);
+      return out;
+    }
+    std::vector<Dist> prefix(k + 1), suffix(k + 1);
+    prefix[0] = Delta();
+    suffix[k] = Delta();
+    for (int i = 0; i < k; ++i) {
+      prefix[i + 1] = Convolve(prefix[i], parts[i].base);
+    }
+    for (int i = k - 1; i >= 1; --i) {  // suffix[0] is never read.
+      suffix[i] = Convolve(parts[i].base, suffix[i + 1]);
+    }
+    out.base = prefix[k];
+    for (int i = 0; i < k; ++i) {
+      for (auto& [n, t] : parts[i].tracked) {
+        out.tracked.emplace_back(
+            n, Convolve(Convolve(t, prefix[i]), suffix[i + 1]));
+      }
+    }
+    return out;
+  }
+
+  // Distribution contributed by the region rooted at `n`, conditioned on the
+  // edge into `n` being taken.
+  Region Contribution(NodeId n) {
+    if (!relevant_[n]) return Region{Delta(), {}};
+    switch (pd_.kind(n)) {
+      case PKind::kOrdinary:
+        return NodeDist(n);
+      case PKind::kDet: {
+        std::vector<Region> parts;
+        parts.reserve(pd_.children(n).size());
+        for (NodeId c : pd_.children(n)) parts.push_back(Contribution(c));
+        return Combine(std::move(parts));
+      }
+      case PKind::kMux: {
+        Region acc;
+        double total = 0;
+        for (NodeId c : pd_.children(n)) {
+          const double p = pd_.edge_prob(c);
+          total += p;
+          if (p == 0) continue;
+          Region r = Contribution(c);
+          AddScaled(&acc.base, r.base, p);
+          // Alternatives are exclusive, so an anchor lives in one branch.
+          for (auto& [a, t] : r.tracked) {
+            ScaleInPlace(&t, p);
+            acc.tracked.emplace_back(a, std::move(t));
+          }
+        }
+        if (total < 1.0) acc.base[StateKey{}] += 1.0 - total;
+        return acc;
+      }
+      case PKind::kInd: {
+        std::vector<Region> parts;
+        parts.reserve(pd_.children(n).size());
+        for (NodeId c : pd_.children(n)) {
+          const double p = pd_.edge_prob(c);
+          Region mixed;
+          if (p > 0) {
+            Region r = Contribution(c);
+            AddScaled(&mixed.base, r.base, p);
+            // The anchor requires its own edge to be taken.
+            for (auto& [a, t] : r.tracked) {
+              ScaleInPlace(&t, p);
+              mixed.tracked.emplace_back(a, std::move(t));
+            }
+          }
+          if (p < 1.0) mixed.base[StateKey{}] += 1.0 - p;
+          parts.push_back(std::move(mixed));
+        }
+        return Combine(std::move(parts));
+      }
+      case PKind::kExp: {
+        const auto& kids = pd_.children(n);
+        // Each child's region once; subsets recombine the memoized copies.
+        std::vector<Region> kid_regions;
+        kid_regions.reserve(kids.size());
+        for (NodeId c : kids) kid_regions.push_back(Contribution(c));
+        Region acc;
+        double total = 0;
+        std::unordered_map<NodeId, Dist> tracked_acc;
+        for (const auto& [subset, p] : pd_.exp_distribution(n)) {
+          total += p;
+          if (p == 0) continue;
+          std::vector<Region> parts;
+          parts.reserve(subset.size());
+          for (int idx : subset) parts.push_back(kid_regions[idx]);
+          Region sub = Combine(std::move(parts));
+          AddScaled(&acc.base, sub.base, p);
+          // The same anchor can survive through several subsets.
+          for (auto& [a, t] : sub.tracked) AddScaled(&tracked_acc[a], t, p);
+        }
+        if (total < 1.0) acc.base[StateKey{}] += 1.0 - total;
+        acc.tracked.reserve(tracked_acc.size());
+        for (auto& [a, t] : tracked_acc) {
+          acc.tracked.emplace_back(a, std::move(t));
+        }
+        return acc;
+      }
+    }
+    PXV_CHECK(false);
+    return Region{Delta(), {}};
+  }
+
+  // Rewrites a distribution at ordinary node x: D bits flow up, then every
+  // candidate slot whose child requirements hold in the incoming key gets
+  // its A and D bits set.
+  Dist Rewrite(const Dist& in, const std::vector<int>& base_cands,
+               const std::vector<int>& star_cands,
+               const std::vector<int>& pin_cands) const {
+    Dist out;
+    out.reserve(in.size());
+    for (const auto& [key, p] : in) {
+      StateKey nk = DOnly(key);
+      const auto apply = [&](int slot) {
+        const QNode& qn = qnodes_[slot];
+        for (int t : qn.slash_kids) {
+          if (!GetBit(key, 2 * t + 1)) return;  // Need A(t) at a kept child.
+        }
+        for (int t : qn.desc_kids) {
+          if (!GetBit(key, 2 * t)) return;  // Need D(t): strictly below x.
+        }
+        SetBit(&nk, 2 * slot + 1);  // A
+        SetBit(&nk, 2 * slot);      // D
+      };
+      for (int s : base_cands) apply(s);
+      for (int s : star_cands) apply(s);
+      for (int s : pin_cands) apply(s);
+      out[nk] += p;
+    }
+    return out;
+  }
+
+  // (A, D) region of ordinary node `x`, given x appears.
+  Region NodeDist(NodeId x) {
+    std::vector<Region> parts;
+    parts.reserve(pd_.children(x).size());
+    for (NodeId c : pd_.children(x)) parts.push_back(Contribution(c));
+    Region comb = Combine(std::move(parts));
+
+    const Label xl = pd_.label(x);
+    std::vector<int> base_cands;
+    if (auto it = by_label_.find(xl); it != by_label_.end()) {
+      for (int slot : it->second) {
+        const auto ait = anchor_of_.find(slot);
+        if (ait != anchor_of_.end() &&
+            anchor_sets_[ait->second].count(x) == 0) {
+          continue;  // Anchored elsewhere.
+        }
+        base_cands.push_back(slot);
+      }
+    }
+    static const std::vector<int> kNone;
+    const std::vector<int>* star_cands = &kNone;
+    if (auto it = by_label_star_.find(xl); it != by_label_star_.end()) {
+      star_cands = &it->second;
+    }
+
+    Region out;
+    out.base = Rewrite(comb.base, base_cands, kNone, kNone);
+    out.tracked.reserve(comb.tracked.size() + 1);
+    for (auto& [n, t] : comb.tracked) {
+      out.tracked.emplace_back(n, Rewrite(t, base_cands, *star_cands, kNone));
+    }
+    // x itself becomes a tracked anchor: pin every member's out slot here.
+    if (batch_feasible_ && batch_count_ > 0 && xl == batch_out_label_) {
+      out.tracked.emplace_back(x,
+                               Rewrite(comb.base, base_cands, kNone,
+                                       pin_slots_));
+    }
+    return out;
+  }
+
+  const PDocument& pd_;
+  const int batch_count_;
+  std::vector<QNode> qnodes_;
+  std::vector<int> goal_root_slots_;
+  std::vector<int> batch_root_slots_;
+  std::vector<int> pin_slots_;
+  std::unordered_map<Label, std::vector<int>> by_label_;
+  std::unordered_map<Label, std::vector<int>> by_label_star_;
+  std::unordered_map<int, int> anchor_of_;
+  std::vector<std::unordered_set<NodeId>> anchor_sets_;
+  std::vector<uint8_t> relevant_;
+  Label batch_out_label_ = 0;
+  bool batch_out_label_set_ = false;
+  bool batch_feasible_ = true;
+};
+
+}  // namespace
+
+double ReferenceConjunctionProbability(const PDocument& pd,
+                                       const std::vector<Goal>& goals) {
+  PXV_CHECK(!pd.empty());
+  if (goals.empty()) return 1.0;
+  Engine engine(pd, goals, {});
+  return engine.Probability();
+}
+
+std::vector<NodeProb> ReferenceBatchAnchoredProbabilities(
+    const PDocument& pd, const std::vector<const Pattern*>& members) {
+  PXV_CHECK(!pd.empty());
+  if (members.empty()) return {};
+  Engine engine(pd, {}, members);
+  return engine.BatchResults();
+}
+
+}  // namespace pxv

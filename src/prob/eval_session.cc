@@ -10,19 +10,23 @@ namespace pxv {
 EvalSession::EvalSession(const PDocument& pd, EvalOptions options)
     : pd_(&pd), options_(options) {
   PXV_CHECK(!pd.empty());
+  const ExactDpOptions dp_options{options_.prune_eps};
   switch (options_.backend) {
     case BackendKind::kAuto:
-      chain_.push_back(std::make_unique<ExactDpBackend>());
+      chain_.push_back(std::make_unique<ExactDpBackend>(dp_options));
       chain_.push_back(
           std::make_unique<NaiveBackend>(options_.naive_max_worlds));
       break;
     case BackendKind::kExact:
-      chain_.push_back(std::make_unique<ExactDpBackend>());
+      chain_.push_back(std::make_unique<ExactDpBackend>(dp_options));
       break;
     case BackendKind::kNaive:
       chain_.push_back(
           std::make_unique<NaiveBackend>(options_.naive_max_worlds));
       break;
+  }
+  if (options_.backend != BackendKind::kNaive) {
+    dp_profile_ = &static_cast<ExactDpBackend*>(chain_.front().get())->profile();
   }
 }
 
@@ -53,9 +57,10 @@ void EvalSession::ComputeBatch(const std::vector<const Pattern*>& members,
     }
     last_backend_ = backend->name();
     e->by_node.clear();
+    e->by_node_built = false;  // Built lazily on the first point lookup.
     e->results.clear();
+    e->results.reserve(r->size());
     for (const NodeProb& np : *r) {
-      e->by_node[np.node] = np.prob;
       if (np.prob > kProbEps) e->results.push_back(np);
     }
     e->computed = true;
@@ -80,6 +85,51 @@ EvalSession::TpEntry& EvalSession::Entry(const Pattern& q) {
     return scratch_;
   }
   return tp_cache_[q.CanonicalString()];
+}
+
+void EvalSession::PrefetchTP(const std::vector<const Pattern*>& queries) {
+  if (!options_.cache_results) return;
+  // Group the not-yet-cached queries by output label; each group is served
+  // by one joint pass, chunked to the DP slot cap.
+  std::unordered_map<Label, std::vector<const Pattern*>> groups;
+  for (const Pattern* q : queries) {
+    PXV_CHECK(q != nullptr);
+    if (!Entry(*q).computed) groups[q->OutLabel()].push_back(q);
+  }
+  for (auto& [label, group] : groups) {
+    size_t begin = 0;
+    while (begin < group.size()) {
+      size_t end = begin;
+      int slots = 0;
+      while (end < group.size() &&
+             (end == begin || slots + group[end]->size() <= kMaxConjunctionSlots)) {
+        slots += group[end]->size();
+        ++end;
+      }
+      const std::vector<const Pattern*> chunk(group.begin() + begin,
+                                              group.begin() + end);
+      begin = end;
+      if (chunk.size() < 2) continue;  // A lone query gains nothing.
+      for (const auto& backend : chain_) {
+        StatusOr<std::vector<std::vector<NodeProb>>> r =
+            backend->BatchAnchoredMany(*pd_, chunk);
+        if (!r.ok()) continue;
+        last_backend_ = backend->name();
+        for (size_t i = 0; i < chunk.size(); ++i) {
+          TpEntry& e = Entry(*chunk[i]);
+          e.by_node.clear();
+          e.by_node_built = false;
+          e.results.clear();
+          e.results.reserve((*r)[i].size());
+          for (const NodeProb& np : (*r)[i]) {
+            if (np.prob > kProbEps) e.results.push_back(np);
+          }
+          e.computed = true;
+        }
+        break;  // Chunk served; declines fall through to EvaluateTP later.
+      }
+    }
+  }
 }
 
 const std::vector<NodeProb>& EvalSession::EvaluateTP(const Pattern& q) {
@@ -111,6 +161,13 @@ double EvalSession::SelectionProbability(const Pattern& q, NodeId n) {
   }
   if (e.computed) {
     ++cache_hits_;
+    if (!e.by_node_built) {
+      // Deferred from ComputeBatch: batch-only consumers (materialization)
+      // never pay for the point-lookup index.
+      e.by_node.reserve(e.results.size());
+      for (const NodeProb& np : e.results) e.by_node[np.node] = np.prob;
+      e.by_node_built = true;
+    }
     const auto it = e.by_node.find(n);
     return it == e.by_node.end() ? 0.0 : it->second;
   }

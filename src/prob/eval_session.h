@@ -38,6 +38,9 @@ struct EvalOptions {
   int naive_max_worlds = 1 << 16;
   /// Memoize batched q(P̂) results per canonical pattern.
   bool cache_results = true;
+  /// Support pruning threshold for the exact DP (0 = exact; see the error
+  /// bound on ExactDpOptions in prob/backend.h).
+  double prune_eps = 0.0;
 };
 
 /// Per-document derived state + backend routing. Not thread-safe; create
@@ -58,6 +61,15 @@ class EvalSession {
   /// lifetime while caching is on; with caching off it is reused by the next
   /// evaluation call — copy the results if they must outlive it.
   const std::vector<NodeProb>& EvaluateTP(const Pattern& q);
+
+  /// Evaluates (and memoizes) a whole set of queries, answering every
+  /// group that shares an output label in ONE joint DP pass (chunked to the
+  /// engine slot cap) instead of one pass per query. Subsequent
+  /// EvaluateTP calls are cache hits. Queries whose group cannot be served
+  /// jointly (slot overflow, backend declines) are simply left for
+  /// EvaluateTP's per-query path — prefetching never fails. No-op when
+  /// result caching is off.
+  void PrefetchTP(const std::vector<const Pattern*>& queries);
 
   /// (q1 ∩ … ∩ qk)(P̂) with all members anchored to the same node, one pass.
   std::vector<NodeProb> EvaluateTPI(const TpIntersection& q);
@@ -81,13 +93,17 @@ class EvalSession {
   const char* last_backend() const { return last_backend_; }
   /// Point or batch answers served from the memoized cache.
   int cache_hits() const { return cache_hits_; }
+  /// Flat-dist kernel counters of the exact-DP backend, cumulative over the
+  /// session; null when the session runs naive-only.
+  const DistProfile* dp_profile() const { return dp_profile_; }
 
  private:
   struct TpEntry {
     std::vector<NodeProb> results;
-    std::unordered_map<NodeId, double> by_node;
+    std::unordered_map<NodeId, double> by_node;  // Lazy point-lookup index.
     int point_queries = 0;
     bool computed = false;
+    bool by_node_built = false;
   };
 
   TpEntry& Entry(const Pattern& q);
@@ -101,6 +117,7 @@ class EvalSession {
   std::unordered_map<std::string, TpEntry> tp_cache_;
   TpEntry scratch_;  // Backing storage when caching is off.
   const char* last_backend_ = "";
+  const DistProfile* dp_profile_ = nullptr;
   int cache_hits_ = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "pxml/pdocument.h"
 
+#include <atomic>
+
 #include <sstream>
 
 #include "util/check.h"
@@ -18,12 +20,13 @@ const char* PKindName(PKind kind) {
   return "?";
 }
 
-NodeId PDocument::Check(NodeId n) const {
-  PXV_CHECK(n >= 0 && n < size()) << "bad NodeId " << n;
-  return n;
+uint64_t PDocument::NextUid() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
 NodeId PDocument::Add(NodeId parent, PNode node) {
+  uid_ = NextUid();
   node.parent = parent;
   nodes_.push_back(std::move(node));
   const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
@@ -73,12 +76,8 @@ NodeId PDocument::AddExp(NodeId parent, double edge_prob) {
 void PDocument::SetExpDistribution(
     NodeId n, std::vector<std::pair<std::vector<int>, double>> dist) {
   PXV_CHECK(kind(n) == PKind::kExp);
+  uid_ = NextUid();
   nodes_[n].exp_dist = std::move(dist);
-}
-
-Label PDocument::label(NodeId n) const {
-  PXV_CHECK(ordinary(n)) << "label of distributional node";
-  return nodes_[n].label;
 }
 
 const std::vector<std::pair<std::vector<int>, double>>&

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/check.h"
 #include "util/status.h"
 #include "xml/document.h"
 #include "xml/label.h"
@@ -57,13 +58,30 @@ class PDocument {
   void SetExpDistribution(
       NodeId n, std::vector<std::pair<std::vector<int>, double>> dist);
 
+  /// Pre-sizes the node arena (builder use; avoids reallocation churn).
+  void Reserve(int nodes) { nodes_.reserve(nodes); }
+
+  /// Pre-sizes a node's child list (bulk-copy use).
+  void ReserveChildren(NodeId n, int children) {
+    nodes_[Check(n)].children.reserve(children);
+  }
+
+  /// Version tag: process-unique until mutated — every structural change
+  /// assigns a fresh value, and copies share the tag until one side
+  /// mutates. Lets evaluation caches key on document identity without
+  /// hashing content (see prob/dist.h EngineBuffers).
+  uint64_t uid() const { return uid_; }
+
   NodeId root() const { return nodes_.empty() ? kNullNode : 0; }
   bool empty() const { return nodes_.empty(); }
   int size() const { return static_cast<int>(nodes_.size()); }
 
   PKind kind(NodeId n) const { return nodes_[Check(n)].kind; }
   bool ordinary(NodeId n) const { return kind(n) == PKind::kOrdinary; }
-  Label label(NodeId n) const;
+  Label label(NodeId n) const {
+    PXV_CHECK(ordinary(n)) << "label of distributional node";
+    return nodes_[n].label;
+  }
   NodeId parent(NodeId n) const { return nodes_[Check(n)].parent; }
   const std::vector<NodeId>& children(NodeId n) const {
     return nodes_[Check(n)].children;
@@ -72,7 +90,10 @@ class PDocument {
   /// parent is mux or ind; 1.0 otherwise).
   double edge_prob(NodeId n) const { return nodes_[Check(n)].edge_prob; }
   /// Overrides the edge probability of `n` (parser / generator use).
-  void SetEdgeProb(NodeId n, double p) { nodes_[Check(n)].edge_prob = p; }
+  void SetEdgeProb(NodeId n, double p) {
+    uid_ = NextUid();
+    nodes_[Check(n)].edge_prob = p;
+  }
   PersistentId pid(NodeId n) const { return nodes_[Check(n)].pid; }
   const std::vector<std::pair<std::vector<int>, double>>& exp_distribution(
       NodeId n) const;
@@ -111,10 +132,15 @@ class PDocument {
     std::vector<std::pair<std::vector<int>, double>> exp_dist;
   };
 
-  NodeId Check(NodeId n) const;
+  NodeId Check(NodeId n) const {
+    PXV_CHECK(n >= 0 && n < size()) << "bad NodeId " << n;
+    return n;
+  }
   NodeId Add(NodeId parent, PNode node);
+  static uint64_t NextUid();
 
   std::vector<PNode> nodes_;
+  uint64_t uid_ = NextUid();
 };
 
 /// Label → ordinary-node index over one p-document, built in a single scan.

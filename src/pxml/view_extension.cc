@@ -23,18 +23,21 @@ PersistentId NextFreshPid() {
 // Iterative preorder (explicit stack) so arbitrarily deep subdocuments —
 // production-scale extensions — cannot overflow the call stack; child order
 // is preserved, which exp distributions rely on.
+struct CopyItem {
+  NodeId src;
+  NodeId dst_parent;
+  double edge_prob;
+};
+
 void CopySubtree(const PDocument& pd, NodeId src, PDocument* out,
                  NodeId dst_parent, double edge_prob,
                  const ViewExtensionOptions& options,
-                 PersistentId* marker_pid) {
-  struct Item {
-    NodeId src;
-    NodeId dst_parent;
-    double edge_prob;
-  };
-  std::vector<Item> stack{{src, dst_parent, edge_prob}};
+                 PersistentId* marker_pid, std::vector<CopyItem>* stack_buf) {
+  std::vector<CopyItem>& stack = *stack_buf;
+  stack.clear();
+  stack.push_back({src, dst_parent, edge_prob});
   while (!stack.empty()) {
-    const Item item = stack.back();
+    const CopyItem item = stack.back();
     stack.pop_back();
     NodeId dst;
     if (pd.ordinary(item.src)) {
@@ -47,6 +50,9 @@ void CopySubtree(const PDocument& pd, NodeId src, PDocument* out,
           options.copy_semantics ? NextFreshPid() : original;
       dst = out->AddOrdinary(item.dst_parent, pd.label(item.src),
                              item.edge_prob, pid);
+      out->ReserveChildren(
+          dst, static_cast<int>(pd.children(item.src).size()) +
+                   (options.add_id_markers ? 1 : 0));
       if (options.add_id_markers) {
         out->AddOrdinary(dst, IdMarkerLabel(original), 1.0, (*marker_pid)--);
       }
@@ -76,11 +82,17 @@ PDocument BuildViewExtension(const PDocument& pd, std::string_view view_name,
   // pids so they can never collide with original persistent ids.
   const NodeId root = ext.AddRoot(DocLabel(view_name), /*pid=*/-1);
   const NodeId ind = ext.AddDistributional(root, PKind::kInd);
+  // Size hint: result subtrees can jointly cover the whole source document
+  // (and may overlap, so this is a heuristic, not a bound), and with id
+  // markers every copied ordinary node gains one marker child.
+  ext.Reserve(pd.size() * (options.add_id_markers ? 2 : 1) + 2);
   PersistentId marker_pid = -1000;
+  std::vector<CopyItem> stack;  // Shared across entries: one allocation.
   for (const auto& entry : results) {
     PXV_CHECK(pd.ordinary(entry.node))
         << "view results must be ordinary nodes";
-    CopySubtree(pd, entry.node, &ext, ind, entry.prob, options, &marker_pid);
+    CopySubtree(pd, entry.node, &ext, ind, entry.prob, options, &marker_pid,
+                &stack);
   }
   return ext;
 }

@@ -24,6 +24,11 @@ ViewExtensions Rewriter::Materialize(const PDocument& pd,
 ViewExtensions Rewriter::Materialize(EvalSession& session,
                                      const ViewExtensionOptions& options) const {
   ViewExtensions exts;
+  // Views sharing an output label materialize from one joint DP pass.
+  std::vector<const Pattern*> defs;
+  defs.reserve(views_.size());
+  for (const NamedView& v : views_) defs.push_back(&v.def);
+  session.PrefetchTP(defs);
   for (const NamedView& v : views_) {
     std::vector<ViewResultEntry> results;
     for (const NodeProb& np : session.EvaluateTP(v.def)) {
@@ -45,6 +50,9 @@ ViewExtensions Rewriter::Materialize(const PDocument& pd, ThreadPool& pool,
   std::vector<ViewExtensions> partial(shards);
   pool.ParallelFor(shards, [&](int s) {
     EvalSession session(pd);
+    std::vector<const Pattern*> defs;
+    for (int i = s; i < n; i += shards) defs.push_back(&views_[i].def);
+    session.PrefetchTP(defs);
     for (int i = s; i < n; i += shards) {
       const NamedView& v = views_[i];
       std::vector<ViewResultEntry> results;

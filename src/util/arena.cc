@@ -1,0 +1,64 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace pxv {
+
+Arena::Arena(size_t min_chunk_bytes)
+    : min_chunk_bytes_(std::max<size_t>(min_chunk_bytes, 64)) {}
+
+void* Arena::Alloc(size_t bytes, size_t align) {
+  PXV_CHECK(align != 0 && (align & (align - 1)) == 0);
+  if (chunks_.empty()) NextChunk(std::max(bytes, min_chunk_bytes_));
+  for (;;) {
+    Chunk& c = chunks_[cur_];
+    const uintptr_t base = reinterpret_cast<uintptr_t>(c.data.get());
+    const size_t rem = (base + used_) % align;
+    const size_t aligned = rem == 0 ? used_ : used_ + (align - rem);
+    if (aligned + bytes <= c.size) {
+      used_ = aligned + bytes;
+      allocated_ += bytes;
+      return c.data.get() + aligned;
+    }
+    NextChunk(bytes + align);
+  }
+}
+
+void Arena::NextChunk(size_t bytes) {
+  // Reuse a retained chunk when it fits; otherwise append a new one that
+  // doubles the previous size (capped), or exactly fits an oversized request.
+  const size_t next = chunks_.empty() ? 0 : cur_ + 1;
+  if (next < chunks_.size() && chunks_[next].size >= bytes) {
+    cur_ = next;
+    used_ = 0;
+    return;
+  }
+  size_t size = chunks_.empty() ? min_chunk_bytes_
+                                : std::min(chunks_.back().size * 2,
+                                           kMaxChunkBytes);
+  size = std::max(size, bytes);
+  Chunk c;
+  c.data = std::make_unique<char[]>(size);
+  c.size = size;
+  // Insert in bump order so Reset replays chunks front to back.
+  chunks_.insert(chunks_.begin() + next, std::move(c));
+  cur_ = next;
+  used_ = 0;
+}
+
+void Arena::Reset() {
+  cur_ = 0;
+  used_ = 0;
+  allocated_ = 0;
+}
+
+size_t Arena::capacity_bytes() const {
+  size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.size;
+  return total;
+}
+
+}  // namespace pxv

@@ -1,0 +1,64 @@
+// Bump-pointer arena: chunked, grow-only allocation with O(1) wholesale
+// reuse. The probability DP allocates thousands of short-lived distribution
+// tables per bottom-up pass; individual malloc/free (the std::unordered_map
+// regime) dominates its profile. An Arena turns every allocation into a
+// pointer bump, and Reset() recycles all chunks for the next pass without
+// returning memory to the OS, so steady-state evaluation allocates nothing.
+//
+// Not thread-safe: one arena per evaluation session per thread (the same
+// ownership discipline as EvalSession itself).
+
+#ifndef PXV_UTIL_ARENA_H_
+#define PXV_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace pxv {
+
+class Arena {
+ public:
+  /// `min_chunk_bytes` is the size of the first chunk; later chunks double
+  /// up to kMaxChunkBytes (oversized requests get a dedicated chunk).
+  explicit Arena(size_t min_chunk_bytes = 1 << 12);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two, at most
+  /// alignof(std::max_align_t)). Never fails short of OOM; Alloc(0) returns
+  /// a valid unique pointer.
+  void* Alloc(size_t bytes, size_t align = alignof(std::max_align_t));
+
+  /// Recycles every chunk: all outstanding pointers become invalid, the
+  /// memory is reused by subsequent Alloc calls. Capacity is retained.
+  void Reset();
+
+  /// Bytes handed out since the last Reset.
+  size_t allocated_bytes() const { return allocated_; }
+  /// Total capacity across retained chunks (high-water across Resets).
+  size_t capacity_bytes() const;
+  int chunk_count() const { return static_cast<int>(chunks_.size()); }
+
+ private:
+  static constexpr size_t kMaxChunkBytes = size_t{1} << 22;
+
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  // Makes chunks_[cur_ + 1] (growing if needed) hold >= bytes free space.
+  void NextChunk(size_t bytes);
+
+  std::vector<Chunk> chunks_;
+  size_t cur_ = 0;        // Index of the chunk being bumped.
+  size_t used_ = 0;       // Bytes used in chunks_[cur_].
+  size_t allocated_ = 0;  // Since last Reset.
+  size_t min_chunk_bytes_;
+};
+
+}  // namespace pxv
+
+#endif  // PXV_UTIL_ARENA_H_

@@ -44,7 +44,23 @@ const std::string& LabelName(Label label) {
 }
 
 Label IdMarkerLabel(int64_t persistent_id) {
-  return Intern("Id(" + std::to_string(persistent_id) + ")");
+  // Extension building stamps one marker per copied node; memoize the
+  // pid → label mapping so the hot path skips string formatting and the
+  // interner's string hash.
+  struct MarkerCache {
+    std::mutex mu;
+    std::unordered_map<int64_t, Label> map;
+  };
+  static MarkerCache* cache = new MarkerCache();
+  {
+    std::lock_guard<std::mutex> lock(cache->mu);
+    const auto it = cache->map.find(persistent_id);
+    if (it != cache->map.end()) return it->second;
+  }
+  const Label l = Intern("Id(" + std::to_string(persistent_id) + ")");
+  std::lock_guard<std::mutex> lock(cache->mu);
+  cache->map.emplace(persistent_id, l);
+  return l;
 }
 
 bool IsIdMarkerLabel(Label label) {

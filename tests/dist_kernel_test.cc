@@ -1,0 +1,407 @@
+// Flat-dist kernel suite (PR 3): unit tests for the arena / flat table /
+// pool-vector primitives, plus the randomized equivalence harness pinning
+// the rewritten engine (prob/engine.cc — arena-backed FlatDist, live-slot
+// narrowing, dead-bit projection) against
+//   (a) the pre-rewrite hash-map reference engine (engine_reference.cc) and
+//   (b) the naive possible-world oracle,
+// across all three evaluation paths (batch, conjunction, tracked/anchored),
+// including the >32-live-slot wide-key fallback regime and deep documents.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gen/docgen.h"
+#include "gen/paper.h"
+#include "gen/querygen.h"
+#include "prob/dist.h"
+#include "prob/engine.h"
+#include "prob/eval_session.h"
+#include "prob/naive.h"
+#include "prob/query_eval.h"
+#include "tp/parser.h"
+#include "util/arena.h"
+#include "util/random.h"
+
+namespace pxv {
+namespace {
+
+// ------------------------------------------------------------ primitives ---
+
+TEST(ArenaTest, BumpAlignReset) {
+  Arena arena(128);
+  void* a = arena.Alloc(10);
+  void* b = arena.Alloc(100, 8);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 8, 0u);
+  EXPECT_GE(arena.allocated_bytes(), 110u);
+  const size_t cap = arena.capacity_bytes();
+  arena.Reset();
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+  // Reset retains capacity; reallocation reuses the same chunks.
+  void* c = arena.Alloc(10);
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(arena.capacity_bytes(), cap);
+}
+
+TEST(ArenaTest, OversizedRequestGetsDedicatedChunk) {
+  Arena arena(64);
+  void* big = arena.Alloc(1 << 16);
+  ASSERT_NE(big, nullptr);
+  // The arena stays usable for small allocations afterwards.
+  void* small = arena.Alloc(8);
+  ASSERT_NE(small, nullptr);
+  EXPECT_GE(arena.capacity_bytes(), size_t{1} << 16);
+}
+
+TEST(FlatDistTest, InlineThenPromoteAccumulates) {
+  Arena arena;
+  DistProfile profile;
+  DistPool pool(&arena, &profile);
+  FlatDist<uint64_t> d;
+  d.Init(&pool);  // Inline mode.
+  EXPECT_TRUE(d.inline_mode());
+  d.Add(7, 0.25);
+  d.Add(7, 0.25);  // Same key: stays inline, accumulates.
+  EXPECT_TRUE(d.inline_mode());
+  EXPECT_DOUBLE_EQ(d.Mass(7), 0.5);
+  d.Add(9, 0.5);  // Second distinct key: promotes to a table.
+  EXPECT_FALSE(d.inline_mode());
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.Mass(7), 0.5);
+  EXPECT_DOUBLE_EQ(d.Mass(9), 0.5);
+  EXPECT_DOUBLE_EQ(d.Mass(8), 0.0);
+}
+
+TEST(FlatDistTest, GrowKeepsEveryEntry) {
+  Arena arena;
+  DistProfile profile;
+  DistPool pool(&arena, &profile);
+  FlatDist<uint64_t> d;
+  d.Init(&pool, 2);
+  for (uint64_t k = 0; k < 200; ++k) d.Add(k * 13, 1.0 + k);
+  EXPECT_EQ(d.size(), 200u);
+  for (uint64_t k = 0; k < 200; ++k) {
+    EXPECT_DOUBLE_EQ(d.Mass(k * 13), 1.0 + k) << k;
+  }
+  EXPECT_GT(profile.rehashes, 0u);
+  double total = 0;
+  d.ForEach([&](uint64_t, double v) { total += v; });
+  EXPECT_NEAR(total, 200 * 1.0 + 199 * 200 / 2.0, 1e-9);
+}
+
+TEST(FlatDistTest, WideKeysCloneScalePrune) {
+  Arena arena;
+  DistProfile profile;
+  DistPool pool(&arena, &profile);
+  FlatDist<WideKey> d;
+  d.Init(&pool, 3);
+  WideKey a, b;
+  a.w[0] = 1;
+  b.w[3] = uint64_t{1} << 63;
+  d.Add(a, 0.5);
+  d.Add(b, 1e-15);
+  FlatDist<WideKey> copy = d.Clone();
+  copy.ScaleAll(2.0);
+  EXPECT_DOUBLE_EQ(copy.Mass(a), 1.0);
+  EXPECT_DOUBLE_EQ(d.Mass(a), 0.5);  // Clone is independent.
+  d.Prune(1e-12);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.Mass(b), 0.0);
+  EXPECT_EQ(profile.pruned_entries, 1u);
+}
+
+TEST(FlatDistTest, ReleaseRecyclesBlocks) {
+  Arena arena;
+  DistProfile profile;
+  DistPool pool(&arena, &profile);
+  {
+    FlatDist<uint64_t> d;
+    d.Init(&pool, 4);
+    d.Add(1, 1.0);
+  }  // Destructor releases the block.
+  const uint64_t allocs = profile.table_allocs;
+  FlatDist<uint64_t> e;
+  e.Init(&pool, 4);  // Same size class: served from the free list.
+  EXPECT_EQ(profile.table_allocs, allocs);
+  EXPECT_GT(profile.table_reuses, 0u);
+}
+
+TEST(PoolVecTest, GrowRelocateTruncate) {
+  Arena arena;
+  DistProfile profile;
+  DistPool pool(&arena, &profile);
+  PoolVec<FlatDist<uint64_t>> v;
+  for (int i = 0; i < 50; ++i) {
+    FlatDist<uint64_t>& d = v.EmplaceBack(&pool);
+    d.Init(&pool);
+    d.Add(static_cast<uint64_t>(i), i * 1.0);
+  }
+  ASSERT_EQ(v.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(v[i].Mass(static_cast<uint64_t>(i)), i * 1.0);
+  }
+  v.Truncate(10);
+  EXPECT_EQ(v.size(), 10u);
+  v.Clear();
+  EXPECT_TRUE(v.empty());
+}
+
+// ------------------------------------------------- equivalence harness ----
+
+std::map<NodeId, double> ByNode(const std::vector<NodeProb>& results) {
+  std::map<NodeId, double> out;
+  for (const NodeProb& np : results) out[np.node] = np.prob;
+  return out;
+}
+
+void ExpectSameMap(const std::map<NodeId, double>& expected,
+                   const std::map<NodeId, double>& actual, double tol,
+                   const std::string& what) {
+  for (const auto& [n, p] : expected) {
+    if (p < 1e-12) continue;
+    ASSERT_TRUE(actual.count(n)) << what << ": missing node " << n;
+    EXPECT_NEAR(actual.at(n), p, tol) << what << ": node " << n;
+  }
+  for (const auto& [n, p] : actual) {
+    const double e = expected.count(n) ? expected.at(n) : 0.0;
+    EXPECT_NEAR(p, e, tol) << what << ": extra mass at node " << n;
+  }
+}
+
+// Random TP: flat kernel vs reference engine vs naive oracle.
+class FlatVsReferenceVsOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlatVsReferenceVsOracle, BatchAgrees) {
+  Rng rng(7000 + GetParam());
+  DocGenOptions d;
+  d.target_nodes = 15;
+  d.label_count = 3;
+  QueryGenOptions qo;
+  qo.depth = 2 + GetParam() % 3;
+  qo.label_count = 3;
+  const PDocument pd = RandomPDocument(rng, d);
+  const Pattern q = RandomQuery(rng, qo);
+  const auto flat = ByNode(BatchSelectionProbabilities(pd, q));
+  const auto ref = ByNode(ReferenceBatchAnchoredProbabilities(pd, {&q}));
+  ExpectSameMap(ref, flat, 1e-9, "flat vs reference");
+  std::map<NodeId, double> naive;
+  for (const auto& [n, p] : NaiveEvaluateTP(pd, q)) {
+    if (p > 1e-12) naive[n] = p;
+  }
+  ExpectSameMap(naive, flat, 1e-9, "flat vs oracle");
+}
+
+TEST_P(FlatVsReferenceVsOracle, AnchoredConjunctionAgrees) {
+  Rng rng(8000 + GetParam());
+  DocGenOptions d;
+  d.target_nodes = 12;
+  d.label_count = 3;
+  QueryGenOptions qo;
+  qo.depth = 2;
+  qo.label_count = 3;
+  const PDocument pd = RandomPDocument(rng, d);
+  const Pattern a = RandomQuery(rng, qo);
+  const Pattern b = RandomQuery(rng, qo);
+  // Anchored conjunction per candidate — the tracked/anchored path with
+  // per-node anchor filtering (bypasses the label-mask cache).
+  for (NodeId n = 0; n < pd.size(); ++n) {
+    if (!pd.ordinary(n) || pd.label(n) != a.OutLabel()) continue;
+    std::vector<NodeId> anchor{n};
+    std::vector<Goal> goals{{&a, &anchor}, {&b, nullptr}};
+    EXPECT_NEAR(ConjunctionProbability(pd, goals),
+                ReferenceConjunctionProbability(pd, goals), 1e-9)
+        << "anchor " << n;
+  }
+  // Boolean conjunction.
+  std::vector<Goal> boolean{{&a, nullptr}, {&b, nullptr}};
+  EXPECT_NEAR(ConjunctionProbability(pd, boolean),
+              ReferenceConjunctionProbability(pd, boolean), 1e-9);
+}
+
+TEST_P(FlatVsReferenceVsOracle, BatchManyAgreesWithPerMember) {
+  Rng rng(9000 + GetParam());
+  DocGenOptions d;
+  d.target_nodes = 16;
+  d.label_count = 3;
+  QueryGenOptions qo;
+  qo.depth = 2;
+  qo.label_count = 3;
+  const PDocument pd = RandomPDocument(rng, d);
+  std::vector<Pattern> queries;
+  while (queries.size() < 3) {
+    Pattern q = RandomQuery(rng, qo);
+    if (queries.empty() || q.OutLabel() == queries[0].OutLabel()) {
+      queries.push_back(std::move(q));
+    }
+  }
+  std::vector<const Pattern*> members;
+  for (const Pattern& q : queries) members.push_back(&q);
+  const auto joint = BatchManyProbabilities(pd, members);
+  ASSERT_EQ(joint.size(), members.size());
+  for (size_t i = 0; i < members.size(); ++i) {
+    ExpectSameMap(ByNode(BatchSelectionProbabilities(pd, *members[i])),
+                  ByNode(joint[i]), 1e-9,
+                  "joint member " + std::to_string(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatVsReferenceVsOracle,
+                         ::testing::Range(0, 40));
+
+// --------------------------------------------- wide-key fallback regime ----
+
+// A query with more than kNarrowSlotCap slots whose labels all occur in the
+// document: the root (and inner) frames exceed 32 live slots and must run
+// on 256-bit keys, while leaf subtrees stay narrow — exercising the
+// narrow→wide remap boundary.
+TEST(WideKeyFallback, BigPatternAgainstReferenceAndOracle) {
+  PDocument pd;
+  const NodeId r = pd.AddRoot(Intern("r"));
+  const NodeId ind = pd.AddDistributional(r, PKind::kInd);
+  for (int copy = 0; copy < 2; ++copy) {
+    const NodeId b = pd.AddOrdinary(ind, Intern("b"), 0.5 + 0.25 * copy);
+    const NodeId mux = pd.AddDistributional(b, PKind::kMux);
+    const NodeId grp1 = pd.AddOrdinary(mux, Intern("g"), 0.6);
+    const NodeId grp2 = pd.AddOrdinary(mux, Intern("g"), 0.4);
+    for (int i = 0; i < 36; ++i) {
+      pd.AddOrdinary(i % 2 ? grp1 : grp2, Intern("p" + std::to_string(i)));
+    }
+  }
+  ASSERT_TRUE(pd.Validate().ok());
+
+  // r//b with 36 distinct predicate grandchildren: 2 + 36 + 1 = 39 slots.
+  Pattern q;
+  const PNodeId qr = q.AddRoot(Intern("r"));
+  const PNodeId qb = q.AddChild(qr, Intern("b"), Axis::kDescendant);
+  const PNodeId qg = q.AddChild(qb, Intern("g"), Axis::kChild);
+  for (int i = 0; i < 36; ++i) {
+    q.AddChild(qg, Intern("p" + std::to_string(i)), Axis::kDescendant);
+  }
+  q.SetOut(qb);
+  ASSERT_GT(BatchSlotCount({&q}), kNarrowSlotCap);
+
+  const auto flat = ByNode(BatchSelectionProbabilities(pd, q));
+  const auto ref = ByNode(ReferenceBatchAnchoredProbabilities(pd, {&q}));
+  ExpectSameMap(ref, flat, 1e-9, "wide flat vs reference");
+  std::map<NodeId, double> naive;
+  for (const auto& [n, p] : NaiveEvaluateTP(pd, q)) {
+    if (p > 1e-12) naive[n] = p;
+  }
+  ExpectSameMap(naive, flat, 1e-9, "wide flat vs oracle");
+}
+
+// Randomized wide-regime conjunctions: several goals totaling > 32 slots.
+TEST(WideKeyFallback, RandomizedConjunctions) {
+  for (int seed = 0; seed < 10; ++seed) {
+    Rng rng(11000 + seed);
+    DocGenOptions d;
+    d.target_nodes = 14;
+    d.label_count = 3;
+    QueryGenOptions qo;
+    qo.depth = 3;
+    qo.label_count = 3;
+    const PDocument pd = RandomPDocument(rng, d);
+    // Enough random goals to cross the narrow cap.
+    std::vector<Pattern> patterns;
+    std::vector<Goal> goals;
+    int slots = 0;
+    while (slots <= kNarrowSlotCap) {
+      patterns.push_back(RandomQuery(rng, qo));
+      slots += patterns.back().size();
+    }
+    goals.reserve(patterns.size());
+    for (const Pattern& p : patterns) goals.push_back({&p, nullptr});
+    ASSERT_GT(ConjunctionSlotCount(goals), kNarrowSlotCap);
+    EXPECT_NEAR(ConjunctionProbability(pd, goals),
+                ReferenceConjunctionProbability(pd, goals), 1e-9)
+        << "seed " << seed;
+  }
+}
+
+// ------------------------------------------------------- deep documents ----
+
+// A 600-level chain of ind-edges: beyond the oracle's reach, far beyond any
+// recursive engine's comfort; flat vs reference must agree to the end.
+TEST(DeepDocument, LongChainAgreesWithReference) {
+  PDocument pd;
+  NodeId cur = pd.AddRoot(Intern("a"));
+  Rng rng(99);
+  for (int i = 0; i < 600; ++i) {
+    const NodeId ind = pd.AddDistributional(cur, PKind::kInd);
+    cur = pd.AddOrdinary(ind, Intern("m"), 0.99 + 0.009 * rng.NextDouble());
+    if (i % 37 == 0) pd.AddOrdinary(cur, Intern("c"));
+  }
+  pd.AddOrdinary(cur, Intern("z"));
+  const Pattern q = Tp("a//m[c]");
+  const auto flat = ByNode(BatchSelectionProbabilities(pd, q));
+  const auto ref = ByNode(ReferenceBatchAnchoredProbabilities(pd, {&q}));
+  ASSERT_FALSE(flat.empty());
+  ExpectSameMap(ref, flat, 1e-9, "deep chain");
+  const Pattern qz = Tp("a//z");
+  const std::vector<Goal> gz{{&qz, nullptr}};
+  EXPECT_NEAR(BooleanProbability(pd, qz),
+              ReferenceConjunctionProbability(pd, gz), 1e-9);
+}
+
+// ------------------------------------------------ pruning & observability ---
+
+TEST(SupportPruning, DefaultOffIsExactAndEpsBoundHolds) {
+  Rng rng(4242);
+  const PDocument pd = PersonnelPDocument(rng, 30);
+  const Pattern q = Tp("IT-personnel//person[name/Rick]/bonus[laptop]");
+  EvalSession exact(pd);
+  EvalOptions pruned_opts;
+  pruned_opts.prune_eps = 1e-12;
+  EvalSession pruned(pd, pruned_opts);
+  const auto e = ByNode(exact.EvaluateTP(q));
+  const auto p = ByNode(pruned.EvaluateTP(q));
+  // kProbEps-level pruning must stay within the documented error bound —
+  // far below any probability of interest here.
+  ExpectSameMap(e, p, 1e-8, "eps pruning");
+  // Default (eps = 0) matches the reference engine exactly.
+  ExpectSameMap(ByNode(ReferenceBatchAnchoredProbabilities(pd, {&q})), e,
+                1e-9, "exact default");
+}
+
+TEST(DpProfileCounters, CountersAdvance) {
+  Rng rng(17);
+  const PDocument pd = PersonnelPDocument(rng, 20);
+  const Pattern q = Tp("IT-personnel//person/bonus");
+  DpScratch scratch;
+  const auto r = BatchAnchoredProbabilities(pd, {&q}, &scratch, {});
+  ASSERT_FALSE(r.empty());
+  const DistProfile& prof =
+      static_cast<const DpScratch&>(scratch).profile();
+  EXPECT_EQ(prof.runs, 1u);
+  EXPECT_GT(prof.narrow_nodes, 0u);
+  EXPECT_EQ(prof.wide_nodes, 0u);  // Small query: uniform narrow frame.
+  EXPECT_GT(prof.table_allocs + prof.table_reuses, 0u);
+  EXPECT_GT(prof.arena_peak_bytes, 0u);
+}
+
+TEST(PrefetchTP, MatchesIndividualEvaluation) {
+  Rng rng(2026);
+  const PDocument pd = PersonnelPDocument(rng, 25);
+  const std::vector<Pattern> queries = {
+      Tp("IT-personnel//person/bonus"),
+      Tp("IT-personnel//person[name/Rick]/bonus"),
+      Tp("IT-personnel//person/bonus[laptop]"),
+  };
+  EvalSession prefetched(pd);
+  std::vector<const Pattern*> ptrs;
+  for (const Pattern& q : queries) ptrs.push_back(&q);
+  prefetched.PrefetchTP(ptrs);
+  for (const Pattern& q : queries) {
+    EvalSession individual(pd);
+    ExpectSameMap(ByNode(individual.EvaluateTP(q)),
+                  ByNode(prefetched.EvaluateTP(q)), 1e-9,
+                  "prefetch " + q.CanonicalString());
+  }
+}
+
+}  // namespace
+}  // namespace pxv
