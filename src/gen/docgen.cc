@@ -59,49 +59,57 @@ void FixLeaves(PDocument* pd) {
 
 PDocument RandomPDocument(Rng& rng, const DocGenOptions& options) {
   PDocument pd;
-  const NodeId root = pd.AddRoot(Intern("root"));
-  int budget = options.target_nodes;
-  Grow(&pd, root, 1, &budget, rng, options);
-  FixLeaves(&pd);
+  {
+    PDocument::MutationBatch batch(&pd);  // One stamp for the whole build.
+    const NodeId root = pd.AddRoot(Intern("root"));
+    int budget = options.target_nodes;
+    Grow(&pd, root, 1, &budget, rng, options);
+    FixLeaves(&pd);
+  }
   PXV_CHECK(pd.Validate().ok());
+  pd.ClearDirtyPaths();
   return pd;
 }
 
 PDocument PersonnelPDocument(Rng& rng, int num_persons, double rick_fraction,
                              double laptop_fraction) {
   PDocument pd;
-  const NodeId it = pd.AddRoot(Intern("IT-personnel"));
-  const Label names[] = {Intern("Mary"), Intern("John"), Intern("Paula"),
-                         Intern("Ivan")};
-  const Label projects[] = {Intern("pda"), Intern("tablet"), Intern("phone")};
-  for (int i = 0; i < num_persons; ++i) {
-    const NodeId person = pd.AddOrdinary(it, Intern("person"));
-    const NodeId name = pd.AddOrdinary(person, Intern("name"));
-    // Uncertain identity: a mux over two candidate names.
-    const NodeId mux = pd.AddDistributional(name, PKind::kMux);
-    const bool maybe_rick = rng.NextBool(rick_fraction);
-    const double p = 0.4 + 0.5 * rng.NextDouble();
-    pd.AddOrdinary(mux,
-                   maybe_rick ? Intern("Rick") : names[rng.NextBounded(4)], p);
-    pd.AddOrdinary(mux, names[rng.NextBounded(4)], 1.0 - p);
-    // Bonuses: one or two, each with an uncertain project.
-    const int bonuses = 1 + static_cast<int>(rng.NextBounded(2));
-    for (int b = 0; b < bonuses; ++b) {
-      const NodeId bonus = pd.AddOrdinary(person, Intern("bonus"));
-      const NodeId pmux = pd.AddDistributional(bonus, PKind::kMux);
-      const bool maybe_laptop = rng.NextBool(laptop_fraction);
-      const double lp = 0.3 + 0.6 * rng.NextDouble();
-      const NodeId proj = pd.AddOrdinary(
-          pmux, maybe_laptop ? Intern("laptop") : projects[rng.NextBounded(3)],
-          lp);
-      pd.AddOrdinary(proj,
-                     Intern(std::to_string(10 + rng.NextBounded(90))));
-      const NodeId alt =
-          pd.AddOrdinary(pmux, projects[rng.NextBounded(3)], 1.0 - lp);
-      pd.AddOrdinary(alt, Intern(std::to_string(10 + rng.NextBounded(90))));
+  {
+    PDocument::MutationBatch batch(&pd);  // One stamp; scoped before return.
+    const NodeId it = pd.AddRoot(Intern("IT-personnel"));
+    const Label names[] = {Intern("Mary"), Intern("John"), Intern("Paula"),
+                           Intern("Ivan")};
+    const Label projects[] = {Intern("pda"), Intern("tablet"), Intern("phone")};
+    for (int i = 0; i < num_persons; ++i) {
+      const NodeId person = pd.AddOrdinary(it, Intern("person"));
+      const NodeId name = pd.AddOrdinary(person, Intern("name"));
+      // Uncertain identity: a mux over two candidate names.
+      const NodeId mux = pd.AddDistributional(name, PKind::kMux);
+      const bool maybe_rick = rng.NextBool(rick_fraction);
+      const double p = 0.4 + 0.5 * rng.NextDouble();
+      pd.AddOrdinary(mux,
+                     maybe_rick ? Intern("Rick") : names[rng.NextBounded(4)], p);
+      pd.AddOrdinary(mux, names[rng.NextBounded(4)], 1.0 - p);
+      // Bonuses: one or two, each with an uncertain project.
+      const int bonuses = 1 + static_cast<int>(rng.NextBounded(2));
+      for (int b = 0; b < bonuses; ++b) {
+        const NodeId bonus = pd.AddOrdinary(person, Intern("bonus"));
+        const NodeId pmux = pd.AddDistributional(bonus, PKind::kMux);
+        const bool maybe_laptop = rng.NextBool(laptop_fraction);
+        const double lp = 0.3 + 0.6 * rng.NextDouble();
+        const NodeId proj = pd.AddOrdinary(
+            pmux, maybe_laptop ? Intern("laptop") : projects[rng.NextBounded(3)],
+            lp);
+        pd.AddOrdinary(proj,
+                       Intern(std::to_string(10 + rng.NextBounded(90))));
+        const NodeId alt =
+            pd.AddOrdinary(pmux, projects[rng.NextBounded(3)], 1.0 - lp);
+        pd.AddOrdinary(alt, Intern(std::to_string(10 + rng.NextBounded(90))));
+      }
     }
   }
   PXV_CHECK(pd.Validate().ok());
+  pd.ClearDirtyPaths();
   return pd;
 }
 

@@ -17,6 +17,38 @@ Status DeclineTooLarge(const char* what, int slots) {
 
 }  // namespace
 
+ExactDpBackend::ExactDpBackend(const ExactDpOptions& options)
+    : options_(options) {
+  if (options_.cache_subtrees) cache_ = MakeSubtreeCache();
+}
+
+ExactDpBackend::~ExactDpBackend() = default;
+
+SubtreeCacheStats ExactDpBackend::subtree_cache_stats() const {
+  return cache_ != nullptr ? GetSubtreeCacheStats(*cache_)
+                           : SubtreeCacheStats{};
+}
+
+// Engine options for one batched call: the incremental memo is keyed by the
+// concatenated canonical member patterns — the same member set in the same
+// order always lands on the same signature, and any other set cannot
+// collide (canonical forms are unambiguous and '\n'-separated).
+EngineOptions ExactDpBackend::RunOptions(
+    const std::vector<const Pattern*>& members) {
+  EngineOptions options;
+  options.prune_eps = options_.prune_eps;
+  if (cache_ != nullptr) {
+    run_signature_.clear();
+    for (const Pattern* m : members) {
+      run_signature_ += m->CanonicalString();
+      run_signature_ += '\n';
+    }
+    options.subtree_cache = cache_.get();
+    options.cache_signature = &run_signature_;
+  }
+  return options;
+}
+
 StatusOr<double> ExactDpBackend::Conjunction(const PDocument& pd,
                                              const std::vector<Goal>& goals) {
   const int slots = ConjunctionSlotCount(goals);
@@ -30,15 +62,14 @@ StatusOr<std::vector<NodeProb>> ExactDpBackend::BatchAnchored(
   const int slots = BatchSlotCount(members);
   if (slots > kMaxConjunctionSlots) return DeclineTooLarge("batch", slots);
   return BatchAnchoredProbabilities(pd, members, &scratch_,
-                                    EngineOptions{options_.prune_eps});
+                                    RunOptions(members));
 }
 
 StatusOr<std::vector<std::vector<NodeProb>>> ExactDpBackend::BatchAnchoredMany(
     const PDocument& pd, const std::vector<const Pattern*>& members) {
   const int slots = BatchSlotCount(members);
   if (slots > kMaxConjunctionSlots) return DeclineTooLarge("batch", slots);
-  return BatchManyProbabilities(pd, members, &scratch_,
-                                EngineOptions{options_.prune_eps});
+  return BatchManyProbabilities(pd, members, &scratch_, RunOptions(members));
 }
 
 StatusOr<double> NaiveBackend::Conjunction(const PDocument& pd,

@@ -76,12 +76,22 @@ class ProbBackend {
 /// kProbEps = 1e-12 from util/numeric.h, matching the result-set filter).
 struct ExactDpOptions {
   double prune_eps = 0.0;
+  /// Memoize finished per-subtree DP regions keyed by (query signature,
+  /// node, subtree version) so a re-evaluation after a delta update (see
+  /// pxml/pdocument.h) recomputes only the dirty root-to-change spines —
+  /// O(depth × |delta|) instead of O(|P̂|) — with bit-identical results.
+  /// Off by default: the memo pays a capture clone per region on cold runs
+  /// and only earns it back when the same document is re-evaluated across
+  /// mutations (the DocumentStore serving path). Ignored (per call) for
+  /// fixed-anchor conjunctions and when prune_eps > 0.
+  bool cache_subtrees = false;
 };
 
 class ExactDpBackend : public ProbBackend {
  public:
   ExactDpBackend() = default;
-  explicit ExactDpBackend(const ExactDpOptions& options) : options_(options) {}
+  explicit ExactDpBackend(const ExactDpOptions& options);
+  ~ExactDpBackend() override;
 
   const char* name() const override { return "exact-dp"; }
   StatusOr<double> Conjunction(const PDocument& pd,
@@ -98,9 +108,16 @@ class ExactDpBackend : public ProbBackend {
   /// Cumulative kernel counters for every call served by this backend.
   const DistProfile& profile() const { return scratch_.profile(); }
 
+  /// Incremental-memo counters; zeros when cache_subtrees is off.
+  SubtreeCacheStats subtree_cache_stats() const;
+
  private:
+  EngineOptions RunOptions(const std::vector<const Pattern*>& members);
+
   ExactDpOptions options_;
   DpScratch scratch_;
+  SubtreeCachePtr cache_;     // Non-null iff options_.cache_subtrees.
+  std::string run_signature_; // Scratch for the current call's cache key.
 };
 
 /// Exhaustive possible-world enumeration (prob/naive): exact for any query

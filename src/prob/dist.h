@@ -332,11 +332,19 @@ class FlatDist {
   }
 
   /// Deep copy (same capacity; inline dists copy without touching the pool).
-  FlatDist<K> Clone() const {
+  FlatDist<K> Clone() const { return CloneInto(pool_); }
+
+  /// Deep copy whose storage comes from `pool` (which may belong to a
+  /// different arena — the incremental subtree cache clones between its
+  /// persistent pool and the per-run scratch). The block is memcpy'd, so
+  /// the clone's table layout — and therefore its ForEach iteration order —
+  /// is bit-identical to the source's: results computed from a cached clone
+  /// match a from-scratch run down to floating-point rounding.
+  FlatDist<K> CloneInto(DistPool* pool) const {
     FlatDist<K> out;
     if (!inited_) return out;
     if (block_ == nullptr) {
-      out.pool_ = pool_;
+      out.pool_ = pool;
       out.inited_ = true;
       out.cap_log2_ = kInlineCapLog2;
       out.size_ = size_;
@@ -344,7 +352,7 @@ class FlatDist {
       out.ival_ = ival_;
       return out;
     }
-    out.Init(pool_, cap_log2_);
+    out.Init(pool, cap_log2_);
     std::memcpy(out.block_, block_, BlockBytes(cap_log2_));
     out.size_ = size_;
     return out;
@@ -565,16 +573,22 @@ struct EngineBuffers {
   std::vector<int8_t> slots_flat;
   std::vector<uint8_t> slots_len;
   std::vector<uint64_t> obs;  // Upward-observable bit masks (narrow keys).
-  // Analysis cache tag: when the same (document uid, slot-label sequence)
-  // comes back — steady-state serving of one query over one document — the
-  // buffers above are still valid and the engine skips the whole pass. The
-  // label sequence itself is compared (not merely a hash), so a collision
-  // can never serve stale analysis.
-  uint64_t cached_doc_uid = 0;
-  std::vector<uint32_t> cached_slot_labels;
+  std::vector<uint8_t> skip;  // Subtree-cache plan (compute / hit / covered).
+  std::vector<int32_t> active_slot;  // Compact slot over non-covered nodes.
+  // Analysis cache tag: when the same (document *structure* version, query
+  // structure signature) comes back — steady-state serving of one query
+  // set over one document, including across probability-only deltas, which
+  // do not bump the structure version — the buffers above are still valid
+  // and the engine skips the whole pass. The signature (slot labels, kid
+  // edges, slot roles) is compared outright, not merely hashed, so a
+  // collision can never serve stale analysis. The obs masks share the key:
+  // they read only tree shape, labels and the query.
+  uint64_t cached_structure = 0;
+  std::vector<uint32_t> cached_query_sig;
   int32_t cached_region_count = 0;
   bool cached_uniform = false;
   bool cache_valid = false;
+  bool obs_valid = false;  // obs[] filled for the cached key.
 };
 
 /// Per-session scratch state for the exact DP: the arena, the block pool on

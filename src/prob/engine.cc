@@ -31,6 +31,7 @@
 #include <array>
 #include <cstdint>
 #include <new>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -39,6 +40,77 @@
 #include "util/check.h"
 
 namespace pxv {
+
+// Incremental per-subtree memo (see engine.h). Lives at namespace scope so
+// ExactDpBackend can own one through the opaque pointer; the entry payloads
+// are plain FlatDists over the cache's own persistent scratch (its arena is
+// only reset when every signature is evicted at once).
+class SubtreeCache {
+ public:
+  struct Entry {
+    uint64_t version = 0;
+    NodeId frame = kNullNode;
+    bool wide = false;
+    FlatDist<uint64_t> base_n;  // Valid iff !wide …
+    FlatDist<WideKey> base_w;   // … valid iff wide.
+    std::vector<NodeId> tracked_nodes;
+    std::vector<FlatDist<uint64_t>> tracked_n;
+    std::vector<FlatDist<WideKey>> tracked_w;
+  };
+
+  // Frame epoch + per-node entries of one query signature.
+  struct SigState {
+    bool valid = false;
+    bool root_wide = false;
+    std::vector<int8_t> root_slots;  // Root live slot list (narrow roots).
+    std::unordered_map<NodeId, Entry> entries;
+  };
+
+  // Signatures a cache holds before evicting wholesale. Eviction drops
+  // everything at once so the arena can be reclaimed wholesale too (blocks
+  // bump-allocated from it are never returned individually).
+  static constexpr size_t kMaxSignatures = 16;
+
+  SigState* Acquire(const std::string& sig) {
+    auto it = sigs_.find(sig);
+    if (it != sigs_.end()) return &it->second;
+    if (sigs_.size() >= kMaxSignatures) {
+      sigs_.clear();        // Releases every entry's blocks into the pool…
+      scratch_.BeginRun();  // …then reclaims pool and arena wholesale.
+      ++stats.flushes;
+    }
+    return &sigs_[sig];
+  }
+
+  DistPool* pool() { return scratch_.pool(); }
+
+  SubtreeCacheStats stats;
+
+  uint64_t EntryCount() const {
+    uint64_t n = 0;
+    for (const auto& [sig, st] : sigs_) n += st.entries.size();
+    return n;
+  }
+  uint64_t SignatureCount() const { return sigs_.size(); }
+
+ private:
+  DpScratch scratch_;
+  std::unordered_map<std::string, SigState> sigs_;
+};
+
+void SubtreeCacheDeleter::operator()(SubtreeCache* cache) const {
+  delete cache;
+}
+
+SubtreeCachePtr MakeSubtreeCache() { return SubtreeCachePtr(new SubtreeCache); }
+
+SubtreeCacheStats GetSubtreeCacheStats(const SubtreeCache& cache) {
+  SubtreeCacheStats s = cache.stats;
+  s.signatures = cache.SignatureCount();
+  s.entries = cache.EntryCount();
+  return s;
+}
+
 namespace {
 
 using NarrowKey = uint64_t;
@@ -167,12 +239,17 @@ class Engine {
         pool_(scratch->pool()),
         prof_(scratch->profile()),
         prune_eps_(options.prune_eps),
+        cache_candidate_(options.subtree_cache),
+        cache_sig_(options.cache_signature),
+        bufs_(scratch->buffers()),
         live_(scratch->buffers()->live),
         wide_(scratch->buffers()->wide),
         region_slot_(scratch->buffers()->region_slot),
         slots_flat_(scratch->buffers()->slots_flat),
         slots_len_(scratch->buffers()->slots_len),
-        obs_(scratch->buffers()->obs) {
+        obs_(scratch->buffers()->obs),
+        skip_(scratch->buffers()->skip),
+        active_slot_(scratch->buffers()->active_slot) {
     int total = 0;
     // Fixed-anchor / Boolean conjuncts: every pattern node is a base slot.
     for (const Goal& g : goals) {
@@ -236,22 +313,42 @@ class Engine {
       batch_out_label_ = p.OutLabel();
       batch_out_label_set_ = true;
     }
-    // Analysis cache: the live/wide/region-slot buffers depend only on the
-    // document and the slot → label sequence. Steady-state serving (same
-    // doc, same query shape, run after run) skips the whole O(|P̂|) pass.
-    // The label sequence is compared outright — O(query size), trivially
-    // cheap — so there is no hash-collision hazard.
-    std::vector<uint32_t> slot_labels;
-    slot_labels.reserve(qnodes_.size());
-    for (const QNode& qn : qnodes_) slot_labels.push_back(qn.label);
+    // Analysis cache: the live/wide/region-slot buffers (and the obs masks)
+    // depend only on the document's *structure* — tree shape, labels,
+    // detached flags — and on the query's structure. Steady-state serving
+    // (same doc, same query set, run after run) skips the whole O(|P̂|)
+    // pass, and so do probability-only deltas (SetEdgeProb /
+    // SetExpDistribution do not bump the structure version), which is what
+    // keeps an incremental re-evaluation from paying O(|P̂|) in analysis.
+    // The signature encodes every structural input of the analysis + obs
+    // passes — per slot: label, role (base / starred / pin), root flags,
+    // and the slash/descendant kid edges — and is compared outright, so a
+    // collision can never serve stale analysis.
+    std::vector<uint32_t> query_sig;
+    query_sig.reserve(qnodes_.size() * 4);
+    for (int s = 0; s < static_cast<int>(qnodes_.size()); ++s) {
+      const QNode& qn = qnodes_[s];
+      query_sig.push_back(qn.label);
+      for (int t : qn.slash_kids) query_sig.push_back(0x40000000u + t);
+      for (int t : qn.desc_kids) query_sig.push_back(0x20000000u + t);
+      query_sig.push_back(0x10000000u);  // Slot terminator.
+    }
+    // Root/pin flags pin down each slot's role (starred main-branch slots
+    // are derivable: the chain from a batch root to its pin slot).
+    for (int s : goal_root_slots_) query_sig.push_back(0x50000000u + s);
+    for (int s : batch_root_slots_) query_sig.push_back(0x60000000u + s);
+    for (int s : pin_slots_) query_sig.push_back(0x70000000u + s);
     EngineBuffers* bufs = scratch->buffers();
-    if (bufs->cache_valid && bufs->cached_doc_uid == pd.uid() &&
-        bufs->cached_slot_labels == slot_labels &&
+    if (bufs->cache_valid &&
+        bufs->cached_structure == pd.structure_version() &&
+        bufs->cached_query_sig == query_sig &&
         live_.size() == static_cast<size_t>(pd.size())) {
       region_count_ = bufs->cached_region_count;
       uniform_frame_ = bufs->cached_uniform;
+      analysis_cached_ = true;
       return;
     }
+    bufs->obs_valid = false;
 
     // Live-slot analysis (one reverse scan; children follow parents in the
     // node arena, so subtree unions are already final when read). A subtree
@@ -266,11 +363,16 @@ class Engine {
     wide_.assign(pd.size(), 0);
     for (NodeId n = pd.size() - 1; n >= 0; --n) {
       SlotSet s;
-      if (pd.ordinary(n)) {
-        const auto it = slots_by_label.find(pd.label(n));
-        if (it != slots_by_label.end()) s = it->second;
+      // Detached (removed) subtrees are invisible to the deletion process:
+      // their nodes stay dead, so the pass never computes them and their
+      // labels never leak into any frame.
+      if (!pd.detached(n)) {
+        if (pd.ordinary(n)) {
+          const auto it = slots_by_label.find(pd.label(n));
+          if (it != slots_by_label.end()) s = it->second;
+        }
+        for (NodeId c : pd.children(n)) s.UnionWith(live_[c]);
       }
-      for (NodeId c : pd.children(n)) s.UnionWith(live_[c]);
       live_[n] = s;
       wide_[n] = s.Count() > kNarrowSlotCap;
     }
@@ -294,8 +396,8 @@ class Engine {
     // nodes always have at least one slot).
     slots_flat_.resize(static_cast<size_t>(region_count_) * kNarrowSlotCap);
     slots_len_.assign(region_count_, 0);
-    bufs->cached_doc_uid = pd.uid();
-    bufs->cached_slot_labels = std::move(slot_labels);
+    bufs->cached_structure = pd.structure_version();
+    bufs->cached_query_sig = std::move(query_sig);
     bufs->cached_region_count = region_count_;
     bufs->cached_uniform = uniform_frame_;
     bufs->cache_valid = true;
@@ -804,6 +906,9 @@ class Engine {
   void ComputeObs() {
     project_ = uniform_frame_;
     if (!project_) return;
+    // Shares the analysis cache's key: obs reads only tree shape, labels
+    // and the query structure, so a hit skips this whole O(|P̂|) pass too.
+    if (analysis_cached_ && bufs_->obs_valid) return;
     // need-bit masks per label over every slot (anchor filtering only
     // removes candidates, so this is a safe superset).
     std::unordered_map<Label, NarrowKey> reads;
@@ -845,57 +950,160 @@ class Engine {
       }
       for (NodeId c : pd_.children(n)) obs_[c] = child_obs;
     }
+    bufs_->obs_valid = true;
   }
 
-  // Projects a narrow dist onto `mask`, merging states that differ only in
-  // dead bits. No-op for wide dists (projection is purely an optimization).
-  void ProjectDist(Dist* d, uint64_t mask) {
-    if (d->wide || !d->initialized() || d->n.empty()) return;
-    if (d->n.inline_mode()) {
-      // Single entry: mask in place via rebuild-free path.
-      NarrowKey k;
-      double v;
-      if (d->n.GetSingle(&k, &v) && (k & ~mask) != 0) {
-        Dist out = MakeDist(false);
-        out.n.Add(k & mask, v);
-        *d = std::move(out);
-      }
-      return;
+  // ------------------------------------------------------ subtree cache ----
+
+  enum : uint8_t { kCompute = 0, kHit = 1, kCovered = 2 };
+
+  // Decides whether this run can use the incremental memo and, if so, plans
+  // it: hits (nodes whose cached subtree version still matches) are marked
+  // along with everything they cover, and the signature's entries are
+  // flushed when the root frame epoch shifted (key bit layout / projection
+  // masks would no longer line up).
+  void SetupCache() {
+    if (cache_candidate_ == nullptr || cache_sig_ == nullptr) return;
+    // Only the pure batched paths: fixed-anchor goals key candidate masks by
+    // anchor sets, and support pruning makes results run-history-dependent.
+    if (batch_count_ == 0 || !batch_feasible_) return;
+    if (!goal_root_slots_.empty() || !anchor_of_.empty()) return;
+    if (prune_eps_ > 0) return;
+    cache_ = cache_candidate_;
+    sig_ = cache_->Acquire(*cache_sig_);
+    const NodeId root = pd_.root();
+    const bool root_wide = wide_[root] != 0;
+    std::vector<int8_t> root_slots;
+    if (!root_wide) {
+      int count;
+      const int8_t* rs = NarrowSlots(root, &count);
+      root_slots.assign(rs, rs + count);
     }
-    NarrowKey any = 0;
-    d->n.ForEach([&](NarrowKey k, double) { any |= k; });
-    if ((any & ~mask) == 0) return;
-    Dist out = MakeDist(false, d->cap_log2());
-    d->n.ForEach([&](NarrowKey k, double v) { out.n.Add(k & mask, v); });
-    *d = std::move(out);
+    if (sig_->valid &&
+        (sig_->root_wide != root_wide || sig_->root_slots != root_slots)) {
+      sig_->entries.clear();
+      ++cache_->stats.flushes;
+    }
+    sig_->valid = true;
+    sig_->root_wide = root_wide;
+    sig_->root_slots = std::move(root_slots);
+    // Forward plan: parents precede children in the arena, so each node can
+    // inherit coverage from its parent before being inspected itself. Only
+    // top-most valid entries become hits — everything below them is skipped
+    // without even a map lookup. Non-covered live nodes get a *compact*
+    // region slot so the pass constructs exactly as many Region objects as
+    // it will touch — O(spine + hits), not O(live nodes).
+    skip_.assign(pd_.size(), kCompute);
+    active_slot_.assign(pd_.size(), -1);
+    active_count_ = 0;
+    for (NodeId n = 0; n < pd_.size(); ++n) {
+      const NodeId par = pd_.parent(n);
+      if (par != kNullNode && skip_[par] != kCompute) {
+        skip_[n] = kCovered;
+        continue;
+      }
+      if (region_slot_[n] < 0) continue;  // Dead regions are identities.
+      const auto it = sig_->entries.find(n);
+      if (it != sig_->entries.end() && it->second.version == pd_.version(n)) {
+        skip_[n] = kHit;
+      }
+      active_slot_[n] = active_count_++;
+    }
   }
 
-  void ProjectRegion(Region* r, NodeId x) {
-    if (!project_) return;
-    const uint64_t mask = obs_[x];
-    ProjectDist(&r->base, mask);
-    for (auto& [a, t] : r->tracked) ProjectDist(&t, mask);
+  // Region storage slot of node `n` this run: the compact plan slot under
+  // the subtree cache, the full per-live-node slot otherwise. -1 = the node
+  // contributes the identity (dead) or is covered by a cached ancestor.
+  int32_t SlotOf(NodeId n) const {
+    return cache_ != nullptr ? active_slot_[n] : region_slot_[n];
+  }
+
+  // Rebuilds the cached region of `n` in the run arena. Blocks are
+  // memcpy-cloned, so table layout — hence downstream iteration order and
+  // floating-point rounding — matches the capture exactly.
+  Region LoadCached(NodeId n) {
+    const SubtreeCache::Entry& e = sig_->entries.find(n)->second;
+    Region r;
+    r.frame = e.frame;
+    r.base.SetWide(e.wide);
+    if (e.wide) {
+      r.base.w = e.base_w.CloneInto(pool_);
+    } else {
+      r.base.n = e.base_n.CloneInto(pool_);
+    }
+    r.tracked.Reserve(pool_, e.tracked_nodes.size());
+    for (size_t i = 0; i < e.tracked_nodes.size(); ++i) {
+      Dist d;
+      d.SetWide(e.wide);
+      if (e.wide) {
+        d.w = e.tracked_w[i].CloneInto(pool_);
+      } else {
+        d.n = e.tracked_n[i].CloneInto(pool_);
+      }
+      r.tracked.EmplaceBack(pool_, e.tracked_nodes[i], std::move(d));
+    }
+    return r;
+  }
+
+  void StoreCached(NodeId n, const Region& r) {
+    SubtreeCache::Entry& e = sig_->entries[n];
+    DistPool* cpool = cache_->pool();
+    e.version = pd_.version(n);
+    e.frame = r.frame;
+    e.wide = r.base.wide;
+    e.base_n = FlatDist<uint64_t>();
+    e.base_w = FlatDist<WideKey>();
+    if (e.wide) {
+      e.base_w = r.base.w.CloneInto(cpool);
+    } else {
+      e.base_n = r.base.n.CloneInto(cpool);
+    }
+    e.tracked_nodes.clear();
+    e.tracked_n.clear();
+    e.tracked_w.clear();
+    for (const auto& [a, t] : r.tracked) {
+      PXV_CHECK_EQ(t.wide, e.wide);
+      e.tracked_nodes.push_back(a);
+      if (e.wide) {
+        e.tracked_w.push_back(t.w.CloneInto(cpool));
+      } else {
+        e.tracked_n.push_back(t.n.CloneInto(cpool));
+      }
+    }
+    ++cache_->stats.stores;
   }
 
   Region EvalRegions() {
     ComputeObs();
+    SetupCache();
     const NodeId root = pd_.root();
-    if (region_slot_[root] < 0) {
+    if (SlotOf(root) < 0) {
       // No query label occurs anywhere: the whole document is one identity.
       Region r;
       r.frame = root;
       r.base = DeltaDist(root);
       return r;
     }
+    const int32_t slots = cache_ != nullptr ? active_count_ : region_count_;
     PoolVec<Region> regions;
-    regions.Reserve(pool_, region_count_);
-    for (int32_t i = 0; i < region_count_; ++i) regions.EmplaceBack(pool_);
+    regions.Reserve(pool_, slots);
+    for (int32_t i = 0; i < slots; ++i) regions.EmplaceBack(pool_);
     for (NodeId n = pd_.size() - 1; n >= 0; --n) {
-      const int32_t slot = region_slot_[n];
+      const int32_t slot = SlotOf(n);
       if (slot < 0) continue;
+      if (cache_ != nullptr) {
+        if (skip_[n] == kHit) {
+          ++cache_->stats.hits;
+          regions[slot] = LoadCached(n);
+          continue;
+        }
+        regions[slot] = ComputeRegion(n, &regions);
+        StoreCached(n, regions[slot]);
+        continue;
+      }
       regions[slot] = ComputeRegion(n, &regions);
     }
-    return std::move(regions[region_slot_[root]]);
+    return std::move(regions[SlotOf(root)]);
   }
 
   // Contribution of node `n`, consuming the already-computed child regions.
@@ -909,8 +1117,8 @@ class Engine {
         PoolVec<Region> parts;
         parts.Reserve(pool_, pd_.children(n).size());
         for (NodeId c : pd_.children(n)) {
-          if (region_slot_[c] < 0) continue;  // Identity contribution.
-          parts.EmplaceBack(pool_, std::move((*regions)[region_slot_[c]]));
+          if (SlotOf(c) < 0) continue;  // Identity contribution.
+          parts.EmplaceBack(pool_, std::move((*regions)[SlotOf(c)]));
         }
         return Combine(std::move(parts), n);
       }
@@ -922,12 +1130,12 @@ class Engine {
           const double p = pd_.edge_prob(c);
           total += p;
           if (p == 0) continue;
-          if (region_slot_[c] < 0) {
+          if (SlotOf(c) < 0) {
             // Dead alternative: contributes the empty state with mass p.
             AddEmptyMassInit(&acc.base, p, wide_[n]);
             continue;
           }
-          Region r = std::move((*regions)[region_slot_[c]]);
+          Region r = std::move((*regions)[SlotOf(c)]);
           RemapRegionInPlace(&r, n);
           AddScaledDist(&acc.base, r.base, p);
           // Alternatives are exclusive, so an anchor lives in one branch.
@@ -949,12 +1157,12 @@ class Engine {
         PoolVec<Region> parts;
         parts.Reserve(pool_, pd_.children(n).size());
         for (NodeId c : pd_.children(n)) {
-          if (region_slot_[c] < 0) continue;  // p·δ + (1−p)·δ = identity.
+          if (SlotOf(c) < 0) continue;  // p·δ + (1−p)·δ = identity.
           const double p = pd_.edge_prob(c);
           Region mixed;
           mixed.frame = c;
           if (p > 0) {
-            Region r = std::move((*regions)[region_slot_[c]]);
+            Region r = std::move((*regions)[SlotOf(c)]);
             mixed.frame = r.frame;
             AddScaledDist(&mixed.base, r.base, p);
             // The anchor requires its own edge to be taken.
@@ -976,14 +1184,13 @@ class Engine {
         PoolVec<Region> kid_regions;
         kid_regions.Reserve(pool_, kids.size());
         for (NodeId c : kids) {
-          if (region_slot_[c] < 0) {
+          if (SlotOf(c) < 0) {
             Region r;
             r.frame = c;
             r.base = DeltaDist(c);
             kid_regions.EmplaceBack(pool_, std::move(r));
           } else {
-            kid_regions.EmplaceBack(pool_,
-                                    std::move((*regions)[region_slot_[c]]));
+            kid_regions.EmplaceBack(pool_, std::move((*regions)[SlotOf(c)]));
           }
         }
         Region acc;
@@ -1021,11 +1228,15 @@ class Engine {
 
   // Rewrites a distribution at an ordinary node: D bits flow up, then every
   // candidate whose (need) bits hold in the incoming key gains its (set)
-  // bits. Mask-compiled form of the per-child bit probing.
+  // bits. Mask-compiled form of the per-child bit probing. The dead-bit
+  // projection (see ComputeObs) is fused into the same pass: each output
+  // key is masked onto the upward-observable bits as it is inserted, so a
+  // projected rewrite costs one table build instead of two.
   template <typename K>
   FlatDist<K> RewriteT(const FlatDist<K>& in,
                        const std::vector<std::pair<K, K>>& cands,
-                       const std::vector<std::pair<K, K>>& extra) {
+                       const std::vector<std::pair<K, K>>& extra,
+                       const K& proj) {
     FlatDist<K> out;
     out.Init(pool_, in.size() <= 1 ? FlatDist<K>::kInlineCapLog2
                                    : in.cap_log2());
@@ -1038,20 +1249,32 @@ class Engine {
       for (const auto& [need, set] : extra) {
         if (HasAll(key, need)) nk = nk | set;
       }
-      out.Add(nk, p);
+      out.Add(KeyAnd(nk, proj), p);
     });
     return out;
   }
 
-  // Applies `masks` plus optionally `extra` (star or pin candidates).
-  Dist RewriteDist(const Dist& in, bool wide, const Masks& masks,
+  // Projection mask for ordinary node `x` in each key width (wide keys are
+  // never projected — projection is a uniform-narrow-frame optimization).
+  NarrowKey ProjMaskN(NodeId x) const {
+    return project_ ? obs_[x] : ~NarrowKey{0};
+  }
+  static WideKey ProjMaskW() {
+    WideKey all;
+    for (auto& w : all.w) w = ~uint64_t{0};
+    return all;
+  }
+
+  // Applies `masks` plus optionally `extra` (star or pin candidates),
+  // projecting the result onto `x`'s observable bits.
+  Dist RewriteDist(const Dist& in, NodeId x, bool wide, const Masks& masks,
                    const Masks& extra) {
     Dist out;
     out.SetWide(wide);
     if (wide) {
-      out.w = RewriteT(in.w, masks.w, extra.w);
+      out.w = RewriteT(in.w, masks.w, extra.w, ProjMaskW());
     } else {
-      out.n = RewriteT(in.n, masks.n, extra.n);
+      out.n = RewriteT(in.n, masks.n, extra.n, ProjMaskN(x));
     }
     MaybePrune(&out);
     return out;
@@ -1139,7 +1362,7 @@ class Engine {
     const Label xl = pd_.label(x);
     bool any_parts = false;
     for (NodeId c : pd_.children(x)) {
-      if (region_slot_[c] >= 0) {
+      if (SlotOf(c) >= 0) {
         any_parts = true;
         break;
       }
@@ -1157,26 +1380,25 @@ class Engine {
       if (wide_[x]) {
         out.base.w.Add(lm.leaf_base_w, 1.0);
       } else {
-        out.base.n.Add(lm.leaf_base_n, 1.0);
+        out.base.n.Add(lm.leaf_base_n & ProjMaskN(x), 1.0);
       }
       if (batch_feasible_ && batch_count_ > 0 && xl == batch_out_label_) {
         Dist pin = MakeDist(wide_[x]);
         if (wide_[x]) {
           pin.w.Add(lm.leaf_pin_w, 1.0);
         } else {
-          pin.n.Add(lm.leaf_pin_n, 1.0);
+          pin.n.Add(lm.leaf_pin_n & ProjMaskN(x), 1.0);
         }
         out.tracked.EmplaceBack(pool_, x, std::move(pin));
       }
-      ProjectRegion(&out, x);
       return out;
     }
 
     PoolVec<Region> parts;
     parts.Reserve(pool_, pd_.children(x).size());
     for (NodeId c : pd_.children(x)) {
-      if (region_slot_[c] < 0) continue;  // Identity contribution.
-      parts.EmplaceBack(pool_, std::move((*regions)[region_slot_[c]]));
+      if (SlotOf(c) < 0) continue;  // Identity contribution.
+      parts.EmplaceBack(pool_, std::move((*regions)[SlotOf(c)]));
     }
     Region comb = Combine(std::move(parts), x);
     RemapRegionInPlace(&comb, x);
@@ -1200,18 +1422,17 @@ class Engine {
 
     Region out;
     out.frame = x;
-    out.base = RewriteDist(comb.base, wide_[x], base_masks, kNoMasks);
+    out.base = RewriteDist(comb.base, x, wide_[x], base_masks, kNoMasks);
     // Rewrite tracked dists in place: the vector (and its pairs) carry over.
     out.tracked = std::move(comb.tracked);
     for (auto& [n, t] : out.tracked) {
-      t = RewriteDist(t, wide_[x], base_masks, star_masks);
+      t = RewriteDist(t, x, wide_[x], base_masks, star_masks);
     }
     // x itself becomes a tracked anchor: pin every member's out slot here.
     if (batch_feasible_ && batch_count_ > 0 && xl == batch_out_label_) {
-      out.tracked.EmplaceBack(
-          pool_, x, RewriteDist(comb.base, wide_[x], base_masks, pin_masks));
+      out.tracked.EmplaceBack(pool_, x, RewriteDist(comb.base, x, wide_[x],
+                                                    base_masks, pin_masks));
     }
-    ProjectRegion(&out, x);
     return out;
   }
 
@@ -1220,6 +1441,12 @@ class Engine {
   DistPool* pool_;
   DistProfile* prof_;
   const double prune_eps_;
+  SubtreeCache* const cache_candidate_;  // From EngineOptions (may be null).
+  const std::string* const cache_sig_;
+  SubtreeCache* cache_ = nullptr;  // Non-null once SetupCache accepts the run.
+  SubtreeCache::SigState* sig_ = nullptr;
+  EngineBuffers* bufs_;
+  bool analysis_cached_ = false;  // This run reused the cached analysis.
   std::vector<QNode> qnodes_;
   std::vector<int> goal_root_slots_;
   std::vector<int> batch_root_slots_;
@@ -1235,6 +1462,9 @@ class Engine {
   std::vector<int8_t>& slots_flat_;  // kNarrowSlotCap bytes per live node.
   std::vector<uint8_t>& slots_len_;  // 0 = not yet extracted.
   std::vector<uint64_t>& obs_;  // Per-node upward-observable key masks.
+  std::vector<uint8_t>& skip_;  // Per-node cache plan (kCompute/kHit/kCovered).
+  std::vector<int32_t>& active_slot_;  // Compact slots (cache-enabled runs).
+  int32_t active_count_ = 0;
   bool project_ = false;  // Dead-bit projection active (uniform narrow).
   int32_t region_count_ = 0;
   bool uniform_frame_ = false;  // Root narrow ⇒ one frame for everything.

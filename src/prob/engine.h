@@ -35,6 +35,9 @@
 #ifndef PXV_PROB_ENGINE_H_
 #define PXV_PROB_ENGINE_H_
 
+#include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "prob/dist.h"
@@ -69,12 +72,59 @@ inline constexpr int kMaxConjunctionSlots = 128;
 /// fall back to the 256-bit WideKey.
 inline constexpr int kNarrowSlotCap = 32;
 
+/// Incremental per-subtree memoization for the batched exact DP (delta
+/// updates, see pxml/pdocument.h). The cache persists across engine runs —
+/// it owns its own arena + block pool, separate from the per-run DpScratch —
+/// and maps (query signature, p-document node, subtree version) to the
+/// node's finished DP region (base FlatDist + tracked anchor FlatDists).
+/// On a re-run after a mutation, every node whose subtree version still
+/// matches its entry is served from the cache and its whole subtree is
+/// skipped, so the pass costs O(depth × |delta|) region computations
+/// instead of O(|P̂|). Entries are memcpy-cloned in both directions
+/// (FlatDist::CloneInto), so an incremental run produces bit-identical
+/// probabilities to a from-scratch run.
+///
+/// Validity: version stamps are process-unique counter draws shared only by
+/// copies (pxml/pdocument.h), so a matching (node, version) pair implies an
+/// identical subtree — except that under a *uniform narrow frame* the key
+/// bit layout and the dead-bit projection masks also depend on the root's
+/// live slot set. The cache records that frame epoch per signature and
+/// flushes the signature's entries when it shifts (e.g. a mutation removed
+/// a query label's last occurrence), falling back to one full recompute.
+///
+/// The type is opaque (defined in engine.cc next to the kernel types);
+/// ExactDpBackend owns one. Like the scratch, a cache is single-threaded
+/// state.
+class SubtreeCache;
+struct SubtreeCacheDeleter {
+  void operator()(SubtreeCache* cache) const;
+};
+using SubtreeCachePtr = std::unique_ptr<SubtreeCache, SubtreeCacheDeleter>;
+SubtreeCachePtr MakeSubtreeCache();
+
+/// Observability counters for a SubtreeCache (tests, bench --profile).
+struct SubtreeCacheStats {
+  uint64_t hits = 0;        ///< Subtrees served from the cache (skipped).
+  uint64_t stores = 0;      ///< Regions captured into the cache.
+  uint64_t flushes = 0;     ///< Signature flushes (frame epoch shifted).
+  uint64_t signatures = 0;  ///< Distinct query signatures currently held.
+  uint64_t entries = 0;     ///< Cached (node, region) entries currently held.
+};
+SubtreeCacheStats GetSubtreeCacheStats(const SubtreeCache& cache);
+
 /// Exact-DP tuning knobs, threaded from ProbBackend/EvalSession.
 struct EngineOptions {
   /// When > 0, distribution entries with mass <= prune_eps are dropped as
   /// the DP runs (support pruning). 0 keeps the DP exact. See
   /// prob/backend.h for the resulting error bound.
   double prune_eps = 0.0;
+  /// Incremental per-subtree memo. Only consulted by the batched anchored
+  /// paths (BatchAnchoredProbabilities / BatchManyProbabilities) with no
+  /// fixed-anchor goals and prune_eps == 0; requires `cache_signature`.
+  SubtreeCache* subtree_cache = nullptr;
+  /// Stable identity of the query set being evaluated (canonical pattern
+  /// strings) — the cache's first key component.
+  const std::string* cache_signature = nullptr;
 };
 
 /// DP slots a plain conjunction needs (sum of pattern sizes). Callers gate

@@ -8,9 +8,10 @@
 namespace pxv {
 
 EvalSession::EvalSession(const PDocument& pd, EvalOptions options)
-    : pd_(&pd), options_(options) {
+    : pd_(&pd), options_(options), doc_uid_(pd.uid()) {
   PXV_CHECK(!pd.empty());
-  const ExactDpOptions dp_options{options_.prune_eps};
+  const ExactDpOptions dp_options{options_.prune_eps,
+                                  options_.cache_subtrees};
   switch (options_.backend) {
     case BackendKind::kAuto:
       chain_.push_back(std::make_unique<ExactDpBackend>(dp_options));
@@ -28,6 +29,22 @@ EvalSession::EvalSession(const PDocument& pd, EvalOptions options)
   if (options_.backend != BackendKind::kNaive) {
     dp_profile_ = &static_cast<ExactDpBackend*>(chain_.front().get())->profile();
   }
+}
+
+void EvalSession::MaybeInvalidate() {
+  if (pd_->uid() == doc_uid_) return;
+  // The document mutated since the last evaluation: memoized q(P̂) results
+  // describe its previous contents. The subtree memo inside the exact-DP
+  // backend stays — it is version-checked per node, which is exactly what
+  // makes the next evaluation incremental.
+  tp_cache_.clear();
+  doc_uid_ = pd_->uid();
+}
+
+SubtreeCacheStats EvalSession::subtree_cache_stats() const {
+  if (options_.backend == BackendKind::kNaive) return {};
+  return static_cast<const ExactDpBackend*>(chain_.front().get())
+      ->subtree_cache_stats();
 }
 
 double EvalSession::Conjunction(const std::vector<Goal>& goals) {
@@ -70,7 +87,10 @@ void EvalSession::ComputeBatch(const std::vector<const Pattern*>& members,
 }
 
 const std::vector<NodeId>& EvalSession::NodesWithLabel(Label l) const {
-  if (index_ == nullptr) index_ = std::make_unique<LabelIndex>(*pd_);
+  if (index_ == nullptr || index_uid_ != pd_->uid()) {
+    index_ = std::make_unique<LabelIndex>(*pd_);
+    index_uid_ = pd_->uid();
+  }
   return index_->Nodes(l);
 }
 
@@ -89,6 +109,7 @@ EvalSession::TpEntry& EvalSession::Entry(const Pattern& q) {
 
 void EvalSession::PrefetchTP(const std::vector<const Pattern*>& queries) {
   if (!options_.cache_results) return;
+  MaybeInvalidate();
   // Group the not-yet-cached queries by output label; each group is served
   // by one joint pass, chunked to the DP slot cap.
   std::unordered_map<Label, std::vector<const Pattern*>> groups;
@@ -133,6 +154,7 @@ void EvalSession::PrefetchTP(const std::vector<const Pattern*>& queries) {
 }
 
 const std::vector<NodeProb>& EvalSession::EvaluateTP(const Pattern& q) {
+  MaybeInvalidate();
   TpEntry& e = Entry(q);
   if (e.computed) {
     ++cache_hits_;
@@ -144,6 +166,7 @@ const std::vector<NodeProb>& EvalSession::EvaluateTP(const Pattern& q) {
 
 std::vector<NodeProb> EvalSession::EvaluateTPI(const TpIntersection& q) {
   PXV_CHECK(!q.empty());
+  MaybeInvalidate();
   std::vector<const Pattern*> members;
   members.reserve(q.size());
   for (const Pattern& m : q.members()) members.push_back(&m);
@@ -153,6 +176,7 @@ std::vector<NodeProb> EvalSession::EvaluateTPI(const TpIntersection& q) {
 }
 
 double EvalSession::SelectionProbability(const Pattern& q, NodeId n) {
+  MaybeInvalidate();
   TpEntry& e = Entry(q);
   if (!e.computed && ++e.point_queries >= 2) {
     // A second point query on the same pattern: answer the whole batch once,
@@ -178,15 +202,18 @@ double EvalSession::SelectionProbability(const Pattern& q, NodeId n) {
 double EvalSession::SelectionProbabilityAnyOf(
     const Pattern& q, const std::vector<NodeId>& anchor) {
   if (anchor.empty()) return 0;
+  MaybeInvalidate();
   return Conjunction({{&q, &anchor}});
 }
 
 double EvalSession::JointProbability(const std::vector<Goal>& goals) {
   if (goals.empty()) return 1.0;
+  MaybeInvalidate();
   return Conjunction(goals);
 }
 
 double EvalSession::BooleanProbability(const Pattern& q) {
+  MaybeInvalidate();
   return Conjunction({{&q, nullptr}});
 }
 

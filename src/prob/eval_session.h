@@ -41,10 +41,19 @@ struct EvalOptions {
   /// Support pruning threshold for the exact DP (0 = exact; see the error
   /// bound on ExactDpOptions in prob/backend.h).
   double prune_eps = 0.0;
+  /// Incremental per-subtree memoization in the exact DP, for sessions that
+  /// outlive mutations of their document (ExactDpOptions::cache_subtrees).
+  bool cache_subtrees = false;
 };
 
 /// Per-document derived state + backend routing. Not thread-safe; create
 /// one session per document per thread.
+///
+/// Sessions may outlive mutations of their document (the DocumentStore
+/// write path): every derived structure keyed on content — the label index
+/// and the memoized batch results — is invalidated automatically when the
+/// document's uid changes, while the exact-DP subtree memo (when enabled)
+/// persists and serves the unchanged subtrees of the next evaluation.
 class EvalSession {
  public:
   explicit EvalSession(const PDocument& pd, EvalOptions options = {});
@@ -96,8 +105,15 @@ class EvalSession {
   /// Flat-dist kernel counters of the exact-DP backend, cumulative over the
   /// session; null when the session runs naive-only.
   const DistProfile* dp_profile() const { return dp_profile_; }
+  /// Incremental subtree-memo counters of the exact-DP backend; zeros when
+  /// cache_subtrees is off or the session runs naive-only.
+  SubtreeCacheStats subtree_cache_stats() const;
 
  private:
+  // Drops every uid-derived structure when the document mutated since the
+  // last call, so a session can never serve results computed for an earlier
+  // document version. Called by every public evaluation entry point.
+  void MaybeInvalidate();
   struct TpEntry {
     std::vector<NodeProb> results;
     std::unordered_map<NodeId, double> by_node;  // Lazy point-lookup index.
@@ -112,6 +128,8 @@ class EvalSession {
 
   const PDocument* pd_;
   EvalOptions options_;
+  uint64_t doc_uid_ = 0;  // uid the result cache was derived from.
+  mutable uint64_t index_uid_ = 0;  // uid the label index was built from.
   mutable std::unique_ptr<LabelIndex> index_;  // Built on first use.
   std::vector<std::unique_ptr<ProbBackend>> chain_;
   std::unordered_map<std::string, TpEntry> tp_cache_;

@@ -16,8 +16,15 @@ class PParser {
   StatusOr<PDocument> Parse() {
     SkipSpace();
     PDocument pd;
-    Status s = ParseNode(&pd, kNullNode, /*prob_allowed=*/false);
-    if (!s.ok()) return s;
+    {
+      // Node-by-node construction shares one version stamp: the per-node
+      // spine stamping of the mutation model amortizes to O(1) per Add
+      // inside a batch (O(depth) otherwise). Scoped so the batch closes
+      // before the document is returned.
+      PDocument::MutationBatch batch(&pd);
+      Status s = ParseNode(&pd, kNullNode, /*prob_allowed=*/false);
+      if (!s.ok()) return s;
+    }
     SkipSpace();
     if (pos_ != text_.size()) {
       return Status::Error("trailing characters at offset " +
@@ -25,6 +32,7 @@ class PParser {
     }
     Status v = pd.Validate();
     if (!v.ok()) return v;
+    pd.ClearDirtyPaths();  // Construction is not a delta.
     return pd;
   }
 

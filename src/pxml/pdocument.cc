@@ -1,5 +1,6 @@
 #include "pxml/pdocument.h"
 
+#include <algorithm>
 #include <atomic>
 
 #include <sstream>
@@ -25,12 +26,39 @@ uint64_t PDocument::NextUid() {
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
+PDocument::MutationBatch::MutationBatch(PDocument* pd) : pd_(pd) {
+  PXV_CHECK(!pd->in_batch_) << "mutation batches must not nest";
+  pd->in_batch_ = true;
+  pd->batch_stamped_ = false;
+}
+
+PDocument::MutationBatch::~MutationBatch() {
+  pd_->in_batch_ = false;
+  pd_->batch_stamped_ = false;
+}
+
+void PDocument::Stamp(NodeId n) {
+  if (!in_batch_ || !batch_stamped_) {
+    uid_ = NextUid();
+    batch_stamped_ = true;
+  }
+  // Within one batch every stamped node carries uid_, so the walk can stop
+  // at the first ancestor already stamped: batched bulk construction pays
+  // O(1) amortized instead of O(depth) per node.
+  for (NodeId cur = n; cur != kNullNode; cur = nodes_[cur].parent) {
+    if (nodes_[cur].version == uid_) break;
+    nodes_[cur].version = uid_;
+  }
+}
+
 NodeId PDocument::Add(NodeId parent, PNode node) {
-  uid_ = NextUid();
   node.parent = parent;
+  node.detached = false;
   nodes_.push_back(std::move(node));
   const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
   if (parent != kNullNode) nodes_[parent].children.push_back(id);
+  Stamp(id);
+  structure_version_ = uid_;
   return id;
 }
 
@@ -76,8 +104,99 @@ NodeId PDocument::AddExp(NodeId parent, double edge_prob) {
 void PDocument::SetExpDistribution(
     NodeId n, std::vector<std::pair<std::vector<int>, double>> dist) {
   PXV_CHECK(kind(n) == PKind::kExp);
-  uid_ = NextUid();
   nodes_[n].exp_dist = std::move(dist);
+  Stamp(n);
+  dirty_.push_back(n);
+}
+
+void PDocument::SetEdgeProb(NodeId n, double p) {
+  Check(n);
+  nodes_[n].edge_prob = p;
+  Stamp(n);
+  dirty_.push_back(n);
+}
+
+NodeId PDocument::InsertSubtree(NodeId parent, const PDocument& sub,
+                                double edge_prob) {
+  Check(parent);
+  PXV_CHECK(&sub != this) << "cannot insert a document into itself";
+  PXV_CHECK(!sub.empty()) << "empty insert payload";
+  PXV_CHECK(!nodes_[parent].detached) << "insert under a detached node";
+  PXV_CHECK(kind(parent) != PKind::kExp)
+      << "cannot insert under an exp node (subset indices are positional)";
+  // Refresh uid_ and stamp the spine first so the copied nodes below can
+  // all carry the same fresh stamp (every inserted node is new content).
+  Stamp(parent);
+  const uint64_t stamp = uid_;
+  nodes_.reserve(nodes_.size() + sub.size());
+  // Iterative preorder copy preserving child order (exp subsets are
+  // positional) — the same scheme as Subtree(), in the other direction.
+  std::vector<std::pair<NodeId, NodeId>> stack;  // (src in sub, dst here)
+  PNode root_copy = sub.nodes_[sub.root()];
+  root_copy.children.clear();
+  root_copy.edge_prob = edge_prob;
+  root_copy.version = stamp;
+  nodes_.push_back(std::move(root_copy));
+  const NodeId new_root = static_cast<NodeId>(nodes_.size() - 1);
+  nodes_[new_root].parent = parent;
+  nodes_[parent].children.push_back(new_root);
+  stack.emplace_back(sub.root(), new_root);
+  while (!stack.empty()) {
+    const auto [src, dst] = stack.back();
+    stack.pop_back();
+    for (NodeId child : sub.children(src)) {
+      PNode copy = sub.nodes_[child];
+      copy.children.clear();
+      copy.parent = dst;
+      copy.detached = false;
+      copy.version = stamp;
+      nodes_.push_back(std::move(copy));
+      const NodeId nid = static_cast<NodeId>(nodes_.size() - 1);
+      nodes_[dst].children.push_back(nid);
+      stack.emplace_back(child, nid);
+    }
+  }
+  structure_version_ = uid_;
+  dirty_.push_back(new_root);
+  return new_root;
+}
+
+void PDocument::RemoveSubtree(NodeId n) {
+  Check(n);
+  PXV_CHECK(n != root()) << "cannot remove the root";
+  PXV_CHECK(!nodes_[n].detached) << "subtree already detached";
+  const NodeId par = nodes_[n].parent;
+  PXV_CHECK(kind(par) != PKind::kExp)
+      << "cannot remove a child of an exp node (subset indices are positional)";
+  auto& kids = nodes_[par].children;
+  kids.erase(std::find(kids.begin(), kids.end(), n));
+  // Flag the whole subtree: the nodes stay in the arena (ids are never
+  // reused) but every scan must skip them.
+  std::vector<NodeId> stack{n};
+  while (!stack.empty()) {
+    const NodeId cur = stack.back();
+    stack.pop_back();
+    nodes_[cur].detached = true;
+    ++detached_count_;
+    for (NodeId c : nodes_[cur].children) stack.push_back(c);
+  }
+  Stamp(par);
+  structure_version_ = uid_;
+  dirty_.push_back(n);
+}
+
+void PDocument::SetChildOrder(NodeId parent, const std::vector<NodeId>& order) {
+  Check(parent);
+  PXV_CHECK(kind(parent) != PKind::kExp)
+      << "cannot reorder exp children (subset indices are positional)";
+  auto& kids = nodes_[parent].children;
+  PXV_CHECK_EQ(kids.size(), order.size());
+  std::vector<NodeId> a = kids;
+  std::vector<NodeId> b = order;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  PXV_CHECK(a == b) << "SetChildOrder: not a permutation of the child list";
+  kids = order;
 }
 
 const std::vector<std::pair<std::vector<int>, double>>&
@@ -89,7 +208,7 @@ PDocument::exp_distribution(NodeId n) const {
 int PDocument::OrdinaryCount() const {
   int count = 0;
   for (NodeId n = 0; n < size(); ++n) {
-    if (ordinary(n)) ++count;
+    if (ordinary(n) && !nodes_[n].detached) ++count;
   }
   return count;
 }
@@ -103,18 +222,25 @@ NodeId PDocument::OrdinaryAncestor(NodeId n) const {
 
 PDocument PDocument::Subtree(NodeId n) const {
   PXV_CHECK(ordinary(n)) << "p-subdocument roots must be ordinary";
+  PXV_CHECK(!nodes_[n].detached) << "p-subdocument root is detached";
   PDocument out;
-  out.AddRoot(label(n), pid(n));
-  std::vector<std::pair<NodeId, NodeId>> stack{{n, 0}};
-  while (!stack.empty()) {
-    const auto [src, dst] = stack.back();
-    stack.pop_back();
-    for (NodeId child : children(src)) {
-      PNode copy = nodes_[child];
-      copy.children.clear();
-      copy.parent = kNullNode;
-      NodeId nid = out.Add(dst, std::move(copy));
-      stack.emplace_back(child, nid);
+  {
+    // One stamp for the whole copy; the scope closes the batch before the
+    // return so the result never travels with an open batch (a moved-from
+    // document would otherwise keep in_batch_ set when NRVO is off).
+    MutationBatch batch(&out);
+    out.AddRoot(label(n), pid(n));
+    std::vector<std::pair<NodeId, NodeId>> stack{{n, 0}};
+    while (!stack.empty()) {
+      const auto [src, dst] = stack.back();
+      stack.pop_back();
+      for (NodeId child : children(src)) {
+        PNode copy = nodes_[child];
+        copy.children.clear();
+        copy.parent = kNullNode;
+        NodeId nid = out.Add(dst, std::move(copy));
+        stack.emplace_back(child, nid);
+      }
     }
   }
   return out;
@@ -122,7 +248,7 @@ PDocument PDocument::Subtree(NodeId n) const {
 
 NodeId PDocument::FindByPid(PersistentId pid) const {
   for (NodeId n = 0; n < size(); ++n) {
-    if (ordinary(n) && nodes_[n].pid == pid) return n;
+    if (ordinary(n) && !nodes_[n].detached && nodes_[n].pid == pid) return n;
   }
   return kNullNode;
 }
@@ -132,6 +258,7 @@ Status PDocument::Validate() const {
   if (!ordinary(root())) return Status::Error("root must be ordinary");
   for (NodeId n = 0; n < size(); ++n) {
     const PNode& node = nodes_[n];
+    if (node.detached) continue;  // Invisible to the deletion process.
     if (node.edge_prob < 0.0 || node.edge_prob > 1.0) {
       return Status::Error("edge probability out of [0,1] at node " +
                            std::to_string(n));
@@ -204,7 +331,7 @@ std::string PDocument::DebugString() const {
 
 LabelIndex::LabelIndex(const PDocument& pd) {
   for (NodeId n = 0; n < pd.size(); ++n) {
-    if (pd.ordinary(n)) index_[pd.label(n)].push_back(n);
+    if (pd.ordinary(n) && !pd.detached(n)) index_[pd.label(n)].push_back(n);
   }
 }
 

@@ -10,6 +10,17 @@
 //
 // Leaves and the root must be ordinary. The semantics ⟦P̂⟧ is the px-space
 // produced by the random deletion process of §2; see worlds.h / sampler.h.
+//
+// Mutation model (delta updates): documents support post-hoc mutation —
+// InsertSubtree / RemoveSubtree / SetEdgeProb / SetExpDistribution. Every
+// mutation stamps the root-to-change spine with a fresh per-node *subtree
+// version* (version(n) changes iff something in n's subtree changed), which
+// is what incremental evaluation keys its per-subtree memo on (see
+// prob/engine.h SubtreeCache). Removal detaches: the subtree stays in the
+// node arena (ids are never reused, so caches keyed on node ids can never
+// alias) but is flagged `detached` and excluded from traversal, indexing and
+// validation. Mutations grouped in a MutationBatch share one uid/version
+// stamp; unbatched mutations each get their own.
 
 #ifndef PXV_PXML_PDOCUMENT_H_
 #define PXV_PXML_PDOCUMENT_H_
@@ -66,11 +77,91 @@ class PDocument {
     nodes_[Check(n)].children.reserve(children);
   }
 
-  /// Version tag: process-unique until mutated — every structural change
-  /// assigns a fresh value, and copies share the tag until one side
-  /// mutates. Lets evaluation caches key on document identity without
-  /// hashing content (see prob/dist.h EngineBuffers).
+  // ------------------------------------------------------------ mutation ----
+
+  /// Copies the whole of `sub` (root included) as a new child of `parent`,
+  /// preserving labels, kinds, pids, edge probabilities and exp
+  /// distributions; the new subtree root gets `edge_prob`. Stamps the
+  /// root-to-parent spine. Returns the new subtree root. `parent` must not
+  /// be an exp node (subset indices are positional).
+  NodeId InsertSubtree(NodeId parent, const PDocument& sub,
+                       double edge_prob = 1.0);
+
+  /// Detaches the subtree rooted at `n`: unlinks it from its parent's child
+  /// list and flags every node in it `detached`. Detached nodes stay in the
+  /// arena (ids are never reused) but are invisible to traversal, indexes
+  /// and Validate. Stamps the root-to-parent spine. `n` must not be the
+  /// root, and its parent must not be an exp node.
+  void RemoveSubtree(NodeId n);
+
+  /// Overrides the edge probability of `n`. Stamps the root-to-`n` spine
+  /// (the appearance probability of everything below `n` changes).
+  void SetEdgeProb(NodeId n, double p);
+
+  /// True iff `n` was removed by RemoveSubtree (directly or via an
+  /// ancestor).
+  bool detached(NodeId n) const { return nodes_[Check(n)].detached; }
+
+  /// Subtree version stamp of `n`: drawn from the same process-global
+  /// counter as uid(), updated for `n` and all its ancestors on every
+  /// mutation inside `n`'s subtree. Two nodes carry the same stamp only if
+  /// they were stamped by the same event, so version(n) equality across
+  /// document copies implies identical subtree content.
+  uint64_t version(NodeId n) const { return nodes_[Check(n)].version; }
+
+  /// Mutation targets stamped since the last ClearDirtyPaths(): the roots
+  /// of the changed regions (insert → new subtree root, remove → detached
+  /// root, SetEdgeProb/SetExpDistribution → the node). Together with their
+  /// root paths these form the dirty spines incremental consumers patch.
+  const std::vector<NodeId>& dirty_paths() const { return dirty_; }
+  void ClearDirtyPaths() { dirty_.clear(); }
+
+  /// Groups mutations into one batch: uid() and the spine stamps advance
+  /// once for the whole scope instead of once per call. Batches must not
+  /// nest, and the document must not be moved, copied-from-into, or
+  /// returned by value while a batch on it is open (close the scope first —
+  /// a moved document would otherwise carry the open-batch flag while the
+  /// batch destructor resets the dead source).
+  class MutationBatch {
+   public:
+    explicit MutationBatch(PDocument* pd);
+    ~MutationBatch();
+    MutationBatch(const MutationBatch&) = delete;
+    MutationBatch& operator=(const MutationBatch&) = delete;
+
+   private:
+    PDocument* pd_;
+  };
+
+  /// Reorders `parent`'s children to `order` (a permutation of the current
+  /// child list). Sibling order is semantically free in the unordered-tree
+  /// model but fixes traversal order — delta-patched view extensions use it
+  /// to keep the exact construction order a from-scratch build would
+  /// produce. `parent` must not be an exp node. Does not stamp versions
+  /// (content is unchanged).
+  void SetChildOrder(NodeId parent, const std::vector<NodeId>& order);
+
+  /// Version tag: process-unique, refreshed by every mutating call (one
+  /// refresh per MutationBatch scope when batching). A copy initially
+  /// shares the tag with its source — equal tags mean equal content — and
+  /// the tags diverge permanently as soon as either side mutates, so
+  /// evaluation caches keyed on uid (see prob/dist.h EngineBuffers) can
+  /// never serve state computed for the other copy's later contents.
   uint64_t uid() const { return uid_; }
+
+  /// Like uid(), but refreshed only by *structural* changes — node
+  /// additions, InsertSubtree, RemoveSubtree — not by probability edits
+  /// (SetEdgeProb, SetExpDistribution). Derived state that reads only the
+  /// tree shape and labels (the engine's live-slot / frame / projection
+  /// analysis) stays valid across probability-only deltas by keying on
+  /// this instead of uid().
+  uint64_t structure_version() const { return structure_version_; }
+
+  /// Nodes currently flagged detached. Grows monotonically until the
+  /// document is rebuilt — consumers patching documents in place use the
+  /// ratio against size() to decide when compaction (a full rebuild) beats
+  /// further patching.
+  int detached_count() const { return detached_count_; }
 
   NodeId root() const { return nodes_.empty() ? kNullNode : 0; }
   bool empty() const { return nodes_.empty(); }
@@ -89,11 +180,6 @@ class PDocument {
   /// Probability of the edge from `n`'s parent to `n` (meaningful when the
   /// parent is mux or ind; 1.0 otherwise).
   double edge_prob(NodeId n) const { return nodes_[Check(n)].edge_prob; }
-  /// Overrides the edge probability of `n` (parser / generator use).
-  void SetEdgeProb(NodeId n, double p) {
-    uid_ = NextUid();
-    nodes_[Check(n)].edge_prob = p;
-  }
   PersistentId pid(NodeId n) const { return nodes_[Check(n)].pid; }
   const std::vector<std::pair<std::vector<int>, double>>& exp_distribution(
       NodeId n) const;
@@ -124,10 +210,12 @@ class PDocument {
  private:
   struct PNode {
     PKind kind = PKind::kOrdinary;
+    bool detached = false;
     Label label = 0;  // Ordinary nodes only.
     NodeId parent = kNullNode;
     double edge_prob = 1.0;
     PersistentId pid = kNullPid;
+    uint64_t version = 0;  // Subtree version stamp (see version()).
     std::vector<NodeId> children;
     std::vector<std::pair<std::vector<int>, double>> exp_dist;
   };
@@ -137,10 +225,19 @@ class PDocument {
     return n;
   }
   NodeId Add(NodeId parent, PNode node);
+  // Refreshes uid_ (once per open batch) and stamps `n` and every ancestor
+  // with it. Dirty-path recording is each mutation entry point's own job
+  // (construction-time Adds stamp without recording).
+  void Stamp(NodeId n);
   static uint64_t NextUid();
 
   std::vector<PNode> nodes_;
   uint64_t uid_ = NextUid();
+  uint64_t structure_version_ = uid_;
+  int detached_count_ = 0;
+  bool in_batch_ = false;
+  bool batch_stamped_ = false;  // uid_ refreshed for the open batch yet?
+  std::vector<NodeId> dirty_;
 };
 
 /// Label → ordinary-node index over one p-document, built in a single scan.

@@ -29,10 +29,11 @@ struct CopyItem {
   double edge_prob;
 };
 
-void CopySubtree(const PDocument& pd, NodeId src, PDocument* out,
-                 NodeId dst_parent, double edge_prob,
-                 const ViewExtensionOptions& options,
-                 PersistentId* marker_pid, std::vector<CopyItem>* stack_buf) {
+NodeId CopySubtree(const PDocument& pd, NodeId src, PDocument* out,
+                   NodeId dst_parent, double edge_prob,
+                   const ViewExtensionOptions& options,
+                   PersistentId* marker_pid, std::vector<CopyItem>* stack_buf) {
+  NodeId copy_root = kNullNode;
   std::vector<CopyItem>& stack = *stack_buf;
   stack.clear();
   stack.push_back({src, dst_parent, edge_prob});
@@ -65,45 +66,151 @@ void CopySubtree(const PDocument& pd, NodeId src, PDocument* out,
       dst = out->AddDistributional(item.dst_parent, pd.kind(item.src),
                                    item.edge_prob);
     }
+    if (item.src == src) copy_root = dst;
     const auto& kids = pd.children(item.src);
     for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
       stack.push_back({*it, dst, pd.edge_prob(*it)});
     }
   }
+  return copy_root;
+}
+
+// The ind bundling node of an extension (single child of the root).
+NodeId ExtensionIndNode(const PDocument& ext) {
+  const auto& root_kids = ext.children(ext.root());
+  PXV_CHECK_EQ(root_kids.size(), 1u);
+  PXV_CHECK(ext.kind(root_kids[0]) == PKind::kInd);
+  return root_kids[0];
 }
 
 }  // namespace
 
+MaterializedView BuildMaterializedView(const PDocument& pd,
+                                       std::string_view view_name,
+                                       const std::vector<ViewResultEntry>& results,
+                                       const ViewExtensionOptions& options) {
+  MaterializedView view;
+  PDocument& ext = view.ext;
+  {
+    // One version stamp for the whole construction (amortizes the per-node
+    // spine stamping of the mutation model); the scope closes the batch
+    // before the return so the result never travels with an open batch.
+    PDocument::MutationBatch batch(&ext);
+    // Extension-local nodes (root, ind, markers, copies) get fresh negative
+    // pids so they can never collide with original persistent ids.
+    const NodeId root = ext.AddRoot(DocLabel(view_name), /*pid=*/-1);
+    const NodeId ind = ext.AddDistributional(root, PKind::kInd);
+    // Size hint: result subtrees can jointly cover the whole source document
+    // (and may overlap, so this is a heuristic, not a bound), and with id
+    // markers every copied ordinary node gains one marker child.
+    ext.Reserve(pd.size() * (options.add_id_markers ? 2 : 1) + 2);
+    std::vector<CopyItem> stack;  // Shared across entries: one allocation.
+    view.results = results;
+    view.ext_roots.reserve(results.size());
+    view.versions.reserve(results.size());
+    for (const auto& entry : results) {
+      PXV_CHECK(pd.ordinary(entry.node))
+          << "view results must be ordinary nodes";
+      view.ext_roots.push_back(CopySubtree(pd, entry.node, &ext, ind,
+                                           entry.prob, options,
+                                           &view.next_marker_pid, &stack));
+      view.versions.push_back(pd.version(entry.node));
+    }
+  }
+  ext.ClearDirtyPaths();  // Construction is not a delta.
+  return view;
+}
+
 PDocument BuildViewExtension(const PDocument& pd, std::string_view view_name,
                              const std::vector<ViewResultEntry>& results,
                              const ViewExtensionOptions& options) {
-  PDocument ext;
-  // Extension-local nodes (root, ind, markers, copies) get fresh negative
-  // pids so they can never collide with original persistent ids.
-  const NodeId root = ext.AddRoot(DocLabel(view_name), /*pid=*/-1);
-  const NodeId ind = ext.AddDistributional(root, PKind::kInd);
-  // Size hint: result subtrees can jointly cover the whole source document
-  // (and may overlap, so this is a heuristic, not a bound), and with id
-  // markers every copied ordinary node gains one marker child.
-  ext.Reserve(pd.size() * (options.add_id_markers ? 2 : 1) + 2);
-  PersistentId marker_pid = -1000;
-  std::vector<CopyItem> stack;  // Shared across entries: one allocation.
-  for (const auto& entry : results) {
-    PXV_CHECK(pd.ordinary(entry.node))
-        << "view results must be ordinary nodes";
-    CopySubtree(pd, entry.node, &ext, ind, entry.prob, options, &marker_pid,
-                &stack);
+  return BuildMaterializedView(pd, view_name, results, options).ext;
+}
+
+ExtensionDeltaStats BuildViewExtensionDelta(
+    const PDocument& pd, const std::vector<ViewResultEntry>& new_results,
+    MaterializedView* view, const ViewExtensionOptions& options) {
+  ExtensionDeltaStats stats;
+  PDocument& ext = view->ext;
+  PDocument::MutationBatch batch(&ext);
+  const NodeId ind = ExtensionIndNode(ext);
+  std::vector<NodeId> new_roots;
+  std::vector<uint64_t> new_versions;
+  new_roots.reserve(new_results.size());
+  new_versions.reserve(new_results.size());
+  std::vector<CopyItem> stack;
+  // Both result lists ascend by source node id, so one two-pointer sweep
+  // classifies every entry; only changed entries touch the extension.
+  size_t i = 0, j = 0;
+  while (i < view->results.size() || j < new_results.size()) {
+    const bool take_old = j >= new_results.size() ||
+                          (i < view->results.size() &&
+                           view->results[i].node < new_results[j].node);
+    const bool take_new = i >= view->results.size() ||
+                          (j < new_results.size() &&
+                           new_results[j].node < view->results[i].node);
+    if (take_old) {
+      ext.RemoveSubtree(view->ext_roots[i]);
+      ++stats.removed;
+      ++i;
+      continue;
+    }
+    if (take_new) {
+      new_roots.push_back(CopySubtree(pd, new_results[j].node, &ext, ind,
+                                      new_results[j].prob, options,
+                                      &view->next_marker_pid, &stack));
+      new_versions.push_back(pd.version(new_results[j].node));
+      ++stats.inserted;
+      ++j;
+      continue;
+    }
+    // Same source node on both sides.
+    const NodeId node = new_results[j].node;
+    const uint64_t version = pd.version(node);
+    if (version != view->versions[i]) {
+      // The source subtree itself mutated: the copy must be redone.
+      ext.RemoveSubtree(view->ext_roots[i]);
+      new_roots.push_back(CopySubtree(pd, node, &ext, ind,
+                                      new_results[j].prob, options,
+                                      &view->next_marker_pid, &stack));
+      ++stats.replaced;
+    } else if (new_results[j].prob != view->results[i].prob) {
+      // Subtree intact, anchored probability changed: one edge update.
+      ext.SetEdgeProb(view->ext_roots[i], new_results[j].prob);
+      new_roots.push_back(view->ext_roots[i]);
+      ++stats.reprob;
+    } else {
+      new_roots.push_back(view->ext_roots[i]);
+      ++stats.kept;
+    }
+    new_versions.push_back(version);
+    ++i;
+    ++j;
   }
-  return ext;
+  // Restore the exact sibling order a from-scratch build would produce
+  // (ascending source node id): answers evaluated over the patched
+  // extension then match a rebuild bit for bit.
+  ext.SetChildOrder(ind, new_roots);
+  ext.ClearDirtyPaths();
+  view->results = new_results;
+  view->ext_roots = std::move(new_roots);
+  view->versions = std::move(new_versions);
+  return stats;
+}
+
+const PDocument* ExtensionSet::Find(std::string_view name) const {
+  if (owned_ != nullptr) {
+    const auto it = owned_->find(name);
+    return it == owned_->end() ? nullptr : &it->second;
+  }
+  const auto it = shared_->find(name);
+  return it == shared_->end() ? nullptr : it->second.get();
 }
 
 std::vector<NodeId> ExtensionResultRoots(const PDocument& ext) {
   std::vector<NodeId> roots;
   if (ext.empty()) return roots;
-  const auto& root_kids = ext.children(ext.root());
-  PXV_CHECK_EQ(root_kids.size(), 1u);
-  PXV_CHECK(ext.kind(root_kids[0]) == PKind::kInd);
-  for (NodeId c : ext.children(root_kids[0])) roots.push_back(c);
+  for (NodeId c : ext.children(ExtensionIndNode(ext))) roots.push_back(c);
   return roots;
 }
 

@@ -16,7 +16,9 @@
 #ifndef PXV_PXML_VIEW_EXTENSION_H_
 #define PXV_PXML_VIEW_EXTENSION_H_
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -46,6 +48,69 @@ PDocument BuildViewExtension(const PDocument& pd, std::string_view view_name,
 
 /// The set D^P̂_V: one extension per view name.
 using ViewExtensions = std::map<std::string, PDocument, std::less<>>;
+
+/// Snapshot form of the set: per-view shared ownership, so publishing a new
+/// snapshot after a delta update shares the untouched extensions instead of
+/// copying them (see serve/document_store.h).
+using SharedExtensions =
+    std::map<std::string, std::shared_ptr<const PDocument>, std::less<>>;
+
+/// Non-owning name → extension lookup over either representation. The
+/// execution layer (rewrite/planner, rewrite/tpi_rewrite) reads extensions
+/// exclusively through this seam, so owned sets (Rewriter::Materialize) and
+/// shared snapshots (DocumentStore) serve the same plans. Implicitly
+/// constructible from both — existing ViewExtensions call sites just work.
+class ExtensionSet {
+ public:
+  ExtensionSet(const ViewExtensions& owned) : owned_(&owned) {}      // NOLINT
+  ExtensionSet(const SharedExtensions& shared) : shared_(&shared) {} // NOLINT
+
+  /// The named extension, or nullptr when absent.
+  const PDocument* Find(std::string_view name) const;
+  bool Has(std::string_view name) const { return Find(name) != nullptr; }
+
+ private:
+  const ViewExtensions* owned_ = nullptr;
+  const SharedExtensions* shared_ = nullptr;
+};
+
+/// A view extension together with the bookkeeping that makes it patchable:
+/// the result entries it was built from (ascending source node id, the
+/// engine's order), each entry's subtree root inside `ext`, and the source
+/// subtree version captured at copy time (stale ⇒ the copy must be redone).
+struct MaterializedView {
+  PDocument ext;
+  std::vector<ViewResultEntry> results;
+  std::vector<NodeId> ext_roots;
+  std::vector<uint64_t> versions;
+  PersistentId next_marker_pid = -1000;  // Continues across patches.
+};
+
+/// BuildViewExtension plus the patch bookkeeping.
+MaterializedView BuildMaterializedView(
+    const PDocument& pd, std::string_view view_name,
+    const std::vector<ViewResultEntry>& results,
+    const ViewExtensionOptions& options = {});
+
+/// What one delta patch did (observability; also exercised by tests).
+struct ExtensionDeltaStats {
+  int kept = 0;      ///< Result untouched (same subtree, same probability).
+  int reprob = 0;    ///< Only the anchored probability changed (one
+                     ///< SetEdgeProb on the copy's root).
+  int replaced = 0;  ///< Source subtree mutated: copy removed and redone.
+  int inserted = 0;  ///< New result node.
+  int removed = 0;   ///< Result node no longer selected.
+};
+
+/// Patches `view` in place so it equals BuildMaterializedView(pd, name,
+/// new_results, options) — same result subtrees, same anchored
+/// probabilities, same sibling order under the ind node (detached tombstones
+/// and node-id layout excepted) — touching only the changed entries:
+/// O(|delta|) instead of O(|P̂_v|). `new_results` must be ascending by node,
+/// and `options` must match the ones the view was built with.
+ExtensionDeltaStats BuildViewExtensionDelta(
+    const PDocument& pd, const std::vector<ViewResultEntry>& new_results,
+    MaterializedView* view, const ViewExtensionOptions& options = {});
 
 /// Top-level result subtree roots of an extension (the children of the ind
 /// node), in construction order — one per ViewResultEntry.

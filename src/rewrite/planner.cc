@@ -74,16 +74,16 @@ QueryPlan CompileQuery(const Pattern& q, const std::vector<NamedView>& views,
 }
 
 std::optional<double> EstimateCost(const AnswerPlan& plan,
-                                   const ViewExtensions& exts) {
+                                   const ExtensionSet& exts) {
   for (const std::string& v : plan.required_views) {
-    if (exts.find(v) == exts.end()) return std::nullopt;
+    if (!exts.Has(v)) return std::nullopt;
   }
   if (plan.kind == AnswerPlan::Kind::kTp) {
-    return TpCost(plan.tp, exts.at(plan.tp.view_name));
+    return TpCost(plan.tp, *exts.Find(plan.tp.view_name));
   }
   double cost = 0;
   for (const TpiMember& m : plan.tpi.members) {
-    const PDocument& ext = exts.at(m.view_name);
+    const PDocument& ext = *exts.Find(m.view_name);
     cost += static_cast<double>(m.plan.size()) *
             static_cast<double>(ext.size());
     if (m.compensated && m.computable) cost += TpCost(m.section4, ext);
@@ -91,7 +91,7 @@ std::optional<double> EstimateCost(const AnswerPlan& plan,
   return cost;
 }
 
-int SelectPlan(const QueryPlan& plan, const ViewExtensions& exts) {
+int SelectPlan(const QueryPlan& plan, const ExtensionSet& exts) {
   int best = -1;
   double best_cost = 0;
   for (size_t i = 0; i < plan.candidates.size(); ++i) {
@@ -106,14 +106,14 @@ int SelectPlan(const QueryPlan& plan, const ViewExtensions& exts) {
 }
 
 std::optional<std::vector<PidProb>> ExecuteQueryPlan(const QueryPlan& plan,
-                                                     const ViewExtensions& exts,
+                                                     const ExtensionSet& exts,
                                                      int* chosen) {
   const int pick = SelectPlan(plan, exts);
   if (chosen != nullptr) *chosen = pick;
   if (pick < 0) return std::nullopt;
   const AnswerPlan& cand = plan.candidates[pick];
   if (cand.kind == AnswerPlan::Kind::kTp) {
-    return ExecuteTpRewriting(cand.tp, exts.at(cand.tp.view_name));
+    return ExecuteTpRewriting(cand.tp, *exts.Find(cand.tp.view_name));
   }
   return ExecuteTpiRewriting(cand.tpi, exts);
 }

@@ -45,7 +45,7 @@ struct AnswerPlan {
   TpiRewriting tpi; ///< Valid iff kind == kTpi.
 
   /// Names of the view extensions the plan reads. The plan is executable
-  /// against a ViewExtensions set iff all of them are present.
+  /// against an extension set iff all of them are present.
   std::vector<std::string> required_views;
 
   /// One-line description for logs and tools.
@@ -78,19 +78,21 @@ QueryPlan CompileQuery(const Pattern& q, const std::vector<NamedView>& views,
                        const CompileOptions& options = {});
 
 /// Estimated execution cost of `plan` over `exts`; nullopt when a required
-/// extension is missing (the plan is not executable right now).
+/// extension is missing (the plan is not executable right now). Extensions
+/// are read through the ExtensionSet seam (pxml/view_extension.h), so owned
+/// sets and shared snapshots both serve.
 std::optional<double> EstimateCost(const AnswerPlan& plan,
-                                   const ViewExtensions& exts);
+                                   const ExtensionSet& exts);
 
 /// Index of the cheapest executable candidate, or -1 when none is.
-int SelectPlan(const QueryPlan& plan, const ViewExtensions& exts);
+int SelectPlan(const QueryPlan& plan, const ExtensionSet& exts);
 
 /// Executes the cheapest executable candidate. Returns nullopt when the
 /// query has no rewriting *or* none of its candidates can run over `exts`
 /// (never crashes on a missing extension). `chosen`, when non-null,
 /// receives the executed candidate's index (-1 on nullopt).
 std::optional<std::vector<PidProb>> ExecuteQueryPlan(
-    const QueryPlan& plan, const ViewExtensions& exts, int* chosen = nullptr);
+    const QueryPlan& plan, const ExtensionSet& exts, int* chosen = nullptr);
 
 }  // namespace pxv
 

@@ -83,7 +83,7 @@ QueryPlan Rewriter::Compile(const Pattern& q) const {
 }
 
 std::optional<std::vector<PidProb>> Rewriter::Answer(
-    const Pattern& q, const ViewExtensions& exts) const {
+    const Pattern& q, const ExtensionSet& exts) const {
   // Staged compile: one-shot callers should not pay the worst-case
   // exponential TPIrewrite search when a TP candidate can already serve.
   // (The serve layer's plan cache full-compiles instead — pay once, keep

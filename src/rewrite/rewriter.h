@@ -65,7 +65,7 @@ class Rewriter {
   /// the next candidate, not a crash. Returns nullopt when q has no
   /// rewriting or none of its candidates can run over `exts`.
   std::optional<std::vector<PidProb>> Answer(const Pattern& q,
-                                             const ViewExtensions& exts) const;
+                                             const ExtensionSet& exts) const;
 
  private:
   std::vector<NamedView> views_;

@@ -73,12 +73,12 @@ TpiMember BuildCompensatedMember(const NamedView& nv, const Pattern& q,
 
 // Deterministic pid retrieval for one member over its extension.
 std::set<PersistentId> RetrievePids(const TpiMember& member,
-                                    const ViewExtensions& exts) {
-  auto it = exts.find(member.view_name);
-  PXV_CHECK(it != exts.end()) << "missing extension " << member.view_name;
+                                    const ExtensionSet& exts) {
+  const PDocument* ext = exts.Find(member.view_name);
+  PXV_CHECK(ext != nullptr) << "missing extension " << member.view_name;
   std::set<PersistentId> pids;
-  for (const NodeProb& np : EvaluateTP(it->second, member.plan)) {
-    pids.insert(it->second.pid(np.node));
+  for (const NodeProb& np : EvaluateTP(*ext, member.plan)) {
+    pids.insert(ext->pid(np.node));
   }
   return pids;
 }
@@ -208,7 +208,7 @@ std::string TpiProvenance::ToString() const {
 }
 
 std::vector<PidProb> ExecuteTpiRewriting(const TpiRewriting& rw,
-                                         const ViewExtensions& exts,
+                                         const ExtensionSet& exts,
                                          std::vector<TpiProvenance>* provenance) {
   PXV_CHECK(!rw.members.empty());
   // Deterministic retrieval: intersect the members' pid sets.
@@ -226,7 +226,7 @@ std::vector<PidProb> ExecuteTpiRewriting(const TpiRewriting& rw,
       rw.computable_index.size());
   for (size_t ci = 0; ci < rw.computable_index.size(); ++ci) {
     const TpiMember& member = rw.members[rw.computable_index[ci]];
-    const PDocument& ext = exts.at(member.view_name);
+    const PDocument& ext = *exts.Find(member.view_name);
     if (!member.compensated) {
       for (NodeId r : ExtensionResultRoots(ext)) {
         member_probs[ci][ext.pid(r)] = ext.edge_prob(r);
@@ -278,13 +278,13 @@ std::vector<PidProb> ExecuteTpiRewriting(const TpiRewriting& rw,
 
 std::vector<PidProb> ExecuteProductRewriting(
     const std::vector<NamedView>& views, const std::vector<int>& subset,
-    int lemma3_index, const ViewExtensions& exts) {
+    int lemma3_index, const ExtensionSet& exts) {
   PXV_CHECK(!subset.empty());
   // Candidates: pids selected by every view.
   std::set<PersistentId> pids;
   bool first = true;
   for (int i : subset) {
-    const PDocument& ext = exts.at(views[i].name);
+    const PDocument& ext = *exts.Find(views[i].name);
     std::set<PersistentId> selected;
     for (NodeId r : ExtensionResultRoots(ext)) selected.insert(ext.pid(r));
     if (first) {
@@ -303,11 +303,11 @@ std::vector<PidProb> ExecuteProductRewriting(
   for (const PersistentId pid : pids) {
     double product = 1;
     for (int i : subset) {
-      product *= ResultRootBeta(exts.at(views[i].name), pid);
+      product *= ResultRootBeta(*exts.Find(views[i].name), pid);
     }
     // Lemma 3: Pr(n ∈ P) read off the mb(q)-containing view's β.
     const double appearance =
-        ResultRootBeta(exts.at(views[lemma3_index].name), pid);
+        ResultRootBeta(*exts.Find(views[lemma3_index].name), pid);
     if (appearance <= kProbEps) continue;
     for (int j = 0; j < m - 1; ++j) product /= appearance;
     if (product > kProbEps) result.push_back({pid, product});

@@ -82,14 +82,14 @@ struct TpiProvenance {
 /// coefficient product. Extensions must contain every member's view_name.
 /// When `provenance` is non-null, one entry per answer is appended.
 std::vector<PidProb> ExecuteTpiRewriting(
-    const TpiRewriting& rw, const ViewExtensions& exts,
+    const TpiRewriting& rw, const ExtensionSet& exts,
     std::vector<TpiProvenance>* provenance = nullptr);
 
 /// Executes the Theorem 3 product formula directly for a pairwise
 /// c-independent subset; `lemma3_index` names the member with mb(q) ⊑ v.
 std::vector<PidProb> ExecuteProductRewriting(
     const std::vector<NamedView>& views, const std::vector<int>& subset,
-    int lemma3_index, const ViewExtensions& exts);
+    int lemma3_index, const ExtensionSet& exts);
 
 }  // namespace pxv
 

@@ -1,0 +1,523 @@
+#include "serve/document_store.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace pxv {
+
+DocMutation DocMutation::InsertSubtree(PersistentId parent, PDocument sub,
+                                       double prob) {
+  DocMutation m;
+  m.kind = Kind::kInsertSubtree;
+  m.target = parent;
+  m.subtree = std::move(sub);
+  m.prob = prob;
+  return m;
+}
+
+DocMutation DocMutation::RemoveSubtree(PersistentId target) {
+  DocMutation m;
+  m.kind = Kind::kRemoveSubtree;
+  m.target = target;
+  return m;
+}
+
+DocMutation DocMutation::SetEdgeProb(PersistentId target, double prob) {
+  DocMutation m;
+  m.kind = Kind::kSetEdgeProb;
+  m.target = target;
+  m.prob = prob;
+  return m;
+}
+
+DocMutation DocMutation::SetExpDistribution(
+    PersistentId target, int child_index,
+    std::vector<std::pair<std::vector<int>, double>> dist) {
+  DocMutation m;
+  m.kind = Kind::kSetExpDistribution;
+  m.target = target;
+  m.dist_child_index = child_index;
+  m.exp_dist = std::move(dist);
+  return m;
+}
+
+DocumentStore::DocumentStore(ViewServer* server, DocumentStoreOptions options)
+    : server_(server), options_(options) {
+  PXV_CHECK(server_ != nullptr);
+  if (options_.incremental) options_.eval.cache_subtrees = true;
+}
+
+std::shared_ptr<DocumentStore::DocState> DocumentStore::FindState(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(docs_mu_);
+  const auto it = docs_.find(name);
+  return it == docs_.end() ? nullptr : it->second;
+}
+
+Status DocumentStore::Put(const std::string& name, PDocument doc) {
+  Status valid = doc.Validate();
+  if (!valid.ok()) return valid;
+  auto state = std::make_shared<DocState>();
+  state->doc = std::move(doc);
+  state->doc.ClearDirtyPaths();
+  state->session = std::make_unique<EvalSession>(state->doc, options_.eval);
+  for (const NamedView& v : server_->rewriter().views()) {
+    state->views[v.name];  // Fresh ViewState: dirty, nothing materialized.
+  }
+  MaterializeLocked(state.get());  // Exclusive: nothing else sees it yet.
+  // Publish, serialized with concurrent writers of a replaced document:
+  // taking the old state's write mutex before the swap keeps the promised
+  // per-document Put/Apply/MaterializeIncremental ordering — an Apply
+  // either completes before the replacement or observes the new document.
+  for (;;) {
+    std::shared_ptr<DocState> old = FindState(name);
+    if (old == nullptr) {
+      std::lock_guard<std::mutex> lock(docs_mu_);
+      if (docs_.find(name) != docs_.end()) continue;  // Raced another Put.
+      docs_[name] = std::move(state);
+      return Status::Ok();
+    }
+    std::lock_guard<std::mutex> write_lock(old->mu);
+    std::lock_guard<std::mutex> lock(docs_mu_);
+    if (docs_.find(name) == docs_.end() || docs_[name] != old) continue;
+    docs_[name] = std::move(state);  // Old state dies with its readers.
+    return Status::Ok();
+  }
+}
+
+Status DocumentStore::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(docs_mu_);
+  return docs_.erase(name) > 0
+             ? Status::Ok()
+             : Status::Error("no document named " + name);
+}
+
+std::vector<std::string> DocumentStore::Names() const {
+  std::vector<std::string> names;
+  std::lock_guard<std::mutex> lock(docs_mu_);
+  names.reserve(docs_.size());
+  for (const auto& [name, state] : docs_) names.push_back(name);
+  return names;
+}
+
+// Complete validity precheck for one mutation against the current document
+// state: when it passes, applying the mutation is guaranteed to succeed AND
+// to leave the document valid (Definition 1) — mutations only perturb the
+// document locally, so checking the mutated neighborhood is exhaustive.
+// This is what lets the single-mutation write path skip both the rollback
+// copy and the O(|P̂|) re-validation.
+Status DocumentStore::PrecheckOne(const PDocument& doc, const DocMutation& m,
+                                  NodeId* out_node) {
+  const NodeId target = doc.FindByPid(m.target);
+  if (target == kNullNode) {
+    return Status::Error("no ordinary node with pid " +
+                         std::to_string(m.target));
+  }
+  NodeId node = target;
+  if (m.dist_child_index >= 0) {
+    const auto& kids = doc.children(target);
+    if (m.dist_child_index >= static_cast<int>(kids.size())) {
+      return Status::Error("dist_child_index out of range at pid " +
+                           std::to_string(m.target));
+    }
+    node = kids[m.dist_child_index];
+  }
+  *out_node = node;
+  // Sum of sibling edge probabilities under a mux parent, excluding
+  // `except` (kNullNode to include everyone).
+  const auto mux_sum = [&doc](NodeId mux, NodeId except) {
+    double sum = 0;
+    for (NodeId c : doc.children(mux)) {
+      if (c != except) sum += doc.edge_prob(c);
+    }
+    return sum;
+  };
+  switch (m.kind) {
+    case DocMutation::Kind::kInsertSubtree: {
+      if (m.subtree.empty()) return Status::Error("empty insert payload");
+      Status payload = m.subtree.Validate();
+      if (!payload.ok()) return payload;
+      // Persistent ids must stay unique across the whole document — the §4
+      // restricted plans and every pid-addressed path (mutation targeting,
+      // TP∩ joins, answer keys) rely on it. Reject colliding payloads
+      // instead of silently aliasing nodes. One scan of each side keeps
+      // the check O(|doc| + |payload|).
+      {
+        std::set<PersistentId> doc_pids;
+        for (NodeId n = 0; n < doc.size(); ++n) {
+          if (doc.ordinary(n) && !doc.detached(n)) doc_pids.insert(doc.pid(n));
+        }
+        std::set<PersistentId> seen;
+        for (NodeId n = 0; n < m.subtree.size(); ++n) {
+          if (!m.subtree.ordinary(n)) continue;
+          const PersistentId pid = m.subtree.pid(n);
+          if (!seen.insert(pid).second) {
+            return Status::Error("insert payload repeats pid " +
+                                 std::to_string(pid));
+          }
+          if (doc_pids.count(pid) > 0) {
+            return Status::Error(
+                "insert payload pid " + std::to_string(pid) +
+                " already exists in the document (give payload nodes fresh "
+                "pids, e.g. label#pid)");
+          }
+        }
+      }
+      switch (doc.kind(node)) {
+        case PKind::kExp:
+          return Status::Error("cannot insert under an exp node");
+        case PKind::kOrdinary:
+        case PKind::kDet:
+          if (m.prob != 1.0) {
+            return Status::Error(
+                "child of ordinary/det node must have edge probability 1");
+          }
+          break;
+        case PKind::kMux:
+          if (m.prob < 0.0 || mux_sum(node, kNullNode) + m.prob > 1.0 + 1e-9) {
+            return Status::Error("insert would overflow the mux budget");
+          }
+          break;
+        case PKind::kInd:
+          if (m.prob < 0.0 || m.prob > 1.0) {
+            return Status::Error("edge probability out of [0,1]");
+          }
+          break;
+      }
+      return Status::Ok();
+    }
+    case DocMutation::Kind::kRemoveSubtree: {
+      if (node == doc.root()) return Status::Error("cannot remove the root");
+      const NodeId par = doc.parent(node);
+      if (doc.kind(par) == PKind::kExp) {
+        return Status::Error("cannot remove a child of an exp node");
+      }
+      if (!doc.ordinary(par) && doc.children(par).size() == 1) {
+        return Status::Error("removal would leave a distributional leaf");
+      }
+      return Status::Ok();
+    }
+    case DocMutation::Kind::kSetEdgeProb: {
+      if (m.prob < 0.0 || m.prob > 1.0) {
+        return Status::Error("edge probability out of [0,1]");
+      }
+      const NodeId par = doc.parent(node);
+      if (par != kNullNode) {
+        if ((doc.ordinary(par) || doc.kind(par) == PKind::kDet) &&
+            m.prob != 1.0) {
+          return Status::Error(
+              "child of ordinary/det node must have edge probability 1");
+        }
+        if (doc.kind(par) == PKind::kMux &&
+            mux_sum(par, node) + m.prob > 1.0 + 1e-9) {
+          return Status::Error("edge probability would overflow the mux");
+        }
+      }
+      return Status::Ok();
+    }
+    case DocMutation::Kind::kSetExpDistribution: {
+      if (doc.kind(node) != PKind::kExp) {
+        return Status::Error("SetExpDistribution target is not an exp node");
+      }
+      const int kids = static_cast<int>(doc.children(node).size());
+      double sum = 0;
+      for (const auto& [subset, p] : m.exp_dist) {
+        if (p < 0.0 || p > 1.0) {
+          return Status::Error("exp probability out of range");
+        }
+        sum += p;
+        for (int idx : subset) {
+          if (idx < 0 || idx >= kids) {
+            return Status::Error("exp subset index out of range");
+          }
+        }
+      }
+      if (sum > 1.0 + 1e-9) {
+        return Status::Error("exp distribution sums to > 1");
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Error("unknown mutation kind");
+}
+
+// Applies a prechecked mutation; cannot fail.
+void DocumentStore::ApplyChecked(PDocument* doc, const DocMutation& m,
+                                 NodeId node) {
+  switch (m.kind) {
+    case DocMutation::Kind::kInsertSubtree:
+      doc->InsertSubtree(node, m.subtree, m.prob);
+      return;
+    case DocMutation::Kind::kRemoveSubtree:
+      doc->RemoveSubtree(node);
+      return;
+    case DocMutation::Kind::kSetEdgeProb:
+      doc->SetEdgeProb(node, m.prob);
+      return;
+    case DocMutation::Kind::kSetExpDistribution:
+      doc->SetExpDistribution(node, m.exp_dist);
+      return;
+  }
+}
+
+Status DocumentStore::ApplyOne(DocState* state, const DocMutation& m) {
+  NodeId node = kNullNode;
+  Status s = PrecheckOne(state->doc, m, &node);
+  if (!s.ok()) return s;
+  ApplyChecked(&state->doc, m, node);
+  return Status::Ok();
+}
+
+void DocumentStore::CollectLabels(const PDocument& doc, NodeId root,
+                                  std::set<Label>* out) {
+  std::vector<NodeId> stack{root};
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (doc.ordinary(n)) out->insert(doc.label(n));
+    for (NodeId c : doc.children(n)) stack.push_back(c);
+  }
+}
+
+namespace {
+
+bool PatternUsesAnyLabel(const Pattern& p, const std::set<Label>& labels) {
+  for (PNodeId n = 0; n < p.size(); ++n) {
+    if (labels.count(p.label(n)) > 0) return true;
+  }
+  return false;
+}
+
+// Labels of the ordinary ancestors-or-self of `n` (the nodes whose view
+// extension copies would contain a change at `n`).
+void CollectAncestorLabels(const PDocument& doc, NodeId n,
+                           std::set<Label>* out) {
+  for (NodeId cur = n; cur != kNullNode; cur = doc.parent(cur)) {
+    if (doc.ordinary(cur)) out->insert(doc.label(cur));
+  }
+}
+
+}  // namespace
+
+StatusOr<uint64_t> DocumentStore::Apply(const std::string& name,
+                                        const std::vector<DocMutation>& batch) {
+  std::shared_ptr<DocState> state;
+  std::unique_lock<std::mutex> lock;
+  // Writers must hold the mutex of the state that is *currently*
+  // registered: a concurrent Put/Drop may replace the entry while this
+  // thread waits on the old state's mutex, and committing into an orphaned
+  // state would silently lose the batch.
+  for (;;) {
+    state = FindState(name);
+    if (state == nullptr) return Status::Error("no document named " + name);
+    lock = std::unique_lock<std::mutex>(state->mu);
+    if (FindState(name) == state) break;
+  }
+  // Transactional, two regimes:
+  //   * one mutation — precheck, then apply. PrecheckOne is a complete
+  //     validity check, so nothing is staged before the only point of
+  //     failure: no rollback copy, no O(|P̂|) re-validation (the serving
+  //     write path stays O(|delta| + pid lookup));
+  //   * several mutations — later mutations may depend on earlier ones, so
+  //     prechecks run against the staged state and a failure mid-batch
+  //     restores a rollback copy bit for bit (versions included, keeping
+  //     evaluation caches consistent with the restored contents).
+  state->doc.ClearDirtyPaths();
+  Status failed = Status::Ok();
+  if (batch.size() == 1) {
+    PDocument::MutationBatch scope(&state->doc);
+    failed = ApplyOne(state.get(), batch[0]);
+  } else {
+    PDocument backup = state->doc;
+    {
+      PDocument::MutationBatch scope(&state->doc);
+      for (const DocMutation& m : batch) {
+        Status s = ApplyOne(state.get(), m);
+        if (!s.ok()) {
+          failed = s;
+          break;
+        }
+      }
+    }
+    if (failed.ok()) failed = state->doc.Validate();
+    if (!failed.ok()) state->doc = std::move(backup);
+  }
+  if (!failed.ok()) {
+    rejected_batches_.fetch_add(1, std::memory_order_relaxed);
+    return failed;
+  }
+  // Label-overlap dirtiness. A batch affects a view iff
+  //   (a) some label of the view's pattern occurs in a changed subtree —
+  //       the result set or its probabilities can change (removed content
+  //       included: its labels still hang off the detached roots); or
+  //   (b) the view's *output* label occurs on an ordinary ancestor-or-self
+  //       of a change — the change then sits inside a potential result
+  //       subtree, so the extension's copy of it must be redone even when
+  //       the result probabilities are untouched.
+  std::set<Label> touched;
+  std::set<Label> enclosing;
+  for (NodeId t : state->doc.dirty_paths()) {
+    CollectLabels(state->doc, t, &touched);
+    CollectAncestorLabels(state->doc, t, &enclosing);
+  }
+  state->doc.ClearDirtyPaths();
+  for (const NamedView& v : server_->rewriter().views()) {
+    ViewState& vs = state->views[v.name];
+    if (vs.dirty) continue;
+    if (PatternUsesAnyLabel(v.def, touched) ||
+        enclosing.count(v.def.OutLabel()) > 0) {
+      vs.dirty = true;
+    }
+  }
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  mutations_.fetch_add(static_cast<int64_t>(batch.size()),
+                       std::memory_order_relaxed);
+  return state->doc.uid();
+}
+
+void DocumentStore::MaterializeLocked(DocState* state) {
+  EvalSession& session = *state->session;
+  const auto& views = server_->rewriter().views();
+  // Always prefetch the FULL view set, exactly like Rewriter::Materialize:
+  // views sharing an output label answer from one joint DP pass, and keeping
+  // the grouping identical across materializations keeps the joint passes'
+  // cache signatures stable — that is what lets the engine's subtree memo
+  // serve the unchanged subtrees of the next delta. (Prefetching a clean
+  // view costs nothing extra: it rides the same pass, and its extension is
+  // not touched below.)
+  std::vector<const Pattern*> defs;
+  defs.reserve(views.size());
+  for (const NamedView& v : views) defs.push_back(&v.def);
+  session.PrefetchTP(defs);
+  auto snapshot = std::make_shared<SharedExtensions>();
+  for (const NamedView& v : views) {
+    ViewState& vs = state->views[v.name];
+    if (!vs.dirty && vs.view != nullptr) {
+      (*snapshot)[v.name] = std::shared_ptr<const PDocument>(
+          vs.view, &vs.view->ext);
+      views_clean_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const std::vector<NodeProb>& evaluated = session.EvaluateTP(v.def);
+    std::vector<ViewResultEntry> results;
+    results.reserve(evaluated.size());
+    for (const NodeProb& np : evaluated) {
+      results.push_back({np.node, np.prob});
+    }
+    // Tombstones accumulate in a patched extension; once they outweigh the
+    // live nodes in the chosen patch target, a compacting rebuild is
+    // cheaper than further patching (amortized: one rebuild per ~|P̂_v|
+    // patched nodes).
+    const auto bloated = [](const MaterializedView& mv) {
+      return mv.ext.detached_count() * 2 > mv.ext.size();
+    };
+    std::shared_ptr<MaterializedView> target;
+    if (options_.incremental && vs.view != nullptr) {
+      if (vs.spare != nullptr && vs.spare.use_count() == 1 &&
+          !bloated(*vs.spare)) {
+        // The retired buffer has no readers left: patch it in place (its
+        // own results/versions describe the state it was built from, so
+        // the delta is computed against the right baseline).
+        target = std::move(vs.spare);
+      } else if (!bloated(*vs.view)) {
+        // Readers still hold the retired buffer — fall back to a copy.
+        target = std::make_shared<MaterializedView>(*vs.view);
+      }
+    }
+    if (target != nullptr) {
+      BuildViewExtensionDelta(state->doc, results, target.get(),
+                              options_.extension_options);
+      vs.spare = std::move(vs.view);
+      vs.view = std::move(target);
+      views_patched_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      vs.spare = nullptr;  // Compaction: drop any bloated buffer outright.
+      vs.view = std::make_shared<MaterializedView>(BuildMaterializedView(
+          state->doc, v.name, results, options_.extension_options));
+      views_rebuilt_.fetch_add(1, std::memory_order_relaxed);
+    }
+    vs.dirty = false;
+    (*snapshot)[v.name] =
+        std::shared_ptr<const PDocument>(vs.view, &vs.view->ext);
+  }
+  std::lock_guard<std::mutex> lock(state->snap_mu);
+  state->snapshot = std::move(snapshot);
+}
+
+Status DocumentStore::MaterializeIncremental(const std::string& name) {
+  for (;;) {
+    const std::shared_ptr<DocState> state = FindState(name);
+    if (state == nullptr) return Status::Error("no document named " + name);
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (FindState(name) != state) continue;  // Replaced while waiting.
+    MaterializeLocked(state.get());
+    materializations_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+}
+
+std::vector<std::string> DocumentStore::DirtyViews(
+    const std::string& name) const {
+  std::vector<std::string> dirty;
+  const std::shared_ptr<DocState> state = FindState(name);
+  if (state == nullptr) return dirty;
+  std::lock_guard<std::mutex> lock(state->mu);
+  for (const auto& [view, vs] : state->views) {
+    if (vs.dirty) dirty.push_back(view);
+  }
+  return dirty;
+}
+
+std::shared_ptr<const SharedExtensions> DocumentStore::Snapshot(
+    const std::string& name) const {
+  const std::shared_ptr<DocState> state = FindState(name);
+  if (state == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(state->snap_mu);
+  return state->snapshot;
+}
+
+std::optional<std::vector<PidProb>> DocumentStore::Answer(
+    const std::string& name, const Pattern& q) {
+  const std::shared_ptr<const SharedExtensions> snapshot = Snapshot(name);
+  if (snapshot == nullptr) return std::nullopt;
+  return server_->AnswerWith(q, *snapshot);
+}
+
+std::vector<std::optional<std::vector<PidProb>>> DocumentStore::AnswerAll(
+    const std::string& name, const std::vector<Pattern>& queries) {
+  std::vector<std::optional<std::vector<PidProb>>> results(queries.size());
+  const std::shared_ptr<const SharedExtensions> snapshot = Snapshot(name);
+  if (snapshot == nullptr) return results;
+  server_->pool().ParallelFor(static_cast<int>(queries.size()), [&](int i) {
+    results[i] = server_->AnswerWith(queries[i], *snapshot);
+  });
+  return results;
+}
+
+const PDocument* DocumentStore::Find(const std::string& name) const {
+  const std::shared_ptr<DocState> state = FindState(name);
+  return state == nullptr ? nullptr : &state->doc;
+}
+
+DocumentStoreStats DocumentStore::stats() const {
+  DocumentStoreStats s;
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.mutations = mutations_.load(std::memory_order_relaxed);
+  s.rejected_batches = rejected_batches_.load(std::memory_order_relaxed);
+  s.materializations = materializations_.load(std::memory_order_relaxed);
+  s.views_patched = views_patched_.load(std::memory_order_relaxed);
+  s.views_rebuilt = views_rebuilt_.load(std::memory_order_relaxed);
+  s.views_clean = views_clean_.load(std::memory_order_relaxed);
+  return s;
+}
+
+SubtreeCacheStats DocumentStore::SessionCacheStats(
+    const std::string& name) const {
+  const std::shared_ptr<DocState> state = FindState(name);
+  if (state == nullptr) return {};
+  std::lock_guard<std::mutex> lock(state->mu);
+  return state->session->subtree_cache_stats();
+}
+
+}  // namespace pxv

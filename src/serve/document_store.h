@@ -1,0 +1,228 @@
+// DocumentStore — the versioned document layer under the ViewServer.
+//
+// The paper's serving model (§3.1, §4–§5) materializes view extensions over
+// one immutable p-document. Real probabilistic sources mutate — new results
+// arrive, confidences get revised — so the store owns *named* documents and
+// pushes delta updates through the whole stack:
+//
+//   * mutation batches (pxml/pdocument.h) are applied transactionally: the
+//     batch is validated as a whole and rolled back entirely when any step
+//     or the resulting document is invalid;
+//   * each document keeps one persistent EvalSession whose exact-DP subtree
+//     memo (prob/engine.h SubtreeCache) makes re-evaluation after a batch
+//     cost O(depth × |delta|) region computations instead of O(|P̂|);
+//   * per (document, view) the store tracks dirtiness by label overlap —
+//     a batch can only change a view's results if some label of the view's
+//     pattern occurs in a changed subtree — and MaterializeIncremental
+//     patches only the dirty views' extensions (BuildViewExtensionDelta),
+//     republishing the untouched ones by shared pointer;
+//   * snapshots swap atomically per document: Answer/AnswerAll keep reading
+//     the snapshot they started with while MaterializeIncremental runs, the
+//     same contract ViewServer gives for its own single-document snapshot.
+//
+// Incremental materialization is bit-identical to a from-scratch
+// Materialize over the mutated document: same result sets, same anchored
+// probabilities (down to floating-point rounding), same traversal order of
+// every extension. It falls back to a full per-view rebuild when a view has
+// no previous materialization; the engine-level memo likewise falls back to
+// a full recompute when a mutation shifts the root frame epoch (e.g. the
+// last occurrence of a query label disappeared).
+//
+// Threading: Answer/AnswerAll/Snapshot may be called freely from any
+// thread. Put/Apply/MaterializeIncremental are serialized per document by
+// the store (sessions are single-threaded state); calls for different
+// documents proceed in parallel.
+
+#ifndef PXV_SERVE_DOCUMENT_STORE_H_
+#define PXV_SERVE_DOCUMENT_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "prob/eval_session.h"
+#include "pxml/pdocument.h"
+#include "pxml/view_extension.h"
+#include "serve/view_server.h"
+#include "util/status.h"
+
+namespace pxv {
+
+/// One mutation of a stored document. Targets are addressed by persistent
+/// id (stable across versions), not NodeId (an arena detail).
+struct DocMutation {
+  enum class Kind {
+    kInsertSubtree,        ///< Copy `subtree` as a new child of `target`.
+    kRemoveSubtree,        ///< Detach the subtree rooted at `target`.
+    kSetEdgeProb,          ///< Set `target`'s incoming edge probability.
+    kSetExpDistribution,   ///< Replace an exp node's subset distribution
+                           ///< (exp nodes have no pid — address them via
+                           ///< `target` + `dist_child_index`).
+  };
+  Kind kind = Kind::kSetEdgeProb;
+  PersistentId target = kNullPid;  ///< Ordinary node addressed by pid.
+  /// Exp nodes carry no pid; kSetExpDistribution addresses one as the
+  /// `dist_child_index`-th child of the ordinary node `target`. (Edge
+  /// probabilities never need this: every edge whose probability is free —
+  /// a mux/ind alternative — either enters an ordinary node, which has its
+  /// own pid, or enters a nested distributional node, which this model
+  /// treats as structure, not as an adjustable weight.)
+  int dist_child_index = -1;
+  double prob = 1.0;               ///< Edge probability (insert / setedge).
+  PDocument subtree;               ///< Insert payload.
+  std::vector<std::pair<std::vector<int>, double>> exp_dist;
+
+  /// `sub`'s ordinary nodes must carry pids that do not occur in the
+  /// target document (and are unique within `sub`) — persistent-id
+  /// uniqueness is what every pid-addressed path relies on; colliding
+  /// payloads reject the batch.
+  static DocMutation InsertSubtree(PersistentId parent, PDocument sub,
+                                   double prob = 1.0);
+  static DocMutation RemoveSubtree(PersistentId target);
+  static DocMutation SetEdgeProb(PersistentId target, double prob);
+  static DocMutation SetExpDistribution(
+      PersistentId target, int child_index,
+      std::vector<std::pair<std::vector<int>, double>> dist);
+};
+
+struct DocumentStoreOptions {
+  /// Session options for the per-document evaluation sessions. The store
+  /// forces cache_subtrees = true unless `incremental` is off.
+  EvalOptions eval;
+  /// Passed through to extension building / patching.
+  ViewExtensionOptions extension_options;
+  /// When false, every materialization rebuilds every view from scratch
+  /// (debug / baseline benchmarking).
+  bool incremental = true;
+};
+
+/// Monotonic counters (one consistent snapshot per stats() call).
+struct DocumentStoreStats {
+  int64_t batches = 0;            ///< Successfully applied mutation batches.
+  int64_t mutations = 0;          ///< Mutations inside those batches.
+  int64_t rejected_batches = 0;   ///< Batches rolled back.
+  int64_t materializations = 0;   ///< MaterializeIncremental calls.
+  int64_t views_patched = 0;      ///< Views updated via extension delta.
+  int64_t views_rebuilt = 0;      ///< Views rebuilt from scratch.
+  int64_t views_clean = 0;        ///< Views republished untouched.
+};
+
+class DocumentStore {
+ public:
+  /// The server supplies the view registry, plan cache and stats; it must
+  /// outlive the store. Register views (server->AddView) before Put.
+  explicit DocumentStore(ViewServer* server,
+                         DocumentStoreOptions options = {});
+
+  /// Registers (or replaces) a named document and fully materializes every
+  /// registered view over it. Returns an error when the document is invalid.
+  Status Put(const std::string& name, PDocument doc);
+
+  /// Removes a named document (snapshots already handed out stay valid).
+  Status Drop(const std::string& name);
+
+  std::vector<std::string> Names() const;
+
+  /// Applies `batch` to the named document as one transaction: either every
+  /// mutation applies and the resulting document validates, or the document
+  /// is left exactly as before and an error is returned. On success the
+  /// affected views are marked dirty (label overlap with the changed
+  /// subtrees) and the document's new uid is returned. Extensions are NOT
+  /// refreshed — call MaterializeIncremental (the snapshot keeps serving
+  /// the pre-batch state until then).
+  StatusOr<uint64_t> Apply(const std::string& name,
+                           const std::vector<DocMutation>& batch);
+
+  /// Re-materializes the named document's dirty views — incrementally when
+  /// possible — and atomically publishes a new snapshot. Clean views are
+  /// republished without copying.
+  Status MaterializeIncremental(const std::string& name);
+
+  /// Views currently marked dirty for the named document (empty when the
+  /// name is unknown).
+  std::vector<std::string> DirtyViews(const std::string& name) const;
+
+  /// The named document's current extension snapshot (nullptr when the
+  /// name is unknown). Valid and immutable forever.
+  std::shared_ptr<const SharedExtensions> Snapshot(
+      const std::string& name) const;
+
+  /// Answers q from the named document's current snapshot through the
+  /// server's plan cache. nullopt when the name is unknown, q has no
+  /// rewriting, or no plan candidate is executable.
+  std::optional<std::vector<PidProb>> Answer(const std::string& name,
+                                             const Pattern& q);
+
+  /// Batched serving over one snapshot of the named document.
+  std::vector<std::optional<std::vector<PidProb>>> AnswerAll(
+      const std::string& name, const std::vector<Pattern>& queries);
+
+  /// Read-only access to a stored document (write paths lock internally;
+  /// the reference is only safe while no Apply/Put/Drop runs concurrently).
+  const PDocument* Find(const std::string& name) const;
+
+  DocumentStoreStats stats() const;
+
+  /// Cumulative exact-DP subtree-memo counters of the named document's
+  /// session (zeros when the name is unknown).
+  SubtreeCacheStats SessionCacheStats(const std::string& name) const;
+
+ private:
+  struct ViewState {
+    /// The published materialization (aliased into snapshots). Shared so
+    /// old snapshots keep the extension they reference alive after a newer
+    /// one is published.
+    std::shared_ptr<MaterializedView> view;
+    /// Double buffer: the previously published materialization, reused as
+    /// the patch target once every snapshot referencing it is gone
+    /// (use_count == 1) — steady-state incremental materialization then
+    /// copies nothing at all. When old snapshots are still alive the store
+    /// falls back to copy-on-patch.
+    std::shared_ptr<MaterializedView> spare;
+    bool dirty = true;
+  };
+
+  struct DocState {
+    std::mutex mu;  // Serializes the write path (doc + session + views).
+    PDocument doc;
+    std::unique_ptr<EvalSession> session;
+    std::map<std::string, ViewState, std::less<>> views;
+    mutable std::mutex snap_mu;  // Guards only the snapshot pointer swap.
+    std::shared_ptr<const SharedExtensions> snapshot;
+  };
+
+  std::shared_ptr<DocState> FindState(const std::string& name) const;
+  static Status PrecheckOne(const PDocument& doc, const DocMutation& m,
+                            NodeId* out_node);
+  static void ApplyChecked(PDocument* doc, const DocMutation& m, NodeId node);
+  Status ApplyOne(DocState* state, const DocMutation& m);
+  // Labels of ordinary nodes in the subtree rooted at `root` (detached
+  // subtrees included — removed labels dirty the views that matched them).
+  static void CollectLabels(const PDocument& doc, NodeId root,
+                            std::set<Label>* out);
+  void MaterializeLocked(DocState* state);
+
+  ViewServer* server_;
+  DocumentStoreOptions options_;
+
+  mutable std::mutex docs_mu_;  // Guards the map itself, not the DocStates.
+  std::map<std::string, std::shared_ptr<DocState>, std::less<>> docs_;
+
+  std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> mutations_{0};
+  std::atomic<int64_t> rejected_batches_{0};
+  std::atomic<int64_t> materializations_{0};
+  std::atomic<int64_t> views_patched_{0};
+  std::atomic<int64_t> views_rebuilt_{0};
+  std::atomic<int64_t> views_clean_{0};
+};
+
+}  // namespace pxv
+
+#endif  // PXV_SERVE_DOCUMENT_STORE_H_

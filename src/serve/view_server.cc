@@ -39,8 +39,13 @@ std::shared_ptr<const QueryPlan> ViewServer::PlanFor(const Pattern& q) {
   return cache_.Insert(key, std::move(plan));
 }
 
+std::optional<std::vector<PidProb>> ViewServer::AnswerWith(
+    const Pattern& q, const ExtensionSet& exts) {
+  return AnswerOne(q, exts);
+}
+
 std::optional<std::vector<PidProb>> ViewServer::AnswerOne(
-    const Pattern& q, const ViewExtensions& exts) {
+    const Pattern& q, const ExtensionSet& exts) {
   queries_.fetch_add(1, std::memory_order_relaxed);
   std::optional<std::vector<PidProb>> result =
       ExecuteQueryPlan(*PlanFor(q), exts);

@@ -85,6 +85,14 @@ class ViewServer {
   /// candidate is executable over the snapshot.
   std::optional<std::vector<PidProb>> Answer(const Pattern& q);
 
+  /// Answers q from a caller-provided extension set instead of the server's
+  /// own snapshot, still sharing the plan cache and stats. This is how the
+  /// DocumentStore serves per-document snapshots through one server — the
+  /// same concurrency contract applies (the caller keeps `exts` alive and
+  /// immutable for the duration of the call).
+  std::optional<std::vector<PidProb>> AnswerWith(const Pattern& q,
+                                                 const ExtensionSet& exts);
+
   /// Batched serving: answers every query, sharing the plan cache and the
   /// extension snapshot, fanning the queries out across the pool. Result i
   /// corresponds to queries[i].
@@ -95,7 +103,7 @@ class ViewServer {
 
  private:
   std::optional<std::vector<PidProb>> AnswerOne(
-      const Pattern& q, const ViewExtensions& exts);
+      const Pattern& q, const ExtensionSet& exts);
 
   ViewServerOptions options_;
   Rewriter rewriter_;

@@ -1,0 +1,278 @@
+// DocumentStore semantics: transactional mutation batches, label-overlap
+// dirty-view tracking, per-document snapshot isolation and atomic swap,
+// and end-to-end answering through the ViewServer plan cache.
+
+#include "serve/document_store.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/docgen.h"
+#include "pxml/parser.h"
+#include "rewrite/rewriter.h"
+#include "serve/view_server.h"
+#include "tp/parser.h"
+#include "util/random.h"
+#include "xml/label.h"
+
+namespace pxv {
+namespace {
+
+PDocument PersonnelDoc(int persons = 30) {
+  Rng rng(411);
+  return PersonnelPDocument(rng, persons, 0.3, 0.4);
+}
+
+void RegisterPersonnelViews(ViewServer* server) {
+  server->AddView("vbonus", Tp("IT-personnel//person/bonus"));
+  server->AddView("vrick", Tp("IT-personnel//person[name/Rick]/bonus"));
+}
+
+// The pid of some "Rick" name alternative (an ordinary mux child whose
+// edge probability is free to move below its sibling budget).
+PersistentId SomeRickPid(const PDocument& pd) {
+  for (NodeId n = 0; n < pd.size(); ++n) {
+    if (pd.ordinary(n) && !pd.detached(n) && pd.label(n) == Intern("Rick")) {
+      return pd.pid(n);
+    }
+  }
+  ADD_FAILURE() << "no Rick alternative found";
+  return kNullPid;
+}
+
+TEST(DocumentStoreTest, PutAnswerMatchesDirectMaterialization) {
+  ViewServer server;
+  RegisterPersonnelViews(&server);
+  DocumentStore store(&server);
+  const PDocument pd = PersonnelDoc();
+  ASSERT_TRUE(store.Put("docs", pd).ok());
+
+  const Pattern q = Tp("IT-personnel//person[name/Rick]/bonus");
+  const auto from_store = store.Answer("docs", q);
+  server.Materialize(pd);
+  const auto from_server = server.Answer(q);
+  ASSERT_EQ(from_store.has_value(), from_server.has_value());
+  ASSERT_TRUE(from_store.has_value());
+  ASSERT_EQ(from_store->size(), from_server->size());
+  for (size_t i = 0; i < from_store->size(); ++i) {
+    EXPECT_EQ((*from_store)[i].pid, (*from_server)[i].pid);
+    EXPECT_DOUBLE_EQ((*from_store)[i].prob, (*from_server)[i].prob);
+  }
+}
+
+TEST(DocumentStoreTest, UnknownNamesFailGracefully) {
+  ViewServer server;
+  RegisterPersonnelViews(&server);
+  DocumentStore store(&server);
+  EXPECT_FALSE(store.Answer("nope", Tp("IT-personnel//person/bonus"))
+                   .has_value());
+  EXPECT_FALSE(store.MaterializeIncremental("nope").ok());
+  EXPECT_FALSE(store.Drop("nope").ok());
+  EXPECT_FALSE(
+      store.Apply("nope", {DocMutation::SetEdgeProb(1, 0.5)}).ok());
+  EXPECT_TRUE(store.Names().empty());
+  EXPECT_EQ(store.Snapshot("nope"), nullptr);
+}
+
+TEST(DocumentStoreTest, TransactionalBatchRollsBackAsAWhole) {
+  ViewServer server;
+  RegisterPersonnelViews(&server);
+  DocumentStore store(&server);
+  ASSERT_TRUE(store.Put("docs", PersonnelDoc()).ok());
+  const PDocument* doc = store.Find("docs");
+  ASSERT_NE(doc, nullptr);
+  const std::string before = doc->DebugString();
+  const uint64_t uid_before = doc->uid();
+
+  const PersistentId rick = SomeRickPid(*doc);
+  // First mutation is valid, second targets a nonexistent pid: the whole
+  // batch must roll back, first mutation included.
+  const auto status = store.Apply(
+      "docs", {DocMutation::SetEdgeProb(rick, 0.0),
+               DocMutation::RemoveSubtree(999999)});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(doc->DebugString(), before);
+  EXPECT_EQ(doc->uid(), uid_before);
+  EXPECT_EQ(store.stats().rejected_batches, 1);
+  EXPECT_EQ(store.stats().batches, 0);
+  // The store still serves and still accepts a valid batch afterwards.
+  EXPECT_TRUE(store.Apply("docs", {DocMutation::SetEdgeProb(rick, 0.0)}).ok());
+  EXPECT_NE(doc->uid(), uid_before);
+}
+
+TEST(DocumentStoreTest, InvalidResultingDocumentRollsBack) {
+  ViewServer server;
+  server.AddView("v", Tp("a/b"));
+  DocumentStore store(&server);
+  const auto pd = ParsePDocument("a(mux(b(c)@0.6, b(d)@0.3))");
+  ASSERT_TRUE(pd.ok());
+  ASSERT_TRUE(store.Put("d", *pd).ok());
+  const PDocument* doc = store.Find("d");
+  const std::string before = doc->DebugString();
+  // Raising one mux branch to 0.9 makes the mux sum 0.6 + 0.9 > 1: the
+  // post-batch Validate must reject and restore.
+  const NodeId b2 = doc->FindByPid(4);
+  ASSERT_NE(b2, kNullNode);
+  const auto status = store.Apply(
+      "d", {DocMutation::SetEdgeProb(doc->pid(b2), 0.9)});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(doc->DebugString(), before);
+}
+
+TEST(DocumentStoreTest, InsertPayloadMustCarryFreshPids) {
+  ViewServer server;
+  server.AddView("v", Tp("a/b"));
+  DocumentStore store(&server);
+  ASSERT_TRUE(store.Put("d", *ParsePDocument("a(b(c))")).ok());
+  const PDocument* doc = store.Find("d");
+  const std::string before = doc->DebugString();
+
+  // Default parser pids (0,1,...) collide with the host document's own —
+  // persistent ids must stay unique, so the batch is rejected.
+  EXPECT_FALSE(
+      store.Apply("d", {DocMutation::InsertSubtree(0, *ParsePDocument("b(c)"))})
+          .ok());
+  EXPECT_EQ(doc->DebugString(), before);
+  // Payload-internal duplicates are rejected too.
+  EXPECT_FALSE(store
+                   .Apply("d", {DocMutation::InsertSubtree(
+                                   0, *ParsePDocument("b#7(c#7)"))})
+                   .ok());
+  // Fresh explicit pids pass.
+  EXPECT_TRUE(store
+                  .Apply("d", {DocMutation::InsertSubtree(
+                                  0, *ParsePDocument("b#10(c#11)"))})
+                  .ok());
+  ASSERT_TRUE(store.MaterializeIncremental("d").ok());
+  const auto answer = store.Answer("d", Tp("a/b"));
+  ASSERT_TRUE(answer.has_value());
+  EXPECT_EQ(answer->size(), 2u);  // Both b results, distinct pids.
+}
+
+TEST(DocumentStoreTest, LabelOverlapDirtyTracking) {
+  ViewServer server;
+  server.AddView("vbonus", Tp("IT-personnel//person/bonus"));
+  server.AddView("vrick", Tp("IT-personnel//person[name/Rick]/bonus"));
+  DocumentStore store(&server);
+  ASSERT_TRUE(store.Put("docs", PersonnelDoc()).ok());
+  EXPECT_TRUE(store.DirtyViews("docs").empty());
+
+  // Mutating a Rick alternative's probability touches label {Rick} — only
+  // vrick reads it; vbonus must stay clean.
+  const PDocument* doc = store.Find("docs");
+  ASSERT_TRUE(
+      store.Apply("docs", {DocMutation::SetEdgeProb(SomeRickPid(*doc), 0.05)})
+          .ok());
+  const auto dirty = store.DirtyViews("docs");
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0], "vrick");
+
+  // Clean views are republished by pointer, not copied.
+  const auto snap_before = store.Snapshot("docs");
+  ASSERT_TRUE(store.MaterializeIncremental("docs").ok());
+  const auto snap_after = store.Snapshot("docs");
+  EXPECT_NE(snap_before, snap_after);
+  EXPECT_EQ(snap_before->at("vbonus").get(), snap_after->at("vbonus").get());
+  EXPECT_NE(snap_before->at("vrick").get(), snap_after->at("vrick").get());
+  EXPECT_TRUE(store.DirtyViews("docs").empty());
+  EXPECT_EQ(store.stats().views_clean, 1);
+  EXPECT_EQ(store.stats().views_patched, 1);
+}
+
+TEST(DocumentStoreTest, SnapshotIsolationAcrossMaterializations) {
+  ViewServer server;
+  server.AddView("v", Tp("a/b"));
+  DocumentStore store(&server);
+  const auto pd = ParsePDocument("a(ind(b(c)@0.5))");
+  ASSERT_TRUE(pd.ok());
+  ASSERT_TRUE(store.Put("d", *pd).ok());
+
+  const auto snap1 = store.Snapshot("d");
+  const PDocument& ext1 = *snap1->at("v");
+  const auto roots1 = ExtensionResultRoots(ext1);
+  ASSERT_EQ(roots1.size(), 1u);
+  EXPECT_DOUBLE_EQ(ext1.edge_prob(roots1[0]), 0.5);
+
+  // Mutate + re-materialize: the old snapshot keeps serving 0.5 forever.
+  const PDocument* doc = store.Find("d");
+  const PersistentId b_pid = [&] {
+    for (NodeId n = 0; n < doc->size(); ++n) {
+      if (doc->ordinary(n) && doc->label(n) == Intern("b")) {
+        return doc->pid(n);
+      }
+    }
+    return kNullPid;
+  }();
+  ASSERT_TRUE(
+      store.Apply("d", {DocMutation::SetEdgeProb(b_pid, 0.25)}).ok());
+  // Until MaterializeIncremental, the published snapshot is unchanged.
+  EXPECT_EQ(store.Snapshot("d"), snap1);
+  ASSERT_TRUE(store.MaterializeIncremental("d").ok());
+  const auto snap2 = store.Snapshot("d");
+  EXPECT_DOUBLE_EQ(ext1.edge_prob(roots1[0]), 0.5);  // Old snapshot intact.
+  const PDocument& ext2 = *snap2->at("v");
+  const auto roots2 = ExtensionResultRoots(ext2);
+  ASSERT_EQ(roots2.size(), 1u);
+  EXPECT_DOUBLE_EQ(ext2.edge_prob(roots2[0]), 0.25);
+}
+
+TEST(DocumentStoreTest, MultipleDocumentsAreIndependent) {
+  ViewServer server;
+  server.AddView("v", Tp("a/b"));
+  DocumentStore store(&server);
+  ASSERT_TRUE(store.Put("one", *ParsePDocument("a(ind(b@0.5))")).ok());
+  ASSERT_TRUE(store.Put("two", *ParsePDocument("a(ind(b@0.75))")).ok());
+  EXPECT_EQ(store.Names().size(), 2u);
+
+  const Pattern q = Tp("a/b");
+  const auto a1 = store.Answer("one", q);
+  const auto a2 = store.Answer("two", q);
+  ASSERT_TRUE(a1.has_value() && a2.has_value());
+  ASSERT_EQ(a1->size(), 1u);
+  ASSERT_EQ(a2->size(), 1u);
+  EXPECT_DOUBLE_EQ((*a1)[0].prob, 0.5);
+  EXPECT_DOUBLE_EQ((*a2)[0].prob, 0.75);
+
+  EXPECT_TRUE(store.Drop("one").ok());
+  EXPECT_FALSE(store.Answer("one", q).has_value());
+  EXPECT_TRUE(store.Answer("two", q).has_value());
+}
+
+TEST(DocumentStoreTest, AnswerAllServesOneSnapshot) {
+  ViewServer server;
+  RegisterPersonnelViews(&server);
+  DocumentStore store(&server);
+  ASSERT_TRUE(store.Put("docs", PersonnelDoc(20)).ok());
+  const std::vector<Pattern> queries = {
+      Tp("IT-personnel//person/bonus"),
+      Tp("IT-personnel//person[name/Rick]/bonus"),
+  };
+  const auto all = store.AnswerAll("docs", queries);
+  ASSERT_EQ(all.size(), 2u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto one = store.Answer("docs", queries[i]);
+    ASSERT_EQ(all[i].has_value(), one.has_value());
+    if (one.has_value()) EXPECT_EQ(all[i]->size(), one->size());
+  }
+}
+
+TEST(DocumentStoreTest, IncrementalSessionUsesSubtreeCache) {
+  ViewServer server;
+  RegisterPersonnelViews(&server);
+  DocumentStore store(&server);
+  ASSERT_TRUE(store.Put("docs", PersonnelDoc()).ok());
+  const auto cold = store.SessionCacheStats("docs");
+  EXPECT_GT(cold.stores, 0u);  // First materialization populated the memo.
+
+  const PDocument* doc = store.Find("docs");
+  ASSERT_TRUE(
+      store.Apply("docs", {DocMutation::SetEdgeProb(SomeRickPid(*doc), 0.01)})
+          .ok());
+  ASSERT_TRUE(store.MaterializeIncremental("docs").ok());
+  const auto warm = store.SessionCacheStats("docs");
+  EXPECT_GT(warm.hits, cold.hits);  // Delta run served subtrees from memo.
+  // The delta recomputed far fewer regions than the cold run stored.
+  EXPECT_LT(warm.stores - cold.stores, cold.stores / 4);
+}
+
+}  // namespace
+}  // namespace pxv

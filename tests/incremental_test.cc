@@ -1,0 +1,537 @@
+// Incremental materialization equivalence suite.
+//
+// The contract under test (ISSUE 4 acceptance): any sequence of mutation
+// batches followed by MaterializeIncremental yields *bit-identical*
+// extensions and answer probabilities to a from-scratch Materialize over
+// the mutated document — across the flat-kernel exact DP, the reference
+// engine, and the naive world-enumeration oracle (the latter two to
+// numerical tolerance, since they use different summation orders by
+// design). Extensions are compared through a canonical serialization that
+// captures structure, labels, source pids and every probability at full
+// double precision, while ignoring arena node ids and extension-local
+// (negative) pids — the two representational freedoms delta patching has.
+//
+// Covers mux/ind/det documents, exp nodes, and the >32-live-slot wide-key
+// regime, plus the uid regression: copies diverge on mutation and
+// uid-keyed evaluation caches never serve stale results.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/docgen.h"
+#include "gen/querygen.h"
+#include "prob/engine.h"
+#include "prob/eval_session.h"
+#include "prob/naive.h"
+#include "pxml/parser.h"
+#include "rewrite/planner.h"
+#include "rewrite/rewriter.h"
+#include "serve/document_store.h"
+#include "serve/view_server.h"
+#include "tp/parser.h"
+#include "util/random.h"
+#include "util/strings.h"
+#include "xml/label.h"
+
+namespace pxv {
+namespace {
+
+// ------------------------------------------------------- canonical form ----
+
+void AppendProb(double p, std::string* out) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", p);  // Round-trips doubles.
+  *out += buf;
+}
+
+void CanonNode(const PDocument& d, NodeId n, std::string* out) {
+  if (d.ordinary(n)) {
+    *out += "O(";
+    *out += LabelName(d.label(n));
+    *out += ',';
+    // Extension-local pids (markers, copy-semantics copies) are negative
+    // counter draws — representational, not semantic.
+    *out += d.pid(n) >= 0 ? std::to_string(d.pid(n)) : std::string("L");
+    *out += ',';
+    AppendProb(d.edge_prob(n), out);
+    *out += ')';
+  } else {
+    *out += PKindName(d.kind(n));
+    *out += '(';
+    AppendProb(d.edge_prob(n), out);
+    if (d.kind(n) == PKind::kExp) {
+      for (const auto& [subset, p] : d.exp_distribution(n)) {
+        *out += ";{";
+        for (int idx : subset) {
+          *out += std::to_string(idx);
+          *out += ' ';
+        }
+        *out += "}=";
+        AppendProb(p, out);
+      }
+    }
+    *out += ')';
+  }
+  *out += '[';
+  for (NodeId c : d.children(n)) CanonNode(d, c, out);
+  *out += ']';
+}
+
+std::string Canon(const PDocument& d) {
+  std::string out;
+  if (!d.empty()) CanonNode(d, d.root(), &out);
+  return out;
+}
+
+// ------------------------------------------------ document + mutation gen ----
+
+// Labels are *stratified by ordinary depth* (a node with i ordinary proper
+// ancestors is labeled l{i-1}; the root is "root"): a label can then never
+// nest under itself, so view outputs have unique selected ancestors — the
+// precondition the §4 restricted plans rely on (Def. 5). The `//` axes in
+// views and queries still cross the distributional nodes in between.
+Label StratLabel(int ordinary_depth) {
+  return Intern("l" + std::to_string(ordinary_depth - 1));
+}
+
+int OrdinaryDepth(const PDocument& pd, NodeId n) {
+  int depth = 0;
+  for (NodeId a = pd.OrdinaryAncestor(n); a != kNullNode;
+       a = pd.OrdinaryAncestor(a)) {
+    ++depth;
+  }
+  return depth;
+}
+
+void GrowStrat(PDocument* pd, NodeId parent, int odepth, int* budget,
+               Rng& rng) {
+  if (*budget <= 0 || odepth > 4) return;
+  const int fanout = 1 + static_cast<int>(rng.NextBounded(3));
+  for (int i = 0; i < fanout && *budget > 0; ++i) {
+    const Label l = StratLabel(odepth);
+    if (rng.NextBool(0.35)) {
+      const PKind kind = rng.NextBool(0.5) ? PKind::kMux : PKind::kInd;
+      const NodeId dist = pd->AddDistributional(parent, kind);
+      const int alts = 1 + static_cast<int>(rng.NextBounded(2));
+      double remaining = 1.0;
+      for (int a = 0; a < alts; ++a) {
+        double p = rng.NextDouble();
+        if (kind == PKind::kMux) {
+          p = std::min(p, remaining);
+          remaining -= p;
+        }
+        const NodeId c = pd->AddOrdinary(dist, l, p);
+        --*budget;
+        GrowStrat(pd, c, odepth + 1, budget, rng);
+      }
+    } else {
+      const NodeId c = pd->AddOrdinary(parent, l);
+      --*budget;
+      GrowStrat(pd, c, odepth + 1, budget, rng);
+    }
+  }
+}
+
+// Random stratified document with grafted exp nodes.
+PDocument RandomDocWithExp(Rng& rng, int target_nodes, int exp_nodes) {
+  PDocument pd;
+  const NodeId root = pd.AddRoot(Intern("root"));
+  int budget = target_nodes;
+  GrowStrat(&pd, root, 1, &budget, rng);
+  while (pd.children(root).empty()) {
+    pd.AddOrdinary(root, StratLabel(1));
+  }
+  std::vector<NodeId> ordinary;
+  for (NodeId n = 0; n < pd.size(); ++n) {
+    if (pd.ordinary(n)) ordinary.push_back(n);
+  }
+  for (int e = 0; e < exp_nodes; ++e) {
+    const NodeId host = ordinary[rng.NextBounded(ordinary.size())];
+    const NodeId exp = pd.AddExp(host);
+    const int kids = 2 + static_cast<int>(rng.NextBounded(2));
+    for (int k = 0; k < kids; ++k) {
+      pd.AddOrdinary(exp, StratLabel(OrdinaryDepth(pd, exp)));
+    }
+    std::vector<std::pair<std::vector<int>, double>> dist;
+    double remaining = 1.0;
+    const int subsets = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int s = 0; s < subsets; ++s) {
+      std::vector<int> subset;
+      for (int k = 0; k < kids; ++k) {
+        if (rng.NextBool(0.5)) subset.push_back(k);
+      }
+      const double p = std::min(remaining, 0.5 * rng.NextDouble());
+      remaining -= p;
+      dist.emplace_back(std::move(subset), p);
+    }
+    pd.SetExpDistribution(exp, std::move(dist));
+  }
+  PXV_CHECK(pd.Validate().ok());
+  pd.ClearDirtyPaths();
+  return pd;
+}
+
+// A small insert payload with globally fresh pids (persistent ids must
+// stay unique across the whole document — restricted f_r plans rely on it)
+// whose labels continue the host's stratum, preserving the no-self-nesting
+// invariant.
+PDocument RandomPayload(Rng& rng, PersistentId* next_pid, int base_odepth) {
+  PDocument sub;
+  {
+    PDocument::MutationBatch batch(&sub);  // Scoped: closed before return.
+    const NodeId root = sub.AddRoot(StratLabel(base_odepth), (*next_pid)++);
+    const int kids = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int k = 0; k < kids; ++k) {
+      if (rng.NextBool(0.4)) {
+        const NodeId dist = sub.AddDistributional(
+            root, rng.NextBool(0.5) ? PKind::kMux : PKind::kInd);
+        sub.AddOrdinary(dist, StratLabel(base_odepth + 1),
+                        0.9 * rng.NextDouble(), (*next_pid)++);
+      } else {
+        const NodeId c = sub.AddOrdinary(root, StratLabel(base_odepth + 1),
+                                         1.0, (*next_pid)++);
+        if (rng.NextBool(0.5)) {
+          sub.AddOrdinary(c, StratLabel(base_odepth + 2), 1.0, (*next_pid)++);
+        }
+      }
+    }
+  }
+  return sub;
+}
+
+// One random, *usually* valid mutation against the current document. The
+// store may still reject a batch (e.g. a removal leaving a distributional
+// leaf) — callers treat rejection as a rollback check, not a failure.
+DocMutation RandomMutation(const PDocument& pd, Rng& rng,
+                           PersistentId* next_pid) {
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    switch (rng.NextBounded(4)) {
+      case 0: {  // Edge probability of a mux/ind child.
+        std::vector<NodeId> candidates;
+        for (NodeId n = 0; n < pd.size(); ++n) {
+          if (pd.detached(n) || pd.parent(n) == kNullNode) continue;
+          const PKind pk = pd.kind(pd.parent(n));
+          if (pd.ordinary(n) && (pk == PKind::kMux || pk == PKind::kInd)) {
+            candidates.push_back(n);
+          }
+        }
+        if (candidates.empty()) continue;
+        const NodeId n = candidates[rng.NextBounded(candidates.size())];
+        double budget = 1.0;
+        if (pd.kind(pd.parent(n)) == PKind::kMux) {
+          for (NodeId s : pd.children(pd.parent(n))) {
+            if (s != n) budget -= pd.edge_prob(s);
+          }
+        }
+        if (budget <= 0) continue;
+        return DocMutation::SetEdgeProb(pd.pid(n),
+                                        budget * rng.NextDouble());
+      }
+      case 1: {  // Remove an ordinary subtree (keep siblings alive).
+        std::vector<NodeId> candidates;
+        for (NodeId n = 0; n < pd.size(); ++n) {
+          if (!pd.ordinary(n) || pd.detached(n) || n == pd.root()) continue;
+          const NodeId par = pd.parent(n);
+          if (pd.kind(par) == PKind::kExp) continue;
+          if (!pd.ordinary(par) && pd.children(par).size() < 2) continue;
+          candidates.push_back(n);
+        }
+        if (candidates.empty()) continue;
+        return DocMutation::RemoveSubtree(
+            pd.pid(candidates[rng.NextBounded(candidates.size())]));
+      }
+      case 2: {  // Insert a small random subtree under an ordinary node.
+        std::vector<NodeId> candidates;
+        for (NodeId n = 0; n < pd.size(); ++n) {
+          if (pd.ordinary(n) && !pd.detached(n)) candidates.push_back(n);
+        }
+        const NodeId host = candidates[rng.NextBounded(candidates.size())];
+        return DocMutation::InsertSubtree(
+            pd.pid(host),
+            RandomPayload(rng, next_pid, OrdinaryDepth(pd, host) + 1));
+      }
+      default: {  // Replace an exp node's distribution.
+        std::vector<std::pair<PersistentId, int>> candidates;
+        for (NodeId n = 0; n < pd.size(); ++n) {
+          if (!pd.ordinary(n) || pd.detached(n)) continue;
+          const auto& kids = pd.children(n);
+          for (size_t i = 0; i < kids.size(); ++i) {
+            if (pd.kind(kids[i]) == PKind::kExp) {
+              candidates.emplace_back(pd.pid(n), static_cast<int>(i));
+            }
+          }
+        }
+        if (candidates.empty()) continue;
+        const auto [pid, idx] = candidates[rng.NextBounded(candidates.size())];
+        const NodeId exp = pd.children(pd.FindByPid(pid))[idx];
+        const int kids = static_cast<int>(pd.children(exp).size());
+        std::vector<std::pair<std::vector<int>, double>> dist;
+        double remaining = 1.0;
+        for (int s = 0; s < 2; ++s) {
+          std::vector<int> subset;
+          for (int k = 0; k < kids; ++k) {
+            if (rng.NextBool(0.5)) subset.push_back(k);
+          }
+          const double p = std::min(remaining, 0.6 * rng.NextDouble());
+          remaining -= p;
+          dist.emplace_back(std::move(subset), p);
+        }
+        return DocMutation::SetExpDistribution(pid, idx, std::move(dist));
+      }
+    }
+  }
+  // Fallback that always applies: insert at the root.
+  return DocMutation::InsertSubtree(pd.pid(pd.root()),
+                                    RandomPayload(rng, next_pid, 1));
+}
+
+// --------------------------------------------------- equivalence harness ----
+
+// Asserts that `store`'s current snapshot of `name` is bit-identical to a
+// from-scratch materialization of the same (mutated) document, and that
+// both answer a query set identically; cross-checks the anchored view
+// probabilities against the reference engine and (when tractable) the
+// naive oracle.
+void ExpectEquivalent(DocumentStore& store, const std::string& name,
+                      const std::vector<NamedView>& views,
+                      const std::vector<Pattern>& queries) {
+  const PDocument* doc = store.Find(name);
+  ASSERT_NE(doc, nullptr);
+  Rewriter rewriter;
+  for (const NamedView& v : views) rewriter.AddView(v.name, v.def.Clone());
+  const ViewExtensions fresh = rewriter.Materialize(*doc);
+  const auto snapshot = store.Snapshot(name);
+  ASSERT_NE(snapshot, nullptr);
+
+  // 1. Bit-identical extensions (canonical form: structure + labels +
+  //    source pids + exact probabilities).
+  ASSERT_EQ(snapshot->size(), fresh.size());
+  for (const auto& [vname, ext] : fresh) {
+    const auto it = snapshot->find(vname);
+    ASSERT_NE(it, snapshot->end()) << vname;
+    EXPECT_EQ(Canon(*it->second), Canon(ext)) << "extension " << vname;
+  }
+
+  // 2. Bit-identical answers through the planner.
+  for (const Pattern& q : queries) {
+    const QueryPlan plan = rewriter.Compile(q);
+    const auto a_inc = ExecuteQueryPlan(plan, *snapshot);
+    const auto a_fresh = ExecuteQueryPlan(plan, fresh);
+    ASSERT_EQ(a_inc.has_value(), a_fresh.has_value());
+    if (!a_inc.has_value()) continue;
+    ASSERT_EQ(a_inc->size(), a_fresh->size());
+    for (size_t i = 0; i < a_inc->size(); ++i) {
+      EXPECT_EQ((*a_inc)[i].pid, (*a_fresh)[i].pid);
+      EXPECT_EQ((*a_inc)[i].prob, (*a_fresh)[i].prob) << "answer not bitwise";
+    }
+  }
+
+  // 3. Cross-engine anchors: the snapshot's result probabilities against
+  //    the reference engine and the naive oracle (different summation
+  //    orders — numerical tolerance applies).
+  for (const NamedView& v : views) {
+    std::map<NodeId, double> flat;
+    const auto it = snapshot->find(v.name);
+    ASSERT_NE(it, snapshot->end());
+    const PDocument& ext = *it->second;
+    std::map<PersistentId, double> by_pid;
+    for (NodeId r : ExtensionResultRoots(ext)) {
+      by_pid[ext.pid(r)] += ext.edge_prob(r);
+    }
+    std::map<PersistentId, double> ref_by_pid;
+    for (const NodeProb& np :
+         ReferenceBatchAnchoredProbabilities(*doc, {&v.def})) {
+      if (np.prob > 1e-12) ref_by_pid[doc->pid(np.node)] += np.prob;
+    }
+    ASSERT_EQ(by_pid.size(), ref_by_pid.size()) << v.name;
+    for (const auto& [pid, p] : ref_by_pid) {
+      ASSERT_TRUE(by_pid.count(pid)) << v.name << " pid " << pid;
+      EXPECT_NEAR(by_pid[pid], p, 1e-9) << v.name << " pid " << pid;
+    }
+    StatusOr<std::map<NodeId, double>> naive =
+        NaiveTryBatchAnchored(*doc, {&v.def}, 1 << 14);
+    if (naive.ok()) {
+      std::map<PersistentId, double> naive_by_pid;
+      for (const auto& [n, p] : *naive) {
+        if (p > 1e-12) naive_by_pid[doc->pid(n)] += p;
+      }
+      ASSERT_EQ(by_pid.size(), naive_by_pid.size()) << v.name;
+      for (const auto& [pid, p] : naive_by_pid) {
+        EXPECT_NEAR(by_pid[pid], p, 1e-9) << v.name << " pid " << pid;
+      }
+    }
+  }
+}
+
+TEST(IncrementalEquivalence, RandomizedMutationSequences) {
+  for (int seed = 0; seed < 8; ++seed) {
+    Rng rng(52000 + seed);
+    PDocument pd = RandomDocWithExp(rng, 24, 2);
+
+    // Random views anchored at the document's root label, plus handcrafted
+    // ones that are very likely nonempty.
+    std::vector<NamedView> views;
+    views.push_back({"v0", Tp("root//l0")});
+    views.push_back({"v1", Tp("root//l1")});
+    QueryGenOptions qo;
+    qo.depth = 2;
+    views.push_back({"v2", RandomQuery(rng, qo)});
+    std::vector<Pattern> queries;
+    for (const NamedView& v : views) queries.push_back(v.def.Clone());
+    queries.push_back(Tp("root//l0/l1"));
+
+    ViewServer server;
+    for (const NamedView& v : views) server.AddView(v.name, v.def.Clone());
+    DocumentStore store(&server);
+    ASSERT_TRUE(store.Put("doc", std::move(pd)).ok());
+    ExpectEquivalent(store, "doc", views, queries);
+
+    PersistentId next_pid = 1000000 + seed * 10000;
+    for (int round = 0; round < 6; ++round) {
+      const PDocument* doc = store.Find("doc");
+      const std::string before = Canon(*doc);
+      std::vector<DocMutation> batch;
+      const int k = 1 + static_cast<int>(rng.NextBounded(3));
+      for (int m = 0; m < k; ++m) {
+        batch.push_back(RandomMutation(*doc, rng, &next_pid));
+      }
+      const auto applied = store.Apply("doc", batch);
+      if (!applied.ok()) {
+        // Transactional: a rejected batch must leave the document intact.
+        EXPECT_EQ(Canon(*store.Find("doc")), before);
+        continue;
+      }
+      ASSERT_TRUE(store.MaterializeIncremental("doc").ok());
+      ExpectEquivalent(store, "doc", views, queries);
+    }
+    // The incremental path must actually have exercised the subtree memo.
+    EXPECT_GT(store.SessionCacheStats("doc").hits, 0u);
+  }
+}
+
+// The >32-live-slot regime: a single view whose pattern needs 39 DP slots
+// forces the 256-bit wide-key fallback at the root while subtrees stay
+// narrow. Mutations must still patch incrementally and match a rebuild.
+TEST(IncrementalEquivalence, WideKeyRegime) {
+  PDocument pd;
+  const NodeId r = pd.AddRoot(Intern("r"));
+  const NodeId ind = pd.AddDistributional(r, PKind::kInd);
+  for (int copy = 0; copy < 2; ++copy) {
+    const NodeId b = pd.AddOrdinary(ind, Intern("b"), 0.5 + 0.25 * copy);
+    const NodeId mux = pd.AddDistributional(b, PKind::kMux);
+    const NodeId grp1 = pd.AddOrdinary(mux, Intern("g"), 0.6);
+    const NodeId grp2 = pd.AddOrdinary(mux, Intern("g"), 0.4);
+    for (int i = 0; i < 36; ++i) {
+      pd.AddOrdinary(i % 2 ? grp1 : grp2, Intern("p" + std::to_string(i)));
+    }
+  }
+  ASSERT_TRUE(pd.Validate().ok());
+
+  Pattern q;
+  const PNodeId qr = q.AddRoot(Intern("r"));
+  const PNodeId qb = q.AddChild(qr, Intern("b"), Axis::kDescendant);
+  const PNodeId qg = q.AddChild(qb, Intern("g"), Axis::kChild);
+  for (int i = 0; i < 36; ++i) {
+    q.AddChild(qg, Intern("p" + std::to_string(i)), Axis::kDescendant);
+  }
+  q.SetOut(qb);
+  ASSERT_GT(BatchSlotCount({&q}), kNarrowSlotCap);
+
+  std::vector<NamedView> views;
+  views.push_back({"wide", q.Clone()});
+  ViewServer server;
+  server.AddView("wide", q.Clone());
+  DocumentStore store(&server);
+  const PersistentId b_pid = pd.pid(NodeId{2});  // First "b" under the ind.
+  ASSERT_TRUE(store.Put("doc", std::move(pd)).ok());
+  // No planner queries: the §4/§5 compile search is exponential in pattern
+  // size and this 39-slot view exists to stress the DP key width, not the
+  // rewriting search. Extension + cross-engine equivalence still run.
+  ExpectEquivalent(store, "doc", views, {});
+
+  Rng rng(99);
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE(store
+                    .Apply("doc", {DocMutation::SetEdgeProb(
+                                      b_pid, 0.2 + 0.6 * rng.NextDouble())})
+                    .ok());
+    ASSERT_TRUE(store.MaterializeIncremental("doc").ok());
+    ExpectEquivalent(store, "doc", views, {});
+  }
+  EXPECT_GT(store.SessionCacheStats("doc").hits, 0u);
+}
+
+// ------------------------------------------------------- uid regressions ----
+
+// uid(): copies share the tag, and the tags diverge permanently as soon as
+// either side mutates (the doc-comment contract the mutation API relies on).
+TEST(UidRegression, CopyThenMutateDiverges) {
+  Rng rng(5);
+  PDocument a = RandomDocWithExp(rng, 15, 1);
+  const PDocument b = a;
+  EXPECT_EQ(a.uid(), b.uid());
+  const std::string b_before = Canon(b);
+
+  NodeId target = kNullNode;
+  for (NodeId n = 0; n < a.size(); ++n) {
+    if (a.ordinary(n) && a.parent(n) != kNullNode &&
+        a.kind(a.parent(n)) == PKind::kInd) {
+      target = n;
+    }
+  }
+  if (target == kNullNode) target = a.children(a.root())[0];
+  a.SetEdgeProb(target, a.edge_prob(target));  // Even a no-op write mutates.
+  EXPECT_NE(a.uid(), b.uid());
+  EXPECT_EQ(Canon(b), b_before);  // The copy is untouched.
+}
+
+// Evaluation caches keyed on uid must never serve results computed for an
+// earlier document version: a session evaluated before a mutation answers
+// exactly like a fresh session after it.
+TEST(UidRegression, SessionNeverServesStaleResults) {
+  const char* text = "a(ind(b(c)@0.5, b@0.25))";
+  const auto parsed = ParsePDocument(text);
+  ASSERT_TRUE(parsed.ok());
+  PDocument pd = *parsed;
+  const Pattern q = Tp("a/b");
+
+  EvalOptions cached;
+  cached.cache_subtrees = true;
+  EvalSession session(pd, cached);
+  const auto r1 = session.EvaluateTP(q);
+  ASSERT_EQ(r1.size(), 2u);
+  EXPECT_DOUBLE_EQ(r1[0].prob, 0.5);
+
+  NodeId b1 = kNullNode;
+  for (NodeId n = 0; n < pd.size(); ++n) {
+    if (pd.ordinary(n) && pd.label(n) == Intern("b")) {
+      b1 = n;
+      break;
+    }
+  }
+  pd.SetEdgeProb(b1, 0.125);
+
+  const auto& r2 = session.EvaluateTP(q);
+  EvalSession fresh(pd);
+  const auto& r3 = fresh.EvaluateTP(q);
+  ASSERT_EQ(r2.size(), r3.size());
+  for (size_t i = 0; i < r2.size(); ++i) {
+    EXPECT_EQ(r2[i].node, r3[i].node);
+    EXPECT_EQ(r2[i].prob, r3[i].prob);
+  }
+  EXPECT_DOUBLE_EQ(r2[0].prob, 0.125);
+
+  // Point lookups and label indexes refresh too.
+  EXPECT_EQ(session.SelectionProbability(q, b1), 0.125);
+  EXPECT_EQ(session.NodesWithLabel(Intern("b")).size(), 2u);
+  pd.RemoveSubtree(b1);
+  EXPECT_EQ(session.NodesWithLabel(Intern("b")).size(), 1u);
+  EXPECT_EQ(session.EvaluateTP(q).size(), 1u);
+}
+
+}  // namespace
+}  // namespace pxv

@@ -251,5 +251,131 @@ TEST(DocGenTest, PersonnelShape) {
   EXPECT_EQ(persons, 5);
 }
 
+// ------------------------------------------------------------- mutation ----
+
+TEST(PDocumentMutationTest, RemoveSubtreeDetachesAndHidesNodes) {
+  const auto parsed = ParsePDocument("a(b(c, d), e)");
+  ASSERT_TRUE(parsed.ok());
+  PDocument pd = *parsed;
+  const NodeId b = pd.FindByPid(1);
+  ASSERT_NE(b, kNullNode);
+  const int before = pd.OrdinaryCount();
+
+  pd.RemoveSubtree(b);
+  EXPECT_TRUE(pd.detached(b));
+  EXPECT_TRUE(pd.detached(pd.children(b)[0]));  // Whole subtree flagged.
+  EXPECT_EQ(pd.OrdinaryCount(), before - 3);
+  EXPECT_EQ(pd.FindByPid(1), kNullNode);       // Invisible to pid lookup.
+  EXPECT_EQ(pd.children(pd.root()).size(), 1u);
+  EXPECT_TRUE(pd.Validate().ok());
+  const LabelIndex index(pd);
+  EXPECT_TRUE(index.Nodes(Intern("b")).empty());
+  EXPECT_EQ(index.Nodes(Intern("e")).size(), 1u);
+}
+
+TEST(PDocumentMutationTest, InsertSubtreeCopiesPayload) {
+  const auto parsed = ParsePDocument("a(b)");
+  ASSERT_TRUE(parsed.ok());
+  PDocument pd = *parsed;
+  const auto payload = ParsePDocument("x(mux(y@0.25, z@0.5))");
+  ASSERT_TRUE(payload.ok());
+
+  const NodeId x = pd.InsertSubtree(pd.root(), *payload, 1.0);
+  EXPECT_TRUE(pd.Validate().ok());
+  EXPECT_EQ(LabelName(pd.label(x)), "x");
+  EXPECT_EQ(pd.parent(x), pd.root());
+  ASSERT_EQ(pd.children(x).size(), 1u);
+  const NodeId mux = pd.children(x)[0];
+  EXPECT_EQ(pd.kind(mux), PKind::kMux);
+  ASSERT_EQ(pd.children(mux).size(), 2u);
+  EXPECT_DOUBLE_EQ(pd.edge_prob(pd.children(mux)[0]), 0.25);
+  // The payload is copied, not referenced: mutating the copy leaves the
+  // payload untouched.
+  pd.SetEdgeProb(pd.children(mux)[0], 0.1);
+  EXPECT_DOUBLE_EQ(payload->edge_prob(2), 0.25);
+}
+
+TEST(PDocumentMutationTest, MutationsStampTheSpineOnly) {
+  const auto parsed = ParsePDocument("a(b(c), d(e))");
+  ASSERT_TRUE(parsed.ok());
+  PDocument pd = *parsed;
+  const NodeId b = pd.FindByPid(1);
+  const NodeId c = pd.FindByPid(2);
+  const NodeId d = pd.FindByPid(3);
+  const NodeId e = pd.FindByPid(4);
+  const uint64_t vb = pd.version(b), vc = pd.version(c);
+  const uint64_t vd = pd.version(d), ve = pd.version(e);
+  const uint64_t vroot = pd.version(pd.root());
+
+  pd.SetEdgeProb(e, 1.0);  // Mutation under d.
+  EXPECT_NE(pd.version(pd.root()), vroot);  // Spine: root …
+  EXPECT_NE(pd.version(d), vd);             // … d …
+  EXPECT_NE(pd.version(e), ve);             // … e.
+  EXPECT_EQ(pd.version(b), vb);             // Siblings untouched.
+  EXPECT_EQ(pd.version(c), vc);
+  EXPECT_EQ(pd.dirty_paths().size(), 1u);
+  EXPECT_EQ(pd.dirty_paths()[0], e);
+}
+
+TEST(PDocumentMutationTest, BatchSharesOneUidAndStamp) {
+  const auto parsed = ParsePDocument("a(b(c), d(e))");
+  ASSERT_TRUE(parsed.ok());
+  PDocument pd = *parsed;
+  const NodeId c = pd.FindByPid(2);
+  const NodeId e = pd.FindByPid(4);
+  const uint64_t uid_before = pd.uid();
+  {
+    PDocument::MutationBatch batch(&pd);
+    pd.SetEdgeProb(c, 1.0);
+    const uint64_t mid = pd.uid();
+    pd.SetEdgeProb(e, 1.0);
+    EXPECT_EQ(pd.uid(), mid);  // One stamp for the whole batch.
+  }
+  EXPECT_NE(pd.uid(), uid_before);
+  EXPECT_EQ(pd.version(c), pd.version(e));
+  EXPECT_EQ(pd.version(c), pd.uid());
+  // Unbatched mutations draw fresh stamps again.
+  const uint64_t after_batch = pd.uid();
+  pd.SetEdgeProb(c, 1.0);
+  EXPECT_NE(pd.uid(), after_batch);
+}
+
+TEST(PDocumentMutationTest, SetChildOrderReordersSiblings) {
+  const auto parsed = ParsePDocument("a(b, c, d)");
+  ASSERT_TRUE(parsed.ok());
+  PDocument pd = *parsed;
+  const auto kids = pd.children(pd.root());
+  ASSERT_EQ(kids.size(), 3u);
+  pd.SetChildOrder(pd.root(), {kids[2], kids[0], kids[1]});
+  const auto& reordered = pd.children(pd.root());
+  EXPECT_EQ(reordered[0], kids[2]);
+  EXPECT_EQ(reordered[1], kids[0]);
+  EXPECT_EQ(reordered[2], kids[1]);
+  EXPECT_TRUE(pd.Validate().ok());
+}
+
+TEST(PDocumentMutationTest, WorldsIgnoreDetachedSubtrees) {
+  const auto parsed = ParsePDocument("a(ind(b(x)@0.5, z@0.9), c)");
+  ASSERT_TRUE(parsed.ok());
+  PDocument pd = *parsed;
+  NodeId b = kNullNode;
+  for (NodeId n = 0; n < pd.size(); ++n) {
+    if (pd.ordinary(n) && pd.label(n) == Intern("b")) b = n;
+  }
+  pd.RemoveSubtree(b);
+  ASSERT_TRUE(pd.Validate().ok());
+  // The b(x) subtree no longer tosses a coin: only z's does. Worlds are
+  // {a, z, c} at 0.9 and {a, c} at 0.1.
+  const auto worlds = EnumerateWorlds(pd, 16);
+  ASSERT_TRUE(worlds.ok());
+  ASSERT_EQ(worlds->size(), 2u);
+  double with_z = 0, without = 0;
+  for (const World& w : *worlds) {
+    (w.doc.size() == 3 ? with_z : without) += w.prob;
+  }
+  EXPECT_DOUBLE_EQ(with_z, 0.9);
+  EXPECT_DOUBLE_EQ(without, 0.1);
+}
+
 }  // namespace
 }  // namespace pxv

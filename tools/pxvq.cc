@@ -5,10 +5,23 @@
 //   pxvq answer  <pdoc-file> <query> name=def ...    answer q from views only
 //   pxvq rewrite <query> name=def ...                decide rewritability
 //   pxvq plan    <pdoc-file> <query> name=def ...    costed answer plans
+//   pxvq update  <pdoc-file> <script> <query> name=def ...
+//                                                    mutate + incremental
+//                                                    re-materialization
 //
 // p-Document files use the text notation of pxml/parser.h, e.g.
 //   a(mux(b(c)@0.25, d@0.5), ind(e@0.75), f)
 // Queries and views use XPath notation, e.g. a//b[c]/d.
+//
+// Update scripts are line-oriented; '#' starts a comment and a blank line
+// closes the current mutation batch (each batch applies transactionally and
+// is followed by one incremental re-materialization):
+//   setedge <pid> <prob>
+//   remove  <pid>
+//   insert  <parent-pid> <prob> <p-document-text>
+//   setexp  <pid>:<child-index> <prob>@<i,j,...> [<prob>@<...> ...]
+// Insert payload nodes must carry pids that are fresh for the document
+// (write them explicitly: label#pid); colliding pids reject the batch.
 
 #include <cstdio>
 #include <fstream>
@@ -20,6 +33,8 @@
 #include "pxml/parser.h"
 #include "pxml/worlds.h"
 #include "rewrite/rewriter.h"
+#include "serve/document_store.h"
+#include "serve/view_server.h"
 #include "tp/parser.h"
 #include "xml/parser.h"
 
@@ -34,7 +49,9 @@ int Usage() {
                "  pxvq worlds  <pdoc-file> [max]\n"
                "  pxvq answer  <pdoc-file> <query> name=def [name=def ...]\n"
                "  pxvq rewrite <query> name=def [name=def ...]\n"
-               "  pxvq plan    <pdoc-file> <query> name=def [name=def ...]\n");
+               "  pxvq plan    <pdoc-file> <query> name=def [name=def ...]\n"
+               "  pxvq update  <pdoc-file> <script-file> <query> "
+               "name=def [name=def ...]\n");
   return 2;
 }
 
@@ -199,6 +216,207 @@ int CmdPlan(int argc, char** argv) {
   return 0;
 }
 
+// Parses "<pid>" or "<pid>:<child-index>" into (pid, index or -1).
+bool ParseTarget(const std::string& token, PersistentId* pid, int* child) {
+  *child = -1;
+  const size_t colon = token.find(':');
+  try {
+    *pid = std::stoll(token.substr(0, colon));
+    if (colon != std::string::npos) {
+      *child = std::stoi(token.substr(colon + 1));
+    }
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+// Parses one script line into a mutation. Returns false (with a message on
+// stderr) on malformed input.
+bool ParseMutation(const std::string& line, DocMutation* out) {
+  std::istringstream in(line);
+  std::string op, target;
+  in >> op >> target;
+  PersistentId pid;
+  int child;
+  if (!ParseTarget(target, &pid, &child)) {
+    std::fprintf(stderr, "bad target '%s' in: %s\n", target.c_str(),
+                 line.c_str());
+    return false;
+  }
+  if (op == "setedge") {
+    double p;
+    if (!(in >> p)) {
+      std::fprintf(stderr, "setedge needs a probability: %s\n", line.c_str());
+      return false;
+    }
+    if (child >= 0) {
+      std::fprintf(stderr,
+                   "setedge takes a plain pid (mux/ind alternatives carry "
+                   "their own): %s\n",
+                   line.c_str());
+      return false;
+    }
+    *out = DocMutation::SetEdgeProb(pid, p);
+    return true;
+  }
+  if (op == "remove") {
+    *out = DocMutation::RemoveSubtree(pid);
+    return true;
+  }
+  if (op == "insert") {
+    double p;
+    if (!(in >> p)) {
+      std::fprintf(stderr, "insert needs a probability: %s\n", line.c_str());
+      return false;
+    }
+    std::string ptext;
+    std::getline(in, ptext);
+    const auto sub = ParsePDocument(ptext);
+    if (!sub.ok()) {
+      std::fprintf(stderr, "bad insert payload: %s\n",
+                   sub.status().message().c_str());
+      return false;
+    }
+    *out = DocMutation::InsertSubtree(pid, *sub, p);
+    return true;
+  }
+  if (op == "setexp") {
+    if (child < 0) {
+      std::fprintf(stderr, "setexp target needs <pid>:<child-index>: %s\n",
+                   line.c_str());
+      return false;
+    }
+    std::vector<std::pair<std::vector<int>, double>> dist;
+    std::string entry;
+    while (in >> entry) {
+      const size_t at = entry.find('@');
+      if (at == std::string::npos) {
+        std::fprintf(stderr, "setexp entry needs <prob>@<i,j,...>: %s\n",
+                     entry.c_str());
+        return false;
+      }
+      std::vector<int> subset;
+      try {
+        const double p = std::stod(entry.substr(0, at));
+        std::istringstream idx(entry.substr(at + 1));
+        std::string tok;
+        while (std::getline(idx, tok, ',')) {
+          if (!tok.empty()) subset.push_back(std::stoi(tok));
+        }
+        dist.emplace_back(std::move(subset), p);
+      } catch (...) {
+        std::fprintf(stderr, "bad setexp entry: %s\n", entry.c_str());
+        return false;
+      }
+    }
+    *out = DocMutation::SetExpDistribution(pid, child, std::move(dist));
+    return true;
+  }
+  std::fprintf(stderr, "unknown mutation '%s'\n", op.c_str());
+  return false;
+}
+
+// End-to-end exercise of the store/update layer: load the document,
+// register the views, then run the script — each batch applies
+// transactionally and re-materializes incrementally — and finally answer
+// the query from the last published snapshot.
+int CmdUpdate(int argc, char** argv) {
+  if (argc < 6) return Usage();
+  const auto pd = LoadPDoc(argv[2]);
+  if (!pd.ok()) {
+    std::fprintf(stderr, "%s\n", pd.status().message().c_str());
+    return 1;
+  }
+  std::ifstream script(argv[3]);
+  if (!script) {
+    std::fprintf(stderr, "cannot open %s\n", argv[3]);
+    return 1;
+  }
+  const auto q = ParsePattern(argv[4]);
+  if (!q.ok()) {
+    std::fprintf(stderr, "bad query: %s\n", q.status().message().c_str());
+    return 1;
+  }
+  ViewServer server;
+  {
+    Rewriter parsed;  // Reuse the name=def parser, then copy into the server.
+    for (int i = 5; i < argc; ++i) {
+      if (!ParseNamedView(argv[i], &parsed)) return Usage();
+    }
+    for (const NamedView& v : parsed.views()) {
+      server.AddView(v.name, v.def.Clone());
+    }
+  }
+  DocumentStore store(&server);
+  if (Status s = store.Put("doc", *pd); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    return 1;
+  }
+
+  std::vector<DocMutation> batch;
+  int batch_no = 0;
+  const auto flush = [&]() -> bool {
+    if (batch.empty()) return true;
+    ++batch_no;
+    const auto applied = store.Apply("doc", batch);
+    if (!applied.ok()) {
+      std::fprintf(stderr, "batch %d rejected (rolled back): %s\n", batch_no,
+                   applied.status().message().c_str());
+      batch.clear();
+      return true;  // A rejected batch is an outcome, not a tool failure.
+    }
+    if (Status s = store.MaterializeIncremental("doc"); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.message().c_str());
+      return false;
+    }
+    std::printf("batch %d: %zu mutation(s) applied, uid %llu\n", batch_no,
+                batch.size(), static_cast<unsigned long long>(*applied));
+    batch.clear();
+    return true;
+  };
+  std::string line;
+  while (std::getline(script, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const bool blank = line.find_first_not_of(" \t\r") == std::string::npos;
+    if (blank) {
+      if (!flush()) return 1;
+      continue;
+    }
+    DocMutation m;
+    if (!ParseMutation(line, &m)) return 1;
+    batch.push_back(std::move(m));
+  }
+  if (!flush()) return 1;
+
+  const auto answer = store.Answer("doc", *q);
+  if (!answer.has_value()) {
+    std::fprintf(stderr,
+                 "no probabilistic rewriting exists over these views\n");
+    return 3;
+  }
+  for (const PidProb& pp : *answer) {
+    std::printf("pid=%lld  Pr=%.10g\n", static_cast<long long>(pp.pid),
+                pp.prob);
+  }
+  const DocumentStoreStats stats = store.stats();
+  const SubtreeCacheStats cache = store.SessionCacheStats("doc");
+  std::printf(
+      "store: %lld batch(es), %lld mutation(s), %lld rejected; views "
+      "patched %lld / rebuilt %lld / clean %lld; subtree memo %llu hits, "
+      "%llu stores\n",
+      static_cast<long long>(stats.batches),
+      static_cast<long long>(stats.mutations),
+      static_cast<long long>(stats.rejected_batches),
+      static_cast<long long>(stats.views_patched),
+      static_cast<long long>(stats.views_rebuilt),
+      static_cast<long long>(stats.views_clean),
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.stores));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -209,5 +427,6 @@ int main(int argc, char** argv) {
   if (cmd == "answer") return CmdAnswer(argc, argv);
   if (cmd == "rewrite") return CmdRewrite(argc, argv);
   if (cmd == "plan") return CmdPlan(argc, argv);
+  if (cmd == "update") return CmdUpdate(argc, argv);
   return Usage();
 }
