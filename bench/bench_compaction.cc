@@ -1,0 +1,172 @@
+// Tombstone compaction benchmarks (ISSUE 5 acceptance: under sustained
+// insert/remove churn the document arena must stay bounded with compaction
+// enabled — no monotonic growth — while post-compaction materialization
+// stays bit-identical; the equivalence half lives in tests/compaction_test,
+// this file measures the memory and latency half).
+//
+//   * BM_SustainedChurn         — the serving store's write+materialize loop
+//     under steady insert/remove churn with automatic threshold compaction.
+//     Counters expose the arena peak vs live size: peak_nodes stays a small
+//     multiple of live_nodes (bounded), because Apply compacts every time
+//     tombstones outweigh live nodes.
+//   * BM_SustainedChurnNoCompact — identical workload, compaction disabled:
+//     the arena grows monotonically (peak_nodes ≈ total insertions), the
+//     "leak forever" baseline the CI floor compares against.
+//   * BM_CompactionPass          — PDocument::Compact() itself on a
+//     tombstone-heavy document (the latency a serving write pays when it
+//     crosses the threshold).
+//
+// Churn model: a personnel corpus where every round retires the oldest
+// person subtree and hires a fresh one (constant live size, unbounded
+// tombstone production), followed by an incremental re-materialization of
+// the registered views — the steady-state shape of a long-lived mutable
+// document behind a ViewServer.
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_flags.h"
+#include "gen/docgen.h"
+#include "serve/document_store.h"
+#include "serve/view_server.h"
+#include "tp/parser.h"
+#include "util/random.h"
+#include "xml/label.h"
+
+namespace pxv {
+namespace {
+
+void RegisterViews(ViewServer* server) {
+  server->AddView("vbonus", Tp("IT-personnel//person/bonus"));
+  server->AddView("vrick", Tp("IT-personnel//person[name/Rick]/bonus"));
+}
+
+// A fresh person subtree (name mux + one bonus) with explicit fresh pids.
+PDocument FreshPerson(Rng& rng, PersistentId* next_pid) {
+  PDocument person;
+  {
+    PDocument::MutationBatch batch(&person);  // Scoped: closed before return.
+    const NodeId p = person.AddRoot(Intern("person"), (*next_pid)++);
+    const NodeId name = person.AddOrdinary(p, Intern("name"), 1.0,
+                                           (*next_pid)++);
+    const NodeId mux = person.AddDistributional(name, PKind::kMux);
+    person.AddOrdinary(mux, rng.NextBool(0.2) ? Intern("Rick") : Intern("Mary"),
+                       0.4 + 0.5 * rng.NextDouble(), (*next_pid)++);
+    const NodeId bonus = person.AddOrdinary(p, Intern("bonus"), 1.0,
+                                            (*next_pid)++);
+    const NodeId ind = person.AddDistributional(bonus, PKind::kInd);
+    person.AddOrdinary(ind, Intern("laptop"), 0.3 + 0.5 * rng.NextDouble(),
+                       (*next_pid)++);
+  }
+  return person;
+}
+
+// Pids of the current person subtrees, in document order.
+std::deque<PersistentId> PersonPids(const PDocument& pd) {
+  std::deque<PersistentId> pids;
+  for (NodeId n = 0; n < pd.size(); ++n) {
+    if (pd.ordinary(n) && !pd.detached(n) && pd.label(n) == Intern("person")) {
+      pids.push_back(pd.pid(n));
+    }
+  }
+  return pids;
+}
+
+// One churn loop body shared by the with/without-compaction variants.
+void SustainedChurn(benchmark::State& state, bool compact) {
+  ViewServer server;
+  RegisterViews(&server);
+  DocumentStoreOptions options;
+  options.compact_documents = compact;
+  DocumentStore store(&server, options);
+  Rng rng(2026);
+  const int persons = static_cast<int>(state.range(0));
+  PDocument pd = PersonnelPDocument(rng, persons, 0.2, 0.3);
+  std::deque<PersistentId> pids = PersonPids(pd);
+  const PersistentId root_pid = pd.pid(pd.root());
+  if (!store.Put("doc", std::move(pd)).ok()) {
+    state.SkipWithError("Put failed");
+    return;
+  }
+  PersistentId next_pid = 10000000;
+  int peak_nodes = 0;
+  for (auto _ : state) {
+    // Retire the oldest person, hire a fresh one: live size is constant,
+    // tombstones accumulate until (if enabled) Apply compacts.
+    PDocument person = FreshPerson(rng, &next_pid);
+    const PersistentId fresh_pid = person.pid(person.root());
+    const auto applied = store.Apply(
+        "doc", {DocMutation::RemoveSubtree(pids.front()),
+                DocMutation::InsertSubtree(root_pid, std::move(person))});
+    if (!applied.ok()) {
+      state.SkipWithError("Apply failed");
+      return;
+    }
+    pids.pop_front();
+    pids.push_back(fresh_pid);
+    if (!store.MaterializeIncremental("doc").ok()) {
+      state.SkipWithError("MaterializeIncremental failed");
+      return;
+    }
+    peak_nodes = std::max(peak_nodes, store.Find("doc")->size());
+  }
+  const PDocument* doc = store.Find("doc");
+  const DocumentStoreStats stats = store.stats();
+  state.counters["peak_nodes"] = static_cast<double>(peak_nodes);
+  state.counters["live_nodes"] = static_cast<double>(doc->live_size());
+  state.counters["final_nodes"] = static_cast<double>(doc->size());
+  state.counters["compactions"] = static_cast<double>(stats.compactions);
+  state.counters["nodes_reclaimed"] =
+      static_cast<double>(stats.nodes_reclaimed);
+  state.counters["rounds"] = static_cast<double>(stats.batches);
+  if (benchflags::Profile()) {
+    const SubtreeCacheStats cache = store.SessionCacheStats("doc");
+    state.counters["memo_hits"] = static_cast<double>(cache.hits);
+    state.counters["memo_invalidations"] =
+        static_cast<double>(cache.invalidations);
+  }
+}
+
+void BM_SustainedChurn(benchmark::State& state) {
+  SustainedChurn(state, /*compact=*/true);
+}
+BENCHMARK(BM_SustainedChurn)->Arg(50)->Arg(150)->Unit(benchmark::kMicrosecond);
+
+void BM_SustainedChurnNoCompact(benchmark::State& state) {
+  SustainedChurn(state, /*compact=*/false);
+}
+BENCHMARK(BM_SustainedChurnNoCompact)
+    ->Arg(50)
+    ->Arg(150)
+    ->Unit(benchmark::kMicrosecond);
+
+// Compact() alone: rebuild cost of a half-tombstoned arena (the write-path
+// latency of the round that crosses the threshold).
+void BM_CompactionPass(benchmark::State& state) {
+  Rng rng(7);
+  const int persons = static_cast<int>(state.range(0));
+  PDocument churned = PersonnelPDocument(rng, persons, 0.2, 0.3);
+  // Detach just under half the arena so every iteration's copy sits at the
+  // serving threshold.
+  std::deque<PersistentId> pids = PersonPids(churned);
+  while (churned.detached_count() * 2 <= churned.size() && pids.size() > 1) {
+    churned.RemoveSubtree(churned.FindByPid(pids.front()));
+    pids.pop_front();
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    PDocument copy = churned;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(copy.Compact());
+  }
+  state.counters["arena_nodes"] = static_cast<double>(churned.size());
+  state.counters["tombstones"] = static_cast<double>(churned.detached_count());
+}
+BENCHMARK(BM_CompactionPass)->Arg(50)->Arg(300)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace pxv

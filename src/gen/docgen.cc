@@ -45,11 +45,13 @@ void Grow(PDocument* pd, NodeId parent, int depth, int* budget, Rng& rng,
   }
 }
 
-// Removes invalidity: distributional leaves get an ordinary child.
+// Removes invalidity: distributional leaves get an ordinary child. Raw
+// arena scan — skip tombstones (re-attaching a child under one would trip
+// the insert-under-detached check if a caller ever churns a generated doc).
 void FixLeaves(PDocument* pd) {
   const int n = pd->size();
   for (NodeId i = 0; i < n; ++i) {
-    if (!pd->ordinary(i) && pd->children(i).empty()) {
+    if (!pd->ordinary(i) && !pd->detached(i) && pd->children(i).empty()) {
       pd->AddOrdinary(i, Intern("leaf"), 0.5);
     }
   }

@@ -29,6 +29,10 @@ SubtreeCacheStats ExactDpBackend::subtree_cache_stats() const {
                            : SubtreeCacheStats{};
 }
 
+void ExactDpBackend::InvalidateSubtreeCache() {
+  pxv::InvalidateSubtreeCache(cache_.get());
+}
+
 // Engine options for one batched call: the incremental memo is keyed by the
 // concatenated canonical member patterns — the same member set in the same
 // order always lands on the same signature, and any other set cannot

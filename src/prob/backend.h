@@ -111,6 +111,11 @@ class ExactDpBackend : public ProbBackend {
   /// Incremental-memo counters; zeros when cache_subtrees is off.
   SubtreeCacheStats subtree_cache_stats() const;
 
+  /// Drops the subtree memo (no-op when cache_subtrees is off), keeping the
+  /// backend — scratch, profile — intact. Required after an id remap of the
+  /// evaluated document (PDocument::Compact): memo entries are NodeId-keyed.
+  void InvalidateSubtreeCache();
+
  private:
   EngineOptions RunOptions(const std::vector<const Pattern*>& members);
 

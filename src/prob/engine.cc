@@ -84,6 +84,14 @@ class SubtreeCache {
 
   DistPool* pool() { return scratch_.pool(); }
 
+  // Whole-cache drop (see engine.h InvalidateSubtreeCache): same wholesale
+  // reclamation as the kMaxSignatures eviction, different counter.
+  void Invalidate() {
+    sigs_.clear();
+    scratch_.BeginRun();
+    ++stats.invalidations;
+  }
+
   SubtreeCacheStats stats;
 
   uint64_t EntryCount() const {
@@ -109,6 +117,10 @@ SubtreeCacheStats GetSubtreeCacheStats(const SubtreeCache& cache) {
   s.signatures = cache.SignatureCount();
   s.entries = cache.EntryCount();
   return s;
+}
+
+void InvalidateSubtreeCache(SubtreeCache* cache) {
+  if (cache != nullptr) cache->Invalidate();
 }
 
 namespace {

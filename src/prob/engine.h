@@ -109,8 +109,20 @@ struct SubtreeCacheStats {
   uint64_t flushes = 0;     ///< Signature flushes (frame epoch shifted).
   uint64_t signatures = 0;  ///< Distinct query signatures currently held.
   uint64_t entries = 0;     ///< Cached (node, region) entries currently held.
+  uint64_t invalidations = 0;  ///< Whole-cache invalidations (compaction).
 };
 SubtreeCacheStats GetSubtreeCacheStats(const SubtreeCache& cache);
+
+/// Drops every memoized entry (all signatures) and reclaims the cache's
+/// arena wholesale, keeping the cache object — and its cumulative counters
+/// — alive. The scoped invalidation PDocument::Compact() requires: entries
+/// are keyed by NodeId and only *validated* by subtree version, and
+/// versions are shared along a stamped spine, so after an id remap a stale
+/// entry could collide with a remapped node of equal version. Flushing the
+/// memo (and nothing else: result caches and analysis buffers re-key off
+/// the fresh uid/structure_version by themselves) is exactly the scope a
+/// compaction invalidates.
+void InvalidateSubtreeCache(SubtreeCache* cache);
 
 /// Exact-DP tuning knobs, threaded from ProbBackend/EvalSession.
 struct EngineOptions {

@@ -185,7 +185,10 @@ class Engine {
     for (const QNode& qn : qnodes_) qlabels.insert(qn.label);
     relevant_.assign(pd.size(), 0);
     for (NodeId n = pd.size() - 1; n >= 0; --n) {
-      bool rel = pd.ordinary(n) && qlabels.count(pd.label(n)) > 0;
+      // Detached tombstones must not leak relevance (they are unreachable
+      // from the root, but this scan walks the raw arena).
+      bool rel = !pd.detached(n) && pd.ordinary(n) &&
+                 qlabels.count(pd.label(n)) > 0;
       if (!rel) {
         for (NodeId c : pd.children(n)) {
           if (relevant_[c]) {

@@ -47,6 +47,11 @@ SubtreeCacheStats EvalSession::subtree_cache_stats() const {
       ->subtree_cache_stats();
 }
 
+void EvalSession::InvalidateSubtreeMemo() {
+  if (options_.backend == BackendKind::kNaive) return;
+  static_cast<ExactDpBackend*>(chain_.front().get())->InvalidateSubtreeCache();
+}
+
 double EvalSession::Conjunction(const std::vector<Goal>& goals) {
   std::string declines;
   for (const auto& backend : chain_) {

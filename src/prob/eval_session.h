@@ -109,6 +109,15 @@ class EvalSession {
   /// cache_subtrees is off or the session runs naive-only.
   SubtreeCacheStats subtree_cache_stats() const;
 
+  /// Scoped invalidation for a document whose node ids were remapped
+  /// (PDocument::Compact): drops ONLY the exact-DP subtree memo — its
+  /// entries are NodeId-keyed and version equality does not protect them
+  /// across a remap — while every uid-keyed structure (result cache, label
+  /// index, analysis buffers) re-keys off the compaction's fresh uid by
+  /// itself. The session object, backend chain, scratch arenas and
+  /// counters all survive; no-op without an exact-DP backend or memo.
+  void InvalidateSubtreeMemo();
+
  private:
   // Drops every uid-derived structure when the document mutated since the
   // last call, so a session can never serve results computed for an earlier

@@ -185,6 +185,56 @@ void PDocument::RemoveSubtree(NodeId n) {
   dirty_.push_back(n);
 }
 
+std::vector<NodeId> PDocument::Compact() {
+  PXV_CHECK(!in_batch_) << "cannot compact inside an open mutation batch";
+  std::vector<NodeId> remap(nodes_.size(), kNullNode);
+  if (detached_count_ == 0) {
+    // Nothing to drop: identity remap, no uid churn (callers' caches stay).
+    for (NodeId n = 0; n < size(); ++n) remap[n] = n;
+    return remap;
+  }
+  // Stable-rank remap: live nodes keep their relative id order, so the
+  // parent-precedes-child arena invariant survives and ascending-id scans
+  // (LabelIndex, batch results, extension construction order) visit the
+  // same live nodes in the same order as before compaction.
+  NodeId next = 0;
+  for (NodeId n = 0; n < size(); ++n) {
+    if (!nodes_[n].detached) remap[n] = next++;
+  }
+  // Dirty entries whose target is dropped (a not-yet-consumed removal) fall
+  // back to the nearest live ancestor: the removed labels are gone, but the
+  // structural change still dirties its spine. Resolved against the old
+  // parent links, before the arena is rebuilt.
+  for (NodeId& d : dirty_) {
+    NodeId cur = d;
+    while (remap[cur] == kNullNode) cur = nodes_[cur].parent;
+    d = remap[cur];
+  }
+  std::vector<PNode> fresh(next);
+  for (NodeId n = 0; n < size(); ++n) {
+    if (nodes_[n].detached) continue;
+    PNode node = std::move(nodes_[n]);
+    if (node.parent != kNullNode) node.parent = remap[node.parent];
+    // A live node's children are all live: removal unlinks the detached
+    // root from its (live) parent, and interior detached nodes only hang
+    // off detached parents.
+    for (NodeId& c : node.children) {
+      PXV_CHECK_NE(remap[c], kNullNode) << "live node with detached child";
+      c = remap[c];
+    }
+    fresh[remap[n]] = std::move(node);
+  }
+  nodes_ = std::move(fresh);
+  detached_count_ = 0;
+  // Node ids are cache keys (subtree memos, analysis buffers, label
+  // indexes): a fresh uid/structure_version guarantees none of them can be
+  // served across the remap. Versions stay — they stamp *content*, which
+  // compaction preserves.
+  uid_ = NextUid();
+  structure_version_ = uid_;
+  return remap;
+}
+
 void PDocument::SetChildOrder(NodeId parent, const std::vector<NodeId>& order) {
   Check(parent);
   PXV_CHECK(kind(parent) != PKind::kExp)

@@ -157,11 +157,36 @@ class PDocument {
   /// this instead of uid().
   uint64_t structure_version() const { return structure_version_; }
 
-  /// Nodes currently flagged detached. Grows monotonically until the
-  /// document is rebuilt — consumers patching documents in place use the
-  /// ratio against size() to decide when compaction (a full rebuild) beats
-  /// further patching.
+  /// Nodes currently flagged detached. Grows monotonically until Compact()
+  /// rebuilds the arena — consumers patching documents in place use the
+  /// ratio against size() to decide when compaction beats further patching.
   int detached_count() const { return detached_count_; }
+
+  /// Nodes that are actually part of the document: size() minus the
+  /// detached tombstones. This — not size() — is the |P̂| every cost model
+  /// and O(|P̂|)-style estimate should charge; raw size() counts garbage on
+  /// a churned document.
+  int live_size() const { return size() - detached_count_; }
+
+  /// Rebuilds the node arena dropping every detached node. Live nodes keep
+  /// their pids, labels, kinds, edge probabilities, exp distributions,
+  /// sibling order and *subtree version stamps*; node ids are remapped to a
+  /// dense range preserving relative order (so parents still precede
+  /// children and ascending-id traversals visit live nodes in the same
+  /// order as before). Returns the old→new id table, kNullNode for dropped
+  /// nodes; the identity (and no other change) when nothing is detached.
+  ///
+  /// Node ids are an arena detail, but caches key on them: compaction
+  /// draws a fresh uid()/structure_version() so uid- and structure-keyed
+  /// derived state can never be served across the remap. Callers holding
+  /// NodeId-based bookkeeping (e.g. MaterializedView results) must remap it
+  /// through the returned table; pid-keyed state needs nothing.
+  ///
+  /// Pending dirty_paths() are remapped too (entries for dropped subtree
+  /// roots are kept pointing at their nearest live ancestor-or-root so a
+  /// not-yet-consumed removal still dirties its spine). Must not be called
+  /// inside an open MutationBatch.
+  std::vector<NodeId> Compact();
 
   NodeId root() const { return nodes_.empty() ? kNullNode : 0; }
   bool empty() const { return nodes_.empty(); }

@@ -108,6 +108,13 @@ struct ExtensionDeltaStats {
 /// and node-id layout excepted) — touching only the changed entries:
 /// O(|delta|) instead of O(|P̂_v|). `new_results` must be ascending by node,
 /// and `options` must match the ones the view was built with.
+///
+/// After a source-document compaction (PDocument::Compact) the caller
+/// remaps `view->results[i].node` through the remap table: dropped sources
+/// become kNullNode, which this diff classifies as "removed" on sight
+/// (kNullNode precedes every live id), and the surviving entries keep their
+/// relative order (stable-rank remap), so the two-pointer alignment — and
+/// with it O(|delta|) patching — carries across the compaction.
 ExtensionDeltaStats BuildViewExtensionDelta(
     const PDocument& pd, const std::vector<ViewResultEntry>& new_results,
     MaterializedView* view, const ViewExtensionOptions& options = {});

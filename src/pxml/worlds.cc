@@ -204,6 +204,9 @@ StatusOr<std::vector<World>> EnumerateWorlds(const PDocument& pd,
 
 double AppearanceProbability(const PDocument& pd, NodeId n) {
   PXV_CHECK(pd.ordinary(n));
+  // A tombstone's parent link survives detachment, so the walk below would
+  // happily price a node that appears with probability 0 — reject it.
+  PXV_CHECK(!pd.detached(n)) << "appearance probability of a detached node";
   double p = 1.0;
   NodeId cur = n;
   while (pd.parent(cur) != kNullNode) {

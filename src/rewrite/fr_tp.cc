@@ -15,11 +15,15 @@
 namespace pxv {
 namespace {
 
-// Occurrences of a persistent id among the *ordinary* nodes of a p-document.
+// Occurrences of a persistent id among the *live* ordinary nodes of a
+// p-document. The full-arena scan must skip detached tombstones: on a
+// delta-patched extension a removed copy keeps its pid, and a tombstone in
+// an anchor set would at best waste DP work and at worst keep a pid
+// answerable after its last live occurrence is gone.
 std::vector<NodeId> Occurrences(const PDocument& pd, PersistentId pid) {
   std::vector<NodeId> out;
   for (NodeId n = 0; n < pd.size(); ++n) {
-    if (pd.ordinary(n) && pd.pid(n) == pid) out.push_back(n);
+    if (pd.ordinary(n) && !pd.detached(n) && pd.pid(n) == pid) out.push_back(n);
   }
   return out;
 }

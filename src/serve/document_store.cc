@@ -42,6 +42,18 @@ DocMutation DocMutation::SetExpDistribution(
   return m;
 }
 
+namespace {
+
+// The one compaction rule, shared by stored documents (Put/Apply) and
+// patched view extensions (MaterializeLocked): rebuild once detached
+// tombstones outweigh the live nodes — amortized, one rebuild per ~|live|
+// detachments.
+bool TombstonesOutweighLive(const PDocument& d) {
+  return d.detached_count() * 2 > d.size();
+}
+
+}  // namespace
+
 DocumentStore::DocumentStore(ViewServer* server, DocumentStoreOptions options)
     : server_(server), options_(options) {
   PXV_CHECK(server_ != nullptr);
@@ -64,6 +76,12 @@ Status DocumentStore::Put(const std::string& name, PDocument doc) {
   state->session = std::make_unique<EvalSession>(state->doc, options_.eval);
   for (const NamedView& v : server_->rewriter().views()) {
     state->views[v.name];  // Fresh ViewState: dirty, nothing materialized.
+  }
+  // A document arriving with a tombstone-heavy arena (e.g. churned outside
+  // the store) starts from a compact one; nothing references its node ids
+  // yet, so the remap is free here (exclusive: nothing else sees the state).
+  if (options_.compact_documents && TombstonesOutweighLive(state->doc)) {
+    CompactLocked(state.get());
   }
   MaterializeLocked(state.get());  // Exclusive: nothing else sees it yet.
   // Publish, serialized with concurrent writers of a replaced document:
@@ -373,7 +391,58 @@ StatusOr<uint64_t> DocumentStore::Apply(const std::string& name,
   batches_.fetch_add(1, std::memory_order_relaxed);
   mutations_.fetch_add(static_cast<int64_t>(batch.size()),
                        std::memory_order_relaxed);
+  // Tombstone compaction, only after the batch committed and its dirty
+  // labels were collected (they live in the detached subtrees compaction
+  // drops). A failed batch therefore never observes a half-compacted
+  // state: the rollback copy above restored the pre-batch arena bit for
+  // bit, threshold crossings included.
+  if (options_.compact_documents && TombstonesOutweighLive(state->doc)) {
+    CompactLocked(state.get());
+  }
   return state->doc.uid();
+}
+
+int DocumentStore::CompactLocked(DocState* state) {
+  const int before = state->doc.size();
+  const std::vector<NodeId> remap = state->doc.Compact();
+  const int reclaimed = before - state->doc.size();
+  if (reclaimed == 0) return 0;
+  // Each view's bookkeeping references *source-document* node ids (the
+  // extension delta diff aligns old and new result lists on them); the
+  // published extensions themselves key on pids and own their arenas, so
+  // they are untouched and every handed-out snapshot stays valid. The
+  // stable-rank remap preserves relative id order, so remapped result
+  // lists still align with the ascending-id lists the next evaluation
+  // produces — incrementality survives compaction. Entries whose source
+  // node was dropped (a removed result not re-materialized yet) become
+  // kNullNode, which the diff classifies as "removed" on sight. Snapshot
+  // readers never touch these vectors (they alias only the extension), so
+  // rewriting them under the write lock is race-free.
+  for (auto& [name, vs] : state->views) {
+    for (const auto& mv : {vs.view, vs.spare}) {
+      if (mv == nullptr) continue;
+      for (ViewResultEntry& e : mv->results) {
+        if (e.node != kNullNode) e.node = remap[e.node];
+      }
+    }
+  }
+  // The session's uid-keyed caches (results, label index, analysis
+  // buffers) re-key off the compaction's fresh uid by themselves; only the
+  // NodeId-keyed subtree memo needs an explicit, document-scoped drop.
+  state->session->InvalidateSubtreeMemo();
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  nodes_reclaimed_.fetch_add(reclaimed, std::memory_order_relaxed);
+  return reclaimed;
+}
+
+StatusOr<int> DocumentStore::Compact(const std::string& name) {
+  for (;;) {
+    const std::shared_ptr<DocState> state = FindState(name);
+    if (state == nullptr) return Status::Error("no document named " + name);
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (FindState(name) != state) continue;  // Replaced while waiting.
+    return CompactLocked(state.get());
+  }
 }
 
 void DocumentStore::MaterializeLocked(DocState* state) {
@@ -407,10 +476,9 @@ void DocumentStore::MaterializeLocked(DocState* state) {
     }
     // Tombstones accumulate in a patched extension; once they outweigh the
     // live nodes in the chosen patch target, a compacting rebuild is
-    // cheaper than further patching (amortized: one rebuild per ~|P̂_v|
-    // patched nodes).
+    // cheaper than further patching.
     const auto bloated = [](const MaterializedView& mv) {
-      return mv.ext.detached_count() * 2 > mv.ext.size();
+      return TombstonesOutweighLive(mv.ext);
     };
     std::shared_ptr<MaterializedView> target;
     if (options_.incremental && vs.view != nullptr) {
@@ -509,6 +577,8 @@ DocumentStoreStats DocumentStore::stats() const {
   s.views_patched = views_patched_.load(std::memory_order_relaxed);
   s.views_rebuilt = views_rebuilt_.load(std::memory_order_relaxed);
   s.views_clean = views_clean_.load(std::memory_order_relaxed);
+  s.compactions = compactions_.load(std::memory_order_relaxed);
+  s.nodes_reclaimed = nodes_reclaimed_.load(std::memory_order_relaxed);
   return s;
 }
 

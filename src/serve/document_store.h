@@ -100,6 +100,11 @@ struct DocumentStoreOptions {
   /// When false, every materialization rebuilds every view from scratch
   /// (debug / baseline benchmarking).
   bool incremental = true;
+  /// Compact a stored document inside Apply once its detached tombstones
+  /// outweigh the live nodes (detached_count * 2 > size — the same rule
+  /// the extension patcher uses). Off ⇒ the node arena grows forever under
+  /// sustained RemoveSubtree churn (tombstone ids are never reused).
+  bool compact_documents = true;
 };
 
 /// Monotonic counters (one consistent snapshot per stats() call).
@@ -111,6 +116,8 @@ struct DocumentStoreStats {
   int64_t views_patched = 0;      ///< Views updated via extension delta.
   int64_t views_rebuilt = 0;      ///< Views rebuilt from scratch.
   int64_t views_clean = 0;        ///< Views republished untouched.
+  int64_t compactions = 0;        ///< Document arenas rebuilt (tombstones).
+  int64_t nodes_reclaimed = 0;    ///< Tombstones dropped by those rebuilds.
 };
 
 class DocumentStore {
@@ -143,6 +150,16 @@ class DocumentStore {
   /// possible — and atomically publishes a new snapshot. Clean views are
   /// republished without copying.
   Status MaterializeIncremental(const std::string& name);
+
+  /// Forces a tombstone compaction of the named document regardless of the
+  /// detached ratio (Apply triggers the same rebuild automatically past
+  /// the threshold). Runs under the document's write lock; published
+  /// extension snapshots are untouched (extensions key on pids and own
+  /// their arenas), each view's NodeId bookkeeping is remapped so the next
+  /// MaterializeIncremental still patches instead of rebuilding, and only
+  /// this document's subtree memo is dropped. Returns the number of
+  /// tombstone nodes reclaimed (0 when none were detached).
+  StatusOr<int> Compact(const std::string& name);
 
   /// Views currently marked dirty for the named document (empty when the
   /// name is unknown).
@@ -207,6 +224,10 @@ class DocumentStore {
   static void CollectLabels(const PDocument& doc, NodeId root,
                             std::set<Label>* out);
   void MaterializeLocked(DocState* state);
+  // Tombstone compaction under the write lock (see Compact()). Returns the
+  // nodes reclaimed. Must run only after the batch's dirty labels were
+  // collected — compaction drops the detached subtrees they live in.
+  int CompactLocked(DocState* state);
 
   ViewServer* server_;
   DocumentStoreOptions options_;
@@ -221,6 +242,8 @@ class DocumentStore {
   std::atomic<int64_t> views_patched_{0};
   std::atomic<int64_t> views_rebuilt_{0};
   std::atomic<int64_t> views_clean_{0};
+  std::atomic<int64_t> compactions_{0};
+  std::atomic<int64_t> nodes_reclaimed_{0};
 };
 
 }  // namespace pxv

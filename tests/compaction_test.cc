@@ -1,0 +1,756 @@
+// Tombstone compaction suite.
+//
+// The contract under test (ISSUE 5 acceptance): PDocument::Compact() drops
+// every detached node while preserving pids, sibling order, exp
+// distributions and per-node subtree version stamps; ids remap densely
+// preserving relative order; and a DocumentStore serving a compacted
+// document — whether Apply crossed the detached-ratio threshold or a
+// caller forced Compact() — keeps query and materialization results
+// bit-identical to an uncompacted twin and to a from-scratch rebuild,
+// across the flat exact DP, the reference engine, and the naive
+// world-enumeration oracle (the latter two to numerical tolerance — they
+// sum in different orders by design). Exp nodes and the >32-slot wide-key
+// regime are covered, as are the detached-leak regressions (cost model,
+// pid occurrence scans) and the rollback-across-the-threshold fault
+// injection.
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/docgen.h"
+#include "prob/engine.h"
+#include "prob/eval_session.h"
+#include "prob/naive.h"
+#include "prob/query_eval.h"
+#include "pxml/parser.h"
+#include "pxml/view_extension.h"
+#include "rewrite/planner.h"
+#include "rewrite/rewriter.h"
+#include "serve/document_store.h"
+#include "serve/view_server.h"
+#include "tp/parser.h"
+#include "util/random.h"
+#include "util/strings.h"
+#include "xml/label.h"
+
+namespace pxv {
+namespace {
+
+// ------------------------------------------------------- canonical form ----
+// Structure + labels + source pids + exact probabilities; ignores arena
+// node ids and extension-local (negative) pids — the representational
+// freedoms both delta patching and compaction have.
+
+void AppendProb(double p, std::string* out) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", p);  // Round-trips doubles.
+  *out += buf;
+}
+
+void CanonNode(const PDocument& d, NodeId n, std::string* out) {
+  if (d.ordinary(n)) {
+    *out += "O(";
+    *out += LabelName(d.label(n));
+    *out += ',';
+    *out += d.pid(n) >= 0 ? std::to_string(d.pid(n)) : std::string("L");
+    *out += ',';
+    AppendProb(d.edge_prob(n), out);
+    *out += ')';
+  } else {
+    *out += PKindName(d.kind(n));
+    *out += '(';
+    AppendProb(d.edge_prob(n), out);
+    if (d.kind(n) == PKind::kExp) {
+      for (const auto& [subset, p] : d.exp_distribution(n)) {
+        *out += ";{";
+        for (int idx : subset) {
+          *out += std::to_string(idx);
+          *out += ' ';
+        }
+        *out += "}=";
+        AppendProb(p, out);
+      }
+    }
+    *out += ')';
+  }
+  *out += '[';
+  for (NodeId c : d.children(n)) CanonNode(d, c, out);
+  *out += ']';
+}
+
+std::string Canon(const PDocument& d) {
+  std::string out;
+  if (!d.empty()) CanonNode(d, d.root(), &out);
+  return out;
+}
+
+// ------------------------------------------------ document + mutation gen ----
+// Stratified labels (depth-i nodes are l{i-1}; see incremental_test.cc):
+// no label nests under itself, so view outputs have unique selected
+// ancestors — the §4 restricted-plan precondition.
+
+Label StratLabel(int ordinary_depth) {
+  return Intern("l" + std::to_string(ordinary_depth - 1));
+}
+
+int OrdinaryDepth(const PDocument& pd, NodeId n) {
+  int depth = 0;
+  for (NodeId a = pd.OrdinaryAncestor(n); a != kNullNode;
+       a = pd.OrdinaryAncestor(a)) {
+    ++depth;
+  }
+  return depth;
+}
+
+void GrowStrat(PDocument* pd, NodeId parent, int odepth, int* budget,
+               Rng& rng) {
+  if (*budget <= 0 || odepth > 4) return;
+  const int fanout = 1 + static_cast<int>(rng.NextBounded(3));
+  for (int i = 0; i < fanout && *budget > 0; ++i) {
+    const Label l = StratLabel(odepth);
+    if (rng.NextBool(0.35)) {
+      const PKind kind = rng.NextBool(0.5) ? PKind::kMux : PKind::kInd;
+      const NodeId dist = pd->AddDistributional(parent, kind);
+      const int alts = 1 + static_cast<int>(rng.NextBounded(2));
+      double remaining = 1.0;
+      for (int a = 0; a < alts; ++a) {
+        double p = rng.NextDouble();
+        if (kind == PKind::kMux) {
+          p = std::min(p, remaining);
+          remaining -= p;
+        }
+        const NodeId c = pd->AddOrdinary(dist, l, p);
+        --*budget;
+        GrowStrat(pd, c, odepth + 1, budget, rng);
+      }
+    } else {
+      const NodeId c = pd->AddOrdinary(parent, l);
+      --*budget;
+      GrowStrat(pd, c, odepth + 1, budget, rng);
+    }
+  }
+}
+
+PDocument RandomDocWithExp(Rng& rng, int target_nodes, int exp_nodes) {
+  PDocument pd;
+  const NodeId root = pd.AddRoot(Intern("root"));
+  int budget = target_nodes;
+  GrowStrat(&pd, root, 1, &budget, rng);
+  while (pd.children(root).empty()) {
+    pd.AddOrdinary(root, StratLabel(1));
+  }
+  std::vector<NodeId> ordinary;
+  for (NodeId n = 0; n < pd.size(); ++n) {
+    if (pd.ordinary(n)) ordinary.push_back(n);
+  }
+  for (int e = 0; e < exp_nodes; ++e) {
+    const NodeId host = ordinary[rng.NextBounded(ordinary.size())];
+    const NodeId exp = pd.AddExp(host);
+    const int kids = 2 + static_cast<int>(rng.NextBounded(2));
+    for (int k = 0; k < kids; ++k) {
+      pd.AddOrdinary(exp, StratLabel(OrdinaryDepth(pd, exp)));
+    }
+    std::vector<std::pair<std::vector<int>, double>> dist;
+    double remaining = 1.0;
+    const int subsets = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int s = 0; s < subsets; ++s) {
+      std::vector<int> subset;
+      for (int k = 0; k < kids; ++k) {
+        if (rng.NextBool(0.5)) subset.push_back(k);
+      }
+      const double p = std::min(remaining, 0.5 * rng.NextDouble());
+      remaining -= p;
+      dist.emplace_back(std::move(subset), p);
+    }
+    pd.SetExpDistribution(exp, std::move(dist));
+  }
+  PXV_CHECK(pd.Validate().ok());
+  pd.ClearDirtyPaths();
+  return pd;
+}
+
+PDocument RandomPayload(Rng& rng, PersistentId* next_pid, int base_odepth) {
+  PDocument sub;
+  {
+    PDocument::MutationBatch batch(&sub);  // Scoped: closed before return.
+    const NodeId root = sub.AddRoot(StratLabel(base_odepth), (*next_pid)++);
+    const int kids = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int k = 0; k < kids; ++k) {
+      if (rng.NextBool(0.4)) {
+        const NodeId dist = sub.AddDistributional(
+            root, rng.NextBool(0.5) ? PKind::kMux : PKind::kInd);
+        sub.AddOrdinary(dist, StratLabel(base_odepth + 1),
+                        0.9 * rng.NextDouble(), (*next_pid)++);
+      } else {
+        const NodeId c = sub.AddOrdinary(root, StratLabel(base_odepth + 1),
+                                         1.0, (*next_pid)++);
+        if (rng.NextBool(0.5)) {
+          sub.AddOrdinary(c, StratLabel(base_odepth + 2), 1.0, (*next_pid)++);
+        }
+      }
+    }
+  }
+  return sub;
+}
+
+// Removal-biased random mutation: compaction only earns its keep under
+// RemoveSubtree churn, so half the draws try a removal first.
+DocMutation ChurnMutation(const PDocument& pd, Rng& rng,
+                          PersistentId* next_pid) {
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    const uint64_t dice = rng.NextBounded(10);
+    if (dice < 5) {  // Remove an ordinary subtree (keep siblings alive).
+      std::vector<NodeId> candidates;
+      for (NodeId n = 0; n < pd.size(); ++n) {
+        if (!pd.ordinary(n) || pd.detached(n) || n == pd.root()) continue;
+        const NodeId par = pd.parent(n);
+        if (pd.kind(par) == PKind::kExp) continue;
+        if (!pd.ordinary(par) && pd.children(par).size() < 2) continue;
+        candidates.push_back(n);
+      }
+      if (candidates.empty()) continue;
+      return DocMutation::RemoveSubtree(
+          pd.pid(candidates[rng.NextBounded(candidates.size())]));
+    }
+    if (dice < 8) {  // Insert a small random subtree under an ordinary node.
+      std::vector<NodeId> candidates;
+      for (NodeId n = 0; n < pd.size(); ++n) {
+        if (pd.ordinary(n) && !pd.detached(n)) candidates.push_back(n);
+      }
+      const NodeId host = candidates[rng.NextBounded(candidates.size())];
+      return DocMutation::InsertSubtree(
+          pd.pid(host),
+          RandomPayload(rng, next_pid, OrdinaryDepth(pd, host) + 1));
+    }
+    // Edge probability of a mux/ind child.
+    std::vector<NodeId> candidates;
+    for (NodeId n = 0; n < pd.size(); ++n) {
+      if (pd.detached(n) || pd.parent(n) == kNullNode) continue;
+      const PKind pk = pd.kind(pd.parent(n));
+      if (pd.ordinary(n) && (pk == PKind::kMux || pk == PKind::kInd)) {
+        candidates.push_back(n);
+      }
+    }
+    if (candidates.empty()) continue;
+    const NodeId n = candidates[rng.NextBounded(candidates.size())];
+    double budget = 1.0;
+    if (pd.kind(pd.parent(n)) == PKind::kMux) {
+      for (NodeId s : pd.children(pd.parent(n))) {
+        if (s != n) budget -= pd.edge_prob(s);
+      }
+    }
+    if (budget <= 0) continue;
+    return DocMutation::SetEdgeProb(pd.pid(n), budget * rng.NextDouble());
+  }
+  return DocMutation::InsertSubtree(pd.pid(pd.root()),
+                                    RandomPayload(rng, next_pid, 1));
+}
+
+// --------------------------------------------------- equivalence harness ----
+
+// Asserts the store's current snapshot is bit-identical to a from-scratch
+// materialization over the (possibly compacted) document, answers match
+// through the planner, and the anchored probabilities agree with the
+// reference engine and — when tractable — the naive oracle.
+void ExpectEquivalent(DocumentStore& store, const std::string& name,
+                      const std::vector<NamedView>& views,
+                      const std::vector<Pattern>& queries) {
+  const PDocument* doc = store.Find(name);
+  ASSERT_NE(doc, nullptr);
+  Rewriter rewriter;
+  for (const NamedView& v : views) rewriter.AddView(v.name, v.def.Clone());
+  const ViewExtensions fresh = rewriter.Materialize(*doc);
+  const auto snapshot = store.Snapshot(name);
+  ASSERT_NE(snapshot, nullptr);
+
+  ASSERT_EQ(snapshot->size(), fresh.size());
+  for (const auto& [vname, ext] : fresh) {
+    const auto it = snapshot->find(vname);
+    ASSERT_NE(it, snapshot->end()) << vname;
+    EXPECT_EQ(Canon(*it->second), Canon(ext)) << "extension " << vname;
+  }
+
+  for (const Pattern& q : queries) {
+    const QueryPlan plan = rewriter.Compile(q);
+    const auto a_inc = ExecuteQueryPlan(plan, *snapshot);
+    const auto a_fresh = ExecuteQueryPlan(plan, fresh);
+    ASSERT_EQ(a_inc.has_value(), a_fresh.has_value());
+    if (!a_inc.has_value()) continue;
+    ASSERT_EQ(a_inc->size(), a_fresh->size());
+    for (size_t i = 0; i < a_inc->size(); ++i) {
+      EXPECT_EQ((*a_inc)[i].pid, (*a_fresh)[i].pid);
+      EXPECT_EQ((*a_inc)[i].prob, (*a_fresh)[i].prob) << "answer not bitwise";
+    }
+  }
+
+  for (const NamedView& v : views) {
+    const auto it = snapshot->find(v.name);
+    ASSERT_NE(it, snapshot->end());
+    const PDocument& ext = *it->second;
+    std::map<PersistentId, double> by_pid;
+    for (NodeId r : ExtensionResultRoots(ext)) {
+      by_pid[ext.pid(r)] += ext.edge_prob(r);
+    }
+    std::map<PersistentId, double> ref_by_pid;
+    for (const NodeProb& np :
+         ReferenceBatchAnchoredProbabilities(*doc, {&v.def})) {
+      if (np.prob > 1e-12) ref_by_pid[doc->pid(np.node)] += np.prob;
+    }
+    ASSERT_EQ(by_pid.size(), ref_by_pid.size()) << v.name;
+    for (const auto& [pid, p] : ref_by_pid) {
+      ASSERT_TRUE(by_pid.count(pid)) << v.name << " pid " << pid;
+      EXPECT_NEAR(by_pid[pid], p, 1e-9) << v.name << " pid " << pid;
+    }
+    StatusOr<std::map<NodeId, double>> naive =
+        NaiveTryBatchAnchored(*doc, {&v.def}, 1 << 14);
+    if (naive.ok()) {
+      std::map<PersistentId, double> naive_by_pid;
+      for (const auto& [n, p] : *naive) {
+        if (p > 1e-12) naive_by_pid[doc->pid(n)] += p;
+      }
+      ASSERT_EQ(by_pid.size(), naive_by_pid.size()) << v.name;
+      for (const auto& [pid, p] : naive_by_pid) {
+        EXPECT_NEAR(by_pid[pid], p, 1e-9) << v.name << " pid " << pid;
+      }
+    }
+  }
+}
+
+// Bitwise comparison of two stores' answers over the same query set (the
+// compacted document against its uncompacted twin).
+void ExpectTwinAnswers(DocumentStore& a, DocumentStore& b,
+                       const std::string& name,
+                       const std::vector<Pattern>& queries) {
+  for (const Pattern& q : queries) {
+    const auto ra = a.Answer(name, q);
+    const auto rb = b.Answer(name, q);
+    ASSERT_EQ(ra.has_value(), rb.has_value());
+    if (!ra.has_value()) continue;
+    ASSERT_EQ(ra->size(), rb->size());
+    for (size_t i = 0; i < ra->size(); ++i) {
+      EXPECT_EQ((*ra)[i].pid, (*rb)[i].pid);
+      EXPECT_EQ((*ra)[i].prob, (*rb)[i].prob) << "twin answers diverge";
+    }
+  }
+}
+
+// --------------------------------------------------------- Compact() unit ----
+
+TEST(CompactUnit, DropsTombstonesPreservingContentAndVersions) {
+  const auto parsed = ParsePDocument(
+      "a(b#10(c#11, d#12), ind(e#13(f#14)@0.5, g#15@0.25), h#16)");
+  ASSERT_TRUE(parsed.ok());
+  PDocument pd = *parsed;
+  pd.RemoveSubtree(pd.FindByPid(13));
+  pd.RemoveSubtree(pd.FindByPid(12));
+  ASSERT_EQ(pd.detached_count(), 3);
+  const PDocument before = pd;  // Copy: shares versions node for node.
+  const std::string canon_before = Canon(pd);
+  const uint64_t uid_before = pd.uid();
+
+  const std::vector<NodeId> remap = pd.Compact();
+  EXPECT_EQ(Canon(pd), canon_before);
+  EXPECT_EQ(pd.detached_count(), 0);
+  EXPECT_EQ(pd.size(), before.size() - 3);
+  EXPECT_EQ(pd.live_size(), pd.size());
+  EXPECT_NE(pd.uid(), uid_before);              // Caches must re-key.
+  EXPECT_GT(pd.uid(), uid_before);              // Monotone counter draw.
+  EXPECT_EQ(pd.structure_version(), pd.uid());
+  ASSERT_TRUE(pd.Validate().ok());
+
+  // Dense stable-rank remap: live nodes keep relative order and content.
+  ASSERT_EQ(static_cast<int>(remap.size()), before.size());
+  NodeId expected = 0;
+  for (NodeId n = 0; n < before.size(); ++n) {
+    if (before.detached(n)) {
+      EXPECT_EQ(remap[n], kNullNode);
+      continue;
+    }
+    ASSERT_EQ(remap[n], expected++);
+    EXPECT_EQ(pd.kind(remap[n]), before.kind(n));
+    EXPECT_EQ(pd.edge_prob(remap[n]), before.edge_prob(n));
+    EXPECT_EQ(pd.version(remap[n]), before.version(n));  // Stamps survive.
+    if (before.ordinary(n)) {
+      EXPECT_EQ(pd.label(remap[n]), before.label(n));
+      EXPECT_EQ(pd.pid(remap[n]), before.pid(n));
+    }
+  }
+  EXPECT_EQ(expected, pd.size());
+
+  // A clean document compacts to the identity without a uid draw.
+  const uint64_t uid_clean = pd.uid();
+  const std::vector<NodeId> identity = pd.Compact();
+  EXPECT_EQ(pd.uid(), uid_clean);
+  for (NodeId n = 0; n < pd.size(); ++n) EXPECT_EQ(identity[n], n);
+}
+
+TEST(CompactUnit, ExpDistributionsAndSiblingOrderSurvive) {
+  PDocument pd;
+  const NodeId root = pd.AddRoot(Intern("a"), 1);
+  const NodeId keep1 = pd.AddOrdinary(root, Intern("k"), 1.0, 2);
+  pd.AddOrdinary(root, Intern("x"), 1.0, 3);
+  const NodeId keep2 = pd.AddOrdinary(root, Intern("k"), 1.0, 4);
+  const NodeId exp = pd.AddExp(keep2);
+  pd.AddOrdinary(exp, Intern("e"), 1.0, 5);
+  pd.AddOrdinary(exp, Intern("e"), 1.0, 6);
+  pd.SetExpDistribution(exp, {{{0}, 0.3}, {{0, 1}, 0.5}});
+  pd.AddOrdinary(keep1, Intern("y"), 1.0, 7);
+  ASSERT_TRUE(pd.Validate().ok());
+  pd.RemoveSubtree(pd.FindByPid(3));
+  const std::string canon = Canon(pd);
+
+  pd.Compact();
+  EXPECT_EQ(Canon(pd), canon);  // Canon captures order + exp subsets.
+  const NodeId new_exp = pd.children(pd.FindByPid(4))[0];
+  ASSERT_EQ(pd.kind(new_exp), PKind::kExp);
+  const auto& dist = pd.exp_distribution(new_exp);
+  ASSERT_EQ(dist.size(), 2u);
+  EXPECT_EQ(dist[0].first, (std::vector<int>{0}));
+  EXPECT_EQ(dist[1].first, (std::vector<int>{0, 1}));
+}
+
+TEST(CompactUnit, PendingDirtyPathsFallBackToLiveAncestors) {
+  const auto parsed = ParsePDocument("a(b#10(c#11), d#12)");
+  ASSERT_TRUE(parsed.ok());
+  PDocument pd = *parsed;
+  pd.ClearDirtyPaths();
+  pd.RemoveSubtree(pd.FindByPid(11));  // Dirty entry = the detached root.
+  ASSERT_EQ(pd.dirty_paths().size(), 1u);
+  pd.Compact();
+  ASSERT_EQ(pd.dirty_paths().size(), 1u);
+  const NodeId d = pd.dirty_paths()[0];
+  ASSERT_GE(d, 0);
+  ASSERT_LT(d, pd.size());
+  EXPECT_FALSE(pd.detached(d));
+  EXPECT_EQ(pd.pid(d), 10);  // c's nearest live ancestor is b.
+}
+
+// The subtree memo is NodeId-keyed: after a compaction remap it must be
+// dropped (versions are shared along stamped spines, so id/version pairs
+// can collide across the remap), and ONLY it — the session itself, its
+// scratch and its counters survive, and evaluation stays bit-identical to
+// a fresh session.
+TEST(CompactUnit, ScopedSubtreeMemoInvalidation) {
+  Rng rng(77);
+  PDocument pd = RandomDocWithExp(rng, 30, 1);
+  const Pattern q = Tp("root//l1");
+  EvalOptions options;
+  options.cache_subtrees = true;
+  EvalSession session(pd, options);
+  (void)session.EvaluateTP(q);
+  ASSERT_GT(session.subtree_cache_stats().stores, 0u);
+
+  // Churn, re-evaluate incrementally, then compact.
+  std::vector<NodeId> removable;
+  for (NodeId n = 0; n < pd.size(); ++n) {
+    if (!pd.ordinary(n) || pd.detached(n) || n == pd.root()) continue;
+    const NodeId par = pd.parent(n);
+    if (pd.kind(par) == PKind::kExp) continue;
+    if (!pd.ordinary(par) && pd.children(par).size() < 2) continue;
+    removable.push_back(n);
+    if (removable.size() >= 3) break;
+  }
+  ASSERT_FALSE(removable.empty());
+  for (NodeId n : removable) {
+    if (!pd.detached(n)) pd.RemoveSubtree(n);
+  }
+  (void)session.EvaluateTP(q);
+
+  pd.Compact();
+  session.InvalidateSubtreeMemo();
+  const SubtreeCacheStats after = session.subtree_cache_stats();
+  EXPECT_EQ(after.entries, 0u);
+  EXPECT_EQ(after.invalidations, 1u);
+  EXPECT_GT(after.stores, 0u);  // Cumulative counters survive the drop.
+
+  const auto& r = session.EvaluateTP(q);
+  EvalSession fresh(pd, options);
+  const auto& rf = fresh.EvaluateTP(q);
+  ASSERT_EQ(r.size(), rf.size());
+  for (size_t i = 0; i < r.size(); ++i) {
+    EXPECT_EQ(r[i].node, rf[i].node);
+    EXPECT_EQ(r[i].prob, rf[i].prob) << "post-compaction eval not bitwise";
+  }
+}
+
+// ---------------------------------------------------------- churn suites ----
+
+TEST(ChurnEquivalence, RandomizedWithForcedAndThresholdCompaction) {
+  for (int seed = 0; seed < 6; ++seed) {
+    Rng rng(73000 + seed);
+    PDocument pd = RandomDocWithExp(rng, 24, 2);
+
+    std::vector<NamedView> views;
+    views.push_back({"v0", Tp("root//l0")});
+    views.push_back({"v1", Tp("root//l1")});
+    std::vector<Pattern> queries;
+    for (const NamedView& v : views) queries.push_back(v.def.Clone());
+    queries.push_back(Tp("root//l0/l1"));
+
+    // Twin stores over the same document: `compacted` compacts (both via
+    // the Apply threshold and forced), `plain` never does.
+    ViewServer server_c, server_p;
+    for (const NamedView& v : views) {
+      server_c.AddView(v.name, v.def.Clone());
+      server_p.AddView(v.name, v.def.Clone());
+    }
+    DocumentStore compacted(&server_c);
+    DocumentStoreOptions no_compact;
+    no_compact.compact_documents = false;
+    DocumentStore plain(&server_p, no_compact);
+    ASSERT_TRUE(compacted.Put("doc", pd).ok());
+    ASSERT_TRUE(plain.Put("doc", std::move(pd)).ok());
+
+    PersistentId next_pid = 2000000 + seed * 10000;
+    for (int round = 0; round < 8; ++round) {
+      // Mutations are pid-addressed, so one batch drives both twins; draw
+      // it from the uncompacted side (same live content either way).
+      const PDocument* doc = plain.Find("doc");
+      std::vector<DocMutation> batch;
+      const int k = 1 + static_cast<int>(rng.NextBounded(3));
+      for (int m = 0; m < k; ++m) {
+        batch.push_back(ChurnMutation(*doc, rng, &next_pid));
+      }
+      const auto rc = compacted.Apply("doc", batch);
+      const auto rp = plain.Apply("doc", batch);
+      ASSERT_EQ(rc.ok(), rp.ok())
+          << (rc.ok() ? rp.status().message() : rc.status().message());
+      if (!rc.ok()) continue;
+      if (round % 3 == 2) {
+        // Forced compaction below the threshold exercises the remap of
+        // not-yet-rematerialized bookkeeping.
+        ASSERT_TRUE(compacted.Compact("doc").ok());
+        EXPECT_EQ(compacted.Find("doc")->detached_count(), 0);
+      }
+      ASSERT_TRUE(compacted.MaterializeIncremental("doc").ok());
+      ASSERT_TRUE(plain.MaterializeIncremental("doc").ok());
+
+      // Snapshots bit-identical across the twins (Canon ignores ids)…
+      const auto snap_c = compacted.Snapshot("doc");
+      const auto snap_p = plain.Snapshot("doc");
+      ASSERT_EQ(snap_c->size(), snap_p->size());
+      for (const auto& [vname, ext] : *snap_c) {
+        EXPECT_EQ(Canon(*ext), Canon(*snap_p->at(vname)))
+            << "twin extensions diverge: " << vname;
+      }
+      // …answers bitwise equal, and the compacted side equivalent to a
+      // from-scratch rebuild + reference engine + naive oracle.
+      ExpectTwinAnswers(compacted, plain, "doc", queries);
+      ExpectEquivalent(compacted, "doc", views, queries);
+    }
+    // The suite must actually have compacted and still served memo hits.
+    EXPECT_GT(compacted.stats().compactions, 0);
+    EXPECT_GT(compacted.stats().nodes_reclaimed, 0);
+    EXPECT_GT(compacted.SessionCacheStats("doc").hits, 0u);
+    EXPECT_EQ(plain.stats().compactions, 0);
+  }
+}
+
+// The >32-live-slot wide-key regime: removals + re-inserts + forced
+// compaction under a 39-slot view that forces the 256-bit root frame.
+TEST(ChurnEquivalence, WideKeyRegimeSurvivesCompaction) {
+  PDocument pd;
+  const NodeId r = pd.AddRoot(Intern("r"));
+  const NodeId ind = pd.AddDistributional(r, PKind::kInd);
+  for (int copy = 0; copy < 2; ++copy) {
+    const NodeId b = pd.AddOrdinary(ind, Intern("b"), 0.5 + 0.25 * copy);
+    const NodeId mux = pd.AddDistributional(b, PKind::kMux);
+    const NodeId grp1 = pd.AddOrdinary(mux, Intern("g"), 0.6);
+    const NodeId grp2 = pd.AddOrdinary(mux, Intern("g"), 0.4);
+    for (int i = 0; i < 36; ++i) {
+      pd.AddOrdinary(i % 2 ? grp1 : grp2, Intern("p" + std::to_string(i)));
+    }
+  }
+  ASSERT_TRUE(pd.Validate().ok());
+
+  Pattern q;
+  const PNodeId qr = q.AddRoot(Intern("r"));
+  const PNodeId qb = q.AddChild(qr, Intern("b"), Axis::kDescendant);
+  const PNodeId qg = q.AddChild(qb, Intern("g"), Axis::kChild);
+  for (int i = 0; i < 36; ++i) {
+    q.AddChild(qg, Intern("p" + std::to_string(i)), Axis::kDescendant);
+  }
+  q.SetOut(qb);
+  ASSERT_GT(BatchSlotCount({&q}), kNarrowSlotCap);
+
+  std::vector<NamedView> views;
+  views.push_back({"wide", q.Clone()});
+  ViewServer server;
+  server.AddView("wide", q.Clone());
+  DocumentStore store(&server);
+  ASSERT_TRUE(store.Put("doc", pd).ok());
+  ExpectEquivalent(store, "doc", views, {});
+
+  // Remove a few p-leaves, re-insert same-labeled leaves with fresh pids,
+  // force a compaction, and re-check equivalence each round.
+  PersistentId next_pid = 5000000;
+  Rng rng(4242);
+  for (int round = 0; round < 3; ++round) {
+    const PDocument* doc = store.Find("doc");
+    std::vector<DocMutation> batch;
+    int found = 0;
+    for (NodeId n = 0; n < doc->size() && found < 2; ++n) {
+      if (!doc->ordinary(n) || doc->detached(n)) continue;
+      const Label l = doc->label(n);
+      if (LabelName(l).rfind("p", 0) != 0) continue;
+      if (rng.NextBool(0.8)) continue;
+      const NodeId host = doc->OrdinaryAncestor(n);  // The g group node.
+      PDocument leaf;
+      leaf.AddRoot(l, next_pid++);
+      batch.push_back(DocMutation::RemoveSubtree(doc->pid(n)));
+      batch.push_back(DocMutation::InsertSubtree(doc->pid(host),
+                                                 std::move(leaf)));
+      ++found;
+    }
+    ASSERT_GT(found, 0);
+    ASSERT_TRUE(store.Apply("doc", batch).ok());
+    ASSERT_TRUE(store.Compact("doc").ok());
+    EXPECT_EQ(store.Find("doc")->detached_count(), 0);
+    ASSERT_TRUE(store.MaterializeIncremental("doc").ok());
+    ExpectEquivalent(store, "doc", views, {});
+  }
+}
+
+// ----------------------------------------------- rollback fault injection ----
+
+// A failed multi-mutation batch that WOULD have crossed the compaction
+// threshold must restore the pre-batch snapshot exactly: same canonical
+// content, same uid, same arena size, same tombstones — and no compaction.
+TEST(ApplyRollback, FailedBatchAcrossThresholdRestoresExactly) {
+  Rng rng(909);
+  PDocument pd = PersonnelPDocument(rng, 10, 0.3, 0.4);
+  std::vector<PersistentId> persons;
+  for (NodeId n = 0; n < pd.size(); ++n) {
+    if (pd.ordinary(n) && pd.label(n) == Intern("person")) {
+      persons.push_back(pd.pid(n));
+    }
+  }
+  ASSERT_EQ(persons.size(), 10u);
+
+  ViewServer server;
+  server.AddView("vbonus", Tp("IT-personnel//person/bonus"));
+  DocumentStore store(&server);
+  ASSERT_TRUE(store.Put("doc", std::move(pd)).ok());
+  const PDocument* doc = store.Find("doc");
+  const std::string canon_before = Canon(*doc);
+  const uint64_t uid_before = doc->uid();
+  const int size_before = doc->size();
+  const int detached_before = doc->detached_count();
+
+  // 8 of 10 person subtrees removed — far past detached > live — then a
+  // mutation that must fail.
+  std::vector<DocMutation> batch;
+  for (int i = 0; i < 8; ++i) {
+    batch.push_back(DocMutation::RemoveSubtree(persons[i]));
+  }
+  batch.push_back(DocMutation::RemoveSubtree(999999999));  // No such pid.
+  const auto failed = store.Apply("doc", batch);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(Canon(*doc), canon_before);
+  EXPECT_EQ(doc->uid(), uid_before);
+  EXPECT_EQ(doc->size(), size_before);
+  EXPECT_EQ(doc->detached_count(), detached_before);
+  EXPECT_EQ(store.stats().compactions, 0);
+  EXPECT_EQ(store.stats().rejected_batches, 1);
+
+  // The same batch without the poison pill commits and crosses the
+  // threshold: Apply compacts, and serving stays equivalent to a rebuild.
+  batch.pop_back();
+  const auto applied = store.Apply("doc", batch);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(store.stats().compactions, 1);
+  EXPECT_EQ(doc->detached_count(), 0);
+  EXPECT_LT(doc->size(), size_before);
+  EXPECT_GT(store.stats().nodes_reclaimed, 0);
+  ASSERT_TRUE(store.MaterializeIncremental("doc").ok());
+  std::vector<NamedView> views;
+  views.push_back({"vbonus", Tp("IT-personnel//person/bonus")});
+  std::vector<Pattern> queries;
+  queries.push_back(Tp("IT-personnel//person/bonus"));
+  ExpectEquivalent(store, "doc", views, queries);
+}
+
+// ------------------------------------------------ detached-leak regression ----
+
+// Raw size()/full-arena consumers on a churned document/extension must not
+// observe tombstones: the planner cost model charges live nodes only, and
+// Validate / OrdinaryCount / FindByPid / LabelIndex / ExtensionResultRoots
+// / plan execution all behave as on a freshly rebuilt arena.
+TEST(DetachedLeakRegression, ChurnedConsumersSeeLiveNodesOnly) {
+  const auto parsed = ParsePDocument(
+      "a(b#10(c#11), b#12(c#13), b#14(c#15), b#16(c#17))");
+  ASSERT_TRUE(parsed.ok());
+  PDocument pd = *parsed;
+  const Pattern vdef = Tp("a/b");
+
+  // Materialize, then churn the document and delta-patch the extension so
+  // it accumulates tombstones.
+  std::vector<ViewResultEntry> results;
+  for (const NodeProb& np : EvaluateTP(pd, vdef)) {
+    results.push_back({np.node, np.prob});
+  }
+  MaterializedView mv = BuildMaterializedView(pd, "v", results);
+  ASSERT_EQ(mv.ext.detached_count(), 0);
+  pd.RemoveSubtree(pd.FindByPid(12));
+  pd.RemoveSubtree(pd.FindByPid(14));
+  std::vector<ViewResultEntry> new_results;
+  for (const NodeProb& np : EvaluateTP(pd, vdef)) {
+    new_results.push_back({np.node, np.prob});
+  }
+  BuildViewExtensionDelta(pd, new_results, &mv);
+  ASSERT_GT(mv.ext.detached_count(), 0);  // The churn left tombstones.
+
+  // The document-side consumers.
+  EXPECT_TRUE(pd.Validate().ok());
+  EXPECT_EQ(pd.live_size(), pd.size() - pd.detached_count());
+  EXPECT_EQ(pd.OrdinaryCount(), 5);  // a, b#10, c#11, b#16, c#17.
+  EXPECT_EQ(pd.FindByPid(12), kNullNode);
+  EXPECT_EQ(pd.FindByPid(13), kNullNode);
+  const LabelIndex index(pd);
+  EXPECT_EQ(index.Nodes(Intern("b")).size(), 2u);
+
+  // The extension-side consumers.
+  EXPECT_TRUE(mv.ext.Validate().ok());
+  EXPECT_EQ(ExtensionResultRoots(mv.ext).size(), new_results.size());
+
+  // Cost model: a tombstone-laden patched extension and a fresh rebuild
+  // must be priced identically — size() would overprice the patched one.
+  const PDocument fresh_ext = BuildViewExtension(pd, "v", new_results);
+  ASSERT_GT(mv.ext.size(), fresh_ext.size());
+  EXPECT_EQ(mv.ext.live_size(), fresh_ext.live_size());
+  std::vector<NamedView> views;
+  views.push_back({"v", vdef.Clone()});
+  const QueryPlan plan = CompileQuery(Tp("a/b"), views, CompileOptions{});
+  ASSERT_FALSE(plan.candidates.empty());
+  ViewExtensions churned_set, fresh_set;
+  churned_set["v"] = mv.ext;  // Copy, tombstones included.
+  fresh_set["v"] = fresh_ext;
+  for (const AnswerPlan& cand : plan.candidates) {
+    const auto cost_churned = EstimateCost(cand, churned_set);
+    const auto cost_fresh = EstimateCost(cand, fresh_set);
+    ASSERT_EQ(cost_churned.has_value(), cost_fresh.has_value());
+    if (cost_churned.has_value()) {
+      EXPECT_EQ(*cost_churned, *cost_fresh)
+          << "cost model observed tombstones";
+    }
+  }
+
+  // Execution over the churned extension matches the fresh rebuild.
+  const auto a_churned = ExecuteQueryPlan(plan, churned_set);
+  const auto a_fresh = ExecuteQueryPlan(plan, fresh_set);
+  ASSERT_EQ(a_churned.has_value(), a_fresh.has_value());
+  ASSERT_TRUE(a_churned.has_value());
+  ASSERT_EQ(a_churned->size(), a_fresh->size());
+  for (size_t i = 0; i < a_churned->size(); ++i) {
+    EXPECT_EQ((*a_churned)[i].pid, (*a_fresh)[i].pid);
+    EXPECT_EQ((*a_churned)[i].prob, (*a_fresh)[i].prob);
+  }
+}
+
+}  // namespace
+}  // namespace pxv

@@ -4,6 +4,10 @@
 
 #include "serve/document_store.h"
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "gen/docgen.h"
@@ -253,6 +257,77 @@ TEST(DocumentStoreTest, AnswerAllServesOneSnapshot) {
     ASSERT_EQ(all[i].has_value(), one.has_value());
     if (one.has_value()) EXPECT_EQ(all[i]->size(), one->size());
   }
+}
+
+// Concurrent serving while the writer churns across compaction thresholds:
+// readers must only ever observe published snapshots (never a mid-compaction
+// arena), and every answered probability must belong to one of the two
+// document states each person toggles through. Runs under TSan in CI.
+TEST(DocumentStoreTest, ReadersSurviveConcurrentCompaction) {
+  ViewServer server;
+  RegisterPersonnelViews(&server);
+  DocumentStore store(&server);
+  ASSERT_TRUE(store.Put("docs", PersonnelDoc(8)).ok());
+  const PDocument* doc = store.Find("docs");
+  std::vector<PersistentId> persons;
+  for (NodeId n = 0; n < doc->size(); ++n) {
+    if (doc->ordinary(n) && doc->label(n) == Intern("person")) {
+      persons.push_back(doc->pid(n));
+    }
+  }
+  ASSERT_GE(persons.size(), 4u);
+
+  std::atomic<int> answered{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      const Pattern q = Tp("IT-personnel//person/bonus");
+      // Fixed iteration count (not a stop flag): the readers must overlap
+      // the writer's compaction rounds even when either side is fast.
+      for (int i = 0; i < 400; ++i) {
+        const auto a = store.Answer("docs", q);
+        if (a.has_value()) answered.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Writer: remove most persons (crossing detached > live, so Apply
+  // compacts), re-insert fresh ones, re-materialize; repeat.
+  PersistentId next_pid = 9000000;
+  for (int round = 0; round < 6; ++round) {
+    std::vector<DocMutation> removals;
+    std::vector<PersistentId> keep;
+    for (size_t i = 0; i < persons.size(); ++i) {
+      if (i + 2 < persons.size()) {
+        removals.push_back(DocMutation::RemoveSubtree(persons[i]));
+      } else {
+        keep.push_back(persons[i]);
+      }
+    }
+    ASSERT_TRUE(store.Apply("docs", removals).ok());
+    persons = std::move(keep);
+    for (int i = 0; i < 6; ++i) {
+      PDocument person;
+      {
+        PDocument::MutationBatch batch(&person);
+        const NodeId p = person.AddRoot(Intern("person"), next_pid++);
+        const NodeId bonus =
+            person.AddOrdinary(p, Intern("bonus"), 1.0, next_pid++);
+        const NodeId ind = person.AddDistributional(bonus, PKind::kInd);
+        person.AddOrdinary(ind, Intern("laptop"), 0.5, next_pid++);
+      }
+      persons.push_back(person.pid(person.root()));
+      ASSERT_TRUE(store
+                      .Apply("docs", {DocMutation::InsertSubtree(
+                                         doc->pid(doc->root()),
+                                         std::move(person))})
+                      .ok());
+    }
+    ASSERT_TRUE(store.MaterializeIncremental("docs").ok());
+  }
+  for (auto& r : readers) r.join();
+  EXPECT_GT(answered.load(), 0);
+  EXPECT_GT(store.stats().compactions, 0);
+  EXPECT_EQ(store.Find("docs")->detached_count(), 0);
 }
 
 TEST(DocumentStoreTest, IncrementalSessionUsesSubtreeCache) {

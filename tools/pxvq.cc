@@ -8,14 +8,18 @@
 //   pxvq update  <pdoc-file> <script> <query> name=def ...
 //                                                    mutate + incremental
 //                                                    re-materialization
+//   pxvq compact <pdoc-file> [script]                mutate, then force a
+//                                                    tombstone compaction
 //
 // p-Document files use the text notation of pxml/parser.h, e.g.
 //   a(mux(b(c)@0.25, d@0.5), ind(e@0.75), f)
 // Queries and views use XPath notation, e.g. a//b[c]/d.
 //
-// Update scripts are line-oriented; '#' starts a comment and a blank line
-// closes the current mutation batch (each batch applies transactionally and
-// is followed by one incremental re-materialization):
+// Update scripts are line-oriented; '#' at the start of a line or after
+// whitespace begins a comment (mid-token '#' is the pid separator of the
+// p-document notation, e.g. an insert payload's label#pid), and a blank
+// line closes the current mutation batch (each batch applies
+// transactionally and is followed by one incremental re-materialization):
 //   setedge <pid> <prob>
 //   remove  <pid>
 //   insert  <parent-pid> <prob> <p-document-text>
@@ -25,6 +29,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -51,7 +56,8 @@ int Usage() {
                "  pxvq rewrite <query> name=def [name=def ...]\n"
                "  pxvq plan    <pdoc-file> <query> name=def [name=def ...]\n"
                "  pxvq update  <pdoc-file> <script-file> <query> "
-               "name=def [name=def ...]\n");
+               "name=def [name=def ...]\n"
+               "  pxvq compact <pdoc-file> [script-file]\n");
   return 2;
 }
 
@@ -216,6 +222,20 @@ int CmdPlan(int argc, char** argv) {
   return 0;
 }
 
+// Strips a script comment: '#' opens one only at the start of the line or
+// after whitespace — a mid-token '#' is the pid separator of the
+// p-document notation (insert payloads carry explicit label#pid nodes),
+// which a naive find('#') cut would silently truncate to pid-less nodes.
+void StripComment(std::string* line) {
+  for (size_t i = 0; i < line->size(); ++i) {
+    if ((*line)[i] != '#') continue;
+    if (i == 0 || (*line)[i - 1] == ' ' || (*line)[i - 1] == '\t') {
+      line->resize(i);
+      return;
+    }
+  }
+}
+
 // Parses "<pid>" or "<pid>:<child-index>" into (pid, index or -1).
 bool ParseTarget(const std::string& token, PersistentId* pid, int* child) {
   *child = -1;
@@ -317,6 +337,44 @@ bool ParseMutation(const std::string& line, DocMutation* out) {
   return false;
 }
 
+// Drives a line-oriented mutation script against `store`'s "doc": one
+// transactional batch per blank-line-separated block. Rejected batches are
+// reported and skipped (an outcome, not a tool failure); `after_batch`
+// runs after every *applied* batch (may be null) and returning false from
+// it — or a malformed script line — aborts as a tool failure.
+bool RunScript(std::istream& script, DocumentStore* store,
+               const std::function<bool(int batch_no, size_t mutations,
+                                        uint64_t uid)>& after_batch) {
+  std::vector<DocMutation> batch;
+  int batch_no = 0;
+  const auto flush = [&]() -> bool {
+    if (batch.empty()) return true;
+    ++batch_no;
+    const size_t mutations = batch.size();
+    const auto applied = store->Apply("doc", batch);
+    batch.clear();
+    if (!applied.ok()) {
+      std::fprintf(stderr, "batch %d rejected (rolled back): %s\n", batch_no,
+                   applied.status().message().c_str());
+      return true;  // A rejected batch is an outcome, not a tool failure.
+    }
+    return after_batch == nullptr || after_batch(batch_no, mutations, *applied);
+  };
+  std::string line;
+  while (std::getline(script, line)) {
+    StripComment(&line);
+    const bool blank = line.find_first_not_of(" \t\r") == std::string::npos;
+    if (blank) {
+      if (!flush()) return false;
+      continue;
+    }
+    DocMutation m;
+    if (!ParseMutation(line, &m)) return false;
+    batch.push_back(std::move(m));
+  }
+  return flush();
+}
+
 // End-to-end exercise of the store/update layer: load the document,
 // register the views, then run the script — each batch applies
 // transactionally and re-materializes incrementally — and finally answer
@@ -354,41 +412,17 @@ int CmdUpdate(int argc, char** argv) {
     return 1;
   }
 
-  std::vector<DocMutation> batch;
-  int batch_no = 0;
-  const auto flush = [&]() -> bool {
-    if (batch.empty()) return true;
-    ++batch_no;
-    const auto applied = store.Apply("doc", batch);
-    if (!applied.ok()) {
-      std::fprintf(stderr, "batch %d rejected (rolled back): %s\n", batch_no,
-                   applied.status().message().c_str());
-      batch.clear();
-      return true;  // A rejected batch is an outcome, not a tool failure.
-    }
+  const auto rematerialize = [&](int batch_no, size_t mutations,
+                                 uint64_t uid) {
     if (Status s = store.MaterializeIncremental("doc"); !s.ok()) {
       std::fprintf(stderr, "%s\n", s.message().c_str());
       return false;
     }
     std::printf("batch %d: %zu mutation(s) applied, uid %llu\n", batch_no,
-                batch.size(), static_cast<unsigned long long>(*applied));
-    batch.clear();
+                mutations, static_cast<unsigned long long>(uid));
     return true;
   };
-  std::string line;
-  while (std::getline(script, line)) {
-    const size_t hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    const bool blank = line.find_first_not_of(" \t\r") == std::string::npos;
-    if (blank) {
-      if (!flush()) return 1;
-      continue;
-    }
-    DocMutation m;
-    if (!ParseMutation(line, &m)) return 1;
-    batch.push_back(std::move(m));
-  }
-  if (!flush()) return 1;
+  if (!RunScript(script, &store, rematerialize)) return 1;
 
   const auto answer = store.Answer("doc", *q);
   if (!answer.has_value()) {
@@ -414,6 +448,58 @@ int CmdUpdate(int argc, char** argv) {
       static_cast<long long>(stats.views_clean),
       static_cast<unsigned long long>(cache.hits),
       static_cast<unsigned long long>(cache.stores));
+  const PDocument* doc = store.Find("doc");
+  std::printf(
+      "doc: arena %d node(s), %d live, %d detached; %lld compaction(s) "
+      "reclaimed %lld node(s)\n",
+      doc->size(), doc->live_size(), doc->detached_count(),
+      static_cast<long long>(stats.compactions),
+      static_cast<long long>(stats.nodes_reclaimed));
+  return 0;
+}
+
+// Applies an optional mutation script to the document, then forces one
+// tombstone compaction and reports what it reclaimed. The automatic
+// threshold (Apply compacts once detached > live) is reported too, so the
+// command doubles as a dry-run probe of the serving store's behavior.
+int CmdCompact(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const auto pd = LoadPDoc(argv[2]);
+  if (!pd.ok()) {
+    std::fprintf(stderr, "%s\n", pd.status().message().c_str());
+    return 1;
+  }
+  ViewServer server;  // No views: compaction concerns only the document.
+  DocumentStoreOptions options;
+  options.compact_documents = false;  // Manual: this command IS the trigger.
+  DocumentStore store(&server, options);
+  if (Status s = store.Put("doc", *pd); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.message().c_str());
+    return 1;
+  }
+  if (argc > 3) {
+    std::ifstream script(argv[3]);
+    if (!script) {
+      std::fprintf(stderr, "cannot open %s\n", argv[3]);
+      return 1;
+    }
+    if (!RunScript(script, &store, nullptr)) return 1;
+  }
+  const PDocument* doc = store.Find("doc");
+  const int size = doc->size();
+  const int detached = doc->detached_count();
+  std::printf("before: arena %d node(s), %d live, %d detached%s\n", size,
+              doc->live_size(), detached,
+              detached * 2 > size ? "  (over the serving threshold)" : "");
+  const auto reclaimed = store.Compact("doc");
+  if (!reclaimed.ok()) {
+    std::fprintf(stderr, "%s\n", reclaimed.status().message().c_str());
+    return 1;
+  }
+  std::printf("compacted: reclaimed %d node(s); arena now %d node(s), all "
+              "live\n",
+              *reclaimed, doc->size());
+  std::printf("%s\n", ToPText(*doc, /*with_pids=*/true).c_str());
   return 0;
 }
 
@@ -428,5 +514,6 @@ int main(int argc, char** argv) {
   if (cmd == "rewrite") return CmdRewrite(argc, argv);
   if (cmd == "plan") return CmdPlan(argc, argv);
   if (cmd == "update") return CmdUpdate(argc, argv);
+  if (cmd == "compact") return CmdCompact(argc, argv);
   return Usage();
 }
