@@ -77,6 +77,17 @@ void BM_BatchSinglePass(benchmark::State& state) {
     state.counters["narrow_nodes"] = per_iter(prof.narrow_nodes);
     state.counters["wide_nodes"] = per_iter(prof.wide_nodes);
     state.counters["keys_remapped"] = per_iter(prof.keys_remapped);
+    state.counters["dense_convs"] = per_iter(prof.dense_convs);
+    state.counters["hash_convs"] = per_iter(prof.hash_convs);
+    state.counters["sibling_tree_sites"] = per_iter(prof.sibling_tree_sites);
+    state.counters["sibling_tree_convs"] = per_iter(prof.sibling_tree_convs);
+    state.counters["sibling_tree_reused"] =
+        per_iter(prof.sibling_tree_reused);
+    state.counters["sibling_except_convs"] =
+        per_iter(prof.sibling_except_convs);
+    state.counters["batched_pair_convs"] = per_iter(prof.batched_pair_convs);
+    state.counters["combine_scratch_reuses"] =
+        per_iter(prof.combine_scratch_reuses);
     state.counters["arena_peak_bytes"] =
         benchmark::Counter(static_cast<double>(prof.arena_peak_bytes));
   }

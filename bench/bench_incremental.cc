@@ -20,6 +20,7 @@
 
 #include "bench_flags.h"
 #include "gen/docgen.h"
+#include "prob/eval_session.h"
 #include "rewrite/rewriter.h"
 #include "serve/document_store.h"
 #include "serve/view_server.h"
@@ -136,6 +137,65 @@ void BM_FullRebuildDelta(benchmark::State& state) {
   state.counters["views"] = static_cast<double>(rewriter.views().size());
 }
 BENCHMARK(BM_FullRebuildDelta)->Arg(100)->Arg(300)->Unit(benchmark::kMicrosecond);
+
+// One high-fanout Combine site under churn: a flat arg0-ary ind node whose
+// children all carry non-trivial bases, one child's edge probability
+// mutated per iteration, re-evaluated through a persistent session's
+// subtree memo. arg1 toggles the sibling-product segment tree — off pays a
+// linear sweep over the fanout every delta, on recomputes only the mutated
+// leaf's O(log fanout) root-path products (the churn test in
+// tests/incremental_test.cc pins the counter bound; this measures it).
+void BM_HighFanoutDelta(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  PDocument pd;
+  const NodeId root = pd.AddRoot(Intern("root"));
+  const NodeId ind = pd.AddDistributional(root, PKind::kInd);
+  Rng rng(4096);
+  std::vector<NodeId> items;
+  items.reserve(fanout);
+  for (int i = 0; i < fanout; ++i) {
+    items.push_back(
+        pd.AddOrdinary(ind, Intern("item"), 0.1 + 0.8 * rng.NextDouble()));
+  }
+  pd.AddOrdinary(ind, Intern("out"), 0.5);
+  const Pattern q = Tp("root[item]/out");
+  EvalOptions opts;
+  opts.backend = BackendKind::kExact;
+  opts.cache_subtrees = true;
+  opts.sibling_tree = state.range(1) != 0;
+  EvalSession session(pd, opts);
+  session.EvaluateTP(q);  // Cold pass outside the loop: memo populated.
+  double p = 0.41;
+  int i = 0;
+  for (auto _ : state) {
+    // The write is a few pointer chases — timing it alongside the
+    // re-evaluation is cheaper than PauseTiming at this scale.
+    p = (p == 0.41) ? 0.42 : 0.41;
+    pd.SetEdgeProb(items[(i++ * 769) % fanout], p);
+    benchmark::DoNotOptimize(session.EvaluateTP(q));
+  }
+  state.counters["fanout"] = fanout;
+  if (benchflags::Profile() && session.dp_profile() != nullptr) {
+    const DistProfile& prof = *session.dp_profile();
+    const auto per_iter = [&](uint64_t v) {
+      return benchmark::Counter(static_cast<double>(v),
+                                benchmark::Counter::kAvgIterations);
+    };
+    state.counters["sibling_tree_sites"] = per_iter(prof.sibling_tree_sites);
+    state.counters["sibling_tree_convs"] = per_iter(prof.sibling_tree_convs);
+    state.counters["sibling_tree_reused"] =
+        per_iter(prof.sibling_tree_reused);
+    state.counters["sibling_except_convs"] =
+        per_iter(prof.sibling_except_convs);
+    state.counters["batched_pair_convs"] = per_iter(prof.batched_pair_convs);
+  }
+}
+BENCHMARK(BM_HighFanoutDelta)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({4096, 0})
+    ->Args({4096, 1})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_ApplyBatch(benchmark::State& state) {
   ViewServer server;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "prob/naive.h"
+#include "prob/simd.h"
 
 namespace pxv {
 namespace {
@@ -17,12 +18,16 @@ Status DeclineTooLarge(const char* what, int slots) {
 
 }  // namespace
 
+// Kernel dispatch happens exactly once, here: every engine run this backend
+// serves uses the same resolved table (prob/simd.h).
 ExactDpBackend::ExactDpBackend(const ExactDpOptions& options)
-    : options_(options) {
+    : options_(options), kernel_(ResolveKernel(options.force_scalar)) {
   if (options_.cache_subtrees) cache_ = MakeSubtreeCache();
 }
 
 ExactDpBackend::~ExactDpBackend() = default;
+
+const char* ExactDpBackend::kernel_name() const { return kernel_->name; }
 
 SubtreeCacheStats ExactDpBackend::subtree_cache_stats() const {
   return cache_ != nullptr ? GetSubtreeCacheStats(*cache_)
@@ -41,6 +46,8 @@ EngineOptions ExactDpBackend::RunOptions(
     const std::vector<const Pattern*>& members) {
   EngineOptions options;
   options.prune_eps = options_.prune_eps;
+  options.kernel = kernel_;
+  options.sibling_tree = options_.sibling_tree;
   if (cache_ != nullptr) {
     run_signature_.clear();
     for (const Pattern* m : members) {
@@ -57,8 +64,11 @@ StatusOr<double> ExactDpBackend::Conjunction(const PDocument& pd,
                                              const std::vector<Goal>& goals) {
   const int slots = ConjunctionSlotCount(goals);
   if (slots > kMaxConjunctionSlots) return DeclineTooLarge("conjunction", slots);
-  return ConjunctionProbability(pd, goals, &scratch_,
-                                EngineOptions{options_.prune_eps});
+  EngineOptions options;
+  options.prune_eps = options_.prune_eps;
+  options.kernel = kernel_;
+  options.sibling_tree = options_.sibling_tree;
+  return ConjunctionProbability(pd, goals, &scratch_, options);
 }
 
 StatusOr<std::vector<NodeProb>> ExactDpBackend::BatchAnchored(

@@ -76,6 +76,15 @@ class ProbBackend {
 /// kProbEps = 1e-12 from util/numeric.h, matching the result-set filter).
 struct ExactDpOptions {
   double prune_eps = 0.0;
+  /// Pin the portable (scalar) convolution kernel instead of letting the
+  /// backend resolve the best table for the host CPU at construction
+  /// (prob/simd.h). The PXV_FORCE_SCALAR environment variable forces this
+  /// process-wide regardless. Either way results are bitwise identical —
+  /// the knob exists for A/B verification and the CI matrix.
+  bool force_scalar = false;
+  /// Sibling-product segment trees at high-fanout Combine sites (see
+  /// EngineOptions::sibling_tree). On by default.
+  bool sibling_tree = true;
   /// Memoize finished per-subtree DP regions keyed by (query signature,
   /// node, subtree version) so a re-evaluation after a delta update (see
   /// pxml/pdocument.h) recomputes only the dirty root-to-change spines —
@@ -89,7 +98,7 @@ struct ExactDpOptions {
 
 class ExactDpBackend : public ProbBackend {
  public:
-  ExactDpBackend() = default;
+  ExactDpBackend() : ExactDpBackend(ExactDpOptions{}) {}
   explicit ExactDpBackend(const ExactDpOptions& options);
   ~ExactDpBackend() override;
 
@@ -108,6 +117,10 @@ class ExactDpBackend : public ProbBackend {
   /// Cumulative kernel counters for every call served by this backend.
   const DistProfile& profile() const { return scratch_.profile(); }
 
+  /// Name of the vector kernel this backend resolved at construction
+  /// ("avx2" or "portable"; prob/simd.h).
+  const char* kernel_name() const;
+
   /// Incremental-memo counters; zeros when cache_subtrees is off.
   SubtreeCacheStats subtree_cache_stats() const;
 
@@ -120,6 +133,7 @@ class ExactDpBackend : public ProbBackend {
   EngineOptions RunOptions(const std::vector<const Pattern*>& members);
 
   ExactDpOptions options_;
+  const KernelOps* kernel_;   // Resolved once at construction (simd.h).
   DpScratch scratch_;
   SubtreeCachePtr cache_;     // Non-null iff options_.cache_subtrees.
   std::string run_signature_; // Scratch for the current call's cache key.

@@ -7,10 +7,15 @@
 //
 //   * FlatDist<K>: a distribution that stores zero or one entries inline
 //     (the overwhelming majority in the DP — deterministic regions
-//     collapse to a single state) and promotes to an open-addressing hash
-//     table (power-of-two capacity, linear probing, no tombstones — the DP
-//     only inserts and accumulates, never erases) whose single storage
-//     block [occupancy bitmap | keys | values] comes from a bump arena;
+//     collapse to a single state) and promotes to a structure-of-arrays
+//     table: a u32 open-addressing index (power-of-two capacity, linear
+//     probing, no tombstones — the DP only inserts and accumulates, never
+//     erases) over *dense* key and value lanes filled in insertion order.
+//     One storage block [index | key lane | value lane] comes from a bump
+//     arena. The dense lanes are what the vector kernel (prob/simd.h)
+//     sweeps: iteration is a linear lane walk (insertion order, so it is
+//     deterministic given the operation sequence), scaling is a contiguous
+//     multiply, and convolution rows read the lanes directly;
 //   * DistPool: a free-list of table blocks bucketed by size class on top
 //     of the arena, so the scratch tables a pass churns through are
 //     recycled instead of reallocated;
@@ -67,6 +72,17 @@ struct DistProfile {
   uint64_t pruned_entries = 0;    ///< Entries dropped by eps support pruning.
   uint64_t runs = 0;              ///< Engine passes served.
   uint64_t arena_peak_bytes = 0;  ///< High-water arena usage of any pass.
+  // Convolution path split (see Engine::Convolve): dense scatter-accumulate
+  // for small narrow frames vs hash-insert rows.
+  uint64_t dense_convs = 0;       ///< Convolutions via the dense scatter path.
+  uint64_t hash_convs = 0;        ///< Convolutions via the hash-insert path.
+  // Sibling-product segment trees at high-fanout Combine sites.
+  uint64_t sibling_tree_sites = 0;   ///< Combine calls run through a tree.
+  uint64_t sibling_tree_convs = 0;   ///< Internal products computed.
+  uint64_t sibling_tree_reused = 0;  ///< Internal products served from memo.
+  uint64_t sibling_except_convs = 0; ///< Tracked except-path convolutions.
+  uint64_t batched_pair_convs = 0;   ///< Singleton sibling pairs swept jointly.
+  uint64_t combine_scratch_reuses = 0;  ///< prefix/suffix blocks reused.
 };
 
 /// Free-list recycler of table blocks over an arena. Blocks of one size
@@ -228,18 +244,20 @@ class FlatDist {
   double Mass(const K& k) const {
     if (size_ == 0) return 0;
     if (block_ == nullptr) return ikey_ == k ? ival_ : 0;
+    const uint32_t* idx = Index();
     const K* keys = Keys();
-    const double* vals = Vals();
     const size_t mask = Cap() - 1;
     size_t i = dist_internal::KeyTraits<K>::Hash(k) & mask;
     for (;;) {
-      if (!Occupied(i)) return 0;
-      if (keys[i] == k) return vals[i];
+      const uint32_t e = idx[i];
+      if (e == 0) return 0;
+      if (keys[e - 1] == k) return Vals()[e - 1];
       i = (i + 1) & mask;
     }
   }
 
-  /// f(key, value) over every entry, unspecified order.
+  /// f(key, value) over every entry, in insertion order (first-insert order
+  /// of each distinct key — deterministic given the operation sequence).
   template <typename F>
   void ForEach(F&& f) const {
     if (size_ == 0) return;
@@ -247,19 +265,24 @@ class FlatDist {
       f(ikey_, ival_);
       return;
     }
-    const uint64_t* occ = Occ();
     const K* keys = Keys();
     const double* vals = Vals();
-    const size_t words = OccWords(cap_log2_);
-    for (size_t wi = 0; wi < words; ++wi) {
-      uint64_t bits = occ[wi];
-      while (bits != 0) {
-        const int b = __builtin_ctzll(bits);
-        bits &= bits - 1;
-        const size_t i = wi * 64 + b;
-        f(keys[i], vals[i]);
-      }
+    for (size_t i = 0; i < size_; ++i) f(keys[i], vals[i]);
+  }
+
+  /// Dense lane view for the vector kernel: `*keys`/`*vals` point at the
+  /// entries in insertion order; returns the entry count. Valid for inline
+  /// dists too (points at the inline entry). Pointers are invalidated by
+  /// any mutating call.
+  size_t LaneView(const K** keys, const double** vals) const {
+    if (block_ == nullptr) {
+      *keys = &ikey_;
+      *vals = &ival_;
+      return size_;
     }
+    *keys = Keys();
+    *vals = Vals();
+    return size_;
   }
 
   void ScaleAll(double p) {
@@ -268,17 +291,8 @@ class FlatDist {
       ival_ *= p;
       return;
     }
-    const uint64_t* occ = Occ();
     double* vals = Vals();
-    const size_t words = OccWords(cap_log2_);
-    for (size_t wi = 0; wi < words; ++wi) {
-      uint64_t bits = occ[wi];
-      while (bits != 0) {
-        const int b = __builtin_ctzll(bits);
-        bits &= bits - 1;
-        vals[wi * 64 + b] *= p;
-      }
-    }
+    for (size_t i = 0; i < size_; ++i) vals[i] *= p;
   }
 
   /// If the dist holds exactly one entry, returns it.
@@ -289,11 +303,19 @@ class FlatDist {
       *v = ival_;
       return true;
     }
-    ForEach([&](const K& key, double val) {
-      *k = key;
-      *v = val;
-    });
+    *k = Keys()[0];
+    *v = Vals()[0];
     return true;
+  }
+
+  /// Drops every entry but keeps the storage block and capacity: the
+  /// engine's in-place rewrite stages the lanes aside, resets, and
+  /// re-inserts, skipping a pool release/acquire round trip per rewrite.
+  void ResetEntries() {
+    if (block_ != nullptr) {
+      std::memset(Index(), 0, Cap() * sizeof(uint32_t));
+    }
+    size_ = 0;
   }
 
   /// True iff the dist holds exactly the all-zero key; returns its mass.
@@ -360,41 +382,39 @@ class FlatDist {
 
  private:
   size_t Cap() const { return size_t{1} << cap_log2_; }
-  static size_t OccWords(int cap_log2) {
-    return cap_log2 <= 6 ? 1 : (size_t{1} << (cap_log2 - 6));
-  }
+  // Structure-of-arrays block: [u32 index | key lane | value lane], every
+  // section `cap` entries wide. The index holds lane_index + 1 (0 = empty
+  // slot); lanes fill densely in insertion order. Entries never exceed
+  // 3/4 · cap before Grow fires, so the lanes never overflow.
   static size_t BlockBytes(int cap_log2) {
-    return OccWords(cap_log2) * 8 +
-           (size_t{1} << cap_log2) * (sizeof(K) + sizeof(double));
+    return (size_t{1} << cap_log2) *
+           (sizeof(uint32_t) + sizeof(K) + sizeof(double));
   }
   static int SizeClass(int cap_log2) {
     return cap_log2 * 2 + dist_internal::KeyTraits<K>::kSizeClassBit;
   }
 
-  // Table storage layout inside the block: [occ bitmap | keys | values].
-  uint64_t* Occ() const { return static_cast<uint64_t*>(block_); }
-  K* Keys() const { return reinterpret_cast<K*>(Occ() + OccWords(cap_log2_)); }
+  uint32_t* Index() const { return static_cast<uint32_t*>(block_); }
+  K* Keys() const { return reinterpret_cast<K*>(Index() + Cap()); }
   double* Vals() const { return reinterpret_cast<double*>(Keys() + Cap()); }
-
-  bool Occupied(size_t i) const { return (Occ()[i >> 6] >> (i & 63)) & 1; }
-  void SetOccupied(size_t i) { Occ()[i >> 6] |= uint64_t{1} << (i & 63); }
 
   // Insert-or-accumulate into table storage (no capacity check).
   void TableAdd(const K& k, double v) {
+    uint32_t* idx = Index();
     K* keys = Keys();
-    double* vals = Vals();
     const size_t mask = Cap() - 1;
     size_t i = dist_internal::KeyTraits<K>::Hash(k) & mask;
     for (;;) {
-      if (!Occupied(i)) {
-        SetOccupied(i);
-        keys[i] = k;
-        vals[i] = v;
+      const uint32_t e = idx[i];
+      if (e == 0) {
+        idx[i] = size_ + 1;
+        keys[size_] = k;
+        Vals()[size_] = v;
         ++size_;
         return;
       }
-      if (keys[i] == k) {
-        vals[i] += v;
+      if (keys[e - 1] == k) {
+        Vals()[e - 1] += v;
         return;
       }
       i = (i + 1) & mask;
@@ -403,7 +423,7 @@ class FlatDist {
 
   void AcquireBlock() {
     block_ = pool_->Acquire(SizeClass(cap_log2_), BlockBytes(cap_log2_));
-    std::memset(Occ(), 0, OccWords(cap_log2_) * 8);
+    std::memset(Index(), 0, Cap() * sizeof(uint32_t));
     size_ = 0;
   }
 
@@ -481,6 +501,7 @@ class PoolVec {
   ~PoolVec() { Clear(); }
 
   size_t size() const { return size_; }
+  size_t capacity() const { return cap_; }
   bool empty() const { return size_ == 0; }
   T* begin() { return data_; }
   T* end() { return data_ + size_; }
@@ -575,6 +596,11 @@ struct EngineBuffers {
   std::vector<uint64_t> obs;  // Upward-observable bit masks (narrow keys).
   std::vector<uint8_t> skip;  // Subtree-cache plan (compute / hit / covered).
   std::vector<int32_t> active_slot;  // Compact slot over non-covered nodes.
+  // Dense per-label index over live ordinary nodes (-1 elsewhere): the
+  // per-run candidate-mask table is indexed by it instead of hashing the
+  // label at every node.
+  std::vector<int32_t> label_slot;
+  int32_t label_count = 0;
   // Analysis cache tag: when the same (document *structure* version, query
   // structure signature) comes back — steady-state serving of one query
   // set over one document, including across probability-only deltas, which
@@ -591,6 +617,25 @@ struct EngineBuffers {
   bool obs_valid = false;  // obs[] filled for the cached key.
 };
 
+/// Staging buffers for the vector convolution kernel, reused across every
+/// convolution of a scratch's lifetime (they survive BeginRun — the dense
+/// array's zero-maintenance invariant must hold across runs):
+///   * row_*: one convolution row (left entry × right lanes) staged by the
+///     kernel before insertion;
+///   * dense/seen/touched: the scatter-accumulate array for small narrow
+///     frames (keys < 2^kDenseConvBits index `dense` directly; `seen` marks
+///     first touches; `touched` lists them in first-touch order). `dense`
+///     and `seen` are kept all-zero BETWEEN convolutions — each convolution
+///     clears exactly the entries it touched.
+struct ConvScratch {
+  std::vector<uint64_t> row_keys;
+  std::vector<WideKey> wrow_keys;
+  std::vector<double> row_vals;
+  std::vector<double> dense;
+  std::vector<uint8_t> seen;
+  std::vector<uint32_t> touched;
+};
+
 /// Per-session scratch state for the exact DP: the arena, the block pool on
 /// top of it, and the profile counters. Owned by ExactDpBackend (one per
 /// EvalSession, hence one per thread); the free engine functions make a
@@ -604,6 +649,7 @@ class DpScratch {
   DistProfile* profile() { return &profile_; }
   const DistProfile& profile() const { return profile_; }
   EngineBuffers* buffers() { return &buffers_; }
+  ConvScratch* conv() { return &conv_; }
 
   void BeginRun() {
     pool_.Clear();
@@ -622,6 +668,7 @@ class DpScratch {
   DistProfile profile_;
   DistPool pool_;
   EngineBuffers buffers_;
+  ConvScratch conv_;
 };
 
 }  // namespace pxv

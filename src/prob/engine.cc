@@ -32,11 +32,13 @@
 #include <cstdint>
 #include <new>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "prob/simd.h"
 #include "util/check.h"
 
 namespace pxv {
@@ -58,12 +60,29 @@ class SubtreeCache {
     std::vector<FlatDist<WideKey>> tracked_w;
   };
 
+  // Memoized sibling-product segment tree of one high-fanout Combine site
+  // (see Engine::Combine). Heap-ordered internal products over the site's
+  // post-identity-drop child list: internal node t in [1, n) holds the
+  // convolution of its two children (2t, 2t+1); leaf j maps to heap index
+  // n + j and is node kids[j]'s base dist (never stored — the subtree memo
+  // or a recompute reproduces it bit-identically). Validity is per leaf via
+  // the child's subtree version stamp: an incremental delta dirties only
+  // the O(log n) internal products on the changed leaves' root paths.
+  struct SiblingTree {
+    bool wide = false;
+    std::vector<NodeId> kids;        // Child ids, post identity-drop order.
+    std::vector<uint64_t> versions;  // pd.version(kids[j]) at capture.
+    std::vector<FlatDist<uint64_t>> prod_n;  // [1, n) used iff !wide …
+    std::vector<FlatDist<WideKey>> prod_w;   // … iff wide. Cache-pool blocks.
+  };
+
   // Frame epoch + per-node entries of one query signature.
   struct SigState {
     bool valid = false;
     bool root_wide = false;
     std::vector<int8_t> root_slots;  // Root live slot list (narrow roots).
     std::unordered_map<NodeId, Entry> entries;
+    std::unordered_map<NodeId, SiblingTree> trees;  // High-fanout sites.
   };
 
   // Signatures a cache holds before evicting wholesale. Eviction drops
@@ -250,7 +269,10 @@ class Engine {
         batch_count_(static_cast<int>(batch.size())),
         pool_(scratch->pool()),
         prof_(scratch->profile()),
+        conv_(scratch->conv()),
+        kernel_(options.kernel != nullptr ? options.kernel : ActiveKernel()),
         prune_eps_(options.prune_eps),
+        sibling_tree_(options.sibling_tree),
         cache_candidate_(options.subtree_cache),
         cache_sig_(options.cache_signature),
         bufs_(scratch->buffers()),
@@ -261,7 +283,8 @@ class Engine {
         slots_len_(scratch->buffers()->slots_len),
         obs_(scratch->buffers()->obs),
         skip_(scratch->buffers()->skip),
-        active_slot_(scratch->buffers()->active_slot) {
+        active_slot_(scratch->buffers()->active_slot),
+        label_slot_(scratch->buffers()->label_slot) {
     int total = 0;
     // Fixed-anchor / Boolean conjuncts: every pattern node is a base slot.
     for (const Goal& g : goals) {
@@ -397,6 +420,19 @@ class Engine {
     for (NodeId n = 0; n < pd.size(); ++n) {
       if (live_[n].Any()) region_slot_[n] = region_count_++;
     }
+    // Dense label index over live ordinary nodes: the run-time candidate
+    // mask table becomes an array lookup (labels repeat heavily — one
+    // distinct label per document "schema" element).
+    std::unordered_map<Label, int32_t> label_index;
+    label_slot_.assign(pd.size(), -1);
+    for (NodeId n = 0; n < pd.size(); ++n) {
+      if (live_[n].Any() && pd.ordinary(n)) {
+        const auto [it, ins] = label_index.try_emplace(
+            pd.label(n), static_cast<int32_t>(label_index.size()));
+        label_slot_[n] = it->second;
+      }
+    }
+    bufs->label_count = static_cast<int32_t>(label_index.size());
     // Uniform-frame fast path: live sets only shrink downward, so when the
     // *root* fits a narrow key every subtree does too — one shared frame,
     // and every remap becomes the identity. Per-subtree frames only earn
@@ -694,43 +730,185 @@ class Engine {
   }
 
   template <typename K>
+  static FlatDist<K>& DistAs(Dist& d) {
+    if constexpr (std::is_same_v<K, WideKey>) {
+      return d.w;
+    } else {
+      return d.n;
+    }
+  }
+  template <typename K>
+  static const FlatDist<K>& DistAs(const Dist& d) {
+    if constexpr (std::is_same_v<K, WideKey>) {
+      return d.w;
+    } else {
+      return d.n;
+    }
+  }
+
+  template <typename K>
+  void MaybePruneF(FlatDist<K>* d) {
+    if (prune_eps_ > 0 && d->initialized()) d->Prune(prune_eps_);
+  }
+
+  // Hash-path convolution: each left entry is staged as one kernel row
+  // (broadcast OR / MUL over the right operand's dense lanes), then the row
+  // is folded into the output table. The staging keeps the arithmetic —
+  // one product per pair, accumulated in (left insertion order × right
+  // insertion order) — identical for every kernel, so AVX2 and portable
+  // runs are bitwise equal (the simd.h contract).
+  template <typename K>
   FlatDist<K> ConvolveT(const FlatDist<K>& a, const FlatDist<K>& b,
                         int cap_log2) {
     FlatDist<K> out;
     out.Init(pool_, cap_log2);
-    a.ForEach([&](const K& ka, double pa) {
-      b.ForEach([&](const K& kb, double pb) { out.Add(ka | kb, pa * pb); });
-    });
+    const K* ak;
+    const double* av;
+    const size_t na = a.LaneView(&ak, &av);
+    const K* bk;
+    const double* bv;
+    const size_t nb = b.LaneView(&bk, &bv);
+    ConvScratch& cs = *conv_;
+    if (cs.row_vals.size() < nb) cs.row_vals.resize(nb);
+    double* rv = cs.row_vals.data();
+    K* rk;
+    if constexpr (std::is_same_v<K, WideKey>) {
+      if (cs.wrow_keys.size() < nb) cs.wrow_keys.resize(nb);
+      rk = cs.wrow_keys.data();
+    } else {
+      if (cs.row_keys.size() < nb) cs.row_keys.resize(nb);
+      rk = cs.row_keys.data();
+    }
+    for (size_t i = 0; i < na; ++i) {
+      if constexpr (std::is_same_v<K, WideKey>) {
+        kernel_->conv_row_w(ak[i], av[i], bk, bv, nb, rk, rv);
+      } else {
+        kernel_->conv_row_n(ak[i], av[i], bk, bv, nb, rk, rv);
+      }
+      for (size_t j = 0; j < nb; ++j) out.Add(rk[j], rv[j]);
+    }
+    return out;
+  }
+
+  // Smallest table capacity holding `n` entries under 75% load.
+  static int CapForSupport(size_t n) {
+    if (n <= 1) return FlatDist<NarrowKey>::kInlineCapLog2;
+    int l = FlatDist<NarrowKey>::kMinCapLog2;
+    while ((size_t{1} << l) * 3 < n * 4) ++l;
+    return l;
+  }
+
+  // Narrow frames this small skip hashing entirely: a key indexes the
+  // scatter array directly. 2^12 doubles = one 32 KB array, reused for
+  // every convolution of the scratch's lifetime.
+  static constexpr int kDenseConvBits = 12;
+
+  // True when every key of `frame` fits below 2^kDenseConvBits. Under a
+  // uniform frame keys live in root positions regardless of `frame`, so the
+  // bound is the root's live count.
+  bool DenseEligible(NodeId frame) const {
+    const NodeId ef = uniform_frame_ ? pd_.root() : frame;
+    return 2 * live_[ef].Count() <= kDenseConvBits;
+  }
+
+  // Dense scatter-accumulate convolution (narrow keys only): kernel rows
+  // scatter straight into the dense array; `seen`/`touched` record
+  // first-touch order so the output table is rebuilt deterministically and
+  // the array is re-zeroed by walking exactly the touched entries.
+  FlatDist<NarrowKey> DenseConvolve(const FlatDist<NarrowKey>& a,
+                                    const FlatDist<NarrowKey>& b) {
+    ConvScratch& cs = *conv_;
+    if (cs.dense.empty()) {
+      cs.dense.assign(size_t{1} << kDenseConvBits, 0.0);
+      cs.seen.assign(size_t{1} << kDenseConvBits, 0);
+    }
+    const NarrowKey* ak;
+    const double* av;
+    const size_t na = a.LaneView(&ak, &av);
+    const NarrowKey* bk;
+    const double* bv;
+    const size_t nb = b.LaneView(&bk, &bv);
+    if (cs.row_keys.size() < nb) cs.row_keys.resize(nb);
+    if (cs.row_vals.size() < nb) cs.row_vals.resize(nb);
+    uint64_t* rk = cs.row_keys.data();
+    double* rv = cs.row_vals.data();
+    for (size_t i = 0; i < na; ++i) {
+      kernel_->conv_row_n(ak[i], av[i], bk, bv, nb, rk, rv);
+      for (size_t j = 0; j < nb; ++j) {
+        const uint32_t key = static_cast<uint32_t>(rk[j]);
+        if (!cs.seen[key]) {
+          cs.seen[key] = 1;
+          cs.touched.push_back(key);
+        }
+        cs.dense[key] += rv[j];
+      }
+    }
+    FlatDist<NarrowKey> out;
+    out.Init(pool_, CapForSupport(cs.touched.size()));
+    for (const uint32_t key : cs.touched) {
+      out.Add(key, cs.dense[key]);
+      cs.dense[key] = 0.0;
+      cs.seen[key] = 0;
+    }
+    cs.touched.clear();
+    return out;
+  }
+
+  // FlatDist-level union-convolution in `frame` (both operands already in
+  // it). The Dist-level Convolve and the sibling-product tree share this.
+  template <typename K>
+  FlatDist<K> ConvolveF(const FlatDist<K>& a, const FlatDist<K>& b,
+                        NodeId frame) {
+    double p;
+    if (a.IsSingletonEmpty(&p)) {
+      FlatDist<K> out = b.CloneInto(pool_);
+      out.ScaleAll(p);
+      return out;
+    }
+    if (b.IsSingletonEmpty(&p)) {
+      FlatDist<K> out = a.CloneInto(pool_);
+      out.ScaleAll(p);
+      return out;
+    }
+    K ka, kb;
+    double pa, pb;
+    if (a.GetSingle(&ka, &pa) && b.GetSingle(&kb, &pb)) {
+      FlatDist<K> out;
+      out.Init(pool_);
+      out.Add(ka | kb, pa * pb);
+      MaybePruneF(&out);
+      return out;
+    }
+    if constexpr (std::is_same_v<K, NarrowKey>) {
+      if (DenseEligible(frame)) {
+        ++prof_->dense_convs;
+        FlatDist<K> out = DenseConvolve(a, b);
+        MaybePruneF(&out);
+        return out;
+      }
+    }
+    ++prof_->hash_convs;
+    FlatDist<K> out = ConvolveT(a, b, ConvCapLog2(a.size(), b.size(), frame));
+    MaybePruneF(&out);
     return out;
   }
 
   // Union-convolution of two distributions in the same frame.
   Dist Convolve(const Dist& a, const Dist& b, NodeId frame) {
-    double p;
-    if (SingletonEmpty(a, &p)) {
-      Dist out = CloneDist(b);
-      DistScale(&out, p);
-      return out;
-    }
-    if (SingletonEmpty(b, &p)) {
-      Dist out = CloneDist(a);
-      DistScale(&out, p);
-      return out;
-    }
     Dist out;
     out.SetWide(wide_[frame]);
-    const int cap = ConvCapLog2(a.size(), b.size(), frame);
     if (out.wide) {
-      out.w = ConvolveT(a.w, b.w, cap);
+      out.w = ConvolveF<WideKey>(a.w, b.w, frame);
     } else {
-      out.n = ConvolveT(a.n, b.n, cap);
+      out.n = ConvolveF<NarrowKey>(a.n, b.n, frame);
     }
-    MaybePrune(&out);
     return out;
   }
 
   // acc += p * d (accumulating into acc's table; initializes acc to d's
-  // width if needed). Frames must already agree.
+  // width if needed). Frames must already agree. The products are staged
+  // through the kernel's scale sweep, then folded in insertion order (same
+  // bitwise-identity reasoning as ConvolveT).
   void AddScaledDist(Dist* acc, const Dist& d, double p) {
     if (!d.initialized()) return;
     if (!acc->initialized()) {
@@ -739,10 +917,39 @@ class Engine {
                                   : d.cap_log2());
     }
     PXV_CHECK_EQ(acc->wide, d.wide);
+    // Singleton fast path: one multiply and one insert — the kernel's
+    // staged sweep computes the identical dv[0] * p, so results match
+    // bitwise while the mix-heavy paths (one AddScaledDist per mux
+    // alternative / ind child) skip the staging round trip.
+    if (d.size() == 1) {
+      if (d.wide) {
+        WideKey k;
+        double v;
+        d.w.GetSingle(&k, &v);
+        acc->w.Add(k, v * p);
+      } else {
+        NarrowKey k;
+        double v;
+        d.n.GetSingle(&k, &v);
+        acc->n.Add(k, v * p);
+      }
+      return;
+    }
+    ConvScratch& cs = *conv_;
     if (d.wide) {
-      d.w.ForEach([&](const WideKey& k, double v) { acc->w.Add(k, p * v); });
+      const WideKey* dk;
+      const double* dv;
+      const size_t n = d.w.LaneView(&dk, &dv);
+      if (cs.row_vals.size() < n) cs.row_vals.resize(n);
+      kernel_->scale(dv, n, p, cs.row_vals.data());
+      for (size_t j = 0; j < n; ++j) acc->w.Add(dk[j], cs.row_vals[j]);
     } else {
-      d.n.ForEach([&](NarrowKey k, double v) { acc->n.Add(k, p * v); });
+      const NarrowKey* dk;
+      const double* dv;
+      const size_t n = d.n.LaneView(&dk, &dv);
+      if (cs.row_vals.size() < n) cs.row_vals.resize(n);
+      kernel_->scale(dv, n, p, cs.row_vals.data());
+      for (size_t j = 0; j < n; ++j) acc->n.Add(dk[j], cs.row_vals[j]);
     }
   }
 
@@ -819,11 +1026,28 @@ class Engine {
 
   // ----------------------------------------------------------- combine ----
 
+  // Fanout at which Combine switches to a sibling-product segment tree.
+  // The threshold gates on fanout only — never on cache state — so cached
+  // and uncached runs use the same association and stay bit-identical.
+  static constexpr int kSiblingTreeMinFanout = 16;
+
+  template <typename K>
+  static std::vector<FlatDist<K>>& ProdVec(SubtreeCache::SiblingTree* tc) {
+    if constexpr (std::is_same_v<K, WideKey>) {
+      return tc->prod_w;
+    } else {
+      return tc->prod_n;
+    }
+  }
+
   // Combines probabilistically independent sibling regions: bases convolve;
   // each tracked anchor (living in exactly one part) convolves with every
-  // other part's base via prefix/suffix products. A single part passes
-  // through in its own frame (no remap until an ancestor forces one).
-  Region Combine(PoolVec<Region> parts, NodeId g) {
+  // other part's base. A single part passes through in its own frame (no
+  // remap until an ancestor forces one). `kids` — when non-null — is the
+  // child-id list aligned with `parts` (compacted in lockstep with the
+  // identity drop); it keys the sibling-product tree memo for the site.
+  Region Combine(PoolVec<Region> parts, NodeId g,
+                 std::vector<NodeId>* kids = nullptr) {
     Region out;
     out.frame = g;
     if (parts.empty()) {
@@ -842,10 +1066,14 @@ class Engine {
             SingletonEmpty(parts[i].base, &mass) && mass == 1.0) {
           continue;
         }
-        if (kept != i) parts[kept] = std::move(parts[i]);
+        if (kept != i) {
+          parts[kept] = std::move(parts[i]);
+          if (kids != nullptr) (*kids)[kept] = (*kids)[i];
+        }
         ++kept;
       }
       parts.Truncate(kept);
+      if (kids != nullptr) kids->resize(kept);
       if (parts.empty()) {
         out.base = DeltaDist(g);
         return out;
@@ -853,15 +1081,22 @@ class Engine {
       if (parts.size() == 1) return std::move(parts[0]);
     }
     for (Region& r : parts) RemapRegionInPlace(&r, g);
-    bool any_tracked = false;
+    int tracked_parts = 0;
     for (const Region& r : parts) {
-      if (!r.tracked.empty()) {
-        any_tracked = true;
-        break;
-      }
+      if (!r.tracked.empty()) ++tracked_parts;
     }
     const int k = static_cast<int>(parts.size());
-    if (!any_tracked) {
+    // Tree route: high fanout, and few enough tracked parts that the
+    // per-part O(log k) except-path products beat the prefix/suffix
+    // arrays' 2k convolutions. Both inputs are pure functions of the
+    // document + query, so every run of the same state routes the same way
+    // (the bitwise cold-vs-incremental contract).
+    if (sibling_tree_ && k >= kSiblingTreeMinFanout &&
+        (tracked_parts + 1) * CeilLog2(k) <= 2 * k) {
+      if (wide_[g]) return CombineTree<WideKey>(parts, g, kids);
+      return CombineTree<NarrowKey>(parts, g, kids);
+    }
+    if (tracked_parts == 0) {
       Dist acc = std::move(parts[0].base);
       for (int i = 1; i < k; ++i) {
         acc = Convolve(acc, parts[i].base, g);
@@ -869,33 +1104,271 @@ class Engine {
       out.base = std::move(acc);
       return out;
     }
-    PoolVec<Dist> prefix, suffix;
-    prefix.Reserve(pool_, k + 1);
-    suffix.Reserve(pool_, k + 1);
-    for (int i = 0; i <= k; ++i) {
+    // Unit bases — δ(∅, 1) — are exact multiplicative identities (every
+    // value × 1.0 is bitwise itself), so they drop out of every sibling
+    // product. The parts still carrying one here all have tracked anchors
+    // (the identity-drop above removed the rest); their "everyone else"
+    // product is just the full product over the non-unit bases. On
+    // projected documents most bases collapse to units, so this turns a
+    // 2k-convolution prefix/suffix sweep into a handful of real products
+    // plus pure moves.
+    combine_nz_.clear();
+    for (int i = 0; i < k; ++i) {
+      double mass;
+      if (!(SingletonEmpty(parts[i].base, &mass) && mass == 1.0)) {
+        combine_nz_.push_back(i);
+      }
+    }
+    const int m = static_cast<int>(combine_nz_.size());
+    size_t tracked_total = 0;
+    for (const Region& r : parts) tracked_total += r.tracked.size();
+    out.tracked.Reserve(pool_, tracked_total);
+    if (m == 0) {
+      out.base = DeltaDist(g);
+      for (int i = 0; i < k; ++i) {
+        for (auto& [n, t] : parts[i].tracked) {
+          out.tracked.EmplaceBack(pool_, n, std::move(t));
+        }
+      }
+      return out;
+    }
+    if (m <= 2) {
+      // One or two real factors (the typical low-fanout shape): the sibling
+      // products are the factors themselves — no prefix/suffix arrays. Same
+      // products and association as the array path, so bit-identical.
+      const int nz0 = combine_nz_[0];
+      const int nz1 = m == 2 ? combine_nz_[1] : -1;
+      Dist full;  // Product of both factors (m == 2 only).
+      if (m == 2) full = Convolve(parts[nz0].base, parts[nz1].base, g);
+      const Dist& all = m == 2 ? full : parts[nz0].base;
+      const auto unit = [this](const Dist& d) {
+        double mass;
+        return SingletonEmpty(d, &mass) && mass == 1.0;
+      };
+      for (int i = 0; i < k; ++i) {
+        if (parts[i].tracked.empty()) continue;
+        const Dist* other = nullptr;  // Unit sibling product → pass through.
+        if (i == nz0) {
+          if (m == 2) other = &parts[nz1].base;
+        } else if (i == nz1) {
+          other = &parts[nz0].base;
+        } else {
+          other = &all;
+        }
+        if (other == nullptr || unit(*other)) {
+          for (auto& [n, t] : parts[i].tracked) {
+            out.tracked.EmplaceBack(pool_, n, std::move(t));
+          }
+        } else {
+          for (auto& [n, t] : parts[i].tracked) {
+            out.tracked.EmplaceBack(pool_, n, Convolve(t, *other, g));
+          }
+        }
+      }
+      out.base = m == 2 ? std::move(full) : std::move(parts[nz0].base);
+      return out;
+    }
+    // The prefix/suffix arrays persist across Combine calls (engine
+    // members): steady-state high-fanout sites stop paying two pool
+    // acquisitions per call.
+    PoolVec<Dist>& prefix = prefix_scratch_;
+    PoolVec<Dist>& suffix = suffix_scratch_;
+    if (prefix.capacity() >= static_cast<size_t>(m) + 1) {
+      ++prof_->combine_scratch_reuses;
+    }
+    prefix.Reserve(pool_, m + 1);
+    suffix.Reserve(pool_, m + 1);
+    for (int j = 0; j <= m; ++j) {
       prefix.EmplaceBack(pool_);
       suffix.EmplaceBack(pool_);
     }
     prefix[0] = DeltaDist(g);
-    suffix[k] = DeltaDist(g);
+    suffix[m] = DeltaDist(g);
+    for (int j = 0; j < m; ++j) {
+      prefix[j + 1] = Convolve(prefix[j], parts[combine_nz_[j]].base, g);
+    }
+    for (int j = m - 1; j >= 1; --j) {  // suffix[0] is never read.
+      suffix[j] = Convolve(parts[combine_nz_[j]].base, suffix[j + 1], g);
+    }
+    const auto unit = [this](const Dist& d) {
+      double mass;
+      return SingletonEmpty(d, &mass) && mass == 1.0;
+    };
+    int j = 0;  // Position of part i among the non-unit bases.
     for (int i = 0; i < k; ++i) {
-      prefix[i + 1] = Convolve(prefix[i], parts[i].base, g);
+      const bool non_unit = j < m && combine_nz_[j] == i;
+      if (!parts[i].tracked.empty()) {
+        // t × (prefix × suffix), not (t × prefix) × suffix: the sibling
+        // product saturates at the base-state support, while a tracked
+        // intermediate would cross starred keys with it and blow up first.
+        // A unit-base part's sibling product is the full base product.
+        const Dist* other = &prefix[m];
+        Dist split;
+        if (non_unit) {
+          split = Convolve(prefix[j], suffix[j + 1], g);
+          other = &split;
+        }
+        if (unit(*other)) {
+          for (auto& [n, t] : parts[i].tracked) {
+            out.tracked.EmplaceBack(pool_, n, std::move(t));
+          }
+        } else {
+          for (auto& [n, t] : parts[i].tracked) {
+            out.tracked.EmplaceBack(pool_, n, Convolve(t, *other, g));
+          }
+        }
+      }
+      if (non_unit) ++j;
     }
-    for (int i = k - 1; i >= 1; --i) {  // suffix[0] is never read.
-      suffix[i] = Convolve(parts[i].base, suffix[i + 1], g);
+    out.base = std::move(prefix[m]);
+    prefix.Truncate(0);
+    suffix.Truncate(0);
+    return out;
+  }
+
+  // High-fanout Combine through a sibling-product segment tree. Implicit
+  // heap over the k parts: leaf j sits at heap index k + j, internal node
+  // t in [1, k) is the convolution of its children 2t and 2t+1 (valid for
+  // arbitrary k, not just powers of two); t = 1 is the product of every
+  // part — the region base. Tracked anchors get their "product of everyone
+  // else" by folding the O(log k) siblings on their leaf-to-root path.
+  //
+  // Under the subtree cache (kids != nullptr), the internal products are
+  // memoized per site in the signature state, each validated by its leaf
+  // span's child subtree version stamps: a delta under one child dirties
+  // exactly the root path, so the incremental run recomputes O(log k)
+  // products and serves the rest from the memo. Clean products are read in
+  // place from the cache pool; recomputed ones are built in the run pool
+  // and memcpy-cloned back, so cached and cold runs stay bit-identical.
+  template <typename K>
+  Region CombineTree(PoolVec<Region>& parts, NodeId g,
+                     std::vector<NodeId>* kids) {
+    const size_t n = parts.size();
+    ++prof_->sibling_tree_sites;
+    SubtreeCache::SiblingTree* tc = nullptr;
+    bool fresh = true;  // No usable memoized products for this shape.
+    if (cache_ != nullptr && sig_ != nullptr && kids != nullptr) {
+      tc = &sig_->trees[g];
+      constexpr bool kIsWide = std::is_same_v<K, WideKey>;
+      if (tc->wide == kIsWide && tc->kids == *kids) {
+        fresh = false;
+      } else {
+        tc->wide = kIsWide;
+        tc->kids = *kids;
+        tc->versions.assign(n, 0);
+        tc->prod_n.clear();
+        tc->prod_w.clear();
+        ProdVec<K>(tc).resize(n);  // [1, n) used; default uninitialized.
+      }
     }
-    out.base = std::move(prefix[k]);
+    // Dirty plan: a leaf is dirty when its child's subtree version moved
+    // (or there is no memo); an internal product is dirty when either child
+    // is, or its cached dist was never captured.
+    std::vector<uint8_t>& dirty = tree_dirty_;
+    dirty.assign(2 * n, 1);
+    if (!fresh) {
+      for (size_t j = 0; j < n; ++j) {
+        dirty[n + j] = tc->versions[j] != pd_.version((*kids)[j]);
+      }
+      for (size_t t = n - 1; t >= 1; --t) {
+        dirty[t] = dirty[2 * t] || dirty[2 * t + 1] ||
+                   !ProdVec<K>(tc)[t].initialized();
+      }
+    }
+    // This run's recomputed products ([1, n) used, run pool).
+    PoolVec<FlatDist<K>> tprod;
+    tprod.Reserve(pool_, n);
+    for (size_t t = 0; t < n; ++t) tprod.EmplaceBack(pool_);
+    auto node = [&](size_t t) -> const FlatDist<K>& {
+      if (t >= n) return DistAs<K>(parts[t - n].base);
+      if (tprod[t].initialized()) return tprod[t];
+      return ProdVec<K>(tc)[t];  // Clean ⇒ memo exists and holds it.
+    };
+    // Batched sweep over dirty leaf pairs whose dists are singletons: one
+    // kernel pair_conv call per chunk instead of one convolution each.
+    // Exact mode only — the scalar path would prune these 1-entry results.
+    if (prune_eps_ == 0) {
+      constexpr size_t kChunk = 64;
+      K ka[kChunk], kb[kChunk], ok[kChunk];
+      double va[kChunk], vb[kChunk], ov[kChunk];
+      size_t idx[kChunk];
+      size_t m = 0;
+      const auto flush = [&]() {
+        if (m == 0) return;
+        if constexpr (std::is_same_v<K, WideKey>) {
+          kernel_->pair_conv_w(ka, va, kb, vb, m, ok, ov);
+        } else {
+          kernel_->pair_conv_n(ka, va, kb, vb, m, ok, ov);
+        }
+        for (size_t i = 0; i < m; ++i) {
+          FlatDist<K> d;
+          d.Init(pool_);
+          d.Add(ok[i], ov[i]);
+          tprod[idx[i]] = std::move(d);
+        }
+        prof_->batched_pair_convs += m;
+        m = 0;
+      };
+      for (size_t t = n - 1; t >= 1 && 2 * t >= n; --t) {
+        if (!dirty[t]) continue;
+        const FlatDist<K>& l = DistAs<K>(parts[2 * t - n].base);
+        const FlatDist<K>& r = DistAs<K>(parts[2 * t + 1 - n].base);
+        if (l.size() != 1 || r.size() != 1) continue;
+        l.GetSingle(&ka[m], &va[m]);
+        r.GetSingle(&kb[m], &vb[m]);
+        idx[m] = t;
+        if (++m == kChunk) flush();
+      }
+      flush();
+    }
+    for (size_t t = n - 1; t >= 1; --t) {
+      if (!dirty[t]) {
+        ++prof_->sibling_tree_reused;
+        continue;
+      }
+      if (tprod[t].initialized()) continue;  // Batched sweep built it.
+      tprod[t] = ConvolveF<K>(node(2 * t), node(2 * t + 1), g);
+      ++prof_->sibling_tree_convs;
+    }
+    // Capture before the root product is moved out.
+    if (tc != nullptr) {
+      DistPool* cpool = cache_->pool();
+      for (size_t t = 1; t < n; ++t) {
+        if (tprod[t].initialized()) {
+          ProdVec<K>(tc)[t] = tprod[t].CloneInto(cpool);
+        }
+      }
+      for (size_t j = 0; j < n; ++j) {
+        tc->versions[j] = pd_.version((*kids)[j]);
+      }
+    }
+    Region out;
+    out.frame = g;
+    out.base.SetWide(std::is_same_v<K, WideKey>);
+    if (tprod[1].initialized()) {
+      DistAs<K>(out.base) = std::move(tprod[1]);
+    } else {
+      DistAs<K>(out.base) = ProdVec<K>(tc)[1].CloneInto(pool_);
+    }
     size_t tracked_total = 0;
     for (const Region& r : parts) tracked_total += r.tracked.size();
     out.tracked.Reserve(pool_, tracked_total);
-    for (int i = 0; i < k; ++i) {
+    for (size_t i = 0; i < n; ++i) {
       if (parts[i].tracked.empty()) continue;
-      // t × (prefix × suffix), not (t × prefix) × suffix: the sibling
-      // product saturates at the base-state support, while a tracked
-      // intermediate would cross starred keys with it and blow up first.
-      Dist other = Convolve(prefix[i], suffix[i + 1], g);
-      for (auto& [n, t] : parts[i].tracked) {
-        out.tracked.EmplaceBack(pool_, n, Convolve(t, other, g));
+      // Product of every part except i: fold the sibling of each node on
+      // leaf i's root path, bottom-up (fixed association per site).
+      FlatDist<K> other;
+      other.Init(pool_);
+      other.Add(K{}, 1.0);
+      for (size_t t = n + i; t > 1; t >>= 1) {
+        other = ConvolveF<K>(other, node(t ^ 1), g);
+        ++prof_->sibling_except_convs;
+      }
+      for (auto& [a, tr] : parts[i].tracked) {
+        Dist o;
+        o.SetWide(std::is_same_v<K, WideKey>);
+        DistAs<K>(o) = ConvolveF<K>(DistAs<K>(tr), other, g);
+        out.tracked.EmplaceBack(pool_, a, std::move(o));
       }
     }
     return out;
@@ -993,7 +1466,10 @@ class Engine {
     }
     if (sig_->valid &&
         (sig_->root_wide != root_wide || sig_->root_slots != root_slots)) {
+      // Key bit layout shifted: sibling-tree products are keyed states too,
+      // so they go with the entries.
       sig_->entries.clear();
+      sig_->trees.clear();
       ++cache_->stats.flushes;
     }
     sig_->valid = true;
@@ -1109,33 +1585,39 @@ class Engine {
           regions[slot] = LoadCached(n);
           continue;
         }
-        regions[slot] = ComputeRegion(n, &regions);
+        ComputeRegion(n, &regions, &regions[slot]);
         StoreCached(n, regions[slot]);
         continue;
       }
-      regions[slot] = ComputeRegion(n, &regions);
+      ComputeRegion(n, &regions, &regions[slot]);
     }
     return std::move(regions[SlotOf(root)]);
   }
 
-  // Contribution of node `n`, consuming the already-computed child regions.
-  // The result may live in a descendant's frame (lazy remapping); callers
-  // needing a specific frame remap it themselves.
-  Region ComputeRegion(NodeId n, PoolVec<Region>* regions) {
+  // Contribution of node `n`, consuming the already-computed child regions,
+  // written directly into `*out` (the node's region slot — skipping a
+  // Region move-assign per node). The result may live in a descendant's
+  // frame (lazy remapping); callers needing a specific frame remap it
+  // themselves.
+  void ComputeRegion(NodeId n, PoolVec<Region>* regions, Region* out) {
     switch (pd_.kind(n)) {
       case PKind::kOrdinary:
-        return NodeDist(n, regions);
+        NodeDist(n, regions, out);
+        return;
       case PKind::kDet: {
         PoolVec<Region> parts;
         parts.Reserve(pool_, pd_.children(n).size());
+        combine_kids_.clear();
         for (NodeId c : pd_.children(n)) {
           if (SlotOf(c) < 0) continue;  // Identity contribution.
           parts.EmplaceBack(pool_, std::move((*regions)[SlotOf(c)]));
+          combine_kids_.push_back(c);
         }
-        return Combine(std::move(parts), n);
+        *out = Combine(std::move(parts), n, &combine_kids_);
+        return;
       }
       case PKind::kMux: {
-        Region acc;
+        Region& acc = *out;
         acc.frame = n;
         double total = 0;
         for (NodeId c : pd_.children(n)) {
@@ -1163,13 +1645,15 @@ class Engine {
         }
         if (total < 1.0) AddEmptyMassInit(&acc.base, 1.0 - total, wide_[n]);
         MaybePrune(&acc.base);
-        return acc;
+        return;
       }
       case PKind::kInd: {
         PoolVec<Region> parts;
         parts.Reserve(pool_, pd_.children(n).size());
+        combine_kids_.clear();
         for (NodeId c : pd_.children(n)) {
           if (SlotOf(c) < 0) continue;  // p·δ + (1−p)·δ = identity.
+          combine_kids_.push_back(c);
           const double p = pd_.edge_prob(c);
           Region mixed;
           mixed.frame = c;
@@ -1186,7 +1670,8 @@ class Engine {
           }
           parts.EmplaceBack(pool_, std::move(mixed));
         }
-        return Combine(std::move(parts), n);
+        *out = Combine(std::move(parts), n, &combine_kids_);
+        return;
       }
       case PKind::kExp: {
         const auto& kids = pd_.children(n);
@@ -1205,7 +1690,7 @@ class Engine {
             kid_regions.EmplaceBack(pool_, std::move((*regions)[SlotOf(c)]));
           }
         }
-        Region acc;
+        Region& acc = *out;
         acc.frame = n;
         double total = 0;
         std::unordered_map<NodeId, Dist> tracked_acc;
@@ -1229,11 +1714,10 @@ class Engine {
         for (auto& [a, t] : tracked_acc) {
           acc.tracked.EmplaceBack(pool_, a, std::move(t));
         }
-        return acc;
+        return;
       }
     }
     PXV_CHECK(false);
-    return Region{};
   }
 
   // ----------------------------------------------------------- rewrite ----
@@ -1266,6 +1750,69 @@ class Engine {
     return out;
   }
 
+  // In-place RewriteT: stages the lanes aside in the conv scratch, resets
+  // the table keeping its block (a rewrite never yields more distinct keys
+  // than it consumed, so the capacity always suffices) and re-inserts.
+  // Same per-entry expressions and insertion order as RewriteT — results
+  // are bit-identical — minus the pool release/acquire round trip per
+  // rewritten dist, which dominates the per-node cost on documents whose
+  // dists are small.
+  template <typename K>
+  void RewriteTInPlace(FlatDist<K>* d,
+                       const std::vector<std::pair<K, K>>& cands,
+                       const std::vector<std::pair<K, K>>& extra,
+                       const K& proj) {
+    if (!d->initialized()) {
+      d->Init(pool_);  // Match RewriteT: initialized, empty.
+      return;
+    }
+    const K dmask = DMask<K>();
+    const size_t n = d->size();
+    if (n <= 1) {
+      K key;
+      double p;
+      if (!d->GetSingle(&key, &p)) return;
+      K nk = KeyAnd(key, dmask);
+      for (const auto& [need, set] : cands) {
+        if (HasAll(key, need)) nk = nk | set;
+      }
+      for (const auto& [need, set] : extra) {
+        if (HasAll(key, need)) nk = nk | set;
+      }
+      d->ResetEntries();
+      d->Add(KeyAnd(nk, proj), p);
+      return;
+    }
+    ConvScratch& cs = *conv_;
+    const K* keys;
+    const double* vals;
+    d->LaneView(&keys, &vals);
+    if constexpr (std::is_same_v<K, WideKey>) {
+      cs.wrow_keys.assign(keys, keys + n);
+    } else {
+      cs.row_keys.assign(keys, keys + n);
+    }
+    cs.row_vals.assign(vals, vals + n);
+    d->ResetEntries();
+    const K* sk;
+    if constexpr (std::is_same_v<K, WideKey>) {
+      sk = cs.wrow_keys.data();
+    } else {
+      sk = cs.row_keys.data();
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const K key = sk[i];
+      K nk = KeyAnd(key, dmask);
+      for (const auto& [need, set] : cands) {
+        if (HasAll(key, need)) nk = nk | set;
+      }
+      for (const auto& [need, set] : extra) {
+        if (HasAll(key, need)) nk = nk | set;
+      }
+      d->Add(KeyAnd(nk, proj), cs.row_vals[i]);
+    }
+  }
+
   // Projection mask for ordinary node `x` in each key width (wide keys are
   // never projected — projection is a uniform-narrow-frame optimization).
   NarrowKey ProjMaskN(NodeId x) const {
@@ -1290,6 +1837,18 @@ class Engine {
     }
     MaybePrune(&out);
     return out;
+  }
+
+  // In-place variant of RewriteDist (bit-identical results; see
+  // RewriteTInPlace).
+  void RewriteDistInPlace(Dist* d, NodeId x, bool wide, const Masks& masks,
+                          const Masks& extra) {
+    if (wide) {
+      RewriteTInPlace(&d->w, masks.w, extra.w, ProjMaskW());
+    } else {
+      RewriteTInPlace(&d->n, masks.n, extra.n, ProjMaskN(x));
+    }
+    MaybePrune(d);
   }
 
   struct LabelMasks {
@@ -1336,6 +1895,27 @@ class Engine {
     }
   }
 
+  // Per-label mask table for uniform-frame, unanchored runs (masks depend
+  // on the node only through its label there): an array lookup through the
+  // dense label index from the analysis pass, compiled on first touch.
+  const LabelMasks& MasksForLabel(NodeId x, Label xl) {
+    const int32_t ls = label_slot_[x];
+    if (ls < 0) {  // Not a live ordinary node (defensive; never on-path).
+      auto [it, inserted] = label_masks_.try_emplace(xl);
+      if (inserted) CompileLabelMasks(x, xl, &it->second);
+      return it->second;
+    }
+    if (label_masks_flat_.empty()) {
+      label_masks_flat_.resize(bufs_->label_count);
+      label_masks_ready_.assign(bufs_->label_count, 0);
+    }
+    if (!label_masks_ready_[ls]) {
+      CompileLabelMasks(x, xl, &label_masks_flat_[ls]);
+      label_masks_ready_[ls] = 1;
+    }
+    return label_masks_flat_[ls];
+  }
+
   // Compiles candidate slot `s` into a (need, set) mask pair in `x`'s frame.
   // Returns false when a required child slot is not live in the subtree —
   // the candidate can never fire at `x`.
@@ -1367,9 +1947,9 @@ class Engine {
     return true;
   }
 
-  // (A, D) region of ordinary node `x`, given x appears. Always returned in
-  // x's own frame.
-  Region NodeDist(NodeId x, PoolVec<Region>* regions) {
+  // (A, D) region of ordinary node `x`, given x appears, written into
+  // `*outp` (x's region slot). Always produced in x's own frame.
+  void NodeDist(NodeId x, PoolVec<Region>* regions, Region* outp) {
     (wide_[x] ? prof_->wide_nodes : prof_->narrow_nodes)++;
     const Label xl = pd_.label(x);
     bool any_parts = false;
@@ -1383,10 +1963,8 @@ class Engine {
     // combined child state is δ, so the rewrite collapses to one
     // precomputed key per label — no tables, no iteration.
     if (!any_parts && (uniform_frame_ && anchor_of_.empty())) {
-      auto [it, inserted] = label_masks_.try_emplace(xl);
-      if (inserted) CompileLabelMasks(x, xl, &it->second);
-      const LabelMasks& lm = it->second;
-      Region out;
+      const LabelMasks& lm = MasksForLabel(x, xl);
+      Region& out = *outp;
       out.frame = x;
       out.base = MakeDist(wide_[x]);
       if (wide_[x]) {
@@ -1403,16 +1981,18 @@ class Engine {
         }
         out.tracked.EmplaceBack(pool_, x, std::move(pin));
       }
-      return out;
+      return;
     }
 
     PoolVec<Region> parts;
     parts.Reserve(pool_, pd_.children(x).size());
+    combine_kids_.clear();
     for (NodeId c : pd_.children(x)) {
       if (SlotOf(c) < 0) continue;  // Identity contribution.
       parts.EmplaceBack(pool_, std::move((*regions)[SlotOf(c)]));
+      combine_kids_.push_back(c);
     }
-    Region comb = Combine(std::move(parts), x);
+    Region comb = Combine(std::move(parts), x, &combine_kids_);
     RemapRegionInPlace(&comb, x);
     // With a uniform frame and no per-node anchor filtering, candidate
     // masks depend on the node only through its label — compile them once
@@ -1421,9 +2001,7 @@ class Engine {
     const LabelMasks* cached = nullptr;
     LabelMasks local;
     if (uniform_frame_ && anchor_of_.empty()) {
-      auto [it, inserted] = label_masks_.try_emplace(xl);
-      if (inserted) CompileLabelMasks(x, xl, &it->second);
-      cached = &it->second;
+      cached = &MasksForLabel(x, xl);
     } else {
       CompileLabelMasks(x, xl, &local);
       cached = &local;
@@ -1432,27 +2010,38 @@ class Engine {
     const Masks& star_masks = cached->star;
     const Masks& pin_masks = cached->pin;
 
-    Region out;
+    Region& out = *outp;
     out.frame = x;
-    out.base = RewriteDist(comb.base, x, wide_[x], base_masks, kNoMasks);
-    // Rewrite tracked dists in place: the vector (and its pairs) carry over.
+    // x itself becomes a tracked anchor: pin every member's out slot here.
+    // (Computed first — it reads the pre-rewrite comb.base, which the base
+    // rewrite below then consumes in place.)
+    const bool pin_here =
+        batch_feasible_ && batch_count_ > 0 && xl == batch_out_label_;
+    Dist pinned;
+    if (pin_here) {
+      pinned = RewriteDist(comb.base, x, wide_[x], base_masks, pin_masks);
+    }
+    RewriteDistInPlace(&comb.base, x, wide_[x], base_masks, kNoMasks);
+    out.base = std::move(comb.base);
+    // Rewrite tracked dists in place: the vector, its pairs and each
+    // dist's storage block all carry over.
     out.tracked = std::move(comb.tracked);
     for (auto& [n, t] : out.tracked) {
-      t = RewriteDist(t, x, wide_[x], base_masks, star_masks);
+      RewriteDistInPlace(&t, x, wide_[x], base_masks, star_masks);
     }
-    // x itself becomes a tracked anchor: pin every member's out slot here.
-    if (batch_feasible_ && batch_count_ > 0 && xl == batch_out_label_) {
-      out.tracked.EmplaceBack(pool_, x, RewriteDist(comb.base, x, wide_[x],
-                                                    base_masks, pin_masks));
+    if (pin_here) {
+      out.tracked.EmplaceBack(pool_, x, std::move(pinned));
     }
-    return out;
   }
 
   const PDocument& pd_;
   const int batch_count_;
   DistPool* pool_;
   DistProfile* prof_;
+  ConvScratch* conv_;        // Kernel staging buffers (scratch-owned).
+  const KernelOps* kernel_;  // Resolved once per backend (see simd.h).
   const double prune_eps_;
+  const bool sibling_tree_;
   SubtreeCache* const cache_candidate_;  // From EngineOptions (may be null).
   const std::string* const cache_sig_;
   SubtreeCache* cache_ = nullptr;  // Non-null once SetupCache accepts the run.
@@ -1476,11 +2065,23 @@ class Engine {
   std::vector<uint64_t>& obs_;  // Per-node upward-observable key masks.
   std::vector<uint8_t>& skip_;  // Per-node cache plan (kCompute/kHit/kCovered).
   std::vector<int32_t>& active_slot_;  // Compact slots (cache-enabled runs).
+  std::vector<int32_t>& label_slot_;  // Dense label index at live ordinary.
   int32_t active_count_ = 0;
   bool project_ = false;  // Dead-bit projection active (uniform narrow).
   int32_t region_count_ = 0;
   bool uniform_frame_ = false;  // Root narrow ⇒ one frame for everything.
   std::unordered_map<Label, LabelMasks> label_masks_;
+  // Flat per-run mask table indexed by label_slot_ (uniform-frame runs);
+  // `ready` marks compiled entries.
+  std::vector<LabelMasks> label_masks_flat_;
+  std::vector<uint8_t> label_masks_ready_;
+  // Combine scratch, reused across calls within the run: prefix/suffix
+  // arrays of the tracked path, the child-id list threaded into the
+  // sibling-tree memo, and the tree's dirty plan.
+  PoolVec<Dist> prefix_scratch_, suffix_scratch_;
+  std::vector<NodeId> combine_kids_;
+  std::vector<int> combine_nz_;  // Non-unit-base part indices (Combine).
+  std::vector<uint8_t> tree_dirty_;
   static const Masks kNoMasks;
   Label batch_out_label_ = 0;
   bool batch_out_label_set_ = false;

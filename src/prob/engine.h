@@ -124,6 +124,10 @@ SubtreeCacheStats GetSubtreeCacheStats(const SubtreeCache& cache);
 /// compaction invalidates.
 void InvalidateSubtreeCache(SubtreeCache* cache);
 
+/// Resolved vector kernel table (prob/simd.h). Opaque here; the engine
+/// calls through it for every convolution row / scaled sweep.
+struct KernelOps;
+
 /// Exact-DP tuning knobs, threaded from ProbBackend/EvalSession.
 struct EngineOptions {
   /// When > 0, distribution entries with mass <= prune_eps are dropped as
@@ -137,6 +141,15 @@ struct EngineOptions {
   /// Stable identity of the query set being evaluated (canonical pattern
   /// strings) — the cache's first key component.
   const std::string* cache_signature = nullptr;
+  /// Vector kernel to run the convolution sweeps on. Callers that hold one
+  /// (ExactDpBackend resolves once at construction) pass it through; null
+  /// falls back to the process-wide ActiveKernel().
+  const KernelOps* kernel = nullptr;
+  /// Sibling-product segment trees at high-fanout Combine sites: O(log
+  /// fanout) sibling products per incremental delta instead of a full
+  /// prefix/suffix rebuild. Exact in all modes (association is fixed per
+  /// site regardless of caching); off only for A/B benchmarking.
+  bool sibling_tree = true;
 };
 
 /// DP slots a plain conjunction needs (sum of pattern sizes). Callers gate

@@ -10,8 +10,11 @@ namespace pxv {
 EvalSession::EvalSession(const PDocument& pd, EvalOptions options)
     : pd_(&pd), options_(options), doc_uid_(pd.uid()) {
   PXV_CHECK(!pd.empty());
-  const ExactDpOptions dp_options{options_.prune_eps,
-                                  options_.cache_subtrees};
+  ExactDpOptions dp_options;
+  dp_options.prune_eps = options_.prune_eps;
+  dp_options.cache_subtrees = options_.cache_subtrees;
+  dp_options.force_scalar = options_.force_scalar;
+  dp_options.sibling_tree = options_.sibling_tree;
   switch (options_.backend) {
     case BackendKind::kAuto:
       chain_.push_back(std::make_unique<ExactDpBackend>(dp_options));

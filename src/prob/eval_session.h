@@ -44,6 +44,11 @@ struct EvalOptions {
   /// Incremental per-subtree memoization in the exact DP, for sessions that
   /// outlive mutations of their document (ExactDpOptions::cache_subtrees).
   bool cache_subtrees = false;
+  /// Pin the portable convolution kernel (ExactDpOptions::force_scalar).
+  bool force_scalar = false;
+  /// Sibling-product segment trees at high-fanout Combine sites
+  /// (ExactDpOptions::sibling_tree). On by default.
+  bool sibling_tree = true;
 };
 
 /// Per-document derived state + backend routing. Not thread-safe; create

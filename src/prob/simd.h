@@ -1,0 +1,87 @@
+// Runtime-dispatched vector kernel for the flat distribution algebra.
+//
+// The exact DP's inner loops — convolution rows, scaled accumulation
+// sweeps, batched sibling products — operate on the dense key/value lanes
+// of the structure-of-arrays FlatDist (prob/dist.h). Those sweeps are
+// packaged here as a table of function pointers (KernelOps) with two
+// implementations:
+//
+//   * portable (simd_portable.cc): plain C++ loops, compiled with the
+//     project's baseline flags;
+//   * AVX2 (simd_avx2.cc): the same loops over 4-wide OR / MUL vectors,
+//     compiled in its own TU with -mavx2 so the rest of the build stays
+//     runnable on baseline x86-64 (and non-x86 hosts skip it entirely).
+//
+// Dispatch happens ONCE per ExactDpBackend (ResolveKernel), not per call:
+// the backend captures the table at construction and threads it through
+// EngineOptions. Setting PXV_FORCE_SCALAR=1 in the environment pins the
+// portable table regardless of CPU support (the CI matrix leg).
+//
+// Summation-order contract: both implementations perform *identical*
+// arithmetic in *identical* order — each output value is a single product
+// a*b (one rounding, no FMA contraction: the AVX2 TU uses mul only, and
+// the portable TU lives behind a function-pointer boundary so the compiler
+// cannot fuse the multiply into the caller's accumulate) and every
+// accumulation the engine performs on kernel output happens in the same
+// staged order for both tables. Results are therefore bitwise identical
+// between the AVX2 and portable paths; tests/dist_kernel_test.cc asserts
+// exactly that.
+
+#ifndef PXV_PROB_SIMD_H_
+#define PXV_PROB_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "prob/dist.h"
+
+namespace pxv {
+
+/// One resolved kernel implementation. All pointers are non-null.
+struct KernelOps {
+  const char* name;  ///< "avx2" or "portable" (diagnostics, bench JSON).
+
+  /// One convolution row — broadcast entry (ka, pa) of the left operand
+  /// against the right operand's lanes:
+  ///   out_k[j] = ka | bk[j];  out_v[j] = pa * bv[j]   for j < nb.
+  void (*conv_row_n)(uint64_t ka, double pa, const uint64_t* bk,
+                     const double* bv, size_t nb, uint64_t* out_k,
+                     double* out_v);
+  void (*conv_row_w)(const WideKey& ka, double pa, const WideKey* bk,
+                     const double* bv, size_t nb, WideKey* out_k,
+                     double* out_v);
+
+  /// Batched sibling-pair products — n independent singleton convolutions
+  /// in one sweep (same frame, one slot each):
+  ///   out_k[i] = ak[i] | bk[i];  out_v[i] = av[i] * bv[i]   for i < n.
+  void (*pair_conv_n)(const uint64_t* ak, const double* av,
+                      const uint64_t* bk, const double* bv, size_t n,
+                      uint64_t* out_k, double* out_v);
+  void (*pair_conv_w)(const WideKey* ak, const double* av, const WideKey* bk,
+                      const double* bv, size_t n, WideKey* out_k,
+                      double* out_v);
+
+  /// AddScaled staging: out_v[i] = v[i] * p for i < n.
+  void (*scale)(const double* v, size_t n, double p, double* out_v);
+};
+
+/// The portable table. Always available.
+const KernelOps* PortableKernel();
+
+/// The AVX2 table, or nullptr when the build has no AVX2 TU (non-x86 hosts
+/// or a toolchain without -mavx2). Callers must still check CPU support —
+/// use ResolveKernel.
+const KernelOps* Avx2Kernel();
+
+/// Picks the table for this process: portable when `force_scalar` is set,
+/// when the environment carries PXV_FORCE_SCALAR=1, when the build has no
+/// AVX2 TU, or when the CPU lacks AVX2; the AVX2 table otherwise.
+const KernelOps* ResolveKernel(bool force_scalar = false);
+
+/// ResolveKernel(false), memoized once per process — the default for
+/// callers with no backend to hold a per-instance choice.
+const KernelOps* ActiveKernel();
+
+}  // namespace pxv
+
+#endif  // PXV_PROB_SIMD_H_

@@ -1,0 +1,120 @@
+// AVX2 implementation of the KernelOps table (prob/simd.h). This TU is the
+// only one compiled with -mavx2 (CMake sets the per-source flag on x86-64);
+// everything else in the build stays baseline, and ResolveKernel only hands
+// this table out after a runtime __builtin_cpu_supports("avx2") check.
+//
+// Bitwise contract with the portable TU: multiplies only (never
+// _mm256_fmadd_pd — FMA's single rounding of a*b+c would diverge from the
+// portable mul-then-add), identical per-element arithmetic, identical
+// element order, scalar tails using the very same expressions. See simd.h.
+
+#include "prob/simd.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace pxv {
+namespace {
+
+void ConvRowN(uint64_t ka, double pa, const uint64_t* bk, const double* bv,
+              size_t nb, uint64_t* out_k, double* out_v) {
+  size_t j = 0;
+  const __m256i vka = _mm256_set1_epi64x(static_cast<long long>(ka));
+  const __m256d vpa = _mm256_set1_pd(pa);
+  for (; j + 4 <= nb; j += 4) {
+    const __m256i k =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bk + j));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out_k + j),
+                        _mm256_or_si256(vka, k));
+    _mm256_storeu_pd(out_v + j, _mm256_mul_pd(vpa, _mm256_loadu_pd(bv + j)));
+  }
+  for (; j < nb; ++j) {
+    out_k[j] = ka | bk[j];
+    out_v[j] = pa * bv[j];
+  }
+}
+
+void ConvRowW(const WideKey& ka, double pa, const WideKey* bk,
+              const double* bv, size_t nb, WideKey* out_k, double* out_v) {
+  // A WideKey is exactly one 256-bit lane: the OR is a single vector op per
+  // key; the value products run 4-wide alongside.
+  const __m256i vka =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ka.w.data()));
+  for (size_t j = 0; j < nb; ++j) {
+    const __m256i k =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bk[j].w.data()));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out_k[j].w.data()),
+                        _mm256_or_si256(vka, k));
+  }
+  size_t j = 0;
+  const __m256d vpa = _mm256_set1_pd(pa);
+  for (; j + 4 <= nb; j += 4) {
+    _mm256_storeu_pd(out_v + j, _mm256_mul_pd(vpa, _mm256_loadu_pd(bv + j)));
+  }
+  for (; j < nb; ++j) out_v[j] = pa * bv[j];
+}
+
+void PairConvN(const uint64_t* ak, const double* av, const uint64_t* bk,
+               const double* bv, size_t n, uint64_t* out_k, double* out_v) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ak + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bk + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out_k + i),
+                        _mm256_or_si256(a, b));
+    _mm256_storeu_pd(out_v + i, _mm256_mul_pd(_mm256_loadu_pd(av + i),
+                                              _mm256_loadu_pd(bv + i)));
+  }
+  for (; i < n; ++i) {
+    out_k[i] = ak[i] | bk[i];
+    out_v[i] = av[i] * bv[i];
+  }
+}
+
+void PairConvW(const WideKey* ak, const double* av, const WideKey* bk,
+               const double* bv, size_t n, WideKey* out_k, double* out_v) {
+  for (size_t i = 0; i < n; ++i) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ak[i].w.data()));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bk[i].w.data()));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out_k[i].w.data()),
+                        _mm256_or_si256(a, b));
+  }
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out_v + i, _mm256_mul_pd(_mm256_loadu_pd(av + i),
+                                              _mm256_loadu_pd(bv + i)));
+  }
+  for (; i < n; ++i) out_v[i] = av[i] * bv[i];
+}
+
+void Scale(const double* v, size_t n, double p, double* out_v) {
+  size_t i = 0;
+  const __m256d vp = _mm256_set1_pd(p);
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out_v + i, _mm256_mul_pd(vp, _mm256_loadu_pd(v + i)));
+  }
+  for (; i < n; ++i) out_v[i] = v[i] * p;
+}
+
+const KernelOps kAvx2 = {
+    "avx2", ConvRowN, ConvRowW, PairConvN, PairConvW, Scale,
+};
+
+}  // namespace
+
+const KernelOps* Avx2Kernel() { return &kAvx2; }
+
+}  // namespace pxv
+
+#else  // !defined(__AVX2__)
+
+namespace pxv {
+const KernelOps* Avx2Kernel() { return nullptr; }
+}  // namespace pxv
+
+#endif

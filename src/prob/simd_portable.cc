@@ -1,0 +1,89 @@
+// Portable implementation of the KernelOps table (prob/simd.h) plus the
+// process-wide kernel resolution. These loops are the semantic ground truth
+// for the AVX2 TU: same arithmetic, same order, so the two tables produce
+// bitwise-identical results (the summation-order contract in simd.h).
+//
+// The loops are written so the baseline compiler can auto-vectorize them
+// where profitable; correctness never depends on it, because each output
+// element is computed independently (no reassociation, no contraction — the
+// multiply's rounding happens here, behind the function-pointer boundary,
+// never fused into a caller-side add).
+
+#include "prob/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace pxv {
+namespace {
+
+void ConvRowN(uint64_t ka, double pa, const uint64_t* bk, const double* bv,
+              size_t nb, uint64_t* out_k, double* out_v) {
+  for (size_t j = 0; j < nb; ++j) {
+    out_k[j] = ka | bk[j];
+    out_v[j] = pa * bv[j];
+  }
+}
+
+void ConvRowW(const WideKey& ka, double pa, const WideKey* bk,
+              const double* bv, size_t nb, WideKey* out_k, double* out_v) {
+  for (size_t j = 0; j < nb; ++j) {
+    out_k[j] = ka | bk[j];
+    out_v[j] = pa * bv[j];
+  }
+}
+
+void PairConvN(const uint64_t* ak, const double* av, const uint64_t* bk,
+               const double* bv, size_t n, uint64_t* out_k, double* out_v) {
+  for (size_t i = 0; i < n; ++i) {
+    out_k[i] = ak[i] | bk[i];
+    out_v[i] = av[i] * bv[i];
+  }
+}
+
+void PairConvW(const WideKey* ak, const double* av, const WideKey* bk,
+               const double* bv, size_t n, WideKey* out_k, double* out_v) {
+  for (size_t i = 0; i < n; ++i) {
+    out_k[i] = ak[i] | bk[i];
+    out_v[i] = av[i] * bv[i];
+  }
+}
+
+void Scale(const double* v, size_t n, double p, double* out_v) {
+  for (size_t i = 0; i < n; ++i) out_v[i] = v[i] * p;
+}
+
+const KernelOps kPortable = {
+    "portable", ConvRowN, ConvRowW, PairConvN, PairConvW, Scale,
+};
+
+bool ForcedScalarByEnv() {
+  const char* v = std::getenv("PXV_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+const KernelOps* PortableKernel() { return &kPortable; }
+
+const KernelOps* ResolveKernel(bool force_scalar) {
+  if (force_scalar || ForcedScalarByEnv()) return &kPortable;
+  const KernelOps* avx2 = Avx2Kernel();
+  if (avx2 != nullptr && CpuHasAvx2()) return avx2;
+  return &kPortable;
+}
+
+const KernelOps* ActiveKernel() {
+  static const KernelOps* chosen = ResolveKernel(false);
+  return chosen;
+}
+
+}  // namespace pxv

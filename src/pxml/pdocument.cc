@@ -255,6 +255,27 @@ PDocument::exp_distribution(NodeId n) const {
   return nodes_[n].exp_dist;
 }
 
+double PDocument::ExpDpCost() const {
+  if (exp_cost_uid_ == uid_) return exp_cost_;
+  // One descending-id sweep: children always follow their parents in the
+  // arena, so by the time `n` is visited its whole live subtree is summed.
+  std::vector<int64_t> sub(nodes_.size(), 0);
+  double cost = 0;
+  for (NodeId n = size() - 1; n >= 0; --n) {
+    const PNode& node = nodes_[n];
+    if (node.detached) continue;
+    ++sub[n];
+    if (node.parent != kNullNode) sub[node.parent] += sub[n];
+    if (node.kind == PKind::kExp) {
+      cost += static_cast<double>(node.exp_dist.size()) *
+              static_cast<double>(sub[n]);
+    }
+  }
+  exp_cost_uid_ = uid_;
+  exp_cost_ = cost;
+  return cost;
+}
+
 int PDocument::OrdinaryCount() const {
   int count = 0;
   for (NodeId n = 0; n < size(); ++n) {

@@ -215,6 +215,16 @@ class PDocument {
   /// Number of ordinary nodes.
   int OrdinaryCount() const;
 
+  /// DP work surcharge of the exp nodes: Σ over live exp nodes of
+  /// |exp_distribution(n)| × (live nodes in n's subtree). The exact DP
+  /// evaluates an exp node once per explicit subset, re-walking the child
+  /// distributions each time, so two documents of equal live_size() can
+  /// differ by orders of magnitude in DP cost when one routes its matches
+  /// through exp-heavy regions — cost models (rewrite/planner) charge this
+  /// on top of live_size(). Zero for exp-free documents. Cached per uid();
+  /// one O(live_size) sweep to recompute after a mutation.
+  double ExpDpCost() const;
+
   /// Nearest ordinary proper ancestor, or kNullNode for the root.
   NodeId OrdinaryAncestor(NodeId n) const;
 
@@ -257,6 +267,8 @@ class PDocument {
   static uint64_t NextUid();
 
   std::vector<PNode> nodes_;
+  mutable uint64_t exp_cost_uid_ = 0;  // uid the cached ExpDpCost is for.
+  mutable double exp_cost_ = 0;
   uint64_t uid_ = NextUid();
   uint64_t structure_version_ = uid_;
   int detached_count_ = 0;

@@ -17,8 +17,11 @@ double TpCost(const TpRewriting& rw, const PDocument& ext) {
   const double plan_size = static_cast<double>(rw.plan.size());
   // live_size(), not size(): a delta-patched extension accumulates detached
   // tombstones that the DP never visits — charging them would systematically
-  // overprice patched extensions against freshly rebuilt ones.
-  const double ext_nodes = static_cast<double>(ext.live_size());
+  // overprice patched extensions against freshly rebuilt ones. ExpDpCost()
+  // rides on top: the DP re-walks an exp node's child distributions once per
+  // explicit subset, so exp-heavy extensions cost more at equal live size.
+  const double ext_nodes =
+      static_cast<double>(ext.live_size()) + ext.ExpDpCost();
   double cost = plan_size * ext_nodes;
   if (!rw.restricted) {
     const int roots =
@@ -88,7 +91,7 @@ std::optional<double> EstimateCost(const AnswerPlan& plan,
   for (const TpiMember& m : plan.tpi.members) {
     const PDocument& ext = *exts.Find(m.view_name);
     cost += static_cast<double>(m.plan.size()) *
-            static_cast<double>(ext.live_size());
+            (static_cast<double>(ext.live_size()) + ext.ExpDpCost());
     if (m.compensated && m.computable) cost += TpCost(m.section4, ext);
   }
   return cost;

@@ -347,6 +347,131 @@ TEST(DeepDocument, LongChainAgreesWithReference) {
               ReferenceConjunctionProbability(pd, gz), 1e-9);
 }
 
+// ------------------------------------------- SIMD vs scalar vs reference ---
+//
+// Summation-order contract (prob/simd.h): the AVX2 and portable kernels
+// walk the SAME SoA value lanes in the SAME order and perform the SAME
+// pairwise multiply-adds (no FMA contraction, no reassociation), and IEEE
+// 754 arithmetic is deterministic — so the two kernels must agree BITWISE,
+// asserted below with exact double equality. The hash-map reference engine
+// sums in a different (table-iteration) order, so against it the contract
+// is the documented 1e-9 epsilon instead.
+
+std::map<NodeId, double> KernelBatch(const PDocument& pd, const Pattern& q,
+                                     bool force_scalar) {
+  EvalOptions opts;
+  opts.backend = BackendKind::kExact;
+  opts.force_scalar = force_scalar;
+  EvalSession session(pd, opts);
+  return ByNode(session.EvaluateTP(q));
+}
+
+void ExpectBitwiseEqual(const std::map<NodeId, double>& simd,
+                        const std::map<NodeId, double>& scalar,
+                        const std::string& what) {
+  ASSERT_EQ(simd.size(), scalar.size()) << what;
+  auto it = scalar.begin();
+  for (const auto& [n, p] : simd) {
+    ASSERT_EQ(n, it->first) << what;
+    EXPECT_EQ(p, it->second) << what << ": node " << n;  // Exact, last ulp.
+    ++it;
+  }
+}
+
+class SimdVsScalar : public ::testing::TestWithParam<int> {};
+
+// Random documents with grafted exp groups: the explicit-subset path runs
+// under both kernels and must not perturb a single bit.
+TEST_P(SimdVsScalar, RandomDocsWithExpNodes) {
+  Rng rng(21000 + GetParam());
+  DocGenOptions d;
+  d.target_nodes = 18;
+  d.label_count = 3;
+  PDocument pd = RandomPDocument(rng, d);
+  std::vector<NodeId> hosts;
+  for (NodeId n = 0; n < pd.size(); ++n) {
+    if (pd.ordinary(n)) hosts.push_back(n);
+  }
+  for (int g = 0; g < 2; ++g) {
+    const NodeId host =
+        hosts[rng.NextBounded(static_cast<uint64_t>(hosts.size()))];
+    const NodeId exp = pd.AddExp(host);
+    pd.AddOrdinary(exp, Intern("b"));
+    pd.AddOrdinary(exp, Intern("c"));
+    pd.SetExpDistribution(
+        exp, {{{0, 1}, 0.2 + 0.2 * rng.NextDouble()},
+              {{0}, 0.1 + 0.1 * rng.NextDouble()},
+              {{1}, 0.1 * rng.NextDouble()}});
+  }
+  ASSERT_TRUE(pd.Validate().ok());
+  QueryGenOptions qo;
+  qo.depth = 2 + GetParam() % 3;
+  qo.label_count = 3;
+  const Pattern q = RandomQuery(rng, qo);
+  const auto simd = KernelBatch(pd, q, /*force_scalar=*/false);
+  const auto scalar = KernelBatch(pd, q, /*force_scalar=*/true);
+  ExpectBitwiseEqual(simd, scalar, "simd vs scalar");
+  ExpectSameMap(ByNode(ReferenceBatchAnchoredProbabilities(pd, {&q})), simd,
+                1e-9, "simd vs reference");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimdVsScalar, ::testing::Range(0, 30));
+
+// The >32-slot wide-key regime: 256-bit lanes take the AVX2 gather path,
+// narrow leaf subtrees the 64-bit one — both boundaries must stay bitwise.
+TEST(SimdVsScalarTest, WideKeyRegime) {
+  PDocument pd;
+  const NodeId r = pd.AddRoot(Intern("r"));
+  const NodeId ind = pd.AddDistributional(r, PKind::kInd);
+  for (int copy = 0; copy < 2; ++copy) {
+    const NodeId b = pd.AddOrdinary(ind, Intern("b"), 0.5 + 0.25 * copy);
+    const NodeId mux = pd.AddDistributional(b, PKind::kMux);
+    const NodeId grp1 = pd.AddOrdinary(mux, Intern("g"), 0.6);
+    const NodeId grp2 = pd.AddOrdinary(mux, Intern("g"), 0.4);
+    // All 36 predicates satisfiable via grp1 (nonzero results); grp2 holds
+    // half of them, a strictly-partial decoy branch.
+    for (int i = 0; i < 36; ++i) {
+      pd.AddOrdinary(grp1, Intern("p" + std::to_string(i)));
+      if (i % 2) pd.AddOrdinary(grp2, Intern("p" + std::to_string(i)));
+    }
+  }
+  Pattern q;
+  const PNodeId qr = q.AddRoot(Intern("r"));
+  const PNodeId qb = q.AddChild(qr, Intern("b"), Axis::kDescendant);
+  const PNodeId qg = q.AddChild(qb, Intern("g"), Axis::kChild);
+  for (int i = 0; i < 36; ++i) {
+    q.AddChild(qg, Intern("p" + std::to_string(i)), Axis::kDescendant);
+  }
+  q.SetOut(qb);
+  ASSERT_GT(BatchSlotCount({&q}), kNarrowSlotCap);
+  const auto simd = KernelBatch(pd, q, /*force_scalar=*/false);
+  const auto scalar = KernelBatch(pd, q, /*force_scalar=*/true);
+  ASSERT_FALSE(simd.empty());
+  ExpectBitwiseEqual(simd, scalar, "wide simd vs scalar");
+  ExpectSameMap(ByNode(ReferenceBatchAnchoredProbabilities(pd, {&q})), simd,
+                1e-9, "wide simd vs reference");
+}
+
+// 600-deep ind chain: 600 stacked convolutions amplify any kernel
+// divergence; bitwise equality here means the whole cascade is identical.
+TEST(SimdVsScalarTest, DeepChain) {
+  PDocument pd;
+  NodeId cur = pd.AddRoot(Intern("a"));
+  Rng rng(77);
+  for (int i = 0; i < 600; ++i) {
+    const NodeId ind = pd.AddDistributional(cur, PKind::kInd);
+    cur = pd.AddOrdinary(ind, Intern("m"), 0.99 + 0.009 * rng.NextDouble());
+    if (i % 41 == 0) pd.AddOrdinary(cur, Intern("c"));
+  }
+  const Pattern q = Tp("a//m[c]");
+  const auto simd = KernelBatch(pd, q, /*force_scalar=*/false);
+  const auto scalar = KernelBatch(pd, q, /*force_scalar=*/true);
+  ASSERT_FALSE(simd.empty());
+  ExpectBitwiseEqual(simd, scalar, "deep simd vs scalar");
+  ExpectSameMap(ByNode(ReferenceBatchAnchoredProbabilities(pd, {&q})), simd,
+                1e-9, "deep simd vs reference");
+}
+
 // ------------------------------------------------ pruning & observability ---
 
 TEST(SupportPruning, DefaultOffIsExactAndEpsBoundHolds) {

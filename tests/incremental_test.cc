@@ -465,6 +465,77 @@ TEST(IncrementalEquivalence, WideKeyRegime) {
   EXPECT_GT(store.SessionCacheStats("doc").hits, 0u);
 }
 
+// ------------------------------------------------- sibling-tree churn ----
+
+// A flat 4096-fanout ind site runs Combine through the sibling-product
+// segment tree (prob/engine.cc CombineTree). With the subtree memo on, the
+// internal products are cached per site keyed on child subtree versions:
+// mutating ONE child must recompute only the O(log fanout) products on that
+// leaf's root path — observed through the profile counters — while the
+// results stay bitwise identical to a cold rebuild (cached products are
+// memcpy-cloned, never re-derived).
+TEST(SiblingTreeChurn, OneDeltaRecomputesLogFanoutProducts) {
+  constexpr int kFanout = 4096;
+  const int kLog = 13;  // ceil(log2(fanout + 1)) — root-path length bound.
+  PDocument pd;
+  const NodeId root = pd.AddRoot(Intern("root"));
+  const NodeId ind = pd.AddDistributional(root, PKind::kInd);
+  Rng rng(4096);
+  std::vector<NodeId> items;
+  for (int i = 0; i < kFanout; ++i) {
+    // Sub-1.0 edge probabilities keep every part's base non-trivial (two
+    // entries: predicate bit set / unset), so no part collapses to an
+    // identity and the full fanout reaches the tree.
+    items.push_back(
+        pd.AddOrdinary(ind, Intern("item"), 0.1 + 0.8 * rng.NextDouble()));
+  }
+  const NodeId out = pd.AddOrdinary(ind, Intern("out"), 0.5);
+  (void)out;
+  ASSERT_TRUE(pd.Validate().ok());
+  const Pattern q = Tp("root[item]/out");
+
+  EvalOptions opts;
+  opts.backend = BackendKind::kExact;
+  opts.cache_subtrees = true;
+  EvalSession session(pd, opts);
+  const std::vector<NodeProb> cold = session.EvaluateTP(q);
+  ASSERT_EQ(cold.size(), 1u);
+  ASSERT_NE(session.dp_profile(), nullptr);
+  const DistProfile& prof = *session.dp_profile();
+  ASSERT_GT(prof.sibling_tree_sites, 0u) << "tree route did not fire";
+  // Cold run: every internal product computed (plain or batched), none
+  // served from the memo.
+  const uint64_t cold_products =
+      prof.sibling_tree_convs + prof.batched_pair_convs;
+  EXPECT_GE(cold_products, static_cast<uint64_t>(kFanout - 1));
+  EXPECT_EQ(prof.sibling_tree_reused, 0u);
+
+  // One child delta → incremental re-evaluation.
+  pd.SetEdgeProb(items[kFanout / 2], 0.987654321);
+  const uint64_t convs_before = prof.sibling_tree_convs;
+  const uint64_t batched_before = prof.batched_pair_convs;
+  const uint64_t reused_before = prof.sibling_tree_reused;
+  const std::vector<NodeProb> incremental = session.EvaluateTP(q);
+
+  // O(log fanout): only the mutated leaf's root path is dirty.
+  const uint64_t delta_products = (prof.sibling_tree_convs - convs_before) +
+                                  (prof.batched_pair_convs - batched_before);
+  EXPECT_LE(delta_products, static_cast<uint64_t>(2 * kLog));
+  EXPECT_GT(delta_products, 0u);
+  // The rest of the tree is served from the memo.
+  EXPECT_GE(prof.sibling_tree_reused - reused_before,
+            static_cast<uint64_t>(kFanout - 2 * kLog));
+
+  // Bitwise identity against a full rebuild of the mutated document.
+  EvalSession fresh(pd, opts);
+  const std::vector<NodeProb> rebuilt = fresh.EvaluateTP(q);
+  ASSERT_EQ(incremental.size(), rebuilt.size());
+  for (size_t i = 0; i < rebuilt.size(); ++i) {
+    EXPECT_EQ(incremental[i].node, rebuilt[i].node);
+    EXPECT_EQ(incremental[i].prob, rebuilt[i].prob) << "not bitwise";
+  }
+}
+
 // ------------------------------------------------------- uid regressions ----
 
 // uid(): copies share the tag, and the tags diverge permanently as soon as

@@ -15,6 +15,7 @@
 #include "serve/view_server.h"
 #include "pxml/parser.h"
 #include "tp/parser.h"
+#include "xml/label.h"
 
 namespace pxv {
 namespace {
@@ -142,6 +143,50 @@ TEST(PlannerTest, UnrestrictedFrIsPenalized) {
   AnswerPlan unrestricted = *tp_plan;
   unrestricted.tp.restricted = false;
   EXPECT_GT(*EstimateCost(unrestricted, exts), restricted_cost);
+}
+
+// The exp-node surcharge: ExpDpCost sums |exp distribution| × live subtree
+// size per exp node, and the planner charges it on top of live_size() — the
+// DP re-walks an exp node's children once per explicit subset, so grafting
+// exp structure into an extension must raise its estimated cost by more
+// than the handful of nodes added.
+TEST(PlannerTest, ExpNodesRaiseEstimatedCost) {
+  const PDocument pd = AbcDoc();
+  Rewriter rewriter;
+  rewriter.AddView("v", Tp("a/b"));
+  ViewExtensions exts = rewriter.Materialize(pd);
+  const QueryPlan plan = rewriter.Compile(Tp("a/b[c]"));
+  const AnswerPlan* cand = nullptr;
+  for (const AnswerPlan& c : plan.candidates) {
+    if (c.kind == AnswerPlan::Kind::kTp && c.tp.view_name == "v") cand = &c;
+  }
+  ASSERT_NE(cand, nullptr);
+
+  PDocument& ext = exts.at("v");
+  EXPECT_EQ(ext.ExpDpCost(), 0.0);  // Materialized extensions are exp-free.
+  const double live0 = ext.live_size();
+  const double base_cost = *EstimateCost(*cand, exts);
+
+  // Graft one exp node with 2 children and 3 subsets: live size grows by 3,
+  // ExpDpCost by 3 subsets × 3 subtree nodes = 9.
+  const NodeId exp = ext.AddExp(ext.root());
+  ext.AddOrdinary(exp, Intern("y"));
+  ext.AddOrdinary(exp, Intern("z"));
+  ext.SetExpDistribution(exp, {{{0, 1}, 0.4}, {{0}, 0.3}, {{1}, 0.2}});
+  EXPECT_EQ(ext.ExpDpCost(), 9.0);
+  EXPECT_EQ(ext.ExpDpCost(), 9.0);  // Cached per uid; stable on re-read.
+
+  // Cost scales with (live + exp surcharge): per-node factor recovered from
+  // the base estimate, so the assertion pins the exact charge.
+  const double with_exp = *EstimateCost(*cand, exts);
+  EXPECT_NEAR(with_exp, base_cost / live0 * (live0 + 3 + 9), 1e-9);
+
+  // A probability-only mutation of the distribution re-keys the uid cache:
+  // five subsets now, surcharge 15.
+  ext.SetExpDistribution(
+      exp, {{{0, 1}, 0.2}, {{0}, 0.2}, {{1}, 0.2}, {{}, 0.2}, {{0, 1}, 0.2}});
+  EXPECT_EQ(ext.ExpDpCost(), 15.0);
+  EXPECT_GT(*EstimateCost(*cand, exts), with_exp);
 }
 
 TEST(PlannerTest, MissingTpiMemberExtensionDisablesTpiCandidate) {

@@ -202,6 +202,10 @@ int CmdPlan(int argc, char** argv) {
     if (!ParseNamedView(argv[i], &rewriter)) return Usage();
   }
   const ViewExtensions exts = rewriter.Materialize(*pd);
+  for (const auto& [name, ext] : exts) {
+    std::printf("extension %-20s live %d node(s), exp-dp-cost %.0f\n",
+                name.c_str(), ext.live_size(), ext.ExpDpCost());
+  }
   const QueryPlan plan = rewriter.Compile(*q);
   std::printf("fingerprint %016llx, %zu candidate plan(s)\n",
               static_cast<unsigned long long>(plan.fingerprint),
