@@ -1,0 +1,120 @@
+// Lineage-circuit delta-serving benchmarks (ISSUE 7 acceptance: on a
+// probability-only delta stream the compiled circuit's value re-propagation
+// must beat the PR 6 incremental DP by ≥ 5× at default sizes — CI gates on
+// the IncrementalDp/Circuit ratio at fanout 4096).
+//
+//   * BM_CircuitDelta       — EvalSession(kCircuit): the first evaluation
+//     records and compiles the DP, every later one diffs the input gates
+//     and forward-propagates only the dirty cone (prob/circuit_backend.h).
+//   * BM_IncrementalDpDelta — the PR 6 baseline on the same churn: exact DP
+//     with the subtree memo + sibling-product trees, recomputing the dirty
+//     root-to-change spine per delta.
+//   * BM_CircuitCompile     — the cold build (recorded DP pass + compile),
+//     i.e. what a structural mutation costs the circuit route.
+//
+// --profile adds the circuit counters (gates, dirty gates per delta,
+// recompiles) to the JSON rows.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_flags.h"
+#include "prob/circuit_backend.h"
+#include "prob/eval_session.h"
+#include "pxml/pdocument.h"
+#include "tp/parser.h"
+#include "util/random.h"
+#include "xml/label.h"
+
+namespace pxv {
+namespace {
+
+// One high-fanout ind node whose children all carry query-relevant bases
+// (same shape as BM_HighFanoutDelta in bench_incremental.cc): every
+// probability sits strictly inside (0, 1), so the churn below can never
+// flip a recorded guard and the stream is served by pure re-propagation.
+PDocument HighFanoutDoc(int fanout, std::vector<NodeId>* items) {
+  PDocument pd;
+  const NodeId root = pd.AddRoot(Intern("root"));
+  const NodeId ind = pd.AddDistributional(root, PKind::kInd);
+  Rng rng(4096);
+  items->reserve(size_t(fanout));
+  for (int i = 0; i < fanout; ++i) {
+    items->push_back(
+        pd.AddOrdinary(ind, Intern("item"), 0.1 + 0.8 * rng.NextDouble()));
+  }
+  pd.AddOrdinary(ind, Intern("out"), 0.5);
+  pd.ClearDirtyPaths();
+  return pd;
+}
+
+void RunDeltaStream(benchmark::State& state, const EvalOptions& opts) {
+  const int fanout = static_cast<int>(state.range(0));
+  std::vector<NodeId> items;
+  PDocument pd = HighFanoutDoc(fanout, &items);
+  const Pattern q = Tp("root[item]/out");
+  EvalSession session(pd, opts);
+  session.EvaluateTP(q);  // Cold pass outside the loop.
+  double p = 0.41;
+  int i = 0;
+  for (auto _ : state) {
+    p = (p == 0.41) ? 0.42 : 0.41;
+    pd.SetEdgeProb(items[size_t((i++ * 769) % fanout)], p);
+    benchmark::DoNotOptimize(session.EvaluateTP(q));
+  }
+  state.counters["fanout"] = fanout;
+  if (benchflags::Profile() && session.dp_profile() != nullptr) {
+    const DistProfile& prof = *session.dp_profile();
+    state.counters["circuit_gates"] =
+        static_cast<double>(prof.circuit_gates);
+    state.counters["circuit_recompiles"] =
+        static_cast<double>(prof.circuit_recompiles);
+    state.counters["circuit_dirty_gates"] = benchmark::Counter(
+        static_cast<double>(prof.circuit_dirty_gates),
+        benchmark::Counter::kAvgIterations);
+  }
+}
+
+void BM_CircuitDelta(benchmark::State& state) {
+  EvalOptions opts;
+  opts.backend = BackendKind::kCircuit;
+  RunDeltaStream(state, opts);
+}
+BENCHMARK(BM_CircuitDelta)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_IncrementalDpDelta(benchmark::State& state) {
+  EvalOptions opts;
+  opts.backend = BackendKind::kExact;
+  opts.cache_subtrees = true;
+  RunDeltaStream(state, opts);
+}
+BENCHMARK(BM_IncrementalDpDelta)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CircuitCompile(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  std::vector<NodeId> items;
+  const PDocument pd = HighFanoutDoc(fanout, &items);
+  const Pattern q = Tp("root[item]/out");
+  for (auto _ : state) {
+    CircuitBackend backend;
+    benchmark::DoNotOptimize(backend.BatchAnchored(pd, {&q}));
+    if (benchflags::Profile()) {
+      state.counters["circuit_gates"] =
+          static_cast<double>(backend.profile().circuit_gates);
+    }
+  }
+}
+BENCHMARK(BM_CircuitCompile)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace pxv

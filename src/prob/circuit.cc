@@ -1,0 +1,229 @@
+#include "prob/circuit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace pxv {
+
+namespace {
+// splitmix64 finalizer — good avalanche for the structural fold below.
+inline uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+uint64_t ExpStructureSig(const PDocument& pd, NodeId n) {
+  uint64_t h = Mix(uint64_t(pd.exp_distribution(n).size()));
+  for (const auto& [subset, p] : pd.exp_distribution(n)) {
+    h = Mix(h ^ Mix(uint64_t(subset.size()) + 1));
+    for (int idx : subset) h = Mix(h ^ (uint64_t(uint32_t(idx)) << 1));
+  }
+  return h;
+}
+
+std::unique_ptr<LineageCircuit> LineageCircuit::Compile(
+    CircuitRecorder&& rec) {
+  std::unique_ptr<LineageCircuit> c(new LineageCircuit());
+  c->ops_ = std::move(rec.ops_);
+  c->a_ = std::move(rec.a_);
+  c->b_ = std::move(rec.b_);
+  c->val_ = std::move(rec.val_);
+  c->input_keys_ = std::move(rec.input_keys_);
+  c->input_gates_ = std::move(rec.input_gates_);
+  c->guards_ = std::move(rec.guards_);
+  c->exp_sigs_ = std::move(rec.exp_sigs_);
+  c->outputs_ = std::move(rec.outputs_);
+  // Stable node-id order per output group: the engine sorts its batch
+  // results ascending by node, so replay emits in the same order.
+  for (auto& group : c->outputs_) {
+    std::stable_sort(group.begin(), group.end(),
+                     [](const auto& x, const auto& y) {
+                       return x.first < y.first;
+                     });
+  }
+
+  const size_t n = c->ops_.size();
+  // Topological levels (gates are created operands-first, so one forward
+  // scan suffices) and consumer degree counting in the same pass.
+  c->level_.assign(n, 0);
+  c->use_off_.assign(n + 1, 0);
+  int32_t max_level = 0;
+  for (size_t g = 0; g < n; ++g) {
+    if (c->ops_[g] == GateOp::kConst || c->ops_[g] == GateOp::kInput) {
+      continue;
+    }
+    const GateId a = c->a_[g], b = c->b_[g];
+    const int32_t la = c->level_[size_t(a)], lb = c->level_[size_t(b)];
+    const int32_t l = 1 + (la > lb ? la : lb);
+    c->level_[g] = l;
+    if (l > max_level) max_level = l;
+    ++c->use_off_[size_t(a) + 1];
+    ++c->use_off_[size_t(b) + 1];
+  }
+  c->levels_ = size_t(max_level) + 1;
+  for (size_t g = 0; g < n; ++g) c->use_off_[g + 1] += c->use_off_[g];
+  c->uses_.resize(c->use_off_[n]);
+  std::vector<uint32_t> fill(c->use_off_.begin(), c->use_off_.end() - 1);
+  for (size_t g = 0; g < n; ++g) {
+    if (c->ops_[g] == GateOp::kConst || c->ops_[g] == GateOp::kInput) {
+      continue;
+    }
+    c->uses_[fill[size_t(c->a_[g])]++] = GateId(g);
+    c->uses_[fill[size_t(c->b_[g])]++] = GateId(g);
+  }
+  c->dirty_.assign(n, 0);
+  c->level_work_.resize(c->levels_);
+  return c;
+}
+
+void LineageCircuit::MarkDirty(GateId g) {
+  if (dirty_[size_t(g)]) return;
+  dirty_[size_t(g)] = 1;
+  std::vector<GateId>& bucket = level_work_[size_t(level_[size_t(g)])];
+  if (bucket.empty()) touched_levels_.push_back(level_[size_t(g)]);
+  bucket.push_back(g);
+}
+
+size_t LineageCircuit::Propagate(
+    const std::vector<std::pair<GateId, double>>& updates) {
+  touched_levels_.clear();
+  for (const auto& [g, v] : updates) {
+    uint64_t old_bits, new_bits;
+    std::memcpy(&old_bits, &val_[size_t(g)], sizeof old_bits);
+    std::memcpy(&new_bits, &v, sizeof new_bits);
+    if (old_bits == new_bits) continue;
+    val_[size_t(g)] = v;
+    for (uint32_t u = use_off_[size_t(g)]; u < use_off_[size_t(g) + 1]; ++u) {
+      MarkDirty(uses_[u]);
+    }
+  }
+  // Touched levels are visited ascending; MarkDirty only ever adds strictly
+  // higher levels than the one being swept, so sorting the seed set once
+  // and scanning upward covers every insertion.
+  std::sort(touched_levels_.begin(), touched_levels_.end());
+  size_t recomputed = 0;
+  for (size_t i = 0; i < touched_levels_.size(); ++i) {
+    std::vector<GateId>& bucket = level_work_[size_t(touched_levels_[i])];
+    for (size_t j = 0; j < bucket.size(); ++j) {
+      const GateId g = bucket[j];
+      dirty_[size_t(g)] = 0;
+      ++recomputed;
+      const double nv = Eval(g);
+      uint64_t old_bits, new_bits;
+      std::memcpy(&old_bits, &val_[size_t(g)], sizeof old_bits);
+      std::memcpy(&new_bits, &nv, sizeof new_bits);
+      if (old_bits == new_bits) continue;
+      val_[size_t(g)] = nv;
+      for (uint32_t u = use_off_[size_t(g)]; u < use_off_[size_t(g) + 1];
+           ++u) {
+        const GateId c = uses_[u];
+        // A freshly marked consumer lives on a strictly higher level; if
+        // its level was untouched so far it lands behind `i` after the
+        // sorted prefix — keep the scan order by inserting in place.
+        if (!dirty_[size_t(c)]) {
+          const int32_t lc = level_[size_t(c)];
+          dirty_[size_t(c)] = 1;
+          if (level_work_[size_t(lc)].empty()) {
+            auto pos = std::lower_bound(touched_levels_.begin() + i + 1,
+                                        touched_levels_.end(), lc);
+            touched_levels_.insert(pos, lc);
+          }
+          level_work_[size_t(lc)].push_back(c);
+        }
+      }
+    }
+    bucket.clear();
+  }
+  return recomputed;
+}
+
+bool LineageCircuit::GuardsHold() const {
+  for (const auto& g : guards_) {
+    if (CircuitRecorder::Holds(g.kind, val_[size_t(g.gate)]) != g.expected) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<NodeProb> LineageCircuit::Results(int member) const {
+  std::vector<NodeProb> out;
+  const auto& group = outputs_[size_t(member)];
+  out.reserve(group.size());
+  for (const auto& [node, gate] : group) {
+    const double p = val_[size_t(gate)];
+    if (p > 0) out.push_back({node, p});
+  }
+  return out;
+}
+
+std::vector<LineageCircuit::Sensitivity> LineageCircuit::Sensitivities(
+    int member, NodeId node) {
+  GateId out = kNoGate;
+  for (const auto& [n, g] : outputs_[size_t(member)]) {
+    if (n == node) {
+      out = g;
+      break;
+    }
+  }
+  std::vector<Sensitivity> result;
+  if (out == kNoGate) return result;
+  adj_.assign(ops_.size(), 0.0);
+  adj_[size_t(out)] = 1.0;
+  for (GateId g = out; g >= 0; --g) {
+    const double ag = adj_[size_t(g)];
+    if (ag == 0.0) continue;
+    switch (ops_[size_t(g)]) {
+      case GateOp::kAdd:
+        adj_[size_t(a_[size_t(g)])] += ag;
+        adj_[size_t(b_[size_t(g)])] += ag;
+        break;
+      case GateOp::kSub:
+        adj_[size_t(a_[size_t(g)])] += ag;
+        adj_[size_t(b_[size_t(g)])] -= ag;
+        break;
+      case GateOp::kMul:
+        adj_[size_t(a_[size_t(g)])] += ag * val_[size_t(b_[size_t(g)])];
+        adj_[size_t(b_[size_t(g)])] += ag * val_[size_t(a_[size_t(g)])];
+        break;
+      default:
+        break;
+    }
+  }
+  result.reserve(input_gates_.size());
+  for (size_t i = 0; i < input_gates_.size(); ++i) {
+    const GateId g = input_gates_[i];
+    result.push_back({input_keys_[i], val_[size_t(g)], adj_[size_t(g)]});
+  }
+  std::stable_sort(result.begin(), result.end(),
+                   [](const Sensitivity& x, const Sensitivity& y) {
+                     return std::fabs(x.grad) > std::fabs(y.grad);
+                   });
+  return result;
+}
+
+size_t LineageCircuit::memory_bytes() const {
+  size_t bytes = 0;
+  bytes += ops_.capacity() * sizeof(GateOp);
+  bytes += (a_.capacity() + b_.capacity()) * sizeof(GateId);
+  bytes += (val_.capacity() + adj_.capacity()) * sizeof(double);
+  bytes += level_.capacity() * sizeof(int32_t);
+  bytes += use_off_.capacity() * sizeof(uint32_t);
+  bytes += uses_.capacity() * sizeof(GateId);
+  bytes += input_keys_.capacity() * sizeof(CircuitInput);
+  bytes += input_gates_.capacity() * sizeof(GateId);
+  bytes += guards_.capacity() * sizeof(CircuitRecorder::GuardRec);
+  bytes += dirty_.capacity();
+  for (const auto& group : outputs_) {
+    bytes += group.capacity() * sizeof(std::pair<NodeId, GateId>);
+  }
+  for (const auto& w : level_work_) bytes += w.capacity() * sizeof(GateId);
+  bytes += level_work_.capacity() * sizeof(std::vector<GateId>);
+  return bytes;
+}
+
+}  // namespace pxv

@@ -1,0 +1,357 @@
+// Lineage circuits for the exact DP (prob/engine.cc): the knowledge-
+// compilation route. On the paper's tractable fragments the exact DP's
+// arithmetic is polynomial in |P̂|, so the whole derivation — every
+// floating-point add/multiply the bottom-up pass performs, in the exact
+// order it performs them — can be *recorded once* into an arithmetic
+// circuit over input gates (edge probabilities and exp-distribution slots)
+// and then re-evaluated per probability-only delta by propagating changed
+// values through the dirty cone, instead of re-running the DP spine.
+//
+// Two classes:
+//
+//   * CircuitRecorder — the build-time sink the engine streams gates into
+//     when EngineOptions::recorder is set. Gates are hash-consed (common-
+//     subexpression folding; Add/Mul canonicalize operand order, which is
+//     sound because IEEE-754 + and × are bitwise commutative) and constant
+//     operations fold at build time. The recorder also collects *guards*:
+//     the value-dependent branch decisions the engine took while the
+//     recording ran (a mux alternative with p == 0 is skipped, a residual
+//     ∅-mass is appended only when Σp < 1, a Combine part is dropped only
+//     when it is the unit distribution). A compiled circuit replays the
+//     recorded straight-line arithmetic, so it is valid exactly while every
+//     guard still evaluates the way it did at record time; a flipped guard
+//     means the engine would have taken a different branch and the circuit
+//     must be recompiled.
+//
+//   * LineageCircuit — the compiled artifact: a flat SoA gate array
+//     (op/a/b/value lanes) in topological order, a CSR consumer index, and
+//     topological levels for the dirty-cone sweep. Propagate() applies a
+//     batch of input-value updates and recomputes only gates whose operand
+//     values actually changed (bitwise early exit). Because the gates
+//     reproduce the engine's operations verbatim — same operands, same
+//     association order — the output values stay bit-identical to a fresh
+//     ExactDpBackend run for as long as the guards hold. Backward() is one
+//     reverse adjoint sweep producing ∂Pr/∂p for every input gate
+//     (sensitivity analysis / explanation, near-free once compiled).
+//
+// Value-dependence audit (why guards are sufficient): with prune_eps == 0
+// the DP's *support* structure — which keys exist in which distribution,
+// and in which lane order — depends only on the document structure and the
+// query, never on probability values (FlatDist::Add inserts a lane whether
+// the mass is 0 or not). The only value-dependent control flow is the
+// branch set listed above, each of which is captured as a guard. Recording
+// therefore requires prune_eps == 0 and no subtree cache; CircuitBackend
+// (prob/circuit_backend.h) enforces both.
+
+#ifndef PXV_PROB_CIRCUIT_H_
+#define PXV_PROB_CIRCUIT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "prob/engine.h"
+#include "util/check.h"
+#include "xml/document.h"
+
+namespace pxv {
+
+/// Gate handle into a CircuitRecorder / LineageCircuit. Gates are created
+/// in topological order: a gate's operands always have smaller ids.
+using GateId = int32_t;
+inline constexpr GateId kNoGate = -1;
+
+enum class GateOp : uint8_t { kConst, kInput, kAdd, kSub, kMul };
+
+/// A recorded branch decision. The circuit is valid while every guard's
+/// gate still evaluates to the recorded side of its predicate.
+enum class GuardKind : uint8_t {
+  kIsZero,  ///< expected == (value == 0.0)
+  kIsOne,   ///< expected == (value == 1.0)
+  kLtOne,   ///< expected == (value < 1.0)
+};
+
+/// Identity of one circuit input: an edge probability (the probability
+/// PDocument assigns to `node` under its distributional parent) or one slot
+/// of an exp node's subset distribution (`node` is the exp node, `index`
+/// the subset's position in exp_distribution(node)).
+struct CircuitInput {
+  enum class Kind : uint8_t { kEdgeProb, kExpSlot };
+  Kind kind = Kind::kEdgeProb;
+  NodeId node = kNullNode;
+  int32_t index = 0;
+};
+
+/// Order-sensitive hash of exp node `n`'s subset structure (subset count,
+/// sizes and child indices — not the probabilities). Recorded at compile
+/// and re-checked at serve time: a SetExpDistribution that reshapes the
+/// subsets invalidates the circuit without moving structure_version.
+uint64_t ExpStructureSig(const PDocument& pd, NodeId n);
+
+/// Per-lane gate annotations riding on a FlatDist during recording: the
+/// i-th element is the gate computing the i-th dense lane's value. Owned by
+/// the recorder (stable addresses via deque); FlatDist carries only an
+/// opaque pointer (FlatDist::shadow).
+using GateVec = std::vector<GateId>;
+
+/// Build-time gate sink. One recorder per compilation; the engine streams
+/// gates into it when EngineOptions::recorder is set, and
+/// LineageCircuit::Compile consumes it.
+class CircuitRecorder {
+ public:
+  CircuitRecorder() = default;
+  CircuitRecorder(const CircuitRecorder&) = delete;
+  CircuitRecorder& operator=(const CircuitRecorder&) = delete;
+
+  /// Constant gate (hash-consed on the exact bit pattern).
+  GateId Const(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    auto [it, fresh] = consts_.try_emplace(bits, GateId(ops_.size()));
+    if (fresh) PushGate(GateOp::kConst, kNoGate, kNoGate, v);
+    return it->second;
+  }
+
+  /// Input gate for an edge probability / exp subset slot (memoized: the
+  /// same probability read twice yields the same gate).
+  GateId InputEdge(NodeId node, double v) {
+    return Input(CircuitInput::Kind::kEdgeProb, node, 0, v);
+  }
+  GateId InputExp(NodeId node, int32_t subset, double v) {
+    return Input(CircuitInput::Kind::kExpSlot, node, subset, v);
+  }
+
+  // Arithmetic gates. Hash-consed; constant operands fold. The folds are
+  // bitwise-faithful to the engine's arithmetic: const∘const is evaluated
+  // with the same IEEE operation, x·1 ≡ x exactly, and x + (+0.0) ≡ x for
+  // the non-negative values the DP produces (a sign-of-zero divergence can
+  // only reach a mux/exp Σp total, where it is unobservable: both ±0
+  // compare equal against the guards and 1 − ±0 ≡ 1).
+  GateId Add(GateId a, GateId b) {
+    if (IsConstBits(a, 0)) return b;
+    if (IsConstBits(b, 0)) return a;
+    if (IsConst(a) && IsConst(b)) return Const(val_[a] + val_[b]);
+    if (b < a) std::swap(a, b);
+    return Binary(GateOp::kAdd, a, b, val_[a] + val_[b]);
+  }
+  GateId Sub(GateId a, GateId b) {
+    if (IsConstBits(b, 0)) return a;
+    if (IsConst(a) && IsConst(b)) return Const(val_[a] - val_[b]);
+    return Binary(GateOp::kSub, a, b, val_[a] - val_[b]);
+  }
+  GateId Mul(GateId a, GateId b) {
+    if (IsConst(a) && val_[a] == 1.0) return b;
+    if (IsConst(b) && val_[b] == 1.0) return a;
+    if (IsConst(a) && IsConst(b)) return Const(val_[a] * val_[b]);
+    if (b < a) std::swap(a, b);
+    return Binary(GateOp::kMul, a, b, val_[a] * val_[b]);
+  }
+
+  /// Records that the engine branched on `kind(value(g))` and saw
+  /// `expected`. Constant gates can never flip; they are checked once here
+  /// and not stored.
+  void Guard(GateId g, GuardKind kind, bool expected) {
+    PXV_CHECK(g >= 0);
+    if (IsConst(g)) {
+      PXV_CHECK(Holds(kind, val_[g]) == expected);
+      return;
+    }
+    const uint64_t key =
+        (uint64_t(uint32_t(g)) << 2) | uint64_t(uint8_t(kind));
+    if (guard_seen_.insert(key).second) {
+      guards_.push_back({g, kind, expected});
+    }
+  }
+
+  static bool Holds(GuardKind kind, double v) {
+    switch (kind) {
+      case GuardKind::kIsZero: return v == 0.0;
+      case GuardKind::kIsOne: return v == 1.0;
+      case GuardKind::kLtOne: return v < 1.0;
+    }
+    return false;
+  }
+
+  /// Records the subset *structure* of an exp node (sizes + child indices):
+  /// a SetExpDistribution that changes structure, not just probabilities,
+  /// invalidates the circuit even though structure_version does not move.
+  void NoteExpStructure(NodeId node, uint64_t sig) {
+    exp_sigs_.emplace_back(node, sig);
+  }
+
+  /// Declares `member_count` output groups (one per batched member; the
+  /// joint BatchAnchored readout uses a single group).
+  void SetMemberCount(int n) { outputs_.assign(size_t(n), {}); }
+  /// Records the gate computing Pr(node ∈ answers) for output group
+  /// `member`. The > 0 inclusion filter and the node-id sort are applied at
+  /// replay time.
+  void AddOutput(int member, NodeId node, GateId g) {
+    outputs_[size_t(member)].emplace_back(node, g);
+  }
+
+  /// Fresh per-lane annotation vector (stable address for FlatDist::shadow).
+  GateVec* NewVec() { return &vecs_.emplace_back(); }
+
+  size_t gate_count() const { return ops_.size(); }
+  double value(GateId g) const { return val_[size_t(g)]; }
+  bool IsConst(GateId g) const { return ops_[size_t(g)] == GateOp::kConst; }
+
+ private:
+  friend class LineageCircuit;
+
+  bool IsConstBits(GateId g, uint64_t bits) const {
+    if (!IsConst(g)) return false;
+    uint64_t b;
+    std::memcpy(&b, &val_[size_t(g)], sizeof b);
+    return b == bits;
+  }
+
+  GateId PushGate(GateOp op, GateId a, GateId b, double v) {
+    const GateId id = GateId(ops_.size());
+    ops_.push_back(op);
+    a_.push_back(a);
+    b_.push_back(b);
+    val_.push_back(v);
+    return id;
+  }
+
+  GateId Binary(GateOp op, GateId a, GateId b, double v) {
+    // Exact structural key: 2 op bits | 31-bit a | 31-bit b. Gate counts
+    // are capped well below 2^31 (CircuitBackend::max_gates).
+    const uint64_t key = (uint64_t(uint8_t(op)) << 62) |
+                         (uint64_t(uint32_t(a)) << 31) | uint64_t(uint32_t(b));
+    auto [it, fresh] = cse_.try_emplace(key, GateId(ops_.size()));
+    if (fresh) PushGate(op, a, b, v);
+    return it->second;
+  }
+
+  GateId Input(CircuitInput::Kind kind, NodeId node, int32_t index,
+               double v) {
+    const uint64_t key = (uint64_t(uint8_t(kind)) << 56) |
+                         (uint64_t(uint32_t(node)) << 24) |
+                         uint64_t(uint32_t(index) & 0xFFFFFF);
+    auto [it, fresh] = inputs_.try_emplace(key, GateId(ops_.size()));
+    if (fresh) {
+      input_keys_.push_back({kind, node, index});
+      input_gates_.push_back(PushGate(GateOp::kInput, kNoGate, kNoGate, v));
+    }
+    return it->second;
+  }
+
+  struct GuardRec {
+    GateId gate;
+    GuardKind kind;
+    bool expected;
+  };
+
+  std::vector<GateOp> ops_;
+  std::vector<GateId> a_, b_;
+  std::vector<double> val_;
+  std::unordered_map<uint64_t, GateId> cse_;
+  std::unordered_map<uint64_t, GateId> consts_;
+  std::unordered_map<uint64_t, GateId> inputs_;
+  std::vector<CircuitInput> input_keys_;
+  std::vector<GateId> input_gates_;
+  std::vector<GuardRec> guards_;
+  std::unordered_set<uint64_t> guard_seen_;
+  std::vector<std::pair<NodeId, uint64_t>> exp_sigs_;
+  std::vector<std::vector<std::pair<NodeId, GateId>>> outputs_;
+  std::deque<GateVec> vecs_;
+};
+
+/// Compiled circuit: flat SoA gates, CSR consumers, topological levels.
+/// Single-threaded state, like the scratch that produced it.
+class LineageCircuit {
+ public:
+  struct Sensitivity {
+    CircuitInput input;
+    double value = 0;  ///< The input's probability at the last Propagate.
+    double grad = 0;   ///< ∂Pr(answer)/∂input at that point.
+  };
+
+  /// Consumes a finished recording. The recorder's CSE/memo side tables are
+  /// dropped; only the gate arrays survive.
+  static std::unique_ptr<LineageCircuit> Compile(CircuitRecorder&& rec);
+
+  /// Applies a batch of (input gate, new value) updates and forward-
+  /// propagates the dirty cone by topological level, early-exiting on
+  /// bitwise-unchanged gate values. Returns the number of gates recomputed
+  /// (dirty-cone size, excluding the inputs themselves).
+  size_t Propagate(const std::vector<std::pair<GateId, double>>& updates);
+
+  /// True while every recorded guard evaluates as it did at record time.
+  /// O(#guards) compares; call after Propagate.
+  bool GuardsHold() const;
+
+  /// Output group `member` at the current gate values: entries with value
+  /// > 0, ascending node id — the exact readout contract of
+  /// BatchAnchoredProbabilities / BatchManyProbabilities.
+  std::vector<NodeProb> Results(int member) const;
+
+  /// One reverse adjoint sweep from output group `member`'s gate for
+  /// `node`: ∂Pr/∂p for every input gate, descending |grad|. Empty when the
+  /// node is not a recorded output of that group.
+  std::vector<Sensitivity> Sensitivities(int member, NodeId node);
+
+  const std::vector<CircuitInput>& inputs() const { return input_keys_; }
+  GateId input_gate(size_t i) const { return input_gates_[i]; }
+  double value(GateId g) const { return val_[size_t(g)]; }
+  const std::vector<std::pair<NodeId, uint64_t>>& exp_sigs() const {
+    return exp_sigs_;
+  }
+
+  size_t gate_count() const { return ops_.size(); }
+  size_t input_count() const { return input_gates_.size(); }
+  size_t guard_count() const { return guards_.size(); }
+  size_t level_count() const { return levels_; }
+  int member_count() const { return int(outputs_.size()); }
+  size_t output_count(int member) const {
+    return outputs_[size_t(member)].size();
+  }
+  /// Heap footprint of the compiled arrays (gates + CSR + scratch).
+  size_t memory_bytes() const;
+
+ private:
+  LineageCircuit() = default;
+
+  void MarkDirty(GateId g);
+  double Eval(GateId g) const {
+    const double a = val_[size_t(a_[size_t(g)])];
+    const double b = val_[size_t(b_[size_t(g)])];
+    switch (ops_[size_t(g)]) {
+      case GateOp::kAdd: return a + b;
+      case GateOp::kSub: return a - b;
+      case GateOp::kMul: return a * b;
+      default: return val_[size_t(g)];
+    }
+  }
+
+  std::vector<GateOp> ops_;
+  std::vector<GateId> a_, b_;
+  std::vector<double> val_;
+  std::vector<int32_t> level_;
+  size_t levels_ = 0;
+  // CSR consumer index: gates that read gate g are
+  // uses_[use_off_[g] .. use_off_[g+1]).
+  std::vector<uint32_t> use_off_;
+  std::vector<GateId> uses_;
+  std::vector<CircuitInput> input_keys_;
+  std::vector<GateId> input_gates_;
+  std::vector<CircuitRecorder::GuardRec> guards_;
+  std::vector<std::pair<NodeId, uint64_t>> exp_sigs_;
+  std::vector<std::vector<std::pair<NodeId, GateId>>> outputs_;
+  // Propagation scratch: per-gate dirty flag + per-level worklists (only
+  // touched levels are allocated/cleared).
+  std::vector<uint8_t> dirty_;
+  std::vector<std::vector<GateId>> level_work_;
+  std::vector<int32_t> touched_levels_;
+  std::vector<double> adj_;  // Backward-pass scratch.
+};
+
+}  // namespace pxv
+
+#endif  // PXV_PROB_CIRCUIT_H_

@@ -1,0 +1,205 @@
+#include "prob/circuit_backend.h"
+
+#include <string>
+#include <utility>
+
+#include "prob/simd.h"
+
+namespace pxv {
+namespace {
+
+Status DeclineTooLarge(const char* what, int slots) {
+  return Status::Error(std::string("circuit declines: ") + what + " needs " +
+                       std::to_string(slots) + " slots, cap is " +
+                       std::to_string(kMaxConjunctionSlots));
+}
+
+}  // namespace
+
+CircuitBackend::CircuitBackend(const CircuitBackendOptions& options)
+    : options_(options), kernel_(ResolveKernel(options.force_scalar)) {}
+
+CircuitBackend::~CircuitBackend() = default;
+
+const char* CircuitBackend::kernel_name() const { return kernel_->name; }
+
+std::string CircuitBackend::CacheKey(
+    char mode, const std::vector<const Pattern*>& members) {
+  std::string key;
+  key += mode;
+  key += '\n';
+  for (const Pattern* m : members) {
+    key += m->CanonicalString();
+    key += '\n';
+  }
+  return key;
+}
+
+EngineOptions CircuitBackend::RecordOptions(CircuitRecorder* rec) const {
+  EngineOptions options;
+  options.kernel = kernel_;
+  options.sibling_tree = options_.sibling_tree;
+  options.recorder = rec;
+  return options;
+}
+
+template <typename ColdFn>
+CircuitBackend::Entry* CircuitBackend::Sync(
+    const PDocument& pd, const std::string& key,
+    const std::vector<const Pattern*>& members, ColdFn run_cold,
+    std::vector<std::vector<NodeProb>>* cold) {
+  (void)members;
+  DistProfile* prof = scratch_.profile();
+  Entry& e = cache_[key];
+  if (e.circuit != nullptr && e.structure_version == pd.structure_version()) {
+    LineageCircuit& c = *e.circuit;
+    // Ladder step 1: nothing mutated since the last serve — the gate values
+    // already reflect pd, replay the outputs as they stand.
+    if (e.served_uid == pd.uid()) return &e;
+    // Ladder step 2: probability-only churn. SetExpDistribution can reshape
+    // the subset structure without moving structure_version, so re-check the
+    // recorded shapes before trusting the input diff.
+    bool shapes_ok = true;
+    for (const auto& [node, sig] : c.exp_sigs()) {
+      if (ExpStructureSig(pd, node) != sig) {
+        shapes_ok = false;
+        break;
+      }
+    }
+    if (shapes_ok) {
+      updates_.clear();
+      const std::vector<CircuitInput>& ins = c.inputs();
+      updates_.reserve(ins.size());
+      for (size_t i = 0; i < ins.size(); ++i) {
+        const CircuitInput& in = ins[i];
+        const double v =
+            in.kind == CircuitInput::Kind::kEdgeProb
+                ? pd.edge_prob(in.node)
+                : pd.exp_distribution(in.node)[size_t(in.index)].second;
+        updates_.emplace_back(c.input_gate(i), v);
+      }
+      prof->circuit_dirty_gates += c.Propagate(updates_);
+      if (c.GuardsHold()) {
+        e.served_uid = pd.uid();
+        return &e;
+      }
+      // A guard flipped: the engine would have branched differently, so the
+      // recorded straight line no longer reproduces it. Fall through to a
+      // fresh recording (the half-propagated gate values are discarded with
+      // the circuit).
+    }
+  }
+  // Ladder step 3: record one full engine pass and compile it. The pass's
+  // own results serve this call — bit-identity with ExactDpBackend is
+  // trivial on cold serves.
+  CircuitRecorder rec;
+  *cold = run_cold(&rec);
+  ++prof->circuit_recompiles;
+  if (rec.gate_count() > options_.max_gates) {
+    // Ladder step 4: too big to keep. Drop any stale circuit; this query
+    // set pays a plain DP pass per call until the document shrinks.
+    e = Entry{};
+    return nullptr;
+  }
+  prof->circuit_gates += rec.gate_count();
+  e.circuit = LineageCircuit::Compile(std::move(rec));
+  e.structure_version = pd.structure_version();
+  e.served_uid = pd.uid();
+  return &e;
+}
+
+StatusOr<double> CircuitBackend::Conjunction(const PDocument& pd,
+                                             const std::vector<Goal>& goals) {
+  const int slots = ConjunctionSlotCount(goals);
+  if (slots > kMaxConjunctionSlots) {
+    return DeclineTooLarge("conjunction", slots);
+  }
+  EngineOptions options;
+  options.kernel = kernel_;
+  options.sibling_tree = options_.sibling_tree;
+  return ConjunctionProbability(pd, goals, &scratch_, options);
+}
+
+StatusOr<std::vector<NodeProb>> CircuitBackend::BatchAnchored(
+    const PDocument& pd, const std::vector<const Pattern*>& members) {
+  const int slots = BatchSlotCount(members);
+  if (slots > kMaxConjunctionSlots) return DeclineTooLarge("batch", slots);
+  std::vector<std::vector<NodeProb>> cold;
+  Entry* e = SyncJoint(pd, members, &cold);
+  if (!cold.empty()) return std::move(cold[0]);
+  PXV_CHECK(e != nullptr);
+  return e->circuit->Results(0);
+}
+
+StatusOr<std::vector<std::vector<NodeProb>>> CircuitBackend::BatchAnchoredMany(
+    const PDocument& pd, const std::vector<const Pattern*>& members) {
+  const int slots = BatchSlotCount(members);
+  if (slots > kMaxConjunctionSlots) return DeclineTooLarge("batch", slots);
+  key_ = CacheKey('M', members);
+  std::vector<std::vector<NodeProb>> cold;
+  Entry* e = Sync(
+      pd, key_, members,
+      [&](CircuitRecorder* rec) {
+        return BatchManyProbabilities(pd, members, &scratch_,
+                                      RecordOptions(rec));
+      },
+      &cold);
+  if (!cold.empty()) return std::move(cold);
+  PXV_CHECK(e != nullptr);
+  std::vector<std::vector<NodeProb>> out;
+  out.reserve(size_t(e->circuit->member_count()));
+  for (int i = 0; i < e->circuit->member_count(); ++i) {
+    out.push_back(e->circuit->Results(i));
+  }
+  return out;
+}
+
+// Syncs the joint ('J'-mode) circuit for `members` — the one BatchAnchored
+// serves — compiling it if needed. Null when the recording exceeds the gate
+// cap; a slot-cap overflow has already been declined by the caller.
+CircuitBackend::Entry* CircuitBackend::SyncJoint(
+    const PDocument& pd, const std::vector<const Pattern*>& members,
+    std::vector<std::vector<NodeProb>>* cold) {
+  key_ = CacheKey('J', members);
+  return Sync(
+      pd, key_, members,
+      [&](CircuitRecorder* rec) {
+        std::vector<std::vector<NodeProb>> r(1);
+        r[0] = BatchAnchoredProbabilities(pd, members, &scratch_,
+                                          RecordOptions(rec));
+        return r;
+      },
+      cold);
+}
+
+StatusOr<std::vector<LineageCircuit::Sensitivity>> CircuitBackend::Sensitivities(
+    const PDocument& pd, const std::vector<const Pattern*>& members,
+    NodeId node) {
+  const int slots = BatchSlotCount(members);
+  if (slots > kMaxConjunctionSlots) return DeclineTooLarge("batch", slots);
+  std::vector<std::vector<NodeProb>> cold;
+  Entry* e = SyncJoint(pd, members, &cold);
+  if (e == nullptr) {
+    return Status::Error(
+        "circuit declines: recording exceeds the gate cap (" +
+        std::to_string(options_.max_gates) + " gates)");
+  }
+  // The compiled joint readout has a single output group (group 0).
+  return e->circuit->Sensitivities(0, node);
+}
+
+StatusOr<const LineageCircuit*> CircuitBackend::Compiled(
+    const PDocument& pd, const std::vector<const Pattern*>& members) {
+  const int slots = BatchSlotCount(members);
+  if (slots > kMaxConjunctionSlots) return DeclineTooLarge("batch", slots);
+  std::vector<std::vector<NodeProb>> cold;
+  Entry* e = SyncJoint(pd, members, &cold);
+  if (e == nullptr) {
+    return Status::Error(
+        "circuit declines: recording exceeds the gate cap (" +
+        std::to_string(options_.max_gates) + " gates)");
+  }
+  return static_cast<const LineageCircuit*>(e->circuit.get());
+}
+
+}  // namespace pxv

@@ -1,0 +1,136 @@
+// CircuitBackend: the serve side of the lineage-circuit route
+// (prob/circuit.h). The first batched evaluation of a query set over a
+// document runs the exact DP once with the circuit recorder attached and
+// compiles the recording; every later evaluation of the same (document
+// structure, query set) pair is served by *value re-propagation* — diff the
+// edge/exp probabilities against the circuit's input gates, forward-
+// propagate the dirty cone, replay the outputs — instead of re-running the
+// DP pass. Results are bit-identical to ExactDpBackend in every mode: the
+// cold pass IS an engine pass, and the warm path replays the engine's
+// recorded arithmetic verbatim while the guards hold.
+//
+// Fallback ladder per call:
+//   1. document uid unchanged since the last serve      → replay outputs
+//   2. structure_version unchanged, exp subset shapes
+//      unchanged, guards hold after Propagate           → dirty-cone sweep
+//   3. otherwise (structural mutation, reshaped exp
+//      distribution, flipped guard)                     → recompile (one
+//      fresh recorded DP pass), counted in
+//      DistProfile::circuit_recompiles
+//   4. recording exceeds max_gates                      → serve that pass's
+//      results, cache nothing; later calls pay a plain
+//      DP pass each (the circuit route is declined for
+//      this query set until the document shrinks)
+//
+// Conjunction() (fixed-anchor goals) is outside the recordable fragment and
+// always delegates to a plain engine pass. Slot-cap declines mirror
+// ExactDpBackend so an EvalSession chain falls back identically.
+
+#ifndef PXV_PROB_CIRCUIT_BACKEND_H_
+#define PXV_PROB_CIRCUIT_BACKEND_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "prob/backend.h"
+#include "prob/circuit.h"
+
+namespace pxv {
+
+struct CircuitBackendOptions {
+  /// Pin the portable convolution kernel (see ExactDpOptions::force_scalar).
+  bool force_scalar = false;
+  /// Sibling-product segment trees in the underlying DP (recorded circuits
+  /// inherit the tree's association order; both settings are exact).
+  bool sibling_tree = true;
+  /// Recordings above this gate count are not compiled or cached; the call
+  /// is served by the plain DP pass that produced them. Bounds memory to
+  /// ~48 bytes/gate (SoA lanes + CSR index).
+  size_t max_gates = size_t{4} << 20;
+};
+
+class CircuitBackend : public ProbBackend {
+ public:
+  CircuitBackend() : CircuitBackend(CircuitBackendOptions{}) {}
+  explicit CircuitBackend(const CircuitBackendOptions& options);
+  ~CircuitBackend() override;
+
+  const char* name() const override { return "circuit"; }
+  /// Fixed-anchor conjunctions are not recordable (the anchored goal set is
+  /// baked into the DP's slot layout per call); always a plain DP pass.
+  StatusOr<double> Conjunction(const PDocument& pd,
+                               const std::vector<Goal>& goals) override;
+  StatusOr<std::vector<NodeProb>> BatchAnchored(
+      const PDocument& pd,
+      const std::vector<const Pattern*>& members) override;
+  StatusOr<std::vector<std::vector<NodeProb>>> BatchAnchoredMany(
+      const PDocument& pd,
+      const std::vector<const Pattern*>& members) override;
+
+  /// ∂Pr(node ∈ answers)/∂p for every circuit input, descending |∂Pr/∂p|:
+  /// one reverse adjoint sweep over the compiled circuit for the joint
+  /// evaluation of `members` (compiling it first if needed). Empty when
+  /// `node` is not an answer candidate; declines like BatchAnchored (slot
+  /// cap, gate cap).
+  StatusOr<std::vector<LineageCircuit::Sensitivity>> Sensitivities(
+      const PDocument& pd, const std::vector<const Pattern*>& members,
+      NodeId node);
+
+  /// The compiled circuit serving BatchAnchored(pd, members), compiling it
+  /// first if needed — introspection for `pxvq circuit`. The pointer stays
+  /// valid until the next call on this backend.
+  StatusOr<const LineageCircuit*> Compiled(
+      const PDocument& pd, const std::vector<const Pattern*>& members);
+
+  /// Cumulative kernel + circuit counters for every call served by this
+  /// backend (circuit_gates / circuit_dirty_gates / circuit_recompiles).
+  const DistProfile& profile() const { return scratch_.profile(); }
+
+  /// Name of the vector kernel the underlying DP resolved at construction.
+  const char* kernel_name() const;
+
+  /// Compiled circuits currently cached (distinct query sets).
+  size_t cached_circuits() const { return cache_.size(); }
+
+ private:
+  struct Entry {
+    uint64_t structure_version = 0;  ///< Of the recording's document state.
+    uint64_t served_uid = 0;  ///< Doc uid the gate values currently reflect.
+    std::unique_ptr<LineageCircuit> circuit;
+  };
+
+  /// Returns the cache entry for `key` holding a circuit whose gate values
+  /// reflect `pd`'s current probabilities, serving the whole ladder above.
+  /// Null when the recording exceeded max_gates — `cold` then already holds
+  /// the plain pass's member results, which the caller must use.
+  template <typename ColdFn>
+  Entry* Sync(const PDocument& pd, const std::string& key,
+              const std::vector<const Pattern*>& members, ColdFn run_cold,
+              std::vector<std::vector<NodeProb>>* cold);
+
+  /// Sync for the joint ('J'-mode) circuit — shared by BatchAnchored,
+  /// Sensitivities and Compiled.
+  Entry* SyncJoint(const PDocument& pd,
+                   const std::vector<const Pattern*>& members,
+                   std::vector<std::vector<NodeProb>>* cold);
+
+  /// "J\n" (joint BatchAnchored) or "M\n" (per-member BatchAnchoredMany)
+  /// plus the canonical member patterns — the two modes record different
+  /// readouts, so they cache separately.
+  std::string CacheKey(char mode, const std::vector<const Pattern*>& members);
+
+  EngineOptions RecordOptions(CircuitRecorder* rec) const;
+
+  CircuitBackendOptions options_;
+  const KernelOps* kernel_;  // Resolved once at construction (simd.h).
+  DpScratch scratch_;
+  std::unordered_map<std::string, Entry> cache_;
+  std::vector<std::pair<GateId, double>> updates_;  // Diff scratch.
+  std::string key_;                                 // Key scratch.
+};
+
+}  // namespace pxv
+
+#endif  // PXV_PROB_CIRCUIT_BACKEND_H_

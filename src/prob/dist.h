@@ -83,6 +83,18 @@ struct DistProfile {
   uint64_t sibling_except_convs = 0; ///< Tracked except-path convolutions.
   uint64_t batched_pair_convs = 0;   ///< Singleton sibling pairs swept jointly.
   uint64_t combine_scratch_reuses = 0;  ///< prefix/suffix blocks reused.
+  // Lineage-circuit backend (prob/circuit_backend.h).
+  uint64_t circuit_gates = 0;        ///< Gates across all compiled circuits.
+  uint64_t circuit_dirty_gates = 0;  ///< Gates recomputed by delta sweeps.
+  uint64_t circuit_recompiles = 0;   ///< Circuit rebuilds (cold + fallback).
+
+  /// Zeroes every counter. All DistProfile counters are cumulative for the
+  /// scratch's whole lifetime (across BeginRun/EndRun brackets and backend
+  /// reuse alike — combine_scratch_reuses included, even though the
+  /// prefix/suffix buffers it observes are per-run); callers that want
+  /// per-phase deltas reset explicitly between phases instead of relying on
+  /// any implicit per-run scope.
+  void Reset() { *this = DistProfile{}; }
 };
 
 /// Free-list recycler of table blocks over an arena. Blocks of one size
@@ -196,6 +208,14 @@ class FlatDist {
   int cap_log2() const { return cap_log2_; }
   bool inline_mode() const { return block_ == nullptr; }
 
+  /// Opaque per-lane annotation hook, used only while a circuit recording
+  /// runs (prob/circuit.h: a GateVec* aligned with the dense lanes — the
+  /// i-th element is the gate computing lane i's value). Null outside
+  /// recording; the recorder owns the pointee. Moves carry it, CloneInto
+  /// shares it (clones are only ever read), Release drops it. Plain data so
+  /// the non-recording paths pay nothing.
+  void* shadow = nullptr;
+
   void Init(DistPool* pool, int cap_log2 = kInlineCapLog2) {
     PXV_CHECK(!inited_);
     pool_ = pool;
@@ -218,6 +238,7 @@ class FlatDist {
     inited_ = false;
     size_ = 0;
     cap_log2_ = kInlineCapLog2;
+    shadow = nullptr;
   }
 
   /// dist[k] += v, inserting if absent. Promotes / grows as needed.
@@ -268,6 +289,26 @@ class FlatDist {
     const K* keys = Keys();
     const double* vals = Vals();
     for (size_t i = 0; i < size_; ++i) f(keys[i], vals[i]);
+  }
+
+  /// Dense lane index of `k`, or -1 when absent: the position ForEach /
+  /// LaneView would present the key at. The circuit recorder
+  /// (prob/circuit.h) interleaves Lane() lookups with Add() calls to tell a
+  /// merge (value accumulates into an existing lane) from an append (a new
+  /// lane), mirroring Add's own probe.
+  int64_t Lane(const K& k) const {
+    if (size_ == 0) return -1;
+    if (block_ == nullptr) return ikey_ == k ? 0 : -1;
+    const uint32_t* idx = Index();
+    const K* keys = Keys();
+    const size_t mask = Cap() - 1;
+    size_t i = dist_internal::KeyTraits<K>::Hash(k) & mask;
+    for (;;) {
+      const uint32_t e = idx[i];
+      if (e == 0) return -1;
+      if (keys[e - 1] == k) return int64_t(e) - 1;
+      i = (i + 1) & mask;
+    }
   }
 
   /// Dense lane view for the vector kernel: `*keys`/`*vals` point at the
@@ -372,11 +413,13 @@ class FlatDist {
       out.size_ = size_;
       out.ikey_ = ikey_;
       out.ival_ = ival_;
+      out.shadow = shadow;
       return out;
     }
     out.Init(pool, cap_log2_);
     std::memcpy(out.block_, block_, BlockBytes(cap_log2_));
     out.size_ = size_;
+    out.shadow = shadow;
     return out;
   }
 
@@ -441,6 +484,8 @@ class FlatDist {
     FlatDist<K> bigger;
     bigger.Init(pool_, cap_log2_ + 1);
     ForEach([&](const K& k, double v) { bigger.Add(k, v); });
+    // Growth re-inserts in lane order, so per-lane annotations stay aligned.
+    bigger.shadow = shadow;
     *this = std::move(bigger);
   }
 
@@ -452,10 +497,12 @@ class FlatDist {
     inited_ = o->inited_;
     ikey_ = o->ikey_;
     ival_ = o->ival_;
+    shadow = o->shadow;
     o->block_ = nullptr;
     o->size_ = 0;
     o->inited_ = false;
     o->cap_log2_ = kInlineCapLog2;
+    o->shadow = nullptr;
   }
 
   DistPool* pool_ = nullptr;

@@ -38,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "prob/circuit.h"
 #include "prob/simd.h"
 #include "util/check.h"
 
@@ -242,6 +243,18 @@ struct Dist {
   }
 };
 
+// Per-lane gate annotations (circuit recording, see prob/circuit.h):
+// FlatDist::shadow points at a recorder-owned GateVec whose i-th element is
+// the gate computing the i-th dense lane's value. Null whenever no recorder
+// is attached.
+template <typename K>
+inline GateVec* LaneGates(const FlatDist<K>& d) {
+  return static_cast<GateVec*>(d.shadow);
+}
+inline GateVec* LaneGates(const Dist& d) {
+  return d.wide ? LaneGates(d.w) : LaneGates(d.n);
+}
+
 // The state a p-document region passes to its parent: the base (A, D)
 // distribution, plus one joint distribution per candidate anchor inside the
 // region (see engine.h). `frame` is the p-document node whose live slot set
@@ -285,6 +298,13 @@ class Engine {
         skip_(scratch->buffers()->skip),
         active_slot_(scratch->buffers()->active_slot),
         label_slot_(scratch->buffers()->label_slot) {
+    rec_ = options.recorder;
+    if (rec_ != nullptr) {
+      PXV_CHECK_EQ(prune_eps_, 0.0)
+          << "circuit recording requires the exact DP (prune_eps == 0)";
+      PXV_CHECK(goals.empty())
+          << "circuit recording covers the batched anchored paths only";
+    }
     int total = 0;
     // Fixed-anchor / Boolean conjuncts: every pattern node is a base slot.
     for (const Goal& g : goals) {
@@ -483,10 +503,17 @@ class Engine {
   std::vector<std::vector<NodeProb>> BatchResultsMany() {
     const int m = static_cast<int>(batch_root_slots_.size());
     std::vector<std::vector<NodeProb>> out(m);
+    if (rec_ != nullptr) rec_->SetMemberCount(m);
     if (!batch_feasible_ || batch_count_ == 0) return out;
     const NodeId r = pd_.root();
     Region root = EvalRegions();
     std::vector<double> acc(m);
+    // Readout recording: per (anchor, member), the mask-matching lanes fold
+    // into one left-to-right Add chain in lane order — the exact `acc += p`
+    // order below (the first add is 0.0 + x == x for the DP's non-negative
+    // masses). Every structurally matching chain is recorded; the > 0
+    // inclusion filter replays per evaluation (LineageCircuit::Results).
+    std::vector<GateId> gacc(m, kNoGate);
     if (wide_[r]) {
       WideKey goal_mask;
       for (int slot : goal_root_slots_) WideSetBit(&goal_mask, 2 * slot + 1);
@@ -497,12 +524,29 @@ class Engine {
       }
       for (const auto& [n, dist] : root.tracked) {
         std::fill(acc.begin(), acc.end(), 0.0);
+        const GateVec* gv = nullptr;
+        size_t li = 0;
+        if (rec_ != nullptr) {
+          std::fill(gacc.begin(), gacc.end(), kNoGate);
+          gv = LaneGates(dist);
+        }
         dist.w.ForEach([&](const WideKey& key, double prob) {
           for (int i = 0; i < m; ++i) {
-            if (HasAll(key, masks[i])) acc[i] += prob;
+            if (HasAll(key, masks[i])) {
+              if (rec_ != nullptr) {
+                gacc[i] = gacc[i] == kNoGate
+                              ? (*gv)[li]
+                              : rec_->Add(gacc[i], (*gv)[li]);
+              }
+              acc[i] += prob;
+            }
           }
+          ++li;
         });
         for (int i = 0; i < m; ++i) {
+          if (rec_ != nullptr && gacc[i] != kNoGate) {
+            rec_->AddOutput(i, n, gacc[i]);
+          }
           if (acc[i] > 0) out[i].push_back({n, acc[i]});
         }
       }
@@ -527,12 +571,29 @@ class Engine {
       }
       for (const auto& [n, dist] : root.tracked) {
         std::fill(acc.begin(), acc.end(), 0.0);
+        const GateVec* gv = nullptr;
+        size_t li = 0;
+        if (rec_ != nullptr) {
+          std::fill(gacc.begin(), gacc.end(), kNoGate);
+          gv = LaneGates(dist);
+        }
         dist.n.ForEach([&](NarrowKey key, double prob) {
           for (int i = 0; i < m; ++i) {
-            if (member_ok[i] && HasAll(key, masks[i])) acc[i] += prob;
+            if (member_ok[i] && HasAll(key, masks[i])) {
+              if (rec_ != nullptr) {
+                gacc[i] = gacc[i] == kNoGate
+                              ? (*gv)[li]
+                              : rec_->Add(gacc[i], (*gv)[li]);
+              }
+              acc[i] += prob;
+            }
           }
+          ++li;
         });
         for (int i = 0; i < m; ++i) {
+          if (rec_ != nullptr && gacc[i] != kNoGate) {
+            rec_->AddOutput(i, n, gacc[i]);
+          }
           if (acc[i] > 0) out[i].push_back({n, acc[i]});
         }
       }
@@ -547,21 +608,33 @@ class Engine {
 
   std::vector<NodeProb> BatchResults() {
     std::vector<NodeProb> out;
+    if (rec_ != nullptr) rec_->SetMemberCount(1);
     if (!batch_feasible_ || batch_count_ == 0) return out;
     const NodeId r = pd_.root();
     Region root = EvalRegions();
     out.reserve(root.tracked.size());
     // Acceptance at the root: every goal root and every member root embeds
-    // (their A bits are set in the tracked key).
+    // (their A bits are set in the tracked key). Readout recording mirrors
+    // BatchResultsMany (single output group).
     if (wide_[r]) {
       WideKey mask;
       for (int slot : goal_root_slots_) WideSetBit(&mask, 2 * slot + 1);
       for (int slot : batch_root_slots_) WideSetBit(&mask, 2 * slot + 1);
       for (const auto& [n, dist] : root.tracked) {
         double p = 0;
+        GateId gacc = kNoGate;
+        size_t li = 0;
+        const GateVec* gv = rec_ != nullptr ? LaneGates(dist) : nullptr;
         dist.w.ForEach([&](const WideKey& key, double prob) {
-          if (HasAll(key, mask)) p += prob;
+          if (HasAll(key, mask)) {
+            if (rec_ != nullptr) {
+              gacc = gacc == kNoGate ? (*gv)[li] : rec_->Add(gacc, (*gv)[li]);
+            }
+            p += prob;
+          }
+          ++li;
         });
+        if (rec_ != nullptr && gacc != kNoGate) rec_->AddOutput(0, n, gacc);
         if (p > 0) out.push_back({n, p});
       }
     } else {
@@ -580,9 +653,19 @@ class Engine {
       if (!feasible) return out;
       for (const auto& [n, dist] : root.tracked) {
         double p = 0;
+        GateId gacc = kNoGate;
+        size_t li = 0;
+        const GateVec* gv = rec_ != nullptr ? LaneGates(dist) : nullptr;
         dist.n.ForEach([&](NarrowKey key, double prob) {
-          if (HasAll(key, mask)) p += prob;
+          if (HasAll(key, mask)) {
+            if (rec_ != nullptr) {
+              gacc = gacc == kNoGate ? (*gv)[li] : rec_->Add(gacc, (*gv)[li]);
+            }
+            p += prob;
+          }
+          ++li;
         });
+        if (rec_ != nullptr && gacc != kNoGate) rec_->AddOutput(0, n, gacc);
         if (p > 0) out.push_back({n, p});
       }
     }
@@ -649,14 +732,90 @@ class Engine {
     return d;
   }
 
+  // ------------------------------------------------- circuit recording ----
+  // All Rec* helpers assume rec_ != nullptr (callers gate on it). The
+  // invariant they maintain: whenever a recorder is attached, every lane of
+  // every live FlatDist has a gate computing exactly its value, in lane
+  // order (FlatDist growth re-inserts in lane order, so the annotation
+  // vector stays aligned; see FlatDist::shadow).
+
+  // Records `gate` being merged into `f` at key `k`, mirroring the
+  // f.Add(k, value-of-gate) the caller performs right after: a fresh lane
+  // appends the gate, an existing lane becomes Add(old, gate) — the same
+  // `lanes[e] += v` accumulation, bitwise.
+  template <typename K>
+  void RecMergeAdd(FlatDist<K>* f, const K& k, GateId g) {
+    GateVec* v = LaneGates(*f);
+    if (v == nullptr) {
+      v = rec_->NewVec();
+      f->shadow = v;
+    }
+    const int64_t lane = f->Lane(k);
+    if (lane < 0) {
+      v->push_back(g);
+    } else {
+      (*v)[size_t(lane)] = rec_->Add((*v)[size_t(lane)], g);
+    }
+  }
+
+  void RecAddEmptyKey(Dist* d, GateId g) {
+    if (d->wide) {
+      RecMergeAdd(&d->w, WideKey{}, g);
+    } else {
+      RecMergeAdd(&d->n, NarrowKey{0}, g);
+    }
+  }
+
+  // Seeds an *empty* dist's annotation with the gate of the single lane the
+  // caller is about to insert (whatever its key).
+  void RecSeedSingleton(Dist* d, GateId g) {
+    GateVec* v = rec_->NewVec();
+    v->push_back(g);
+    if (d->wide) {
+      d->w.shadow = v;
+    } else {
+      d->n.shadow = v;
+    }
+  }
+
+  // Replaces `f`'s lane gates with Mul(lane, gp) — the recorded image of
+  // ScaleAll(p). A fresh vector (not in-place) so clones sharing the old
+  // annotation stay valid.
+  template <typename K>
+  void RecScaleAll(FlatDist<K>* f, GateId gp) {
+    if (f->size() == 0) return;
+    const GateVec* v = LaneGates(*f);
+    PXV_CHECK(v != nullptr);
+    GateVec* nv = rec_->NewVec();
+    nv->reserve(f->size());
+    for (const GateId g : *v) nv->push_back(rec_->Mul(g, gp));
+    f->shadow = nv;
+  }
+
+  // Guard for the engine's `is this dist the unit δ(∅, 1)?` tests: the
+  // branch is value-dependent only through the singleton's mass (the
+  // single-lane shape itself is structural), so when the dist is
+  // structurally a singleton-∅ the mass gate is guarded on == 1.0.
+  void RecUnitGuard(const Dist& d) {
+    double mass;
+    if (SingletonEmpty(d, &mass)) {
+      rec_->Guard((*LaneGates(d))[0], GuardKind::kIsOne, mass == 1.0);
+    }
+  }
+
+  // ---------------------------------------------------------------------
+
   Dist DeltaDist(NodeId frame) {
     Dist d = MakeDist(wide_[frame]);
-    AddEmptyMassInit(&d, 1.0, wide_[frame]);
+    AddEmptyMassInit(&d, 1.0, wide_[frame],
+                     rec_ != nullptr ? rec_->Const(1.0) : kNoGate);
     return d;
   }
 
-  void AddEmptyMassInit(Dist* d, double mass, bool wide) {
+  void AddEmptyMassInit(Dist* d, double mass, bool wide,
+                        GateId gmass = kNoGate) {
     if (!d->initialized()) *d = MakeDist(wide);
+    if (rec_ != nullptr) RecAddEmptyKey(d, gmass);
     if (d->wide) {
       d->w.Add(WideKey{}, mass);
     } else {
@@ -664,7 +823,14 @@ class Engine {
     }
   }
 
-  static void DistScale(Dist* d, double p) {
+  void DistScale(Dist* d, double p, GateId gp = kNoGate) {
+    if (rec_ != nullptr) {
+      if (d->wide) {
+        RecScaleAll(&d->w, gp);
+      } else {
+        RecScaleAll(&d->n, gp);
+      }
+    }
     if (d->wide) {
       d->w.ScaleAll(p);
     } else {
@@ -779,13 +945,31 @@ class Engine {
       if (cs.row_keys.size() < nb) cs.row_keys.resize(nb);
       rk = cs.row_keys.data();
     }
+    const GateVec* ga = nullptr;
+    const GateVec* gb = nullptr;
+    if (rec_ != nullptr) {
+      ga = LaneGates(a);
+      gb = LaneGates(b);
+      PXV_CHECK(na == 0 || ga != nullptr);
+      PXV_CHECK(nb == 0 || gb != nullptr);
+    }
     for (size_t i = 0; i < na; ++i) {
       if constexpr (std::is_same_v<K, WideKey>) {
         kernel_->conv_row_w(ak[i], av[i], bk, bv, nb, rk, rv);
       } else {
         kernel_->conv_row_n(ak[i], av[i], bk, bv, nb, rk, rv);
       }
-      for (size_t j = 0; j < nb; ++j) out.Add(rk[j], rv[j]);
+      if (rec_ != nullptr) {
+        // One product per (i, j) pair, folded in the same order the value
+        // loop below uses (the kernel's conv_row is a plain per-pair
+        // multiply; see simd.h).
+        for (size_t j = 0; j < nb; ++j) {
+          RecMergeAdd(&out, rk[j], rec_->Mul((*ga)[i], (*gb)[j]));
+          out.Add(rk[j], rv[j]);
+        }
+      } else {
+        for (size_t j = 0; j < nb; ++j) out.Add(rk[j], rv[j]);
+      }
     }
     return out;
   }
@@ -832,6 +1016,18 @@ class Engine {
     if (cs.row_vals.size() < nb) cs.row_vals.resize(nb);
     uint64_t* rk = cs.row_keys.data();
     double* rv = cs.row_vals.data();
+    const GateVec* ga = nullptr;
+    const GateVec* gb = nullptr;
+    if (rec_ != nullptr) {
+      ga = LaneGates(a);
+      gb = LaneGates(b);
+      PXV_CHECK(na == 0 || ga != nullptr);
+      PXV_CHECK(nb == 0 || gb != nullptr);
+      // Gate image of the dense scatter array, touched-entries only. The
+      // first touch of a slot is the product itself (the array held +0.0
+      // and every staged product is non-negative, so 0.0 + x == x bitwise).
+      if (gdense_.empty()) gdense_.assign(size_t{1} << kDenseConvBits, kNoGate);
+    }
     for (size_t i = 0; i < na; ++i) {
       kernel_->conv_row_n(ak[i], av[i], bk, bv, nb, rk, rv);
       for (size_t j = 0; j < nb; ++j) {
@@ -839,6 +1035,10 @@ class Engine {
         if (!cs.seen[key]) {
           cs.seen[key] = 1;
           cs.touched.push_back(key);
+          if (rec_ != nullptr) gdense_[key] = rec_->Mul((*ga)[i], (*gb)[j]);
+        } else if (rec_ != nullptr) {
+          gdense_[key] =
+              rec_->Add(gdense_[key], rec_->Mul((*ga)[i], (*gb)[j]));
         }
         cs.dense[key] += rv[j];
       }
@@ -846,6 +1046,10 @@ class Engine {
     FlatDist<NarrowKey> out;
     out.Init(pool_, CapForSupport(cs.touched.size()));
     for (const uint32_t key : cs.touched) {
+      if (rec_ != nullptr) {
+        RecMergeAdd(&out, NarrowKey{key}, gdense_[key]);
+        gdense_[key] = kNoGate;
+      }
       out.Add(key, cs.dense[key]);
       cs.dense[key] = 0.0;
       cs.seen[key] = 0;
@@ -862,11 +1066,15 @@ class Engine {
     double p;
     if (a.IsSingletonEmpty(&p)) {
       FlatDist<K> out = b.CloneInto(pool_);
+      // CloneInto shares b's lane gates; replace with the scaled image
+      // before b's annotation could be mutated through the clone.
+      if (rec_ != nullptr) RecScaleAll(&out, (*LaneGates(a))[0]);
       out.ScaleAll(p);
       return out;
     }
     if (b.IsSingletonEmpty(&p)) {
       FlatDist<K> out = a.CloneInto(pool_);
+      if (rec_ != nullptr) RecScaleAll(&out, (*LaneGates(b))[0]);
       out.ScaleAll(p);
       return out;
     }
@@ -875,6 +1083,11 @@ class Engine {
     if (a.GetSingle(&ka, &pa) && b.GetSingle(&kb, &pb)) {
       FlatDist<K> out;
       out.Init(pool_);
+      if (rec_ != nullptr) {
+        RecMergeAdd(&out,
+                    ka | kb,
+                    rec_->Mul((*LaneGates(a))[0], (*LaneGates(b))[0]));
+      }
       out.Add(ka | kb, pa * pb);
       MaybePruneF(&out);
       return out;
@@ -909,7 +1122,8 @@ class Engine {
   // width if needed). Frames must already agree. The products are staged
   // through the kernel's scale sweep, then folded in insertion order (same
   // bitwise-identity reasoning as ConvolveT).
-  void AddScaledDist(Dist* acc, const Dist& d, double p) {
+  void AddScaledDist(Dist* acc, const Dist& d, double p,
+                     GateId gp = kNoGate) {
     if (!d.initialized()) return;
     if (!acc->initialized()) {
       *acc = MakeDist(d.wide, d.size() <= 1
@@ -926,11 +1140,17 @@ class Engine {
         WideKey k;
         double v;
         d.w.GetSingle(&k, &v);
+        if (rec_ != nullptr) {
+          RecMergeAdd(&acc->w, k, rec_->Mul((*LaneGates(d.w))[0], gp));
+        }
         acc->w.Add(k, v * p);
       } else {
         NarrowKey k;
         double v;
         d.n.GetSingle(&k, &v);
+        if (rec_ != nullptr) {
+          RecMergeAdd(&acc->n, k, rec_->Mul((*LaneGates(d.n))[0], gp));
+        }
         acc->n.Add(k, v * p);
       }
       return;
@@ -942,14 +1162,26 @@ class Engine {
       const size_t n = d.w.LaneView(&dk, &dv);
       if (cs.row_vals.size() < n) cs.row_vals.resize(n);
       kernel_->scale(dv, n, p, cs.row_vals.data());
-      for (size_t j = 0; j < n; ++j) acc->w.Add(dk[j], cs.row_vals[j]);
+      const GateVec* gd = rec_ != nullptr ? LaneGates(d.w) : nullptr;
+      for (size_t j = 0; j < n; ++j) {
+        if (rec_ != nullptr) {
+          RecMergeAdd(&acc->w, dk[j], rec_->Mul((*gd)[j], gp));
+        }
+        acc->w.Add(dk[j], cs.row_vals[j]);
+      }
     } else {
       const NarrowKey* dk;
       const double* dv;
       const size_t n = d.n.LaneView(&dk, &dv);
       if (cs.row_vals.size() < n) cs.row_vals.resize(n);
       kernel_->scale(dv, n, p, cs.row_vals.data());
-      for (size_t j = 0; j < n; ++j) acc->n.Add(dk[j], cs.row_vals[j]);
+      const GateVec* gd = rec_ != nullptr ? LaneGates(d.n) : nullptr;
+      for (size_t j = 0; j < n; ++j) {
+        if (rec_ != nullptr) {
+          RecMergeAdd(&acc->n, dk[j], rec_->Mul((*gd)[j], gp));
+        }
+        acc->n.Add(dk[j], cs.row_vals[j]);
+      }
     }
   }
 
@@ -972,6 +1204,8 @@ class Engine {
       out = MakeDist(true, d.size() <= 1 ? FlatDist<WideKey>::kInlineCapLog2
                                          : d.cap_log2());
       // Narrow bit 2i(+1) → global bit 2*slot(+1).
+      const GateVec* gv = rec_ != nullptr ? LaneGates(d.n) : nullptr;
+      size_t li = 0;
       d.n.ForEach([&](NarrowKey k, double v) {
         WideKey wk;
         while (k != 0) {
@@ -979,6 +1213,7 @@ class Engine {
           k &= k - 1;
           WideSetBit(&wk, 2 * fs[b >> 1] + (b & 1));
         }
+        if (rec_ != nullptr) RecMergeAdd(&out.w, wk, (*gv)[li++]);
         out.w.Add(wk, v);
         ++prof_->keys_remapped;
       });
@@ -999,6 +1234,8 @@ class Engine {
     out = MakeDist(false, d.size() <= 1
                                ? FlatDist<NarrowKey>::kInlineCapLog2
                                : d.cap_log2());
+    const GateVec* gv = rec_ != nullptr ? LaneGates(d.n) : nullptr;
+    size_t li = 0;
     d.n.ForEach([&](NarrowKey k, double v) {
       NarrowKey nk = 0;
       while (k != 0) {
@@ -1006,6 +1243,7 @@ class Engine {
         k &= k - 1;
         nk |= NarrowKey{1} << map[b];
       }
+      if (rec_ != nullptr) RecMergeAdd(&out.n, nk, (*gv)[li++]);
       out.n.Add(nk, v);
       ++prof_->keys_remapped;
     });
@@ -1062,6 +1300,12 @@ class Engine {
       size_t kept = 0;
       for (size_t i = 0; i < parts.size(); ++i) {
         double mass;
+        // The drop below branches on the singleton's mass — a value read.
+        // Guard it so a probability delta that moves a unit base off 1.0
+        // (or onto it) recompiles instead of replaying the wrong shape.
+        if (rec_ != nullptr && parts[i].tracked.empty()) {
+          RecUnitGuard(parts[i].base);
+        }
         if (parts[i].tracked.empty() &&
             SingletonEmpty(parts[i].base, &mass) && mass == 1.0) {
           continue;
@@ -1115,6 +1359,7 @@ class Engine {
     combine_nz_.clear();
     for (int i = 0; i < k; ++i) {
       double mass;
+      if (rec_ != nullptr) RecUnitGuard(parts[i].base);
       if (!(SingletonEmpty(parts[i].base, &mass) && mass == 1.0)) {
         combine_nz_.push_back(i);
       }
@@ -1143,6 +1388,7 @@ class Engine {
       const Dist& all = m == 2 ? full : parts[nz0].base;
       const auto unit = [this](const Dist& d) {
         double mass;
+        if (rec_ != nullptr) RecUnitGuard(d);
         return SingletonEmpty(d, &mass) && mass == 1.0;
       };
       for (int i = 0; i < k; ++i) {
@@ -1192,6 +1438,7 @@ class Engine {
     }
     const auto unit = [this](const Dist& d) {
       double mass;
+      if (rec_ != nullptr) RecUnitGuard(d);
       return SingletonEmpty(d, &mass) && mass == 1.0;
     };
     int j = 0;  // Position of part i among the non-unit bases.
@@ -1291,6 +1538,7 @@ class Engine {
       constexpr size_t kChunk = 64;
       K ka[kChunk], kb[kChunk], ok[kChunk];
       double va[kChunk], vb[kChunk], ov[kChunk];
+      GateId gla[kChunk], glb[kChunk];
       size_t idx[kChunk];
       size_t m = 0;
       const auto flush = [&]() {
@@ -1303,6 +1551,12 @@ class Engine {
         for (size_t i = 0; i < m; ++i) {
           FlatDist<K> d;
           d.Init(pool_);
+          if (rec_ != nullptr) {
+            // pair_conv is one plain multiply per pair (simd.h contract).
+            GateVec* v = rec_->NewVec();
+            v->push_back(rec_->Mul(gla[i], glb[i]));
+            d.shadow = v;
+          }
           d.Add(ok[i], ov[i]);
           tprod[idx[i]] = std::move(d);
         }
@@ -1316,6 +1570,10 @@ class Engine {
         if (l.size() != 1 || r.size() != 1) continue;
         l.GetSingle(&ka[m], &va[m]);
         r.GetSingle(&kb[m], &vb[m]);
+        if (rec_ != nullptr) {
+          gla[m] = (*LaneGates(l))[0];
+          glb[m] = (*LaneGates(r))[0];
+        }
         idx[m] = t;
         if (++m == kChunk) flush();
       }
@@ -1359,6 +1617,11 @@ class Engine {
       // leaf i's root path, bottom-up (fixed association per site).
       FlatDist<K> other;
       other.Init(pool_);
+      if (rec_ != nullptr) {
+        GateVec* v = rec_->NewVec();
+        v->push_back(rec_->Const(1.0));
+        other.shadow = v;
+      }
       other.Add(K{}, 1.0);
       for (size_t t = n + i; t > 1; t >>= 1) {
         other = ConvolveF<K>(other, node(t ^ 1), g);
@@ -1448,6 +1711,9 @@ class Engine {
   // flushed when the root frame epoch shifted (key bit layout / projection
   // masks would no longer line up).
   void SetupCache() {
+    // Recording replays the full cold pass: cached regions would hide the
+    // arithmetic that produced them from the circuit.
+    if (rec_ != nullptr) return;
     if (cache_candidate_ == nullptr || cache_sig_ == nullptr) return;
     // Only the pure batched paths: fixed-anchor goals key candidate masks by
     // anchor sets, and support pruning makes results run-history-dependent.
@@ -1620,30 +1886,47 @@ class Engine {
         Region& acc = *out;
         acc.frame = n;
         double total = 0;
+        GateId gtotal = rec_ != nullptr ? rec_->Const(0.0) : kNoGate;
         for (NodeId c : pd_.children(n)) {
           const double p = pd_.edge_prob(c);
+          GateId gp = kNoGate;
+          if (rec_ != nullptr) {
+            gp = rec_->InputEdge(c, p);
+            gtotal = rec_->Add(gtotal, gp);
+            // The skip below branches on p == 0 — dead alternatives leave
+            // no gates behind, so a flip must recompile.
+            rec_->Guard(gp, GuardKind::kIsZero, p == 0);
+          }
           total += p;
           if (p == 0) continue;
           if (SlotOf(c) < 0) {
             // Dead alternative: contributes the empty state with mass p.
-            AddEmptyMassInit(&acc.base, p, wide_[n]);
+            AddEmptyMassInit(&acc.base, p, wide_[n], gp);
             continue;
           }
           Region r = std::move((*regions)[SlotOf(c)]);
           RemapRegionInPlace(&r, n);
-          AddScaledDist(&acc.base, r.base, p);
+          AddScaledDist(&acc.base, r.base, p, gp);
           // Alternatives are exclusive, so an anchor lives in one branch.
           if (acc.tracked.empty()) {
             acc.tracked = std::move(r.tracked);
-            for (auto& [a, t] : acc.tracked) DistScale(&t, p);
+            for (auto& [a, t] : acc.tracked) DistScale(&t, p, gp);
           } else {
             for (auto& [a, t] : r.tracked) {
-              DistScale(&t, p);
+              DistScale(&t, p, gp);
               acc.tracked.EmplaceBack(pool_, a, std::move(t));
             }
           }
         }
-        if (total < 1.0) AddEmptyMassInit(&acc.base, 1.0 - total, wide_[n]);
+        if (rec_ != nullptr) {
+          rec_->Guard(gtotal, GuardKind::kLtOne, total < 1.0);
+        }
+        if (total < 1.0) {
+          AddEmptyMassInit(
+              &acc.base, 1.0 - total, wide_[n],
+              rec_ != nullptr ? rec_->Sub(rec_->Const(1.0), gtotal)
+                              : kNoGate);
+        }
         MaybePrune(&acc.base);
         return;
       }
@@ -1655,18 +1938,30 @@ class Engine {
           if (SlotOf(c) < 0) continue;  // p·δ + (1−p)·δ = identity.
           combine_kids_.push_back(c);
           const double p = pd_.edge_prob(c);
+          GateId gp = kNoGate;
+          if (rec_ != nullptr) {
+            gp = rec_->InputEdge(c, p);
+            // Both branches below read p (p ∈ [0, 1], so p > 0 ⇔ p != 0
+            // and p < 1 ⇔ p != 1): a delta crossing either boundary
+            // changes which gates exist and must recompile.
+            rec_->Guard(gp, GuardKind::kIsZero, p == 0);
+            rec_->Guard(gp, GuardKind::kIsOne, p == 1.0);
+          }
           Region mixed;
           mixed.frame = c;
           if (p > 0) {
             Region r = std::move((*regions)[SlotOf(c)]);
             mixed.frame = r.frame;
-            AddScaledDist(&mixed.base, r.base, p);
+            AddScaledDist(&mixed.base, r.base, p, gp);
             // The anchor requires its own edge to be taken.
             mixed.tracked = std::move(r.tracked);
-            for (auto& [a, t] : mixed.tracked) DistScale(&t, p);
+            for (auto& [a, t] : mixed.tracked) DistScale(&t, p, gp);
           }
           if (p < 1.0) {
-            AddEmptyMassInit(&mixed.base, 1.0 - p, wide_[mixed.frame]);
+            AddEmptyMassInit(
+                &mixed.base, 1.0 - p, wide_[mixed.frame],
+                rec_ != nullptr ? rec_->Sub(rec_->Const(1.0), gp)
+                                : kNoGate);
           }
           parts.EmplaceBack(pool_, std::move(mixed));
         }
@@ -1693,8 +1988,22 @@ class Engine {
         Region& acc = *out;
         acc.frame = n;
         double total = 0;
+        GateId gtotal = rec_ != nullptr ? rec_->Const(0.0) : kNoGate;
+        int32_t subset_idx = -1;
+        if (rec_ != nullptr) {
+          // Probability-only SetExpDistribution keeps the circuit; a subset
+          // reshape is caught by this signature at serve time.
+          rec_->NoteExpStructure(n, ExpStructureSig(pd_, n));
+        }
         std::unordered_map<NodeId, Dist> tracked_acc;
         for (const auto& [subset, p] : pd_.exp_distribution(n)) {
+          ++subset_idx;
+          GateId gp = kNoGate;
+          if (rec_ != nullptr) {
+            gp = rec_->InputExp(n, subset_idx, p);
+            gtotal = rec_->Add(gtotal, gp);
+            rec_->Guard(gp, GuardKind::kIsZero, p == 0);
+          }
           total += p;
           if (p == 0) continue;
           PoolVec<Region> parts;
@@ -1704,11 +2013,21 @@ class Engine {
           }
           Region sub = Combine(std::move(parts), n);
           RemapRegionInPlace(&sub, n);
-          AddScaledDist(&acc.base, sub.base, p);
+          AddScaledDist(&acc.base, sub.base, p, gp);
           // The same anchor can survive through several subsets.
-          for (auto& [a, t] : sub.tracked) AddScaledDist(&tracked_acc[a], t, p);
+          for (auto& [a, t] : sub.tracked) {
+            AddScaledDist(&tracked_acc[a], t, p, gp);
+          }
         }
-        if (total < 1.0) AddEmptyMassInit(&acc.base, 1.0 - total, wide_[n]);
+        if (rec_ != nullptr) {
+          rec_->Guard(gtotal, GuardKind::kLtOne, total < 1.0);
+        }
+        if (total < 1.0) {
+          AddEmptyMassInit(
+              &acc.base, 1.0 - total, wide_[n],
+              rec_ != nullptr ? rec_->Sub(rec_->Const(1.0), gtotal)
+                              : kNoGate);
+        }
         MaybePrune(&acc.base);
         acc.tracked.Reserve(pool_, tracked_acc.size());
         for (auto& [a, t] : tracked_acc) {
@@ -1737,6 +2056,8 @@ class Engine {
     out.Init(pool_, in.size() <= 1 ? FlatDist<K>::kInlineCapLog2
                                    : in.cap_log2());
     const K dmask = DMask<K>();
+    const GateVec* gin = rec_ != nullptr ? LaneGates(in) : nullptr;
+    size_t li = 0;
     in.ForEach([&](const K& key, double p) {
       K nk = KeyAnd(key, dmask);
       for (const auto& [need, set] : cands) {
@@ -1745,6 +2066,9 @@ class Engine {
       for (const auto& [need, set] : extra) {
         if (HasAll(key, need)) nk = nk | set;
       }
+      // Rewrites move/merge masses between keys without arithmetic on the
+      // values themselves — lane gates just follow their lanes.
+      if (rec_ != nullptr) RecMergeAdd(&out, KeyAnd(nk, proj), (*gin)[li++]);
       out.Add(KeyAnd(nk, proj), p);
     });
     return out;
@@ -1793,6 +2117,15 @@ class Engine {
       cs.row_keys.assign(keys, keys + n);
     }
     cs.row_vals.assign(vals, vals + n);
+    // Stage the lane gates aside too: the re-insert below rebuilds the lane
+    // list (possibly merging keys), and the annotation must follow it.
+    GateVec staged_gates;
+    if (rec_ != nullptr) {
+      GateVec* v = LaneGates(*d);
+      PXV_CHECK(v != nullptr);
+      staged_gates = *v;
+      v->clear();
+    }
     d->ResetEntries();
     const K* sk;
     if constexpr (std::is_same_v<K, WideKey>) {
@@ -1809,6 +2142,7 @@ class Engine {
       for (const auto& [need, set] : extra) {
         if (HasAll(key, need)) nk = nk | set;
       }
+      if (rec_ != nullptr) RecMergeAdd(d, KeyAnd(nk, proj), staged_gates[i]);
       d->Add(KeyAnd(nk, proj), cs.row_vals[i]);
     }
   }
@@ -1967,6 +2301,7 @@ class Engine {
       Region& out = *outp;
       out.frame = x;
       out.base = MakeDist(wide_[x]);
+      if (rec_ != nullptr) RecSeedSingleton(&out.base, rec_->Const(1.0));
       if (wide_[x]) {
         out.base.w.Add(lm.leaf_base_w, 1.0);
       } else {
@@ -1974,6 +2309,7 @@ class Engine {
       }
       if (batch_feasible_ && batch_count_ > 0 && xl == batch_out_label_) {
         Dist pin = MakeDist(wide_[x]);
+        if (rec_ != nullptr) RecSeedSingleton(&pin, rec_->Const(1.0));
         if (wide_[x]) {
           pin.w.Add(lm.leaf_pin_w, 1.0);
         } else {
@@ -2046,6 +2382,8 @@ class Engine {
   const std::string* const cache_sig_;
   SubtreeCache* cache_ = nullptr;  // Non-null once SetupCache accepts the run.
   SubtreeCache::SigState* sig_ = nullptr;
+  CircuitRecorder* rec_ = nullptr;  // Circuit sink; null = no recording.
+  std::vector<GateId> gdense_;  // DenseConvolve's gate scatter (record only).
   EngineBuffers* bufs_;
   bool analysis_cached_ = false;  // This run reused the cached analysis.
   std::vector<QNode> qnodes_;

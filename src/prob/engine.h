@@ -128,6 +128,11 @@ void InvalidateSubtreeCache(SubtreeCache* cache);
 /// calls through it for every convolution row / scaled sweep.
 struct KernelOps;
 
+/// Lineage-circuit gate sink (prob/circuit.h). Opaque here; when
+/// EngineOptions::recorder is set, the batched anchored passes stream every
+/// floating-point operation they perform into it.
+class CircuitRecorder;
+
 /// Exact-DP tuning knobs, threaded from ProbBackend/EvalSession.
 struct EngineOptions {
   /// When > 0, distribution entries with mass <= prune_eps are dropped as
@@ -150,6 +155,13 @@ struct EngineOptions {
   /// prefix/suffix rebuild. Exact in all modes (association is fixed per
   /// site regardless of caching); off only for A/B benchmarking.
   bool sibling_tree = true;
+  /// When set, the batched anchored passes record their full arithmetic
+  /// into this lineage-circuit sink (prob/circuit.h). Requires
+  /// prune_eps == 0 and subtree_cache == nullptr (circuit validity depends
+  /// on the support structure being value-independent; see circuit.h). Off
+  /// by default; the hook costs one predictable null check per recorded
+  /// operation when disabled.
+  CircuitRecorder* recorder = nullptr;
 };
 
 /// DP slots a plain conjunction needs (sum of pattern sizes). Callers gate

@@ -28,9 +28,27 @@ EvalSession::EvalSession(const PDocument& pd, EvalOptions options)
       chain_.push_back(
           std::make_unique<NaiveBackend>(options_.naive_max_worlds));
       break;
+    case BackendKind::kCircuit: {
+      CircuitBackendOptions circuit_options;
+      circuit_options.force_scalar = options_.force_scalar;
+      circuit_options.sibling_tree = options_.sibling_tree;
+      chain_.push_back(std::make_unique<CircuitBackend>(circuit_options));
+      chain_.push_back(
+          std::make_unique<NaiveBackend>(options_.naive_max_worlds));
+      break;
+    }
   }
-  if (options_.backend != BackendKind::kNaive) {
-    dp_profile_ = &static_cast<ExactDpBackend*>(chain_.front().get())->profile();
+  switch (options_.backend) {
+    case BackendKind::kNaive:
+      break;
+    case BackendKind::kCircuit:
+      dp_profile_ =
+          &static_cast<CircuitBackend*>(chain_.front().get())->profile();
+      break;
+    default:
+      dp_profile_ =
+          &static_cast<ExactDpBackend*>(chain_.front().get())->profile();
+      break;
   }
 }
 
@@ -45,13 +63,21 @@ void EvalSession::MaybeInvalidate() {
 }
 
 SubtreeCacheStats EvalSession::subtree_cache_stats() const {
-  if (options_.backend == BackendKind::kNaive) return {};
+  if (options_.backend == BackendKind::kNaive ||
+      options_.backend == BackendKind::kCircuit) {
+    return {};
+  }
   return static_cast<const ExactDpBackend*>(chain_.front().get())
       ->subtree_cache_stats();
 }
 
 void EvalSession::InvalidateSubtreeMemo() {
-  if (options_.backend == BackendKind::kNaive) return;
+  // The circuit backend needs no scoped invalidation here: Compact() draws
+  // a fresh structure_version, which already forces a recompile.
+  if (options_.backend == BackendKind::kNaive ||
+      options_.backend == BackendKind::kCircuit) {
+    return;
+  }
   static_cast<ExactDpBackend*>(chain_.front().get())->InvalidateSubtreeCache();
 }
 
@@ -223,6 +249,19 @@ double EvalSession::JointProbability(const std::vector<Goal>& goals) {
 double EvalSession::BooleanProbability(const Pattern& q) {
   MaybeInvalidate();
   return Conjunction({{&q, nullptr}});
+}
+
+std::vector<LineageCircuit::Sensitivity> EvalSession::Sensitivities(
+    const Pattern& q, NodeId n) {
+  PXV_CHECK(options_.backend == BackendKind::kCircuit)
+      << "Sensitivities requires BackendKind::kCircuit";
+  MaybeInvalidate();
+  auto* backend = static_cast<CircuitBackend*>(chain_.front().get());
+  StatusOr<std::vector<LineageCircuit::Sensitivity>> s =
+      backend->Sensitivities(*pd_, {&q}, n);
+  PXV_CHECK(s.ok()) << s.status().message();
+  last_backend_ = backend->name();
+  return *std::move(s);
 }
 
 }  // namespace pxv

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "prob/backend.h"
+#include "prob/circuit_backend.h"
 #include "pxml/pdocument.h"
 #include "tp/pattern.h"
 #include "tpi/intersection.h"
@@ -30,6 +31,12 @@ enum class BackendKind {
   kAuto,   ///< Exact DP first; world enumeration when the DP declines.
   kExact,  ///< Exact DP only; dies if the query exceeds the DP slot cap.
   kNaive,  ///< World enumeration only; dies if the px-space explodes.
+  /// Lineage-circuit serving (prob/circuit_backend.h): the first batched
+  /// evaluation records and compiles the DP's arithmetic; later evaluations
+  /// of the same document structure are served by value re-propagation.
+  /// World enumeration backs it up when it declines. Sensitivities() is
+  /// available under this kind.
+  kCircuit,
 };
 
 struct EvalOptions {
@@ -102,6 +109,15 @@ class EvalSession {
 
   /// Pr(q matches P) — Boolean (out unanchored).
   double BooleanProbability(const Pattern& q);
+
+  /// ∂Pr(n ∈ q(P))/∂p for every edge/exp probability the evaluation reads,
+  /// descending |gradient| — which probabilities drive this answer, from
+  /// the compiled lineage circuit's backward pass. Requires
+  /// BackendKind::kCircuit; empty when `n` is not an answer candidate of
+  /// `q`. Dies when the circuit route declines the query (slot or gate
+  /// cap) — probe EvaluateTP first for queries near the caps.
+  std::vector<LineageCircuit::Sensitivity> Sensitivities(const Pattern& q,
+                                                         NodeId n);
 
   /// Backend that served the most recent probability ("exact-dp"/"naive").
   const char* last_backend() const { return last_backend_; }

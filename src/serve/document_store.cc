@@ -47,9 +47,16 @@ namespace {
 // The one compaction rule, shared by stored documents (Put/Apply) and
 // patched view extensions (MaterializeLocked): rebuild once detached
 // tombstones outweigh the live nodes — amortized, one rebuild per ~|live|
-// detachments.
+// detachments. Exp-heavy documents compact *earlier*: every tombstone
+// dilates the arena each DP pass walks, and exp regions re-walk their child
+// distributions once per explicit subset (PDocument::ExpDpCost), so each
+// tombstone costs proportionally more there. The per-tombstone weight grows
+// with the document's relative exp surcharge; for exp-free documents the
+// rule stays the flat detached*2 > size.
 bool TombstonesOutweighLive(const PDocument& d) {
-  return d.detached_count() * 2 > d.size();
+  const double surcharge =
+      d.live_size() > 0 ? d.ExpDpCost() / double(d.live_size()) : 0.0;
+  return double(d.detached_count()) * (2.0 + surcharge) > double(d.size());
 }
 
 }  // namespace

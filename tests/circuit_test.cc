@@ -1,0 +1,549 @@
+// Lineage-circuit equivalence suite (prob/circuit.h,
+// prob/circuit_backend.h).
+//
+// The contract under test: CircuitBackend's answers are *bit-identical* to
+// ExactDpBackend's in every regime — cold compiles, probability-only churn
+// served by value re-propagation (with zero recompiles while no guard
+// flips), guard flips, structural mutations and exp-distribution reshapes
+// (all of which must fall back to a recompile, still bit-identical) — plus
+// a finite-difference check of the backward pass's gradients.
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/querygen.h"
+#include "prob/backend.h"
+#include "prob/circuit_backend.h"
+#include "prob/eval_session.h"
+#include "pxml/pdocument.h"
+#include "tp/parser.h"
+#include "util/random.h"
+#include "xml/label.h"
+
+namespace pxv {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+void ExpectBitwiseEqual(const std::vector<NodeProb>& got,
+                        const std::vector<NodeProb>& want,
+                        const char* context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].node, want[i].node) << context << " entry " << i;
+    EXPECT_EQ(Bits(got[i].prob), Bits(want[i].prob))
+        << context << " node " << got[i].node << ": " << got[i].prob
+        << " vs " << want[i].prob;
+  }
+}
+
+double ProbOf(const std::vector<NodeProb>& results, NodeId n) {
+  for (const NodeProb& np : results) {
+    if (np.node == n) return np.prob;
+  }
+  return 0.0;
+}
+
+// ------------------------------------------------------- document gen ----
+
+// Labels stratified by ordinary depth (see incremental_test.cc): a label
+// never nests under itself, and the alphabet matches RandomQuery's.
+Label StratLabel(int ordinary_depth) {
+  return Intern("l" + std::to_string(ordinary_depth - 1));
+}
+
+// A probability that can never sit on a guard boundary: strictly inside
+// (0, 1), and when `ways` siblings each draw one, their total stays < 0.9.
+double SafeProb(Rng& rng, int ways) {
+  return (0.05 + 0.8 * rng.NextDouble()) / ways;
+}
+
+void GrowGuardStable(PDocument* pd, NodeId parent, int odepth, int* budget,
+                     Rng& rng) {
+  if (*budget <= 0 || odepth > 4) return;
+  const int fanout = 1 + static_cast<int>(rng.NextBounded(3));
+  for (int i = 0; i < fanout && *budget > 0; ++i) {
+    const Label l = StratLabel(odepth);
+    if (rng.NextBool(0.35)) {
+      const PKind kind = rng.NextBool(0.5) ? PKind::kMux : PKind::kInd;
+      const NodeId dist = pd->AddDistributional(parent, kind);
+      const int alts = 1 + static_cast<int>(rng.NextBounded(2));
+      for (int a = 0; a < alts; ++a) {
+        const NodeId c = pd->AddOrdinary(
+            dist, l, kind == PKind::kMux ? SafeProb(rng, alts)
+                                         : 0.05 + 0.9 * rng.NextDouble());
+        --*budget;
+        GrowGuardStable(pd, c, odepth + 1, budget, rng);
+      }
+    } else {
+      const NodeId c = pd->AddOrdinary(parent, l);
+      --*budget;
+      GrowGuardStable(pd, c, odepth + 1, budget, rng);
+    }
+  }
+}
+
+// Random stratified document whose probabilities all sit strictly inside
+// (0, 1) with strictly sub-unit mux/exp totals — the regime where
+// probability-only churn (which preserves those properties, see
+// ChurnProbabilities) can never flip a recorded guard.
+PDocument RandomGuardStableDoc(Rng& rng, int target_nodes, int exp_nodes) {
+  PDocument pd;
+  const NodeId root = pd.AddRoot(Intern("root"));
+  int budget = target_nodes;
+  GrowGuardStable(&pd, root, 1, &budget, rng);
+  while (pd.children(root).empty()) pd.AddOrdinary(root, StratLabel(1));
+  std::vector<NodeId> ordinary;
+  for (NodeId n = 0; n < pd.size(); ++n) {
+    if (pd.ordinary(n)) ordinary.push_back(n);
+  }
+  for (int e = 0; e < exp_nodes; ++e) {
+    const NodeId host = ordinary[rng.NextBounded(ordinary.size())];
+    int odepth = 1;
+    for (NodeId a = pd.OrdinaryAncestor(host); a != kNullNode;
+         a = pd.OrdinaryAncestor(a)) {
+      ++odepth;
+    }
+    const NodeId exp = pd.AddExp(host);
+    const int kids = 2 + static_cast<int>(rng.NextBounded(2));
+    for (int k = 0; k < kids; ++k) {
+      pd.AddOrdinary(exp, StratLabel(std::min(odepth + 1, 4)));
+    }
+    const int subsets = 2 + static_cast<int>(rng.NextBounded(2));
+    std::vector<std::pair<std::vector<int>, double>> dist;
+    for (int s = 0; s < subsets; ++s) {
+      std::vector<int> subset;
+      for (int k = 0; k < kids; ++k) {
+        if (rng.NextBool(0.6)) subset.push_back(k);
+      }
+      dist.emplace_back(std::move(subset), SafeProb(rng, subsets));
+    }
+    pd.SetExpDistribution(exp, std::move(dist));
+  }
+  PXV_CHECK(pd.Validate().ok());
+  pd.ClearDirtyPaths();
+  return pd;
+}
+
+// Probability-only churn that keeps every recorded guard on its side: new
+// values stay strictly inside (0, 1) with sub-unit totals, and exp subset
+// *structures* are preserved (only the probabilities move).
+void ChurnProbabilities(PDocument* pd, Rng& rng, double touch_prob = 0.5) {
+  for (NodeId n = 0; n < pd->size(); ++n) {
+    if (pd->ordinary(n)) continue;
+    switch (pd->kind(n)) {
+      case PKind::kMux: {
+        const int kids = static_cast<int>(pd->children(n).size());
+        for (NodeId c : pd->children(n)) {
+          if (rng.NextBool(touch_prob)) {
+            pd->SetEdgeProb(c, SafeProb(rng, kids));
+          }
+        }
+        break;
+      }
+      case PKind::kInd:
+        for (NodeId c : pd->children(n)) {
+          if (rng.NextBool(touch_prob)) {
+            pd->SetEdgeProb(c, 0.05 + 0.9 * rng.NextDouble());
+          }
+        }
+        break;
+      case PKind::kExp: {
+        if (!rng.NextBool(touch_prob)) break;
+        auto dist = pd->exp_distribution(n);
+        const int subsets = static_cast<int>(dist.size());
+        for (auto& [subset, p] : dist) p = SafeProb(rng, subsets);
+        pd->SetExpDistribution(n, std::move(dist));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  pd->ClearDirtyPaths();
+}
+
+std::vector<NodeProb> MustBatch(ProbBackend* b, const PDocument& pd,
+                                const std::vector<const Pattern*>& members) {
+  StatusOr<std::vector<NodeProb>> r = b->BatchAnchored(pd, members);
+  PXV_CHECK(r.ok()) << r.status().message();
+  return *std::move(r);
+}
+
+// ------------------------------------------------------- equivalence ----
+
+TEST(CircuitTest, RandomizedColdEquivalence) {
+  for (int seed = 0; seed < 32; ++seed) {
+    Rng rng(7100 + seed);
+    const PDocument pd = RandomGuardStableDoc(rng, 60, 2);
+    const Pattern q = RandomQuery(rng);
+    CircuitBackend circuit;
+    ExactDpBackend exact;
+    ExpectBitwiseEqual(MustBatch(&circuit, pd, {&q}),
+                       MustBatch(&exact, pd, {&q}),
+                       ("seed " + std::to_string(seed)).c_str());
+    EXPECT_EQ(circuit.profile().circuit_recompiles, 1u);
+    EXPECT_GT(circuit.profile().circuit_gates, 0u);
+  }
+}
+
+TEST(CircuitTest, ProbabilityChurnBitwise) {
+  // Random documents may contain probabilistic subtrees irrelevant to the
+  // query; their Combine unit-drop guard sits on "mass == 1.0 exactly",
+  // which an FP sum like (1-p)+p crosses for some values and not others —
+  // so churn may legitimately force a recompile. The contract under test is
+  // that every serve (propagated or recompiled) stays bit-identical, and
+  // that propagation does the bulk of the work across the suite.
+  uint64_t propagated_serves = 0, total_serves = 0;
+  for (int seed = 0; seed < 30; ++seed) {
+    Rng rng(7200 + seed);
+    PDocument pd = RandomGuardStableDoc(rng, 60, 2);
+    const Pattern q = RandomQuery(rng);
+    CircuitBackend circuit;
+    ExactDpBackend exact;
+    ExpectBitwiseEqual(MustBatch(&circuit, pd, {&q}),
+                       MustBatch(&exact, pd, {&q}), "cold");
+    for (int round = 0; round < 4; ++round) {
+      ChurnProbabilities(&pd, rng);
+      ExpectBitwiseEqual(
+          MustBatch(&circuit, pd, {&q}), MustBatch(&exact, pd, {&q}),
+          ("seed " + std::to_string(seed) + " round " + std::to_string(round))
+              .c_str());
+      ++total_serves;
+    }
+    propagated_serves += 1 + 4 - circuit.profile().circuit_recompiles;
+  }
+  EXPECT_GT(propagated_serves, total_serves / 2);
+}
+
+TEST(CircuitTest, RelevantDocChurnNeverRecompiles) {
+  // When every probabilistic subtree is query-relevant (the delta-serving
+  // workload the backend targets), no unit distribution ever reaches a
+  // Combine drop site, so probability churn is served by pure value
+  // re-propagation: one cold compile, zero rebuilds.
+  Rng rng(7250);
+  PDocument pd;
+  const NodeId a = pd.AddRoot(Intern("a"));
+  std::vector<NodeId> items;
+  for (int i = 0; i < 200; ++i) {
+    const NodeId ind = pd.AddDistributional(a, PKind::kInd);
+    const NodeId b = pd.AddOrdinary(ind, Intern("b"),
+                                    0.05 + 0.9 * rng.NextDouble());
+    const NodeId ind2 = pd.AddDistributional(b, PKind::kInd);
+    const NodeId c = pd.AddOrdinary(ind2, Intern("c"),
+                                    0.05 + 0.9 * rng.NextDouble());
+    items.push_back(b);
+    items.push_back(c);
+  }
+  pd.ClearDirtyPaths();
+  const Pattern q = Tp("a/b[c]");
+  CircuitBackend circuit;
+  ExactDpBackend exact;
+  for (int round = 0; round < 6; ++round) {
+    if (round > 0) {
+      for (int k = 0; k < 25; ++k) {
+        pd.SetEdgeProb(items[rng.NextBounded(items.size())],
+                       0.05 + 0.9 * rng.NextDouble());
+      }
+      pd.ClearDirtyPaths();
+    }
+    ExpectBitwiseEqual(MustBatch(&circuit, pd, {&q}),
+                       MustBatch(&exact, pd, {&q}),
+                       ("round " + std::to_string(round)).c_str());
+  }
+  EXPECT_EQ(circuit.profile().circuit_recompiles, 1u);
+  EXPECT_GT(circuit.profile().circuit_dirty_gates, 0u);
+}
+
+TEST(CircuitTest, ManyModeChurnEquivalence) {
+  const Pattern q1 = Tp("root//l1");
+  const Pattern q2 = Tp("root/l0/l1");
+  const Pattern q3 = Tp("root//l0/l1[l2]");
+  const std::vector<const Pattern*> members{&q1, &q2, &q3};
+  for (int seed = 0; seed < 8; ++seed) {
+    Rng rng(7300 + seed);
+    PDocument pd = RandomGuardStableDoc(rng, 60, 2);
+    CircuitBackend circuit;
+    ExactDpBackend exact;
+    for (int round = 0; round < 4; ++round) {
+      if (round > 0) ChurnProbabilities(&pd, rng);
+      StatusOr<std::vector<std::vector<NodeProb>>> got =
+          circuit.BatchAnchoredMany(pd, members);
+      StatusOr<std::vector<std::vector<NodeProb>>> want =
+          exact.BatchAnchoredMany(pd, members);
+      ASSERT_TRUE(got.ok() && want.ok());
+      ASSERT_EQ(got->size(), want->size());
+      for (size_t i = 0; i < got->size(); ++i) {
+        ExpectBitwiseEqual((*got)[i], (*want)[i], "many");
+      }
+    }
+    // Unit-drop guard flips may force recompiles on random documents (see
+    // ProbabilityChurnBitwise); bitwise identity is the invariant.
+    EXPECT_LE(circuit.profile().circuit_recompiles, 4u) << "seed " << seed;
+  }
+}
+
+TEST(CircuitTest, WideKeyRegimeEquivalence) {
+  // Ten members of 4-5 nodes each push the joint pass past kNarrowSlotCap
+  // (32 slots), exercising the 256-bit wide-key algebra under recording.
+  std::vector<Pattern> queries;
+  queries.push_back(Tp("root/l0/l1/l2"));
+  queries.push_back(Tp("root//l2"));
+  queries.push_back(Tp("root//l1/l2"));
+  queries.push_back(Tp("root/l0//l2[l3]"));
+  queries.push_back(Tp("root//l0/l1[l2]/l2"));
+  queries.push_back(Tp("root//l0//l2"));
+  queries.push_back(Tp("root/l0[l1]/l1/l2"));
+  queries.push_back(Tp("root//l1[l2]/l2"));
+  queries.push_back(Tp("root//l0[.//l3]//l2"));
+  queries.push_back(Tp("root/l0/l1[l2]//l2"));
+  std::vector<const Pattern*> members;
+  for (const Pattern& q : queries) members.push_back(&q);
+  ASSERT_GT(BatchSlotCount(members), kNarrowSlotCap);
+
+  for (int seed = 0; seed < 4; ++seed) {
+    Rng rng(7400 + seed);
+    PDocument pd = RandomGuardStableDoc(rng, 80, 2);
+    CircuitBackend circuit;
+    ExactDpBackend exact;
+    for (int round = 0; round < 3; ++round) {
+      if (round > 0) ChurnProbabilities(&pd, rng);
+      StatusOr<std::vector<std::vector<NodeProb>>> got =
+          circuit.BatchAnchoredMany(pd, members);
+      StatusOr<std::vector<std::vector<NodeProb>>> want =
+          exact.BatchAnchoredMany(pd, members);
+      ASSERT_TRUE(got.ok() && want.ok());
+      for (size_t i = 0; i < got->size(); ++i) {
+        ExpectBitwiseEqual((*got)[i], (*want)[i], "wide");
+      }
+    }
+    EXPECT_EQ(circuit.profile().circuit_recompiles, 1u) << "seed " << seed;
+  }
+}
+
+TEST(CircuitTest, DeepChainChurn) {
+  PDocument pd;
+  NodeId cur = pd.AddRoot(Intern("a"));
+  std::vector<NodeId> chain;
+  for (int i = 0; i < 600; ++i) {
+    const NodeId mux = pd.AddDistributional(cur, PKind::kMux);
+    cur = pd.AddOrdinary(mux, Intern("m"), 0.999);
+    chain.push_back(cur);
+  }
+  pd.AddOrdinary(cur, Intern("z"));
+  pd.ClearDirtyPaths();
+  const Pattern q = Tp("a//z");
+  CircuitBackend circuit;
+  ExactDpBackend exact;
+  Rng rng(7500);
+  for (int round = 0; round < 4; ++round) {
+    if (round > 0) {
+      for (int k = 0; k < 20; ++k) {
+        pd.SetEdgeProb(chain[rng.NextBounded(chain.size())],
+                       0.5 + 0.45 * rng.NextDouble());
+      }
+      pd.ClearDirtyPaths();
+    }
+    ExpectBitwiseEqual(MustBatch(&circuit, pd, {&q}),
+                       MustBatch(&exact, pd, {&q}), "deep chain");
+  }
+  EXPECT_EQ(circuit.profile().circuit_recompiles, 1u);
+}
+
+// ------------------------------------------------------- fallbacks ----
+
+TEST(CircuitTest, GuardFlipForcesRecompile) {
+  PDocument pd;
+  const NodeId a = pd.AddRoot(Intern("a"));
+  const NodeId mux = pd.AddDistributional(a, PKind::kMux);
+  const NodeId b1 = pd.AddOrdinary(mux, Intern("b"), 0.3);
+  pd.AddOrdinary(mux, Intern("b"), 0.4);
+  pd.ClearDirtyPaths();
+  const Pattern q = Tp("a/b");
+  CircuitBackend circuit;
+  ExactDpBackend exact;
+  ExpectBitwiseEqual(MustBatch(&circuit, pd, {&q}),
+                     MustBatch(&exact, pd, {&q}), "cold");
+  // p → 0 flips the recorded kIsZero guard: the engine would now skip this
+  // alternative entirely, so the circuit must rebuild — and still match.
+  pd.SetEdgeProb(b1, 0.0);
+  pd.ClearDirtyPaths();
+  ExpectBitwiseEqual(MustBatch(&circuit, pd, {&q}),
+                     MustBatch(&exact, pd, {&q}), "after flip");
+  EXPECT_EQ(circuit.profile().circuit_recompiles, 2u);
+  // And back into the open interval: another flip, another rebuild.
+  pd.SetEdgeProb(b1, 0.25);
+  pd.ClearDirtyPaths();
+  ExpectBitwiseEqual(MustBatch(&circuit, pd, {&q}),
+                     MustBatch(&exact, pd, {&q}), "after unflip");
+  EXPECT_EQ(circuit.profile().circuit_recompiles, 3u);
+}
+
+TEST(CircuitTest, StructuralMutationRecompiles) {
+  Rng rng(7600);
+  PDocument pd = RandomGuardStableDoc(rng, 40, 1);
+  const Pattern q = Tp("root//l1");
+  CircuitBackend circuit;
+  ExactDpBackend exact;
+  ExpectBitwiseEqual(MustBatch(&circuit, pd, {&q}),
+                     MustBatch(&exact, pd, {&q}), "cold");
+  // A structural mutation moves structure_version: recompile-on-demand.
+  pd.AddOrdinary(pd.root(), StratLabel(1));
+  pd.ClearDirtyPaths();
+  ExpectBitwiseEqual(MustBatch(&circuit, pd, {&q}),
+                     MustBatch(&exact, pd, {&q}), "after insert");
+  EXPECT_EQ(circuit.profile().circuit_recompiles, 2u);
+}
+
+TEST(CircuitTest, ExpReshapeForcesRecompile) {
+  PDocument pd;
+  const NodeId a = pd.AddRoot(Intern("a"));
+  const NodeId exp = pd.AddExp(a);
+  pd.AddOrdinary(exp, Intern("b"));
+  pd.AddOrdinary(exp, Intern("c"));
+  pd.AddOrdinary(exp, Intern("d"));
+  pd.SetExpDistribution(exp, {{{0, 1}, 0.3}, {{1, 2}, 0.2}});
+  pd.ClearDirtyPaths();
+  const Pattern q = Tp("a/b");
+  CircuitBackend circuit;
+  ExactDpBackend exact;
+  ExpectBitwiseEqual(MustBatch(&circuit, pd, {&q}),
+                     MustBatch(&exact, pd, {&q}), "cold");
+  // Same subset count, different membership: structure_version does not
+  // move, but the recorded exp signature must catch the reshape.
+  pd.SetExpDistribution(exp, {{{0}, 0.3}, {{1, 2}, 0.2}});
+  pd.ClearDirtyPaths();
+  ExpectBitwiseEqual(MustBatch(&circuit, pd, {&q}),
+                     MustBatch(&exact, pd, {&q}), "after reshape");
+  EXPECT_EQ(circuit.profile().circuit_recompiles, 2u);
+}
+
+TEST(CircuitTest, UidFastPathSkipsPropagation) {
+  Rng rng(7700);
+  const PDocument pd = RandomGuardStableDoc(rng, 50, 1);
+  const Pattern q = RandomQuery(rng);
+  CircuitBackend circuit;
+  const std::vector<NodeProb> first = MustBatch(&circuit, pd, {&q});
+  const uint64_t dirty = circuit.profile().circuit_dirty_gates;
+  const std::vector<NodeProb> second = MustBatch(&circuit, pd, {&q});
+  ExpectBitwiseEqual(second, first, "replay");
+  // No mutation between the serves: the replay must not even diff inputs.
+  EXPECT_EQ(circuit.profile().circuit_dirty_gates, dirty);
+  EXPECT_EQ(circuit.profile().circuit_recompiles, 1u);
+}
+
+TEST(CircuitTest, GateCapFallsBackToPlainDp) {
+  Rng rng(7800);
+  const PDocument pd = RandomGuardStableDoc(rng, 60, 2);
+  const Pattern q = RandomQuery(rng);
+  CircuitBackendOptions options;
+  options.max_gates = 8;  // Far below any real recording.
+  CircuitBackend circuit(options);
+  ExactDpBackend exact;
+  ExpectBitwiseEqual(MustBatch(&circuit, pd, {&q}),
+                     MustBatch(&exact, pd, {&q}), "over cap");
+  EXPECT_EQ(circuit.cached_circuits(), 1u);  // Entry exists, circuit dropped.
+  EXPECT_EQ(circuit.profile().circuit_gates, 0u);
+  // Every call pays a plain recorded pass; none is compiled.
+  ExpectBitwiseEqual(MustBatch(&circuit, pd, {&q}),
+                     MustBatch(&exact, pd, {&q}), "over cap again");
+  EXPECT_EQ(circuit.profile().circuit_recompiles, 2u);
+  StatusOr<const LineageCircuit*> compiled = circuit.Compiled(pd, {&q});
+  EXPECT_FALSE(compiled.ok());
+}
+
+// ------------------------------------------------------- gradients ----
+
+TEST(CircuitTest, FiniteDifferenceGradient) {
+  Rng rng(7900);
+  PDocument pd = RandomGuardStableDoc(rng, 40, 2);
+  const Pattern q = Tp("root//l1");
+  CircuitBackend circuit;
+  ExactDpBackend exact;
+  const std::vector<NodeProb> answers = MustBatch(&circuit, pd, {&q});
+  ASSERT_FALSE(answers.empty());
+  const NodeId target = answers.front().node;
+
+  StatusOr<std::vector<LineageCircuit::Sensitivity>> sens =
+      circuit.Sensitivities(pd, {&q}, target);
+  ASSERT_TRUE(sens.ok());
+  ASSERT_FALSE(sens->empty());
+  // Descending |grad| ordering.
+  for (size_t i = 1; i < sens->size(); ++i) {
+    EXPECT_GE(std::fabs((*sens)[i - 1].grad), std::fabs((*sens)[i].grad));
+  }
+
+  const double h = 1e-6;
+  int checked = 0;
+  for (const LineageCircuit::Sensitivity& s : *sens) {
+    if (checked >= 12) break;
+    ++checked;
+    double plus, minus;
+    if (s.input.kind == CircuitInput::Kind::kEdgeProb) {
+      const double saved = pd.edge_prob(s.input.node);
+      EXPECT_EQ(Bits(s.value), Bits(saved));
+      pd.SetEdgeProb(s.input.node, saved + h);
+      plus = ProbOf(MustBatch(&exact, pd, {&q}), target);
+      pd.SetEdgeProb(s.input.node, saved - h);
+      minus = ProbOf(MustBatch(&exact, pd, {&q}), target);
+      pd.SetEdgeProb(s.input.node, saved);
+    } else {
+      auto dist = pd.exp_distribution(s.input.node);
+      const double saved = dist[size_t(s.input.index)].second;
+      EXPECT_EQ(Bits(s.value), Bits(saved));
+      dist[size_t(s.input.index)].second = saved + h;
+      pd.SetExpDistribution(s.input.node, dist);
+      plus = ProbOf(MustBatch(&exact, pd, {&q}), target);
+      dist[size_t(s.input.index)].second = saved - h;
+      pd.SetExpDistribution(s.input.node, dist);
+      minus = ProbOf(MustBatch(&exact, pd, {&q}), target);
+      dist[size_t(s.input.index)].second = saved;
+      pd.SetExpDistribution(s.input.node, dist);
+    }
+    pd.ClearDirtyPaths();
+    EXPECT_NEAR(s.grad, (plus - minus) / (2 * h), 1e-6)
+        << "input node " << s.input.node;
+  }
+}
+
+// ------------------------------------------------------- EvalSession ----
+
+TEST(CircuitTest, EvalSessionCircuitBackend) {
+  Rng rng(8000);
+  PDocument pd = RandomGuardStableDoc(rng, 60, 2);
+  const Pattern q = RandomQuery(rng);
+
+  EvalOptions circuit_options;
+  circuit_options.backend = BackendKind::kCircuit;
+  EvalSession circuit_session(pd, circuit_options);
+  EvalSession exact_session(pd, {});
+
+  for (int round = 0; round < 3; ++round) {
+    if (round > 0) ChurnProbabilities(&pd, rng);
+    const std::vector<NodeProb> got = circuit_session.EvaluateTP(q);
+    ExpectBitwiseEqual(got, exact_session.EvaluateTP(q), "session");
+    EXPECT_STREQ(circuit_session.last_backend(), "circuit");
+  }
+  ASSERT_NE(circuit_session.dp_profile(), nullptr);
+  EXPECT_EQ(circuit_session.dp_profile()->circuit_recompiles, 1u);
+
+  const std::vector<NodeProb> answers = circuit_session.EvaluateTP(q);
+  if (!answers.empty()) {
+    const std::vector<LineageCircuit::Sensitivity> sens =
+        circuit_session.Sensitivities(q, answers.front().node);
+    EXPECT_FALSE(sens.empty());
+  }
+}
+
+}  // namespace
+}  // namespace pxv

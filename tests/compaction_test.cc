@@ -752,5 +752,59 @@ TEST(DetachedLeakRegression, ChurnedConsumersSeeLiveNodesOnly) {
   }
 }
 
+// ------------------------------------------- exp-weighted threshold ----
+
+// The compaction threshold charges each tombstone extra in proportion to
+// the document's relative exp surcharge (ExpDpCost / live_size): an
+// exp-heavy document crosses it earlier than an exp-free twin of the same
+// shape. The two documents below differ only in the distributional node's
+// kind (exp with 5 explicit subsets vs plain ind), and the exact trigger
+// points — the 5th vs the 9th single-node removal — pin the boundary
+// arithmetic on both sides.
+TEST(ThresholdCompaction, ExpHeavyDocumentsCompactEarlier) {
+  const auto build = [](bool exp_heavy) {
+    PDocument pd;
+    const NodeId root = pd.AddRoot(Intern("a"), 1);
+    if (exp_heavy) {
+      const NodeId exp = pd.AddExp(root);
+      for (int i = 0; i < 3; ++i) {
+        pd.AddOrdinary(exp, Intern("b"), 1.0, 100 + i);
+      }
+      pd.SetExpDistribution(exp, {{{0}, 0.1},
+                                  {{1}, 0.1},
+                                  {{2}, 0.1},
+                                  {{0, 1}, 0.1},
+                                  {{1, 2}, 0.1}});
+    } else {
+      const NodeId ind = pd.AddDistributional(root, PKind::kInd);
+      for (int i = 0; i < 3; ++i) {
+        pd.AddOrdinary(ind, Intern("b"), 0.5, 100 + i);
+      }
+    }
+    for (int i = 0; i < 12; ++i) {
+      pd.AddOrdinary(root, Intern("r"), 1.0, 200 + i);
+    }
+    pd.ClearDirtyPaths();
+    return pd;
+  };
+  const auto trigger_point = [&](bool exp_heavy) {
+    ViewServer server;
+    server.AddView("v", Tp("a/b"));
+    DocumentStore store(&server);
+    PXV_CHECK(store.Put("doc", build(exp_heavy)).ok());
+    for (int i = 0; i < 12; ++i) {
+      PXV_CHECK(
+          store.Apply("doc", {DocMutation::RemoveSubtree(200 + i)}).ok());
+      if (store.stats().compactions > 0) return i + 1;  // Removals so far.
+    }
+    return -1;
+  };
+  // size 17; exp subtree = 4 live nodes × 5 subsets ⇒ ExpDpCost 20, so the
+  // rule d · (2 + 20/(17−d)) > 17 first holds at d = 5 — while the flat
+  // d · 2 > 17 (exp-free) needs d = 9.
+  EXPECT_EQ(trigger_point(true), 5);
+  EXPECT_EQ(trigger_point(false), 9);
+}
+
 }  // namespace
 }  // namespace pxv

@@ -10,6 +10,10 @@
 //                                                    re-materialization
 //   pxvq compact <pdoc-file> [script]                mutate, then force a
 //                                                    tombstone compaction
+//   pxvq circuit <pdoc-file> <query>                 compile the lineage
+//                                                    circuit, print its shape
+//   pxvq explain <pdoc-file> <query> [top-k]         top-k driving edges
+//                                                    per answer (∂Pr/∂p)
 //
 // p-Document files use the text notation of pxml/parser.h, e.g.
 //   a(mux(b(c)@0.25, d@0.5), ind(e@0.75), f)
@@ -34,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "prob/circuit_backend.h"
 #include "prob/query_eval.h"
 #include "pxml/parser.h"
 #include "pxml/worlds.h"
@@ -57,7 +62,9 @@ int Usage() {
                "  pxvq plan    <pdoc-file> <query> name=def [name=def ...]\n"
                "  pxvq update  <pdoc-file> <script-file> <query> "
                "name=def [name=def ...]\n"
-               "  pxvq compact <pdoc-file> [script-file]\n");
+               "  pxvq compact <pdoc-file> [script-file]\n"
+               "  pxvq circuit <pdoc-file> <query>\n"
+               "  pxvq explain <pdoc-file> <query> [top-k]\n");
   return 2;
 }
 
@@ -507,6 +514,90 @@ int CmdCompact(int argc, char** argv) {
   return 0;
 }
 
+// Compiles the query's lineage circuit over the document and prints its
+// shape: gate/input/guard/level counts, output groups, and the resident
+// memory footprint of the compiled arrays.
+int CmdCircuit(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const auto pd = LoadPDoc(argv[2]);
+  if (!pd.ok()) {
+    std::fprintf(stderr, "%s\n", pd.status().message().c_str());
+    return 1;
+  }
+  const auto q = ParsePattern(argv[3]);
+  if (!q.ok()) {
+    std::fprintf(stderr, "bad query: %s\n", q.status().message().c_str());
+    return 1;
+  }
+  CircuitBackend backend;
+  const Pattern& query = *q;
+  const auto circuit = backend.Compiled(*pd, {&query});
+  if (!circuit.ok()) {
+    std::fprintf(stderr, "%s\n", circuit.status().message().c_str());
+    return 3;
+  }
+  const LineageCircuit& c = **circuit;
+  std::printf("gates:    %zu\n", c.gate_count());
+  std::printf("inputs:   %zu\n", c.input_count());
+  std::printf("guards:   %zu\n", c.guard_count());
+  std::printf("levels:   %zu\n", c.level_count());
+  int outputs = 0;
+  for (int m = 0; m < c.member_count(); ++m) outputs += int(c.output_count(m));
+  std::printf("outputs:  %d (across %d member group(s))\n", outputs,
+              c.member_count());
+  std::printf("memory:   %zu bytes\n", c.memory_bytes());
+  return 0;
+}
+
+// For every answer node, prints the top-k inputs by |∂Pr(answer)/∂p| — the
+// probabilities whose perturbation moves that answer the most. Backed by
+// the circuit's reverse-mode sweep (prob/circuit.h, Sensitivities).
+int CmdExplain(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const auto pd = LoadPDoc(argv[2]);
+  if (!pd.ok()) {
+    std::fprintf(stderr, "%s\n", pd.status().message().c_str());
+    return 1;
+  }
+  const auto q = ParsePattern(argv[3]);
+  if (!q.ok()) {
+    std::fprintf(stderr, "bad query: %s\n", q.status().message().c_str());
+    return 1;
+  }
+  const int top_k = argc > 4 ? std::atoi(argv[4]) : 5;
+  CircuitBackend backend;
+  const Pattern& query = *q;
+  const auto answers = backend.BatchAnchored(*pd, {&query});
+  if (!answers.ok()) {
+    std::fprintf(stderr, "%s\n", answers.status().message().c_str());
+    return 3;
+  }
+  for (const NodeProb& np : *answers) {
+    std::printf("answer pid=%lld  Pr=%.10g\n",
+                static_cast<long long>(pd->pid(np.node)), np.prob);
+    const auto sens = backend.Sensitivities(*pd, {&query}, np.node);
+    if (!sens.ok()) {
+      std::fprintf(stderr, "%s\n", sens.status().message().c_str());
+      return 3;
+    }
+    int shown = 0;
+    for (const LineageCircuit::Sensitivity& s : *sens) {
+      if (shown++ >= top_k) break;
+      if (s.input.kind == CircuitInput::Kind::kEdgeProb) {
+        std::printf("  edge pid=%lld          p=%.10g  dPr/dp=%+.10g\n",
+                    static_cast<long long>(pd->pid(s.input.node)), s.value,
+                    s.grad);
+      } else {
+        std::printf("  exp  pid=%lld slot=%d  p=%.10g  dPr/dp=%+.10g\n",
+                    static_cast<long long>(pd->pid(s.input.node)),
+                    s.input.index, s.value, s.grad);
+      }
+    }
+    if (sens->empty()) std::printf("  (no probabilistic inputs)\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -519,5 +610,7 @@ int main(int argc, char** argv) {
   if (cmd == "plan") return CmdPlan(argc, argv);
   if (cmd == "update") return CmdUpdate(argc, argv);
   if (cmd == "compact") return CmdCompact(argc, argv);
+  if (cmd == "circuit") return CmdCircuit(argc, argv);
+  if (cmd == "explain") return CmdExplain(argc, argv);
   return Usage();
 }
