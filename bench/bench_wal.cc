@@ -1,0 +1,243 @@
+// Durability benchmarks (ISSUE 8 acceptance: durable Apply with
+// fsync=batch must stay within 2x of the in-memory Apply — the WAL tax on
+// the serving write path is an append plus an amortized fsync, not a
+// rewrite).
+//
+//   * BM_Apply              — the in-memory baseline: one SetEdgeProb batch
+//     per iteration against a personnel store, no durability.
+//   * BM_ApplyDurable/<p>   — the identical mutation stream against a
+//     durable store; arg 0/1/2 selects fsync none/batch/always. The
+//     batch policy (sync every 32 records) is the acceptance point;
+//     always is the worst case (one fsync per batch); none isolates the
+//     pure append + framing cost.
+//   * BM_Checkpoint         — full snapshot + WAL rotation latency as a
+//     function of corpus size (the cost Checkpoint() pays off the write
+//     lock).
+//   * BM_Recover            — DocumentStore::Open() on a directory holding
+//     one checkpointed corpus plus a WAL tail: replay + view rebuild, the
+//     restart-time budget.
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_flags.h"
+#include "gen/docgen.h"
+#include "serve/document_store.h"
+#include "serve/io_env.h"
+#include "serve/view_server.h"
+#include "tp/parser.h"
+#include "util/random.h"
+#include "xml/label.h"
+
+namespace pxv {
+namespace {
+
+void RegisterViews(ViewServer* server) {
+  server->AddView("vbonus", Tp("IT-personnel//person/bonus"));
+  server->AddView("vrick", Tp("IT-personnel//person[name/Rick]/bonus"));
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = "/tmp/pxv_bench_wal_" + name;
+  std::system(("rm -rf " + dir).c_str());
+  return dir;
+}
+
+// Mux name alternatives: probabilities free to move below their initial
+// value, so the churn stream is always valid.
+std::vector<std::pair<PersistentId, double>> MuxAlternatives(
+    const PDocument& doc) {
+  std::vector<std::pair<PersistentId, double>> out;
+  for (NodeId n = 0; n < doc.size(); ++n) {
+    if (!doc.ordinary(n) || doc.detached(n)) continue;
+    const NodeId parent = doc.parent(n);
+    if (parent != kNullNode && !doc.ordinary(parent) &&
+        doc.kind(parent) == PKind::kMux) {
+      out.push_back({doc.pid(n), doc.edge_prob(n)});
+    }
+  }
+  return out;
+}
+
+// Shared loop body: one single-mutation Apply per iteration.
+void ApplyLoop(benchmark::State& state, DocumentStore* store) {
+  const auto alternatives = MuxAlternatives(*store->Find("doc"));
+  Rng rng(31);
+  for (auto _ : state) {
+    const auto& [pid, initial] =
+        alternatives[rng.NextBounded(alternatives.size())];
+    if (!store->Apply("doc", {DocMutation::SetEdgeProb(
+                                 pid, initial * rng.NextDouble())})
+             .ok()) {
+      state.SkipWithError("Apply failed");
+      return;
+    }
+  }
+  const DocumentStoreStats stats = store->stats();
+  state.counters["batches"] = static_cast<double>(stats.batches);
+  state.counters["wal_appends"] = static_cast<double>(stats.wal_appends);
+  state.counters["wal_bytes"] = static_cast<double>(stats.wal_bytes);
+  if (stats.wal_appends > 0) {
+    state.counters["bytes_per_record"] =
+        static_cast<double>(stats.wal_bytes) /
+        static_cast<double>(stats.wal_appends);
+  }
+}
+
+void BM_Apply(benchmark::State& state) {
+  ViewServer server;
+  RegisterViews(&server);
+  DocumentStore store(&server);
+  Rng rng(2026);
+  if (!store.Put("doc", PersonnelPDocument(rng, 30, 0.2, 0.3)).ok()) {
+    state.SkipWithError("Put failed");
+    return;
+  }
+  ApplyLoop(state, &store);
+}
+BENCHMARK(BM_Apply)->Unit(benchmark::kMicrosecond);
+
+void BM_ApplyDurable(benchmark::State& state) {
+  ViewServer server;
+  RegisterViews(&server);
+  DocumentStoreOptions options;
+  options.durable_dir = FreshDir("apply");
+  switch (state.range(0)) {
+    case 0: options.fsync = FsyncPolicy::kNone; break;
+    case 1: options.fsync = FsyncPolicy::kBatch; break;
+    default: options.fsync = FsyncPolicy::kAlways; break;
+  }
+  options.checkpoint_after_wal_bytes = 0;  // Measure the WAL tax alone.
+  auto store = DocumentStore::Open(&server, options);
+  if (!store.ok()) {
+    state.SkipWithError("Open failed");
+    return;
+  }
+  Rng rng(2026);
+  if (!(*store)->Put("doc", PersonnelPDocument(rng, 30, 0.2, 0.3)).ok()) {
+    state.SkipWithError("Put failed");
+    return;
+  }
+  ApplyLoop(state, store->get());
+}
+BENCHMARK(BM_ApplyDurable)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Checkpoint(benchmark::State& state) {
+  ViewServer server;
+  RegisterViews(&server);
+  DocumentStoreOptions options;
+  options.durable_dir = FreshDir("checkpoint");
+  options.fsync = FsyncPolicy::kBatch;
+  options.checkpoint_after_wal_bytes = 0;
+  auto store = DocumentStore::Open(&server, options);
+  if (!store.ok()) {
+    state.SkipWithError("Open failed");
+    return;
+  }
+  Rng rng(2026);
+  const int persons = static_cast<int>(state.range(0));
+  if (!(*store)->Put("doc", PersonnelPDocument(rng, persons, 0.2, 0.3)).ok()) {
+    state.SkipWithError("Put failed");
+    return;
+  }
+  for (auto _ : state) {
+    if (!(*store)->Checkpoint().ok()) {
+      state.SkipWithError("Checkpoint failed");
+      return;
+    }
+  }
+  state.counters["doc_nodes"] =
+      static_cast<double>((*store)->Find("doc")->size());
+  state.counters["checkpoints"] =
+      static_cast<double>((*store)->stats().checkpoints);
+}
+BENCHMARK(BM_Checkpoint)->Arg(30)->Arg(150)->Unit(benchmark::kMicrosecond);
+
+void BM_Recover(benchmark::State& state) {
+  // One directory per corpus size: a checkpointed corpus plus a WAL tail
+  // of single-mutation batches (the shape a crash leaves behind).
+  const std::string dir =
+      FreshDir("recover_" + std::to_string(state.range(0)));
+  {
+    ViewServer server;
+    RegisterViews(&server);
+    DocumentStoreOptions options;
+    options.durable_dir = dir;
+    options.fsync = FsyncPolicy::kBatch;
+    options.checkpoint_after_wal_bytes = 0;
+    auto store = DocumentStore::Open(&server, options);
+    if (!store.ok()) {
+      state.SkipWithError("setup Open failed");
+      return;
+    }
+    Rng rng(2026);
+    const int persons = static_cast<int>(state.range(0));
+    if (!(*store)
+             ->Put("doc", PersonnelPDocument(rng, persons, 0.2, 0.3))
+             .ok()) {
+      state.SkipWithError("setup Put failed");
+      return;
+    }
+    if (!(*store)->Checkpoint().ok()) {
+      state.SkipWithError("setup Checkpoint failed");
+      return;
+    }
+    const auto alternatives = MuxAlternatives(*(*store)->Find("doc"));
+    for (int i = 0; i < 200; ++i) {
+      const auto& [pid, initial] =
+          alternatives[rng.NextBounded(alternatives.size())];
+      if (!(*store)
+               ->Apply("doc", {DocMutation::SetEdgeProb(
+                                  pid, initial * rng.NextDouble())})
+               .ok()) {
+        state.SkipWithError("setup Apply failed");
+        return;
+      }
+    }
+  }
+  // Every Open starts a fresh (empty) WAL segment for new writes; remove
+  // it between iterations so each timed Open sees the identical directory.
+  const auto baseline = IoEnv::Real()->ListDir(dir);
+  if (!baseline.ok()) {
+    state.SkipWithError("ListDir failed");
+    return;
+  }
+  for (auto _ : state) {
+    {
+      ViewServer server;
+      RegisterViews(&server);
+      DocumentStoreOptions options;
+      options.durable_dir = dir;
+      auto store = DocumentStore::Open(&server, options);
+      if (!store.ok()) {
+        state.SkipWithError("Open failed");
+        return;
+      }
+      benchmark::DoNotOptimize((*store)->Find("doc"));
+    }
+    state.PauseTiming();
+    if (auto now = IoEnv::Real()->ListDir(dir); now.ok()) {
+      for (const std::string& f : *now) {
+        if (std::find(baseline->begin(), baseline->end(), f) ==
+            baseline->end()) {
+          (void)IoEnv::Real()->RemoveFile(dir + "/" + f);
+        }
+      }
+    }
+    state.ResumeTiming();
+  }
+  state.counters["wal_tail_records"] = 200;
+}
+BENCHMARK(BM_Recover)->Arg(30)->Arg(150)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pxv

@@ -21,9 +21,25 @@ const char* PKindName(PKind kind) {
   return "?";
 }
 
+namespace {
+
+// Process-global uid/version source. A namespace-scope atomic (not a
+// function-local static) so BumpVersionCounterPast can raise it when
+// deserialization imports stamps drawn by another process.
+std::atomic<uint64_t> g_uid_counter{1};
+
+}  // namespace
+
 uint64_t PDocument::NextUid() {
-  static std::atomic<uint64_t> counter{1};
-  return counter.fetch_add(1, std::memory_order_relaxed);
+  return g_uid_counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PDocument::BumpVersionCounterPast(uint64_t v) {
+  uint64_t cur = g_uid_counter.load(std::memory_order_relaxed);
+  while (cur <= v &&
+         !g_uid_counter.compare_exchange_weak(cur, v + 1,
+                                              std::memory_order_relaxed)) {
+  }
 }
 
 PDocument::MutationBatch::MutationBatch(PDocument* pd) : pd_(pd) {

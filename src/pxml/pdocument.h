@@ -239,6 +239,32 @@ class PDocument {
   /// probabilities in [0,1], exp distributions well-formed.
   Status Validate() const;
 
+  // ------------------------------------------------------ serialization ----
+
+  /// Appends a self-contained binary image of the whole node arena to
+  /// `out` (pxml/serialize.cc): every node's kind, detached flag, label
+  /// *spelling* (labels are process-interned ids — the image must survive
+  /// into a process with a different intern pool), parent, child order,
+  /// IEEE-754-exact edge probability, pid, exp distribution and subtree
+  /// version stamp. Deserialize(SerializeTo(P)) reproduces P bit for bit,
+  /// tombstones and sibling order included. Pending dirty_paths() and the
+  /// open-batch flag are transient and not serialized.
+  void SerializeTo(std::string* out) const;
+
+  /// Inverse of SerializeTo over an UNTRUSTED buffer: any malformed input
+  /// (truncation, bit rot) returns an error, never crashes. The restored
+  /// document draws a fresh uid()/structure_version() (uids are
+  /// process-unique — restoring a stored one could alias a live document's
+  /// caches), and the process-global version counter is advanced past every
+  /// restored stamp so no future mutation can ever re-draw one (version
+  /// equality must keep implying "stamped by the same event").
+  static StatusOr<PDocument> Deserialize(std::string_view bytes);
+
+  /// Advances the process-global uid/version counter so every future draw
+  /// exceeds `v`. Deserialize calls this with the maximum restored stamp;
+  /// exposed for consumers importing version stamps by other means.
+  static void BumpVersionCounterPast(uint64_t v);
+
   /// Human-readable multi-line dump (for debugging and examples).
   std::string DebugString() const;
 

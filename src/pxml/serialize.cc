@@ -1,0 +1,206 @@
+// Binary arena serialization of p-documents (PDocument::SerializeTo /
+// Deserialize — declared in pdocument.h, implemented here to keep the codec
+// out of the mutation translation unit).
+//
+// Layout (all integers little-endian, util/codec.h):
+//
+//   magic "PXD1"
+//   u32 label_count, label_count × bytes   — label spellings, deduplicated;
+//                                            labels are interned per process,
+//                                            so only names travel
+//   u32 node_count, detached_count
+//   node_count × node:
+//     u8  kind, u8 detached, u32 label_table_index (ordinary only)
+//     i32 parent, f64 edge_prob (bit image), i64 pid, u64 version
+//     u32 child_count, child_count × i32    — child order is semantics for
+//                                             exp subsets and for the
+//                                             delta-patcher's traversal order
+//     u32 exp_entries × (u32 size, size × i32, f64 prob)
+//
+// The image is framed and checksummed by its consumers (WAL records,
+// checkpoint files) — this layer only guarantees that decoding never reads
+// out of bounds and never produces a structurally inconsistent arena.
+
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "pxml/pdocument.h"
+#include "util/codec.h"
+
+namespace pxv {
+
+namespace {
+constexpr char kMagic[4] = {'P', 'X', 'D', '1'};
+constexpr uint32_t kNoLabel = 0xFFFFFFFFu;
+}  // namespace
+
+void PDocument::SerializeTo(std::string* out) const {
+  out->append(kMagic, sizeof(kMagic));
+  // Deduplicated label table (ordinary nodes only; distributional nodes
+  // carry no label).
+  std::unordered_map<Label, uint32_t> table;
+  std::vector<Label> order;
+  for (const PNode& node : nodes_) {
+    if (node.kind != PKind::kOrdinary) continue;
+    if (table.emplace(node.label, static_cast<uint32_t>(order.size())).second) {
+      order.push_back(node.label);
+    }
+  }
+  PutU32(out, static_cast<uint32_t>(order.size()));
+  for (Label l : order) PutBytes(out, LabelName(l));
+  PutU32(out, static_cast<uint32_t>(nodes_.size()));
+  PutU32(out, static_cast<uint32_t>(detached_count_));
+  for (const PNode& node : nodes_) {
+    PutU8(out, static_cast<uint8_t>(node.kind));
+    PutU8(out, node.detached ? 1 : 0);
+    PutU32(out, node.kind == PKind::kOrdinary ? table[node.label] : kNoLabel);
+    PutI32(out, node.parent);
+    PutF64(out, node.edge_prob);
+    PutI64(out, node.pid);
+    PutU64(out, node.version);
+    PutU32(out, static_cast<uint32_t>(node.children.size()));
+    for (NodeId c : node.children) PutI32(out, c);
+    PutU32(out, static_cast<uint32_t>(node.exp_dist.size()));
+    for (const auto& [subset, p] : node.exp_dist) {
+      PutU32(out, static_cast<uint32_t>(subset.size()));
+      for (int idx : subset) PutI32(out, idx);
+      PutF64(out, p);
+    }
+  }
+}
+
+StatusOr<PDocument> PDocument::Deserialize(std::string_view bytes) {
+  const auto corrupt = [](const char* what) {
+    return Status::Error(std::string("corrupt p-document image: ") + what);
+  };
+  if (bytes.size() < sizeof(kMagic) ||
+      std::string_view(bytes.data(), sizeof(kMagic)) !=
+          std::string_view(kMagic, sizeof(kMagic))) {
+    return corrupt("bad magic");
+  }
+  ByteReader in(bytes.substr(sizeof(kMagic)));
+  const uint32_t label_count = in.GetU32();
+  // Re-intern by spelling into this process's pool.
+  std::vector<Label> labels;
+  if (label_count > in.remaining()) return corrupt("label table overflows");
+  labels.reserve(label_count);
+  for (uint32_t i = 0; i < label_count && in.ok(); ++i) {
+    labels.push_back(Intern(in.GetBytes()));
+  }
+  const uint32_t node_count = in.GetU32();
+  const uint32_t detached = in.GetU32();
+  if (!in.ok()) return corrupt("truncated header");
+  // Each node costs ≥ 34 bytes on the wire — a cheap bound that rejects
+  // absurd counts before the resize below can over-allocate.
+  if (node_count > in.remaining() / 34 + 1 || detached > node_count) {
+    return corrupt("node count overflows");
+  }
+  PDocument pd;
+  pd.nodes_.resize(node_count);
+  int actual_detached = 0;
+  for (uint32_t n = 0; n < node_count && in.ok(); ++n) {
+    PNode& node = pd.nodes_[n];
+    const uint8_t kind = in.GetU8();
+    if (kind > static_cast<uint8_t>(PKind::kExp)) {
+      in.Fail();
+      break;
+    }
+    node.kind = static_cast<PKind>(kind);
+    const uint8_t det = in.GetU8();
+    node.detached = det != 0;
+    actual_detached += node.detached ? 1 : 0;
+    const uint32_t label_idx = in.GetU32();
+    if (node.kind == PKind::kOrdinary) {
+      if (label_idx >= labels.size()) {
+        in.Fail();
+        break;
+      }
+      node.label = labels[label_idx];
+    }
+    node.parent = in.GetI32();
+    // Parents must precede children (the arena invariant every ascending-id
+    // scan relies on); the root and only the root has no parent.
+    if (n == 0 ? node.parent != kNullNode
+               : (node.parent < 0 || node.parent >= static_cast<int>(n))) {
+      in.Fail();
+      break;
+    }
+    node.edge_prob = in.GetF64();
+    node.pid = in.GetI64();
+    node.version = in.GetU64();
+    const uint32_t child_count = in.GetU32();
+    if (child_count > in.remaining() / 4 + 1) {
+      in.Fail();
+      break;
+    }
+    node.children.reserve(child_count);
+    for (uint32_t c = 0; c < child_count && in.ok(); ++c) {
+      const NodeId child = in.GetI32();
+      if (child <= static_cast<NodeId>(n) ||
+          child >= static_cast<NodeId>(node_count)) {
+        in.Fail();
+        break;
+      }
+      node.children.push_back(child);
+    }
+    const uint32_t exp_entries = in.GetU32();
+    if (exp_entries > in.remaining() / 8 + 1) {
+      in.Fail();
+      break;
+    }
+    node.exp_dist.reserve(exp_entries);
+    for (uint32_t e = 0; e < exp_entries && in.ok(); ++e) {
+      const uint32_t subset_size = in.GetU32();
+      if (subset_size > in.remaining() / 4 + 1) {
+        in.Fail();
+        break;
+      }
+      std::vector<int> subset;
+      subset.reserve(subset_size);
+      for (uint32_t s = 0; s < subset_size && in.ok(); ++s) {
+        subset.push_back(in.GetI32());
+      }
+      node.exp_dist.emplace_back(std::move(subset), in.GetF64());
+    }
+  }
+  if (!in.ok() || !in.AtEnd()) return corrupt("truncated or trailing bytes");
+  if (actual_detached != static_cast<int>(detached)) {
+    return corrupt("detached count mismatch");
+  }
+  // Cross-check the child lists against the parent links: every non-root
+  // node must appear in exactly its parent's child list (decoded images
+  // feed straight into traversals that assume link consistency).
+  {
+    std::vector<int> seen(node_count, 0);
+    for (uint32_t n = 0; n < node_count; ++n) {
+      for (NodeId c : pd.nodes_[n].children) {
+        if (pd.nodes_[c].parent != static_cast<NodeId>(n)) {
+          return corrupt("child/parent link mismatch");
+        }
+        if (++seen[c] > 1) return corrupt("node linked twice");
+      }
+    }
+    // A detached subtree root is legitimately unlinked from its parent's
+    // child list; every other node must be linked exactly once.
+    for (uint32_t n = 1; n < node_count; ++n) {
+      if (seen[n] == 0 && !pd.nodes_[n].detached) {
+        return corrupt("live node not linked by its parent");
+      }
+    }
+  }
+  pd.detached_count_ = actual_detached;
+  // Imported stamps were drawn by another process's counter: raise ours
+  // past them so future draws stay unique, then key this copy with a fresh
+  // uid (restored uids could alias a live in-process document's caches).
+  uint64_t max_version = 0;
+  for (const PNode& node : pd.nodes_) {
+    if (node.version > max_version) max_version = node.version;
+  }
+  BumpVersionCounterPast(max_version);
+  pd.uid_ = NextUid();
+  pd.structure_version_ = pd.uid_;
+  return pd;
+}
+
+}  // namespace pxv

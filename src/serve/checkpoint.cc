@@ -1,0 +1,87 @@
+#include "serve/checkpoint.h"
+
+#include "serve/wal.h"
+#include "util/codec.h"
+#include "util/crc32c.h"
+
+namespace pxv {
+
+namespace {
+constexpr char kMagic[4] = {'P', 'X', 'C', 'K'};
+constexpr uint8_t kFormat = 1;
+}  // namespace
+
+std::string EncodeCheckpoint(const CheckpointData& data) {
+  std::string out(kMagic, sizeof(kMagic));
+  PutU8(&out, kFormat);
+  PutU64(&out, data.wal_seq);
+  PutU32(&out, static_cast<uint32_t>(data.docs.size()));
+  for (const CheckpointDoc& doc : data.docs) {
+    PutBytes(&out, doc.name);
+    PutU64(&out, doc.last_lsn);
+    PutBytes(&out, doc.doc_image);
+  }
+  const uint32_t crc =
+      Crc32c(std::string_view(out).substr(sizeof(kMagic)));
+  PutU32(&out, Crc32cMask(crc));
+  return out;
+}
+
+StatusOr<CheckpointData> DecodeCheckpoint(std::string_view bytes) {
+  const auto corrupt = [](const char* what) {
+    return Status::Error(std::string("corrupt checkpoint: ") + what);
+  };
+  if (bytes.size() < sizeof(kMagic) + 4 ||
+      std::string_view(bytes.data(), sizeof(kMagic)) !=
+          std::string_view(kMagic, sizeof(kMagic))) {
+    return corrupt("bad magic");
+  }
+  const std::string_view checked =
+      bytes.substr(sizeof(kMagic), bytes.size() - sizeof(kMagic) - 4);
+  {
+    ByteReader tail(bytes.substr(bytes.size() - 4));
+    if (Crc32c(checked) != Crc32cUnmask(tail.GetU32())) {
+      return corrupt("checksum mismatch");
+    }
+  }
+  ByteReader in(checked);
+  if (in.GetU8() != kFormat) return corrupt("unknown format version");
+  CheckpointData data;
+  data.wal_seq = in.GetU64();
+  const uint32_t doc_count = in.GetU32();
+  if (doc_count > in.remaining() / 16 + 1) return corrupt("doc count");
+  data.docs.reserve(doc_count);
+  for (uint32_t i = 0; i < doc_count && in.ok(); ++i) {
+    CheckpointDoc doc;
+    doc.name = std::string(in.GetBytes());
+    doc.last_lsn = in.GetU64();
+    doc.doc_image = std::string(in.GetBytes());
+    data.docs.push_back(std::move(doc));
+  }
+  if (!in.ok() || !in.AtEnd()) return corrupt("truncated");
+  return data;
+}
+
+Status WriteCheckpointFile(IoEnv* env, const std::string& dir, uint64_t seq,
+                           const CheckpointData& data) {
+  const std::string final_path = dir + "/" + CheckpointFileName(seq);
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    auto file = env->OpenForAppend(tmp_path);
+    if (!file.ok()) return file.status();
+    if (Status s = (*file)->Append(EncodeCheckpoint(data)); !s.ok()) return s;
+    if (Status s = (*file)->Sync(); !s.ok()) return s;
+    if (Status s = (*file)->Close(); !s.ok()) return s;
+  }
+  if (Status s = env->Rename(tmp_path, final_path); !s.ok()) return s;
+  return env->SyncDir(dir);
+}
+
+StatusOr<CheckpointData> ReadCheckpointFile(IoEnv* env,
+                                            const std::string& path) {
+  auto bytes = env->ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  return DecodeCheckpoint(*bytes);
+}
+
+}  // namespace pxv

@@ -1,0 +1,61 @@
+// Checkpoint files for the DocumentStore: a full snapshot of every stored
+// document (complete arena image — pxml/serialize.cc — so edge
+// probabilities, exp distributions, sibling order and version stamps all
+// survive bit for bit), together with each document's last applied WAL lsn.
+//
+// File layout:
+//
+//   magic "PXCK" | u8 format | u64 wal_seq | u32 doc_count
+//   doc_count × (u32 name_len | name | u64 last_lsn | u32 len | doc image)
+//   u32 masked crc32c(everything after the magic)
+//
+// A checkpoint is written to `<name>.tmp`, fsynced, renamed into place and
+// the directory fsynced — readers only ever see absent-or-complete files,
+// and the CRC rejects bit rot. `wal_seq` names the segment the log was
+// rotated to when the checkpoint began: every record in older segments is
+// covered (its document was serialized at a later lsn), so those segments
+// are deleted once the checkpoint is durable. Records appended to newer
+// segments while the checkpoint was being written are handled by the
+// per-document lsn filter at replay.
+
+#ifndef PXV_SERVE_CHECKPOINT_H_
+#define PXV_SERVE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/io_env.h"
+#include "util/status.h"
+
+namespace pxv {
+
+struct CheckpointDoc {
+  std::string name;
+  uint64_t last_lsn = 0;    ///< Last WAL record applied to this document.
+  std::string doc_image;    ///< PDocument::SerializeTo bytes.
+};
+
+struct CheckpointData {
+  uint64_t wal_seq = 0;     ///< Segment the WAL rotated to at ckpt start.
+  std::vector<CheckpointDoc> docs;
+};
+
+std::string EncodeCheckpoint(const CheckpointData& data);
+
+/// Rejects truncation and bit rot via the trailing CRC.
+StatusOr<CheckpointData> DecodeCheckpoint(std::string_view bytes);
+
+/// Durably writes `data` as `dir/CheckpointFileName(seq)` via the
+/// tmp → fsync → rename → dir-fsync dance.
+Status WriteCheckpointFile(IoEnv* env, const std::string& dir, uint64_t seq,
+                           const CheckpointData& data);
+
+/// Reads and decodes one checkpoint file.
+StatusOr<CheckpointData> ReadCheckpointFile(IoEnv* env,
+                                            const std::string& path);
+
+}  // namespace pxv
+
+#endif  // PXV_SERVE_CHECKPOINT_H_

@@ -1,8 +1,12 @@
 #include "serve/document_store.h"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "serve/checkpoint.h"
 #include "util/check.h"
+#include "util/codec.h"
 
 namespace pxv {
 
@@ -42,7 +46,83 @@ DocMutation DocMutation::SetExpDistribution(
   return m;
 }
 
+std::string EncodeMutationBatch(const std::vector<DocMutation>& batch) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(batch.size()));
+  for (const DocMutation& m : batch) {
+    PutU8(&out, static_cast<uint8_t>(m.kind));
+    PutI64(&out, m.target);
+    PutI32(&out, m.dist_child_index);
+    PutF64(&out, m.prob);
+    if (m.kind == DocMutation::Kind::kInsertSubtree) {
+      std::string sub;
+      m.subtree.SerializeTo(&sub);
+      PutBytes(&out, sub);
+    } else {
+      PutU32(&out, 0);
+    }
+    PutU32(&out, static_cast<uint32_t>(m.exp_dist.size()));
+    for (const auto& [subset, p] : m.exp_dist) {
+      PutU32(&out, static_cast<uint32_t>(subset.size()));
+      for (int idx : subset) PutI32(&out, idx);
+      PutF64(&out, p);
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<DocMutation>> DecodeMutationBatch(
+    std::string_view bytes) {
+  const auto corrupt = [](const char* what) {
+    return Status::Error(std::string("corrupt mutation batch: ") + what);
+  };
+  ByteReader in(bytes);
+  const uint32_t count = in.GetU32();
+  if (count > in.remaining() + 1) return corrupt("batch size");
+  std::vector<DocMutation> batch;
+  batch.reserve(count);
+  for (uint32_t i = 0; i < count && in.ok(); ++i) {
+    DocMutation m;
+    const uint8_t kind = in.GetU8();
+    if (kind >
+        static_cast<uint8_t>(DocMutation::Kind::kSetExpDistribution)) {
+      return corrupt("mutation kind");
+    }
+    m.kind = static_cast<DocMutation::Kind>(kind);
+    m.target = in.GetI64();
+    m.dist_child_index = in.GetI32();
+    m.prob = in.GetF64();
+    const std::string_view sub = in.GetBytes();
+    if (m.kind == DocMutation::Kind::kInsertSubtree) {
+      auto doc = PDocument::Deserialize(sub);
+      if (!doc.ok()) return doc.status();
+      m.subtree = std::move(doc.value());
+    }
+    const uint32_t dist_count = in.GetU32();
+    if (dist_count > in.remaining() + 1) return corrupt("exp dist size");
+    m.exp_dist.reserve(dist_count);
+    for (uint32_t d = 0; d < dist_count && in.ok(); ++d) {
+      const uint32_t subset_size = in.GetU32();
+      if (subset_size > in.remaining() / 4 + 1) return corrupt("exp subset");
+      std::vector<int> subset;
+      subset.reserve(subset_size);
+      for (uint32_t k = 0; k < subset_size && in.ok(); ++k) {
+        subset.push_back(in.GetI32());
+      }
+      const double p = in.GetF64();
+      m.exp_dist.emplace_back(std::move(subset), p);
+    }
+    batch.push_back(std::move(m));
+  }
+  if (!in.ok() || !in.AtEnd()) return corrupt("truncated");
+  return batch;
+}
+
 namespace {
+
+Status ReadOnlyError() {
+  return Status::Error("store is read-only after an unrecoverable I/O error");
+}
 
 // The one compaction rule, shared by stored documents (Put/Apply) and
 // patched view extensions (MaterializeLocked): rebuild once detached
@@ -62,9 +142,413 @@ bool TombstonesOutweighLive(const PDocument& d) {
 }  // namespace
 
 DocumentStore::DocumentStore(ViewServer* server, DocumentStoreOptions options)
-    : server_(server), options_(options) {
+    : DocumentStore(server, std::move(options), DurableTag{}) {
+  PXV_CHECK(options_.durable_dir.empty())
+      << "durable stores must be created via DocumentStore::Open";
+}
+
+DocumentStore::DocumentStore(ViewServer* server, DocumentStoreOptions options,
+                             DurableTag)
+    : server_(server), options_(std::move(options)) {
   PXV_CHECK(server_ != nullptr);
   if (options_.incremental) options_.eval.cache_subtrees = true;
+  env_ = options_.io_env != nullptr ? options_.io_env : IoEnv::Real();
+}
+
+DocumentStore::~DocumentStore() {
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    flusher_stop_ = true;
+  }
+  flusher_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  if (wal_ != nullptr) wal_->Close();  // Best-effort final flush.
+}
+
+StatusOr<std::unique_ptr<DocumentStore>> DocumentStore::Open(
+    ViewServer* server, DocumentStoreOptions options) {
+  if (options.durable_dir.empty()) {
+    return Status::Error("DocumentStore::Open requires options.durable_dir");
+  }
+  std::unique_ptr<DocumentStore> store(
+      new DocumentStore(server, std::move(options), DurableTag{}));
+  if (Status s = store->Recover(); !s.ok()) return s;
+  return store;
+}
+
+Status DocumentStore::Recover() {
+  const std::string& dir = options_.durable_dir;
+  if (Status s = env_->CreateDir(dir); !s.ok()) return s;
+  auto listing = env_->ListDir(dir);
+  if (!listing.ok()) return listing.status();
+  std::vector<uint64_t> ckpts;
+  std::vector<uint64_t> segments;
+  for (const std::string& file : *listing) {
+    uint64_t seq = 0;
+    if (ParseCheckpointFileName(file, &seq)) {
+      ckpts.push_back(seq);
+    } else if (ParseWalSegmentFileName(file, &seq)) {
+      segments.push_back(seq);
+    }
+  }
+  std::sort(ckpts.begin(), ckpts.end());
+  std::sort(segments.begin(), segments.end());
+
+  // The newest checkpoint that decodes wins. Checkpoints appear atomically
+  // (tmp → rename), so an invalid one means bit rot; fall back to the
+  // previous — its missed records are still covered by the lsn filter
+  // below as long as the older WAL segments survived, and replay fails
+  // loudly (unknown document / bad frame) when they did not.
+  struct Recovered {
+    PDocument doc;
+    uint64_t last_lsn = 0;
+  };
+  std::map<std::string, Recovered> docs;
+  uint64_t ckpt_seq = 0;
+  for (auto it = ckpts.rbegin(); it != ckpts.rend(); ++it) {
+    auto data = ReadCheckpointFile(env_, dir + "/" + CheckpointFileName(*it));
+    if (!data.ok()) continue;
+    std::map<std::string, Recovered> loaded;
+    bool all_ok = true;
+    for (CheckpointDoc& cd : data->docs) {
+      auto doc = PDocument::Deserialize(cd.doc_image);
+      if (!doc.ok()) {
+        all_ok = false;
+        break;
+      }
+      loaded[cd.name] = {std::move(doc.value()), cd.last_lsn};
+    }
+    if (!all_ok) continue;
+    docs = std::move(loaded);
+    ckpt_seq = *it;
+    break;
+  }
+
+  // The segments the replay needs (>= the chosen checkpoint) must be
+  // contiguous: rotation creates them one by one and cleanup only ever
+  // deletes a prefix. A gap means the log was truncated against a NEWER
+  // checkpoint that did not survive — replaying across the hole would
+  // silently resurrect a stale state, so refuse loudly instead.
+  for (size_t i = 1; i < segments.size(); ++i) {
+    if (segments[i - 1] >= ckpt_seq && segments[i] != segments[i - 1] + 1) {
+      return Status::Error("corrupt WAL: segment gap between " +
+                           WalSegmentFileName(segments[i - 1]) + " and " +
+                           WalSegmentFileName(segments[i]));
+    }
+  }
+
+  // Replay the WAL tail in segment order, skipping per document what the
+  // checkpoint already holds.
+  uint64_t max_lsn = 0;
+  for (const auto& [name, rec] : docs) {
+    max_lsn = std::max(max_lsn, rec.last_lsn);
+  }
+  for (size_t i = 0; i < segments.size(); ++i) {
+    // Segments older than the checkpoint are fully covered by it; they only
+    // still exist when a crash interrupted the post-checkpoint cleanup.
+    if (segments[i] < ckpt_seq) continue;
+    const std::string seg_name = WalSegmentFileName(segments[i]);
+    auto read = ReadWalSegment(env_, dir + "/" + seg_name);
+    if (!read.ok()) return read.status();
+    if (read->torn_tail_dropped != 0 && i + 1 != segments.size()) {
+      // Appends only ever go to the newest segment, so a bad frame in an
+      // older one is bit rot, not a crash artifact — and the records past
+      // it cannot be replayed (recovery must apply a prefix). Refuse
+      // rather than resurrect a hole.
+      return Status::Error("corrupt WAL: bad frame mid-log in " + seg_name);
+    }
+    torn_records_dropped_.fetch_add(read->torn_tail_dropped,
+                                    std::memory_order_relaxed);
+    for (WalRecord& record : read->records) {
+      max_lsn = std::max(max_lsn, record.lsn);
+      const auto it = docs.find(record.doc);
+      if (it != docs.end() && record.lsn <= it->second.last_lsn) continue;
+      switch (record.kind) {
+        case WalRecordKind::kPut: {
+          auto doc = PDocument::Deserialize(record.body);
+          if (!doc.ok()) {
+            return Status::Error("corrupt WAL put record for " + record.doc +
+                                 ": " + doc.status().message());
+          }
+          docs[record.doc] = {std::move(doc.value()), record.lsn};
+          break;
+        }
+        case WalRecordKind::kApply: {
+          if (it == docs.end()) {
+            return Status::Error("WAL apply record for unknown document " +
+                                 record.doc);
+          }
+          auto batch = DecodeMutationBatch(record.body);
+          if (!batch.ok()) return batch.status();
+          PDocument& doc = it->second.doc;
+          Status failed;
+          {
+            PDocument::MutationBatch scope(&doc);
+            for (const DocMutation& m : *batch) {
+              NodeId node = kNullNode;
+              failed = PrecheckOne(doc, m, &node);
+              if (!failed.ok()) break;
+              ApplyChecked(&doc, m, node);
+            }
+          }
+          if (!failed.ok()) {
+            // The log never holds a batch the store rejected, so a batch
+            // that no longer replays means the log and the state diverged.
+            return Status::Error("WAL apply record " +
+                                 std::to_string(record.lsn) +
+                                 " does not replay: " + failed.message());
+          }
+          doc.ClearDirtyPaths();
+          // Threshold compaction replays deterministically from the
+          // batches themselves (kCompact marks only *forced* compactions).
+          if (options_.compact_documents && TombstonesOutweighLive(doc)) {
+            doc.Compact();
+          }
+          it->second.last_lsn = record.lsn;
+          break;
+        }
+        case WalRecordKind::kDrop:
+          if (it != docs.end()) docs.erase(it);
+          break;
+        case WalRecordKind::kCompact:
+          if (it != docs.end()) {
+            it->second.doc.Compact();
+            it->second.last_lsn = record.lsn;
+          }
+          break;
+      }
+    }
+  }
+
+  // Fresh segment for new writes — never append to a segment that may end
+  // in a dropped torn frame.
+  uint64_t max_seq = ckpt_seq;
+  for (uint64_t s : segments) max_seq = std::max(max_seq, s);
+  wal_seq_ = max_seq + 1;
+  auto writer = WalWriter::Open(env_, dir + "/" + WalSegmentFileName(wal_seq_),
+                                options_.fsync, options_.sync_every_records);
+  if (!writer.ok()) return writer.status();
+  wal_ = std::move(writer.value());
+  if (Status s = env_->SyncDir(dir); !s.ok()) return s;
+  next_lsn_ = max_lsn + 1;
+
+  // Rebuild the serving state. Materialization runs the same code path as
+  // a live store, and incremental materialization is bit-identical to
+  // from-scratch (see the file comment), so recovered answers match the
+  // never-crashed store's exactly.
+  for (auto& [name, rec] : docs) {
+    if (Status s = rec.doc.Validate(); !s.ok()) {
+      return Status::Error("recovered document " + name +
+                           " is invalid: " + s.message());
+    }
+    InstallRecovered(name, std::move(rec.doc), rec.last_lsn);
+  }
+  recoveries_.fetch_add(1, std::memory_order_relaxed);
+  // Group commit: under kBatch a background thread absorbs the fsyncs so
+  // the write path pays a memcpy, not a disk stall. kAlways syncs inline
+  // by definition; kNone never syncs.
+  if (options_.fsync == FsyncPolicy::kBatch) {
+    flusher_ = std::thread(&DocumentStore::FlusherLoop, this);
+  }
+  return Status::Ok();
+}
+
+void DocumentStore::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(wal_mu_);
+  while (true) {
+    flusher_cv_.wait(lock, [&] {
+      return flusher_stop_ ||
+             (wal_ != nullptr && !read_only_.load(std::memory_order_acquire) &&
+              wal_->unsynced_records() > 0);
+    });
+    if (flusher_stop_) return;
+    if (Status s = wal_->Flush(); !s.ok()) {
+      // The writer is poisoned; the store can no longer make writes
+      // durable. Degrade exactly like an inline append failure would.
+      read_only_.store(true, std::memory_order_release);
+      continue;
+    }
+    // Everything up to `flushed` is in the file; fsync it through an
+    // independent descriptor WITHOUT holding wal_mu_, so concurrent
+    // appends only ever wait on a memcpy.
+    const int64_t flushed = wal_->appended_records();
+    const uint64_t seq = wal_seq_;
+    const std::string path =
+        options_.durable_dir + "/" + WalSegmentFileName(seq);
+    lock.unlock();
+    const Status synced = env_->SyncFile(path);
+    lock.lock();
+    if (wal_ != nullptr && seq == wal_seq_) {  // Else rotated: the
+                                               // rotation synced + closed.
+      if (synced.ok()) {
+        wal_->NoteSynced(flushed);
+      } else {
+        // fsync failed: the kernel may have DROPPED the dirty pages (the
+        // fsync-gate hazard) — retrying cannot make the data durable, so
+        // refuse further writes rather than silently narrow the guarantee.
+        read_only_.store(true, std::memory_order_release);
+      }
+    }
+    // Pace the cycles: each fdatasync pins the inode's dirty pages and
+    // journal state, and back-to-back syncs measurably stall the append
+    // path even though it only memcpys under wal_mu_. A short breath
+    // batches more records per fsync at no durability cost (under kBatch
+    // the loss window is already "since the last completed fsync"), as
+    // long as pace × arrival-rate stays well under the sync_every hard
+    // bound — which it does by orders of magnitude at the default 1024.
+    flusher_cv_.wait_for(lock, std::chrono::microseconds(200),
+                         [&] { return flusher_stop_; });
+  }
+}
+
+void DocumentStore::InstallRecovered(const std::string& name, PDocument doc,
+                                     uint64_t last_lsn) {
+  auto state = std::make_shared<DocState>();
+  state->doc = std::move(doc);
+  state->doc.ClearDirtyPaths();
+  state->session = std::make_unique<EvalSession>(state->doc, options_.eval);
+  state->last_lsn = last_lsn;
+  for (const NamedView& v : server_->rewriter().views()) {
+    state->views[v.name];
+  }
+  MaterializeLocked(state.get());  // Exclusive: nothing else sees it yet.
+  std::lock_guard<std::mutex> lock(docs_mu_);
+  docs_[name] = std::move(state);
+}
+
+Status DocumentStore::WalAppend(WalRecordKind kind, const std::string& doc,
+                                std::string body, uint64_t* out_lsn) {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  if (wal_ == nullptr || read_only_.load(std::memory_order_acquire)) {
+    return ReadOnlyError();
+  }
+  WalRecord record;
+  record.kind = kind;
+  record.lsn = next_lsn_;
+  record.doc = doc;
+  record.body = std::move(body);
+  const int64_t before = wal_->appended_bytes();
+  if (Status s = wal_->Append(record); !s.ok()) {
+    // The writer is poisoned: nothing can be made durable any more.
+    // Degrade to read-only instead of acknowledging volatile writes.
+    read_only_.store(true, std::memory_order_release);
+    return Status::Error("WAL append failed (store is now read-only): " +
+                         s.message());
+  }
+  ++next_lsn_;
+  if (out_lsn != nullptr) *out_lsn = record.lsn;
+  wal_appends_.fetch_add(1, std::memory_order_relaxed);
+  wal_bytes_.fetch_add(wal_->appended_bytes() - before,
+                       std::memory_order_relaxed);
+  // Wake the flusher only on the drained→pending transition: while it is
+  // mid-cycle its wait predicate re-checks unsynced_records() under this
+  // lock, so later appends need no notification.
+  if (options_.fsync == FsyncPolicy::kBatch &&
+      wal_->unsynced_records() == 1) {
+    flusher_cv_.notify_one();
+  }
+  return Status::Ok();
+}
+
+void DocumentStore::MaybeCheckpoint() {
+  if (options_.checkpoint_after_wal_bytes <= 0) return;
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    if (wal_ == nullptr ||
+        wal_->appended_bytes() < options_.checkpoint_after_wal_bytes) {
+      return;
+    }
+  }
+  // Failure is deliberately ignored here: a failed checkpoint leaves the
+  // WAL as the (growing) source of truth and the next Apply retries.
+  Checkpoint();
+}
+
+Status DocumentStore::Checkpoint() {
+  if (options_.durable_dir.empty()) {
+    return Status::Error("Checkpoint() requires a durable store");
+  }
+  bool expected = false;
+  if (!checkpointing_.compare_exchange_strong(expected, true)) {
+    return Status::Ok();  // Another thread is already checkpointing.
+  }
+  struct Guard {
+    std::atomic<bool>* flag;
+    ~Guard() { flag->store(false, std::memory_order_release); }
+  } guard{&checkpointing_};
+
+  const std::string& dir = options_.durable_dir;
+  uint64_t ckpt_seq = 0;
+  {
+    // Rotate to a fresh segment first. The retiring segments are deleted
+    // once the checkpoint is durable, so everything in them must be on
+    // disk now; failing to guarantee that means failing to stay durable —
+    // these errors (unlike the checkpoint write below) trip read-only.
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    if (wal_ == nullptr || read_only_.load(std::memory_order_acquire)) {
+      return ReadOnlyError();
+    }
+    const auto fatal = [this](const std::string& what, const Status& s) {
+      read_only_.store(true, std::memory_order_release);
+      wal_ = nullptr;
+      return Status::Error(what + " (store is now read-only): " + s.message());
+    };
+    if (Status s = wal_->Sync(); !s.ok()) return fatal("WAL sync failed", s);
+    if (Status s = wal_->Close(); !s.ok()) return fatal("WAL close failed", s);
+    wal_ = nullptr;
+    auto writer =
+        WalWriter::Open(env_, dir + "/" + WalSegmentFileName(wal_seq_ + 1),
+                        options_.fsync, options_.sync_every_records);
+    if (!writer.ok()) {
+      return fatal("WAL rotation failed", writer.status());
+    }
+    ++wal_seq_;
+    wal_ = std::move(writer.value());
+    ckpt_seq = wal_seq_;
+    // The new segment's directory entry must outlive the old segments.
+    if (Status s = env_->SyncDir(dir); !s.ok()) {
+      return fatal("WAL directory sync failed", s);
+    }
+  }
+
+  // Serialize each document under its own write lock, one document at a
+  // time; the expensive file I/O below runs with no lock held at all, so
+  // writers and readers of every document proceed during the write-out.
+  CheckpointData data;
+  data.wal_seq = ckpt_seq;
+  for (const std::string& name : Names()) {
+    const std::shared_ptr<DocState> state = FindState(name);
+    if (state == nullptr) continue;  // Dropped: its kDrop is in the WAL.
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (FindState(name) != state) continue;  // Replaced: ditto its kPut.
+    CheckpointDoc cd;
+    cd.name = name;
+    cd.last_lsn = state->last_lsn;
+    state->doc.SerializeTo(&cd.doc_image);
+    data.docs.push_back(std::move(cd));
+  }
+
+  // From here on failure is benign: the WAL still holds every committed
+  // record and the next checkpoint simply retries.
+  if (Status s = WriteCheckpointFile(env_, dir, ckpt_seq, data); !s.ok()) {
+    return s;
+  }
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+
+  // Cleanup, best-effort: a surviving older checkpoint is shadowed by the
+  // newer one, a surviving older segment is re-filtered per document at
+  // the next recovery.
+  if (auto listing = env_->ListDir(dir); listing.ok()) {
+    for (const std::string& file : *listing) {
+      uint64_t seq = 0;
+      if ((ParseCheckpointFileName(file, &seq) && seq < ckpt_seq) ||
+          (ParseWalSegmentFileName(file, &seq) && seq < ckpt_seq)) {
+        env_->RemoveFile(dir + "/" + file);
+      }
+    }
+  }
+  return Status::Ok();
 }
 
 std::shared_ptr<DocumentStore::DocState> DocumentStore::FindState(
@@ -75,6 +559,8 @@ std::shared_ptr<DocumentStore::DocState> DocumentStore::FindState(
 }
 
 Status DocumentStore::Put(const std::string& name, PDocument doc) {
+  const bool durable = !options_.durable_dir.empty();
+  if (durable && read_only()) return ReadOnlyError();
   Status valid = doc.Validate();
   if (!valid.ok()) return valid;
   auto state = std::make_shared<DocState>();
@@ -91,6 +577,12 @@ Status DocumentStore::Put(const std::string& name, PDocument doc) {
     CompactLocked(state.get());
   }
   MaterializeLocked(state.get());  // Exclusive: nothing else sees it yet.
+  // Durable stores log the document image that will actually be installed
+  // (post compaction-on-load) — replay re-installs it verbatim. The append
+  // happens inside the commit critical section below so the WAL order of
+  // racing Puts matches their publication order.
+  std::string image;
+  if (durable) state->doc.SerializeTo(&image);
   // Publish, serialized with concurrent writers of a replaced document:
   // taking the old state's write mutex before the swap keeps the promised
   // per-document Put/Apply/MaterializeIncremental ordering — an Apply
@@ -100,22 +592,39 @@ Status DocumentStore::Put(const std::string& name, PDocument doc) {
     if (old == nullptr) {
       std::lock_guard<std::mutex> lock(docs_mu_);
       if (docs_.find(name) != docs_.end()) continue;  // Raced another Put.
+      if (durable) {
+        Status s = WalAppend(WalRecordKind::kPut, name, image,
+                             &state->last_lsn);
+        if (!s.ok()) return s;
+      }
       docs_[name] = std::move(state);
       return Status::Ok();
     }
     std::lock_guard<std::mutex> write_lock(old->mu);
     std::lock_guard<std::mutex> lock(docs_mu_);
     if (docs_.find(name) == docs_.end() || docs_[name] != old) continue;
+    if (durable) {
+      Status s = WalAppend(WalRecordKind::kPut, name, image,
+                           &state->last_lsn);
+      if (!s.ok()) return s;
+    }
     docs_[name] = std::move(state);  // Old state dies with its readers.
     return Status::Ok();
   }
 }
 
 Status DocumentStore::Drop(const std::string& name) {
+  const bool durable = !options_.durable_dir.empty();
+  if (durable && read_only()) return ReadOnlyError();
   std::lock_guard<std::mutex> lock(docs_mu_);
-  return docs_.erase(name) > 0
-             ? Status::Ok()
-             : Status::Error("no document named " + name);
+  const auto it = docs_.find(name);
+  if (it == docs_.end()) return Status::Error("no document named " + name);
+  if (durable) {
+    Status s = WalAppend(WalRecordKind::kDrop, name, "", nullptr);
+    if (!s.ok()) return s;
+  }
+  docs_.erase(it);
+  return Status::Ok();
 }
 
 std::vector<std::string> DocumentStore::Names() const {
@@ -327,6 +836,8 @@ void CollectAncestorLabels(const PDocument& doc, NodeId n,
 
 StatusOr<uint64_t> DocumentStore::Apply(const std::string& name,
                                         const std::vector<DocMutation>& batch) {
+  const bool durable = !options_.durable_dir.empty();
+  if (durable && read_only()) return ReadOnlyError();
   std::shared_ptr<DocState> state;
   std::unique_lock<std::mutex> lock;
   // Writers must hold the mutex of the state that is *currently*
@@ -351,22 +862,48 @@ StatusOr<uint64_t> DocumentStore::Apply(const std::string& name,
   state->doc.ClearDirtyPaths();
   Status failed = Status::Ok();
   if (batch.size() == 1) {
-    PDocument::MutationBatch scope(&state->doc);
-    failed = ApplyOne(state.get(), batch[0]);
+    // PrecheckOne is complete, so the WAL record can go first: once the
+    // record is logged the apply cannot fail, and a failed append leaves
+    // the document untouched — either way the WAL and the store agree.
+    NodeId node = kNullNode;
+    failed = PrecheckOne(state->doc, batch[0], &node);
+    if (failed.ok() && durable) {
+      Status io = WalAppend(WalRecordKind::kApply, name,
+                            EncodeMutationBatch(batch), &state->last_lsn);
+      if (!io.ok()) return io;  // I/O failure, not a batch defect.
+    }
+    if (failed.ok()) {
+      PDocument::MutationBatch scope(&state->doc);
+      ApplyChecked(&state->doc, batch[0], node);
+    }
   } else {
     PDocument backup = state->doc;
     {
       PDocument::MutationBatch scope(&state->doc);
-      for (const DocMutation& m : batch) {
-        Status s = ApplyOne(state.get(), m);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        Status s = ApplyOne(state.get(), batch[i]);
         if (!s.ok()) {
-          failed = s;
+          failed = Status::Error("mutation #" + std::to_string(i) + ": " +
+                                 s.message());
           break;
         }
       }
     }
     if (failed.ok()) failed = state->doc.Validate();
-    if (!failed.ok()) state->doc = std::move(backup);
+    if (!failed.ok()) {
+      state->doc = std::move(backup);
+    } else if (durable) {
+      // Logged only after the whole batch staged AND validated — the WAL
+      // never contains a rolled-back batch. An I/O failure here rolls the
+      // staged state back too: a write that cannot be made durable is not
+      // acknowledged, in memory or anywhere else.
+      Status io = WalAppend(WalRecordKind::kApply, name,
+                            EncodeMutationBatch(batch), &state->last_lsn);
+      if (!io.ok()) {
+        state->doc = std::move(backup);
+        return io;
+      }
+    }
   }
   if (!failed.ok()) {
     rejected_batches_.fetch_add(1, std::memory_order_relaxed);
@@ -406,7 +943,14 @@ StatusOr<uint64_t> DocumentStore::Apply(const std::string& name,
   if (options_.compact_documents && TombstonesOutweighLive(state->doc)) {
     CompactLocked(state.get());
   }
-  return state->doc.uid();
+  const uint64_t uid = state->doc.uid();
+  if (durable) {
+    // The auto-checkpoint trigger MUST run outside the document lock:
+    // Checkpoint() takes every document's lock in turn.
+    lock.unlock();
+    MaybeCheckpoint();
+  }
+  return uid;
 }
 
 int DocumentStore::CompactLocked(DocState* state) {
@@ -443,11 +987,20 @@ int DocumentStore::CompactLocked(DocState* state) {
 }
 
 StatusOr<int> DocumentStore::Compact(const std::string& name) {
+  const bool durable = !options_.durable_dir.empty();
+  if (durable && read_only()) return ReadOnlyError();
   for (;;) {
     const std::shared_ptr<DocState> state = FindState(name);
     if (state == nullptr) return Status::Error("no document named " + name);
     std::lock_guard<std::mutex> lock(state->mu);
     if (FindState(name) != state) continue;  // Replaced while waiting.
+    if (durable) {
+      // Forced compactions are logged (threshold ones replay on their own
+      // from the batches) so replay reproduces the same arena shape.
+      Status s = WalAppend(WalRecordKind::kCompact, name, "",
+                           &state->last_lsn);
+      if (!s.ok()) return s;
+    }
     return CompactLocked(state.get());
   }
 }
@@ -586,6 +1139,13 @@ DocumentStoreStats DocumentStore::stats() const {
   s.views_clean = views_clean_.load(std::memory_order_relaxed);
   s.compactions = compactions_.load(std::memory_order_relaxed);
   s.nodes_reclaimed = nodes_reclaimed_.load(std::memory_order_relaxed);
+  s.wal_appends = wal_appends_.load(std::memory_order_relaxed);
+  s.wal_bytes = wal_bytes_.load(std::memory_order_relaxed);
+  s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  s.recoveries = recoveries_.load(std::memory_order_relaxed);
+  s.torn_records_dropped =
+      torn_records_dropped_.load(std::memory_order_relaxed);
+  s.read_only = read_only_.load(std::memory_order_acquire) ? 1 : 0;
   return s;
 }
 

@@ -37,6 +37,7 @@
 #define PXV_SERVE_DOCUMENT_STORE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -44,12 +45,14 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "prob/eval_session.h"
 #include "pxml/pdocument.h"
 #include "pxml/view_extension.h"
 #include "serve/view_server.h"
+#include "serve/wal.h"
 #include "util/status.h"
 
 namespace pxv {
@@ -105,6 +108,32 @@ struct DocumentStoreOptions {
   /// the extension patcher uses). Off ⇒ the node arena grows forever under
   /// sustained RemoveSubtree churn (tombstone ids are never reused).
   bool compact_documents = true;
+
+  // ------------------------------------------------------- durability ----
+  /// When non-empty, the store is durable: every Put/Apply/Drop/Compact is
+  /// written to a write-ahead log in this directory before it takes effect,
+  /// and DocumentStore::Open recovers the full document set from the latest
+  /// checkpoint plus the WAL tail. Durable stores must be created via
+  /// Open(); the plain constructor rejects a non-empty durable_dir.
+  std::string durable_dir;
+  /// When to fsync the WAL (see serve/wal.h for the loss windows).
+  FsyncPolicy fsync = FsyncPolicy::kBatch;
+  /// kBatch hard bound: the write path fsyncs inline once this many
+  /// records are outstanding. Under kBatch a background flusher thread
+  /// fsyncs continuously off the write path, so the TYPICAL loss window
+  /// is one fsync latency worth of records; this bound only kicks in when
+  /// the flusher cannot keep up (or failed). Keep it several times the
+  /// number of records one fsync-duration admits — a sustained fdatasync
+  /// runs hundreds of microseconds, and a bound near that threshold makes
+  /// every write stall behind a barrier fsync it did not need.
+  int sync_every_records = 1024;
+  /// Auto-checkpoint once the live WAL segment exceeds this many bytes
+  /// (checked after Apply commits, outside the document lock). <= 0
+  /// disables automatic checkpoints; Checkpoint() is always available.
+  int64_t checkpoint_after_wal_bytes = 8 << 20;
+  /// File-system seam, for fault injection in tests. nullptr ⇒ the real
+  /// POSIX environment. Must outlive the store.
+  IoEnv* io_env = nullptr;
 };
 
 /// Monotonic counters (one consistent snapshot per stats() call).
@@ -118,14 +147,65 @@ struct DocumentStoreStats {
   int64_t views_clean = 0;        ///< Views republished untouched.
   int64_t compactions = 0;        ///< Document arenas rebuilt (tombstones).
   int64_t nodes_reclaimed = 0;    ///< Tombstones dropped by those rebuilds.
+  int64_t wal_appends = 0;        ///< Records appended to the WAL.
+  int64_t wal_bytes = 0;          ///< Framed bytes appended to the WAL.
+  int64_t checkpoints = 0;        ///< Checkpoints durably written.
+  int64_t recoveries = 0;         ///< 1 when this store came up via Open().
+  int64_t torn_records_dropped = 0;  ///< Torn WAL tails dropped at recovery.
+  int64_t read_only = 0;          ///< 1 once the store degraded (see below).
 };
+
+/// Serialization of a DocMutation batch — the kApply WAL record body.
+/// Exposed for tests and tooling; the encoding round-trips every mutation
+/// field (insert payloads ride as full PDocument images).
+std::string EncodeMutationBatch(const std::vector<DocMutation>& batch);
+StatusOr<std::vector<DocMutation>> DecodeMutationBatch(std::string_view bytes);
 
 class DocumentStore {
  public:
   /// The server supplies the view registry, plan cache and stats; it must
   /// outlive the store. Register views (server->AddView) before Put.
+  /// In-memory stores only — a non-empty options.durable_dir is a checked
+  /// fatal error here; durable stores are created via Open().
   explicit DocumentStore(ViewServer* server,
                          DocumentStoreOptions options = {});
+
+  ~DocumentStore();
+
+  /// Opens (or creates) a durable store rooted at options.durable_dir:
+  /// loads the newest valid checkpoint, replays the WAL tail beyond each
+  /// document's checkpointed lsn — a torn or corrupt trailing record is
+  /// dropped without disturbing any earlier committed batch — rebuilds
+  /// every materialized view, and starts a fresh WAL segment for new
+  /// writes. Register views (server->AddView) before calling: recovery
+  /// materializes against the server's view set.
+  static StatusOr<std::unique_ptr<DocumentStore>> Open(
+      ViewServer* server, DocumentStoreOptions options);
+
+  /// Durably snapshots every stored document and truncates the WAL to the
+  /// records newer than the snapshot. Document serialization runs under
+  /// each document's write lock in turn; the file I/O runs with no lock
+  /// held. A failed checkpoint leaves the store fully writable — the WAL
+  /// is still the source of truth — and is simply retried later. No-op
+  /// returning OK when another thread is already checkpointing.
+  Status Checkpoint();
+
+  /// True once the store has degraded to read-only: a WAL append or fsync
+  /// failed, so new writes could no longer be made durable. Every
+  /// subsequent Put/Apply/Drop/Compact fails fast; reads (Answer/Snapshot/
+  /// Find/stats) keep serving the last acknowledged state.
+  ///
+  /// Durability of the write that tripped this flag is INDETERMINATE (the
+  /// standard WAL contract): if the append itself failed, the record never
+  /// reached the log (or reached it torn — recovery drops it); if the
+  /// fsync failed after a complete append, the frame sits unsynced in the
+  /// OS file, so a process restart replays it while a machine crash loses
+  /// it. In-memory state always rolls back, so this store keeps serving
+  /// the pre-batch state either way. Batches rejected by VALIDATION are a
+  /// different matter entirely: they are never written to the log.
+  bool read_only() const {
+    return read_only_.load(std::memory_order_acquire);
+  }
 
   /// Registers (or replaces) a named document and fully materializes every
   /// registered view over it. Returns an error when the document is invalid.
@@ -210,9 +290,34 @@ class DocumentStore {
     PDocument doc;
     std::unique_ptr<EvalSession> session;
     std::map<std::string, ViewState, std::less<>> views;
+    /// Lsn of the last WAL record applied to this document (durable stores
+    /// only; guarded by mu). Checkpoints persist it so recovery replays
+    /// exactly the records the snapshot misses.
+    uint64_t last_lsn = 0;
     mutable std::mutex snap_mu;  // Guards only the snapshot pointer swap.
     std::shared_ptr<const SharedExtensions> snapshot;
   };
+
+  struct DurableTag {};
+  DocumentStore(ViewServer* server, DocumentStoreOptions options, DurableTag);
+
+  /// Recovery: load checkpoint + replay WAL into `this` (empty store).
+  Status Recover();
+  /// Installs a recovered document (no WAL write; views materialize).
+  void InstallRecovered(const std::string& name, PDocument doc,
+                        uint64_t last_lsn);
+
+  /// Assigns the next lsn and appends one record under wal_mu_. On failure
+  /// the store degrades to read-only. `out_lsn` receives the record's lsn.
+  Status WalAppend(WalRecordKind kind, const std::string& doc,
+                   std::string body, uint64_t* out_lsn);
+  /// Auto-checkpoint trigger; called with no document lock held.
+  void MaybeCheckpoint();
+  /// Background group-commit thread body (kBatch only): flushes buffered
+  /// frames under wal_mu_, then fsyncs the segment through an independent
+  /// descriptor with no lock held, so the write path almost never pays an
+  /// inline fsync (the sync_every barrier remains as the hard bound).
+  void FlusherLoop();
 
   std::shared_ptr<DocState> FindState(const std::string& name) const;
   static Status PrecheckOne(const PDocument& doc, const DocMutation& m,
@@ -235,6 +340,19 @@ class DocumentStore {
   mutable std::mutex docs_mu_;  // Guards the map itself, not the DocStates.
   std::map<std::string, std::shared_ptr<DocState>, std::less<>> docs_;
 
+  // Durable state (unused when options_.durable_dir is empty). Lock order:
+  // DocState::mu → docs_mu_ → wal_mu_.
+  IoEnv* env_ = nullptr;
+  mutable std::mutex wal_mu_;  // Guards the writer, segment seq and lsn.
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t wal_seq_ = 0;   ///< Seq of the segment wal_ appends to.
+  uint64_t next_lsn_ = 1;  ///< Next lsn to assign.
+  std::atomic<bool> read_only_{false};
+  std::atomic<bool> checkpointing_{false};
+  std::thread flusher_;
+  std::condition_variable flusher_cv_;  // Paired with wal_mu_.
+  bool flusher_stop_ = false;           // Guarded by wal_mu_.
+
   std::atomic<int64_t> batches_{0};
   std::atomic<int64_t> mutations_{0};
   std::atomic<int64_t> rejected_batches_{0};
@@ -244,6 +362,11 @@ class DocumentStore {
   std::atomic<int64_t> views_clean_{0};
   std::atomic<int64_t> compactions_{0};
   std::atomic<int64_t> nodes_reclaimed_{0};
+  std::atomic<int64_t> wal_appends_{0};
+  std::atomic<int64_t> wal_bytes_{0};
+  std::atomic<int64_t> checkpoints_{0};
+  std::atomic<int64_t> recoveries_{0};
+  std::atomic<int64_t> torn_records_dropped_{0};
 };
 
 }  // namespace pxv

@@ -1,0 +1,365 @@
+#include "serve/io_env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pxv {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Error(what + " " + path + ": " + std::strerror(errno));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    const char* p = data.data();
+    size_t n = data.size();
+    while (n > 0) {
+      const ssize_t w = ::write(fd_, p, n);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return Errno("write", path_);
+      }
+      p += w;
+      n -= static_cast<size_t>(w);
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    return ::fsync(fd_) == 0 ? Status::Ok() : Errno("fsync", path_);
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::Ok();
+    const int rc = ::close(fd_);
+    fd_ = -1;
+    return rc == 0 ? Status::Ok() : Errno("close", path_);
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class RealIoEnv : public IoEnv {
+ public:
+  StatusOr<std::unique_ptr<WritableFile>> OpenForAppend(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) return Errno("open", path);
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(fd, path));
+  }
+
+  StatusOr<std::string> ReadFile(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Errno("open", path);
+    std::string out;
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t r = ::read(fd, buf, sizeof(buf));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        const Status s = Errno("read", path);
+        ::close(fd);
+        return s;
+      }
+      if (r == 0) break;
+      out.append(buf, static_cast<size_t>(r));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    return ::rename(from.c_str(), to.c_str()) == 0 ? Status::Ok()
+                                                   : Errno("rename", from);
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    return ::unlink(path.c_str()) == 0 ? Status::Ok() : Errno("unlink", path);
+  }
+
+  Status CreateDir(const std::string& dir) override {
+    if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::Ok();
+    return Errno("mkdir", dir);
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return Errno("open dir", dir);
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    return rc == 0 ? Status::Ok() : Errno("fsync dir", dir);
+  }
+
+  Status SyncFile(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Errno("open", path);
+    const int rc = ::fdatasync(fd);
+    ::close(fd);
+    return rc == 0 ? Status::Ok() : Errno("fdatasync", path);
+  }
+
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return Errno("opendir", dir);
+    std::vector<std::string> names;
+    while (struct dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name != "." && name != "..") names.push_back(name);
+    }
+    ::closedir(d);
+    return names;
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+};
+
+Status DeadEnvError() {
+  return Status::Error("injected fault: environment is dead");
+}
+
+}  // namespace
+
+IoEnv* IoEnv::Real() {
+  static RealIoEnv env;
+  return &env;
+}
+
+// ------------------------------------------------------- fault injection ----
+
+namespace {
+
+// Flips the low bit of one deterministic byte — enough to break the CRC
+// while keeping the record length plausible (the harder corruption to
+// detect than a torn tail).
+void CorruptOneByte(std::string* data) {
+  if (data->empty()) return;
+  (*data)[data->size() / 2] ^= 0x01;
+}
+
+}  // namespace
+
+class FaultingWritableFile : public WritableFile {
+ public:
+  FaultingWritableFile(FaultInjectingIoEnv* env, std::string path,
+                       std::unique_ptr<WritableFile> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override {
+    std::string payload(data);
+    {
+      std::lock_guard<std::mutex> lock(env_->mu_);
+      if (env_->Dead()) return DeadEnvError();
+      if (env_->NextOpFaults()) {
+        switch (env_->plan_.mode) {
+          case FaultPlan::Mode::kFail:
+            return Status::Error("injected fault: append failed");
+          case FaultPlan::Mode::kShortWrite: {
+            // Half the bytes reach the file, then the op errors — a torn
+            // record for recovery to drop.
+            payload.resize(payload.size() / 2);
+            const Status s = base_->Append(payload);
+            env_->appended_bytes_[path_] +=
+                s.ok() ? static_cast<int64_t>(payload.size()) : 0;
+            return Status::Error("injected fault: short write");
+          }
+          case FaultPlan::Mode::kCorrupt:
+            CorruptOneByte(&payload);
+            break;  // Falls through to a "successful" corrupted write.
+        }
+      }
+      const Status s = base_->Append(payload);
+      if (s.ok()) {
+        env_->appended_bytes_[path_] += static_cast<int64_t>(payload.size());
+      }
+      return s;
+    }
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (env_->Dead()) return DeadEnvError();
+    if (env_->NextOpFaults() && env_->plan_.mode != FaultPlan::Mode::kCorrupt) {
+      return Status::Error("injected fault: fsync failed");
+    }
+    const Status s = base_->Sync();
+    if (s.ok()) env_->synced_bytes_[path_] = env_->appended_bytes_[path_];
+    return s;
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectingIoEnv* env_;
+  std::string path_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+FaultInjectingIoEnv::FaultInjectingIoEnv(IoEnv* base, FaultPlan plan)
+    : base_(base), plan_(plan) {}
+
+FaultInjectingIoEnv::~FaultInjectingIoEnv() = default;
+
+bool FaultInjectingIoEnv::Dead() const {
+  return fired_ && plan_.crash && plan_.mode != FaultPlan::Mode::kCorrupt;
+}
+
+bool FaultInjectingIoEnv::NextOpFaults() {
+  const bool fires = ops_ == plan_.fail_at;
+  ++ops_;
+  if (fires) fired_ = true;
+  return fires;
+}
+
+StatusOr<std::unique_ptr<WritableFile>> FaultInjectingIoEnv::OpenForAppend(
+    const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (Dead()) return DeadEnvError();
+    if (NextOpFaults() && plan_.mode != FaultPlan::Mode::kCorrupt) {
+      return Status::Error("injected fault: open failed");
+    }
+    // Track from the file's current length: reopening an existing file
+    // (e.g. recovery appending to a fresh segment after a crash) must not
+    // reset the durable watermark of files from an earlier incarnation.
+    if (appended_bytes_.find(path) == appended_bytes_.end()) {
+      const auto existing = base_->ReadFile(path);
+      const int64_t len =
+          existing.ok() ? static_cast<int64_t>(existing.value().size()) : 0;
+      appended_bytes_[path] = len;
+      synced_bytes_[path] = len;
+    }
+  }
+  auto file = base_->OpenForAppend(path);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<WritableFile>(
+      new FaultingWritableFile(this, path, std::move(file.value())));
+}
+
+StatusOr<std::string> FaultInjectingIoEnv::ReadFile(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (Dead()) return DeadEnvError();
+  }
+  return base_->ReadFile(path);
+}
+
+Status FaultInjectingIoEnv::Rename(const std::string& from,
+                                   const std::string& to) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (Dead()) return DeadEnvError();
+    if (NextOpFaults() && plan_.mode != FaultPlan::Mode::kCorrupt) {
+      return Status::Error("injected fault: rename failed");
+    }
+    // The rename target inherits the source's durability bookkeeping.
+    const auto it = appended_bytes_.find(from);
+    if (it != appended_bytes_.end()) {
+      appended_bytes_[to] = it->second;
+      synced_bytes_[to] = synced_bytes_[from];
+      appended_bytes_.erase(from);
+      synced_bytes_.erase(from);
+    }
+  }
+  return base_->Rename(from, to);
+}
+
+Status FaultInjectingIoEnv::RemoveFile(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (Dead()) return DeadEnvError();
+    if (NextOpFaults() && plan_.mode != FaultPlan::Mode::kCorrupt) {
+      return Status::Error("injected fault: remove failed");
+    }
+    appended_bytes_.erase(path);
+    synced_bytes_.erase(path);
+  }
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectingIoEnv::CreateDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Dead()) return DeadEnvError();
+  if (NextOpFaults() && plan_.mode != FaultPlan::Mode::kCorrupt) {
+    return Status::Error("injected fault: mkdir failed");
+  }
+  return base_->CreateDir(dir);
+}
+
+Status FaultInjectingIoEnv::SyncDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Dead()) return DeadEnvError();
+  if (NextOpFaults() && plan_.mode != FaultPlan::Mode::kCorrupt) {
+    return Status::Error("injected fault: dir fsync failed");
+  }
+  return base_->SyncDir(dir);
+}
+
+Status FaultInjectingIoEnv::SyncFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Dead()) return DeadEnvError();
+  if (NextOpFaults() && plan_.mode != FaultPlan::Mode::kCorrupt) {
+    return Status::Error("injected fault: fsync failed");
+  }
+  const Status s = base_->SyncFile(path);
+  if (s.ok()) {
+    // Everything appended through this env so far is now durable.
+    const auto it = appended_bytes_.find(path);
+    if (it != appended_bytes_.end()) synced_bytes_[path] = it->second;
+  }
+  return s;
+}
+
+StatusOr<std::vector<std::string>> FaultInjectingIoEnv::ListDir(
+    const std::string& dir) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (Dead()) return DeadEnvError();
+  }
+  return base_->ListDir(dir);
+}
+
+bool FaultInjectingIoEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+int64_t FaultInjectingIoEnv::ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+bool FaultInjectingIoEnv::fault_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+Status FaultInjectingIoEnv::SimulateCrash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [path, synced] : synced_bytes_) {
+    if (!base_->FileExists(path)) continue;
+    if (::truncate(path.c_str(), static_cast<off_t>(synced)) != 0) {
+      return Status::Error("truncate " + path + ": " + std::strerror(errno));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace pxv

@@ -1,0 +1,149 @@
+// The durability stack's I/O seam: a minimal VFS (open/append/fsync/
+// rename/read/list) that serve/wal and serve/checkpoint route every byte
+// through. Two implementations:
+//
+//   * RealIoEnv  — POSIX files, the production path (IoEnv::Real()).
+//   * FaultInjectingIoEnv — wraps another env and fires one planned fault
+//     at the Nth mutating I/O operation: fail it (and every later op — a
+//     dead process), short-write it, or silently corrupt one byte. It also
+//     tracks, per appended file, how many bytes were covered by a
+//     successful Sync, so SimulateCrash() can model a machine crash by
+//     truncating files to their synced watermark — the worst legal outcome
+//     of losing the page cache.
+//
+// The crash-matrix test in tests/durability_test.cc iterates the fault
+// point over every I/O operation a workload performs and asserts
+// DocumentStore::Open recovers a state bit-identical to a never-crashed
+// twin at some acknowledged prefix.
+
+#ifndef PXV_SERVE_IO_ENV_H_
+#define PXV_SERVE_IO_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pxv {
+
+/// An append-only file handle. Append/Sync may fail; Close implies nothing
+/// about durability (call Sync first if the bytes must survive).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+class IoEnv {
+ public:
+  virtual ~IoEnv() = default;
+
+  /// Opens `path` for appending, creating it when absent.
+  virtual StatusOr<std::unique_ptr<WritableFile>> OpenForAppend(
+      const std::string& path) = 0;
+
+  /// Reads the whole file.
+  virtual StatusOr<std::string> ReadFile(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Creates `dir` (ok when it already exists).
+  virtual Status CreateDir(const std::string& dir) = 0;
+
+  /// Fsyncs the directory itself (making renames/creates durable).
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  /// Fsyncs `path` through an independent descriptor, making every byte
+  /// already written to the file durable without touching any append
+  /// handle — safe to call concurrently with appends to the same file.
+  /// This is the background group-commit flusher's primitive.
+  virtual Status SyncFile(const std::string& path) = 0;
+
+  /// Plain file names (not paths) inside `dir`.
+  virtual StatusOr<std::vector<std::string>> ListDir(
+      const std::string& dir) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// The process-wide POSIX environment.
+  static IoEnv* Real();
+};
+
+/// One planned fault.
+struct FaultPlan {
+  enum class Mode {
+    kFail,        ///< The chosen op returns an error.
+    kShortWrite,  ///< An Append writes only a prefix, then errors.
+    kCorrupt,     ///< An Append flips one byte and SUCCEEDS (silent bit rot).
+  };
+  /// 0-based index (in FaultInjectingIoEnv's op counter) of the operation
+  /// the fault fires at; -1 = never.
+  int64_t fail_at = -1;
+  Mode mode = Mode::kFail;
+  /// When true (a crashed process), every operation after the fault fails
+  /// too. kCorrupt ignores this — bit rot doesn't stop the process.
+  bool crash = true;
+};
+
+class FaultInjectingIoEnv : public IoEnv {
+ public:
+  explicit FaultInjectingIoEnv(IoEnv* base, FaultPlan plan = {});
+  ~FaultInjectingIoEnv() override;
+
+  StatusOr<std::unique_ptr<WritableFile>> OpenForAppend(
+      const std::string& path) override;
+  StatusOr<std::string> ReadFile(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status CreateDir(const std::string& dir) override;
+  Status SyncDir(const std::string& dir) override;
+  Status SyncFile(const std::string& path) override;
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override;
+  bool FileExists(const std::string& path) override;
+
+  /// Mutating operations observed so far (the fault-point coordinate
+  /// space). Reads and existence checks are not counted — they cannot lose
+  /// data.
+  int64_t ops() const;
+
+  /// True once the planned fault has fired.
+  bool fault_fired() const;
+
+  /// Models the machine dying: truncates every file this env appended to
+  /// down to its last successfully Sync'd length (unsynced page-cache
+  /// bytes are the first casualty of a crash; keeping none of them is the
+  /// deterministic worst case). Files never appended through this env are
+  /// left alone. Call after abandoning the store that owned the files.
+  Status SimulateCrash();
+
+ private:
+  friend class FaultingWritableFile;
+
+  // Returns true when the op at the current counter should fault; advances
+  // the counter.
+  bool NextOpFaults();
+  bool Dead() const;
+
+  IoEnv* base_;
+  FaultPlan plan_;
+  mutable std::mutex mu_;
+  int64_t ops_ = 0;
+  bool fired_ = false;
+  // Per appended path: bytes known durable (covered by a successful Sync).
+  std::map<std::string, int64_t> synced_bytes_;
+  std::map<std::string, int64_t> appended_bytes_;
+};
+
+}  // namespace pxv
+
+#endif  // PXV_SERVE_IO_ENV_H_

@@ -1,0 +1,222 @@
+#include "serve/wal.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/codec.h"
+#include "util/crc32c.h"
+
+namespace pxv {
+
+namespace {
+constexpr size_t kFrameHeader = 8;  // u32 len + u32 masked crc.
+}  // namespace
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways: return "always";
+    case FsyncPolicy::kBatch: return "batch";
+    case FsyncPolicy::kNone: return "none";
+  }
+  return "?";
+}
+
+const char* WalRecordKindName(WalRecordKind kind) {
+  switch (kind) {
+    case WalRecordKind::kPut: return "put";
+    case WalRecordKind::kApply: return "apply";
+    case WalRecordKind::kDrop: return "drop";
+    case WalRecordKind::kCompact: return "compact";
+  }
+  return "?";
+}
+
+void EncodeWalRecordTo(const WalRecord& record, std::string* out) {
+  const size_t frame_start = out->size();
+  // Header written after the payload, once its length and CRC are known.
+  out->append(kFrameHeader, '\0');
+  PutU8(out, static_cast<uint8_t>(record.kind));
+  PutU64(out, record.lsn);
+  PutBytes(out, record.doc);
+  out->append(record.body);
+  const std::string_view payload(out->data() + frame_start + kFrameHeader,
+                                 out->size() - frame_start - kFrameHeader);
+  std::string header;
+  header.reserve(kFrameHeader);
+  PutU32(&header, static_cast<uint32_t>(payload.size()));
+  PutU32(&header, Crc32cMask(Crc32c(payload)));
+  out->replace(frame_start, kFrameHeader, header);
+}
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  std::string frame;
+  EncodeWalRecordTo(record, &frame);
+  return frame;
+}
+
+WalReadResult DecodeWalSegment(std::string_view bytes) {
+  WalReadResult out;
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    // Torn header / torn payload / bad CRC / undecodable payload all end
+    // the valid prefix here.
+    if (bytes.size() - pos < kFrameHeader) break;
+    ByteReader header(bytes.substr(pos, kFrameHeader));
+    const uint32_t len = header.GetU32();
+    const uint32_t masked_crc = header.GetU32();
+    if (bytes.size() - pos - kFrameHeader < len) break;
+    const std::string_view payload = bytes.substr(pos + kFrameHeader, len);
+    if (Crc32c(payload) != Crc32cUnmask(masked_crc)) break;
+    ByteReader in(payload);
+    WalRecord record;
+    const uint8_t kind = in.GetU8();
+    record.lsn = in.GetU64();
+    record.doc = std::string(in.GetBytes());
+    if (!in.ok() || kind < static_cast<uint8_t>(WalRecordKind::kPut) ||
+        kind > static_cast<uint8_t>(WalRecordKind::kCompact)) {
+      break;
+    }
+    record.kind = static_cast<WalRecordKind>(kind);
+    record.body = std::string(payload.substr(payload.size() - in.remaining()));
+    record.offset = pos;
+    out.records.push_back(std::move(record));
+    pos += kFrameHeader + len;
+  }
+  out.valid_bytes = pos;
+  out.torn_tail_dropped = pos < bytes.size() ? 1 : 0;
+  return out;
+}
+
+StatusOr<WalReadResult> ReadWalSegment(IoEnv* env, const std::string& path) {
+  auto bytes = env->ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  return DecodeWalSegment(*bytes);
+}
+
+StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(IoEnv* env,
+                                                     const std::string& path,
+                                                     FsyncPolicy policy,
+                                                     int sync_every) {
+  auto file = env->OpenForAppend(path);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(std::move(file.value()), policy, sync_every));
+}
+
+namespace {
+// Group-commit buffer cap: once the pending frames exceed this, they are
+// written (without fsync) even under kBatch/kNone so memory stays bounded
+// and the page cache can start its own writeback.
+constexpr size_t kFlushCapBytes = 64u << 10;
+}  // namespace
+
+Status WalWriter::Flush() {
+  if (poisoned_) {
+    return Status::Error("WAL writer poisoned by an earlier I/O error");
+  }
+  if (buffer_.empty()) return Status::Ok();
+  if (Status s = file_->Append(buffer_); !s.ok()) {
+    // The segment may now hold a torn frame; nothing may be appended after
+    // it (recovery drops the tail, and bytes past a torn frame would be
+    // unreachable garbage at best).
+    poisoned_ = true;
+    return s;
+  }
+  buffer_.clear();
+  return Status::Ok();
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  if (poisoned_) {
+    return Status::Error("WAL writer poisoned by an earlier I/O error");
+  }
+  const size_t before = buffer_.size();
+  EncodeWalRecordTo(record, &buffer_);
+  appended_bytes_ += static_cast<int64_t>(buffer_.size() - before);
+  ++appended_records_;
+  switch (policy_) {
+    case FsyncPolicy::kAlways:
+      return Sync();
+    case FsyncPolicy::kBatch:
+      if (unsynced_records() >= sync_every_) return Sync();
+      break;
+    case FsyncPolicy::kNone:
+      break;
+  }
+  if (buffer_.size() >= kFlushCapBytes) return Flush();
+  return Status::Ok();
+}
+
+Status WalWriter::Sync() {
+  if (poisoned_) {
+    return Status::Error("WAL writer poisoned by an earlier I/O error");
+  }
+  if (Status s = Flush(); !s.ok()) return s;
+  if (Status s = file_->Sync(); !s.ok()) {
+    poisoned_ = true;
+    return s;
+  }
+  synced_records_ = appended_records_;
+  return Status::Ok();
+}
+
+void WalWriter::NoteSynced(int64_t upto_records) {
+  synced_records_ = std::max(synced_records_,
+                             std::min(upto_records, appended_records_));
+}
+
+Status WalWriter::Close() {
+  if (file_ == nullptr) return Status::Ok();
+  Status flush = poisoned_ ? Status::Ok() : Flush();
+  Status sync = poisoned_ || policy_ == FsyncPolicy::kNone
+                    ? Status::Ok()
+                    : file_->Sync();
+  Status close = file_->Close();
+  file_ = nullptr;
+  if (!flush.ok()) return flush;
+  return sync.ok() ? close : sync;
+}
+
+std::string WalSegmentFileName(uint64_t seq) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "wal-%012" PRIu64 ".log", seq);
+  return buf;
+}
+
+std::string CheckpointFileName(uint64_t seq) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "ckpt-%012" PRIu64, seq);
+  return buf;
+}
+
+namespace {
+
+bool ParseSeqName(const std::string& name, const char* prefix,
+                  const char* suffix, uint64_t* seq) {
+  const size_t plen = std::char_traits<char>::length(prefix);
+  const size_t slen = std::char_traits<char>::length(suffix);
+  if (name.size() <= plen + slen || name.compare(0, plen, prefix) != 0 ||
+      name.compare(name.size() - slen, slen, suffix) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = plen; i < name.size() - slen; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *seq = value;
+  return true;
+}
+
+}  // namespace
+
+bool ParseWalSegmentFileName(const std::string& name, uint64_t* seq) {
+  return ParseSeqName(name, "wal-", ".log", seq);
+}
+
+bool ParseCheckpointFileName(const std::string& name, uint64_t* seq) {
+  return ParseSeqName(name, "ckpt-", "", seq);
+}
+
+}  // namespace pxv

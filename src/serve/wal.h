@@ -1,0 +1,172 @@
+// Write-ahead log for the DocumentStore (serve/document_store.h).
+//
+// The WAL is a sequence of length-prefixed, CRC32C-framed records, one per
+// logical store write:
+//
+//   frame:   u32 payload_len | u32 masked crc32c(payload) | payload
+//   payload: u8 kind | u64 lsn | u32 name_len | name | body
+//
+//   kPut     body = PDocument::SerializeTo image (full document)
+//   kApply   body = encoded DocMutation batch (EncodeMutationBatch)
+//   kDrop    body = empty
+//   kCompact body = empty (a *forced* compaction; threshold compactions
+//            replay deterministically from the batches themselves)
+//
+// MutationBatch is the natural WAL record (transactional, one uid per
+// batch — see ROADMAP): a record is appended only after the batch has been
+// staged and validated, so the log never contains a rolled-back batch.
+// Records carry a store-wide log sequence number (lsn); checkpoints store
+// each document's last applied lsn, and recovery replays only records
+// beyond it, which makes replay exact even when a crash interleaves
+// checkpointing with concurrent appends.
+//
+// The log lives in numbered segments (wal-<seq>.log). Appends go only to
+// the newest segment; a checkpoint rotates to a fresh one and deletes the
+// older segments once the checkpoint file is durable. Reading stops at the
+// first torn or corrupt frame of a segment: a trailing partial frame is
+// the expected signature of a crash mid-append and is dropped without
+// touching any earlier record.
+//
+// Fsync policy (DocumentStoreOptions::fsync):
+//   kAlways — write + fsync after every record: an acknowledged batch
+//             survives any crash.
+//   kBatch  — group commit: frames accumulate in a user-space buffer and
+//             hit the kernel (one write + one fsync) every sync_every
+//             records and at rotation/close. The write path costs a
+//             memcpy; the loss window is the documented one — up to
+//             sync_every acknowledged records on a process OR machine
+//             crash (under kBatch an ack never promised durability, so
+//             buffering in user space instead of the page cache does not
+//             change the contract, only the latency).
+//   kNone   — never fsync: frames buffer in user space and are written
+//             once the buffer fills or the segment closes; crash loss is
+//             unbounded, replay still recovers a consistent prefix.
+
+#ifndef PXV_SERVE_WAL_H_
+#define PXV_SERVE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/io_env.h"
+#include "util/status.h"
+
+namespace pxv {
+
+enum class FsyncPolicy { kAlways, kBatch, kNone };
+
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+enum class WalRecordKind : uint8_t {
+  kPut = 1,
+  kApply = 2,
+  kDrop = 3,
+  kCompact = 4,
+};
+
+const char* WalRecordKindName(WalRecordKind kind);
+
+struct WalRecord {
+  WalRecordKind kind = WalRecordKind::kApply;
+  uint64_t lsn = 0;
+  std::string doc;      ///< Document name the record targets.
+  std::string body;     ///< Kind-specific bytes (see header comment).
+  uint64_t offset = 0;  ///< Filled by ReadWalSegment: frame start offset.
+};
+
+/// Encodes one record as a complete frame (length + masked CRC + payload).
+std::string EncodeWalRecord(const WalRecord& record);
+
+/// Appends the frame to `out` in place — the write path's allocation-free
+/// variant (frames go straight into the group-commit buffer).
+void EncodeWalRecordTo(const WalRecord& record, std::string* out);
+
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  /// Bytes of the segment covered by valid frames (offset of the first
+  /// torn/corrupt frame, or the file size when the segment is clean).
+  uint64_t valid_bytes = 0;
+  /// 1 when reading stopped at a torn or corrupt frame (everything from
+  /// `valid_bytes` on was dropped), else 0.
+  int torn_tail_dropped = 0;
+};
+
+/// Decodes a whole segment image. Never fails: malformed input just ends
+/// the valid prefix.
+WalReadResult DecodeWalSegment(std::string_view bytes);
+
+/// Reads + decodes one segment file.
+StatusOr<WalReadResult> ReadWalSegment(IoEnv* env, const std::string& path);
+
+/// Append handle over the newest segment.
+class WalWriter {
+ public:
+  /// Opens `path` for appending. `sync_every` gates kBatch amortization.
+  static StatusOr<std::unique_ptr<WalWriter>> Open(IoEnv* env,
+                                                   const std::string& path,
+                                                   FsyncPolicy policy,
+                                                   int sync_every);
+
+  /// Appends one record frame; writes/fsyncs per policy (group commit —
+  /// see the header comment). On error the writer is poisoned (every
+  /// later Append fails) — the store reacts by entering read-only mode.
+  Status Append(const WalRecord& record);
+
+  /// Flushes the buffer and fsyncs everything appended so far (the
+  /// checkpoint barrier).
+  Status Sync();
+
+  /// Writes the buffered frames to the file without fsyncing. Poison on
+  /// error. The background flusher calls this (under the store's WAL
+  /// lock) before fsyncing the segment through an independent descriptor
+  /// (IoEnv::SyncFile).
+  Status Flush();
+
+  /// Credits a background fsync: the first `upto_records` appended
+  /// records are durable (their frames were flushed to the file before
+  /// the fsync started), which defers the inline kBatch sync_every
+  /// barrier accordingly.
+  void NoteSynced(int64_t upto_records);
+
+  /// Sync + close. The destructor closes without syncing.
+  Status Close();
+
+  int64_t appended_bytes() const { return appended_bytes_; }
+  int64_t appended_records() const { return appended_records_; }
+  /// Records appended but not yet covered by a successful fsync.
+  int64_t unsynced_records() const {
+    return appended_records_ - synced_records_;
+  }
+
+ private:
+  WalWriter(std::unique_ptr<WritableFile> file, FsyncPolicy policy,
+            int sync_every)
+      : file_(std::move(file)), policy_(policy), sync_every_(sync_every) {}
+
+  std::unique_ptr<WritableFile> file_;
+  FsyncPolicy policy_;
+  int sync_every_;
+  int64_t synced_records_ = 0;
+  int64_t appended_bytes_ = 0;
+  int64_t appended_records_ = 0;
+  bool poisoned_ = false;
+  std::string buffer_;  ///< Complete frames not yet written to the file.
+};
+
+// ---------------------------------------------------- directory layout ----
+
+/// "wal-<seq>.log" / "ckpt-<seq>" names inside a durable directory.
+std::string WalSegmentFileName(uint64_t seq);
+std::string CheckpointFileName(uint64_t seq);
+
+/// Parses a durable-directory file name; returns true and fills `seq` when
+/// `name` is a WAL segment / checkpoint respectively.
+bool ParseWalSegmentFileName(const std::string& name, uint64_t* seq);
+bool ParseCheckpointFileName(const std::string& name, uint64_t* seq);
+
+}  // namespace pxv
+
+#endif  // PXV_SERVE_WAL_H_

@@ -1,0 +1,132 @@
+// Little-endian byte codec shared by the durability stack (pxml arena
+// serialization, serve/wal, serve/checkpoint). Fixed-width fields only —
+// the record framing already carries explicit lengths, so varints would buy
+// bytes at the price of a second torn-input failure mode.
+//
+// Reads are bounds-checked and never trust the input: a ByteReader that
+// runs past its buffer latches an error instead of reading garbage, which
+// is what lets WAL/checkpoint decoding treat *any* malformed byte stream
+// (torn tail, bit rot, hostile file) as a clean "corrupt record" outcome.
+
+#ifndef PXV_UTIL_CODEC_H_
+#define PXV_UTIL_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace pxv {
+
+inline void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v);
+  buf[1] = static_cast<char>(v >> 8);
+  buf[2] = static_cast<char>(v >> 16);
+  buf[3] = static_cast<char>(v >> 24);
+  out->append(buf, 4);
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+inline void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+inline void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+/// Bit-exact double transport: the recovered document must reproduce every
+/// probability to the bit, so doubles travel as their IEEE-754 image, never
+/// through text formatting.
+inline void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+inline void PutBytes(std::string* out, std::string_view bytes) {
+  PutU32(out, static_cast<uint32_t>(bytes.size()));
+  out->append(bytes.data(), bytes.size());
+}
+
+/// Bounds-checked cursor over an untrusted byte buffer. Every Get* returns
+/// a defined value (0 / empty) once the reader has failed; callers check
+/// ok() once at the end of a decode instead of after every field.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+  uint8_t GetU8() {
+    if (!Need(1)) return 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  uint32_t GetU32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) | static_cast<uint8_t>(data_[pos_ + i]);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  uint64_t GetU64() {
+    const uint64_t lo = GetU32();
+    const uint64_t hi = GetU32();
+    return lo | (hi << 32);
+  }
+
+  int32_t GetI32() { return static_cast<int32_t>(GetU32()); }
+  int64_t GetI64() { return static_cast<int64_t>(GetU64()); }
+
+  double GetF64() {
+    const uint64_t bits = GetU64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string_view GetBytes() {
+    const uint32_t len = GetU32();
+    if (!Need(len)) return {};
+    const std::string_view out = data_.substr(pos_, len);
+    pos_ += len;
+    return out;
+  }
+
+  /// Latches the error state (decode helpers use it for semantic checks —
+  /// out-of-range ids, bad kinds — so one ok() check covers everything).
+  void Fail() { ok_ = false; }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace pxv
+
+#endif  // PXV_UTIL_CODEC_H_

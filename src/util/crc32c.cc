@@ -1,0 +1,73 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace pxv {
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // Castagnoli, reflected.
+
+struct Tables {
+  // t[k][b]: CRC contribution of byte b at distance k from the tail —
+  // slice-by-8 folds 8 input bytes per iteration through 8 tables.
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  Tables() {
+    for (uint32_t b = 0; b < 256; ++b) {
+      uint32_t crc = b;
+      for (int i = 0; i < 8; ++i) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][b] = crc;
+    }
+    for (int k = 1; k < 8; ++k) {
+      for (uint32_t b = 0; b < 256; ++b) {
+        const uint32_t prev = t[k - 1][b];
+        t[k][b] = (prev >> 8) ^ t[0][prev & 0xFF];
+      }
+    }
+  }
+};
+
+const Tables& T() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(std::string_view data, uint32_t seed) {
+  const auto& t = T().t;
+  uint32_t crc = ~seed;
+  const char* p = data.data();
+  size_t n = data.size();
+  while (n >= 8) {
+    // Fold the current CRC into the first 4 bytes, then look all 8 bytes up
+    // in the distance tables at once.
+    const uint32_t lo = crc ^ (static_cast<uint8_t>(p[0]) |
+                               static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+                               static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+                               static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24);
+    crc = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^ t[5][(lo >> 16) & 0xFF] ^
+          t[4][lo >> 24] ^ t[3][static_cast<uint8_t>(p[4])] ^
+          t[2][static_cast<uint8_t>(p[5])] ^ t[1][static_cast<uint8_t>(p[6])] ^
+          t[0][static_cast<uint8_t>(p[7])];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ static_cast<uint8_t>(*p++)) & 0xFF];
+  }
+  return ~crc;
+}
+
+uint32_t Crc32cMask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xA282EAD8u;
+}
+
+uint32_t Crc32cUnmask(uint32_t masked) {
+  const uint32_t rot = masked - 0xA282EAD8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace pxv

@@ -5,6 +5,7 @@
 #include "serve/document_store.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -347,6 +348,176 @@ TEST(DocumentStoreTest, IncrementalSessionUsesSubtreeCache) {
   EXPECT_GT(warm.hits, cold.hits);  // Delta run served subtrees from memo.
   // The delta recomputed far fewer regions than the cold run stored.
   EXPECT_LT(warm.stores - cold.stores, cold.stores / 4);
+}
+
+// ----------------------------------------------------- durable stores ----
+// TSan-facing coverage: checkpointing and recovery share process-global
+// state with serving stores (the label interner, the version-stamp
+// counter) and per-store state with readers (snapshots, the WAL mutex).
+
+std::string DurableTestDir(const std::string& name) {
+  const std::string dir =
+      testing::TempDir() + "/pxv_docstore_durable_" + name;
+  std::system(("rm -rf " + dir).c_str());
+  return dir;
+}
+
+DocumentStoreOptions Durable(const std::string& dir) {
+  DocumentStoreOptions options;
+  options.durable_dir = dir;
+  options.fsync = FsyncPolicy::kBatch;
+  options.sync_every_records = 4;
+  options.checkpoint_after_wal_bytes = 0;
+  return options;
+}
+
+// Mux name alternatives: edge probabilities that are free to move
+// anywhere below their initial value (the mux budget only gains slack).
+std::vector<std::pair<PersistentId, double>> MuxAlternatives(
+    const PDocument& doc) {
+  std::vector<std::pair<PersistentId, double>> out;
+  for (NodeId n = 0; n < doc.size(); ++n) {
+    if (!doc.ordinary(n) || doc.detached(n)) continue;
+    const NodeId parent = doc.parent(n);
+    if (parent != kNullNode && !doc.ordinary(parent) &&
+        doc.kind(parent) == PKind::kMux) {
+      out.push_back({doc.pid(n), doc.edge_prob(n)});
+    }
+  }
+  return out;
+}
+
+TEST(DocumentStoreTest, ReadersKeepAnsweringDuringCheckpoints) {
+  const std::string dir = DurableTestDir("ckpt_readers");
+  ViewServer server;
+  RegisterPersonnelViews(&server);
+  auto store = DocumentStore::Open(&server, Durable(dir));
+  ASSERT_TRUE(store.ok()) << store.status().message();
+  ASSERT_TRUE((*store)->Put("docs", PersonnelDoc(8)).ok());
+  const auto alternatives = MuxAlternatives(*(*store)->Find("docs"));
+  ASSERT_GE(alternatives.size(), 4u);
+
+  std::atomic<int> answered{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      const Pattern q = Tp("IT-personnel//person/bonus");
+      for (int i = 0; i < 300; ++i) {
+        if ((*store)->Answer("docs", q).has_value()) {
+          answered.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // A dedicated checkpointer overlapping the writer: Checkpoint() must
+  // rotate the WAL and serialize documents while Apply commits and
+  // readers resolve snapshots. The CAS guard turns self-overlap into a
+  // no-op; overlap with Apply is the interesting interleaving.
+  std::atomic<bool> stop{false};
+  std::thread checkpointer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      ASSERT_TRUE((*store)->Checkpoint().ok());
+    }
+  });
+  Rng rng(97);
+  for (int i = 0; i < 120; ++i) {
+    const auto& [pid, initial] =
+        alternatives[rng.NextBounded(alternatives.size())];
+    ASSERT_TRUE((*store)
+                    ->Apply("docs", {DocMutation::SetEdgeProb(
+                                        pid, initial * rng.NextDouble())})
+                    .ok());
+    if (i % 10 == 0) {
+      ASSERT_TRUE((*store)->MaterializeIncremental("docs").ok());
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  checkpointer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_GT(answered.load(), 0);
+  EXPECT_GE((*store)->stats().checkpoints, 1);
+
+  // Checkpoints taken mid-stream still recover to exactly the live state.
+  ASSERT_TRUE((*store)->MaterializeIncremental("docs").ok());
+  const Pattern q = Tp("IT-personnel//person[name/Rick]/bonus");
+  const auto live = (*store)->Answer("docs", q);
+  store->reset();
+  ViewServer server2;
+  RegisterPersonnelViews(&server2);
+  auto reopened = DocumentStore::Open(&server2, Durable(dir));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  const auto recovered = (*reopened)->Answer("docs", q);
+  ASSERT_EQ(live.has_value(), recovered.has_value());
+  if (live.has_value()) {
+    ASSERT_EQ(live->size(), recovered->size());
+    for (size_t i = 0; i < live->size(); ++i) {
+      EXPECT_EQ((*live)[i].pid, (*recovered)[i].pid);
+      EXPECT_EQ((*live)[i].prob, (*recovered)[i].prob);
+    }
+  }
+}
+
+TEST(DocumentStoreTest, RecoveryRunsConcurrentlyWithAServingStore) {
+  // Prepare a durable directory, cleanly closed.
+  const std::string dir = DurableTestDir("recover_serving");
+  {
+    ViewServer server;
+    RegisterPersonnelViews(&server);
+    auto store = DocumentStore::Open(&server, Durable(dir));
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("docs", PersonnelDoc(8)).ok());
+    const auto alternatives = MuxAlternatives(*(*store)->Find("docs"));
+    Rng rng(5);
+    for (int i = 0; i < 30; ++i) {
+      const auto& [pid, initial] =
+          alternatives[rng.NextBounded(alternatives.size())];
+      ASSERT_TRUE((*store)
+                      ->Apply("docs", {DocMutation::SetEdgeProb(
+                                          pid, initial * rng.NextDouble())})
+                      .ok());
+    }
+  }
+
+  // A live in-memory store keeps applying (stamping fresh versions,
+  // interning labels) and answering while Open() replays the directory —
+  // recovery's Deserialize bumps the process-global version counter and
+  // resolves the same interner concurrently.
+  ViewServer live_server;
+  RegisterPersonnelViews(&live_server);
+  DocumentStore live(&live_server);
+  ASSERT_TRUE(live.Put("docs", PersonnelDoc(8)).ok());
+  const auto alternatives = MuxAlternatives(*live.Find("docs"));
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Rng rng(6);
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto& [pid, initial] =
+          alternatives[rng.NextBounded(alternatives.size())];
+      ASSERT_TRUE(live.Apply("docs", {DocMutation::SetEdgeProb(
+                                         pid, initial * rng.NextDouble())})
+                      .ok());
+    }
+  });
+  std::thread reader([&] {
+    const Pattern q = Tp("IT-personnel//person/bonus");
+    while (!stop.load(std::memory_order_acquire)) {
+      live.Answer("docs", q);
+    }
+  });
+
+  for (int round = 0; round < 4; ++round) {
+    ViewServer server;
+    RegisterPersonnelViews(&server);
+    auto recovered = DocumentStore::Open(&server, Durable(dir));
+    ASSERT_TRUE(recovered.ok()) << recovered.status().message();
+    EXPECT_NE((*recovered)->Find("docs"), nullptr);
+    EXPECT_TRUE((*recovered)
+                    ->Answer("docs", Tp("IT-personnel//person/bonus"))
+                    .has_value());
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  reader.join();
 }
 
 }  // namespace

@@ -1,0 +1,573 @@
+// Durability suite (ISSUE 8 acceptance): a DocumentStore opened from a
+// durable directory must be bit-identical — same canonical document form,
+// same query answers — to a never-crashed in-memory twin that applied the
+// same acknowledged prefix of the workload. Covered here:
+//
+//   * clean close + reopen round-trips documents and answers exactly;
+//   * checkpoints truncate the WAL and recovery still replays exactly;
+//   * a torn trailing record is dropped without losing any earlier
+//     committed batch;
+//   * the crash matrix: a FaultInjectingIoEnv fires kFail / kShortWrite /
+//     kCorrupt at points swept across every I/O operation the workload
+//     performs, SimulateCrash() models losing the page cache, and the
+//     recovered store is compared against the twin. Under fsync=always an
+//     acknowledged write is a synced write, so kFail/kShortWrite recovery
+//     must equal the twin at EXACTLY the acknowledged batch count; silent
+//     bit rot (kCorrupt) must either fail recovery loudly or recover some
+//     acknowledged prefix — never an altered state.
+//     PXV_CRASH_MATRIX_POINTS overrides the per-mode point count (CI runs
+//     the fuzz job with a couple hundred points under ASan+UBSan).
+//   * read-only degradation: after a WAL I/O failure the store refuses
+//     writes, keeps serving reads, and the failed batch is absent from
+//     both memory and the log (a rolled-back batch is never logged).
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "gen/docgen.h"
+#include "serve/document_store.h"
+#include "serve/io_env.h"
+#include "serve/view_server.h"
+#include "serve/wal.h"
+#include "tp/parser.h"
+#include "util/random.h"
+#include "xml/label.h"
+
+namespace pxv {
+namespace {
+
+std::string TestDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/pxv_durability_" + name;
+  std::system(("rm -rf " + dir).c_str());
+  return dir;
+}
+
+// ------------------------------------------------------- canonical form ----
+// Structure + labels + source pids + exact probabilities; ignores arena
+// node ids and version stamps (replay re-stamps versions from the process
+// counter) — exactly the freedoms recovery is allowed.
+
+void AppendProb(double p, std::string* out) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", p);  // Round-trips doubles.
+  *out += buf;
+}
+
+void CanonNode(const PDocument& d, NodeId n, std::string* out) {
+  if (d.ordinary(n)) {
+    *out += "O(";
+    *out += LabelName(d.label(n));
+    *out += ',';
+    *out += d.pid(n) >= 0 ? std::to_string(d.pid(n)) : std::string("L");
+    *out += ',';
+    AppendProb(d.edge_prob(n), out);
+    *out += ')';
+  } else {
+    *out += PKindName(d.kind(n));
+    *out += '(';
+    AppendProb(d.edge_prob(n), out);
+    if (d.kind(n) == PKind::kExp) {
+      for (const auto& [subset, p] : d.exp_distribution(n)) {
+        *out += ";{";
+        for (int idx : subset) {
+          *out += std::to_string(idx);
+          *out += ' ';
+        }
+        *out += "}=";
+        AppendProb(p, out);
+      }
+    }
+    *out += ')';
+  }
+  *out += '[';
+  for (NodeId c : d.children(n)) CanonNode(d, c, out);
+  *out += ']';
+}
+
+std::string Canon(const PDocument& d) {
+  std::string out;
+  if (!d.empty()) CanonNode(d, d.root(), &out);
+  return out;
+}
+
+// ---------------------------------------------------------- workload ----
+// A deterministic always-valid mutation stream over the personnel
+// document: lower a name alternative's probability below its initial
+// value (the mux budget can only gain slack), insert fresh "extra"
+// subtrees under persons, remove previously inserted ones.
+
+struct Workload {
+  PDocument initial;
+  std::vector<std::vector<DocMutation>> batches;
+};
+
+Workload MakeWorkload(uint64_t seed, int num_batches) {
+  Rng docrng(411);
+  Workload w{PersonnelPDocument(docrng, 10, 0.3, 0.4), {}};
+
+  std::vector<std::pair<PersistentId, double>> alternatives;
+  std::vector<PersistentId> persons;
+  for (NodeId n = 0; n < w.initial.size(); ++n) {
+    if (!w.initial.ordinary(n) || w.initial.detached(n)) continue;
+    if (w.initial.label(n) == Intern("person")) {
+      persons.push_back(w.initial.pid(n));
+    }
+    const NodeId parent = w.initial.parent(n);
+    if (parent != kNullNode && !w.initial.ordinary(parent) &&
+        w.initial.kind(parent) == PKind::kMux) {
+      alternatives.push_back({w.initial.pid(n), w.initial.edge_prob(n)});
+    }
+  }
+
+  Rng rng(seed);
+  PersistentId next_pid = 1000000;
+  std::vector<PersistentId> inserted;
+  for (int b = 0; b < num_batches; ++b) {
+    std::vector<DocMutation> batch;
+    const int ops = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int i = 0; i < ops; ++i) {
+      const uint64_t pick = rng.NextBounded(3);
+      if (pick == 0) {
+        const auto& [pid, initial_prob] =
+            alternatives[rng.NextBounded(alternatives.size())];
+        batch.push_back(
+            DocMutation::SetEdgeProb(pid, initial_prob * rng.NextDouble()));
+      } else if (pick == 1 || inserted.empty()) {
+        PDocument sub;
+        const PersistentId root_pid = next_pid++;
+        const NodeId r = sub.AddRoot(Intern("extra"), root_pid);
+        sub.AddOrdinary(r, Intern("tag"), 1.0, next_pid++);
+        batch.push_back(DocMutation::InsertSubtree(
+            persons[rng.NextBounded(persons.size())], std::move(sub), 1.0));
+        inserted.push_back(root_pid);
+      } else {
+        const size_t idx = rng.NextBounded(inserted.size());
+        batch.push_back(DocMutation::RemoveSubtree(inserted[idx]));
+        inserted.erase(inserted.begin() + idx);
+      }
+    }
+    w.batches.push_back(std::move(batch));
+  }
+  return w;
+}
+
+void RegisterViews(ViewServer* server) {
+  server->AddView("vbonus", Tp("IT-personnel//person/bonus"));
+  server->AddView("vrick", Tp("IT-personnel//person[name/Rick]/bonus"));
+}
+
+std::vector<Pattern> Queries() {
+  return {Tp("IT-personnel//person/bonus"),
+          Tp("IT-personnel//person[name/Rick]/bonus")};
+}
+
+/// Canonical states of a never-crashed in-memory twin. twins[0] is the
+/// state right after Put; twins[k] after batch k. The twin applies the
+/// identical code path (same validation, same threshold compaction), so
+/// equality with a recovered store is a real end-to-end check, not a
+/// serializer identity.
+std::vector<std::string> TwinCanons(const Workload& w) {
+  ViewServer server;
+  RegisterViews(&server);
+  DocumentStore twin(&server);
+  EXPECT_TRUE(twin.Put("docs", w.initial).ok());
+  std::vector<std::string> canons;
+  canons.push_back(Canon(*twin.Find("docs")));
+  for (const auto& batch : w.batches) {
+    EXPECT_TRUE(twin.Apply("docs", batch).ok());
+    canons.push_back(Canon(*twin.Find("docs")));
+  }
+  return canons;
+}
+
+/// Runs the workload against `store`, stopping at the first failure.
+/// Returns the number of acknowledged batches, or -1 when Put itself
+/// failed (so `result + 1` indexes into TwinCanons).
+int RunWorkload(DocumentStore* store, const Workload& w) {
+  if (!store->Put("docs", w.initial).ok()) return -1;
+  int acked = 0;
+  for (const auto& batch : w.batches) {
+    if (!store->Apply("docs", batch).ok()) break;
+    ++acked;
+  }
+  return acked;
+}
+
+DocumentStoreOptions DurableOptions(const std::string& dir,
+                                    FsyncPolicy fsync = FsyncPolicy::kAlways,
+                                    IoEnv* env = nullptr) {
+  DocumentStoreOptions options;
+  options.durable_dir = dir;
+  options.fsync = fsync;
+  options.io_env = env;
+  options.checkpoint_after_wal_bytes = 0;  // Tests trigger explicitly.
+  return options;
+}
+
+// -------------------------------------------------------------- tests ----
+
+TEST(DurabilityTest, ReopenedStoreMatchesInMemoryTwinExactly) {
+  const std::string dir = TestDir("roundtrip");
+  const Workload w = MakeWorkload(7, 20);
+  const std::vector<std::string> twins = TwinCanons(w);
+
+  {
+    ViewServer server;
+    RegisterViews(&server);
+    auto options = DurableOptions(dir, FsyncPolicy::kBatch);
+    options.sync_every_records = 4;
+    auto store = DocumentStore::Open(&server, options);
+    ASSERT_TRUE(store.ok()) << store.status().message();
+    EXPECT_EQ(RunWorkload(store->get(), w), 20);
+    EXPECT_EQ((*store)->stats().wal_appends, 21);  // 1 Put + 20 batches.
+    EXPECT_GT((*store)->stats().wal_bytes, 0);
+  }  // Clean close syncs the tail.
+
+  ViewServer server;
+  RegisterViews(&server);
+  auto reopened = DocumentStore::Open(&server, DurableOptions(dir));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_EQ((*reopened)->stats().recoveries, 1);
+  EXPECT_FALSE((*reopened)->read_only());
+  ASSERT_NE((*reopened)->Find("docs"), nullptr);
+  EXPECT_EQ(Canon(*(*reopened)->Find("docs")), twins.back());
+
+  // Answers, not just state: rebuilds of the materialized views over the
+  // recovered document must serve bit-identical probabilities to the twin
+  // (the PR4 invariant makes from-scratch == incremental, so the twin is
+  // materialized the same way).
+  ViewServer twin_server;
+  RegisterViews(&twin_server);
+  DocumentStore twin(&twin_server);
+  ASSERT_TRUE(twin.Put("docs", w.initial).ok());
+  for (const auto& batch : w.batches) {
+    ASSERT_TRUE(twin.Apply("docs", batch).ok());
+  }
+  ASSERT_TRUE(twin.MaterializeIncremental("docs").ok());
+  const auto got = (*reopened)->AnswerAll("docs", Queries());
+  const auto want = twin.AnswerAll("docs", Queries());
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t q = 0; q < got.size(); ++q) {
+    ASSERT_EQ(got[q].has_value(), want[q].has_value());
+    if (!got[q].has_value()) continue;
+    ASSERT_EQ(got[q]->size(), want[q]->size());
+    for (size_t i = 0; i < got[q]->size(); ++i) {
+      EXPECT_EQ((*got[q])[i].pid, (*want[q])[i].pid);
+      EXPECT_EQ((*got[q])[i].prob, (*want[q])[i].prob);  // Bit-identical.
+    }
+  }
+}
+
+TEST(DurabilityTest, TornTrailingRecordIsDroppedWithoutLosingEarlierBatches) {
+  const std::string dir = TestDir("torn");
+  const Workload w = MakeWorkload(11, 8);
+  const std::vector<std::string> twins = TwinCanons(w);
+
+  {
+    ViewServer server;
+    RegisterViews(&server);
+    auto store = DocumentStore::Open(&server, DurableOptions(dir));
+    ASSERT_TRUE(store.ok());
+    EXPECT_EQ(RunWorkload(store->get(), w), 8);
+  }
+
+  // Cut into the middle of the last frame of the (single) live segment:
+  // the classic torn write a crash leaves behind.
+  const std::string seg = dir + "/" + WalSegmentFileName(1);
+  auto read = ReadWalSegment(IoEnv::Real(), seg);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->records.size(), 9u);  // Put + 8 batches.
+  const uint64_t cut = read->records.back().offset + 5;
+  ASSERT_EQ(::truncate(seg.c_str(), static_cast<off_t>(cut)), 0);
+
+  ViewServer server;
+  RegisterViews(&server);
+  auto reopened = DocumentStore::Open(&server, DurableOptions(dir));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_EQ((*reopened)->stats().torn_records_dropped, 1);
+  ASSERT_NE((*reopened)->Find("docs"), nullptr);
+  // Every batch before the torn one survives; the torn one is gone.
+  EXPECT_EQ(Canon(*(*reopened)->Find("docs")), twins[twins.size() - 2]);
+  // The store is writable again after dropping the torn tail.
+  EXPECT_TRUE((*reopened)->Apply("docs", w.batches.back()).ok());
+}
+
+TEST(DurabilityTest, CheckpointTruncatesWalAndRecoveryStaysExact) {
+  const std::string dir = TestDir("checkpoint");
+  const Workload w = MakeWorkload(13, 20);
+  const std::vector<std::string> twins = TwinCanons(w);
+
+  {
+    ViewServer server;
+    RegisterViews(&server);
+    auto store = DocumentStore::Open(&server, DurableOptions(dir));
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("docs", w.initial).ok());
+    for (int b = 0; b < 10; ++b) {
+      ASSERT_TRUE((*store)->Apply("docs", w.batches[b]).ok());
+    }
+    ASSERT_TRUE((*store)->Checkpoint().ok());
+    EXPECT_EQ((*store)->stats().checkpoints, 1);
+    // The pre-checkpoint segment is gone; only the fresh one remains.
+    auto files = IoEnv::Real()->ListDir(dir);
+    ASSERT_TRUE(files.ok());
+    int segments = 0, ckpts = 0;
+    for (const std::string& f : *files) {
+      uint64_t seq = 0;
+      if (ParseWalSegmentFileName(f, &seq)) {
+        ++segments;
+        EXPECT_EQ(seq, 2u);
+      } else if (ParseCheckpointFileName(f, &seq)) {
+        ++ckpts;
+        EXPECT_EQ(seq, 2u);
+      }
+    }
+    EXPECT_EQ(segments, 1);
+    EXPECT_EQ(ckpts, 1);
+    // Keep writing after the checkpoint: recovery must stitch the
+    // checkpoint image and the WAL tail together via the lsn filter.
+    for (int b = 10; b < 20; ++b) {
+      ASSERT_TRUE((*store)->Apply("docs", w.batches[b]).ok());
+    }
+  }
+
+  ViewServer server;
+  RegisterViews(&server);
+  auto reopened = DocumentStore::Open(&server, DurableOptions(dir));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  ASSERT_NE((*reopened)->Find("docs"), nullptr);
+  EXPECT_EQ(Canon(*(*reopened)->Find("docs")), twins.back());
+}
+
+TEST(DurabilityTest, AutoCheckpointFiresAndRecoveryStaysExact) {
+  const std::string dir = TestDir("autockpt");
+  const Workload w = MakeWorkload(17, 30);
+  const std::vector<std::string> twins = TwinCanons(w);
+
+  {
+    ViewServer server;
+    RegisterViews(&server);
+    auto options = DurableOptions(dir);
+    options.checkpoint_after_wal_bytes = 2048;
+    auto store = DocumentStore::Open(&server, options);
+    ASSERT_TRUE(store.ok());
+    EXPECT_EQ(RunWorkload(store->get(), w), 30);
+    EXPECT_GE((*store)->stats().checkpoints, 1);
+  }
+
+  ViewServer server;
+  RegisterViews(&server);
+  auto reopened = DocumentStore::Open(&server, DurableOptions(dir));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  ASSERT_NE((*reopened)->Find("docs"), nullptr);
+  EXPECT_EQ(Canon(*(*reopened)->Find("docs")), twins.back());
+}
+
+TEST(DurabilityTest, RejectedBatchNamesTheMutationAndNeverReachesTheWal) {
+  const std::string dir = TestDir("rejected");
+  const Workload w = MakeWorkload(19, 2);
+  ViewServer server;
+  RegisterViews(&server);
+  auto store = DocumentStore::Open(&server, DurableOptions(dir));
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(RunWorkload(store->get(), w), 2);
+  const std::string before = Canon(*(*store)->Find("docs"));
+  const int64_t wal_appends = (*store)->stats().wal_appends;
+
+  // Valid first mutation, impossible second: the batch must roll back as
+  // a whole, the error must say WHICH mutation failed, and the WAL must
+  // not contain the rolled-back batch.
+  const auto pid = (*store)->Find("docs")->pid((*store)->Find("docs")->root());
+  const auto status = (*store)->Apply(
+      "docs", {DocMutation::SetEdgeProb(pid, 1.0),
+               DocMutation::RemoveSubtree(999999999)});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.status().message().find("mutation #1"), std::string::npos)
+      << status.status().message();
+  EXPECT_EQ(Canon(*(*store)->Find("docs")), before);
+  EXPECT_EQ((*store)->stats().wal_appends, wal_appends);
+  EXPECT_EQ((*store)->stats().rejected_batches, 1);
+  EXPECT_FALSE((*store)->read_only());
+
+  // And therefore replay never sees it either.
+  ViewServer server2;
+  RegisterViews(&server2);
+  auto reopened = DocumentStore::Open(&server2, DurableOptions(dir));
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(Canon(*(*reopened)->Find("docs")), before);
+}
+
+TEST(DurabilityTest, ReadOnlyDegradationKeepsServingReads) {
+  const std::string dir = TestDir("readonly");
+  const Workload w = MakeWorkload(23, 20);
+  const std::vector<std::string> twins = TwinCanons(w);
+
+  FaultPlan plan;
+  plan.mode = FaultPlan::Mode::kFail;
+  plan.fail_at = 12;  // Mid-workload (CreateDir/open/sync preamble ≈ 4 ops).
+  plan.crash = false;  // The process lives on; only one I/O op fails.
+  FaultInjectingIoEnv env(IoEnv::Real(), plan);
+
+  ViewServer server;
+  RegisterViews(&server);
+  auto store =
+      DocumentStore::Open(&server, DurableOptions(dir, FsyncPolicy::kAlways,
+                                                  &env));
+  ASSERT_TRUE(store.ok()) << store.status().message();
+  const int acked = RunWorkload(store->get(), w);
+  ASSERT_TRUE(env.fault_fired());
+  ASSERT_GE(acked, 1);
+  ASSERT_LT(acked, 20);
+
+  // Degraded: writes fail fast, reads keep serving the acked state.
+  EXPECT_TRUE((*store)->read_only());
+  EXPECT_EQ((*store)->stats().read_only, 1);
+  EXPECT_FALSE((*store)->Apply("docs", w.batches[acked]).ok());
+  EXPECT_FALSE((*store)->Put("other", w.initial).ok());
+  EXPECT_FALSE((*store)->Drop("docs").ok());
+  EXPECT_FALSE((*store)->Compact("docs").ok());
+  EXPECT_EQ(Canon(*(*store)->Find("docs")), twins[acked]);
+  EXPECT_TRUE((*store)->Answer("docs", Queries()[0]).has_value());
+
+  // On disk the failed batch has INDETERMINATE durability — the standard
+  // WAL contract. If the fault hit the append, the frame never reached the
+  // log (or reached it torn, and recovery drops it): reopen serves acked.
+  // If the fault hit the fsync, the full frame is in the OS file and a
+  // process restart (no machine crash) replays it: reopen serves acked+1.
+  // What can never happen is anything else — a validation-rejected batch
+  // never reaches the log at all (see RejectedBatchNamesTheMutation...),
+  // and a machine crash truncates the unsynced frame (see the crash
+  // matrix, which asserts EXACT acked equality under SimulateCrash).
+  store->reset();
+  ViewServer server2;
+  RegisterViews(&server2);
+  auto reopened = DocumentStore::Open(&server2, DurableOptions(dir));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  const std::string canon = Canon(*(*reopened)->Find("docs"));
+  EXPECT_TRUE(canon == twins[acked] || canon == twins[acked + 1])
+      << "reopened state is neither acked nor acked+1";
+}
+
+// ------------------------------------------------------- crash matrix ----
+
+int MatrixPoints() {
+  if (const char* env = std::getenv("PXV_CRASH_MATRIX_POINTS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 16;  // Per mode; CI's fuzz job cranks this into the hundreds.
+}
+
+TEST(DurabilityTest, CrashMatrixRecoversTheExactAcknowledgedPrefix) {
+  const Workload w = MakeWorkload(29, 15);
+  const std::vector<std::string> twins = TwinCanons(w);
+
+  // Calibration: count the I/O ops a fault-free durable run performs so
+  // fault points can sweep the whole space.
+  int64_t total_ops = 0;
+  {
+    const std::string dir = TestDir("crash_calibrate");
+    FaultInjectingIoEnv env(IoEnv::Real());
+    ViewServer server;
+    RegisterViews(&server);
+    auto options = DurableOptions(dir, FsyncPolicy::kAlways, &env);
+    options.checkpoint_after_wal_bytes = 2048;  // Checkpoints in the mix.
+    auto store = DocumentStore::Open(&server, options);
+    ASSERT_TRUE(store.ok());
+    EXPECT_EQ(RunWorkload(store->get(), w), 15);
+    EXPECT_GE((*store)->stats().checkpoints, 1);
+    store->reset();
+    total_ops = env.ops();
+    ASSERT_GT(total_ops, 20);
+  }
+
+  const int points = MatrixPoints();
+  Rng rng(4242);
+  for (const FaultPlan::Mode mode :
+       {FaultPlan::Mode::kFail, FaultPlan::Mode::kShortWrite,
+        FaultPlan::Mode::kCorrupt}) {
+    for (int i = 0; i < points; ++i) {
+      // Always probe the first and last op; sample the rest randomly.
+      const int64_t fail_at = i == 0          ? 0
+                              : i == 1        ? total_ops - 1
+                                              : static_cast<int64_t>(
+                                                    rng.NextBounded(total_ops));
+      SCOPED_TRACE("mode=" + std::to_string(static_cast<int>(mode)) +
+                   " fail_at=" + std::to_string(fail_at));
+      const std::string dir = TestDir("crash_run");
+
+      FaultPlan plan;
+      plan.mode = mode;
+      plan.fail_at = fail_at;
+      plan.crash = mode != FaultPlan::Mode::kCorrupt;
+      FaultInjectingIoEnv env(IoEnv::Real(), plan);
+      int acked = -1;
+      {
+        ViewServer server;
+        RegisterViews(&server);
+        auto options = DurableOptions(dir, FsyncPolicy::kAlways, &env);
+        options.checkpoint_after_wal_bytes = 2048;
+        auto store = DocumentStore::Open(&server, options);
+        if (store.ok()) acked = RunWorkload(store->get(), w);
+        // The store (and its WAL file handles) die here, mid-flight.
+      }
+      ASSERT_TRUE(env.fault_fired());
+      // The machine dies: unsynced page-cache bytes are lost.
+      ASSERT_TRUE(env.SimulateCrash().ok());
+
+      ViewServer server;
+      RegisterViews(&server);
+      auto recovered = DocumentStore::Open(&server, DurableOptions(dir));
+
+      if (mode == FaultPlan::Mode::kCorrupt) {
+        // Silent bit rot: recovery may fail loudly (CRC, segment gap,
+        // replay mismatch) but must NEVER serve an altered state — any
+        // recovered state has to be an acknowledged prefix of the twin.
+        if (!recovered.ok()) continue;
+        const PDocument* doc = (*recovered)->Find("docs");
+        if (doc == nullptr) continue;  // Lost the Put: the empty prefix.
+        const std::string canon = Canon(*doc);
+        bool is_prefix = false;
+        for (int k = 0; k <= acked && !is_prefix; ++k) {
+          is_prefix = canon == twins[k];
+        }
+        EXPECT_TRUE(is_prefix) << "recovered state matches no twin prefix";
+        continue;
+      }
+
+      // kFail / kShortWrite under fsync=always: an acknowledgement means
+      // append + fsync both succeeded, and SimulateCrash keeps nothing
+      // unsynced — so recovery must land on EXACTLY the acked state.
+      ASSERT_TRUE(recovered.ok()) << recovered.status().message();
+      EXPECT_EQ((*recovered)->stats().recoveries, 1);
+      if (acked < 0) {
+        EXPECT_EQ((*recovered)->Find("docs"), nullptr)
+            << "an unacknowledged Put must not survive the crash";
+      } else {
+        ASSERT_NE((*recovered)->Find("docs"), nullptr);
+        EXPECT_EQ(Canon(*(*recovered)->Find("docs")), twins[acked]);
+      }
+    }
+  }
+}
+
+TEST(DurabilityTest, OpenOnFreshDirectoryStartsEmptyAndWritable) {
+  const std::string dir = TestDir("fresh");
+  ViewServer server;
+  RegisterViews(&server);
+  auto store = DocumentStore::Open(&server, DurableOptions(dir));
+  ASSERT_TRUE(store.ok()) << store.status().message();
+  EXPECT_TRUE((*store)->Names().empty());
+  EXPECT_FALSE((*store)->read_only());
+  Rng rng(411);
+  EXPECT_TRUE((*store)->Put("docs", PersonnelPDocument(rng, 5)).ok());
+}
+
+}  // namespace
+}  // namespace pxv

@@ -1,0 +1,497 @@
+// Durability primitives, bottom up: CRC32C and the byte codec, WAL frame
+// encode/decode with the torn-tail and bit-rot contracts, checkpoint file
+// round trips, the fault-injecting IoEnv itself, PDocument arena
+// serialization (exp nodes, tombstones, the >32-distinct-label wide-key
+// regime, version stamps), and the DocMutation batch codec that forms the
+// kApply WAL record body.
+
+#include "serve/wal.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/docgen.h"
+#include "pxml/parser.h"
+#include "pxml/pdocument.h"
+#include "serve/checkpoint.h"
+#include "serve/document_store.h"
+#include "serve/io_env.h"
+#include "util/codec.h"
+#include "util/crc32c.h"
+#include "util/random.h"
+#include "xml/label.h"
+
+namespace pxv {
+namespace {
+
+// ------------------------------------------------------------- crc32c ----
+
+TEST(Crc32cTest, KnownAnswerVector) {
+  // The standard CRC-32C check value ("123456789" → 0xE3069283).
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(""), 0u);
+}
+
+TEST(Crc32cTest, SeedChainsIncrementally) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    const std::string_view head(data.data(), split);
+    const std::string_view tail(data.data() + split, data.size() - split);
+    EXPECT_EQ(Crc32c(tail, Crc32c(head)), Crc32c(data));
+  }
+}
+
+TEST(Crc32cTest, MaskRoundTripsAndDiffers) {
+  for (uint32_t crc : {0u, 1u, 0xDEADBEEFu, 0xFFFFFFFFu}) {
+    EXPECT_EQ(Crc32cUnmask(Crc32cMask(crc)), crc);
+    EXPECT_NE(Crc32cMask(crc), crc);  // Stored form differs from raw CRC.
+  }
+}
+
+// -------------------------------------------------------------- codec ----
+
+TEST(CodecTest, RoundTripsEveryFieldType) {
+  std::string buf;
+  PutU8(&buf, 0xAB);
+  PutU32(&buf, 0xDEADBEEF);
+  PutU64(&buf, 0x0123456789ABCDEFull);
+  PutI32(&buf, -7);
+  PutI64(&buf, -1234567890123ll);
+  PutF64(&buf, 0.1);  // Not exactly representable: must survive bit-exact.
+  PutBytes(&buf, "payload");
+  ByteReader in(buf);
+  EXPECT_EQ(in.GetU8(), 0xAB);
+  EXPECT_EQ(in.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(in.GetU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(in.GetI32(), -7);
+  EXPECT_EQ(in.GetI64(), -1234567890123ll);
+  EXPECT_EQ(in.GetF64(), 0.1);
+  EXPECT_EQ(in.GetBytes(), "payload");
+  EXPECT_TRUE(in.ok());
+  EXPECT_TRUE(in.AtEnd());
+}
+
+TEST(CodecTest, TruncatedReadLatchesErrorWithDefinedValues) {
+  std::string buf;
+  PutU32(&buf, 42);
+  buf.resize(2);  // Torn mid-field.
+  ByteReader in(buf);
+  EXPECT_EQ(in.GetU32(), 0u);
+  EXPECT_FALSE(in.ok());
+  EXPECT_EQ(in.GetU64(), 0u);  // Every later read stays defined.
+  EXPECT_EQ(in.GetBytes(), "");
+}
+
+// --------------------------------------------------------- WAL frames ----
+
+WalRecord MakeRecord(uint64_t lsn, WalRecordKind kind, std::string doc,
+                     std::string body) {
+  WalRecord r;
+  r.kind = kind;
+  r.lsn = lsn;
+  r.doc = std::move(doc);
+  r.body = std::move(body);
+  return r;
+}
+
+TEST(WalFrameTest, SegmentRoundTripsRecords) {
+  std::string segment;
+  segment += EncodeWalRecord(MakeRecord(1, WalRecordKind::kPut, "alpha", "AA"));
+  segment += EncodeWalRecord(MakeRecord(2, WalRecordKind::kApply, "beta", ""));
+  segment += EncodeWalRecord(MakeRecord(3, WalRecordKind::kDrop, "alpha", ""));
+  const WalReadResult read = DecodeWalSegment(segment);
+  ASSERT_EQ(read.records.size(), 3u);
+  EXPECT_EQ(read.torn_tail_dropped, 0);
+  EXPECT_EQ(read.valid_bytes, segment.size());
+  EXPECT_EQ(read.records[0].kind, WalRecordKind::kPut);
+  EXPECT_EQ(read.records[0].lsn, 1u);
+  EXPECT_EQ(read.records[0].doc, "alpha");
+  EXPECT_EQ(read.records[0].body, "AA");
+  EXPECT_EQ(read.records[1].kind, WalRecordKind::kApply);
+  EXPECT_EQ(read.records[2].doc, "alpha");
+  EXPECT_EQ(read.records[1].offset,
+            static_cast<uint64_t>(
+                EncodeWalRecord(MakeRecord(1, WalRecordKind::kPut, "alpha",
+                                           "AA"))
+                    .size()));
+}
+
+// Every possible truncation point yields exactly the complete-record
+// prefix, with the torn flag set iff bytes were actually dropped — the
+// crash-mid-append contract recovery relies on.
+TEST(WalFrameTest, TruncationSweepRecoversTheCompletePrefix) {
+  std::vector<size_t> boundaries{0};
+  std::string segment;
+  for (uint64_t lsn = 1; lsn <= 3; ++lsn) {
+    segment += EncodeWalRecord(
+        MakeRecord(lsn, WalRecordKind::kApply, "doc",
+                   std::string(static_cast<size_t>(lsn) * 7, 'x')));
+    boundaries.push_back(segment.size());
+  }
+  for (size_t cut = 0; cut <= segment.size(); ++cut) {
+    const WalReadResult read = DecodeWalSegment(
+        std::string_view(segment).substr(0, cut));
+    size_t complete = 0;
+    while (complete + 1 < boundaries.size() &&
+           boundaries[complete + 1] <= cut) {
+      ++complete;
+    }
+    EXPECT_EQ(read.records.size(), complete) << "cut at " << cut;
+    EXPECT_EQ(read.valid_bytes, boundaries[complete]) << "cut at " << cut;
+    EXPECT_EQ(read.torn_tail_dropped, cut == boundaries[complete] ? 0 : 1)
+        << "cut at " << cut;
+    for (size_t i = 0; i < read.records.size(); ++i) {
+      EXPECT_EQ(read.records[i].lsn, i + 1);
+    }
+  }
+}
+
+// Any single flipped bit anywhere in the segment yields a (possibly empty)
+// prefix of the original records, never altered content.
+TEST(WalFrameTest, BitRotNeverYieldsAlteredRecords) {
+  std::string segment;
+  for (uint64_t lsn = 1; lsn <= 3; ++lsn) {
+    segment += EncodeWalRecord(
+        MakeRecord(lsn, WalRecordKind::kPut, "d" + std::to_string(lsn),
+                   std::string(5, static_cast<char>('a' + lsn))));
+  }
+  const WalReadResult clean = DecodeWalSegment(segment);
+  ASSERT_EQ(clean.records.size(), 3u);
+  for (size_t pos = 0; pos < segment.size(); ++pos) {
+    std::string rotted = segment;
+    rotted[pos] ^= 0x40;
+    const WalReadResult read = DecodeWalSegment(rotted);
+    ASSERT_LE(read.records.size(), 3u);
+    for (size_t i = 0; i < read.records.size(); ++i) {
+      EXPECT_EQ(read.records[i].lsn, clean.records[i].lsn) << "pos " << pos;
+      EXPECT_EQ(read.records[i].body, clean.records[i].body) << "pos " << pos;
+    }
+  }
+}
+
+TEST(WalFileNameTest, NamesRoundTripAndRejectForeignFiles) {
+  uint64_t seq = 0;
+  EXPECT_TRUE(ParseWalSegmentFileName(WalSegmentFileName(42), &seq));
+  EXPECT_EQ(seq, 42u);
+  EXPECT_TRUE(ParseCheckpointFileName(CheckpointFileName(7), &seq));
+  EXPECT_EQ(seq, 7u);
+  EXPECT_FALSE(ParseWalSegmentFileName("ckpt-000000000007", &seq));
+  EXPECT_FALSE(ParseCheckpointFileName("wal-000000000042.log", &seq));
+  EXPECT_FALSE(ParseCheckpointFileName("ckpt-000000000007.tmp", &seq));
+  EXPECT_FALSE(ParseWalSegmentFileName("wal-abc.log", &seq));
+}
+
+// ---------------------------------------------------------- io fault env ----
+
+std::string TestDir(const char* name) {
+  const std::string dir =
+      std::string(::testing::TempDir()) + "/pxv_wal_test_" + name;
+  std::string cmd = "rm -rf " + dir;
+  EXPECT_EQ(std::system(cmd.c_str()), 0);
+  EXPECT_TRUE(IoEnv::Real()->CreateDir(dir).ok());
+  return dir;
+}
+
+TEST(FaultInjectingIoEnvTest, FailsTheNthMutatingOpThenDies) {
+  const std::string dir = TestDir("fail");
+  FaultPlan plan;
+  plan.mode = FaultPlan::Mode::kFail;
+  plan.fail_at = 1;  // OpenForAppend is op 0, first Append is op 1.
+  FaultInjectingIoEnv env(IoEnv::Real(), plan);
+  auto file = env.OpenForAppend(dir + "/f");
+  ASSERT_TRUE(file.ok());
+  EXPECT_FALSE((*file)->Append("doomed").ok());
+  EXPECT_TRUE(env.fault_fired());
+  // The crashed environment refuses everything, like a dead process.
+  EXPECT_FALSE((*file)->Append("after").ok());
+  EXPECT_FALSE(env.ReadFile(dir + "/f").ok());
+}
+
+TEST(FaultInjectingIoEnvTest, ShortWriteLeavesATornPrefix) {
+  const std::string dir = TestDir("short");
+  FaultPlan plan;
+  plan.mode = FaultPlan::Mode::kShortWrite;
+  plan.fail_at = 1;
+  plan.crash = false;  // Keep the env alive to inspect the file.
+  FaultInjectingIoEnv env(IoEnv::Real(), plan);
+  auto file = env.OpenForAppend(dir + "/f");
+  ASSERT_TRUE(file.ok());
+  EXPECT_FALSE((*file)->Append("0123456789").ok());
+  EXPECT_TRUE((*file)->Close().ok());
+  const auto bytes = IoEnv::Real()->ReadFile(dir + "/f");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "01234");  // Half the bytes landed, then the error.
+}
+
+TEST(FaultInjectingIoEnvTest, SimulateCrashDropsUnsyncedBytes) {
+  const std::string dir = TestDir("crash");
+  FaultPlan plan;  // fail_at = -1: no fault, just watermark bookkeeping.
+  FaultInjectingIoEnv env(IoEnv::Real(), plan);
+  auto file = env.OpenForAppend(dir + "/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("durable").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Append("volatile").ok());
+  ASSERT_TRUE(env.SimulateCrash().ok());
+  const auto bytes = IoEnv::Real()->ReadFile(dir + "/f");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "durable");  // Page-cache loss: only synced bytes live.
+}
+
+TEST(FaultInjectingIoEnvTest, CorruptModeFlipsOneByteAndCarriesOn) {
+  const std::string dir = TestDir("corrupt");
+  FaultPlan plan;
+  plan.mode = FaultPlan::Mode::kCorrupt;
+  plan.fail_at = 1;
+  FaultInjectingIoEnv env(IoEnv::Real(), plan);
+  auto file = env.OpenForAppend(dir + "/f");
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE((*file)->Append("0123456789").ok());  // "Succeeds", corrupted.
+  EXPECT_TRUE((*file)->Append("more").ok());        // Env stays alive.
+  EXPECT_TRUE((*file)->Close().ok());
+  const auto bytes = IoEnv::Real()->ReadFile(dir + "/f");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(bytes->size(), 14u);
+  EXPECT_NE(bytes->substr(0, 10), "0123456789");
+  EXPECT_EQ(bytes->substr(10), "more");
+}
+
+// --------------------------------------------------- WalWriter + files ----
+
+TEST(WalWriterTest, AppendsSurviveReopenAndPoisonOnFault) {
+  const std::string dir = TestDir("writer");
+  const std::string path = dir + "/" + WalSegmentFileName(1);
+  {
+    auto writer =
+        WalWriter::Open(IoEnv::Real(), path, FsyncPolicy::kAlways, 1);
+    ASSERT_TRUE(writer.ok());
+    EXPECT_TRUE(
+        (*writer)->Append(MakeRecord(1, WalRecordKind::kPut, "d", "x")).ok());
+    EXPECT_TRUE(
+        (*writer)->Append(MakeRecord(2, WalRecordKind::kDrop, "d", "")).ok());
+    EXPECT_EQ((*writer)->appended_records(), 2);
+    EXPECT_TRUE((*writer)->Close().ok());
+  }
+  const auto read = ReadWalSegment(IoEnv::Real(), path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->records.size(), 2u);
+  EXPECT_EQ(read->records[1].lsn, 2u);
+
+  // A writer whose append faults poisons itself: no append after a
+  // possibly-torn frame.
+  FaultPlan plan;
+  plan.mode = FaultPlan::Mode::kShortWrite;
+  plan.fail_at = 1;
+  plan.crash = false;
+  FaultInjectingIoEnv env(IoEnv::Real(), plan);
+  // kAlways flushes the group-commit buffer on every Append, so the fault
+  // surfaces immediately (kBatch/kNone would defer it to the sync point).
+  auto writer = WalWriter::Open(&env, dir + "/" + WalSegmentFileName(2),
+                                FsyncPolicy::kAlways, 1);
+  ASSERT_TRUE(writer.ok());
+  EXPECT_FALSE(
+      (*writer)->Append(MakeRecord(3, WalRecordKind::kPut, "d", "y")).ok());
+  EXPECT_FALSE(
+      (*writer)->Append(MakeRecord(4, WalRecordKind::kPut, "d", "z")).ok());
+}
+
+// ---------------------------------------------------------- checkpoints ----
+
+TEST(CheckpointTest, EncodeDecodeRoundTripsAndRejectsDamage) {
+  CheckpointData data;
+  data.wal_seq = 9;
+  data.docs.push_back({"alpha", 17, std::string("\x01\x02\x00\x03", 4)});
+  data.docs.push_back({"beta", 4, ""});
+  const std::string bytes = EncodeCheckpoint(data);
+  const auto decoded = DecodeCheckpoint(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->wal_seq, 9u);
+  ASSERT_EQ(decoded->docs.size(), 2u);
+  EXPECT_EQ(decoded->docs[0].name, "alpha");
+  EXPECT_EQ(decoded->docs[0].last_lsn, 17u);
+  EXPECT_EQ(decoded->docs[0].doc_image, std::string("\x01\x02\x00\x03", 4));
+  EXPECT_EQ(decoded->docs[1].name, "beta");
+
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(DecodeCheckpoint(std::string_view(bytes).substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::string rotted = bytes;
+    rotted[pos] ^= 0x10;
+    EXPECT_FALSE(DecodeCheckpoint(rotted).ok()) << "flip at " << pos;
+  }
+}
+
+// -------------------------------------------- PDocument serialization ----
+
+// Bit-for-bit round trip: re-serializing the restored document must yield
+// the identical image (the image covers kinds, labels, pids, parents,
+// child order, probabilities, exp distributions, tombstones and version
+// stamps — everything except the process-local uid).
+void ExpectImageRoundTrip(const PDocument& doc) {
+  std::string image;
+  doc.SerializeTo(&image);
+  const auto restored = PDocument::Deserialize(image);
+  ASSERT_TRUE(restored.ok()) << restored.status().message();
+  std::string again;
+  restored->SerializeTo(&again);
+  EXPECT_EQ(image, again);
+  EXPECT_EQ(restored->size(), doc.size());
+  EXPECT_EQ(restored->live_size(), doc.live_size());
+  EXPECT_EQ(restored->detached_count(), doc.detached_count());
+  EXPECT_TRUE(restored->Validate().ok());
+}
+
+TEST(PDocumentSerializeTest, PersonnelDocRoundTrips) {
+  Rng rng(411);
+  ExpectImageRoundTrip(PersonnelPDocument(rng, 25, 0.3, 0.4));
+}
+
+TEST(PDocumentSerializeTest, ExpNodesRoundTripExactly) {
+  PDocument pd;
+  const NodeId a = pd.AddRoot(Intern("a"), 1);
+  const NodeId exp = pd.AddExp(a);
+  pd.AddOrdinary(exp, Intern("b"), 1.0, 2);
+  pd.AddOrdinary(exp, Intern("c"), 1.0, 3);
+  pd.AddOrdinary(exp, Intern("d"), 1.0, 4);
+  pd.SetExpDistribution(exp, {{{0, 1}, 0.5}, {{2}, 0.25}, {{0, 1, 2}, 0.1}});
+  ASSERT_TRUE(pd.Validate().ok());
+  ExpectImageRoundTrip(pd);
+
+  std::string image;
+  pd.SerializeTo(&image);
+  const auto restored = PDocument::Deserialize(image);
+  ASSERT_TRUE(restored.ok());
+  const NodeId rexp = restored->children(restored->root())[0];
+  EXPECT_EQ(restored->kind(rexp), PKind::kExp);
+  EXPECT_EQ(restored->exp_distribution(rexp), pd.exp_distribution(exp));
+}
+
+TEST(PDocumentSerializeTest, TombstonesAndVersionsSurvive) {
+  Rng rng(7);
+  PDocument pd = PersonnelPDocument(rng, 10, 0.3, 0.4);
+  // Detach one person subtree: the tombstones must survive the round trip
+  // (the compaction threshold depends on them).
+  for (NodeId n = 0; n < pd.size(); ++n) {
+    if (pd.ordinary(n) && pd.label(n) == Intern("person") &&
+        !pd.detached(n)) {
+      pd.RemoveSubtree(n);
+      break;
+    }
+  }
+  ASSERT_GT(pd.detached_count(), 0);
+  ExpectImageRoundTrip(pd);
+
+  std::string image;
+  pd.SerializeTo(&image);
+  const auto restored = PDocument::Deserialize(image);
+  ASSERT_TRUE(restored.ok());
+  for (NodeId n = 0; n < pd.size(); ++n) {
+    EXPECT_EQ(restored->version(n), pd.version(n));
+    EXPECT_EQ(restored->detached(n), pd.detached(n));
+  }
+  // The restored document is its own object: fresh uid, and future stamps
+  // can never collide with the restored ones (counter bumped past them).
+  EXPECT_NE(restored->uid(), pd.uid());
+}
+
+TEST(PDocumentSerializeTest, RestoredVersionStampsNeverCollideForward) {
+  PDocument pd;
+  pd.AddRoot(Intern("a"), 1);
+  pd.AddOrdinary(pd.root(), Intern("b"), 1.0, 2);
+  std::string image;
+  pd.SerializeTo(&image);
+  auto restored = PDocument::Deserialize(image);
+  ASSERT_TRUE(restored.ok());
+  std::set<uint64_t> old_stamps;
+  for (NodeId n = 0; n < restored->size(); ++n) {
+    old_stamps.insert(restored->version(n));
+  }
+  // A fresh mutation must draw a stamp strictly beyond every restored one.
+  restored->SetEdgeProb(restored->children(restored->root())[0], 1.0);
+  EXPECT_EQ(old_stamps.count(restored->version(restored->root())), 0u);
+}
+
+TEST(PDocumentSerializeTest, WideKeyManyLabelDocRoundTrips) {
+  // > 32 distinct labels: the regime where pattern-key bitsets go wide.
+  PDocument pd;
+  const NodeId root = pd.AddRoot(Intern("wide_root"), 1);
+  const NodeId ind = pd.AddDistributional(root, PKind::kInd);
+  for (int i = 0; i < 40; ++i) {
+    const NodeId child = pd.AddOrdinary(ind, Intern("w" + std::to_string(i)),
+                                        0.5 + 0.01 * i, 100 + i);
+    pd.AddOrdinary(child, Intern("w" + std::to_string((i + 1) % 40)), 1.0,
+                   200 + i);
+  }
+  ASSERT_TRUE(pd.Validate().ok());
+  ExpectImageRoundTrip(pd);
+}
+
+TEST(PDocumentSerializeTest, MalformedImagesAreRejectedNotFatal) {
+  Rng rng(3);
+  const PDocument pd = PersonnelPDocument(rng, 6, 0.3, 0.4);
+  std::string image;
+  pd.SerializeTo(&image);
+  for (size_t cut = 0; cut < image.size(); ++cut) {
+    EXPECT_FALSE(
+        PDocument::Deserialize(std::string_view(image).substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+  // Bit flips have no CRC shield at this layer (the WAL/checkpoint frames
+  // provide it); the decoder must still never crash or produce an invalid
+  // document.
+  for (size_t pos = 0; pos < image.size(); ++pos) {
+    std::string rotted = image;
+    rotted[pos] ^= 0x01;
+    const auto restored = PDocument::Deserialize(rotted);
+    if (restored.ok()) {
+      EXPECT_TRUE(restored->Validate().ok() ||
+                  !restored->Validate().message().empty());
+    }
+  }
+}
+
+// ------------------------------------------------ mutation batch codec ----
+
+TEST(MutationBatchCodecTest, AllKindsRoundTrip) {
+  PDocument payload;
+  payload.AddRoot(Intern("extra"), 900);
+  payload.AddOrdinary(payload.root(), Intern("leaf"), 1.0, 901);
+  const std::vector<DocMutation> batch = {
+      DocMutation::InsertSubtree(5, payload, 0.375),
+      DocMutation::RemoveSubtree(6),
+      DocMutation::SetEdgeProb(7, 0.1),
+      DocMutation::SetExpDistribution(8, 2, {{{0, 2}, 0.5}, {{1}, 0.25}}),
+  };
+  const std::string bytes = EncodeMutationBatch(batch);
+  const auto decoded = DecodeMutationBatch(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  ASSERT_EQ(decoded->size(), 4u);
+  EXPECT_EQ((*decoded)[0].kind, DocMutation::Kind::kInsertSubtree);
+  EXPECT_EQ((*decoded)[0].target, 5);
+  EXPECT_EQ((*decoded)[0].prob, 0.375);
+  ASSERT_EQ((*decoded)[0].subtree.size(), 2);
+  EXPECT_EQ((*decoded)[0].subtree.pid((*decoded)[0].subtree.root()), 900);
+  EXPECT_EQ((*decoded)[1].kind, DocMutation::Kind::kRemoveSubtree);
+  EXPECT_EQ((*decoded)[1].target, 6);
+  EXPECT_EQ((*decoded)[2].kind, DocMutation::Kind::kSetEdgeProb);
+  EXPECT_EQ((*decoded)[2].prob, 0.1);
+  EXPECT_EQ((*decoded)[3].kind, DocMutation::Kind::kSetExpDistribution);
+  EXPECT_EQ((*decoded)[3].dist_child_index, 2);
+  EXPECT_EQ((*decoded)[3].exp_dist,
+            (std::vector<std::pair<std::vector<int>, double>>{
+                {{0, 2}, 0.5}, {{1}, 0.25}}));
+
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(
+        DecodeMutationBatch(std::string_view(bytes).substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+}
+
+}  // namespace
+}  // namespace pxv

@@ -14,6 +14,14 @@
 //                                                    circuit, print its shape
 //   pxvq explain <pdoc-file> <query> [top-k]         top-k driving edges
 //                                                    per answer (∂Pr/∂p)
+//   pxvq wal-dump <durable-dir>                      list checkpoints + WAL
+//                                                    records with CRC status
+//   pxvq recover <durable-dir> [--checkpoint] [name=def ...]
+//                                                    replay the log, report
+//                                                    the recovered documents
+//
+// `pxvq update --durable=<dir> ...` runs the update against a durable store
+// rooted at <dir> (write-ahead logged, crash-recoverable via `recover`).
 //
 // p-Document files use the text notation of pxml/parser.h, e.g.
 //   a(mux(b(c)@0.25, d@0.5), ind(e@0.75), f)
@@ -31,9 +39,11 @@
 // Insert payload nodes must carry pids that are fresh for the document
 // (write them explicitly: label#pid); colliding pids reject the batch.
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -43,6 +53,7 @@
 #include "pxml/parser.h"
 #include "pxml/worlds.h"
 #include "rewrite/rewriter.h"
+#include "serve/checkpoint.h"
 #include "serve/document_store.h"
 #include "serve/view_server.h"
 #include "tp/parser.h"
@@ -60,11 +71,14 @@ int Usage() {
                "  pxvq answer  <pdoc-file> <query> name=def [name=def ...]\n"
                "  pxvq rewrite <query> name=def [name=def ...]\n"
                "  pxvq plan    <pdoc-file> <query> name=def [name=def ...]\n"
-               "  pxvq update  <pdoc-file> <script-file> <query> "
-               "name=def [name=def ...]\n"
+               "  pxvq update  [--durable=<dir>] <pdoc-file> <script-file> "
+               "<query> name=def [name=def ...]\n"
                "  pxvq compact <pdoc-file> [script-file]\n"
                "  pxvq circuit <pdoc-file> <query>\n"
-               "  pxvq explain <pdoc-file> <query> [top-k]\n");
+               "  pxvq explain <pdoc-file> <query> [top-k]\n"
+               "  pxvq wal-dump <durable-dir>\n"
+               "  pxvq recover <durable-dir> [--checkpoint] "
+               "[name=def ...]\n");
   return 2;
 }
 
@@ -391,18 +405,25 @@ bool RunScript(std::istream& script, DocumentStore* store,
 // transactionally and re-materializes incrementally — and finally answer
 // the query from the last published snapshot.
 int CmdUpdate(int argc, char** argv) {
-  if (argc < 6) return Usage();
-  const auto pd = LoadPDoc(argv[2]);
+  int arg = 2;
+  std::string durable_dir;
+  if (argc > arg &&
+      std::string(argv[arg]).rfind("--durable=", 0) == 0) {
+    durable_dir = std::string(argv[arg]).substr(10);
+    ++arg;
+  }
+  if (argc < arg + 4) return Usage();
+  const auto pd = LoadPDoc(argv[arg]);
   if (!pd.ok()) {
     std::fprintf(stderr, "%s\n", pd.status().message().c_str());
     return 1;
   }
-  std::ifstream script(argv[3]);
+  std::ifstream script(argv[arg + 1]);
   if (!script) {
-    std::fprintf(stderr, "cannot open %s\n", argv[3]);
+    std::fprintf(stderr, "cannot open %s\n", argv[arg + 1]);
     return 1;
   }
-  const auto q = ParsePattern(argv[4]);
+  const auto q = ParsePattern(argv[arg + 2]);
   if (!q.ok()) {
     std::fprintf(stderr, "bad query: %s\n", q.status().message().c_str());
     return 1;
@@ -410,22 +431,34 @@ int CmdUpdate(int argc, char** argv) {
   ViewServer server;
   {
     Rewriter parsed;  // Reuse the name=def parser, then copy into the server.
-    for (int i = 5; i < argc; ++i) {
+    for (int i = arg + 3; i < argc; ++i) {
       if (!ParseNamedView(argv[i], &parsed)) return Usage();
     }
     for (const NamedView& v : parsed.views()) {
       server.AddView(v.name, v.def.Clone());
     }
   }
-  DocumentStore store(&server);
-  if (Status s = store.Put("doc", *pd); !s.ok()) {
+  std::unique_ptr<DocumentStore> store;
+  if (durable_dir.empty()) {
+    store = std::make_unique<DocumentStore>(&server);
+  } else {
+    DocumentStoreOptions options;
+    options.durable_dir = durable_dir;
+    auto opened = DocumentStore::Open(&server, options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().message().c_str());
+      return 1;
+    }
+    store = std::move(opened.value());
+  }
+  if (Status s = store->Put("doc", *pd); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.message().c_str());
     return 1;
   }
 
   const auto rematerialize = [&](int batch_no, size_t mutations,
                                  uint64_t uid) {
-    if (Status s = store.MaterializeIncremental("doc"); !s.ok()) {
+    if (Status s = store->MaterializeIncremental("doc"); !s.ok()) {
       std::fprintf(stderr, "%s\n", s.message().c_str());
       return false;
     }
@@ -433,9 +466,9 @@ int CmdUpdate(int argc, char** argv) {
                 mutations, static_cast<unsigned long long>(uid));
     return true;
   };
-  if (!RunScript(script, &store, rematerialize)) return 1;
+  if (!RunScript(script, store.get(), rematerialize)) return 1;
 
-  const auto answer = store.Answer("doc", *q);
+  const auto answer = store->Answer("doc", *q);
   if (!answer.has_value()) {
     std::fprintf(stderr,
                  "no probabilistic rewriting exists over these views\n");
@@ -445,8 +478,8 @@ int CmdUpdate(int argc, char** argv) {
     std::printf("pid=%lld  Pr=%.10g\n", static_cast<long long>(pp.pid),
                 pp.prob);
   }
-  const DocumentStoreStats stats = store.stats();
-  const SubtreeCacheStats cache = store.SessionCacheStats("doc");
+  const DocumentStoreStats stats = store->stats();
+  const SubtreeCacheStats cache = store->SessionCacheStats("doc");
   std::printf(
       "store: %lld batch(es), %lld mutation(s), %lld rejected; views "
       "patched %lld / rebuilt %lld / clean %lld; subtree memo %llu hits, "
@@ -459,13 +492,145 @@ int CmdUpdate(int argc, char** argv) {
       static_cast<long long>(stats.views_clean),
       static_cast<unsigned long long>(cache.hits),
       static_cast<unsigned long long>(cache.stores));
-  const PDocument* doc = store.Find("doc");
+  const PDocument* doc = store->Find("doc");
   std::printf(
       "doc: arena %d node(s), %d live, %d detached; %lld compaction(s) "
       "reclaimed %lld node(s)\n",
       doc->size(), doc->live_size(), doc->detached_count(),
       static_cast<long long>(stats.compactions),
       static_cast<long long>(stats.nodes_reclaimed));
+  if (!durable_dir.empty()) {
+    std::printf(
+        "durability: %lld WAL append(s), %lld byte(s), %lld checkpoint(s), "
+        "%lld recovery(ies), %lld torn record(s) dropped, read-only=%lld\n",
+        static_cast<long long>(stats.wal_appends),
+        static_cast<long long>(stats.wal_bytes),
+        static_cast<long long>(stats.checkpoints),
+        static_cast<long long>(stats.recoveries),
+        static_cast<long long>(stats.torn_records_dropped),
+        static_cast<long long>(stats.read_only));
+  }
+  return 0;
+}
+
+// Lists a durable directory's checkpoints and WAL segments record by
+// record: lsn, kind, target document, body size, CRC verdict — and where
+// the valid prefix of a segment ends when a torn or corrupt frame cut the
+// listing short.
+int CmdWalDump(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string dir = argv[2];
+  IoEnv* env = IoEnv::Real();
+  const auto listing = env->ListDir(dir);
+  if (!listing.ok()) {
+    std::fprintf(stderr, "%s\n", listing.status().message().c_str());
+    return 1;
+  }
+  std::vector<uint64_t> ckpts;
+  std::vector<uint64_t> segments;
+  for (const std::string& file : *listing) {
+    uint64_t seq = 0;
+    if (ParseCheckpointFileName(file, &seq)) ckpts.push_back(seq);
+    if (ParseWalSegmentFileName(file, &seq)) segments.push_back(seq);
+  }
+  std::sort(ckpts.begin(), ckpts.end());
+  std::sort(segments.begin(), segments.end());
+  for (const uint64_t seq : ckpts) {
+    const std::string name = CheckpointFileName(seq);
+    const auto data = ReadCheckpointFile(env, dir + "/" + name);
+    if (!data.ok()) {
+      std::printf("%s  CORRUPT: %s\n", name.c_str(),
+                  data.status().message().c_str());
+      continue;
+    }
+    std::printf("%s  %zu document(s), covers wal segments < %llu\n",
+                name.c_str(), data->docs.size(),
+                static_cast<unsigned long long>(data->wal_seq));
+    for (const CheckpointDoc& cd : data->docs) {
+      std::printf("  doc=%-20s last_lsn=%-8llu %zu byte(s)\n",
+                  cd.name.c_str(),
+                  static_cast<unsigned long long>(cd.last_lsn),
+                  cd.doc_image.size());
+    }
+  }
+  for (const uint64_t seq : segments) {
+    const std::string name = WalSegmentFileName(seq);
+    const auto bytes = env->ReadFile(dir + "/" + name);
+    if (!bytes.ok()) {
+      std::printf("%s  UNREADABLE: %s\n", name.c_str(),
+                  bytes.status().message().c_str());
+      continue;
+    }
+    const WalReadResult read = DecodeWalSegment(*bytes);
+    std::printf("%s  %zu record(s), %llu/%zu byte(s) valid\n", name.c_str(),
+                read.records.size(),
+                static_cast<unsigned long long>(read.valid_bytes),
+                bytes->size());
+    for (const WalRecord& record : read.records) {
+      std::printf("  lsn=%-8llu %-8s doc=%-20s %zu byte(s)  crc=ok\n",
+                  static_cast<unsigned long long>(record.lsn),
+                  WalRecordKindName(record.kind), record.doc.c_str(),
+                  record.body.size());
+    }
+    if (read.torn_tail_dropped != 0) {
+      std::printf(
+          "  torn/corrupt frame at offset %llu  crc=BAD (%zu trailing "
+          "byte(s) dropped at recovery)\n",
+          static_cast<unsigned long long>(read.valid_bytes),
+          bytes->size() - static_cast<size_t>(read.valid_bytes));
+    }
+  }
+  if (ckpts.empty() && segments.empty()) {
+    std::printf("no checkpoints or WAL segments in %s\n", dir.c_str());
+  }
+  return 0;
+}
+
+// Opens a durable directory — the same checkpoint + WAL-tail replay a
+// restart performs — and reports what came back. With --checkpoint the
+// recovered state is immediately re-checkpointed, truncating the log.
+int CmdRecover(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  bool do_checkpoint = false;
+  ViewServer server;
+  {
+    Rewriter parsed;
+    for (int i = 3; i < argc; ++i) {
+      if (std::string(argv[i]) == "--checkpoint") {
+        do_checkpoint = true;
+        continue;
+      }
+      if (!ParseNamedView(argv[i], &parsed)) return Usage();
+    }
+    for (const NamedView& v : parsed.views()) {
+      server.AddView(v.name, v.def.Clone());
+    }
+  }
+  DocumentStoreOptions options;
+  options.durable_dir = argv[2];
+  auto store = DocumentStore::Open(&server, options);
+  if (!store.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 store.status().message().c_str());
+    return 1;
+  }
+  const DocumentStoreStats stats = (*store)->stats();
+  std::printf("recovered %zu document(s); %lld torn record(s) dropped\n",
+              (*store)->Names().size(),
+              static_cast<long long>(stats.torn_records_dropped));
+  for (const std::string& name : (*store)->Names()) {
+    const PDocument* doc = (*store)->Find(name);
+    std::printf("  doc=%-20s arena %d node(s), %d live, %d detached\n",
+                name.c_str(), doc->size(), doc->live_size(),
+                doc->detached_count());
+  }
+  if (do_checkpoint) {
+    if (Status s = (*store)->Checkpoint(); !s.ok()) {
+      std::fprintf(stderr, "checkpoint failed: %s\n", s.message().c_str());
+      return 1;
+    }
+    std::printf("checkpointed: WAL truncated\n");
+  }
   return 0;
 }
 
@@ -612,5 +777,7 @@ int main(int argc, char** argv) {
   if (cmd == "compact") return CmdCompact(argc, argv);
   if (cmd == "circuit") return CmdCircuit(argc, argv);
   if (cmd == "explain") return CmdExplain(argc, argv);
+  if (cmd == "wal-dump") return CmdWalDump(argc, argv);
+  if (cmd == "recover") return CmdRecover(argc, argv);
   return Usage();
 }
