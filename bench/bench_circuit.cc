@@ -17,6 +17,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_flags.h"
@@ -114,6 +116,121 @@ void BM_CircuitCompile(benchmark::State& state) {
 BENCHMARK(BM_CircuitCompile)
     ->Arg(1024)
     ->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------- shared pool ----
+// ISSUE 9 acceptance: N standing queries on ONE shared pool must serve a
+// delta with a single merged propagation ≥ 4× faster than N per-query
+// circuits each propagating their own cone (CI gates on the
+// Independent/Shared ratio at 16 queries / fanout 4096, plus the sharing
+// counters: shared gates must be ≥ 50% of the live pool).
+
+// HighFanoutDoc with one "out<k>" readout per standing query: the fanout
+// spine is query-relevant for every query (shared gates), only the readout
+// is private.
+PDocument SharedFanoutDoc(int fanout, int nqueries,
+                          std::vector<NodeId>* items) {
+  PDocument pd;
+  const NodeId root = pd.AddRoot(Intern("root"));
+  const NodeId ind = pd.AddDistributional(root, PKind::kInd);
+  Rng rng(4096);
+  items->reserve(size_t(fanout));
+  for (int i = 0; i < fanout; ++i) {
+    items->push_back(
+        pd.AddOrdinary(ind, Intern("item"), 0.1 + 0.8 * rng.NextDouble()));
+  }
+  for (int k = 0; k < nqueries; ++k) {
+    pd.AddOrdinary(ind, Intern("out" + std::to_string(k)), 0.5);
+  }
+  pd.ClearDirtyPaths();
+  return pd;
+}
+
+std::vector<Pattern> SharedQueries(int nqueries) {
+  std::vector<Pattern> queries;
+  queries.reserve(size_t(nqueries));
+  for (int k = 0; k < nqueries; ++k) {
+    queries.push_back(Tp("root[item]/out" + std::to_string(k)));
+  }
+  return queries;
+}
+
+void BM_SharedCircuitDelta(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  const int nq = static_cast<int>(state.range(1));
+  std::vector<NodeId> items;
+  PDocument pd = SharedFanoutDoc(fanout, nq, &items);
+  const std::vector<Pattern> queries = SharedQueries(nq);
+  std::vector<const Pattern*> ptrs;
+  for (const Pattern& q : queries) ptrs.push_back(&q);
+  EvalOptions opts;
+  opts.backend = BackendKind::kCircuit;
+  EvalSession session(pd, opts);
+  session.EvaluateAll(ptrs);  // Cold: every query registers on one pool.
+  double p = 0.41;
+  int i = 0;
+  for (auto _ : state) {
+    p = (p == 0.41) ? 0.42 : 0.41;
+    pd.SetEdgeProb(items[size_t((i++ * 769) % fanout)], p);
+    // One merged propagation re-serves all nq roots; the other nq-1
+    // evaluations replay from the already-synced circuit.
+    benchmark::DoNotOptimize(session.EvaluateAll(ptrs));
+  }
+  state.counters["fanout"] = fanout;
+  state.counters["queries"] = nq;
+  if (benchflags::Profile() && session.dp_profile() != nullptr) {
+    const DistProfile& prof = *session.dp_profile();
+    state.counters["circuit_shared_gates"] =
+        static_cast<double>(prof.circuit_shared_gates);
+    state.counters["circuit_private_gates"] =
+        static_cast<double>(prof.circuit_private_gates);
+    state.counters["circuit_roots"] =
+        static_cast<double>(prof.circuit_roots);
+    state.counters["circuit_recompiles"] =
+        static_cast<double>(prof.circuit_recompiles);
+    state.counters["circuit_merged_propagations"] =
+        static_cast<double>(prof.circuit_merged_propagations);
+    state.counters["circuit_dirty_gates"] = benchmark::Counter(
+        static_cast<double>(prof.circuit_dirty_gates),
+        benchmark::Counter::kAvgIterations);
+  }
+}
+BENCHMARK(BM_SharedCircuitDelta)
+    ->Args({4096, 16})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_IndependentCircuitDelta(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  const int nq = static_cast<int>(state.range(1));
+  std::vector<NodeId> items;
+  PDocument pd = SharedFanoutDoc(fanout, nq, &items);
+  const std::vector<Pattern> queries = SharedQueries(nq);
+  EvalOptions opts;
+  opts.backend = BackendKind::kCircuit;
+  // The pre-ISSUE-9 shape: one circuit per query, each with its own pool,
+  // so every delta pays nq separate dirty-cone propagations over nq copies
+  // of the same spine.
+  std::vector<std::unique_ptr<EvalSession>> sessions;
+  sessions.reserve(size_t(nq));
+  for (int k = 0; k < nq; ++k) {
+    sessions.push_back(std::make_unique<EvalSession>(pd, opts));
+    sessions.back()->EvaluateTP(queries[size_t(k)]);  // Cold compile.
+  }
+  double p = 0.41;
+  int i = 0;
+  for (auto _ : state) {
+    p = (p == 0.41) ? 0.42 : 0.41;
+    pd.SetEdgeProb(items[size_t((i++ * 769) % fanout)], p);
+    for (int k = 0; k < nq; ++k) {
+      benchmark::DoNotOptimize(sessions[size_t(k)]->EvaluateTP(
+          queries[size_t(k)]));
+    }
+  }
+  state.counters["fanout"] = fanout;
+  state.counters["queries"] = nq;
+}
+BENCHMARK(BM_IndependentCircuitDelta)
+    ->Args({4096, 16})
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

@@ -14,6 +14,17 @@ inline uint64_t Mix(uint64_t x) {
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
   return x ^ (x >> 31);
 }
+
+template <typename Map>
+void EraseAtOrAbove(Map& m, GateId mark) {
+  for (auto it = m.begin(); it != m.end();) {
+    if (it->second >= mark) {
+      it = m.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
 }  // namespace
 
 uint64_t ExpStructureSig(const PDocument& pd, NodeId n) {
@@ -25,59 +36,290 @@ uint64_t ExpStructureSig(const PDocument& pd, NodeId n) {
   return h;
 }
 
-std::unique_ptr<LineageCircuit> LineageCircuit::Compile(
-    CircuitRecorder&& rec) {
-  std::unique_ptr<LineageCircuit> c(new LineageCircuit());
-  c->ops_ = std::move(rec.ops_);
-  c->a_ = std::move(rec.a_);
-  c->b_ = std::move(rec.b_);
-  c->val_ = std::move(rec.val_);
-  c->input_keys_ = std::move(rec.input_keys_);
-  c->input_gates_ = std::move(rec.input_gates_);
-  c->guards_ = std::move(rec.guards_);
-  c->exp_sigs_ = std::move(rec.exp_sigs_);
-  c->outputs_ = std::move(rec.outputs_);
+void CircuitRecorder::RollbackRecording() {
+  const GateId mark = GateId(gate_mark_);
+  ops_.resize(gate_mark_);
+  a_.resize(gate_mark_);
+  b_.resize(gate_mark_);
+  val_.resize(gate_mark_);
+  // Any CSE/memo entry pointing past the mark was created by this
+  // recording; drop it so the next pass cannot cons onto truncated ids.
+  EraseAtOrAbove(cse_, mark);
+  EraseAtOrAbove(consts_, mark);
+  EraseAtOrAbove(inputs_, mark);
+  input_keys_.resize(input_mark_);
+  input_gates_.resize(input_mark_);
+  guards_.clear();
+  guard_seen_.clear();
+  exp_sigs_.clear();
+  outputs_.clear();
+  vecs_.clear();
+}
+
+void CircuitRecorder::Clear() {
+  ops_.clear();
+  a_.clear();
+  b_.clear();
+  val_.clear();
+  cse_.clear();
+  consts_.clear();
+  inputs_.clear();
+  input_keys_.clear();
+  input_gates_.clear();
+  gate_mark_ = 0;
+  input_mark_ = 0;
+  guards_.clear();
+  guard_seen_.clear();
+  exp_sigs_.clear();
+  outputs_.clear();
+  vecs_.clear();
+}
+
+bool LineageCircuit::CommitRecording(const std::string& key,
+                                     const PDocument& pd) {
+  if (rec_.gate_count() > max_gates_) {
+    rec_.RollbackRecording();
+    // The key's previous registration (if any) was already invalid — that
+    // is why it was being re-recorded. Drop it; the other registrations
+    // keep serving from the shared circuit, restored to a consistent
+    // compiled state right here.
+    regs_.erase(key);
+    Recompile();
+    FullRefresh(pd);
+    served_uid_ = pd.uid();
+    structures_stale_ = false;
+    return false;
+  }
+  Registration& reg = regs_[key];
+  reg.active = true;
+  rec_.TakeRecording(&reg.guards, &reg.exp_sigs, &reg.outputs);
+  reg.guard_keys.clear();
+  reg.guard_keys.reserve(reg.guards.size());
+  for (const auto& g : reg.guards) {
+    reg.guard_keys.push_back(GuardKey(g.gate, g.kind, g.expected));
+  }
+  std::sort(reg.guard_keys.begin(), reg.guard_keys.end());
   // Stable node-id order per output group: the engine sorts its batch
   // results ascending by node, so replay emits in the same order.
-  for (auto& group : c->outputs_) {
-    std::stable_sort(group.begin(), group.end(),
-                     [](const auto& x, const auto& y) {
-                       return x.first < y.first;
-                     });
+  for (auto& group : reg.outputs) {
+    std::stable_sort(
+        group.begin(), group.end(),
+        [](const auto& x, const auto& y) { return x.first < y.first; });
+  }
+  // A consed gate's cached value may predate `pd` (recorded under older
+  // probabilities); recompile the merged structures and replay every live
+  // gate from the document's current inputs — the same IEEE operations in
+  // the same order, hence bit-faithful.
+  Recompile();
+  FullRefresh(pd);
+  served_uid_ = pd.uid();
+  structures_stale_ = false;
+  return true;
+}
+
+void LineageCircuit::Unregister(const std::string& key) {
+  if (regs_.erase(key) > 0) structures_stale_ = true;
+}
+
+void LineageCircuit::Deactivate(const std::string& key) {
+  auto it = regs_.find(key);
+  if (it != regs_.end() && it->second.active) {
+    it->second.active = false;
+    structures_stale_ = true;
+  }
+}
+
+void LineageCircuit::Reset() {
+  rec_.Clear();
+  regs_.clear();
+  served_uid_ = 0;
+  structures_stale_ = false;
+  cover_.clear();
+  level_.clear();
+  levels_ = 0;
+  use_off_.clear();
+  uses_.clear();
+  guard_mask_.clear();
+  violated_.clear();
+  dirty_.clear();
+  level_work_.clear();
+  touched_levels_.clear();
+  live_total_ = 0;
+  shared_gates_ = 0;
+  private_gates_ = 0;
+  live_inputs_ = 0;
+}
+
+size_t LineageCircuit::Sync(const PDocument& pd,
+                            std::vector<std::string>* reshaped) {
+  if (!pending(pd)) return 0;
+  // Exp subset shapes can move without a structure_version bump
+  // (SetExpDistribution); a reshaped registration's schedule is stale even
+  // though its gates still parse. Deactivate exactly those registrations —
+  // the others ride through the merged pass untouched.
+  for (auto& [key, reg] : regs_) {
+    if (!reg.active) continue;
+    for (const auto& [node, sig] : reg.exp_sigs) {
+      if (ExpStructureSig(pd, node) != sig) {
+        reg.active = false;
+        structures_stale_ = true;
+        if (reshaped != nullptr) reshaped->push_back(key);
+        break;
+      }
+    }
+  }
+  size_t recomputed;
+  if (structures_stale_) {
+    Recompile();
+    recomputed = FullRefresh(pd);
+    structures_stale_ = false;
+  } else {
+    // ONE input diff + ONE dirty-cone sweep serves every registration.
+    updates_.clear();
+    for (size_t i = 0; i < rec_.input_gates_.size(); ++i) {
+      const GateId g = rec_.input_gates_[i];
+      if (cover_[size_t(g)] == 0) continue;
+      updates_.emplace_back(g, InputValue(pd, rec_.input_keys_[i]));
+    }
+    recomputed = Propagate(updates_);
+  }
+  served_uid_ = pd.uid();
+  return recomputed;
+}
+
+void LineageCircuit::Recompile() {
+  const size_t n = rec_.ops_.size();
+  cover_.assign(n, 0);
+  visit_.assign(n, -1);
+  // Liveness + sharing classes: backward reachability from each active
+  // registration's output and guard gates, counting covering
+  // registrations saturated at 2 (0 dead, 1 private, 2 shared).
+  int32_t r = 0;
+  for (auto& [key, reg] : regs_) {
+    if (!reg.active) continue;
+    stack_.clear();
+    for (const auto& group : reg.outputs) {
+      for (const auto& [node, gate] : group) stack_.push_back(gate);
+    }
+    for (const auto& g : reg.guards) stack_.push_back(g.gate);
+    while (!stack_.empty()) {
+      const GateId g = stack_.back();
+      stack_.pop_back();
+      if (visit_[size_t(g)] == r) continue;
+      visit_[size_t(g)] = r;
+      if (cover_[size_t(g)] < 2) ++cover_[size_t(g)];
+      if (IsArith(g)) {
+        stack_.push_back(rec_.a_[size_t(g)]);
+        stack_.push_back(rec_.b_[size_t(g)]);
+      }
+    }
+    ++r;
   }
 
-  const size_t n = c->ops_.size();
-  // Topological levels (gates are created operands-first, so one forward
-  // scan suffices) and consumer degree counting in the same pass.
-  c->level_.assign(n, 0);
-  c->use_off_.assign(n + 1, 0);
+  // Topological levels over the live cone (gates are created
+  // operands-first, so one forward scan suffices) with consumer-degree
+  // counting in the same pass. Dead gates keep level 0 and no consumers.
+  level_.assign(n, 0);
+  use_off_.assign(n + 1, 0);
   int32_t max_level = 0;
+  live_total_ = 0;
+  shared_gates_ = 0;
+  private_gates_ = 0;
+  live_inputs_ = 0;
   for (size_t g = 0; g < n; ++g) {
-    if (c->ops_[g] == GateOp::kConst || c->ops_[g] == GateOp::kInput) {
-      continue;
+    if (cover_[g] == 0) continue;
+    ++live_total_;
+    if (rec_.ops_[g] != GateOp::kConst) {
+      if (cover_[g] >= 2) {
+        ++shared_gates_;
+      } else {
+        ++private_gates_;
+      }
     }
-    const GateId a = c->a_[g], b = c->b_[g];
-    const int32_t la = c->level_[size_t(a)], lb = c->level_[size_t(b)];
+    if (rec_.ops_[g] == GateOp::kInput) ++live_inputs_;
+    if (!IsArith(GateId(g))) continue;
+    const GateId a = rec_.a_[g], b = rec_.b_[g];
+    const int32_t la = level_[size_t(a)], lb = level_[size_t(b)];
     const int32_t l = 1 + (la > lb ? la : lb);
-    c->level_[g] = l;
+    level_[g] = l;
     if (l > max_level) max_level = l;
-    ++c->use_off_[size_t(a) + 1];
-    ++c->use_off_[size_t(b) + 1];
+    ++use_off_[size_t(a) + 1];
+    ++use_off_[size_t(b) + 1];
   }
-  c->levels_ = size_t(max_level) + 1;
-  for (size_t g = 0; g < n; ++g) c->use_off_[g + 1] += c->use_off_[g];
-  c->uses_.resize(c->use_off_[n]);
-  std::vector<uint32_t> fill(c->use_off_.begin(), c->use_off_.end() - 1);
+  levels_ = live_total_ == 0 ? 0 : size_t(max_level) + 1;
+  for (size_t g = 0; g < n; ++g) use_off_[g + 1] += use_off_[g];
+  uses_.resize(use_off_[n]);
+  std::vector<uint32_t> fill(use_off_.begin(), use_off_.end() - 1);
   for (size_t g = 0; g < n; ++g) {
-    if (c->ops_[g] == GateOp::kConst || c->ops_[g] == GateOp::kInput) {
-      continue;
-    }
-    c->uses_[fill[size_t(c->a_[g])]++] = GateId(g);
-    c->uses_[fill[size_t(c->b_[g])]++] = GateId(g);
+    if (cover_[g] == 0 || !IsArith(GateId(g))) continue;
+    uses_[fill[size_t(rec_.a_[g])]++] = GateId(g);
+    uses_[fill[size_t(rec_.b_[g])]++] = GateId(g);
   }
-  c->dirty_.assign(n, 0);
-  c->level_work_.resize(c->levels_);
-  return c;
+  dirty_.assign(n, 0);
+  level_work_.assign(levels_, {});
+  touched_levels_.clear();
+
+  // Guard watch masks for the active registrations (guard gates are live by
+  // construction: the reachability pass above seeds from them).
+  guard_mask_.assign(n, 0);
+  for (const auto& [key, reg] : regs_) {
+    if (!reg.active) continue;
+    for (const auto& g : reg.guards) {
+      guard_mask_[size_t(g.gate)] |=
+          uint8_t(1u << (int(g.kind) * 2 + (g.expected ? 1 : 0)));
+    }
+  }
+}
+
+size_t LineageCircuit::FullRefresh(const PDocument& pd) {
+  for (size_t i = 0; i < rec_.input_gates_.size(); ++i) {
+    const GateId g = rec_.input_gates_[i];
+    if (cover_[size_t(g)] == 0) continue;
+    rec_.val_[size_t(g)] = InputValue(pd, rec_.input_keys_[i]);
+  }
+  size_t recomputed = 0;
+  const size_t n = rec_.ops_.size();
+  for (size_t g = 0; g < n; ++g) {
+    if (cover_[g] == 0 || !IsArith(GateId(g))) continue;
+    rec_.val_[g] = Eval(GateId(g));
+    ++recomputed;
+  }
+  // Values were rewritten wholesale, bypassing the incremental guard
+  // probes; recompute the violated set in one pass.
+  RebuildViolated();
+  return recomputed;
+}
+
+void LineageCircuit::CheckGuardsAt(GateId g) {
+  const uint8_t mask = guard_mask_[size_t(g)];
+  const double v = rec_.val_[size_t(g)];
+  for (int kind = 0; kind < 3; ++kind) {
+    const uint8_t pair = uint8_t((mask >> (kind * 2)) & 3u);
+    if (pair == 0) continue;
+    const bool holds = CircuitRecorder::Holds(GuardKind(kind), v);
+    for (int expected = 0; expected < 2; ++expected) {
+      if ((pair & (1u << expected)) == 0) continue;
+      const uint64_t key = GuardKey(g, GuardKind(kind), expected != 0);
+      if (holds != (expected != 0)) {
+        violated_.insert(key);
+      } else {
+        violated_.erase(key);
+      }
+    }
+  }
+}
+
+void LineageCircuit::RebuildViolated() {
+  violated_.clear();
+  for (const auto& [key, reg] : regs_) {
+    if (!reg.active) continue;
+    for (const auto& g : reg.guards) {
+      if (CircuitRecorder::Holds(g.kind, rec_.val_[size_t(g.gate)]) !=
+          g.expected) {
+        violated_.insert(GuardKey(g.gate, g.kind, g.expected));
+      }
+    }
+  }
 }
 
 void LineageCircuit::MarkDirty(GateId g) {
@@ -93,10 +335,11 @@ size_t LineageCircuit::Propagate(
   touched_levels_.clear();
   for (const auto& [g, v] : updates) {
     uint64_t old_bits, new_bits;
-    std::memcpy(&old_bits, &val_[size_t(g)], sizeof old_bits);
+    std::memcpy(&old_bits, &rec_.val_[size_t(g)], sizeof old_bits);
     std::memcpy(&new_bits, &v, sizeof new_bits);
     if (old_bits == new_bits) continue;
-    val_[size_t(g)] = v;
+    rec_.val_[size_t(g)] = v;
+    if (guard_mask_[size_t(g)] != 0) CheckGuardsAt(g);
     for (uint32_t u = use_off_[size_t(g)]; u < use_off_[size_t(g) + 1]; ++u) {
       MarkDirty(uses_[u]);
     }
@@ -114,10 +357,11 @@ size_t LineageCircuit::Propagate(
       ++recomputed;
       const double nv = Eval(g);
       uint64_t old_bits, new_bits;
-      std::memcpy(&old_bits, &val_[size_t(g)], sizeof old_bits);
+      std::memcpy(&old_bits, &rec_.val_[size_t(g)], sizeof old_bits);
       std::memcpy(&new_bits, &nv, sizeof new_bits);
       if (old_bits == new_bits) continue;
-      val_[size_t(g)] = nv;
+      rec_.val_[size_t(g)] = nv;
+      if (guard_mask_[size_t(g)] != 0) CheckGuardsAt(g);
       for (uint32_t u = use_off_[size_t(g)]; u < use_off_[size_t(g) + 1];
            ++u) {
         const GateId c = uses_[u];
@@ -141,30 +385,36 @@ size_t LineageCircuit::Propagate(
   return recomputed;
 }
 
-bool LineageCircuit::GuardsHold() const {
-  for (const auto& g : guards_) {
-    if (CircuitRecorder::Holds(g.kind, val_[size_t(g.gate)]) != g.expected) {
+bool LineageCircuit::GuardsHold(const std::string& key) const {
+  if (violated_.empty()) return true;
+  // Something somewhere is violated; it concerns this registration only if
+  // one of the violated predicates is among ITS guards.
+  const Registration& reg = regs_.at(key);
+  for (const uint64_t vk : violated_) {
+    if (std::binary_search(reg.guard_keys.begin(), reg.guard_keys.end(),
+                           vk)) {
       return false;
     }
   }
   return true;
 }
 
-std::vector<NodeProb> LineageCircuit::Results(int member) const {
+std::vector<NodeProb> LineageCircuit::Results(const std::string& key,
+                                              int member) const {
   std::vector<NodeProb> out;
-  const auto& group = outputs_[size_t(member)];
+  const auto& group = regs_.at(key).outputs[size_t(member)];
   out.reserve(group.size());
   for (const auto& [node, gate] : group) {
-    const double p = val_[size_t(gate)];
+    const double p = rec_.val_[size_t(gate)];
     if (p > 0) out.push_back({node, p});
   }
   return out;
 }
 
 std::vector<LineageCircuit::Sensitivity> LineageCircuit::Sensitivities(
-    int member, NodeId node) {
+    const std::string& key, int member, NodeId node) {
   GateId out = kNoGate;
-  for (const auto& [n, g] : outputs_[size_t(member)]) {
+  for (const auto& [n, g] : regs_.at(key).outputs[size_t(member)]) {
     if (n == node) {
       out = g;
       break;
@@ -172,32 +422,39 @@ std::vector<LineageCircuit::Sensitivity> LineageCircuit::Sensitivities(
   }
   std::vector<Sensitivity> result;
   if (out == kNoGate) return result;
-  adj_.assign(ops_.size(), 0.0);
+  adj_.assign(rec_.ops_.size(), 0.0);
   adj_[size_t(out)] = 1.0;
   for (GateId g = out; g >= 0; --g) {
     const double ag = adj_[size_t(g)];
     if (ag == 0.0) continue;
-    switch (ops_[size_t(g)]) {
+    switch (rec_.ops_[size_t(g)]) {
       case GateOp::kAdd:
-        adj_[size_t(a_[size_t(g)])] += ag;
-        adj_[size_t(b_[size_t(g)])] += ag;
+        adj_[size_t(rec_.a_[size_t(g)])] += ag;
+        adj_[size_t(rec_.b_[size_t(g)])] += ag;
         break;
       case GateOp::kSub:
-        adj_[size_t(a_[size_t(g)])] += ag;
-        adj_[size_t(b_[size_t(g)])] -= ag;
+        adj_[size_t(rec_.a_[size_t(g)])] += ag;
+        adj_[size_t(rec_.b_[size_t(g)])] -= ag;
         break;
       case GateOp::kMul:
-        adj_[size_t(a_[size_t(g)])] += ag * val_[size_t(b_[size_t(g)])];
-        adj_[size_t(b_[size_t(g)])] += ag * val_[size_t(a_[size_t(g)])];
+        adj_[size_t(rec_.a_[size_t(g)])] +=
+            ag * rec_.val_[size_t(rec_.b_[size_t(g)])];
+        adj_[size_t(rec_.b_[size_t(g)])] +=
+            ag * rec_.val_[size_t(rec_.a_[size_t(g)])];
         break;
       default:
         break;
     }
   }
-  result.reserve(input_gates_.size());
-  for (size_t i = 0; i < input_gates_.size(); ++i) {
-    const GateId g = input_gates_[i];
-    result.push_back({input_keys_[i], val_[size_t(g)], adj_[size_t(g)]});
+  // Live input gates only: a dead gate's value may predate the current
+  // document, and its adjoint is meaningless for every active
+  // registration anyway.
+  result.reserve(live_inputs_);
+  for (size_t i = 0; i < rec_.input_gates_.size(); ++i) {
+    const GateId g = rec_.input_gates_[i];
+    if (cover_[size_t(g)] == 0) continue;
+    result.push_back(
+        {rec_.input_keys_[i], rec_.val_[size_t(g)], adj_[size_t(g)]});
   }
   std::stable_sort(result.begin(), result.end(),
                    [](const Sensitivity& x, const Sensitivity& y) {
@@ -206,24 +463,53 @@ std::vector<LineageCircuit::Sensitivity> LineageCircuit::Sensitivities(
   return result;
 }
 
-size_t LineageCircuit::memory_bytes() const {
+size_t LineageCircuit::registration_count() const {
+  size_t n = 0;
+  for (const auto& [key, reg] : regs_) n += reg.active ? 1 : 0;
+  return n;
+}
+
+LineageCircuit::Stats LineageCircuit::stats() const {
+  Stats s;
+  s.pool_gates = rec_.ops_.size();
+  s.shared_gates = shared_gates_;
+  s.private_gates = private_gates_;
+  s.live_gates = shared_gates_ + private_gates_;
+  s.live_inputs = live_inputs_;
+  s.levels = levels_;
+  for (const auto& [key, reg] : regs_) {
+    if (!reg.active) continue;
+    ++s.registrations;
+    s.guards += reg.guards.size();
+    s.roots += reg.outputs.size();
+    for (const auto& group : reg.outputs) s.outputs += group.size();
+  }
   size_t bytes = 0;
-  bytes += ops_.capacity() * sizeof(GateOp);
-  bytes += (a_.capacity() + b_.capacity()) * sizeof(GateId);
-  bytes += (val_.capacity() + adj_.capacity()) * sizeof(double);
+  bytes += rec_.ops_.capacity() * sizeof(GateOp);
+  bytes += (rec_.a_.capacity() + rec_.b_.capacity()) * sizeof(GateId);
+  bytes += (rec_.val_.capacity() + adj_.capacity()) * sizeof(double);
+  bytes += rec_.input_keys_.capacity() * sizeof(CircuitInput);
+  bytes += rec_.input_gates_.capacity() * sizeof(GateId);
+  bytes += (rec_.cse_.size() + rec_.consts_.size() + rec_.inputs_.size()) *
+           (sizeof(uint64_t) + sizeof(GateId) + 2 * sizeof(void*));
+  bytes += cover_.capacity() + dirty_.capacity() + guard_mask_.capacity();
+  bytes += violated_.size() * (sizeof(uint64_t) + 2 * sizeof(void*));
   bytes += level_.capacity() * sizeof(int32_t);
   bytes += use_off_.capacity() * sizeof(uint32_t);
-  bytes += uses_.capacity() * sizeof(GateId);
-  bytes += input_keys_.capacity() * sizeof(CircuitInput);
-  bytes += input_gates_.capacity() * sizeof(GateId);
-  bytes += guards_.capacity() * sizeof(CircuitRecorder::GuardRec);
-  bytes += dirty_.capacity();
-  for (const auto& group : outputs_) {
-    bytes += group.capacity() * sizeof(std::pair<NodeId, GateId>);
-  }
+  bytes += (uses_.capacity() + stack_.capacity()) * sizeof(GateId);
+  bytes += visit_.capacity() * sizeof(int32_t);
   for (const auto& w : level_work_) bytes += w.capacity() * sizeof(GateId);
   bytes += level_work_.capacity() * sizeof(std::vector<GateId>);
-  return bytes;
+  for (const auto& [key, reg] : regs_) {
+    bytes += reg.guards.capacity() * sizeof(CircuitRecorder::GuardRec);
+    bytes += reg.guard_keys.capacity() * sizeof(uint64_t);
+    bytes += reg.exp_sigs.capacity() * sizeof(std::pair<NodeId, uint64_t>);
+    for (const auto& group : reg.outputs) {
+      bytes += group.capacity() * sizeof(std::pair<NodeId, GateId>);
+    }
+  }
+  s.memory_bytes = bytes;
+  return s;
 }
 
 }  // namespace pxv

@@ -7,39 +7,64 @@
 // and then re-evaluated per probability-only delta by propagating changed
 // values through the dirty cone, instead of re-running the DP spine.
 //
+// Since PR 9 the circuit is SHARED across queries: one multi-root gate pool
+// per document serves every cached query signature. Hash-consing does the
+// sharing by construction — the pool's CSE tables persist across
+// recordings, so when a second query's DP pass re-derives a subcomputation
+// the first one already recorded (the same input gates, the same subtree
+// convolution chains, the same sibling-product internals), it folds onto
+// the existing gates and only the query-private remainder is appended. A
+// probability delta then costs ONE input diff + ONE dirty-cone sweep over
+// the merged DAG for *all* registered queries, instead of one per query.
+//
 // Two classes:
 //
-//   * CircuitRecorder — the build-time sink the engine streams gates into
-//     when EngineOptions::recorder is set. Gates are hash-consed (common-
-//     subexpression folding; Add/Mul canonicalize operand order, which is
-//     sound because IEEE-754 + and × are bitwise commutative) and constant
-//     operations fold at build time. The recorder also collects *guards*:
-//     the value-dependent branch decisions the engine took while the
-//     recording ran (a mux alternative with p == 0 is skipped, a residual
-//     ∅-mass is appended only when Σp < 1, a Combine part is dropped only
-//     when it is the unit distribution). A compiled circuit replays the
-//     recorded straight-line arithmetic, so it is valid exactly while every
-//     guard still evaluates the way it did at record time; a flipped guard
-//     means the engine would have taken a different branch and the circuit
-//     must be recompiled.
+//   * CircuitRecorder — the persistent gate pool and build-time sink the
+//     engine streams gates into when EngineOptions::recorder is set. Gates
+//     are hash-consed (common-subexpression folding; Add/Mul canonicalize
+//     operand order, which is sound because IEEE-754 + and × are bitwise
+//     commutative) and constant operations fold at build time. The gate
+//     arrays and CSE tables survive across recordings (that is what shares
+//     subcircuits between queries); the per-recording capture — *guards*
+//     (the value-dependent branch decisions the engine took while this
+//     recording ran), exp subset-structure signatures, and output gates —
+//     is bracketed by BeginRecording()/TakeRecording() and attributed to
+//     one registration. A recorded query replays straight-line arithmetic,
+//     so it is valid exactly while every one of ITS guards still evaluates
+//     the way it did at record time; a flipped guard invalidates that
+//     query's registration and no other.
 //
-//   * LineageCircuit — the compiled artifact: a flat SoA gate array
-//     (op/a/b/value lanes) in topological order, a CSR consumer index, and
-//     topological levels for the dirty-cone sweep. Propagate() applies a
-//     batch of input-value updates and recomputes only gates whose operand
-//     values actually changed (bitwise early exit). Because the gates
-//     reproduce the engine's operations verbatim — same operands, same
-//     association order — the output values stay bit-identical to a fresh
-//     ExactDpBackend run for as long as the guards hold. Backward() is one
-//     reverse adjoint sweep producing ∂Pr/∂p for every input gate
-//     (sensitivity analysis / explanation, near-free once compiled).
+//   * LineageCircuit — the document's shared circuit: it owns the recorder
+//     pool plus the compiled serving structures (liveness-filtered CSR
+//     consumer index, topological levels, dirty-cone scratch) and a
+//     registration table keyed by query signature. Registrations commit a
+//     finished recording under a key; Sync() applies the document's current
+//     input values in one merged pass (bitwise early exit per gate) and
+//     deactivates registrations whose exp subset shapes moved; GuardsHold()
+//     is the per-registration validity check. Because the gates reproduce
+//     the engine's operations verbatim — same operands, same association
+//     order — every registration's outputs stay bit-identical to a fresh
+//     ExactDpBackend run for as long as its guards hold. Sensitivities() is
+//     one reverse adjoint sweep from a registered root producing ∂Pr/∂p for
+//     every live input gate.
+//
+// Staleness discipline for the shared pool: a new recording may hash-cons
+// onto gates whose cached values predate the current document (they were
+// recorded, or last propagated, at older probabilities — CSE is structural,
+// so reuse is still sound). Committing a registration therefore recompiles
+// the liveness/level/CSR structures and re-evaluates every live gate from
+// the document's current inputs in topological order, which is exactly the
+// engine's arithmetic replayed and hence bit-faithful. Dead gates (from
+// dropped or re-recorded registrations) keep stale values but are excluded
+// from propagation, input diffing and sensitivity readouts until CSE
+// resurrects them — at which point the commit-time refresh fixes them.
 //
 // Value-dependence audit (why guards are sufficient): with prune_eps == 0
 // the DP's *support* structure — which keys exist in which distribution,
 // and in which lane order — depends only on the document structure and the
 // query, never on probability values (FlatDist::Add inserts a lane whether
 // the mass is 0 or not). The only value-dependent control flow is the
-// branch set listed above, each of which is captured as a guard. Recording
+// guarded branch set, each of which is captured per recording. Recording
 // therefore requires prune_eps == 0 and no subtree cache; CircuitBackend
 // (prob/circuit_backend.h) enforces both.
 
@@ -49,7 +74,8 @@
 #include <cstdint>
 #include <cstring>
 #include <deque>
-#include <memory>
+#include <map>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -60,15 +86,15 @@
 
 namespace pxv {
 
-/// Gate handle into a CircuitRecorder / LineageCircuit. Gates are created
-/// in topological order: a gate's operands always have smaller ids.
+/// Gate handle into the shared pool. Gates are created in topological
+/// order: a gate's operands always have smaller ids.
 using GateId = int32_t;
 inline constexpr GateId kNoGate = -1;
 
 enum class GateOp : uint8_t { kConst, kInput, kAdd, kSub, kMul };
 
-/// A recorded branch decision. The circuit is valid while every guard's
-/// gate still evaluates to the recorded side of its predicate.
+/// A recorded branch decision. A registration is valid while every one of
+/// its guards' gates still evaluates to the recorded side of its predicate.
 enum class GuardKind : uint8_t {
   kIsZero,  ///< expected == (value == 0.0)
   kIsOne,   ///< expected == (value == 1.0)
@@ -87,25 +113,69 @@ struct CircuitInput {
 };
 
 /// Order-sensitive hash of exp node `n`'s subset structure (subset count,
-/// sizes and child indices — not the probabilities). Recorded at compile
-/// and re-checked at serve time: a SetExpDistribution that reshapes the
-/// subsets invalidates the circuit without moving structure_version.
+/// sizes and child indices — not the probabilities). Recorded per
+/// registration and re-checked at serve time: a SetExpDistribution that
+/// reshapes the subsets invalidates the registrations that read the node
+/// without moving structure_version — and no other registration.
 uint64_t ExpStructureSig(const PDocument& pd, NodeId n);
 
 /// Per-lane gate annotations riding on a FlatDist during recording: the
 /// i-th element is the gate computing the i-th dense lane's value. Owned by
-/// the recorder (stable addresses via deque); FlatDist carries only an
-/// opaque pointer (FlatDist::shadow).
+/// the recorder (stable addresses via deque, cleared per recording);
+/// FlatDist carries only an opaque pointer (FlatDist::shadow).
 using GateVec = std::vector<GateId>;
 
-/// Build-time gate sink. One recorder per compilation; the engine streams
-/// gates into it when EngineOptions::recorder is set, and
-/// LineageCircuit::Compile consumes it.
+/// Persistent gate pool + build-time sink. The pool (gate arrays, CSE
+/// tables, input memo) lives for the document structure's lifetime and is
+/// what shares subcircuits across queries; BeginRecording() brackets one
+/// engine pass's capture. LineageCircuit owns one.
 class CircuitRecorder {
  public:
+  struct GuardRec {
+    GateId gate;
+    GuardKind kind;
+    bool expected;
+  };
+
   CircuitRecorder() = default;
   CircuitRecorder(const CircuitRecorder&) = delete;
   CircuitRecorder& operator=(const CircuitRecorder&) = delete;
+
+  /// Opens a recording: clears the per-recording capture (guards, exp
+  /// signatures, outputs, lane annotations) and marks the pool size so an
+  /// over-cap recording can be rolled back. The gate pool itself persists —
+  /// the new pass hash-conses onto every gate any earlier recording built.
+  void BeginRecording() {
+    gate_mark_ = ops_.size();
+    input_mark_ = input_gates_.size();
+    guards_.clear();
+    guard_seen_.clear();
+    exp_sigs_.clear();
+    outputs_.clear();
+    vecs_.clear();
+  }
+
+  /// Closes a recording, moving its capture out. The pool keeps the gates.
+  void TakeRecording(std::vector<GuardRec>* guards,
+                     std::vector<std::pair<NodeId, uint64_t>>* exp_sigs,
+                     std::vector<std::vector<std::pair<NodeId, GateId>>>* outs) {
+    *guards = std::move(guards_);
+    *exp_sigs = std::move(exp_sigs_);
+    *outs = std::move(outputs_);
+    guards_.clear();
+    exp_sigs_.clear();
+    outputs_.clear();
+  }
+
+  /// Drops every gate the current recording appended (an over-cap
+  /// recording): truncates the pool to the BeginRecording() mark and erases
+  /// the CSE/memo entries that point past it, so the next recording cannot
+  /// cons onto truncated ids.
+  void RollbackRecording();
+
+  /// Drops the whole pool (structural mutation: every recorded schedule is
+  /// stale). Keeps the object and its allocations' capacity where cheap.
+  void Clear();
 
   /// Constant gate (hash-consed on the exact bit pattern).
   GateId Const(double v) {
@@ -116,8 +186,8 @@ class CircuitRecorder {
     return it->second;
   }
 
-  /// Input gate for an edge probability / exp subset slot (memoized: the
-  /// same probability read twice yields the same gate).
+  /// Input gate for an edge probability / exp subset slot (memoized across
+  /// recordings: every query reading the same probability shares one gate).
   GateId InputEdge(NodeId node, double v) {
     return Input(CircuitInput::Kind::kEdgeProb, node, 0, v);
   }
@@ -130,7 +200,10 @@ class CircuitRecorder {
   // with the same IEEE operation, x·1 ≡ x exactly, and x + (+0.0) ≡ x for
   // the non-negative values the DP produces (a sign-of-zero divergence can
   // only reach a mux/exp Σp total, where it is unobservable: both ±0
-  // compare equal against the guards and 1 − ±0 ≡ 1).
+  // compare equal against the guards and 1 − ±0 ≡ 1). A consed hit may
+  // return a gate whose cached value predates the current document; the
+  // structure is still exact, and LineageCircuit re-evaluates every live
+  // gate at commit time (see the staleness discipline above).
   GateId Add(GateId a, GateId b) {
     if (IsConstBits(a, 0)) return b;
     if (IsConstBits(b, 0)) return a;
@@ -153,7 +226,9 @@ class CircuitRecorder {
 
   /// Records that the engine branched on `kind(value(g))` and saw
   /// `expected`. Constant gates can never flip; they are checked once here
-  /// and not stored.
+  /// and not stored. Deduplication is per recording — two registrations
+  /// that both branch on a shared gate each carry their own guard, so a
+  /// flip invalidates each of them independently.
   void Guard(GateId g, GuardKind kind, bool expected) {
     PXV_CHECK(g >= 0);
     if (IsConst(g)) {
@@ -176,15 +251,16 @@ class CircuitRecorder {
     return false;
   }
 
-  /// Records the subset *structure* of an exp node (sizes + child indices):
-  /// a SetExpDistribution that changes structure, not just probabilities,
-  /// invalidates the circuit even though structure_version does not move.
+  /// Records the subset *structure* of an exp node (sizes + child indices)
+  /// for the current recording: a SetExpDistribution that changes structure,
+  /// not just probabilities, invalidates the registrations that read it
+  /// even though structure_version does not move.
   void NoteExpStructure(NodeId node, uint64_t sig) {
     exp_sigs_.emplace_back(node, sig);
   }
 
-  /// Declares `member_count` output groups (one per batched member; the
-  /// joint BatchAnchored readout uses a single group).
+  /// Declares `member_count` output groups for the current recording (one
+  /// per batched member; the joint BatchAnchored readout uses one group).
   void SetMemberCount(int n) { outputs_.assign(size_t(n), {}); }
   /// Records the gate computing Pr(node ∈ answers) for output group
   /// `member`. The > 0 inclusion filter and the node-id sort are applied at
@@ -193,10 +269,14 @@ class CircuitRecorder {
     outputs_[size_t(member)].emplace_back(node, g);
   }
 
-  /// Fresh per-lane annotation vector (stable address for FlatDist::shadow).
+  /// Fresh per-lane annotation vector (stable address for FlatDist::shadow,
+  /// valid for the current recording).
   GateVec* NewVec() { return &vecs_.emplace_back(); }
 
   size_t gate_count() const { return ops_.size(); }
+  /// Gates the current (or last committed) recording appended to the pool —
+  /// the query-private growth; everything else was shared.
+  size_t gates_added() const { return ops_.size() - gate_mark_; }
   double value(GateId g) const { return val_[size_t(g)]; }
   bool IsConst(GateId g) const { return ops_[size_t(g)] == GateOp::kConst; }
 
@@ -242,12 +322,7 @@ class CircuitRecorder {
     return it->second;
   }
 
-  struct GuardRec {
-    GateId gate;
-    GuardKind kind;
-    bool expected;
-  };
-
+  // Pool state: survives across recordings (this is the sharing).
   std::vector<GateOp> ops_;
   std::vector<GateId> a_, b_;
   std::vector<double> val_;
@@ -256,6 +331,10 @@ class CircuitRecorder {
   std::unordered_map<uint64_t, GateId> inputs_;
   std::vector<CircuitInput> input_keys_;
   std::vector<GateId> input_gates_;
+
+  // Per-recording capture: bracketed by BeginRecording()/TakeRecording().
+  size_t gate_mark_ = 0;
+  size_t input_mark_ = 0;
   std::vector<GuardRec> guards_;
   std::unordered_set<uint64_t> guard_seen_;
   std::vector<std::pair<NodeId, uint64_t>> exp_sigs_;
@@ -263,93 +342,219 @@ class CircuitRecorder {
   std::deque<GateVec> vecs_;
 };
 
-/// Compiled circuit: flat SoA gates, CSR consumers, topological levels.
-/// Single-threaded state, like the scratch that produced it.
+/// The document's shared multi-root lineage circuit: the recorder pool plus
+/// compiled serving structures (liveness-filtered CSR consumers,
+/// topological levels, dirty-cone scratch) and a registration table keyed
+/// by query signature. Single-threaded state, like the scratch that feeds
+/// it; CircuitBackend owns one per document.
 class LineageCircuit {
  public:
   struct Sensitivity {
     CircuitInput input;
-    double value = 0;  ///< The input's probability at the last Propagate.
+    double value = 0;  ///< The input's probability at the last Sync.
     double grad = 0;   ///< ∂Pr(answer)/∂input at that point.
   };
 
-  /// Consumes a finished recording. The recorder's CSE/memo side tables are
-  /// dropped; only the gate arrays survive.
-  static std::unique_ptr<LineageCircuit> Compile(CircuitRecorder&& rec);
+  /// Merged-shape observability (pxvq circuit, DistProfile gauges). Gate
+  /// classes partition the LIVE non-constant gates: shared = in ≥ 2 active
+  /// registrations' cones, private = in exactly one.
+  struct Stats {
+    size_t pool_gates = 0;     ///< All gates in the pool, dead included.
+    size_t live_gates = 0;     ///< shared_gates + private_gates.
+    size_t shared_gates = 0;
+    size_t private_gates = 0;
+    size_t live_inputs = 0;
+    size_t guards = 0;         ///< Across active registrations.
+    size_t levels = 0;
+    size_t registrations = 0;  ///< Active registrations.
+    size_t roots = 0;          ///< Output groups across active registrations.
+    size_t outputs = 0;        ///< Output gates across active registrations.
+    size_t memory_bytes = 0;   ///< Pool + compiled arrays + scratch.
+  };
 
-  /// Applies a batch of (input gate, new value) updates and forward-
-  /// propagates the dirty cone by topological level, early-exiting on
-  /// bitwise-unchanged gate values. Returns the number of gates recomputed
-  /// (dirty-cone size, excluding the inputs themselves).
-  size_t Propagate(const std::vector<std::pair<GateId, double>>& updates);
+  explicit LineageCircuit(size_t max_gates) : max_gates_(max_gates) {}
 
-  /// True while every recorded guard evaluates as it did at record time.
-  /// O(#guards) compares; call after Propagate.
-  bool GuardsHold() const;
+  /// The engine's gate sink (EngineOptions::recorder).
+  CircuitRecorder* recorder() { return &rec_; }
 
-  /// Output group `member` at the current gate values: entries with value
-  /// > 0, ascending node id — the exact readout contract of
+  /// Brackets one engine pass's recording; see CircuitRecorder.
+  void BeginRecording() { rec_.BeginRecording(); }
+
+  /// Commits the recording opened by BeginRecording under `key`, replacing
+  /// any previous registration with that key, then recompiles the merged
+  /// structures and re-evaluates every live gate from `pd`'s current
+  /// probabilities (the pool-staleness discipline). False when the pool
+  /// exceeded max_gates: the recording is rolled back gate-for-gate, any
+  /// previous registration under `key` is dropped, and the other
+  /// registrations keep serving from the shared circuit.
+  bool CommitRecording(const std::string& key, const PDocument& pd);
+
+  /// Drops a registration (cache eviction). Its query-private gates go
+  /// dead in the pool until a rebuild; shared gates keep serving the rest.
+  void Unregister(const std::string& key);
+
+  /// Marks a registration invalid (flipped guard) without touching the
+  /// pool; the caller re-records it or unregisters it.
+  void Deactivate(const std::string& key);
+
+  /// True while `key` has an active (servable) registration.
+  bool Registered(const std::string& key) const {
+    auto it = regs_.find(key);
+    return it != regs_.end() && it->second.active;
+  }
+
+  /// Drops the pool and every registration (structural mutation).
+  void Reset();
+
+  /// True when Sync(pd) would do work: the document moved since the last
+  /// sync, or the registration set changed.
+  bool pending(const PDocument& pd) const {
+    return structures_stale_ || served_uid_ != pd.uid();
+  }
+
+  /// ONE merged pass bringing every registration to `pd`'s current values:
+  /// re-checks each active registration's exp subset shapes (a reshaped
+  /// registration is deactivated and its key appended to `reshaped`; the
+  /// others are unaffected), then either diffs the live input gates and
+  /// forward-propagates the dirty cone by topological level (bitwise early
+  /// exit per gate), or — when the registration set changed — recompiles
+  /// and re-evaluates the live gates in full. Returns the number of gates
+  /// recomputed. Guards are NOT checked here: they are per-registration
+  /// (GuardsHold), so one flipped query never blocks the merged pass.
+  size_t Sync(const PDocument& pd, std::vector<std::string>* reshaped);
+
+  /// True while every guard of `key`'s registration evaluates as it did at
+  /// record time. O(1) in the common case — Propagate maintains the set of
+  /// currently-violated guard predicates as a side effect of the dirty-cone
+  /// sweep (a guarded gate whose value changed bitwise re-probes only its
+  /// watched predicates), so this degenerates to an empty-set test; when
+  /// some predicate IS violated it binary-searches the registration's
+  /// sorted guard keys per violated entry. Call after Sync.
+  bool GuardsHold(const std::string& key) const;
+
+  /// Output groups of `key`'s registration.
+  int member_count(const std::string& key) const {
+    return int(regs_.at(key).outputs.size());
+  }
+
+  /// Output group `member` of `key` at the current gate values: entries
+  /// with value > 0, ascending node id — the exact readout contract of
   /// BatchAnchoredProbabilities / BatchManyProbabilities.
-  std::vector<NodeProb> Results(int member) const;
+  std::vector<NodeProb> Results(const std::string& key, int member) const;
 
-  /// One reverse adjoint sweep from output group `member`'s gate for
-  /// `node`: ∂Pr/∂p for every input gate, descending |grad|. Empty when the
-  /// node is not a recorded output of that group.
-  std::vector<Sensitivity> Sensitivities(int member, NodeId node);
+  /// One reverse adjoint sweep from `key`'s output gate for `node` in
+  /// group `member`: ∂Pr/∂p for every live input gate, descending |grad|.
+  /// Empty when the node is not a recorded output of that group.
+  std::vector<Sensitivity> Sensitivities(const std::string& key, int member,
+                                         NodeId node);
 
-  const std::vector<CircuitInput>& inputs() const { return input_keys_; }
-  GateId input_gate(size_t i) const { return input_gates_[i]; }
-  double value(GateId g) const { return val_[size_t(g)]; }
-  const std::vector<std::pair<NodeId, uint64_t>>& exp_sigs() const {
-    return exp_sigs_;
+  /// True once dead gates (dropped / re-recorded registrations) outweigh
+  /// the live ones — time for the owner to Reset() and re-record lazily.
+  bool NeedsRebuild() const {
+    const size_t pool = rec_.ops_.size();
+    return pool > kRebuildMinGates && pool - live_total_ > live_total_;
   }
 
-  size_t gate_count() const { return ops_.size(); }
-  size_t input_count() const { return input_gates_.size(); }
-  size_t guard_count() const { return guards_.size(); }
-  size_t level_count() const { return levels_; }
-  int member_count() const { return int(outputs_.size()); }
-  size_t output_count(int member) const {
-    return outputs_[size_t(member)].size();
-  }
-  /// Heap footprint of the compiled arrays (gates + CSR + scratch).
-  size_t memory_bytes() const;
+  uint64_t served_uid() const { return served_uid_; }
+  size_t pool_gate_count() const { return rec_.ops_.size(); }
+  size_t registration_count() const;
+  Stats stats() const;
 
  private:
-  LineageCircuit() = default;
+  static constexpr size_t kRebuildMinGates = 4096;
 
+  struct Registration {
+    bool active = false;
+    std::vector<CircuitRecorder::GuardRec> guards;
+    /// GuardKey(guards[i]) for all i, sorted — the GuardsHold fast path
+    /// intersects the pool's violated set against this by binary search.
+    std::vector<uint64_t> guard_keys;
+    std::vector<std::pair<NodeId, uint64_t>> exp_sigs;
+    /// Per member group, sorted ascending by node id.
+    std::vector<std::vector<std::pair<NodeId, GateId>>> outputs;
+  };
+
+  /// Packed identity of one guard predicate: gate | kind | expected side.
+  static uint64_t GuardKey(GateId g, GuardKind kind, bool expected) {
+    return (uint64_t(uint32_t(g)) << 3) | (uint64_t(uint8_t(kind)) << 1) |
+           uint64_t(expected ? 1 : 0);
+  }
+
+  /// Rebuilds cover/levels/CSR/scratch over the live cone of the active
+  /// registrations.
+  void Recompile();
+  /// Re-probes every watched predicate at gate `g` against its current
+  /// value, inserting/erasing `violated_` entries. Called from Propagate
+  /// for gates whose value changed bitwise, pre-filtered by guard_mask_.
+  void CheckGuardsAt(GateId g);
+  /// Recomputes `violated_` from scratch over the active registrations'
+  /// guards (after FullRefresh rewrote gate values wholesale).
+  void RebuildViolated();
+  /// Sets every live input gate from `pd` and re-evaluates every live
+  /// arithmetic gate in topological order. Returns gates recomputed.
+  size_t FullRefresh(const PDocument& pd);
+  size_t Propagate(const std::vector<std::pair<GateId, double>>& updates);
   void MarkDirty(GateId g);
+  double InputValue(const PDocument& pd, const CircuitInput& in) const {
+    return in.kind == CircuitInput::Kind::kEdgeProb
+               ? pd.edge_prob(in.node)
+               : pd.exp_distribution(in.node)[size_t(in.index)].second;
+  }
   double Eval(GateId g) const {
-    const double a = val_[size_t(a_[size_t(g)])];
-    const double b = val_[size_t(b_[size_t(g)])];
-    switch (ops_[size_t(g)]) {
+    const double a = rec_.val_[size_t(rec_.a_[size_t(g)])];
+    const double b = rec_.val_[size_t(rec_.b_[size_t(g)])];
+    switch (rec_.ops_[size_t(g)]) {
       case GateOp::kAdd: return a + b;
       case GateOp::kSub: return a - b;
       case GateOp::kMul: return a * b;
-      default: return val_[size_t(g)];
+      default: return rec_.val_[size_t(g)];
     }
   }
+  bool IsArith(GateId g) const {
+    const GateOp op = rec_.ops_[size_t(g)];
+    return op == GateOp::kAdd || op == GateOp::kSub || op == GateOp::kMul;
+  }
 
-  std::vector<GateOp> ops_;
-  std::vector<GateId> a_, b_;
-  std::vector<double> val_;
+  CircuitRecorder rec_;
+  size_t max_gates_;
+  // Deterministic iteration: Sync's reshape audit and the stats walk the
+  // registrations in key order.
+  std::map<std::string, Registration> regs_;
+  uint64_t served_uid_ = 0;
+  bool structures_stale_ = false;
+
+  // Compiled serving structures, indexed by pool GateId; rebuilt by
+  // Recompile(). cover_ is the registration coverage count saturated at 2
+  // (0 = dead, 1 = query-private, 2 = shared).
+  std::vector<uint8_t> cover_;
   std::vector<int32_t> level_;
   size_t levels_ = 0;
-  // CSR consumer index: gates that read gate g are
+  // CSR consumer index over live gates: live gates that read gate g are
   // uses_[use_off_[g] .. use_off_[g+1]).
   std::vector<uint32_t> use_off_;
   std::vector<GateId> uses_;
-  std::vector<CircuitInput> input_keys_;
-  std::vector<GateId> input_gates_;
-  std::vector<CircuitRecorder::GuardRec> guards_;
-  std::vector<std::pair<NodeId, uint64_t>> exp_sigs_;
-  std::vector<std::vector<std::pair<NodeId, GateId>>> outputs_;
+  // Guard violation tracking (the GuardsHold fast path). guard_mask_[g] is
+  // a 6-bit mask of the predicates watched at gate g by any active
+  // registration — bit (kind*2 + expected); rebuilt by Recompile().
+  // violated_ holds the GuardKeys whose predicate currently evaluates
+  // against its recorded side, maintained incrementally by Propagate (a
+  // flip-then-unflip erases its entry again) and rebuilt after FullRefresh.
+  std::vector<uint8_t> guard_mask_;
+  std::unordered_set<uint64_t> violated_;
   // Propagation scratch: per-gate dirty flag + per-level worklists (only
   // touched levels are allocated/cleared).
   std::vector<uint8_t> dirty_;
   std::vector<std::vector<GateId>> level_work_;
   std::vector<int32_t> touched_levels_;
-  std::vector<double> adj_;  // Backward-pass scratch.
+  std::vector<std::pair<GateId, double>> updates_;  // Input-diff scratch.
+  std::vector<double> adj_;                         // Backward-pass scratch.
+  std::vector<int32_t> visit_;  // Recompile scratch: last reg that reached g.
+  std::vector<GateId> stack_;   // Recompile DFS scratch.
+  // Shape gauges refreshed by Recompile().
+  size_t live_total_ = 0;   // Live gates, constants included.
+  size_t shared_gates_ = 0;
+  size_t private_gates_ = 0;
+  size_t live_inputs_ = 0;
 };
 
 }  // namespace pxv

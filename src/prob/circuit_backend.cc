@@ -17,7 +17,9 @@ Status DeclineTooLarge(const char* what, int slots) {
 }  // namespace
 
 CircuitBackend::CircuitBackend(const CircuitBackendOptions& options)
-    : options_(options), kernel_(ResolveKernel(options.force_scalar)) {}
+    : options_(options),
+      kernel_(ResolveKernel(options.force_scalar)),
+      shared_(options.max_gates) {}
 
 CircuitBackend::~CircuitBackend() = default;
 
@@ -43,69 +45,92 @@ EngineOptions CircuitBackend::RecordOptions(CircuitRecorder* rec) const {
   return options;
 }
 
-template <typename ColdFn>
-CircuitBackend::Entry* CircuitBackend::Sync(
-    const PDocument& pd, const std::string& key,
-    const std::vector<const Pattern*>& members, ColdFn run_cold,
-    std::vector<std::vector<NodeProb>>* cold) {
-  (void)members;
+void CircuitBackend::UpdateGauges() {
   DistProfile* prof = scratch_.profile();
-  Entry& e = cache_[key];
-  if (e.circuit != nullptr && e.structure_version == pd.structure_version()) {
-    LineageCircuit& c = *e.circuit;
-    // Ladder step 1: nothing mutated since the last serve — the gate values
-    // already reflect pd, replay the outputs as they stand.
-    if (e.served_uid == pd.uid()) return &e;
-    // Ladder step 2: probability-only churn. SetExpDistribution can reshape
-    // the subset structure without moving structure_version, so re-check the
-    // recorded shapes before trusting the input diff.
-    bool shapes_ok = true;
-    for (const auto& [node, sig] : c.exp_sigs()) {
-      if (ExpStructureSig(pd, node) != sig) {
-        shapes_ok = false;
-        break;
+  const LineageCircuit::Stats s = shared_.stats();
+  prof->circuit_shared_gates = s.shared_gates;
+  prof->circuit_private_gates = s.private_gates;
+  prof->circuit_roots = s.roots;
+}
+
+void CircuitBackend::EvictOverflow(const std::string& keep) {
+  DistProfile* prof = scratch_.profile();
+  while (queries_.size() > options_.max_cached_queries) {
+    auto victim = queries_.end();
+    for (auto it = queries_.begin(); it != queries_.end(); ++it) {
+      if (it->first == keep) continue;
+      if (victim == queries_.end() || it->second.tick < victim->second.tick) {
+        victim = it;
       }
     }
-    if (shapes_ok) {
-      updates_.clear();
-      const std::vector<CircuitInput>& ins = c.inputs();
-      updates_.reserve(ins.size());
-      for (size_t i = 0; i < ins.size(); ++i) {
-        const CircuitInput& in = ins[i];
-        const double v =
-            in.kind == CircuitInput::Kind::kEdgeProb
-                ? pd.edge_prob(in.node)
-                : pd.exp_distribution(in.node)[size_t(in.index)].second;
-        updates_.emplace_back(c.input_gate(i), v);
-      }
-      prof->circuit_dirty_gates += c.Propagate(updates_);
-      if (c.GuardsHold()) {
-        e.served_uid = pd.uid();
-        return &e;
-      }
-      // A guard flipped: the engine would have branched differently, so the
-      // recorded straight line no longer reproduces it. Fall through to a
-      // fresh recording (the half-propagated gate values are discarded with
-      // the circuit).
-    }
+    if (victim == queries_.end()) return;
+    shared_.Unregister(victim->first);
+    queries_.erase(victim);
+    ++prof->circuit_evictions;
   }
-  // Ladder step 3: record one full engine pass and compile it. The pass's
-  // own results serve this call — bit-identity with ExactDpBackend is
-  // trivial on cold serves.
-  CircuitRecorder rec;
-  *cold = run_cold(&rec);
+}
+
+template <typename ColdFn>
+bool CircuitBackend::Sync(const PDocument& pd, const std::string& key,
+                          ColdFn run_cold,
+                          std::vector<std::vector<NodeProb>>* cold) {
+  DistProfile* prof = scratch_.profile();
+  // A structural mutation stales every recorded schedule at once: drop the
+  // pool (and the bans — the document changed shape, so a formerly huge
+  // recording may now fit) and let the queries re-record lazily.
+  if (structure_version_ != pd.structure_version()) {
+    shared_.Reset();
+    queries_.clear();
+    structure_version_ = pd.structure_version();
+  }
+  QueryState& qs = queries_[key];
+  qs.tick = ++tick_;
+  if (qs.banned) {
+    // Ladder step 4, steady state: this query's recording does not fit the
+    // pool; it pays a plain (unrecorded) DP pass per call.
+    *cold = run_cold(nullptr);
+    ++prof->circuit_recompiles;
+    return false;
+  }
+  bool registered = shared_.Registered(key);
+  if (registered && shared_.pending(pd)) {
+    // Ladder step 2: ONE merged input-diff + dirty-cone pass refreshes
+    // every registration, not just this query's. Reshaped exp subsets
+    // deactivate exactly the registrations that recorded them.
+    prof->circuit_dirty_gates += shared_.Sync(pd, nullptr);
+    ++prof->circuit_merged_propagations;
+    registered = shared_.Registered(key);
+  }
+  if (registered && !shared_.GuardsHold(key)) {
+    // Ladder step 3: a guard flipped — the engine would have branched
+    // differently, so the recorded straight line no longer reproduces this
+    // query (and only this query). Re-record it into the pool.
+    shared_.Deactivate(key);
+    registered = false;
+  }
+  if (registered) return true;  // Ladder step 1/2: replay the outputs.
+  // Cold or re-record: one full engine pass streamed into the shared pool —
+  // hash-consing folds it onto every gate the other registrations already
+  // built. The pass's own results serve this call, so bit-identity with
+  // ExactDpBackend is trivial on cold serves.
+  if (shared_.NeedsRebuild()) {
+    // Mostly dead pool (evictions / re-records): drop it; live queries
+    // re-record lazily on their next serve.
+    shared_.Reset();
+  }
+  const size_t before = shared_.pool_gate_count();
+  shared_.BeginRecording();
+  *cold = run_cold(shared_.recorder());
   ++prof->circuit_recompiles;
-  if (rec.gate_count() > options_.max_gates) {
-    // Ladder step 4: too big to keep. Drop any stale circuit; this query
-    // set pays a plain DP pass per call until the document shrinks.
-    e = Entry{};
-    return nullptr;
+  if (!shared_.CommitRecording(key, pd)) {
+    qs.banned = true;
+    UpdateGauges();
+    return false;
   }
-  prof->circuit_gates += rec.gate_count();
-  e.circuit = LineageCircuit::Compile(std::move(rec));
-  e.structure_version = pd.structure_version();
-  e.served_uid = pd.uid();
-  return &e;
+  prof->circuit_gates += shared_.pool_gate_count() - before;
+  EvictOverflow(key);
+  UpdateGauges();
+  return true;
 }
 
 StatusOr<double> CircuitBackend::Conjunction(const PDocument& pd,
@@ -125,10 +150,9 @@ StatusOr<std::vector<NodeProb>> CircuitBackend::BatchAnchored(
   const int slots = BatchSlotCount(members);
   if (slots > kMaxConjunctionSlots) return DeclineTooLarge("batch", slots);
   std::vector<std::vector<NodeProb>> cold;
-  Entry* e = SyncJoint(pd, members, &cold);
+  SyncJoint(pd, members, &cold);
   if (!cold.empty()) return std::move(cold[0]);
-  PXV_CHECK(e != nullptr);
-  return e->circuit->Results(0);
+  return shared_.Results(key_, 0);
 }
 
 StatusOr<std::vector<std::vector<NodeProb>>> CircuitBackend::BatchAnchoredMany(
@@ -137,32 +161,32 @@ StatusOr<std::vector<std::vector<NodeProb>>> CircuitBackend::BatchAnchoredMany(
   if (slots > kMaxConjunctionSlots) return DeclineTooLarge("batch", slots);
   key_ = CacheKey('M', members);
   std::vector<std::vector<NodeProb>> cold;
-  Entry* e = Sync(
-      pd, key_, members,
+  const bool servable = Sync(
+      pd, key_,
       [&](CircuitRecorder* rec) {
         return BatchManyProbabilities(pd, members, &scratch_,
                                       RecordOptions(rec));
       },
       &cold);
   if (!cold.empty()) return std::move(cold);
-  PXV_CHECK(e != nullptr);
+  PXV_CHECK(servable);
   std::vector<std::vector<NodeProb>> out;
-  out.reserve(size_t(e->circuit->member_count()));
-  for (int i = 0; i < e->circuit->member_count(); ++i) {
-    out.push_back(e->circuit->Results(i));
-  }
+  const int n = shared_.member_count(key_);
+  out.reserve(size_t(n));
+  for (int i = 0; i < n; ++i) out.push_back(shared_.Results(key_, i));
   return out;
 }
 
-// Syncs the joint ('J'-mode) circuit for `members` — the one BatchAnchored
-// serves — compiling it if needed. Null when the recording exceeds the gate
-// cap; a slot-cap overflow has already been declined by the caller.
-CircuitBackend::Entry* CircuitBackend::SyncJoint(
-    const PDocument& pd, const std::vector<const Pattern*>& members,
-    std::vector<std::vector<NodeProb>>* cold) {
+// Syncs the shared circuit for the joint ('J'-mode) readout of `members` —
+// the one BatchAnchored serves — recording it if needed. Leaves the key in
+// key_. False when the query is banned by the gate cap; a slot-cap overflow
+// has already been declined by the caller.
+bool CircuitBackend::SyncJoint(const PDocument& pd,
+                               const std::vector<const Pattern*>& members,
+                               std::vector<std::vector<NodeProb>>* cold) {
   key_ = CacheKey('J', members);
   return Sync(
-      pd, key_, members,
+      pd, key_,
       [&](CircuitRecorder* rec) {
         std::vector<std::vector<NodeProb>> r(1);
         r[0] = BatchAnchoredProbabilities(pd, members, &scratch_,
@@ -178,28 +202,13 @@ StatusOr<std::vector<LineageCircuit::Sensitivity>> CircuitBackend::Sensitivities
   const int slots = BatchSlotCount(members);
   if (slots > kMaxConjunctionSlots) return DeclineTooLarge("batch", slots);
   std::vector<std::vector<NodeProb>> cold;
-  Entry* e = SyncJoint(pd, members, &cold);
-  if (e == nullptr) {
+  if (!SyncJoint(pd, members, &cold)) {
     return Status::Error(
         "circuit declines: recording exceeds the gate cap (" +
         std::to_string(options_.max_gates) + " gates)");
   }
-  // The compiled joint readout has a single output group (group 0).
-  return e->circuit->Sensitivities(0, node);
-}
-
-StatusOr<const LineageCircuit*> CircuitBackend::Compiled(
-    const PDocument& pd, const std::vector<const Pattern*>& members) {
-  const int slots = BatchSlotCount(members);
-  if (slots > kMaxConjunctionSlots) return DeclineTooLarge("batch", slots);
-  std::vector<std::vector<NodeProb>> cold;
-  Entry* e = SyncJoint(pd, members, &cold);
-  if (e == nullptr) {
-    return Status::Error(
-        "circuit declines: recording exceeds the gate cap (" +
-        std::to_string(options_.max_gates) + " gates)");
-  }
-  return static_cast<const LineageCircuit*>(e->circuit.get());
+  // The joint readout has a single output group (group 0).
+  return shared_.Sensitivities(key_, 0, node);
 }
 
 }  // namespace pxv

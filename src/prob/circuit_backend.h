@@ -1,26 +1,40 @@
 // CircuitBackend: the serve side of the lineage-circuit route
 // (prob/circuit.h). The first batched evaluation of a query set over a
 // document runs the exact DP once with the circuit recorder attached and
-// compiles the recording; every later evaluation of the same (document
+// registers the recording; every later evaluation of the same (document
 // structure, query set) pair is served by *value re-propagation* — diff the
-// edge/exp probabilities against the circuit's input gates, forward-
-// propagate the dirty cone, replay the outputs — instead of re-running the
-// DP pass. Results are bit-identical to ExactDpBackend in every mode: the
-// cold pass IS an engine pass, and the warm path replays the engine's
-// recorded arithmetic verbatim while the guards hold.
+// probabilities against the circuit's input gates, forward-propagate the
+// dirty cone, replay the outputs — instead of re-running the DP pass.
+// Results are bit-identical to ExactDpBackend in every mode: the cold pass
+// IS an engine pass, and the warm path replays the engine's recorded
+// arithmetic verbatim while the query's guards hold.
 //
-// Fallback ladder per call:
-//   1. document uid unchanged since the last serve      → replay outputs
-//   2. structure_version unchanged, exp subset shapes
-//      unchanged, guards hold after Propagate           → dirty-cone sweep
-//   3. otherwise (structural mutation, reshaped exp
-//      distribution, flipped guard)                     → recompile (one
-//      fresh recorded DP pass), counted in
-//      DistProfile::circuit_recompiles
-//   4. recording exceeds max_gates                      → serve that pass's
-//      results, cache nothing; later calls pay a plain
-//      DP pass each (the circuit route is declined for
-//      this query set until the document shrinks)
+// All registrations of one backend share ONE multi-root LineageCircuit
+// (the per-document gate pool): structurally identical subcircuits across
+// query signatures compile once, and a document delta costs ONE merged
+// input-diff + dirty-cone pass that refreshes every registered query's
+// answers simultaneously — the first query served after the delta pays it,
+// the rest replay (DistProfile::circuit_merged_propagations counts the
+// passes, circuit_shared_gates / circuit_private_gates / circuit_roots
+// gauge the merged shape).
+//
+// Fallback ladder per call, PER QUERY — one query falling off the shared
+// circuit never forces the others to recompile:
+//   1. document uid unchanged since the last merged sync  → replay outputs
+//   2. structure_version unchanged, the query's exp subset
+//      shapes unchanged, its guards hold after the merged
+//      sync                                               → served by the
+//      shared dirty-cone sweep
+//   3. reshaped exp distribution or flipped guard         → re-record that
+//      query into the pool (one fresh recorded DP pass,
+//      counted in DistProfile::circuit_recompiles); a
+//      structural mutation resets the whole pool and every
+//      query re-records lazily
+//   4. the recording pushes the pool past max_gates       → roll the gates
+//      back and ban the query: it pays a plain DP pass per
+//      call until the document structure changes, while the
+//      other registrations keep serving from the shared
+//      circuit
 //
 // Conjunction() (fixed-anchor goals) is outside the recordable fragment and
 // always delegates to a plain engine pass. Slot-cap declines mirror
@@ -29,7 +43,6 @@
 #ifndef PXV_PROB_CIRCUIT_BACKEND_H_
 #define PXV_PROB_CIRCUIT_BACKEND_H_
 
-#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -45,10 +58,15 @@ struct CircuitBackendOptions {
   /// Sibling-product segment trees in the underlying DP (recorded circuits
   /// inherit the tree's association order; both settings are exact).
   bool sibling_tree = true;
-  /// Recordings above this gate count are not compiled or cached; the call
-  /// is served by the plain DP pass that produced them. Bounds memory to
-  /// ~48 bytes/gate (SoA lanes + CSR index).
+  /// Shared-pool gate budget. A recording that would push the pool past it
+  /// is rolled back and its query banned to the plain DP until the document
+  /// structure changes. Bounds memory to ~48 bytes/gate (SoA lanes + CSR).
   size_t max_gates = size_t{4} << 20;
+  /// LRU cap on registered query signatures. Long-lived stores under query
+  /// churn evict the least-recently-served registration past this count
+  /// (DistProfile::circuit_evictions); its private gates go dead in the
+  /// pool until the dead/live ratio triggers a rebuild.
+  size_t max_cached_queries = 64;
 };
 
 class CircuitBackend : public ProbBackend {
@@ -69,56 +87,60 @@ class CircuitBackend : public ProbBackend {
       const PDocument& pd,
       const std::vector<const Pattern*>& members) override;
 
-  /// ∂Pr(node ∈ answers)/∂p for every circuit input, descending |∂Pr/∂p|:
-  /// one reverse adjoint sweep over the compiled circuit for the joint
-  /// evaluation of `members` (compiling it first if needed). Empty when
+  /// ∂Pr(node ∈ answers)/∂p for every live input gate of the shared
+  /// circuit, descending |∂Pr/∂p|: one reverse adjoint sweep from the joint
+  /// readout of `members` (registering it first if needed). Empty when
   /// `node` is not an answer candidate; declines like BatchAnchored (slot
   /// cap, gate cap).
   StatusOr<std::vector<LineageCircuit::Sensitivity>> Sensitivities(
       const PDocument& pd, const std::vector<const Pattern*>& members,
       NodeId node);
 
-  /// The compiled circuit serving BatchAnchored(pd, members), compiling it
-  /// first if needed — introspection for `pxvq circuit`. The pointer stays
-  /// valid until the next call on this backend.
-  StatusOr<const LineageCircuit*> Compiled(
-      const PDocument& pd, const std::vector<const Pattern*>& members);
+  /// Merged shape of the shared circuit as of the last serve —
+  /// introspection for `pxvq circuit` and the bench counters.
+  LineageCircuit::Stats shared_stats() const { return shared_.stats(); }
 
   /// Cumulative kernel + circuit counters for every call served by this
-  /// backend (circuit_gates / circuit_dirty_gates / circuit_recompiles).
+  /// backend (see DistProfile's circuit_* block).
   const DistProfile& profile() const { return scratch_.profile(); }
 
   /// Name of the vector kernel the underlying DP resolved at construction.
   const char* kernel_name() const;
 
-  /// Compiled circuits currently cached (distinct query sets).
-  size_t cached_circuits() const { return cache_.size(); }
+  /// Query signatures currently cached (registered or banned).
+  size_t cached_circuits() const { return queries_.size(); }
 
  private:
-  struct Entry {
-    uint64_t structure_version = 0;  ///< Of the recording's document state.
-    uint64_t served_uid = 0;  ///< Doc uid the gate values currently reflect.
-    std::unique_ptr<LineageCircuit> circuit;
+  struct QueryState {
+    bool banned = false;  ///< Tripped the gate cap; plain DP until reset.
+    uint64_t tick = 0;    ///< LRU clock of the last serve.
   };
 
-  /// Returns the cache entry for `key` holding a circuit whose gate values
-  /// reflect `pd`'s current probabilities, serving the whole ladder above.
-  /// Null when the recording exceeded max_gates — `cold` then already holds
-  /// the plain pass's member results, which the caller must use.
+  /// Brings the shared circuit to `pd`'s current values for `key`,
+  /// recording the query's engine pass when it is not (or no longer)
+  /// registered — the whole ladder above. Returns true when the
+  /// registration is servable; false when the query is banned, in which
+  /// case `cold` already holds the plain pass's member results. On a
+  /// fresh/re-recording `cold` is also filled (the cold pass serves the
+  /// call); on a warm serve it stays empty.
   template <typename ColdFn>
-  Entry* Sync(const PDocument& pd, const std::string& key,
-              const std::vector<const Pattern*>& members, ColdFn run_cold,
-              std::vector<std::vector<NodeProb>>* cold);
+  bool Sync(const PDocument& pd, const std::string& key, ColdFn run_cold,
+            std::vector<std::vector<NodeProb>>* cold);
 
-  /// Sync for the joint ('J'-mode) circuit — shared by BatchAnchored,
-  /// Sensitivities and Compiled.
-  Entry* SyncJoint(const PDocument& pd,
-                   const std::vector<const Pattern*>& members,
-                   std::vector<std::vector<NodeProb>>* cold);
+  /// Sync for the joint ('J'-mode) readout — shared by BatchAnchored and
+  /// Sensitivities.
+  bool SyncJoint(const PDocument& pd,
+                 const std::vector<const Pattern*>& members,
+                 std::vector<std::vector<NodeProb>>* cold);
+
+  /// Evicts least-recently-served registrations past max_cached_queries,
+  /// never evicting `keep`.
+  void EvictOverflow(const std::string& keep);
+  void UpdateGauges();
 
   /// "J\n" (joint BatchAnchored) or "M\n" (per-member BatchAnchoredMany)
   /// plus the canonical member patterns — the two modes record different
-  /// readouts, so they cache separately.
+  /// readouts, so they register separately.
   std::string CacheKey(char mode, const std::vector<const Pattern*>& members);
 
   EngineOptions RecordOptions(CircuitRecorder* rec) const;
@@ -126,9 +148,11 @@ class CircuitBackend : public ProbBackend {
   CircuitBackendOptions options_;
   const KernelOps* kernel_;  // Resolved once at construction (simd.h).
   DpScratch scratch_;
-  std::unordered_map<std::string, Entry> cache_;
-  std::vector<std::pair<GateId, double>> updates_;  // Diff scratch.
-  std::string key_;                                 // Key scratch.
+  LineageCircuit shared_;  // The document's multi-root gate pool.
+  uint64_t structure_version_ = 0;  ///< Of the pool's recordings.
+  std::unordered_map<std::string, QueryState> queries_;
+  uint64_t tick_ = 0;
+  std::string key_;  // Key scratch.
 };
 
 }  // namespace pxv

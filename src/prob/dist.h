@@ -84,9 +84,18 @@ struct DistProfile {
   uint64_t batched_pair_convs = 0;   ///< Singleton sibling pairs swept jointly.
   uint64_t combine_scratch_reuses = 0;  ///< prefix/suffix blocks reused.
   // Lineage-circuit backend (prob/circuit_backend.h).
-  uint64_t circuit_gates = 0;        ///< Gates across all compiled circuits.
+  uint64_t circuit_gates = 0;        ///< Gates appended to the shared pool.
   uint64_t circuit_dirty_gates = 0;  ///< Gates recomputed by delta sweeps.
-  uint64_t circuit_recompiles = 0;   ///< Circuit rebuilds (cold + fallback).
+  uint64_t circuit_recompiles = 0;   ///< Recording passes (cold + fallback).
+  // Shared-circuit shape gauges (latest merged compile, not cumulative):
+  // live non-constant gates in ≥ 2 registrations' cones vs exactly one,
+  // and output root groups across the registrations.
+  uint64_t circuit_shared_gates = 0;
+  uint64_t circuit_private_gates = 0;
+  uint64_t circuit_roots = 0;
+  // Cumulative shared-circuit events.
+  uint64_t circuit_merged_propagations = 0;  ///< Merged one-pass syncs.
+  uint64_t circuit_evictions = 0;  ///< Registrations dropped by the LRU cap.
 
   /// Zeroes every counter. All DistProfile counters are cumulative for the
   /// scratch's whole lifetime (across BeginRun/EndRun brackets and backend

@@ -187,6 +187,27 @@ void EvalSession::PrefetchTP(const std::vector<const Pattern*>& queries) {
   }
 }
 
+std::vector<std::vector<NodeProb>> EvalSession::EvaluateAll(
+    const std::vector<const Pattern*>& queries) {
+  // The circuit backend shares one multi-root circuit across the queries
+  // already; prefetching would register extra chunked 'M'-mode recordings
+  // in the same pool for no gain. Other backends benefit from the joint
+  // passes.
+  if (options_.backend != BackendKind::kCircuit) PrefetchTP(queries);
+  std::vector<std::vector<NodeProb>> out;
+  out.reserve(queries.size());
+  for (const Pattern* q : queries) {
+    PXV_CHECK(q != nullptr);
+    out.push_back(EvaluateTP(*q));
+  }
+  return out;
+}
+
+const CircuitBackend* EvalSession::circuit_backend() const {
+  if (options_.backend != BackendKind::kCircuit) return nullptr;
+  return static_cast<const CircuitBackend*>(chain_.front().get());
+}
+
 const std::vector<NodeProb>& EvalSession::EvaluateTP(const Pattern& q) {
   MaybeInvalidate();
   TpEntry& e = Entry(q);

@@ -92,6 +92,16 @@ class EvalSession {
   /// result caching is off.
   void PrefetchTP(const std::vector<const Pattern*>& queries);
 
+  /// Evaluates every query, memoizing like EvaluateTP; result[i]
+  /// corresponds to queries[i]. Under BackendKind::kCircuit this is the
+  /// standing-query batch path: each query registers on the session's ONE
+  /// shared lineage circuit, so the first query served after a document
+  /// delta pays a single merged dirty-cone propagation and the rest replay
+  /// their registered outputs. Other backends prefetch jointly where the
+  /// slot cap allows.
+  std::vector<std::vector<NodeProb>> EvaluateAll(
+      const std::vector<const Pattern*>& queries);
+
   /// (q1 ∩ … ∩ qk)(P̂) with all members anchored to the same node, one pass.
   std::vector<NodeProb> EvaluateTPI(const TpIntersection& q);
 
@@ -118,6 +128,11 @@ class EvalSession {
   /// cap) — probe EvaluateTP first for queries near the caps.
   std::vector<LineageCircuit::Sensitivity> Sensitivities(const Pattern& q,
                                                          NodeId n);
+
+  /// The lineage-circuit backend when this session runs
+  /// BackendKind::kCircuit, else null — shared-circuit shape introspection
+  /// (CircuitBackend::shared_stats, merged counters).
+  const CircuitBackend* circuit_backend() const;
 
   /// Backend that served the most recent probability ("exact-dp"/"naive").
   const char* last_backend() const { return last_backend_; }

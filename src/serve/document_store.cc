@@ -943,6 +943,15 @@ StatusOr<uint64_t> DocumentStore::Apply(const std::string& name,
   if (options_.compact_documents && TombstonesOutweighLive(state->doc)) {
     CompactLocked(state.get());
   }
+  // Standing-query refresh: ONE merged propagation of the document's
+  // shared lineage circuit re-serves every cached query the server holds
+  // (a compaction above simply makes this pass a re-record — the fresh
+  // structure_version resets the circuit). AnswerAllCached afterwards is
+  // a copy until the next batch.
+  if (options_.refresh_cached_on_apply &&
+      !server_->cached_queries().empty()) {
+    RefreshStandingLocked(state.get());
+  }
   const uint64_t uid = state->doc.uid();
   if (durable) {
     // The auto-checkpoint trigger MUST run outside the document lock:
@@ -1123,6 +1132,44 @@ std::vector<std::optional<std::vector<PidProb>>> DocumentStore::AnswerAll(
   return results;
 }
 
+void DocumentStore::RefreshStandingLocked(DocState* state) {
+  if (state->standing == nullptr) {
+    // The standing session runs the lineage-circuit backend regardless of
+    // the store's serving EvalOptions: the whole point is that the
+    // registered queries share one circuit, so a delta costs one merged
+    // propagation. Kernel pinning carries over; result caching is required
+    // (replays after the first post-delta query are cache hits).
+    EvalOptions eval = options_.eval;
+    eval.backend = BackendKind::kCircuit;
+    eval.cache_results = true;
+    eval.cache_subtrees = false;
+    state->standing = std::make_unique<EvalSession>(state->doc, eval);
+  }
+  state->standing_answers = server_->AnswerAllCached(state->standing.get());
+  state->standing_uid = state->doc.uid();
+  cached_refreshes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<std::vector<std::vector<PidProb>>> DocumentStore::AnswerAllCached(
+    const std::string& name) {
+  for (;;) {
+    const std::shared_ptr<DocState> state = FindState(name);
+    if (state == nullptr) return std::nullopt;
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (FindState(name) != state) continue;  // Replaced while waiting.
+    if (server_->cached_queries().empty()) {
+      return std::vector<std::vector<PidProb>>{};
+    }
+    if (state->standing == nullptr ||
+        state->standing_uid != state->doc.uid() ||
+        state->standing_answers.size() !=
+            server_->cached_queries().size()) {
+      RefreshStandingLocked(state.get());
+    }
+    return state->standing_answers;
+  }
+}
+
 const PDocument* DocumentStore::Find(const std::string& name) const {
   const std::shared_ptr<DocState> state = FindState(name);
   return state == nullptr ? nullptr : &state->doc;
@@ -1146,6 +1193,7 @@ DocumentStoreStats DocumentStore::stats() const {
   s.torn_records_dropped =
       torn_records_dropped_.load(std::memory_order_relaxed);
   s.read_only = read_only_.load(std::memory_order_acquire) ? 1 : 0;
+  s.cached_refreshes = cached_refreshes_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -108,6 +108,12 @@ struct DocumentStoreOptions {
   /// the extension patcher uses). Off ⇒ the node arena grows forever under
   /// sustained RemoveSubtree churn (tombstone ids are never reused).
   bool compact_documents = true;
+  /// Refresh the standing-query answers (the server's RegisterCachedQuery
+  /// set) inside Apply, right after a batch commits: one merged propagation
+  /// of the document's shared lineage circuit re-serves every cached query
+  /// (AnswerAllCached then costs a copy). Off ⇒ the refresh happens lazily
+  /// on the next AnswerAllCached call instead.
+  bool refresh_cached_on_apply = true;
 
   // ------------------------------------------------------- durability ----
   /// When non-empty, the store is durable: every Put/Apply/Drop/Compact is
@@ -153,6 +159,8 @@ struct DocumentStoreStats {
   int64_t recoveries = 0;         ///< 1 when this store came up via Open().
   int64_t torn_records_dropped = 0;  ///< Torn WAL tails dropped at recovery.
   int64_t read_only = 0;          ///< 1 once the store degraded (see below).
+  int64_t cached_refreshes = 0;   ///< Standing-query answer refreshes
+                                  ///< (merged shared-circuit propagations).
 };
 
 /// Serialization of a DocMutation batch — the kApply WAL record body.
@@ -260,6 +268,18 @@ class DocumentStore {
   std::vector<std::optional<std::vector<PidProb>>> AnswerAll(
       const std::string& name, const std::vector<Pattern>& queries);
 
+  /// Answers every standing query registered on the server
+  /// (ViewServer::RegisterCachedQuery) over the named document's CURRENT
+  /// contents, pid-keyed; result i corresponds to
+  /// server->cached_queries()[i]. Served straight from the answers the
+  /// last Apply refreshed when the document has not moved since
+  /// (refresh_cached_on_apply); otherwise one merged propagation of the
+  /// document's shared lineage circuit refreshes the whole set first.
+  /// nullopt when the name is unknown. Serialized with the write path per
+  /// document (the standing session is single-threaded state).
+  std::optional<std::vector<std::vector<PidProb>>> AnswerAllCached(
+      const std::string& name);
+
   /// Read-only access to a stored document (write paths lock internally;
   /// the reference is only safe while no Apply/Put/Drop runs concurrently).
   const PDocument* Find(const std::string& name) const;
@@ -294,6 +314,13 @@ class DocumentStore {
     /// only; guarded by mu). Checkpoints persist it so recovery replays
     /// exactly the records the snapshot misses.
     uint64_t last_lsn = 0;
+    /// Standing-query serving (guarded by mu): a lazily-created
+    /// BackendKind::kCircuit session holding the document's shared
+    /// lineage circuit, plus the cached answers of the server's standing
+    /// queries and the doc uid they reflect.
+    std::unique_ptr<EvalSession> standing;
+    std::vector<std::vector<PidProb>> standing_answers;
+    uint64_t standing_uid = 0;
     mutable std::mutex snap_mu;  // Guards only the snapshot pointer swap.
     std::shared_ptr<const SharedExtensions> snapshot;
   };
@@ -329,6 +356,10 @@ class DocumentStore {
   static void CollectLabels(const PDocument& doc, NodeId root,
                             std::set<Label>* out);
   void MaterializeLocked(DocState* state);
+  // Recomputes the standing-query answers under the write lock: one
+  // ViewServer::AnswerAllCached batch over the document's standing session
+  // (creating it on first use).
+  void RefreshStandingLocked(DocState* state);
   // Tombstone compaction under the write lock (see Compact()). Returns the
   // nodes reclaimed. Must run only after the batch's dirty labels were
   // collected — compaction drops the detached subtrees they live in.
@@ -367,6 +398,7 @@ class DocumentStore {
   std::atomic<int64_t> checkpoints_{0};
   std::atomic<int64_t> recoveries_{0};
   std::atomic<int64_t> torn_records_dropped_{0};
+  std::atomic<int64_t> cached_refreshes_{0};
 };
 
 }  // namespace pxv

@@ -14,6 +14,32 @@ void ViewServer::AddView(std::string name, Pattern def) {
   rewriter_.AddView(std::move(name), std::move(def));
 }
 
+void ViewServer::RegisterCachedQuery(const Pattern& q) {
+  if (!cached_keys_.insert(q.CanonicalString()).second) return;
+  cached_queries_.push_back(q);
+}
+
+std::vector<std::vector<PidProb>> ViewServer::AnswerAllCached(
+    EvalSession* session) {
+  std::vector<const Pattern*> queries;
+  queries.reserve(cached_queries_.size());
+  for (const Pattern& q : cached_queries_) queries.push_back(&q);
+  const std::vector<std::vector<NodeProb>> raw = session->EvaluateAll(queries);
+  // Pid-keyed results: node ids are arena positions and do not survive
+  // compaction, pids do — the serving answer currency everywhere else.
+  const PDocument& pd = session->doc();
+  std::vector<std::vector<PidProb>> out(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    out[i].reserve(raw[i].size());
+    for (const NodeProb& np : raw[i]) {
+      out[i].push_back({pd.pid(np.node), np.prob});
+    }
+  }
+  queries_.fetch_add(int64_t(queries.size()), std::memory_order_relaxed);
+  cached_batches_.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
 void ViewServer::Materialize(const PDocument& pd) {
   SetExtensions(rewriter_.Materialize(pd, pool_, options_.extension_options));
   materializations_.fetch_add(1, std::memory_order_relaxed);
@@ -77,6 +103,8 @@ ViewServerStats ViewServer::stats() const {
   s.plan_cache_misses = cache_.misses();
   s.unanswerable = unanswerable_.load(std::memory_order_relaxed);
   s.materializations = materializations_.load(std::memory_order_relaxed);
+  s.cached_queries = int64_t(cached_queries_.size());
+  s.cached_batches = cached_batches_.load(std::memory_order_relaxed);
   return s;
 }
 

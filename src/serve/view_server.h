@@ -23,8 +23,10 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "prob/eval_session.h"
 #include "pxml/pdocument.h"
 #include "pxml/view_extension.h"
 #include "rewrite/planner.h"
@@ -50,6 +52,8 @@ struct ViewServerStats {
   int64_t plan_cache_misses = 0;
   int64_t unanswerable = 0;      ///< Answers that returned nullopt.
   int64_t materializations = 0;  ///< Materialize calls.
+  int64_t cached_queries = 0;    ///< Standing queries registered.
+  int64_t cached_batches = 0;    ///< AnswerAllCached calls.
 };
 
 class ViewServer {
@@ -59,6 +63,16 @@ class ViewServer {
   /// Registers a view. Must happen before Materialize/Answer (the plan
   /// cache would otherwise serve plans compiled against the old registry).
   void AddView(std::string name, Pattern def);
+
+  /// Registers a standing (cached) query for the shared-circuit batch path
+  /// (AnswerAllCached). Like AddView, registration must happen before
+  /// serving; duplicate canonical forms are kept once.
+  void RegisterCachedQuery(const Pattern& q);
+
+  /// The standing queries, in registration order.
+  const std::vector<Pattern>& cached_queries() const {
+    return cached_queries_;
+  }
 
   const Rewriter& rewriter() const { return rewriter_; }
   ThreadPool& pool() { return pool_; }
@@ -99,6 +113,16 @@ class ViewServer {
   std::vector<std::optional<std::vector<PidProb>>> AnswerAll(
       const std::vector<Pattern>& queries);
 
+  /// Answers every registered standing query directly over `session`'s
+  /// document (no view rewriting), pid-keyed; result i corresponds to
+  /// cached_queries()[i]. With a BackendKind::kCircuit session each query
+  /// registers on the session's ONE shared lineage circuit, so a document
+  /// delta costs a single merged dirty-cone propagation for the whole set
+  /// — the standing-query batch path DocumentStore::Apply drives. The
+  /// caller owns the session (one per document per thread, per the
+  /// EvalSession contract).
+  std::vector<std::vector<PidProb>> AnswerAllCached(EvalSession* session);
+
   ViewServerStats stats() const;
 
  private:
@@ -109,6 +133,8 @@ class ViewServer {
   Rewriter rewriter_;
   ThreadPool pool_;
   PlanCache cache_;
+  std::vector<Pattern> cached_queries_;  // Registered before serving.
+  std::unordered_set<std::string> cached_keys_;
 
   mutable std::mutex exts_mu_;
   std::shared_ptr<const ViewExtensions> exts_;
@@ -116,6 +142,7 @@ class ViewServer {
   std::atomic<int64_t> queries_{0};
   std::atomic<int64_t> unanswerable_{0};
   std::atomic<int64_t> materializations_{0};
+  std::atomic<int64_t> cached_batches_{0};
 };
 
 }  // namespace pxv

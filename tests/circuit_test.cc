@@ -452,14 +452,16 @@ TEST(CircuitTest, GateCapFallsBackToPlainDp) {
   ExactDpBackend exact;
   ExpectBitwiseEqual(MustBatch(&circuit, pd, {&q}),
                      MustBatch(&exact, pd, {&q}), "over cap");
-  EXPECT_EQ(circuit.cached_circuits(), 1u);  // Entry exists, circuit dropped.
-  EXPECT_EQ(circuit.profile().circuit_gates, 0u);
-  // Every call pays a plain recorded pass; none is compiled.
+  EXPECT_EQ(circuit.cached_circuits(), 1u);  // Entry exists, banned.
+  EXPECT_EQ(circuit.profile().circuit_gates, 0u);  // Rolled back, kept none.
+  EXPECT_EQ(circuit.shared_stats().registrations, 0u);
+  // Every call pays a plain DP pass; nothing registers on the pool.
   ExpectBitwiseEqual(MustBatch(&circuit, pd, {&q}),
                      MustBatch(&exact, pd, {&q}), "over cap again");
   EXPECT_EQ(circuit.profile().circuit_recompiles, 2u);
-  StatusOr<const LineageCircuit*> compiled = circuit.Compiled(pd, {&q});
-  EXPECT_FALSE(compiled.ok());
+  StatusOr<std::vector<LineageCircuit::Sensitivity>> sens =
+      circuit.Sensitivities(pd, {&q}, NodeId{1});
+  EXPECT_FALSE(sens.ok());
 }
 
 // ------------------------------------------------------- gradients ----
@@ -543,6 +545,360 @@ TEST(CircuitTest, EvalSessionCircuitBackend) {
         circuit_session.Sensitivities(q, answers.front().node);
     EXPECT_FALSE(sens.empty());
   }
+}
+
+// ------------------------------------------------------- shared pool ----
+//
+// Cross-query sharing: many registrations on ONE CircuitBackend consing
+// into one gate pool, every root still bit-identical both to ExactDpBackend
+// and to a fresh single-query CircuitBackend, with per-query fallback
+// isolation (a guard flip, reshape, or gate-cap ban on one query must not
+// knock the others off the shared circuit).
+
+// Flips child 0's membership in the first reshapable exp subset: the subset
+// count is unchanged (so probability-only churn detection would miss it)
+// but the structure signature must move.
+bool ReshapeOneExp(PDocument* pd) {
+  for (NodeId n = 0; n < pd->size(); ++n) {
+    if (pd->ordinary(n) || pd->kind(n) != PKind::kExp) continue;
+    auto dist = pd->exp_distribution(n);
+    if (dist.empty()) continue;
+    std::vector<int>& subset = dist[0].first;
+    auto it = std::find(subset.begin(), subset.end(), 0);
+    if (it != subset.end() && subset.size() > 1) {
+      subset.erase(it);
+    } else if (it == subset.end()) {
+      subset.insert(subset.begin(), 0);
+    } else {
+      continue;  // Singleton {0}: erasing would empty the subset.
+    }
+    pd->SetExpDistribution(n, std::move(dist));
+    pd->ClearDirtyPaths();
+    return true;
+  }
+  return false;
+}
+
+TEST(CircuitTest, SharedOverlappingQueriesChurn) {
+  // 8-32 random overlapping queries on one shared backend, driven through
+  // probability churn, a structural insert, and an exp reshape. Every serve
+  // must match ExactDpBackend AND a fresh per-query CircuitBackend bitwise
+  // — cross-query consing must never change a single bit.
+  for (int seed = 0; seed < 4; ++seed) {
+    Rng rng(8100 + seed);
+    PDocument pd = RandomGuardStableDoc(rng, 70, 2);
+    const int nq = 8 + static_cast<int>(rng.NextBounded(25));
+    std::vector<Pattern> queries;
+    queries.reserve(size_t(nq));
+    for (int i = 0; i < nq; ++i) queries.push_back(RandomQuery(rng));
+    CircuitBackend shared;
+    ExactDpBackend exact;
+    for (int round = 0; round < 4; ++round) {
+      if (round == 1) {
+        pd.AddOrdinary(pd.root(), StratLabel(1));  // Structural fallback.
+        pd.ClearDirtyPaths();
+      } else if (round == 3) {
+        ASSERT_TRUE(ReshapeOneExp(&pd));  // Exp-reshape fallback.
+      } else if (round > 0) {
+        ChurnProbabilities(&pd, rng);
+      }
+      for (int i = 0; i < nq; ++i) {
+        const std::string ctx = "seed " + std::to_string(seed) + " round " +
+                                std::to_string(round) + " q" +
+                                std::to_string(i);
+        const std::vector<NodeProb> got =
+            MustBatch(&shared, pd, {&queries[i]});
+        ExpectBitwiseEqual(got, MustBatch(&exact, pd, {&queries[i]}),
+                           (ctx + " vs exact").c_str());
+        CircuitBackend fresh;
+        ExpectBitwiseEqual(got, MustBatch(&fresh, pd, {&queries[i]}),
+                           (ctx + " vs fresh").c_str());
+      }
+    }
+    EXPECT_GT(shared.shared_stats().registrations, 0u) << "seed " << seed;
+    EXPECT_GT(shared.profile().circuit_merged_propagations, 0u);
+  }
+}
+
+TEST(CircuitTest, SharedGatesSinglePassMergedDelta) {
+  // The standing-query workload: 16 queries differing only in their output
+  // label over one high-fanout spine. The 128-item sibling-product machinery
+  // compiles once and is shared by every registration; a delta then costs
+  // ONE merged propagation that re-serves all 16 roots.
+  Rng rng(8200);
+  PDocument pd;
+  const NodeId a = pd.AddRoot(Intern("a"));
+  const NodeId ind = pd.AddDistributional(a, PKind::kInd);
+  std::vector<NodeId> items;
+  for (int i = 0; i < 128; ++i) {
+    items.push_back(
+        pd.AddOrdinary(ind, Intern("item"), 0.05 + 0.9 * rng.NextDouble()));
+  }
+  for (int k = 0; k < 16; ++k) {
+    pd.AddOrdinary(ind, Intern("out" + std::to_string(k)), 0.5);
+  }
+  pd.ClearDirtyPaths();
+  std::vector<Pattern> queries;
+  for (int k = 0; k < 16; ++k) {
+    queries.push_back(Tp("a[item]/out" + std::to_string(k)));
+  }
+  CircuitBackend shared;
+  ExactDpBackend exact;
+  for (int k = 0; k < 16; ++k) {
+    ExpectBitwiseEqual(MustBatch(&shared, pd, {&queries[k]}),
+                       MustBatch(&exact, pd, {&queries[k]}), "cold");
+  }
+  const LineageCircuit::Stats cold = shared.shared_stats();
+  EXPECT_EQ(cold.registrations, 16u);
+  EXPECT_EQ(cold.roots, 16u);
+  EXPECT_GE(cold.shared_gates, cold.private_gates);  // Spine dominates.
+  EXPECT_EQ(shared.profile().circuit_recompiles, 16u);
+
+  const uint64_t merged = shared.profile().circuit_merged_propagations;
+  for (int round = 0; round < 3; ++round) {
+    for (int k = 0; k < 5; ++k) {
+      pd.SetEdgeProb(items[rng.NextBounded(items.size())],
+                     0.05 + 0.9 * rng.NextDouble());
+    }
+    pd.ClearDirtyPaths();
+    for (int k = 0; k < 16; ++k) {
+      ExpectBitwiseEqual(MustBatch(&shared, pd, {&queries[k]}),
+                         MustBatch(&exact, pd, {&queries[k]}), "delta");
+    }
+    // One propagation per delta, not one per query; no recompiles at all.
+    EXPECT_EQ(shared.profile().circuit_merged_propagations,
+              merged + uint64_t(round) + 1);
+    EXPECT_EQ(shared.profile().circuit_recompiles, 16u);
+  }
+}
+
+TEST(CircuitTest, SharedGuardFlipIsolation) {
+  // Two queries over disjoint ind branches: the engine skips slot-irrelevant
+  // ind children outright (no gates, no guards), so flipping qx's kIsZero
+  // guard re-records qx alone while qy keeps riding the shared circuit.
+  PDocument pd;
+  const NodeId a = pd.AddRoot(Intern("a"));
+  const NodeId ind = pd.AddDistributional(a, PKind::kInd);
+  const NodeId x = pd.AddOrdinary(ind, Intern("x"), 0.3);
+  const NodeId y = pd.AddOrdinary(ind, Intern("y"), 0.6);
+  pd.AddOrdinary(x, Intern("u"));
+  pd.AddOrdinary(y, Intern("v"));
+  pd.ClearDirtyPaths();
+  const Pattern qx = Tp("a/x[u]");
+  const Pattern qy = Tp("a/y[v]");
+  CircuitBackend shared;
+  ExactDpBackend exact;
+  ExpectBitwiseEqual(MustBatch(&shared, pd, {&qx}),
+                     MustBatch(&exact, pd, {&qx}), "cold x");
+  ExpectBitwiseEqual(MustBatch(&shared, pd, {&qy}),
+                     MustBatch(&exact, pd, {&qy}), "cold y");
+  EXPECT_EQ(shared.shared_stats().registrations, 2u);
+  EXPECT_EQ(shared.profile().circuit_recompiles, 2u);
+
+  pd.SetEdgeProb(x, 0.0);  // Flips qx's kIsZero guard; qy never reads x.
+  pd.ClearDirtyPaths();
+  ExpectBitwiseEqual(MustBatch(&shared, pd, {&qy}),
+                     MustBatch(&exact, pd, {&qy}), "y after flip");
+  EXPECT_EQ(shared.profile().circuit_recompiles, 2u);  // Propagated only.
+  ExpectBitwiseEqual(MustBatch(&shared, pd, {&qx}),
+                     MustBatch(&exact, pd, {&qx}), "x after flip");
+  EXPECT_EQ(shared.profile().circuit_recompiles, 3u);  // qx re-recorded.
+  ExpectBitwiseEqual(MustBatch(&shared, pd, {&qy}),
+                     MustBatch(&exact, pd, {&qy}), "y replay");
+  EXPECT_EQ(shared.profile().circuit_recompiles, 3u);
+  EXPECT_EQ(shared.shared_stats().registrations, 2u);
+}
+
+TEST(CircuitTest, SharedGateCapIsolation) {
+  // One query whose recording would blow the pool cap gets banned to plain
+  // DP; the two small queries already registered keep their shared circuit
+  // and keep being served by propagation. The branches are disjoint ind
+  // subtrees, so churn in one query's cone cannot flip another's guards.
+  Rng rng(8400);
+  PDocument pd;
+  const NodeId a = pd.AddRoot(Intern("a"));
+  std::vector<NodeId> spine;
+  for (int i = 0; i < 40; ++i) {
+    const NodeId ind = pd.AddDistributional(a, PKind::kInd);
+    const NodeId b =
+        pd.AddOrdinary(ind, Intern("b"), 0.05 + 0.9 * rng.NextDouble());
+    const NodeId ind2 = pd.AddDistributional(b, PKind::kInd);
+    const NodeId c =
+        pd.AddOrdinary(ind2, Intern("c"), 0.05 + 0.9 * rng.NextDouble());
+    spine.push_back(b);
+    spine.push_back(c);
+  }
+  const NodeId ind_f = pd.AddDistributional(a, PKind::kInd);
+  NodeId cur = pd.AddOrdinary(ind_f, Intern("f"), 0.9);
+  std::vector<NodeId> chain;
+  for (int i = 0; i < 150; ++i) {
+    const NodeId mux = pd.AddDistributional(cur, PKind::kMux);
+    cur = pd.AddOrdinary(mux, Intern("m"), 0.9);
+    chain.push_back(cur);
+  }
+  pd.AddOrdinary(cur, Intern("z"));
+  pd.ClearDirtyPaths();
+  const Pattern s1 = Tp("a/b[c]");
+  const Pattern s2 = Tp("a/b/c");
+  const Pattern big = Tp("a//z");
+
+  // Measure recording sizes on an uncapped backend (deterministic: same
+  // document, same serve order).
+  CircuitBackend probe;
+  ExactDpBackend exact;
+  MustBatch(&probe, pd, {&s1});
+  MustBatch(&probe, pd, {&s2});
+  const size_t small_pool = probe.shared_stats().pool_gates;
+  MustBatch(&probe, pd, {&big});
+  const size_t full_pool = probe.shared_stats().pool_gates;
+  ASSERT_GT(full_pool, small_pool + 1);
+
+  CircuitBackendOptions options;
+  options.max_gates = small_pool + (full_pool - small_pool) / 2;
+  CircuitBackend capped(options);
+  ExpectBitwiseEqual(MustBatch(&capped, pd, {&s1}),
+                     MustBatch(&exact, pd, {&s1}), "cold s1");
+  ExpectBitwiseEqual(MustBatch(&capped, pd, {&s2}),
+                     MustBatch(&exact, pd, {&s2}), "cold s2");
+  ExpectBitwiseEqual(MustBatch(&capped, pd, {&big}),
+                     MustBatch(&exact, pd, {&big}), "big over cap");
+  EXPECT_EQ(capped.cached_circuits(), 3u);  // Entry exists for the ban.
+  EXPECT_EQ(capped.shared_stats().registrations, 2u);
+  EXPECT_EQ(capped.shared_stats().pool_gates, small_pool);  // Rolled back.
+  EXPECT_EQ(capped.profile().circuit_recompiles, 3u);
+
+  const uint64_t merged = capped.profile().circuit_merged_propagations;
+  for (int k = 0; k < 20; ++k) {
+    pd.SetEdgeProb(spine[rng.NextBounded(spine.size())],
+                   0.05 + 0.9 * rng.NextDouble());
+    pd.SetEdgeProb(chain[rng.NextBounded(chain.size())],
+                   0.5 + 0.45 * rng.NextDouble());
+  }
+  pd.ClearDirtyPaths();
+  ExpectBitwiseEqual(MustBatch(&capped, pd, {&s1}),
+                     MustBatch(&exact, pd, {&s1}), "s1 after churn");
+  ExpectBitwiseEqual(MustBatch(&capped, pd, {&big}),
+                     MustBatch(&exact, pd, {&big}), "big after churn");
+  ExpectBitwiseEqual(MustBatch(&capped, pd, {&s2}),
+                     MustBatch(&exact, pd, {&s2}), "s2 after churn");
+  // The smalls propagated (one merged pass); only big paid a plain DP pass.
+  EXPECT_EQ(capped.profile().circuit_merged_propagations, merged + 1);
+  EXPECT_EQ(capped.profile().circuit_recompiles, 4u);
+  EXPECT_EQ(capped.shared_stats().registrations, 2u);
+}
+
+TEST(CircuitTest, SharedDeepChainTwoQueries) {
+  // Two descendant queries over a 600-deep mux chain that differ only in
+  // their bottom leaf: the entire chain arithmetic is bitwise-identical
+  // between them, so consing merges it and only the readouts are private.
+  PDocument pd;
+  NodeId cur = pd.AddRoot(Intern("a"));
+  std::vector<NodeId> chain;
+  for (int i = 0; i < 600; ++i) {
+    const NodeId mux = pd.AddDistributional(cur, PKind::kMux);
+    cur = pd.AddOrdinary(mux, Intern("m"), 0.999);
+    chain.push_back(cur);
+  }
+  pd.AddOrdinary(cur, Intern("y"));
+  pd.AddOrdinary(cur, Intern("z"));
+  pd.ClearDirtyPaths();
+  const Pattern q1 = Tp("a//z");
+  const Pattern q2 = Tp("a//y");
+  CircuitBackend shared;
+  ExactDpBackend exact;
+  ExpectBitwiseEqual(MustBatch(&shared, pd, {&q1}),
+                     MustBatch(&exact, pd, {&q1}), "cold z");
+  ExpectBitwiseEqual(MustBatch(&shared, pd, {&q2}),
+                     MustBatch(&exact, pd, {&q2}), "cold y");
+  const LineageCircuit::Stats stats = shared.shared_stats();
+  EXPECT_EQ(stats.registrations, 2u);
+  EXPECT_GT(stats.shared_gates, stats.private_gates);
+
+  Rng rng(8600);
+  const uint64_t merged = shared.profile().circuit_merged_propagations;
+  for (int round = 0; round < 3; ++round) {
+    for (int k = 0; k < 20; ++k) {
+      pd.SetEdgeProb(chain[rng.NextBounded(chain.size())],
+                     0.5 + 0.45 * rng.NextDouble());
+    }
+    pd.ClearDirtyPaths();
+    ExpectBitwiseEqual(MustBatch(&shared, pd, {&q1}),
+                       MustBatch(&exact, pd, {&q1}), "deep z");
+    ExpectBitwiseEqual(MustBatch(&shared, pd, {&q2}),
+                       MustBatch(&exact, pd, {&q2}), "deep y");
+  }
+  EXPECT_EQ(shared.profile().circuit_recompiles, 2u);
+  EXPECT_EQ(shared.profile().circuit_merged_propagations, merged + 3);
+}
+
+TEST(CircuitTest, SharedWideKeyBatches) {
+  // Two overlapping 'M'-mode batch registrations (a 10-query wide-key set
+  // and a 5-query subset) sharing one pool across churn.
+  std::vector<Pattern> queries;
+  queries.push_back(Tp("root/l0/l1/l2"));
+  queries.push_back(Tp("root//l2"));
+  queries.push_back(Tp("root//l1/l2"));
+  queries.push_back(Tp("root/l0//l2[l3]"));
+  queries.push_back(Tp("root//l0/l1[l2]/l2"));
+  queries.push_back(Tp("root//l0//l2"));
+  queries.push_back(Tp("root/l0[l1]/l1/l2"));
+  queries.push_back(Tp("root//l1[l2]/l2"));
+  queries.push_back(Tp("root//l0[.//l3]//l2"));
+  queries.push_back(Tp("root/l0/l1[l2]//l2"));
+  std::vector<const Pattern*> all;
+  for (const Pattern& q : queries) all.push_back(&q);
+  const std::vector<const Pattern*> subset(all.begin(), all.begin() + 5);
+  ASSERT_GT(BatchSlotCount(all), kNarrowSlotCap);
+
+  for (int seed = 0; seed < 2; ++seed) {
+    Rng rng(8700 + seed);
+    PDocument pd = RandomGuardStableDoc(rng, 80, 2);
+    CircuitBackend shared;
+    ExactDpBackend exact;
+    for (int round = 0; round < 3; ++round) {
+      if (round > 0) ChurnProbabilities(&pd, rng);
+      for (const std::vector<const Pattern*>& members : {all, subset}) {
+        StatusOr<std::vector<std::vector<NodeProb>>> got =
+            shared.BatchAnchoredMany(pd, members);
+        StatusOr<std::vector<std::vector<NodeProb>>> want =
+            exact.BatchAnchoredMany(pd, members);
+        ASSERT_TRUE(got.ok() && want.ok());
+        ASSERT_EQ(got->size(), want->size());
+        for (size_t i = 0; i < got->size(); ++i) {
+          ExpectBitwiseEqual((*got)[i], (*want)[i], "wide shared");
+        }
+      }
+      if (round == 0) {
+        EXPECT_EQ(shared.shared_stats().registrations, 2u) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(CircuitTest, LruEvictionKeepsServingBitwise) {
+  // max_cached_queries = 2 with three queries round-robin: every third
+  // serve evicts the least-recently-used registration, yet every answer
+  // stays bit-identical to ExactDpBackend.
+  Rng rng(8800);
+  PDocument pd = RandomGuardStableDoc(rng, 60, 2);
+  const Pattern q1 = Tp("root//l1");
+  const Pattern q2 = Tp("root/l0/l1");
+  const Pattern q3 = Tp("root//l0/l1[l2]");
+  CircuitBackendOptions options;
+  options.max_cached_queries = 2;
+  CircuitBackend circuit(options);
+  ExactDpBackend exact;
+  for (int round = 0; round < 3; ++round) {
+    if (round > 0) ChurnProbabilities(&pd, rng);
+    for (const Pattern* q : {&q1, &q2, &q3}) {
+      ExpectBitwiseEqual(MustBatch(&circuit, pd, {q}),
+                         MustBatch(&exact, pd, {q}),
+                         ("round " + std::to_string(round)).c_str());
+      EXPECT_LE(circuit.cached_circuits(), 2u);
+      EXPECT_LE(circuit.shared_stats().registrations, 2u);
+    }
+  }
+  EXPECT_GE(circuit.profile().circuit_evictions, 3u);
 }
 
 }  // namespace

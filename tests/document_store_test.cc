@@ -350,6 +350,72 @@ TEST(DocumentStoreTest, IncrementalSessionUsesSubtreeCache) {
   EXPECT_LT(warm.stores - cold.stores, cold.stores / 4);
 }
 
+// --------------------------------------------------- standing queries ----
+
+TEST(DocumentStoreTest, StandingQueriesRefreshOnApply) {
+  ViewServer server;
+  RegisterPersonnelViews(&server);
+  server.RegisterCachedQuery(Tp("IT-personnel//person/bonus"));
+  server.RegisterCachedQuery(Tp("IT-personnel//person[name/Rick]/bonus"));
+  server.RegisterCachedQuery(Tp("IT-personnel//person/bonus"));  // Dup: once.
+  ASSERT_EQ(server.cached_queries().size(), 2u);
+  DocumentStore store(&server);
+  EXPECT_FALSE(store.AnswerAllCached("nope").has_value());
+  ASSERT_TRUE(store.Put("docs", PersonnelDoc(12)).ok());
+
+  // Every standing answer must match a fresh exact-DP evaluation to the
+  // bit, pid-keyed — the shared circuit serving them is never allowed to
+  // drift.
+  const auto check = [&](const char* when) {
+    const auto answers = store.AnswerAllCached("docs");
+    ASSERT_TRUE(answers.has_value()) << when;
+    ASSERT_EQ(answers->size(), server.cached_queries().size()) << when;
+    const PDocument* doc = store.Find("docs");
+    EvalSession exact(*doc, {});
+    for (size_t i = 0; i < answers->size(); ++i) {
+      const auto want = exact.EvaluateTP(server.cached_queries()[i]);
+      ASSERT_EQ((*answers)[i].size(), want.size()) << when << " query " << i;
+      for (size_t j = 0; j < want.size(); ++j) {
+        EXPECT_EQ((*answers)[i][j].pid, doc->pid(want[j].node))
+            << when << " query " << i;
+        EXPECT_EQ((*answers)[i][j].prob, want[j].prob)
+            << when << " query " << i;
+      }
+    }
+  };
+  check("cold");
+  EXPECT_EQ(store.stats().cached_refreshes, 1);
+
+  // Apply refreshes the standing answers inline (one merged propagation on
+  // the document's standing session); the next read is a pure cache hit.
+  const PDocument* doc = store.Find("docs");
+  ASSERT_TRUE(
+      store.Apply("docs", {DocMutation::SetEdgeProb(SomeRickPid(*doc), 0.02)})
+          .ok());
+  EXPECT_EQ(store.stats().cached_refreshes, 2);
+  check("after prob apply");
+  EXPECT_EQ(store.stats().cached_refreshes, 2);  // Served from cache.
+
+  // Structural mutations ride the circuit's recompile fallback and still
+  // land bit-identical.
+  const PersistentId person = [&] {
+    for (NodeId n = 0; n < doc->size(); ++n) {
+      if (doc->ordinary(n) && !doc->detached(n) &&
+          doc->label(n) == Intern("person")) {
+        return doc->pid(n);
+      }
+    }
+    return kNullPid;
+  }();
+  ASSERT_NE(person, kNullPid);
+  ASSERT_TRUE(
+      store.Apply("docs", {DocMutation::RemoveSubtree(person)}).ok());
+  check("after structural apply");
+  EXPECT_EQ(store.stats().cached_refreshes, 3);
+  EXPECT_GE(server.stats().cached_batches, 3);
+  EXPECT_EQ(server.stats().cached_queries, 2);
+}
+
 // ----------------------------------------------------- durable stores ----
 // TSan-facing coverage: checkpointing and recovery share process-global
 // state with serving stores (the label interner, the version-stamp

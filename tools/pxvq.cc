@@ -74,7 +74,7 @@ int Usage() {
                "  pxvq update  [--durable=<dir>] <pdoc-file> <script-file> "
                "<query> name=def [name=def ...]\n"
                "  pxvq compact <pdoc-file> [script-file]\n"
-               "  pxvq circuit <pdoc-file> <query>\n"
+               "  pxvq circuit <pdoc-file> <query> [query ...]\n"
                "  pxvq explain <pdoc-file> <query> [top-k]\n"
                "  pxvq wal-dump <durable-dir>\n"
                "  pxvq recover <durable-dir> [--checkpoint] "
@@ -679,9 +679,10 @@ int CmdCompact(int argc, char** argv) {
   return 0;
 }
 
-// Compiles the query's lineage circuit over the document and prints its
-// shape: gate/input/guard/level counts, output groups, and the resident
-// memory footprint of the compiled arrays.
+// Registers every query on one shared lineage circuit over the document
+// and prints the merged shape: pool/live gate counts, the shared/private
+// split with the sharing ratio, input/guard/level/root counts, and the
+// resident memory footprint.
 int CmdCircuit(int argc, char** argv) {
   if (argc < 4) return Usage();
   const auto pd = LoadPDoc(argv[2]);
@@ -689,28 +690,48 @@ int CmdCircuit(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", pd.status().message().c_str());
     return 1;
   }
-  const auto q = ParsePattern(argv[3]);
-  if (!q.ok()) {
-    std::fprintf(stderr, "bad query: %s\n", q.status().message().c_str());
-    return 1;
+  std::vector<Pattern> queries;
+  for (int i = 3; i < argc; ++i) {
+    auto q = ParsePattern(argv[i]);
+    if (!q.ok()) {
+      std::fprintf(stderr, "bad query '%s': %s\n", argv[i],
+                   q.status().message().c_str());
+      return 1;
+    }
+    queries.push_back(std::move(*q));
   }
   CircuitBackend backend;
-  const Pattern& query = *q;
-  const auto circuit = backend.Compiled(*pd, {&query});
-  if (!circuit.ok()) {
-    std::fprintf(stderr, "%s\n", circuit.status().message().c_str());
-    return 3;
+  int served = 0;
+  for (const Pattern& query : queries) {
+    const auto answers = backend.BatchAnchored(*pd, {&query});
+    if (!answers.ok()) {
+      std::fprintf(stderr, "'%s': %s\n", query.CanonicalString().c_str(),
+                   answers.status().message().c_str());
+      continue;
+    }
+    ++served;
   }
-  const LineageCircuit& c = **circuit;
-  std::printf("gates:    %zu\n", c.gate_count());
-  std::printf("inputs:   %zu\n", c.input_count());
-  std::printf("guards:   %zu\n", c.guard_count());
-  std::printf("levels:   %zu\n", c.level_count());
-  int outputs = 0;
-  for (int m = 0; m < c.member_count(); ++m) outputs += int(c.output_count(m));
-  std::printf("outputs:  %d (across %d member group(s))\n", outputs,
-              c.member_count());
-  std::printf("memory:   %zu bytes\n", c.memory_bytes());
+  if (served == 0) return 3;
+  const LineageCircuit::Stats s = backend.shared_stats();
+  std::printf("queries:  %d served, %zu on the shared circuit\n", served,
+              s.registrations);
+  if (s.registrations < size_t(served)) {
+    std::printf("          %zu over the gate cap (plain DP per call)\n",
+                size_t(served) - s.registrations);
+  }
+  std::printf("gates:    %zu in pool, %zu live\n", s.pool_gates, s.live_gates);
+  std::printf("shared:   %zu gates (%.1f%% of live), %zu private\n",
+              s.shared_gates,
+              s.live_gates == 0 ? 0.0
+                                : 100.0 * double(s.shared_gates) /
+                                      double(s.live_gates),
+              s.private_gates);
+  std::printf("inputs:   %zu\n", s.live_inputs);
+  std::printf("guards:   %zu\n", s.guards);
+  std::printf("levels:   %zu\n", s.levels);
+  std::printf("outputs:  %zu (across %zu root group(s))\n", s.outputs,
+              s.roots);
+  std::printf("memory:   %zu bytes\n", s.memory_bytes);
   return 0;
 }
 
