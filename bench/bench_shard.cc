@@ -1,0 +1,147 @@
+// Sharded-corpus benchmarks (ISSUE 10 acceptance: the cross-shard
+// AnswerAllDocuments fan-out must scale with the shard count — >= 1.5x
+// from 1 to 4 shards on a multi-core box).
+//
+//   * BM_CorpusFanOut/<s>  — AnswerAllDocuments over a fixed 16-document
+//     personnel corpus split across <s> shards. Each shard's ViewServer is
+//     pinned to ONE worker thread so the measured scaling is shard-level
+//     parallelism (one fan-out thread per shard), not the intra-shard pool.
+//   * BM_CorpusChurn/<s>   — the serving write path through the router:
+//     one routed Apply (a single SetEdgeProb) + MaterializeIncremental per
+//     iteration, round-robin across the corpus. Per-document cost is
+//     shard-count independent; this guards the routing layer's overhead.
+//
+// Reference numbers live in bench/trajectory/PR10_shard.json.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_flags.h"
+#include "gen/docgen.h"
+#include "serve/sharded_corpus.h"
+#include "tp/parser.h"
+#include "util/random.h"
+
+namespace pxv {
+namespace {
+
+constexpr int kDocs = 16;
+constexpr int kPersons = 30;
+
+std::vector<Pattern> Queries() {
+  return {Tp("IT-personnel//person/bonus"),
+          Tp("IT-personnel//person[name/Rick]/bonus")};
+}
+
+std::unique_ptr<ShardedCorpus> BuildCorpus(int shards,
+                                           benchmark::State& state) {
+  ShardedCorpusOptions options;
+  options.shards = shards;
+  options.server.threads = 1;  // Scaling under test is shard-level.
+  auto corpus = std::make_unique<ShardedCorpus>(options);
+  corpus->AddView("vbonus", Tp("IT-personnel//person/bonus"));
+  corpus->AddView("vrick", Tp("IT-personnel//person[name/Rick]/bonus"));
+  Rng rng(2026);
+  for (int i = 0; i < kDocs; ++i) {
+    if (!corpus
+             ->Put("doc-" + std::to_string(i),
+                   PersonnelPDocument(rng, kPersons, 0.2, 0.3))
+             .ok()) {
+      state.SkipWithError("Put failed");
+      return nullptr;
+    }
+  }
+  return corpus;
+}
+
+// Mux name alternatives: probabilities free to move below their initial
+// value, so the churn stream is always valid.
+std::vector<std::pair<PersistentId, double>> MuxAlternatives(
+    const PDocument& doc) {
+  std::vector<std::pair<PersistentId, double>> out;
+  for (NodeId n = 0; n < doc.size(); ++n) {
+    if (!doc.ordinary(n) || doc.detached(n)) continue;
+    const NodeId parent = doc.parent(n);
+    if (parent != kNullNode && !doc.ordinary(parent) &&
+        doc.kind(parent) == PKind::kMux) {
+      out.push_back({doc.pid(n), doc.edge_prob(n)});
+    }
+  }
+  return out;
+}
+
+void BM_CorpusFanOut(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  auto corpus = BuildCorpus(shards, state);
+  if (!corpus) return;
+  const std::vector<Pattern> queries = Queries();
+  int64_t answers = 0;
+  for (auto _ : state) {
+    const auto results = corpus->AnswerAllDocuments(queries);
+    if (results.size() != kDocs) {
+      state.SkipWithError("fan-out lost documents");
+      return;
+    }
+    for (const auto& doc : results) answers += int64_t(doc.answers.size());
+  }
+  benchmark::DoNotOptimize(answers);
+  const ShardedCorpusStats stats = corpus->stats();
+  state.counters["docs"] = kDocs;
+  state.counters["shards"] = shards;
+  state.counters["fanouts"] = static_cast<double>(stats.fanouts);
+  state.counters["queries"] = static_cast<double>(stats.queries);
+  state.counters["plan_cache_misses"] =
+      static_cast<double>(stats.plan_cache_misses);
+}
+BENCHMARK(BM_CorpusFanOut)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CorpusChurn(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  auto corpus = BuildCorpus(shards, state);
+  if (!corpus) return;
+  // Per-document alternative sets, probed through the router exactly like
+  // a client would address them.
+  std::vector<std::string> names = corpus->Names();
+  std::vector<std::vector<std::pair<PersistentId, double>>> alternatives;
+  for (const std::string& name : names) {
+    alternatives.push_back(MuxAlternatives(*corpus->Find(name)));
+  }
+  Rng rng(31);
+  size_t next = 0;
+  for (auto _ : state) {
+    const std::string& name = names[next];
+    const auto& alts = alternatives[next];
+    next = (next + 1) % names.size();
+    const auto& [pid, initial] = alts[rng.NextBounded(alts.size())];
+    if (!corpus
+             ->Apply(name, {DocMutation::SetEdgeProb(
+                               pid, initial * rng.NextDouble())})
+             .ok()) {
+      state.SkipWithError("Apply failed");
+      return;
+    }
+    if (!corpus->MaterializeIncremental(name).ok()) {
+      state.SkipWithError("MaterializeIncremental failed");
+      return;
+    }
+  }
+  const ShardedCorpusStats stats = corpus->stats();
+  state.counters["shards"] = shards;
+  state.counters["batches"] = static_cast<double>(stats.store.batches);
+}
+BENCHMARK(BM_CorpusChurn)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace pxv

@@ -463,6 +463,49 @@ std::vector<LineageCircuit::Sensitivity> LineageCircuit::Sensitivities(
   return result;
 }
 
+StatusOr<std::vector<std::vector<NodeProb>>> LineageCircuit::WhatIf(
+    const std::string& key,
+    const std::vector<std::pair<CircuitInput, double>>& changes) {
+  const auto it = regs_.find(key);
+  PXV_CHECK(it != regs_.end() && it->second.active)
+      << "WhatIf requires an active registration (Sync first)";
+  PXV_CHECK(!structures_stale_);
+  // Overlay: flip the live input gates to the hypothetical values and sweep
+  // the dirty cone — exactly the propagation a committed mutation would
+  // run. Inputs the recorded arithmetic never read (unknown or dead gates)
+  // cannot move any live answer and are skipped.
+  std::vector<std::pair<GateId, double>> overlay;
+  std::vector<std::pair<GateId, double>> restore;
+  overlay.reserve(changes.size());
+  restore.reserve(changes.size());
+  for (const auto& [in, p] : changes) {
+    const GateId g = rec_.FindInput(in.kind, in.node, in.index);
+    if (g == kNoGate || cover_[size_t(g)] == 0) continue;
+    restore.emplace_back(g, rec_.val_[size_t(g)]);
+    overlay.emplace_back(g, p);
+  }
+  Propagate(overlay);
+  // The overridden values are only servable for `key` while its recorded
+  // control flow stays valid at them; read before restoring.
+  const bool guards_hold = GuardsHold(key);
+  std::vector<std::vector<NodeProb>> out;
+  if (guards_hold) {
+    const int n = member_count(key);
+    out.reserve(size_t(n));
+    for (int m = 0; m < n; ++m) out.push_back(Results(key, m));
+  }
+  // Restore: propagate the saved values back. Bitwise identical to the
+  // pre-overlay state, so the violated set unwinds (flip-then-unflip) and
+  // served_uid_ stays truthful without touching it.
+  Propagate(restore);
+  if (!guards_hold) {
+    return Status::Error(
+        "what-if overrides flip a recorded guard; evaluate a mutated copy "
+        "instead");
+  }
+  return out;
+}
+
 size_t LineageCircuit::registration_count() const {
   size_t n = 0;
   for (const auto& [key, reg] : regs_) n += reg.active ? 1 : 0;

@@ -82,6 +82,7 @@
 
 #include "prob/engine.h"
 #include "util/check.h"
+#include "util/status.h"
 #include "xml/document.h"
 
 namespace pxv {
@@ -273,6 +274,17 @@ class CircuitRecorder {
   /// valid for the current recording).
   GateVec* NewVec() { return &vecs_.emplace_back(); }
 
+  /// The pool's input gate for an edge probability / exp slot identity, or
+  /// kNoGate when no recording ever read that probability (in which case a
+  /// hypothetical change to it cannot move any recorded answer).
+  GateId FindInput(CircuitInput::Kind kind, NodeId node, int32_t index) const {
+    const uint64_t key = (uint64_t(uint8_t(kind)) << 56) |
+                         (uint64_t(uint32_t(node)) << 24) |
+                         uint64_t(uint32_t(index) & 0xFFFFFF);
+    const auto it = inputs_.find(key);
+    return it == inputs_.end() ? kNoGate : it->second;
+  }
+
   size_t gate_count() const { return ops_.size(); }
   /// Gates the current (or last committed) recording appended to the pool —
   /// the query-private growth; everything else was shared.
@@ -447,6 +459,20 @@ class LineageCircuit {
   /// Empty when the node is not a recorded output of that group.
   std::vector<Sensitivity> Sensitivities(const std::string& key, int member,
                                          NodeId node);
+
+  /// Hypothetical serving: every output group of `key` evaluated as if the
+  /// inputs in `changes` held the overridden probabilities — overlay the
+  /// live input gates, propagate the dirty cone, read the results, then
+  /// propagate the saved values back, leaving every gate (and the violated-
+  /// guard set, via its flip-then-unflip discipline) bitwise where it was.
+  /// Inputs no recording ever read are skipped: they cannot move a recorded
+  /// answer. Errors without reading results when an override flips one of
+  /// the registration's guards — the recorded straight-line arithmetic is
+  /// not valid at those values, and the caller falls back to evaluating a
+  /// mutated copy. Requires a synced circuit (Sync) and an active `key`.
+  StatusOr<std::vector<std::vector<NodeProb>>> WhatIf(
+      const std::string& key,
+      const std::vector<std::pair<CircuitInput, double>>& changes);
 
   /// True once dead gates (dropped / re-recorded registrations) outweigh
   /// the live ones — time for the owner to Reset() and re-record lazily.

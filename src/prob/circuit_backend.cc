@@ -196,6 +196,24 @@ bool CircuitBackend::SyncJoint(const PDocument& pd,
       cold);
 }
 
+StatusOr<std::vector<NodeProb>> CircuitBackend::WhatIf(
+    const PDocument& pd, const std::vector<const Pattern*>& members,
+    const std::vector<std::pair<CircuitInput, double>>& changes) {
+  const int slots = BatchSlotCount(members);
+  if (slots > kMaxConjunctionSlots) return DeclineTooLarge("batch", slots);
+  std::vector<std::vector<NodeProb>> cold;
+  if (!SyncJoint(pd, members, &cold)) {
+    return Status::Error(
+        "circuit declines: recording exceeds the gate cap (" +
+        std::to_string(options_.max_gates) + " gates)");
+  }
+  // The joint readout has a single output group (group 0).
+  StatusOr<std::vector<std::vector<NodeProb>>> r =
+      shared_.WhatIf(key_, changes);
+  if (!r.ok()) return r.status();
+  return std::move((*r)[0]);
+}
+
 StatusOr<std::vector<LineageCircuit::Sensitivity>> CircuitBackend::Sensitivities(
     const PDocument& pd, const std::vector<const Pattern*>& members,
     NodeId node) {

@@ -45,6 +45,7 @@
 
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "prob/backend.h"
@@ -95,6 +96,18 @@ class CircuitBackend : public ProbBackend {
   StatusOr<std::vector<LineageCircuit::Sensitivity>> Sensitivities(
       const PDocument& pd, const std::vector<const Pattern*>& members,
       NodeId node);
+
+  /// Hypothetical serving: the joint readout of `members` evaluated as if
+  /// the circuit inputs in `changes` held the overridden probabilities,
+  /// WITHOUT mutating the document or disturbing the circuit — one overlay
+  /// re-propagation, read, restore (LineageCircuit::WhatIf). Registers the
+  /// query first if needed (one recorded DP pass at the CURRENT values).
+  /// Declines like BatchAnchored (slot cap, gate cap) and errors when an
+  /// override flips a recorded guard; the caller falls back to evaluating
+  /// a mutated copy in both cases.
+  StatusOr<std::vector<NodeProb>> WhatIf(
+      const PDocument& pd, const std::vector<const Pattern*>& members,
+      const std::vector<std::pair<CircuitInput, double>>& changes);
 
   /// Merged shape of the shared circuit as of the last serve —
   /// introspection for `pxvq circuit` and the bench counters.

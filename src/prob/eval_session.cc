@@ -4,6 +4,7 @@
 
 #include "util/check.h"
 #include "util/numeric.h"
+#include "util/strings.h"
 
 namespace pxv {
 
@@ -270,6 +271,121 @@ double EvalSession::JointProbability(const std::vector<Goal>& goals) {
 double EvalSession::BooleanProbability(const Pattern& q) {
   MaybeInvalidate();
   return Conjunction({{&q, nullptr}});
+}
+
+namespace {
+
+// Mirrors the validation a committed SetEdgeProb / SetExpDistribution batch
+// would pass through PDocument::Validate, without building the copy:
+// probabilities in [0, 1], mux children keep Σp ≤ 1, exp subsets keep
+// Σp ≤ 1 — all evaluated with the overrides applied.
+Status ValidateWhatIf(
+    const PDocument& pd,
+    const std::vector<std::pair<CircuitInput, double>>& changes) {
+  std::unordered_map<NodeId, double> edge_over;
+  std::unordered_map<uint64_t, double> exp_over;  // node << 24 | slot
+  for (const auto& [in, p] : changes) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      return Status::Error("what-if probability " + FormatProbability(p) +
+                           " outside [0, 1]");
+    }
+    if (in.kind == CircuitInput::Kind::kEdgeProb) {
+      if (in.node == pd.root()) {
+        return Status::Error("what-if: the root has no edge probability");
+      }
+      edge_over[in.node] = p;
+    } else {
+      if (pd.kind(in.node) != PKind::kExp ||
+          size_t(in.index) >= pd.exp_distribution(in.node).size()) {
+        return Status::Error("what-if: invalid exp slot address");
+      }
+      exp_over[(uint64_t(uint32_t(in.node)) << 24) | uint32_t(in.index)] = p;
+    }
+  }
+  for (const auto& [n, p] : edge_over) {
+    const NodeId parent = pd.parent(n);
+    if (pd.kind(parent) != PKind::kMux) continue;
+    double sum = 0;
+    for (NodeId c : pd.children(parent)) {
+      const auto it = edge_over.find(c);
+      sum += it == edge_over.end() ? pd.edge_prob(c) : it->second;
+    }
+    if (sum > 1.0 + 1e-9) {
+      return Status::Error("what-if: mux children probabilities sum to " +
+                           FormatProbability(sum) + " > 1");
+    }
+  }
+  for (const auto& [key, p] : exp_over) {
+    const NodeId n = NodeId(key >> 24);
+    const auto& dist = pd.exp_distribution(n);
+    double sum = 0;
+    for (size_t i = 0; i < dist.size(); ++i) {
+      const auto it = exp_over.find((uint64_t(uint32_t(n)) << 24) | uint32_t(i));
+      sum += it == exp_over.end() ? dist[i].second : it->second;
+    }
+    if (sum > 1.0 + 1e-9) {
+      return Status::Error("what-if: exp distribution sums to " +
+                           FormatProbability(sum) + " > 1");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<std::vector<NodeProb>> EvalSession::WhatIf(
+    const Pattern& q,
+    const std::vector<std::pair<CircuitInput, double>>& changes) {
+  MaybeInvalidate();
+  if (Status s = ValidateWhatIf(*pd_, changes); !s.ok()) return s;
+  if (options_.backend == BackendKind::kCircuit) {
+    auto* backend = static_cast<CircuitBackend*>(chain_.front().get());
+    StatusOr<std::vector<NodeProb>> r = backend->WhatIf(*pd_, {&q}, changes);
+    if (r.ok()) {
+      last_backend_ = backend->name();
+      // The same > kProbEps inclusion filter ComputeBatch applies, so the
+      // circuit route and the mutated-copy route return identical answers.
+      std::vector<NodeProb> out;
+      out.reserve(r->size());
+      for (const NodeProb& np : *r) {
+        if (np.prob > kProbEps) out.push_back(np);
+      }
+      return out;
+    }
+    // Slot/gate-cap decline or a flipped guard: the recorded arithmetic is
+    // not valid at the overridden values — fall through to the copy.
+  }
+  // Fallback: commit the overrides to a private copy (same arena layout, so
+  // node ids carry over) and evaluate it from scratch.
+  PDocument copy = *pd_;
+  {
+    PDocument::MutationBatch batch(&copy);
+    std::unordered_map<NodeId, std::vector<std::pair<std::vector<int>, double>>>
+        exp_dists;
+    for (const auto& [in, p] : changes) {
+      if (in.kind == CircuitInput::Kind::kEdgeProb) {
+        copy.SetEdgeProb(in.node, p);
+      } else {
+        // Read-modify-write the whole distribution; batch multiple slot
+        // overrides of one node into a single SetExpDistribution.
+        auto it =
+            exp_dists.try_emplace(in.node, copy.exp_distribution(in.node))
+                .first;
+        it->second[size_t(in.index)].second = p;
+      }
+    }
+    for (auto& [n, dist] : exp_dists) {
+      copy.SetExpDistribution(n, std::move(dist));
+    }
+  }
+  EvalOptions opts = options_;
+  opts.backend = BackendKind::kAuto;
+  opts.cache_results = false;
+  opts.cache_subtrees = false;
+  EvalSession hypothetical(copy, opts);
+  std::vector<NodeProb> out = hypothetical.EvaluateTP(q);
+  last_backend_ = hypothetical.last_backend();
+  return out;
 }
 
 std::vector<LineageCircuit::Sensitivity> EvalSession::Sensitivities(

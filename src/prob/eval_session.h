@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "prob/backend.h"
@@ -119,6 +120,19 @@ class EvalSession {
 
   /// Pr(q matches P) — Boolean (out unanchored).
   double BooleanProbability(const Pattern& q);
+
+  /// q(P̂) under the hypothetical probability overrides in `changes` —
+  /// results exactly as if the overrides had been committed, while the
+  /// document, the session caches and the circuit all stay bitwise
+  /// untouched. With BackendKind::kCircuit the answer is one overlay
+  /// re-propagation through the shared lineage circuit (overlay → read →
+  /// restore); overrides that flip a recorded guard, or any other backend
+  /// kind, fall back to a fresh evaluation of a mutated copy — both routes
+  /// produce the same bits. Errors when the overrides are not valid
+  /// probabilities (out of [0, 1], or a mux/exp mass sum pushed past 1).
+  StatusOr<std::vector<NodeProb>> WhatIf(
+      const Pattern& q,
+      const std::vector<std::pair<CircuitInput, double>>& changes);
 
   /// ∂Pr(n ∈ q(P))/∂p for every edge/exp probability the evaluation reads,
   /// descending |gradient| — which probabilities drive this answer, from

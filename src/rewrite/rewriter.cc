@@ -5,6 +5,7 @@
 
 #include "prob/query_eval.h"
 #include "util/check.h"
+#include "xml/canonical.h"
 
 namespace pxv {
 
@@ -12,6 +13,9 @@ void Rewriter::AddView(std::string name, Pattern def) {
   for (const NamedView& v : views_) {
     PXV_CHECK_NE(v.name, name) << "duplicate view name";
   }
+  // XOR-combine per-view hashes: order-insensitive (registration order does
+  // not change which rewritings exist) and incremental per AddView.
+  fingerprint_ ^= CanonicalHash64(name + "=" + def.CanonicalString());
   views_.push_back({std::move(name), std::move(def)});
 }
 

@@ -30,6 +30,14 @@ class Rewriter {
 
   const std::vector<NamedView>& views() const { return views_; }
 
+  /// Order-insensitive 64-bit fingerprint of the registry contents (view
+  /// names + canonical definitions), updated by AddView. Two registries
+  /// with the same views fingerprint identically, so a compiled plan keyed
+  /// on (registry fingerprint, query) is safe to share across every
+  /// Rewriter holding the same view set — the seam serve/'s shared
+  /// PlanCache keys on.
+  uint64_t Fingerprint() const { return fingerprint_; }
+
   /// Materializes every view over `pd`: evaluates it with the probabilistic
   /// engine and bundles the results into extensions (§3.1). Each view costs
   /// one batched DP pass over the document (not one pass per candidate).
@@ -69,6 +77,7 @@ class Rewriter {
 
  private:
   std::vector<NamedView> views_;
+  uint64_t fingerprint_ = 0;
 };
 
 }  // namespace pxv

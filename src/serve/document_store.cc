@@ -1132,19 +1132,22 @@ std::vector<std::optional<std::vector<PidProb>>> DocumentStore::AnswerAll(
   return results;
 }
 
+void DocumentStore::EnsureStandingLocked(DocState* state) {
+  if (state->standing != nullptr) return;
+  // The standing session runs the lineage-circuit backend regardless of
+  // the store's serving EvalOptions: the whole point is that the
+  // registered queries share one circuit, so a delta costs one merged
+  // propagation. Kernel pinning carries over; result caching is required
+  // (replays after the first post-delta query are cache hits).
+  EvalOptions eval = options_.eval;
+  eval.backend = BackendKind::kCircuit;
+  eval.cache_results = true;
+  eval.cache_subtrees = false;
+  state->standing = std::make_unique<EvalSession>(state->doc, eval);
+}
+
 void DocumentStore::RefreshStandingLocked(DocState* state) {
-  if (state->standing == nullptr) {
-    // The standing session runs the lineage-circuit backend regardless of
-    // the store's serving EvalOptions: the whole point is that the
-    // registered queries share one circuit, so a delta costs one merged
-    // propagation. Kernel pinning carries over; result caching is required
-    // (replays after the first post-delta query are cache hits).
-    EvalOptions eval = options_.eval;
-    eval.backend = BackendKind::kCircuit;
-    eval.cache_results = true;
-    eval.cache_subtrees = false;
-    state->standing = std::make_unique<EvalSession>(state->doc, eval);
-  }
+  EnsureStandingLocked(state);
   state->standing_answers = server_->AnswerAllCached(state->standing.get());
   state->standing_uid = state->doc.uid();
   cached_refreshes_.fetch_add(1, std::memory_order_relaxed);
@@ -1167,6 +1170,21 @@ std::optional<std::vector<std::vector<PidProb>>> DocumentStore::AnswerAllCached(
       RefreshStandingLocked(state.get());
     }
     return state->standing_answers;
+  }
+}
+
+StatusOr<std::vector<PidProb>> DocumentStore::WhatIf(
+    const std::string& name, const Pattern& q,
+    const std::vector<WhatIfChange>& changes) {
+  for (;;) {
+    const std::shared_ptr<DocState> state = FindState(name);
+    if (state == nullptr) {
+      return Status::Error("what-if: unknown document '" + name + "'");
+    }
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (FindState(name) != state) continue;  // Replaced while waiting.
+    EnsureStandingLocked(state.get());
+    return server_->WhatIf(state->standing.get(), q, changes);
   }
 }
 

@@ -280,6 +280,18 @@ class DocumentStore {
   std::optional<std::vector<std::vector<PidProb>>> AnswerAllCached(
       const std::string& name);
 
+  /// Hypothetical serving: answers q over the named document as if the
+  /// probability overrides in `changes` had been committed, WITHOUT
+  /// mutating anything — the document, its views, its WAL and its uid are
+  /// bitwise untouched afterwards. Runs through the document's standing
+  /// lineage-circuit session (one overlay re-propagation in the common
+  /// case; see ViewServer::WhatIf), created on first use. Errors when the
+  /// name is unknown, a pid does not resolve, or the overrides are not
+  /// valid probabilities. Serialized with the write path per document.
+  StatusOr<std::vector<PidProb>> WhatIf(const std::string& name,
+                                        const Pattern& q,
+                                        const std::vector<WhatIfChange>& changes);
+
   /// Read-only access to a stored document (write paths lock internally;
   /// the reference is only safe while no Apply/Put/Drop runs concurrently).
   const PDocument* Find(const std::string& name) const;
@@ -347,6 +359,9 @@ class DocumentStore {
   void FlusherLoop();
 
   std::shared_ptr<DocState> FindState(const std::string& name) const;
+  // Creates the document's standing circuit session on first use (under
+  // the write lock).
+  void EnsureStandingLocked(DocState* state);
   static Status PrecheckOne(const PDocument& doc, const DocMutation& m,
                             NodeId* out_node);
   static void ApplyChecked(PDocument* doc, const DocMutation& m, NodeId node);

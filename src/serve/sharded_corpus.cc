@@ -1,0 +1,323 @@
+#include "serve/sharded_corpus.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "serve/io_env.h"
+#include "util/check.h"
+#include "xml/canonical.h"
+
+namespace pxv {
+
+namespace {
+
+// CanonicalHash64 is FNV-1a, which clusters badly on short, similar keys
+// (consecutive "doc-<i>" names differ only in low bits, and every ring
+// point of one shard lands in a narrow band — shards can end up owning no
+// arc at all). A splitmix64 finalizer spreads both ring points and keys
+// uniformly over the full 64-bit circle.
+uint64_t RingHash(std::string_view key) {
+  uint64_t x = CanonicalHash64(key) + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+CorpusRouter::CorpusRouter(int shards, int replicas) : shards_(shards) {
+  PXV_CHECK(shards >= 1);
+  PXV_CHECK(replicas >= 1);
+  ring_.reserve(size_t(shards) * size_t(replicas));
+  for (int s = 0; s < shards; ++s) {
+    for (int r = 0; r < replicas; ++r) {
+      const std::string point =
+          "shard-" + std::to_string(s) + "#" + std::to_string(r);
+      ring_.emplace_back(RingHash(point), s);
+    }
+  }
+  // Hash ties (vanishingly rare) break on shard id so the ring is a pure
+  // function of (shards, replicas) — every process routes identically.
+  std::sort(ring_.begin(), ring_.end());
+}
+
+int CorpusRouter::Route(std::string_view name) const {
+  const uint64_t h = RingHash(name);
+  // First ring point clockwise of the key, wrapping past the top.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const std::pair<uint64_t, int>& p, uint64_t key) {
+        return p.first < key;
+      });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+ShardedCorpus::ShardedCorpus(ShardedCorpusOptions options,
+                             std::shared_ptr<ViewCatalog> catalog,
+                             bool durable)
+    : options_(std::move(options)),
+      catalog_(catalog != nullptr
+                   ? std::move(catalog)
+                   : std::make_shared<ViewCatalog>(
+                         options_.server.plan_cache_capacity)),
+      router_(options_.shards, options_.router_replicas) {
+  (void)durable;
+  shards_.resize(size_t(options_.shards));
+  for (Shard& shard : shards_) {
+    shard.server = std::make_unique<ViewServer>(catalog_, options_.server);
+  }
+}
+
+ShardedCorpus::ShardedCorpus(ShardedCorpusOptions options,
+                             std::shared_ptr<ViewCatalog> catalog)
+    : ShardedCorpus(std::move(options), std::move(catalog), false) {
+  PXV_CHECK(options_.store.durable_dir.empty())
+      << "durable corpora are created via ShardedCorpus::Open";
+  for (Shard& shard : shards_) {
+    shard.store =
+        std::make_unique<DocumentStore>(shard.server.get(), options_.store);
+  }
+}
+
+StatusOr<std::unique_ptr<ShardedCorpus>> ShardedCorpus::Open(
+    ShardedCorpusOptions options, std::shared_ptr<ViewCatalog> catalog) {
+  if (options.store.durable_dir.empty()) {
+    return Status::Error(
+        "ShardedCorpus::Open requires a corpus root (store.durable_dir)");
+  }
+  IoEnv* env =
+      options.store.io_env != nullptr ? options.store.io_env : IoEnv::Real();
+  if (Status s = env->CreateDir(options.store.durable_dir); !s.ok()) return s;
+  std::unique_ptr<ShardedCorpus> corpus(
+      new ShardedCorpus(std::move(options), std::move(catalog), true));
+  ShardedCorpus* c = corpus.get();
+  const int n = c->shard_count();
+  // Independent directories, independent logs: recover every shard in
+  // parallel. A torn tail or corrupt checkpoint in one shard surfaces as
+  // that shard's error without delaying the others' recovery.
+  std::vector<Status> errors(static_cast<size_t>(n));
+  std::vector<std::unique_ptr<DocumentStore>> stores(static_cast<size_t>(n));
+  std::vector<std::thread> threads;
+  threads.reserve(size_t(n));
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([c, i, &errors, &stores] {
+      DocumentStoreOptions shard_options = c->options_.store;
+      shard_options.durable_dir += "/shard-" + std::to_string(i);
+      StatusOr<std::unique_ptr<DocumentStore>> opened = DocumentStore::Open(
+          c->shards_[size_t(i)].server.get(), std::move(shard_options));
+      if (opened.ok()) {
+        stores[size_t(i)] = std::move(*opened);
+      } else {
+        errors[size_t(i)] = opened.status();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 0; i < n; ++i) {
+    if (!errors[size_t(i)].ok()) {
+      return Status::Error("shard " + std::to_string(i) + ": " +
+                           errors[size_t(i)].message());
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    c->shards_[size_t(i)].store = std::move(stores[size_t(i)]);
+  }
+  return std::move(corpus);
+}
+
+Status ShardedCorpus::Put(const std::string& name, PDocument doc) {
+  return owner(name).Put(name, std::move(doc));
+}
+
+Status ShardedCorpus::Drop(const std::string& name) {
+  return owner(name).Drop(name);
+}
+
+StatusOr<uint64_t> ShardedCorpus::Apply(const std::string& name,
+                                        const std::vector<DocMutation>& batch) {
+  return owner(name).Apply(name, batch);
+}
+
+Status ShardedCorpus::MaterializeIncremental(const std::string& name) {
+  return owner(name).MaterializeIncremental(name);
+}
+
+StatusOr<int> ShardedCorpus::Compact(const std::string& name) {
+  return owner(name).Compact(name);
+}
+
+std::optional<std::vector<PidProb>> ShardedCorpus::Answer(
+    const std::string& name, const Pattern& q) {
+  return owner(name).Answer(name, q);
+}
+
+std::vector<std::optional<std::vector<PidProb>>> ShardedCorpus::AnswerAll(
+    const std::string& name, const std::vector<Pattern>& queries) {
+  return owner(name).AnswerAll(name, queries);
+}
+
+std::optional<std::vector<std::vector<PidProb>>> ShardedCorpus::AnswerAllCached(
+    const std::string& name) {
+  return owner(name).AnswerAllCached(name);
+}
+
+StatusOr<std::vector<PidProb>> ShardedCorpus::WhatIf(
+    const std::string& name, const Pattern& q,
+    const std::vector<WhatIfChange>& changes) {
+  return owner(name).WhatIf(name, q, changes);
+}
+
+const PDocument* ShardedCorpus::Find(const std::string& name) const {
+  return owner(name).Find(name);
+}
+
+std::vector<std::string> ShardedCorpus::Names() const {
+  std::vector<std::string> names;
+  for (const Shard& shard : shards_) {
+    std::vector<std::string> mine = shard.store->Names();
+    names.insert(names.end(), std::make_move_iterator(mine.begin()),
+                 std::make_move_iterator(mine.end()));
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<ShardedCorpus::DocAnswers> ShardedCorpus::AnswerAllDocuments(
+    const std::vector<Pattern>& queries) {
+  fanouts_.fetch_add(1, std::memory_order_relaxed);
+  const int nq = int(queries.size());
+  // Pin phase: one snapshot per document, all up front, before any
+  // evaluation starts. Every answer in this fan-out reads its document's
+  // pre-fan-out extensions even while writers keep committing on any shard
+  // — the store's per-document snapshot isolation is the consistency unit.
+  struct Pinned {
+    std::string doc;
+    std::shared_ptr<const SharedExtensions> snap;
+  };
+  std::vector<std::vector<Pinned>> pinned(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    for (std::string& name : shards_[s].store->Names()) {
+      std::shared_ptr<const SharedExtensions> snap =
+          shards_[s].store->Snapshot(name);
+      if (snap == nullptr) continue;  // Dropped since Names().
+      pinned[s].push_back({std::move(name), std::move(snap)});
+    }
+  }
+  // Execute phase: one fan-out thread per non-empty shard; inside, the
+  // shard's own pool shards the document × query grid. The pools are
+  // independent, so shards genuinely run concurrently; the shared catalog
+  // means at most one shard compiles any given query shape.
+  std::vector<std::vector<DocAnswers>> results(shards_.size());
+  std::vector<std::thread> threads;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (pinned[s].empty()) continue;
+    threads.emplace_back([this, s, nq, &queries, &pinned, &results] {
+      ViewServer& server = *shards_[s].server;
+      std::vector<DocAnswers>& out = results[s];
+      out.resize(pinned[s].size());
+      for (size_t d = 0; d < pinned[s].size(); ++d) {
+        out[d].shard = int(s);
+        out[d].doc = pinned[s][d].doc;
+        out[d].answers.resize(size_t(nq));
+      }
+      server.pool().ParallelFor(int(pinned[s].size()) * nq, [&](int i) {
+        const size_t d = size_t(i / nq);
+        const size_t q = size_t(i % nq);
+        out[d].answers[q] = server.AnswerWith(queries[q], *pinned[s][d].snap);
+      });
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Merge phase: concatenate in shard order. Names() iterates each store's
+  // sorted map, so (shard, document-name) order falls out deterministic,
+  // independent of thread timing.
+  std::vector<DocAnswers> merged;
+  size_t total = 0;
+  for (const std::vector<DocAnswers>& r : results) total += r.size();
+  merged.reserve(total);
+  for (std::vector<DocAnswers>& r : results) {
+    merged.insert(merged.end(), std::make_move_iterator(r.begin()),
+                  std::make_move_iterator(r.end()));
+  }
+  return merged;
+}
+
+Status ShardedCorpus::Checkpoint() {
+  Status first = Status::Ok();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (Status status = shards_[s].store->Checkpoint();
+        !status.ok() && first.ok()) {
+      first = Status::Error("shard " + std::to_string(s) + ": " +
+                            status.message());
+    }
+  }
+  return first;
+}
+
+bool ShardedCorpus::read_only() const {
+  for (const Shard& shard : shards_) {
+    if (shard.store->read_only()) return true;
+  }
+  return false;
+}
+
+namespace {
+
+void AddStoreStats(DocumentStoreStats* sum, const DocumentStoreStats& s) {
+  sum->batches += s.batches;
+  sum->mutations += s.mutations;
+  sum->rejected_batches += s.rejected_batches;
+  sum->materializations += s.materializations;
+  sum->views_patched += s.views_patched;
+  sum->views_rebuilt += s.views_rebuilt;
+  sum->views_clean += s.views_clean;
+  sum->compactions += s.compactions;
+  sum->nodes_reclaimed += s.nodes_reclaimed;
+  sum->wal_appends += s.wal_appends;
+  sum->wal_bytes += s.wal_bytes;
+  sum->checkpoints += s.checkpoints;
+  sum->recoveries += s.recoveries;
+  sum->torn_records_dropped += s.torn_records_dropped;
+  sum->read_only += s.read_only;
+  sum->cached_refreshes += s.cached_refreshes;
+}
+
+}  // namespace
+
+ShardedCorpusStats ShardedCorpus::stats() const {
+  ShardedCorpusStats s;
+  for (const Shard& shard : shards_) {
+    AddStoreStats(&s.store, shard.store->stats());
+    s.documents += int64_t(shard.store->Names().size());
+    const ViewServerStats server = shard.server->stats();
+    s.queries += server.queries;
+    s.unanswerable += server.unanswerable;
+    s.whatifs += server.whatifs;
+  }
+  s.fanouts = fanouts_.load(std::memory_order_relaxed);
+  // ONE shared cache across the shards: counted once, not summed N times
+  // (every shard's ViewServerStats reads the same totals).
+  const PlanCache& cache = catalog_->plan_cache();
+  s.plan_cache_hits = cache.hits();
+  s.plan_cache_misses = cache.misses();
+  s.plan_cache_size = int64_t(cache.size());
+  return s;
+}
+
+std::vector<ShardedCorpus::ShardInfo> ShardedCorpus::ShardInfos() const {
+  std::vector<ShardInfo> infos;
+  infos.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    ShardInfo info;
+    info.shard = int(s);
+    info.docs = shards_[s].store->Names();
+    info.store = shards_[s].store->stats();
+    info.queries = shards_[s].server->stats().queries;
+    infos.push_back(std::move(info));
+  }
+  return infos;
+}
+
+}  // namespace pxv

@@ -1,0 +1,230 @@
+// ShardedCorpus — the corpus-width scaling layer the ROADMAP's north star
+// asks for: N independent (ViewServer, DocumentStore) shards behind a
+// consistent-hash router keyed on document name, all executing against ONE
+// shared ViewCatalog (view registry + plan cache + standing queries), so a
+// query shape compiles once and executes on every shard.
+//
+// The paper's tractability results are per document, which makes the shard
+// the natural unit of everything stateful:
+//   * routing     — CorpusRouter maps a document name to its owning shard;
+//                   Put/Apply/Compact/Answer run there and nowhere else.
+//   * consistency — the store's per-document snapshot isolation is the
+//                   consistency unit; the cross-shard AnswerAll fan-out
+//                   pins ONE snapshot per document up front, then executes
+//                   in parallel on the shards' own pools, so a concurrent
+//                   Apply on shard A can never tear what shard B serves.
+//   * durability  — each shard owns an independent WAL + checkpoint
+//                   directory (<root>/shard-<i>); Open() recovers all of
+//                   them in parallel and a torn tail in one shard never
+//                   delays or disturbs another.
+//   * merging     — fan-out answers are merged deterministically in stable
+//                   (shard, document-name) order, independent of thread
+//                   timing.
+//
+// Concurrency contract: register views (AddView / RegisterCachedQuery)
+// before serving, as everywhere else. After that every routed method and
+// the fan-out may be called freely from any number of threads; per-document
+// writes serialize inside the owning shard's store exactly as they do on a
+// single DocumentStore.
+
+#ifndef PXV_SERVE_SHARDED_CORPUS_H_
+#define PXV_SERVE_SHARDED_CORPUS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "serve/document_store.h"
+#include "serve/view_catalog.h"
+#include "serve/view_server.h"
+#include "util/status.h"
+
+namespace pxv {
+
+/// Consistent-hash ring over shard ids, keyed on document name. Virtual-
+/// node replicas smooth the load; routing is a binary search over the ring
+/// (first point clockwise of the key's hash). Stable across processes —
+/// the ring depends only on (shards, replicas) — and minimally disruptive:
+/// changing the shard count remaps only the keys whose arc moved.
+class CorpusRouter {
+ public:
+  explicit CorpusRouter(int shards, int replicas = 64);
+
+  int shards() const { return shards_; }
+
+  /// The shard owning `name`.
+  int Route(std::string_view name) const;
+
+ private:
+  int shards_;
+  /// Ring points sorted by hash: (point hash, shard id).
+  std::vector<std::pair<uint64_t, int>> ring_;
+};
+
+struct ShardedCorpusOptions {
+  /// Shard count. 1 behaves exactly like a single DocumentStore behind a
+  /// router (the randomized cross-check in tests relies on that).
+  int shards = 1;
+  /// Virtual-node replicas per shard on the router ring.
+  int router_replicas = 64;
+  /// Per-shard execution options (thread pool size, extension options).
+  /// Note threads applies PER SHARD — an N-shard corpus on one machine
+  /// usually wants threads ≈ cores / N.
+  ViewServerOptions server;
+  /// Per-shard store options. durable_dir, when non-empty, is the CORPUS
+  /// root: shard i persists under <durable_dir>/shard-<i>. Durable corpora
+  /// must be created via Open(); the plain constructor rejects a non-empty
+  /// durable_dir, mirroring DocumentStore.
+  DocumentStoreOptions store;
+};
+
+/// Aggregated corpus counters: per-shard stores summed, plus the shared
+/// plan cache counted once (it is one cache, not N).
+struct ShardedCorpusStats {
+  DocumentStoreStats store;        ///< Summed across shards.
+  int64_t documents = 0;           ///< Stored documents across shards.
+  int64_t queries = 0;             ///< Summed ViewServer answer calls.
+  int64_t unanswerable = 0;
+  int64_t whatifs = 0;
+  int64_t fanouts = 0;             ///< Cross-shard AnswerAll calls.
+  int64_t plan_cache_hits = 0;     ///< Shared catalog, counted once.
+  int64_t plan_cache_misses = 0;
+  int64_t plan_cache_size = 0;
+};
+
+class ShardedCorpus {
+ public:
+  /// One document's fan-out result: answers[i] corresponds to queries[i].
+  struct DocAnswers {
+    int shard = 0;
+    std::string doc;
+    std::vector<std::optional<std::vector<PidProb>>> answers;
+  };
+
+  /// Per-shard introspection (pxvq shards).
+  struct ShardInfo {
+    int shard = 0;
+    std::vector<std::string> docs;  ///< Sorted (store iteration order).
+    DocumentStoreStats store;
+    int64_t queries = 0;  ///< This shard's ViewServer answer calls.
+  };
+
+  /// In-memory corpus. With `catalog` null a private catalog is created —
+  /// register views through AddView before Put, as with ViewServer. A
+  /// shared catalog may also be passed in (pre-registered or not).
+  explicit ShardedCorpus(ShardedCorpusOptions options = {},
+                         std::shared_ptr<ViewCatalog> catalog = nullptr);
+
+  /// Opens (or creates) a durable corpus rooted at options.store.durable_dir,
+  /// recovering every shard's checkpoint + WAL tail IN PARALLEL (one
+  /// recovery thread per shard; shard recovery is independent by
+  /// construction — separate directories, separate logs). Views must
+  /// already be registered on `catalog` (or there are none): recovery
+  /// materializes against the catalog's view set. A null catalog creates
+  /// an empty private one.
+  static StatusOr<std::unique_ptr<ShardedCorpus>> Open(
+      ShardedCorpusOptions options,
+      std::shared_ptr<ViewCatalog> catalog = nullptr);
+
+  /// Registers a view on the shared catalog. Before any Put/Open recovery.
+  void AddView(std::string name, Pattern def) {
+    catalog_->AddView(std::move(name), std::move(def));
+  }
+  /// Registers a standing query on the shared catalog. Before serving.
+  void RegisterCachedQuery(const Pattern& q) {
+    catalog_->RegisterCachedQuery(q);
+  }
+
+  const std::shared_ptr<ViewCatalog>& catalog() const { return catalog_; }
+  const CorpusRouter& router() const { return router_; }
+  int shard_count() const { return int(shards_.size()); }
+
+  /// The shard owning `name` (CorpusRouter::Route).
+  int ShardOf(const std::string& name) const { return router_.Route(name); }
+
+  /// The shard's execution state — tests, benches and pxvq introspection.
+  ViewServer& server(int shard) { return *shards_[size_t(shard)].server; }
+  DocumentStore& store(int shard) { return *shards_[size_t(shard)].store; }
+  const DocumentStore& store(int shard) const {
+    return *shards_[size_t(shard)].store;
+  }
+
+  // ------------------------------------------------- routed operations ----
+  // Each runs on the owning shard with DocumentStore's exact semantics.
+
+  Status Put(const std::string& name, PDocument doc);
+  Status Drop(const std::string& name);
+  StatusOr<uint64_t> Apply(const std::string& name,
+                           const std::vector<DocMutation>& batch);
+  Status MaterializeIncremental(const std::string& name);
+  StatusOr<int> Compact(const std::string& name);
+  std::optional<std::vector<PidProb>> Answer(const std::string& name,
+                                             const Pattern& q);
+  std::vector<std::optional<std::vector<PidProb>>> AnswerAll(
+      const std::string& name, const std::vector<Pattern>& queries);
+  std::optional<std::vector<std::vector<PidProb>>> AnswerAllCached(
+      const std::string& name);
+  StatusOr<std::vector<PidProb>> WhatIf(const std::string& name,
+                                        const Pattern& q,
+                                        const std::vector<WhatIfChange>& changes);
+  const PDocument* Find(const std::string& name) const;
+
+  /// Every stored document name, sorted — the same contract as
+  /// DocumentStore::Names() on the equivalent single store.
+  std::vector<std::string> Names() const;
+
+  // ----------------------------------------------- cross-shard fan-out ----
+
+  /// Answers every query over EVERY stored document: pins one snapshot per
+  /// document up front (so concurrent Applies commit invisibly), executes
+  /// in parallel — one fan-out thread per non-empty shard, each sharding
+  /// its document × query grid across its own pool — and merges
+  /// deterministically in (shard, document-name) order. Result layout:
+  /// one DocAnswers per document, answers[i] for queries[i]. Bit-identical
+  /// to looping AnswerAll over a single store holding the same corpus.
+  std::vector<DocAnswers> AnswerAllDocuments(
+      const std::vector<Pattern>& queries);
+
+  // ------------------------------------------------------- durability ----
+
+  /// Checkpoints every shard (DocumentStore::Checkpoint). Attempts all
+  /// shards; returns the first error encountered.
+  Status Checkpoint();
+
+  /// True once ANY shard degraded to read-only.
+  bool read_only() const;
+
+  ShardedCorpusStats stats() const;
+  std::vector<ShardInfo> ShardInfos() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<ViewServer> server;
+    std::unique_ptr<DocumentStore> store;
+  };
+
+  ShardedCorpus(ShardedCorpusOptions options,
+                std::shared_ptr<ViewCatalog> catalog, bool durable);
+
+  DocumentStore& owner(const std::string& name) {
+    return *shards_[size_t(router_.Route(name))].store;
+  }
+  const DocumentStore& owner(const std::string& name) const {
+    return *shards_[size_t(router_.Route(name))].store;
+  }
+
+  ShardedCorpusOptions options_;
+  std::shared_ptr<ViewCatalog> catalog_;
+  CorpusRouter router_;
+  std::vector<Shard> shards_;
+  std::atomic<int64_t> fanouts_{0};
+};
+
+}  // namespace pxv
+
+#endif  // PXV_SERVE_SHARDED_CORPUS_H_

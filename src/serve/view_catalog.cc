@@ -1,0 +1,23 @@
+#include "serve/view_catalog.h"
+
+#include <utility>
+
+namespace pxv {
+
+std::shared_ptr<const QueryPlan> ViewCatalog::PlanFor(const Pattern& q) {
+  // (registry fingerprint, query) — the canonical pattern string is the
+  // full-fidelity query fingerprint (invariant under predicate reordering,
+  // so isomorphic queries share one slot); the registry fingerprint keeps
+  // plans compiled against different view sets from colliding when catalogs
+  // are swapped or rebuilt.
+  std::string key = std::to_string(rewriter_.Fingerprint());
+  key += '\n';
+  key += q.CanonicalString();
+  if (std::shared_ptr<const QueryPlan> plan = cache_.Lookup(key)) return plan;
+  // Compile outside the cache lock; a concurrent compile of the same query
+  // races benignly — Insert keeps the first plan and both callers use it.
+  auto plan = std::make_shared<const QueryPlan>(rewriter_.Compile(q));
+  return cache_.Insert(key, std::move(plan));
+}
+
+}  // namespace pxv

@@ -2,28 +2,29 @@
 
 #include <utility>
 
+#include "util/check.h"
+
 namespace pxv {
 
 ViewServer::ViewServer(ViewServerOptions options)
+    : ViewServer(std::make_shared<ViewCatalog>(options.plan_cache_capacity),
+                 options) {}
+
+ViewServer::ViewServer(std::shared_ptr<ViewCatalog> catalog,
+                       ViewServerOptions options)
     : options_(options),
+      catalog_(std::move(catalog)),
       pool_(options.threads),
-      cache_(options.plan_cache_capacity),
-      exts_(std::make_shared<const ViewExtensions>()) {}
-
-void ViewServer::AddView(std::string name, Pattern def) {
-  rewriter_.AddView(std::move(name), std::move(def));
-}
-
-void ViewServer::RegisterCachedQuery(const Pattern& q) {
-  if (!cached_keys_.insert(q.CanonicalString()).second) return;
-  cached_queries_.push_back(q);
+      exts_(std::make_shared<const ViewExtensions>()) {
+  PXV_CHECK(catalog_ != nullptr);
 }
 
 std::vector<std::vector<PidProb>> ViewServer::AnswerAllCached(
     EvalSession* session) {
+  const std::vector<Pattern>& cached = catalog_->cached_queries();
   std::vector<const Pattern*> queries;
-  queries.reserve(cached_queries_.size());
-  for (const Pattern& q : cached_queries_) queries.push_back(&q);
+  queries.reserve(cached.size());
+  for (const Pattern& q : cached) queries.push_back(&q);
   const std::vector<std::vector<NodeProb>> raw = session->EvaluateAll(queries);
   // Pid-keyed results: node ids are arena positions and do not survive
   // compaction, pids do — the serving answer currency everywhere else.
@@ -40,8 +41,68 @@ std::vector<std::vector<PidProb>> ViewServer::AnswerAllCached(
   return out;
 }
 
+StatusOr<std::vector<PidProb>> ViewServer::WhatIf(
+    EvalSession* session, const Pattern& q,
+    const std::vector<WhatIfChange>& changes) {
+  whatifs_.fetch_add(1, std::memory_order_relaxed);
+  const PDocument& pd = session->doc();
+  // Translate the pid-addressed changes into circuit-input identities (the
+  // currency of the lineage circuit and of PDocument's setters alike).
+  std::vector<std::pair<CircuitInput, double>> inputs;
+  inputs.reserve(changes.size());
+  for (const WhatIfChange& c : changes) {
+    const NodeId n = pd.FindByPid(c.target);
+    if (n == kNullNode) {
+      return Status::Error("what-if: no node with pid " +
+                           std::to_string(c.target));
+    }
+    CircuitInput in;
+    if (c.dist_child_index < 0) {
+      in.kind = CircuitInput::Kind::kEdgeProb;
+      in.node = n;
+    } else {
+      const std::vector<NodeId>& kids = pd.children(n);
+      if (c.dist_child_index >= int(kids.size())) {
+        return Status::Error("what-if: pid " + std::to_string(c.target) +
+                             " has no child " +
+                             std::to_string(c.dist_child_index));
+      }
+      const NodeId ex = kids[size_t(c.dist_child_index)];
+      if (pd.kind(ex) != PKind::kExp) {
+        return Status::Error("what-if: child " +
+                             std::to_string(c.dist_child_index) + " of pid " +
+                             std::to_string(c.target) + " is not an exp node");
+      }
+      if (c.slot < 0 || size_t(c.slot) >= pd.exp_distribution(ex).size()) {
+        return Status::Error("what-if: exp subset index " +
+                             std::to_string(c.slot) + " out of range");
+      }
+      in.kind = CircuitInput::Kind::kExpSlot;
+      in.node = ex;
+      in.index = c.slot;
+    }
+    inputs.emplace_back(in, c.prob);
+  }
+  StatusOr<std::vector<NodeProb>> r = session->WhatIf(q, inputs);
+  if (!r.ok()) return r.status();
+  std::vector<PidProb> out;
+  out.reserve(r->size());
+  for (const NodeProb& np : *r) out.push_back({pd.pid(np.node), np.prob});
+  return out;
+}
+
+StatusOr<std::vector<PidProb>> ViewServer::WhatIf(
+    const PDocument& doc, const Pattern& q,
+    const std::vector<WhatIfChange>& changes) {
+  EvalOptions eval;
+  eval.backend = BackendKind::kCircuit;
+  eval.cache_results = false;
+  EvalSession session(doc, eval);
+  return WhatIf(&session, q, changes);
+}
+
 void ViewServer::Materialize(const PDocument& pd) {
-  SetExtensions(rewriter_.Materialize(pd, pool_, options_.extension_options));
+  SetExtensions(rewriter().Materialize(pd, pool_, options_.extension_options));
   materializations_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -56,15 +117,6 @@ std::shared_ptr<const ViewExtensions> ViewServer::extensions() const {
   return exts_;
 }
 
-std::shared_ptr<const QueryPlan> ViewServer::PlanFor(const Pattern& q) {
-  const std::string key = q.CanonicalString();
-  if (std::shared_ptr<const QueryPlan> plan = cache_.Lookup(key)) return plan;
-  // Compile outside the cache lock; a concurrent compile of the same query
-  // races benignly — Insert keeps the first plan and both callers use it.
-  auto plan = std::make_shared<const QueryPlan>(rewriter_.Compile(q));
-  return cache_.Insert(key, std::move(plan));
-}
-
 std::optional<std::vector<PidProb>> ViewServer::AnswerWith(
     const Pattern& q, const ExtensionSet& exts) {
   return AnswerOne(q, exts);
@@ -74,7 +126,7 @@ std::optional<std::vector<PidProb>> ViewServer::AnswerOne(
     const Pattern& q, const ExtensionSet& exts) {
   queries_.fetch_add(1, std::memory_order_relaxed);
   std::optional<std::vector<PidProb>> result =
-      ExecuteQueryPlan(*PlanFor(q), exts);
+      ExecuteQueryPlan(*catalog_->PlanFor(q), exts);
   if (!result.has_value()) {
     unanswerable_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -99,12 +151,13 @@ std::vector<std::optional<std::vector<PidProb>>> ViewServer::AnswerAll(
 ViewServerStats ViewServer::stats() const {
   ViewServerStats s;
   s.queries = queries_.load(std::memory_order_relaxed);
-  s.plan_cache_hits = cache_.hits();
-  s.plan_cache_misses = cache_.misses();
+  s.plan_cache_hits = catalog_->plan_cache().hits();
+  s.plan_cache_misses = catalog_->plan_cache().misses();
   s.unanswerable = unanswerable_.load(std::memory_order_relaxed);
   s.materializations = materializations_.load(std::memory_order_relaxed);
-  s.cached_queries = int64_t(cached_queries_.size());
+  s.cached_queries = int64_t(catalog_->cached_queries().size());
   s.cached_batches = cached_batches_.load(std::memory_order_relaxed);
+  s.whatifs = whatifs_.load(std::memory_order_relaxed);
   return s;
 }
 

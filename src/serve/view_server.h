@@ -1,11 +1,13 @@
-// ViewServer — the serving layer the paper's workload implies: materialize
-// view extensions once, then answer many queries from them. It owns
-//   * a Rewriter (the view registry + §4/§5 rewriting searches),
-//   * a PlanCache keyed by the query's canonical pattern string (the
-//     64-bit Fingerprint rides along in the plan), so repeated and
-//     isomorphic queries skip the exponential TPrewrite/TPIrewrite search,
-//   * a ThreadPool that fans view materialization out (one EvalSession per
-//     worker shard) and batches AnswerAll across queries.
+// ViewServer — per-shard execution state of the serving stack: a thread
+// pool that fans view materialization out (one EvalSession per worker
+// shard) and batches AnswerAll across queries, plus the current
+// materialized-extension snapshot. The logical half — the view registry,
+// the standing-query list and the compiled-plan cache — lives in a
+// ViewCatalog (serve/view_catalog.h) that may be SHARED across servers:
+// a ShardedCorpus runs one ViewServer per shard over one catalog, so a
+// query shape compiles once and executes everywhere. The default
+// constructor creates a private catalog, which is the single-store
+// configuration every pre-sharding caller gets unchanged.
 //
 // Concurrency contract: register views (AddView) before serving. After
 // that, Materialize / Answer / AnswerAll may be called freely from any
@@ -23,7 +25,6 @@
 #include <mutex>
 #include <optional>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "prob/eval_session.h"
@@ -32,6 +33,8 @@
 #include "rewrite/planner.h"
 #include "rewrite/rewriter.h"
 #include "serve/plan_cache.h"
+#include "serve/view_catalog.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace pxv {
@@ -39,13 +42,16 @@ namespace pxv {
 struct ViewServerOptions {
   /// Worker threads; ≤ 0 picks ThreadPool::DefaultThreads().
   int threads = 0;
-  /// Compiled plans kept before LRU eviction.
+  /// Compiled plans kept before LRU eviction (private-catalog ctor only;
+  /// a shared catalog brings its own cache).
   size_t plan_cache_capacity = 1024;
   /// Passed through to BuildViewExtension during materialization.
   ViewExtensionOptions extension_options;
 };
 
 /// Monotonic serving counters (one consistent snapshot per stats() call).
+/// plan_cache_hits/misses read the catalog's cache — shared totals when the
+/// catalog is shared across servers.
 struct ViewServerStats {
   int64_t queries = 0;           ///< Answer calls (AnswerAll counts each).
   int64_t plan_cache_hits = 0;
@@ -54,29 +60,72 @@ struct ViewServerStats {
   int64_t materializations = 0;  ///< Materialize calls.
   int64_t cached_queries = 0;    ///< Standing queries registered.
   int64_t cached_batches = 0;    ///< AnswerAllCached calls.
+  int64_t whatifs = 0;           ///< WhatIf calls.
+};
+
+/// One hypothetical probability change for ViewServer::WhatIf, addressed
+/// like DocMutation: by persistent id, so it survives compaction remaps.
+struct WhatIfChange {
+  /// Hypothetical edge probability: the node's probability under its
+  /// distributional parent becomes `prob`.
+  static WhatIfChange Edge(PersistentId pid, double prob) {
+    WhatIfChange c;
+    c.target = pid;
+    c.prob = prob;
+    return c;
+  }
+  /// Hypothetical exp-distribution slot change: subset `slot` of the exp
+  /// node that is child `dist_child_index` of `pid` gets probability
+  /// `prob`. The subset structure is untouched — values only.
+  static WhatIfChange ExpSlot(PersistentId pid, int dist_child_index,
+                              int slot, double prob) {
+    WhatIfChange c;
+    c.target = pid;
+    c.dist_child_index = dist_child_index;
+    c.slot = slot;
+    c.prob = prob;
+    return c;
+  }
+
+  PersistentId target = kNullPid;
+  int dist_child_index = -1;  ///< < 0 → edge change; ≥ 0 → exp slot change.
+  int slot = -1;              ///< Subset index for exp slot changes.
+  double prob = 1.0;
 };
 
 class ViewServer {
  public:
+  /// Single-store form: creates a private catalog.
   explicit ViewServer(ViewServerOptions options = {});
 
-  /// Registers a view. Must happen before Materialize/Answer (the plan
-  /// cache would otherwise serve plans compiled against the old registry).
-  void AddView(std::string name, Pattern def);
+  /// Shard form: executes against a caller-shared catalog (view registry +
+  /// plan cache + standing queries). The catalog must be non-null and
+  /// follows its own registration-before-serving contract.
+  ViewServer(std::shared_ptr<ViewCatalog> catalog, ViewServerOptions options);
+
+  /// The logical catalog this server executes against.
+  const std::shared_ptr<ViewCatalog>& catalog() const { return catalog_; }
+
+  /// Registers a view on the catalog. Must happen before Materialize/Answer.
+  void AddView(std::string name, Pattern def) {
+    catalog_->AddView(std::move(name), std::move(def));
+  }
 
   /// Registers a standing (cached) query for the shared-circuit batch path
   /// (AnswerAllCached). Like AddView, registration must happen before
   /// serving; duplicate canonical forms are kept once.
-  void RegisterCachedQuery(const Pattern& q);
+  void RegisterCachedQuery(const Pattern& q) {
+    catalog_->RegisterCachedQuery(q);
+  }
 
   /// The standing queries, in registration order.
   const std::vector<Pattern>& cached_queries() const {
-    return cached_queries_;
+    return catalog_->cached_queries();
   }
 
-  const Rewriter& rewriter() const { return rewriter_; }
+  const Rewriter& rewriter() const { return catalog_->rewriter(); }
   ThreadPool& pool() { return pool_; }
-  PlanCache& plan_cache() { return cache_; }
+  PlanCache& plan_cache() { return catalog_->plan_cache(); }
 
   /// Materializes every registered view over `pd` in parallel across the
   /// pool and publishes the result as the current extension snapshot.
@@ -90,9 +139,11 @@ class ViewServer {
   /// Materialize/SetExtensions.
   std::shared_ptr<const ViewExtensions> extensions() const;
 
-  /// The compiled plan for q: plan-cache lookup by canonical fingerprint,
-  /// compiling (TPrewrite + TPIrewrite) only on a miss.
-  std::shared_ptr<const QueryPlan> PlanFor(const Pattern& q);
+  /// The compiled plan for q — the catalog's shared (registry fingerprint,
+  /// query) keyed cache, compiling only on a miss.
+  std::shared_ptr<const QueryPlan> PlanFor(const Pattern& q) {
+    return catalog_->PlanFor(q);
+  }
 
   /// Answers q from the current extension snapshot via the cheapest
   /// executable plan candidate. nullopt when q has no rewriting or no
@@ -123,6 +174,26 @@ class ViewServer {
   /// EvalSession contract).
   std::vector<std::vector<PidProb>> AnswerAllCached(EvalSession* session);
 
+  /// Hypothetical serving: Pr(n ∈ q(P)) for every answer candidate under
+  /// the probability overrides in `changes`, WITHOUT committing a mutation
+  /// — the document is bitwise untouched afterwards. With a kCircuit
+  /// session this is one overlay re-propagation through the shared lineage
+  /// circuit (restore included); overrides that flip a recorded guard, or
+  /// sessions on other backends, fall back to evaluating a mutated copy —
+  /// either way the answers are exactly what Answer would return had the
+  /// changes been applied. The caller owns the session (single-threaded,
+  /// per the EvalSession contract). Errors on unknown pids, malformed
+  /// addresses, or probabilities a real mutation would reject.
+  StatusOr<std::vector<PidProb>> WhatIf(EvalSession* session,
+                                        const Pattern& q,
+                                        const std::vector<WhatIfChange>& changes);
+
+  /// Convenience form over a transient per-call circuit session — the
+  /// pxvq route. Repeated what-ifs should hold a session (or go through
+  /// DocumentStore::WhatIf, which reuses the standing session).
+  StatusOr<std::vector<PidProb>> WhatIf(const PDocument& doc, const Pattern& q,
+                                        const std::vector<WhatIfChange>& changes);
+
   ViewServerStats stats() const;
 
  private:
@@ -130,11 +201,8 @@ class ViewServer {
       const Pattern& q, const ExtensionSet& exts);
 
   ViewServerOptions options_;
-  Rewriter rewriter_;
+  std::shared_ptr<ViewCatalog> catalog_;
   ThreadPool pool_;
-  PlanCache cache_;
-  std::vector<Pattern> cached_queries_;  // Registered before serving.
-  std::unordered_set<std::string> cached_keys_;
 
   mutable std::mutex exts_mu_;
   std::shared_ptr<const ViewExtensions> exts_;
@@ -143,6 +211,7 @@ class ViewServer {
   std::atomic<int64_t> unanswerable_{0};
   std::atomic<int64_t> materializations_{0};
   std::atomic<int64_t> cached_batches_{0};
+  std::atomic<int64_t> whatifs_{0};
 };
 
 }  // namespace pxv

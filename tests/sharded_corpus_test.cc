@@ -1,0 +1,471 @@
+// ShardedCorpus semantics (ISSUE 10 tentpole): consistent-hash routing,
+// routed operations with DocumentStore's exact semantics, the cross-shard
+// AnswerAll fan-out, and per-shard durability. The acceptance invariants:
+//
+//   * the router is deterministic across instances, reasonably balanced,
+//     and minimally disruptive — adding a shard only moves keys TO the
+//     new shard, never between old ones;
+//   * a sharded corpus is bit-identical to a single DocumentStore twin
+//     holding the same documents under the same randomized churn —
+//     answers, names, everything observable;
+//   * the shared ViewCatalog compiles each query shape exactly once
+//     across all shards (plan-cache dedup);
+//   * a concurrent Apply on shard A never tears what the fan-out serves
+//     from shard B (snapshots pin before execution starts) — this test is
+//     also the TSan target for the fan-out;
+//   * durable shards recover independently: a torn WAL tail in shard 0
+//     rolls only shard 0 back to its last durable state while shard 1
+//     keeps its post-checkpoint batches.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "gen/docgen.h"
+#include "serve/document_store.h"
+#include "serve/io_env.h"
+#include "serve/sharded_corpus.h"
+#include "serve/view_server.h"
+#include "serve/wal.h"
+#include "tp/parser.h"
+#include "util/random.h"
+#include "xml/label.h"
+
+namespace pxv {
+namespace {
+
+std::string TestDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/pxv_sharded_" + name;
+  std::system(("rm -rf " + dir).c_str());
+  return dir;
+}
+
+PDocument PersonnelDoc(uint64_t seed, int persons = 8) {
+  Rng rng(seed);
+  return PersonnelPDocument(rng, persons, 0.3, 0.4);
+}
+
+void RegisterViews(ShardedCorpus* corpus) {
+  corpus->AddView("vbonus", Tp("IT-personnel//person/bonus"));
+  corpus->AddView("vrick", Tp("IT-personnel//person[name/Rick]/bonus"));
+}
+
+void RegisterViews(ViewServer* server) {
+  server->AddView("vbonus", Tp("IT-personnel//person/bonus"));
+  server->AddView("vrick", Tp("IT-personnel//person[name/Rick]/bonus"));
+}
+
+std::vector<Pattern> Queries() {
+  return {Tp("IT-personnel//person/bonus"),
+          Tp("IT-personnel//person[name/Rick]/bonus")};
+}
+
+// Mux alternatives (pid, current edge probability): lowering one below its
+// current value always leaves the mux budget valid.
+std::vector<std::pair<PersistentId, double>> MuxAlternatives(
+    const PDocument& pd) {
+  std::vector<std::pair<PersistentId, double>> out;
+  for (NodeId n = 0; n < pd.size(); ++n) {
+    if (!pd.ordinary(n) || pd.detached(n)) continue;
+    const NodeId parent = pd.parent(n);
+    if (parent != kNullNode && !pd.ordinary(parent) &&
+        pd.kind(parent) == PKind::kMux) {
+      out.push_back({pd.pid(n), pd.edge_prob(n)});
+    }
+  }
+  return out;
+}
+
+// Canonical form: structure + labels + pids + exact probabilities, ignoring
+// arena ids and version stamps — exactly the freedoms recovery is allowed
+// (the durability suite's contract, restated for the sharded corpus).
+void AppendProb(double p, std::string* out) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", p);  // Round-trips doubles.
+  *out += buf;
+}
+
+void CanonNode(const PDocument& d, NodeId n, std::string* out) {
+  if (d.ordinary(n)) {
+    *out += "O(";
+    *out += LabelName(d.label(n));
+    *out += ',';
+    *out += d.pid(n) >= 0 ? std::to_string(d.pid(n)) : std::string("L");
+    *out += ',';
+    AppendProb(d.edge_prob(n), out);
+    *out += ')';
+  } else {
+    *out += PKindName(d.kind(n));
+    *out += '(';
+    AppendProb(d.edge_prob(n), out);
+    if (d.kind(n) == PKind::kExp) {
+      for (const auto& [subset, p] : d.exp_distribution(n)) {
+        *out += ";{";
+        for (int idx : subset) {
+          *out += std::to_string(idx);
+          *out += ' ';
+        }
+        *out += "}=";
+        AppendProb(p, out);
+      }
+    }
+    *out += ')';
+  }
+  *out += '[';
+  for (NodeId c : d.children(n)) CanonNode(d, c, out);
+  *out += ']';
+}
+
+std::string Canon(const PDocument& d) {
+  std::string out;
+  if (!d.empty()) CanonNode(d, d.root(), &out);
+  return out;
+}
+
+// A valid churn batch: lower a few mux alternatives below their CURRENT
+// probability (monotone shrinking keeps every mux budget valid forever).
+std::vector<DocMutation> ChurnBatch(const PDocument& pd, Rng& rng) {
+  const auto alternatives = MuxAlternatives(pd);
+  std::vector<DocMutation> batch;
+  const int ops = 1 + int(rng.NextBounded(3));
+  for (int i = 0; i < ops && !alternatives.empty(); ++i) {
+    const auto& [pid, current] =
+        alternatives[rng.NextBounded(alternatives.size())];
+    batch.push_back(DocMutation::SetEdgeProb(pid, current * rng.NextDouble()));
+  }
+  return batch;
+}
+
+void ExpectSameAnswerSet(
+    const std::vector<std::optional<std::vector<PidProb>>>& got,
+    const std::vector<std::optional<std::vector<PidProb>>>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t q = 0; q < got.size(); ++q) {
+    ASSERT_EQ(got[q].has_value(), want[q].has_value());
+    if (!got[q].has_value()) continue;
+    ASSERT_EQ(got[q]->size(), want[q]->size());
+    for (size_t i = 0; i < got[q]->size(); ++i) {
+      EXPECT_EQ((*got[q])[i].pid, (*want[q])[i].pid);
+      EXPECT_EQ((*got[q])[i].prob, (*want[q])[i].prob);  // Bit-identical.
+    }
+  }
+}
+
+TEST(CorpusRouterTest, DeterministicAcrossInstancesAndBalanced) {
+  const CorpusRouter a(4);
+  const CorpusRouter b(4);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string name = "doc-" + std::to_string(i);
+    const int shard = a.Route(name);
+    EXPECT_EQ(shard, b.Route(name));  // Pure function of (shards, replicas).
+    ASSERT_GE(shard, 0);
+    ASSERT_LT(shard, 4);
+    ++counts[size_t(shard)];
+  }
+  // 64 virtual nodes per shard keep the arcs reasonably even: every shard
+  // owns a solid chunk of 1000 uniform keys (expected 250 each).
+  for (int c : counts) EXPECT_GT(c, 80);
+}
+
+TEST(CorpusRouterTest, AddingAShardOnlyMovesKeysToTheNewShard) {
+  const CorpusRouter four(4);
+  const CorpusRouter five(5);
+  int moved = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::string name = "doc-" + std::to_string(i);
+    const int r4 = four.Route(name);
+    const int r5 = five.Route(name);
+    if (r5 != r4) {
+      // Consistent hashing's disruption guarantee: shard 4's ring points
+      // only STEAL arcs — no key ever moves between the old shards.
+      EXPECT_EQ(r5, 4);
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0);        // The new shard takes real load...
+  EXPECT_LT(moved, 2 * 2000 / 5);  // ...but only about 1/5 of it.
+}
+
+TEST(ShardedCorpusTest, RoutedOperationsKeepDocumentStoreSemantics) {
+  ShardedCorpusOptions options;
+  options.shards = 3;
+  ShardedCorpus corpus(options);
+  RegisterViews(&corpus);
+
+  std::vector<std::string> names;
+  for (int i = 0; i < 6; ++i) {
+    names.push_back("doc-" + std::to_string(i));
+    ASSERT_TRUE(corpus.Put(names.back(), PersonnelDoc(100 + uint64_t(i))).ok());
+  }
+  // Names() merges the shards back into one sorted corpus-wide list.
+  EXPECT_EQ(corpus.Names(), names);
+  EXPECT_EQ(corpus.stats().documents, 6);
+
+  for (const std::string& name : names) {
+    // The routed document lives on exactly the shard the router names.
+    const int shard = corpus.ShardOf(name);
+    EXPECT_EQ(shard, corpus.router().Route(name));
+    EXPECT_NE(corpus.store(shard).Find(name), nullptr);
+    for (int s = 0; s < corpus.shard_count(); ++s) {
+      if (s != shard) EXPECT_EQ(corpus.store(s).Find(name), nullptr);
+    }
+    EXPECT_EQ(corpus.Find(name), corpus.store(shard).Find(name));
+    EXPECT_TRUE(corpus.Answer(name, Queries()[0]).has_value());
+  }
+
+  // Routed mutations apply on the owning shard; unknown names fail the
+  // same way a single store fails them.
+  const auto alternatives = MuxAlternatives(*corpus.Find(names[0]));
+  ASSERT_FALSE(alternatives.empty());
+  EXPECT_TRUE(
+      corpus
+          .Apply(names[0], {DocMutation::SetEdgeProb(
+                               alternatives[0].first,
+                               alternatives[0].second * 0.5)})
+          .ok());
+  EXPECT_TRUE(corpus.MaterializeIncremental(names[0]).ok());
+  EXPECT_TRUE(corpus.Compact(names[0]).ok());
+  EXPECT_FALSE(corpus.Answer("nope", Queries()[0]).has_value());
+  EXPECT_FALSE(corpus.Apply("nope", {}).ok());
+  EXPECT_FALSE(corpus.MaterializeIncremental("nope").ok());
+  EXPECT_FALSE(corpus.Drop("nope").ok());
+  EXPECT_EQ(corpus.Find("nope"), nullptr);
+
+  ASSERT_TRUE(corpus.Drop(names[2]).ok());
+  EXPECT_EQ(corpus.Names().size(), 5u);
+  EXPECT_EQ(corpus.stats().documents, 5);
+}
+
+TEST(ShardedCorpusTest, FanOutIsBitIdenticalToSingleStoreTwinUnderChurn) {
+  ShardedCorpusOptions options;
+  options.shards = 3;
+  options.server.threads = 2;
+  ShardedCorpus corpus(options);
+  RegisterViews(&corpus);
+  ViewServer twin_server;
+  RegisterViews(&twin_server);
+  DocumentStore twin(&twin_server);
+
+  std::vector<std::string> names;
+  for (int i = 0; i < 8; ++i) {
+    names.push_back("doc-" + std::to_string(i));
+    const PDocument pd = PersonnelDoc(500 + uint64_t(i));
+    ASSERT_TRUE(corpus.Put(names.back(), pd).ok());
+    ASSERT_TRUE(twin.Put(names.back(), pd).ok());
+  }
+  // The 3 shards genuinely split the corpus (8 docs over 3 shards).
+  int nonempty = 0;
+  for (int s = 0; s < corpus.shard_count(); ++s) {
+    if (!corpus.store(s).Names().empty()) ++nonempty;
+  }
+  EXPECT_GE(nonempty, 2);
+
+  const std::vector<Pattern> queries = Queries();
+  Rng rng(99);
+  for (int round = 0; round < 4; ++round) {
+    // Identical randomized churn on both sides.
+    for (const std::string& name : names) {
+      const std::vector<DocMutation> batch =
+          ChurnBatch(*twin.Find(name), rng);
+      if (batch.empty()) continue;
+      ASSERT_TRUE(corpus.Apply(name, batch).ok());
+      ASSERT_TRUE(twin.Apply(name, batch).ok());
+      ASSERT_TRUE(corpus.MaterializeIncremental(name).ok());
+      ASSERT_TRUE(twin.MaterializeIncremental(name).ok());
+    }
+    // One fan-out == the twin's per-document AnswerAll loop, bit for bit,
+    // in deterministic (shard, document-name) order.
+    const auto fan = corpus.AnswerAllDocuments(queries);
+    ASSERT_EQ(fan.size(), names.size());
+    std::vector<std::string> seen;
+    for (size_t d = 0; d < fan.size(); ++d) {
+      EXPECT_EQ(fan[d].shard, corpus.ShardOf(fan[d].doc));
+      if (d > 0 && fan[d].shard == fan[d - 1].shard) {
+        EXPECT_LT(fan[d - 1].doc, fan[d].doc);  // Sorted within a shard.
+      }
+      seen.push_back(fan[d].doc);
+      ExpectSameAnswerSet(fan[d].answers, twin.AnswerAll(fan[d].doc, queries));
+    }
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(seen, names);  // Every document answered exactly once.
+  }
+  EXPECT_EQ(corpus.stats().fanouts, 4);
+}
+
+TEST(ShardedCorpusTest, SharedCatalogCompilesEachQueryShapeOnce) {
+  ShardedCorpusOptions options;
+  options.shards = 3;
+  ShardedCorpus corpus(options);
+  RegisterViews(&corpus);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(corpus.Put("doc-" + std::to_string(i),
+                           PersonnelDoc(700 + uint64_t(i)))
+                    .ok());
+  }
+  const std::vector<Pattern> queries = Queries();
+  for (int round = 0; round < 2; ++round) {
+    const auto fan = corpus.AnswerAllDocuments(queries);
+    ASSERT_EQ(fan.size(), 6u);
+  }
+  const ShardedCorpusStats stats = corpus.stats();
+  // Compile once, execute everywhere: one miss per query shape across ALL
+  // shards and rounds, everything else hits the shared cache.
+  EXPECT_EQ(stats.plan_cache_misses, int64_t(queries.size()));
+  EXPECT_GE(stats.plan_cache_hits,
+            int64_t((6 * 2 - 1) * queries.size() - queries.size()));
+  EXPECT_EQ(stats.queries, int64_t(6 * 2 * queries.size()));
+  // Every shard reads the same shared totals; the corpus counts them once.
+  for (int s = 0; s < corpus.shard_count(); ++s) {
+    EXPECT_EQ(corpus.server(s).stats().plan_cache_misses,
+              stats.plan_cache_misses);
+  }
+}
+
+TEST(ShardedCorpusTest, ConcurrentApplyOnOneShardDoesNotTearAnother) {
+  ShardedCorpusOptions options;
+  options.shards = 2;
+  options.server.threads = 2;
+  ShardedCorpus corpus(options);
+  RegisterViews(&corpus);
+
+  // Find names on both shards: shard 0 gets the churn victims, shard 1 the
+  // static documents whose served answers must never move.
+  std::vector<std::string> churned;
+  std::vector<std::string> stable;
+  for (int i = 0; churned.size() < 2 || stable.size() < 2; ++i) {
+    ASSERT_LT(i, 1000);
+    const std::string name = "doc-" + std::to_string(i);
+    std::vector<std::string>& bucket =
+        corpus.ShardOf(name) == 0 ? churned : stable;
+    if (bucket.size() < 2) {
+      bucket.push_back(name);
+      ASSERT_TRUE(corpus.Put(name, PersonnelDoc(900 + uint64_t(i))).ok());
+    }
+  }
+
+  const std::vector<Pattern> queries = Queries();
+  std::vector<std::vector<std::optional<std::vector<PidProb>>>> baselines;
+  for (const std::string& name : stable) {
+    baselines.push_back(corpus.AnswerAll(name, queries));
+  }
+
+  // Writer: sustained valid churn on shard 0's documents while the main
+  // thread fans out across both shards. Snapshots pin before execution, so
+  // shard 1's answers must be byte-stable throughout (TSan validates the
+  // memory orders underneath).
+  std::thread writer([&corpus, &churned] {
+    Rng rng(4242);
+    for (int iter = 0; iter < 40; ++iter) {
+      for (const std::string& name : churned) {
+        const std::vector<DocMutation> batch =
+            ChurnBatch(*corpus.Find(name), rng);
+        if (batch.empty()) continue;
+        ASSERT_TRUE(corpus.Apply(name, batch).ok());
+        ASSERT_TRUE(corpus.MaterializeIncremental(name).ok());
+      }
+    }
+  });
+  for (int iter = 0; iter < 20; ++iter) {
+    const auto fan = corpus.AnswerAllDocuments(queries);
+    ASSERT_EQ(fan.size(), 4u);
+    for (const auto& doc : fan) {
+      if (doc.shard != 1) continue;
+      const auto it = std::find(stable.begin(), stable.end(), doc.doc);
+      ASSERT_NE(it, stable.end());
+      ExpectSameAnswerSet(doc.answers,
+                          baselines[size_t(it - stable.begin())]);
+    }
+  }
+  writer.join();
+}
+
+TEST(ShardedCorpusTest, DurableShardsRecoverIndependentlyAfterTornTail) {
+  const std::string root = TestDir("torn");
+  auto catalog = std::make_shared<ViewCatalog>();
+  catalog->AddView("vbonus", Tp("IT-personnel//person/bonus"));
+  catalog->AddView("vrick", Tp("IT-personnel//person[name/Rick]/bonus"));
+
+  ShardedCorpusOptions options;
+  options.shards = 2;
+  options.store.durable_dir = root;
+  options.store.fsync = FsyncPolicy::kAlways;
+  options.store.checkpoint_after_wal_bytes = 0;  // Checkpoint explicitly.
+
+  // One document per shard.
+  std::string doc0;
+  std::string doc1;
+  {
+    const CorpusRouter router(2);
+    for (int i = 0; doc0.empty() || doc1.empty(); ++i) {
+      ASSERT_LT(i, 1000);
+      const std::string name = "doc-" + std::to_string(i);
+      (router.Route(name) == 0 ? doc0 : doc1) = name;
+    }
+  }
+
+  std::string doc0_at_checkpoint;
+  std::string doc1_final;
+  {
+    auto corpus = ShardedCorpus::Open(options, catalog);
+    ASSERT_TRUE(corpus.ok()) << corpus.status().message();
+    ASSERT_TRUE((*corpus)->Put(doc0, PersonnelDoc(31)).ok());
+    ASSERT_TRUE((*corpus)->Put(doc1, PersonnelDoc(32)).ok());
+    ASSERT_TRUE((*corpus)->Checkpoint().ok());
+    doc0_at_checkpoint = Canon(*(*corpus)->Find(doc0));
+
+    // One post-checkpoint batch per shard: shard 0's will be torn away,
+    // shard 1's must survive recovery untouched.
+    Rng rng(55);
+    for (const std::string& name : {doc0, doc1}) {
+      const auto alternatives = MuxAlternatives(*(*corpus)->Find(name));
+      ASSERT_FALSE(alternatives.empty());
+      ASSERT_TRUE((*corpus)
+                      ->Apply(name, {DocMutation::SetEdgeProb(
+                                        alternatives[0].first,
+                                        alternatives[0].second * 0.5)})
+                      .ok());
+    }
+    doc1_final = Canon(*(*corpus)->Find(doc1));
+    EXPECT_EQ((*corpus)->stats().store.checkpoints, 2);
+  }  // Clean close.
+
+  // Tear the tail of shard 0's newest live WAL segment, mid-record —
+  // the classic crash artifact, confined to one shard's directory.
+  std::string seg;
+  for (uint64_t k = 1; k <= 16; ++k) {
+    const std::string candidate = root + "/shard-0/" + WalSegmentFileName(k);
+    if (::access(candidate.c_str(), F_OK) == 0) seg = candidate;
+  }
+  ASSERT_FALSE(seg.empty());
+  auto read = ReadWalSegment(IoEnv::Real(), seg);
+  ASSERT_TRUE(read.ok());
+  ASSERT_FALSE(read->records.empty());
+  const uint64_t cut = read->records.back().offset + 5;
+  ASSERT_EQ(::truncate(seg.c_str(), off_t(cut)), 0);
+
+  auto reopened = ShardedCorpus::Open(options, catalog);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  const ShardedCorpusStats stats = (*reopened)->stats();
+  EXPECT_EQ(stats.store.recoveries, 2);
+  EXPECT_EQ(stats.store.torn_records_dropped, 1);
+  EXPECT_FALSE((*reopened)->read_only());
+  // Shard 0 rolled back to its checkpoint; shard 1 kept its batch.
+  ASSERT_NE((*reopened)->Find(doc0), nullptr);
+  ASSERT_NE((*reopened)->Find(doc1), nullptr);
+  EXPECT_EQ(Canon(*(*reopened)->Find(doc0)), doc0_at_checkpoint);
+  EXPECT_EQ(Canon(*(*reopened)->Find(doc1)), doc1_final);
+  // Both shards serve and accept writes after recovery.
+  EXPECT_TRUE((*reopened)->Answer(doc0, Queries()[0]).has_value());
+  EXPECT_TRUE((*reopened)->Answer(doc1, Queries()[1]).has_value());
+}
+
+}  // namespace
+}  // namespace pxv

@@ -1,0 +1,340 @@
+// What-if serving (ISSUE 10 satellite): hypothetical probability changes
+// answered through the shared lineage circuit WITHOUT committing a
+// mutation. The contract under test:
+//
+//   * route parity — the circuit overlay route and the mutated-copy
+//     fallback route return bit-identical answers (the circuit replays
+//     the engine's arithmetic verbatim, and both routes apply the same
+//     inclusion filter);
+//   * no-commit — the document is bitwise untouched afterwards (uid,
+//     DebugString) and the session keeps serving the committed baseline;
+//   * guard flips — overrides that cross a recorded guard (a probability
+//     driven to 0 or 1) silently fall back to the copy route, still
+//     returning exact answers;
+//   * validation — what-if overrides are vetted like real mutations:
+//     probabilities in [0,1], mux/exp budgets respected, addresses valid;
+//   * plumbing — DocumentStore::WhatIf reuses the standing circuit
+//     session, ShardedCorpus::WhatIf routes to the owning shard, and the
+//     what-if counter ticks.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/docgen.h"
+#include "prob/eval_session.h"
+#include "pxml/parser.h"
+#include "serve/document_store.h"
+#include "serve/sharded_corpus.h"
+#include "serve/view_server.h"
+#include "tp/parser.h"
+#include "util/random.h"
+#include "xml/label.h"
+
+namespace pxv {
+namespace {
+
+PDocument PersonnelDoc(int persons = 10) {
+  Rng rng(411);
+  return PersonnelPDocument(rng, persons, 0.3, 0.4);
+}
+
+// Mux alternatives (pid, current edge probability): lowering one below its
+// current value always leaves the mux budget valid.
+std::vector<std::pair<PersistentId, double>> MuxAlternatives(
+    const PDocument& pd) {
+  std::vector<std::pair<PersistentId, double>> out;
+  for (NodeId n = 0; n < pd.size(); ++n) {
+    if (!pd.ordinary(n) || pd.detached(n)) continue;
+    const NodeId parent = pd.parent(n);
+    if (parent != kNullNode && !pd.ordinary(parent) &&
+        pd.kind(parent) == PKind::kMux) {
+      out.push_back({pd.pid(n), pd.edge_prob(n)});
+    }
+  }
+  return out;
+}
+
+EvalOptions CircuitOptions() {
+  EvalOptions options;
+  options.backend = BackendKind::kCircuit;
+  return options;
+}
+
+void ExpectSameAnswers(const std::vector<PidProb>& got,
+                       const std::vector<PidProb>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].pid, want[i].pid);
+    EXPECT_EQ(got[i].prob, want[i].prob);  // Bit-identical routes.
+  }
+}
+
+// A small document with an exp distribution, built programmatically (exp
+// nodes have no text syntax): a(k(exp{e,e})) with Pr({e1}) = 0.3 and
+// Pr({e1,e2}) = 0.5.
+PDocument ExpDoc() {
+  PDocument pd;
+  const NodeId root = pd.AddRoot(Intern("a"), 1);
+  const NodeId k = pd.AddOrdinary(root, Intern("k"), 1.0, 2);
+  const NodeId exp = pd.AddExp(k);
+  pd.AddOrdinary(exp, Intern("e"), 1.0, 3);
+  pd.AddOrdinary(exp, Intern("e"), 1.0, 4);
+  pd.SetExpDistribution(exp, {{{0}, 0.3}, {{0, 1}, 0.5}});
+  EXPECT_TRUE(pd.Validate().ok());
+  return pd;
+}
+
+TEST(WhatIfTest, CircuitRouteMatchesMutatedCopyRouteBitwise) {
+  const PDocument pd = PersonnelDoc();
+  ViewServer server;
+  EvalSession circuit(pd, CircuitOptions());
+  EvalSession copy_route(pd);  // kAuto backend: always the fallback route.
+
+  const auto alternatives = MuxAlternatives(pd);
+  ASSERT_GE(alternatives.size(), 3u);
+  Rng rng(77);
+  const std::vector<Pattern> queries = {
+      Tp("IT-personnel//person/bonus"),
+      Tp("IT-personnel//person[name/Rick]/bonus")};
+  for (int round = 0; round < 4; ++round) {
+    std::vector<WhatIfChange> changes;
+    for (int i = 0; i < 3; ++i) {
+      const auto& [pid, initial] =
+          alternatives[rng.NextBounded(alternatives.size())];
+      // Strictly inside (0, initial): never flips a recorded guard, so the
+      // circuit route genuinely serves (parity would hold either way, but
+      // this keeps the test pointed at the overlay path).
+      changes.push_back(
+          WhatIfChange::Edge(pid, initial * (0.1 + 0.8 * rng.NextDouble())));
+    }
+    for (const Pattern& q : queries) {
+      const auto via_circuit = server.WhatIf(&circuit, q, changes);
+      const auto via_copy = server.WhatIf(&copy_route, q, changes);
+      ASSERT_TRUE(via_circuit.ok()) << via_circuit.status().message();
+      ASSERT_TRUE(via_copy.ok()) << via_copy.status().message();
+      ExpectSameAnswers(*via_circuit, *via_copy);
+    }
+  }
+}
+
+// The pid and current probability of some live "Rick" name alternative —
+// a change there provably moves [name/Rick]/bonus answers.
+std::pair<PersistentId, double> SomeRick(const PDocument& pd) {
+  for (NodeId n = 0; n < pd.size(); ++n) {
+    if (pd.ordinary(n) && !pd.detached(n) && pd.label(n) == Intern("Rick")) {
+      return {pd.pid(n), pd.edge_prob(n)};
+    }
+  }
+  ADD_FAILURE() << "no Rick alternative found";
+  return {kNullPid, 0.0};
+}
+
+TEST(WhatIfTest, DocumentIsUntouchedAndBaselineKeepsServing) {
+  const PDocument pd = PersonnelDoc();
+  ViewServer server;
+  EvalSession circuit(pd, CircuitOptions());
+  const Pattern q = Tp("IT-personnel//person[name/Rick]/bonus");
+
+  const uint64_t uid_before = pd.uid();
+  const std::string state_before = pd.DebugString();
+
+  const auto baseline = server.WhatIf(&circuit, q, {});
+  ASSERT_TRUE(baseline.ok());
+  const auto [pid, initial] = SomeRick(pd);
+  const auto hypothetical =
+      server.WhatIf(&circuit, q, {WhatIfChange::Edge(pid, initial * 0.5)});
+  ASSERT_TRUE(hypothetical.ok());
+
+  // The what-if moved at least one answer...
+  bool moved = false;
+  ASSERT_EQ(baseline->size(), hypothetical->size());
+  for (size_t i = 0; i < baseline->size(); ++i) {
+    if ((*baseline)[i].prob != (*hypothetical)[i].prob) moved = true;
+  }
+  EXPECT_TRUE(moved);
+
+  // ...while the document and the served baseline are bitwise unchanged.
+  EXPECT_EQ(pd.uid(), uid_before);
+  EXPECT_EQ(pd.DebugString(), state_before);
+  const auto baseline_again = server.WhatIf(&circuit, q, {});
+  ASSERT_TRUE(baseline_again.ok());
+  ExpectSameAnswers(*baseline_again, *baseline);
+  EXPECT_EQ(server.stats().whatifs, 3);
+}
+
+TEST(WhatIfTest, GuardFlippingOverridesFallBackAndStayExact) {
+  const PDocument pd = PersonnelDoc();
+  ViewServer server;
+  EvalSession circuit(pd, CircuitOptions());
+  EvalSession copy_route(pd);
+  const Pattern q = Tp("IT-personnel//person[name/Rick]/bonus");
+
+  // Driving a live alternative to exactly 0 flips its kIsZero guard: the
+  // circuit declines the overlay and the session silently evaluates a
+  // mutated copy instead. Answers must still be exact — and the circuit
+  // must still serve the baseline afterwards (the decline left no residue).
+  const auto alternatives = MuxAlternatives(pd);
+  ASSERT_FALSE(alternatives.empty());
+  const std::vector<WhatIfChange> changes = {
+      WhatIfChange::Edge(alternatives.front().first, 0.0)};
+  const auto baseline = server.WhatIf(&circuit, q, {});
+  ASSERT_TRUE(baseline.ok());
+  const auto via_circuit = server.WhatIf(&circuit, q, changes);
+  const auto via_copy = server.WhatIf(&copy_route, q, changes);
+  ASSERT_TRUE(via_circuit.ok()) << via_circuit.status().message();
+  ASSERT_TRUE(via_copy.ok());
+  ExpectSameAnswers(*via_circuit, *via_copy);
+  const auto baseline_again = server.WhatIf(&circuit, q, {});
+  ASSERT_TRUE(baseline_again.ok());
+  ExpectSameAnswers(*baseline_again, *baseline);
+}
+
+TEST(WhatIfTest, ExpSlotOverridesReweightSubsets) {
+  const PDocument pd = ExpDoc();
+  ViewServer server;
+  EvalSession circuit(pd, CircuitOptions());
+  EvalSession copy_route(pd);
+  const Pattern q = Tp("a/k/e");
+
+  // Baseline: Pr(e1) = 0.3 + 0.5, Pr(e2) = 0.5.
+  const auto baseline = server.WhatIf(&circuit, q, {});
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_EQ(baseline->size(), 2u);
+  EXPECT_DOUBLE_EQ((*baseline)[0].prob, 0.8);
+  EXPECT_DOUBLE_EQ((*baseline)[1].prob, 0.5);
+
+  // Reweight subset {e1, e2} (slot 1 of the exp child 0 of pid 2) to 0.4.
+  const std::vector<WhatIfChange> changes = {
+      WhatIfChange::ExpSlot(2, 0, 1, 0.4)};
+  const auto via_circuit = server.WhatIf(&circuit, q, changes);
+  const auto via_copy = server.WhatIf(&copy_route, q, changes);
+  ASSERT_TRUE(via_circuit.ok()) << via_circuit.status().message();
+  ASSERT_TRUE(via_copy.ok());
+  ASSERT_EQ(via_circuit->size(), 2u);
+  EXPECT_DOUBLE_EQ((*via_circuit)[0].prob, 0.7);
+  EXPECT_DOUBLE_EQ((*via_circuit)[1].prob, 0.4);
+  ExpectSameAnswers(*via_circuit, *via_copy);
+}
+
+TEST(WhatIfTest, OverridesAreVettedLikeRealMutations) {
+  // a(mux(b(c)@0.6, b(d)@0.3)): parser pids are preorder 0..5, so the
+  // 0.6-branch b is pid 2 and the 0.3-branch b is pid 4.
+  const auto parsed = ParsePDocument("a(mux(b(c)@0.6, b(d)@0.3))");
+  ASSERT_TRUE(parsed.ok());
+  const PDocument pd = *parsed;
+  ViewServer server;
+  EvalSession session(pd, CircuitOptions());
+  const Pattern q = Tp("a/b");
+
+  // Out-of-range probabilities.
+  EXPECT_FALSE(server.WhatIf(&session, q, {WhatIfChange::Edge(4, 1.5)}).ok());
+  EXPECT_FALSE(server.WhatIf(&session, q, {WhatIfChange::Edge(4, -0.1)}).ok());
+  // Unknown pid.
+  EXPECT_FALSE(
+      server.WhatIf(&session, q, {WhatIfChange::Edge(999999, 0.5)}).ok());
+  // The root has no incoming edge.
+  EXPECT_FALSE(server.WhatIf(&session, q, {WhatIfChange::Edge(0, 0.5)}).ok());
+  // Mux budget: 0.6 + 0.9 > 1 — exactly what Apply would reject.
+  EXPECT_FALSE(server.WhatIf(&session, q, {WhatIfChange::Edge(4, 0.9)}).ok());
+  // Within budget is fine (0.6 + 0.35 ≤ 1).
+  EXPECT_TRUE(server.WhatIf(&session, q, {WhatIfChange::Edge(4, 0.35)}).ok());
+
+  // Exp addressing.
+  const PDocument exp_doc = ExpDoc();
+  EvalSession exp_session(exp_doc, CircuitOptions());
+  const Pattern eq = Tp("a/k/e");
+  // dist_child_index that is not an exp child.
+  EXPECT_FALSE(
+      server.WhatIf(&exp_session, eq, {WhatIfChange::ExpSlot(2, 3, 0, 0.2)})
+          .ok());
+  // Slot out of range.
+  EXPECT_FALSE(
+      server.WhatIf(&exp_session, eq, {WhatIfChange::ExpSlot(2, 0, 5, 0.2)})
+          .ok());
+  // Exp budget: 0.3 + 0.8 > 1.
+  EXPECT_FALSE(
+      server.WhatIf(&exp_session, eq, {WhatIfChange::ExpSlot(2, 0, 1, 0.8)})
+          .ok());
+}
+
+TEST(WhatIfTest, DocumentStoreReusesTheStandingSession) {
+  ViewServer server;
+  server.AddView("vbonus", Tp("IT-personnel//person/bonus"));
+  DocumentStore store(&server);
+  const PDocument pd = PersonnelDoc();
+  ASSERT_TRUE(store.Put("docs", pd).ok());
+
+  const Pattern q = Tp("IT-personnel//person/bonus");
+  const auto alternatives = MuxAlternatives(pd);
+  ASSERT_FALSE(alternatives.empty());
+  const auto& [pid, initial] = alternatives.front();
+  const std::vector<WhatIfChange> changes = {
+      WhatIfChange::Edge(pid, initial * 0.25)};
+
+  const uint64_t uid_before = store.Find("docs")->uid();
+  const auto hypothetical = store.WhatIf("docs", q, changes);
+  ASSERT_TRUE(hypothetical.ok()) << hypothetical.status().message();
+  EXPECT_EQ(store.Find("docs")->uid(), uid_before);  // Nothing committed.
+
+  // Committing the same change for real must serve exactly the what-if
+  // answers (the what-if IS the post-commit evaluation, just not kept).
+  ASSERT_TRUE(
+      store.Apply("docs", {DocMutation::SetEdgeProb(pid, initial * 0.25)})
+          .ok());
+  const auto committed = store.WhatIf("docs", q, {});
+  ASSERT_TRUE(committed.ok());
+  ExpectSameAnswers(*hypothetical, *committed);
+
+  // Unknown documents fail gracefully.
+  EXPECT_FALSE(store.WhatIf("nope", q, changes).ok());
+}
+
+TEST(WhatIfTest, ShardedCorpusRoutesToTheOwningShard) {
+  ShardedCorpusOptions options;
+  options.shards = 3;
+  ShardedCorpus corpus(options);
+  corpus.AddView("vbonus", Tp("IT-personnel//person/bonus"));
+
+  ViewServer twin_server;
+  twin_server.AddView("vbonus", Tp("IT-personnel//person/bonus"));
+  DocumentStore twin(&twin_server);
+
+  const PDocument pd = PersonnelDoc();
+  ASSERT_TRUE(corpus.Put("docs", pd).ok());
+  ASSERT_TRUE(twin.Put("docs", pd).ok());
+
+  const Pattern q = Tp("IT-personnel//person/bonus");
+  const auto alternatives = MuxAlternatives(pd);
+  ASSERT_FALSE(alternatives.empty());
+  const std::vector<WhatIfChange> changes = {
+      WhatIfChange::Edge(alternatives.front().first,
+                         alternatives.front().second * 0.5)};
+  const auto from_corpus = corpus.WhatIf("docs", q, changes);
+  const auto from_twin = twin.WhatIf("docs", q, changes);
+  ASSERT_TRUE(from_corpus.ok()) << from_corpus.status().message();
+  ASSERT_TRUE(from_twin.ok());
+  ExpectSameAnswers(*from_corpus, *from_twin);
+  EXPECT_EQ(corpus.stats().whatifs, 1);
+}
+
+TEST(WhatIfTest, TransientServerFormMatchesSessionForm) {
+  const PDocument pd = PersonnelDoc(6);
+  ViewServer server;
+  EvalSession circuit(pd, CircuitOptions());
+  const Pattern q = Tp("IT-personnel//person/bonus");
+  const auto alternatives = MuxAlternatives(pd);
+  ASSERT_FALSE(alternatives.empty());
+  const std::vector<WhatIfChange> changes = {
+      WhatIfChange::Edge(alternatives.front().first,
+                         alternatives.front().second * 0.5)};
+  const auto via_session = server.WhatIf(&circuit, q, changes);
+  const auto via_transient = server.WhatIf(pd, q, changes);
+  ASSERT_TRUE(via_session.ok());
+  ASSERT_TRUE(via_transient.ok());
+  ExpectSameAnswers(*via_session, *via_transient);
+}
+
+}  // namespace
+}  // namespace pxv

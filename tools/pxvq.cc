@@ -19,9 +19,25 @@
 //   pxvq recover <durable-dir> [--checkpoint] [name=def ...]
 //                                                    replay the log, report
 //                                                    the recovered documents
+//   pxvq whatif  <pdoc-file> <query> pid=p [pid:child@slot=p ...]
+//                                                    hypothetical answers
+//                                                    under probability
+//                                                    overrides, uncommitted
+//   pxvq shards  [--shards=N] [--durable=<dir>] [name=def ...] [pdoc ...]
+//                                                    route documents over a
+//                                                    sharded corpus, print
+//                                                    per-shard state
 //
 // `pxvq update --durable=<dir> ...` runs the update against a durable store
 // rooted at <dir> (write-ahead logged, crash-recoverable via `recover`).
+// `pxvq update --shards=N ...` routes the same update through an N-shard
+// corpus (consistent-hash document router, shared view catalog) instead of
+// a single store; the two compose.
+//
+// What-if overrides address probabilities like mutations address nodes:
+// `12=0.5` sets the edge probability of pid 12; `7:0@2=0.25` sets subset
+// slot 2 of the exp node that is child 0 of pid 7. Nothing is committed —
+// the command prints baseline and hypothetical probabilities side by side.
 //
 // p-Document files use the text notation of pxml/parser.h, e.g.
 //   a(mux(b(c)@0.25, d@0.5), ind(e@0.75), f)
@@ -55,6 +71,7 @@
 #include "rewrite/rewriter.h"
 #include "serve/checkpoint.h"
 #include "serve/document_store.h"
+#include "serve/sharded_corpus.h"
 #include "serve/view_server.h"
 #include "tp/parser.h"
 #include "xml/parser.h"
@@ -71,14 +88,18 @@ int Usage() {
                "  pxvq answer  <pdoc-file> <query> name=def [name=def ...]\n"
                "  pxvq rewrite <query> name=def [name=def ...]\n"
                "  pxvq plan    <pdoc-file> <query> name=def [name=def ...]\n"
-               "  pxvq update  [--durable=<dir>] <pdoc-file> <script-file> "
-               "<query> name=def [name=def ...]\n"
+               "  pxvq update  [--durable=<dir>] [--shards=N] <pdoc-file> "
+               "<script-file> <query> name=def [name=def ...]\n"
                "  pxvq compact <pdoc-file> [script-file]\n"
                "  pxvq circuit <pdoc-file> <query> [query ...]\n"
                "  pxvq explain <pdoc-file> <query> [top-k]\n"
                "  pxvq wal-dump <durable-dir>\n"
                "  pxvq recover <durable-dir> [--checkpoint] "
-               "[name=def ...]\n");
+               "[name=def ...]\n"
+               "  pxvq whatif  <pdoc-file> <query> pid=p "
+               "[pid:child@slot=p ...]\n"
+               "  pxvq shards  [--shards=N] [--durable=<dir>] "
+               "[name=def ...] [pdoc-file ...]\n");
   return 2;
 }
 
@@ -362,21 +383,26 @@ bool ParseMutation(const std::string& line, DocMutation* out) {
   return false;
 }
 
-// Drives a line-oriented mutation script against `store`'s "doc": one
-// transactional batch per blank-line-separated block. Rejected batches are
-// reported and skipped (an outcome, not a tool failure); `after_batch`
-// runs after every *applied* batch (may be null) and returning false from
-// it — or a malformed script line — aborts as a tool failure.
-bool RunScript(std::istream& script, DocumentStore* store,
-               const std::function<bool(int batch_no, size_t mutations,
-                                        uint64_t uid)>& after_batch) {
+// Drives a line-oriented mutation script through `apply` — any routed
+// Apply seam: a DocumentStore, a ShardedCorpus, anything with its
+// transactional semantics. One batch per blank-line-separated block.
+// Rejected batches are reported and skipped (an outcome, not a tool
+// failure); `after_batch` runs after every *applied* batch (may be null)
+// and returning false from it — or a malformed script line — aborts as a
+// tool failure.
+bool RunScript(
+    std::istream& script,
+    const std::function<StatusOr<uint64_t>(const std::vector<DocMutation>&)>&
+        apply,
+    const std::function<bool(int batch_no, size_t mutations, uint64_t uid)>&
+        after_batch) {
   std::vector<DocMutation> batch;
   int batch_no = 0;
   const auto flush = [&]() -> bool {
     if (batch.empty()) return true;
     ++batch_no;
     const size_t mutations = batch.size();
-    const auto applied = store->Apply("doc", batch);
+    const auto applied = apply(batch);
     batch.clear();
     if (!applied.ok()) {
       std::fprintf(stderr, "batch %d rejected (rolled back): %s\n", batch_no,
@@ -400,17 +426,108 @@ bool RunScript(std::istream& script, DocumentStore* store,
   return flush();
 }
 
+// ---------------------------------------------------------- stats text ----
+// Shared between the single-store and sharded update paths (and the
+// `shards` command) so the two stacks report identically.
+
+void PrintAnswers(const std::vector<PidProb>& answers) {
+  for (const PidProb& pp : answers) {
+    std::printf("pid=%lld  Pr=%.10g\n", static_cast<long long>(pp.pid),
+                pp.prob);
+  }
+}
+
+void PrintStoreLine(const DocumentStoreStats& stats,
+                    const SubtreeCacheStats& cache) {
+  std::printf(
+      "store: %lld batch(es), %lld mutation(s), %lld rejected; views "
+      "patched %lld / rebuilt %lld / clean %lld; subtree memo %llu hits, "
+      "%llu stores\n",
+      static_cast<long long>(stats.batches),
+      static_cast<long long>(stats.mutations),
+      static_cast<long long>(stats.rejected_batches),
+      static_cast<long long>(stats.views_patched),
+      static_cast<long long>(stats.views_rebuilt),
+      static_cast<long long>(stats.views_clean),
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.stores));
+}
+
+void PrintDocLine(const PDocument& doc, const DocumentStoreStats& stats) {
+  std::printf(
+      "doc: arena %d node(s), %d live, %d detached; %lld compaction(s) "
+      "reclaimed %lld node(s)\n",
+      doc.size(), doc.live_size(), doc.detached_count(),
+      static_cast<long long>(stats.compactions),
+      static_cast<long long>(stats.nodes_reclaimed));
+}
+
+void PrintDurabilityLine(const DocumentStoreStats& stats) {
+  std::printf(
+      "durability: %lld WAL append(s), %lld byte(s), %lld checkpoint(s), "
+      "%lld recovery(ies), %lld torn record(s) dropped, read-only=%lld\n",
+      static_cast<long long>(stats.wal_appends),
+      static_cast<long long>(stats.wal_bytes),
+      static_cast<long long>(stats.checkpoints),
+      static_cast<long long>(stats.recoveries),
+      static_cast<long long>(stats.torn_records_dropped),
+      static_cast<long long>(stats.read_only));
+}
+
+// Per-shard table + corpus roll-up: document counts, WAL bytes, and the
+// SHARED plan cache (one catalog across the shards, counted once).
+void PrintShardInfos(const ShardedCorpus& corpus) {
+  for (const ShardedCorpus::ShardInfo& info : corpus.ShardInfos()) {
+    std::printf(
+        "shard %d: %zu document(s), %lld batch(es), %lld WAL byte(s), "
+        "%lld quer(y/ies)\n",
+        info.shard, info.docs.size(),
+        static_cast<long long>(info.store.batches),
+        static_cast<long long>(info.store.wal_bytes),
+        static_cast<long long>(info.queries));
+    for (const std::string& doc : info.docs) {
+      std::printf("  doc=%s\n", doc.c_str());
+    }
+  }
+  const ShardedCorpusStats stats = corpus.stats();
+  std::printf(
+      "corpus: %lld document(s), %lld fan-out(s), %lld what-if(s); shared "
+      "plan cache %lld hit(s) / %lld miss(es) / %lld plan(s)\n",
+      static_cast<long long>(stats.documents),
+      static_cast<long long>(stats.fanouts),
+      static_cast<long long>(stats.whatifs),
+      static_cast<long long>(stats.plan_cache_hits),
+      static_cast<long long>(stats.plan_cache_misses),
+      static_cast<long long>(stats.plan_cache_size));
+}
+
 // End-to-end exercise of the store/update layer: load the document,
 // register the views, then run the script — each batch applies
 // transactionally and re-materializes incrementally — and finally answer
-// the query from the last published snapshot.
+// the query from the last published snapshot. With --shards=N the same
+// update routes through an N-shard corpus (the document lands on the
+// shard the router names; the views live in the shared catalog); with
+// --durable=<dir> every shard (or the single store) is write-ahead
+// logged under <dir>.
 int CmdUpdate(int argc, char** argv) {
   int arg = 2;
   std::string durable_dir;
-  if (argc > arg &&
-      std::string(argv[arg]).rfind("--durable=", 0) == 0) {
-    durable_dir = std::string(argv[arg]).substr(10);
-    ++arg;
+  int shards = 0;  // 0: plain single store; >= 1: route via ShardedCorpus.
+  while (argc > arg) {
+    const std::string flag = argv[arg];
+    if (flag.rfind("--durable=", 0) == 0) {
+      durable_dir = flag.substr(10);
+      ++arg;
+    } else if (flag.rfind("--shards=", 0) == 0) {
+      shards = std::atoi(flag.c_str() + 9);
+      if (shards < 1) {
+        std::fprintf(stderr, "--shards needs a positive count\n");
+        return 2;
+      }
+      ++arg;
+    } else {
+      break;
+    }
   }
   if (argc < arg + 4) return Usage();
   const auto pd = LoadPDoc(argv[arg]);
@@ -428,37 +545,79 @@ int CmdUpdate(int argc, char** argv) {
     std::fprintf(stderr, "bad query: %s\n", q.status().message().c_str());
     return 1;
   }
+  Rewriter parsed;  // Reuse the name=def parser, then copy into the stack.
+  for (int i = arg + 3; i < argc; ++i) {
+    if (!ParseNamedView(argv[i], &parsed)) return Usage();
+  }
+
+  // The two serving stacks behind one seam: routed put / apply /
+  // rematerialize closures, so the script driver and the reporting below
+  // are identical for a single store and a sharded corpus.
   ViewServer server;
-  {
-    Rewriter parsed;  // Reuse the name=def parser, then copy into the server.
-    for (int i = arg + 3; i < argc; ++i) {
-      if (!ParseNamedView(argv[i], &parsed)) return Usage();
+  std::unique_ptr<DocumentStore> store;
+  std::unique_ptr<ShardedCorpus> corpus;
+  if (shards > 0) {
+    auto catalog = std::make_shared<ViewCatalog>();
+    for (const NamedView& v : parsed.views()) {
+      catalog->AddView(v.name, v.def.Clone());
     }
+    ShardedCorpusOptions options;
+    options.shards = shards;
+    if (durable_dir.empty()) {
+      corpus = std::make_unique<ShardedCorpus>(options, catalog);
+    } else {
+      options.store.durable_dir = durable_dir;
+      auto opened = ShardedCorpus::Open(options, catalog);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "%s\n", opened.status().message().c_str());
+        return 1;
+      }
+      corpus = std::move(*opened);
+    }
+  } else {
     for (const NamedView& v : parsed.views()) {
       server.AddView(v.name, v.def.Clone());
     }
-  }
-  std::unique_ptr<DocumentStore> store;
-  if (durable_dir.empty()) {
-    store = std::make_unique<DocumentStore>(&server);
-  } else {
-    DocumentStoreOptions options;
-    options.durable_dir = durable_dir;
-    auto opened = DocumentStore::Open(&server, options);
-    if (!opened.ok()) {
-      std::fprintf(stderr, "%s\n", opened.status().message().c_str());
-      return 1;
+    if (durable_dir.empty()) {
+      store = std::make_unique<DocumentStore>(&server);
+    } else {
+      DocumentStoreOptions options;
+      options.durable_dir = durable_dir;
+      auto opened = DocumentStore::Open(&server, options);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "%s\n", opened.status().message().c_str());
+        return 1;
+      }
+      store = std::move(opened.value());
     }
-    store = std::move(opened.value());
   }
-  if (Status s = store->Put("doc", *pd); !s.ok()) {
+  const auto apply = [&](const std::vector<DocMutation>& batch) {
+    return corpus != nullptr ? corpus->Apply("doc", batch)
+                             : store->Apply("doc", batch);
+  };
+  const auto rematerialize_doc = [&]() {
+    return corpus != nullptr ? corpus->MaterializeIncremental("doc")
+                             : store->MaterializeIncremental("doc");
+  };
+  // The owning shard's store — the single store when unsharded — for the
+  // per-document introspection below (Find, session cache stats).
+  const auto doc_store = [&]() -> DocumentStore& {
+    return corpus != nullptr ? corpus->store(corpus->ShardOf("doc")) : *store;
+  };
+
+  if (Status s = corpus != nullptr ? corpus->Put("doc", *pd)
+                                   : store->Put("doc", *pd);
+      !s.ok()) {
     std::fprintf(stderr, "%s\n", s.message().c_str());
     return 1;
   }
+  if (corpus != nullptr) {
+    std::printf("routing: doc -> shard %d of %d\n", corpus->ShardOf("doc"),
+                corpus->shard_count());
+  }
 
-  const auto rematerialize = [&](int batch_no, size_t mutations,
-                                 uint64_t uid) {
-    if (Status s = store->MaterializeIncremental("doc"); !s.ok()) {
+  const auto report = [&](int batch_no, size_t mutations, uint64_t uid) {
+    if (Status s = rematerialize_doc(); !s.ok()) {
       std::fprintf(stderr, "%s\n", s.message().c_str());
       return false;
     }
@@ -466,50 +625,21 @@ int CmdUpdate(int argc, char** argv) {
                 mutations, static_cast<unsigned long long>(uid));
     return true;
   };
-  if (!RunScript(script, store.get(), rematerialize)) return 1;
+  if (!RunScript(script, apply, report)) return 1;
 
-  const auto answer = store->Answer("doc", *q);
+  const auto answer = corpus != nullptr ? corpus->Answer("doc", *q)
+                                        : store->Answer("doc", *q);
   if (!answer.has_value()) {
     std::fprintf(stderr,
                  "no probabilistic rewriting exists over these views\n");
     return 3;
   }
-  for (const PidProb& pp : *answer) {
-    std::printf("pid=%lld  Pr=%.10g\n", static_cast<long long>(pp.pid),
-                pp.prob);
-  }
-  const DocumentStoreStats stats = store->stats();
-  const SubtreeCacheStats cache = store->SessionCacheStats("doc");
-  std::printf(
-      "store: %lld batch(es), %lld mutation(s), %lld rejected; views "
-      "patched %lld / rebuilt %lld / clean %lld; subtree memo %llu hits, "
-      "%llu stores\n",
-      static_cast<long long>(stats.batches),
-      static_cast<long long>(stats.mutations),
-      static_cast<long long>(stats.rejected_batches),
-      static_cast<long long>(stats.views_patched),
-      static_cast<long long>(stats.views_rebuilt),
-      static_cast<long long>(stats.views_clean),
-      static_cast<unsigned long long>(cache.hits),
-      static_cast<unsigned long long>(cache.stores));
-  const PDocument* doc = store->Find("doc");
-  std::printf(
-      "doc: arena %d node(s), %d live, %d detached; %lld compaction(s) "
-      "reclaimed %lld node(s)\n",
-      doc->size(), doc->live_size(), doc->detached_count(),
-      static_cast<long long>(stats.compactions),
-      static_cast<long long>(stats.nodes_reclaimed));
-  if (!durable_dir.empty()) {
-    std::printf(
-        "durability: %lld WAL append(s), %lld byte(s), %lld checkpoint(s), "
-        "%lld recovery(ies), %lld torn record(s) dropped, read-only=%lld\n",
-        static_cast<long long>(stats.wal_appends),
-        static_cast<long long>(stats.wal_bytes),
-        static_cast<long long>(stats.checkpoints),
-        static_cast<long long>(stats.recoveries),
-        static_cast<long long>(stats.torn_records_dropped),
-        static_cast<long long>(stats.read_only));
-  }
+  PrintAnswers(*answer);
+  const DocumentStoreStats stats = doc_store().stats();
+  PrintStoreLine(stats, doc_store().SessionCacheStats("doc"));
+  PrintDocLine(*doc_store().Find("doc"), stats);
+  if (!durable_dir.empty()) PrintDurabilityLine(stats);
+  if (corpus != nullptr) PrintShardInfos(*corpus);
   return 0;
 }
 
@@ -659,7 +789,10 @@ int CmdCompact(int argc, char** argv) {
       std::fprintf(stderr, "cannot open %s\n", argv[3]);
       return 1;
     }
-    if (!RunScript(script, &store, nullptr)) return 1;
+    const auto apply = [&store](const std::vector<DocMutation>& batch) {
+      return store.Apply("doc", batch);
+    };
+    if (!RunScript(script, apply, nullptr)) return 1;
   }
   const PDocument* doc = store.Find("doc");
   const int size = doc->size();
@@ -784,6 +917,180 @@ int CmdExplain(int argc, char** argv) {
   return 0;
 }
 
+// Parses one what-if override token: "<pid>=<prob>" (edge) or
+// "<pid>:<child>@<slot>=<prob>" (exp subset slot).
+bool ParseWhatIfChange(const std::string& token, WhatIfChange* out) {
+  const size_t eq = token.find('=');
+  if (eq == std::string::npos) return false;
+  double prob;
+  PersistentId pid;
+  try {
+    prob = std::stod(token.substr(eq + 1));
+    const std::string lhs = token.substr(0, eq);
+    const size_t colon = lhs.find(':');
+    if (colon == std::string::npos) {
+      pid = std::stoll(lhs);
+      *out = WhatIfChange::Edge(pid, prob);
+      return true;
+    }
+    const size_t at = lhs.find('@', colon + 1);
+    if (at == std::string::npos) return false;
+    pid = std::stoll(lhs.substr(0, colon));
+    const int child = std::stoi(lhs.substr(colon + 1, at - colon - 1));
+    const int slot = std::stoi(lhs.substr(at + 1));
+    *out = WhatIfChange::ExpSlot(pid, child, slot, prob);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+// Hypothetical serving: baseline and what-if probabilities side by side,
+// served through the lineage circuit's overlay re-propagation (mutated-copy
+// fallback when an override flips a recorded guard). Nothing is committed.
+int CmdWhatIf(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  const auto pd = LoadPDoc(argv[2]);
+  if (!pd.ok()) {
+    std::fprintf(stderr, "%s\n", pd.status().message().c_str());
+    return 1;
+  }
+  const auto q = ParsePattern(argv[3]);
+  if (!q.ok()) {
+    std::fprintf(stderr, "bad query: %s\n", q.status().message().c_str());
+    return 1;
+  }
+  std::vector<WhatIfChange> changes;
+  for (int i = 4; i < argc; ++i) {
+    WhatIfChange change;
+    if (!ParseWhatIfChange(argv[i], &change)) {
+      std::fprintf(stderr,
+                   "bad override '%s' (want pid=p or pid:child@slot=p)\n",
+                   argv[i]);
+      return Usage();
+    }
+    changes.push_back(change);
+  }
+  ViewServer server;
+  const auto baseline = server.WhatIf(*pd, *q, {});
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "%s\n", baseline.status().message().c_str());
+    return 1;
+  }
+  const auto hypothetical = server.WhatIf(*pd, *q, changes);
+  if (!hypothetical.ok()) {
+    std::fprintf(stderr, "%s\n", hypothetical.status().message().c_str());
+    return 1;
+  }
+  // Candidates may enter or leave the answer set (the > eps inclusion
+  // filter), so print the union keyed by pid, in baseline-then-new order.
+  std::vector<std::pair<PersistentId, std::pair<double, double>>> rows;
+  for (const PidProb& pp : *baseline) {
+    rows.push_back({pp.pid, {pp.prob, 0.0}});
+  }
+  for (const PidProb& pp : *hypothetical) {
+    bool found = false;
+    for (auto& row : rows) {
+      if (row.first == pp.pid) {
+        row.second.second = pp.prob;
+        found = true;
+        break;
+      }
+    }
+    if (!found) rows.push_back({pp.pid, {0.0, pp.prob}});
+  }
+  for (const auto& [pid, probs] : rows) {
+    std::printf("pid=%lld  Pr=%.10g -> %.10g  (%+.10g)\n",
+                static_cast<long long>(pid), probs.first, probs.second,
+                probs.second - probs.first);
+  }
+  return 0;
+}
+
+// Routes documents over an N-shard corpus — or reopens a durable one —
+// and prints the per-shard table: who owns what, WAL bytes, and the shared
+// plan cache. With views registered, every view definition is also run as
+// a query through one cross-shard fan-out, so the cache-hit column shows
+// compile-once-execute-everywhere in action.
+int CmdShards(int argc, char** argv) {
+  int arg = 2;
+  int shards = 2;
+  std::string durable_dir;
+  while (argc > arg) {
+    const std::string flag = argv[arg];
+    if (flag.rfind("--shards=", 0) == 0) {
+      shards = std::atoi(flag.c_str() + 9);
+      if (shards < 1) {
+        std::fprintf(stderr, "--shards needs a positive count\n");
+        return 2;
+      }
+      ++arg;
+    } else if (flag.rfind("--durable=", 0) == 0) {
+      durable_dir = flag.substr(10);
+      ++arg;
+    } else {
+      break;
+    }
+  }
+  Rewriter parsed;
+  std::vector<const char*> files;
+  for (int i = arg; i < argc; ++i) {
+    if (std::string(argv[i]).find('=') != std::string::npos) {
+      if (!ParseNamedView(argv[i], &parsed)) return Usage();
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (durable_dir.empty() && files.empty()) {
+    std::fprintf(stderr, "nothing to route: pass p-document files or "
+                         "--durable=<dir>\n");
+    return 2;
+  }
+
+  auto catalog = std::make_shared<ViewCatalog>();
+  for (const NamedView& v : parsed.views()) {
+    catalog->AddView(v.name, v.def.Clone());
+  }
+  ShardedCorpusOptions options;
+  options.shards = shards;
+  std::unique_ptr<ShardedCorpus> corpus;
+  if (durable_dir.empty()) {
+    corpus = std::make_unique<ShardedCorpus>(options, catalog);
+  } else {
+    options.store.durable_dir = durable_dir;
+    auto opened = ShardedCorpus::Open(options, catalog);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().message().c_str());
+      return 1;
+    }
+    corpus = std::move(*opened);
+    std::printf("recovered %zu document(s) across %d shard(s)\n",
+                corpus->Names().size(), corpus->shard_count());
+  }
+  for (const char* file : files) {
+    const auto pd = LoadPDoc(file);
+    if (!pd.ok()) {
+      std::fprintf(stderr, "%s\n", pd.status().message().c_str());
+      return 1;
+    }
+    if (Status s = corpus->Put(file, *pd); !s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", file, s.message().c_str());
+      return 1;
+    }
+  }
+  if (!parsed.views().empty() && !corpus->Names().empty()) {
+    std::vector<Pattern> queries;
+    for (const NamedView& v : parsed.views()) {
+      queries.push_back(v.def.Clone());
+    }
+    const auto fan = corpus->AnswerAllDocuments(queries);
+    std::printf("fan-out: %zu quer(y/ies) x %zu document(s)\n",
+                queries.size(), fan.size());
+  }
+  PrintShardInfos(*corpus);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -800,5 +1107,7 @@ int main(int argc, char** argv) {
   if (cmd == "explain") return CmdExplain(argc, argv);
   if (cmd == "wal-dump") return CmdWalDump(argc, argv);
   if (cmd == "recover") return CmdRecover(argc, argv);
+  if (cmd == "whatif") return CmdWhatIf(argc, argv);
+  if (cmd == "shards") return CmdShards(argc, argv);
   return Usage();
 }
